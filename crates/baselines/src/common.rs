@@ -1,0 +1,113 @@
+//! Shared configuration and outcome types for the baseline mappers.
+
+use satmapit_core::Mapping;
+use satmapit_dfg::{Dfg, DfgError};
+use satmapit_regalloc::RegAllocation;
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration shared by the baseline mappers.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Give up once II exceeds this cap (paper: 50).
+    pub max_ii: u32,
+    /// Wall-clock budget (paper: 4000 s).
+    pub timeout: Option<Duration>,
+    /// Master seed for randomized components.
+    pub seed: u64,
+    /// Scheduling attempts per II (RAMP priority variants; PathSeeker
+    /// restarts — the paper repeats PathSeeker 10×).
+    pub attempts_per_ii: u32,
+    /// Backtracking budget of one placement search.
+    pub place_budget: u64,
+    /// Routing nodes the RAMP-like mapper may insert per II.
+    pub routing_budget: u32,
+    /// IMS operation budget factor (`factor * nodes` schedule steps).
+    pub ims_budget_factor: u32,
+    /// Register-allocation colouring budget.
+    pub regalloc_budget: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> BaselineConfig {
+        BaselineConfig {
+            max_ii: 50,
+            timeout: None,
+            seed: 0xBA5E11E5,
+            attempts_per_ii: 10,
+            place_budget: 200_000,
+            routing_budget: 3,
+            ims_budget_factor: 30,
+            regalloc_budget: 1_000_000,
+        }
+    }
+}
+
+/// A successful baseline mapping.
+#[derive(Debug, Clone)]
+pub struct BaselineMapped {
+    /// The mapped DFG — possibly augmented with routing nodes, in which
+    /// case it differs from the input (original node ids are preserved).
+    pub dfg: Dfg,
+    /// The placement/schedule.
+    pub mapping: Mapping,
+    /// Register assignment.
+    pub registers: RegAllocation,
+    /// Number of routing nodes inserted.
+    pub routes: u32,
+}
+
+impl BaselineMapped {
+    /// The achieved initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.mapping.ii
+    }
+}
+
+/// Terminal baseline failures (mirrors the SAT mapper's failure modes so
+/// the experiment harness can chart them identically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineFailure {
+    /// The input DFG is malformed.
+    InvalidDfg(DfgError),
+    /// Wall-clock budget expired (a "red ✕" in the paper's Fig. 6).
+    Timeout {
+        /// The II being attempted.
+        at_ii: u32,
+    },
+    /// No mapping up to the II cap (a "black ✕" in Fig. 6).
+    IiCapReached {
+        /// The configured cap.
+        cap: u32,
+    },
+}
+
+impl fmt::Display for BaselineFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineFailure::InvalidDfg(e) => write!(f, "invalid DFG: {e}"),
+            BaselineFailure::Timeout { at_ii } => write!(f, "timeout at II={at_ii}"),
+            BaselineFailure::IiCapReached { cap } => write!(f, "no mapping up to II={cap}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineFailure {}
+
+/// Outcome of a baseline mapping run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Success or failure.
+    pub result: Result<BaselineMapped, BaselineFailure>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Number of schedules attempted across all IIs.
+    pub schedules_tried: u32,
+}
+
+impl BaselineOutcome {
+    /// The achieved II, if any.
+    pub fn ii(&self) -> Option<u32> {
+        self.result.as_ref().ok().map(BaselineMapped::ii)
+    }
+}

@@ -1,0 +1,401 @@
+//! Iterative Modulo Scheduling (Rau's IMS), the scheduling engine shared
+//! by the heuristic baselines.
+//!
+//! Produces a time schedule `t(n)` for a candidate II such that every
+//! dependency satisfies `1 <= Δ <= II` (`Δ = t_d - t_s + dist·II` — the
+//! same transfer-window rule the SAT mapper encodes) and no more than
+//! `|PEs|` operations (resp. memory-capable PEs for memory ops) share a
+//! kernel slot. Placement onto concrete PEs happens afterwards.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, NodeId};
+
+/// Scheduling priority variants, mirroring the baselines' published
+/// heuristics (RAMP uses height-based priorities; PathSeeker/CRIMSON
+/// randomize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Longest path to a sink, ties by node index.
+    Height,
+    /// Height, ties by fan-out (more consumers first).
+    HeightFanout,
+    /// Random priorities from the given seed.
+    Random(u64),
+}
+
+/// A simple xorshift for deterministic randomized scheduling.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Computes node heights (longest forward path to a sink).
+pub fn heights(dfg: &Dfg) -> Vec<u32> {
+    let order = dfg
+        .forward_topo_order()
+        .expect("caller validates the DFG");
+    let mut h = vec![0u32; dfg.num_nodes()];
+    for &v in order.iter().rev() {
+        for eid in dfg.out_edges(v) {
+            let e = dfg.edge(eid);
+            if e.distance == 0 {
+                h[v.index()] = h[v.index()].max(h[e.dst.index()] + 1);
+            }
+        }
+    }
+    h
+}
+
+/// Runs IMS at the given II. Returns per-node times on success.
+///
+/// `budget_factor` bounds the total number of (re)scheduling operations at
+/// `budget_factor * num_nodes`; heuristic failure returns `None`.
+pub fn modulo_schedule(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    ii: u32,
+    priority: Priority,
+    budget_factor: u32,
+) -> Option<Vec<u32>> {
+    let n = dfg.num_nodes();
+    let cap = cgra.num_pes();
+    let mem_cap = cgra.num_memory_pes();
+    let h = heights(dfg);
+    let mut rng = match priority {
+        Priority::Random(seed) => Rng::new(seed),
+        _ => Rng::new(0xDEADBEEF),
+    };
+    let prio: Vec<u64> = (0..n)
+        .map(|v| match priority {
+            Priority::Height => (u64::from(h[v]) << 32) | (n - v) as u64,
+            Priority::HeightFanout => {
+                let fanout = dfg.out_edges(NodeId(v as u32)).len() as u64;
+                (u64::from(h[v]) << 32) | (fanout << 16) | (n - v) as u64
+            }
+            Priority::Random(_) => rng.next() >> 8,
+        })
+        .collect();
+
+    let ii_i = i64::from(ii);
+    let mut time: Vec<Option<i64>> = vec![None; n];
+    let mut ever: Vec<bool> = vec![false; n];
+    let mut last: Vec<i64> = vec![-1; n];
+    let mut budget = (budget_factor as i64) * (n as i64).max(1);
+    // Modulo reservation table: which nodes occupy each slot.
+    let mut mrt: Vec<Vec<usize>> = vec![Vec::new(); ii as usize];
+
+    let is_mem = |v: usize| dfg.node(NodeId(v as u32)).op.is_memory();
+    let slot_full = |mrt: &Vec<Vec<usize>>, slot: usize, mem: bool| {
+        if mrt[slot].len() >= cap {
+            return true;
+        }
+        if mem {
+            let mem_count = mrt[slot].iter().filter(|&&m| is_mem(m)).count();
+            mem_count >= mem_cap
+        } else {
+            false
+        }
+    };
+
+    loop {
+        // Highest-priority unscheduled node.
+        let Some(v) = (0..n)
+            .filter(|&v| time[v].is_none())
+            .max_by_key(|&v| prio[v])
+        else {
+            break;
+        };
+        budget -= 1;
+        if budget < 0 {
+            return None;
+        }
+
+        // Feasible interval for t(v) given every *scheduled* neighbour:
+        // an edge s→d with distance `dist` requires
+        // 1 <= t(d) - t(s) + dist·II <= II. Unlike classic IMS (which has
+        // no upper bound thanks to rotating register files), the
+        // consume-within-II rule bounds t(v) from both sides.
+        let mut lo: i64 = 0;
+        let mut hi: i64 = i64::MAX;
+        let mut estart: i64 = 0;
+        for (_, e) in dfg.edges() {
+            let (s, d) = (e.src.index(), e.dst.index());
+            if s == d || (s != v && d != v) {
+                continue;
+            }
+            let dist = i64::from(e.distance) * ii_i;
+            if d == v {
+                if let Some(ts) = time[s] {
+                    lo = lo.max(ts + 1 - dist);
+                    hi = hi.min(ts + ii_i - dist);
+                    estart = estart.max(ts + 1 - dist);
+                }
+            } else if let Some(td) = time[d] {
+                lo = lo.max(td + dist - ii_i);
+                hi = hi.min(td + dist - 1);
+            }
+        }
+        lo = lo.max(0);
+        estart = estart.max(0);
+        let (win_lo, win_hi) = if lo <= hi {
+            (lo, hi.min(lo + ii_i - 1))
+        } else {
+            // No consistent interval: fall back to the producer-driven
+            // window and evict whoever conflicts.
+            (estart, estart + ii_i - 1)
+        };
+
+        // Pick the slot that minimizes disruption: broken transfer windows
+        // first, then resource conflicts, then load (balancing keeps
+        // placement feasible later).
+        let mem = is_mem(v);
+        let mut best: Option<(i64, u64)> = None;
+        for t in win_lo..=win_hi {
+            let slot = (t % ii_i) as usize;
+            let mut score: u64 = 0;
+            if slot_full(&mrt, slot, mem) {
+                score += 1000;
+            }
+            score += 10 * mrt[slot].len() as u64;
+            for (_, e) in dfg.edges() {
+                let (s, d) = (e.src.index(), e.dst.index());
+                if s == d || (s != v && d != v) {
+                    continue;
+                }
+                let other = if s == v { d } else { s };
+                let Some(to) = time[other] else { continue };
+                let (ts, td) = if s == v { (t, to) } else { (to, t) };
+                let delta = td - ts + i64::from(e.distance) * ii_i;
+                if delta < 1 || delta > ii_i {
+                    score += 10_000;
+                }
+            }
+            if best.map_or(true, |(_, bs)| score < bs) {
+                best = Some((t, score));
+            }
+        }
+        let (mut t, score) = best.expect("window is nonempty");
+        // Anti-cycling: when rescheduling a node disruptively at or before
+        // its previous slot, force forward progress (Rau's rule).
+        if ever[v] && score >= 10_000 && t <= last[v] {
+            t = last[v] + 1;
+        }
+        if t > (n as i64 + 4) * ii_i {
+            return None; // schedule diverging
+        }
+
+        // Evict whatever conflicts with (v @ t).
+        let slot = (t % ii_i) as usize;
+        while slot_full(&mrt, slot, mem) {
+            // Evict the lowest-priority occupant (a memory op when the
+            // memory port is the bottleneck).
+            let victim = if mem
+                && mrt[slot].iter().filter(|&&m| is_mem(m)).count() >= mem_cap
+                && mrt[slot].len() < cap
+            {
+                *mrt[slot]
+                    .iter()
+                    .filter(|&&m| is_mem(m))
+                    .min_by_key(|&&m| prio[m])
+                    .expect("mem occupant exists")
+            } else {
+                *mrt[slot]
+                    .iter()
+                    .min_by_key(|&&m| prio[m])
+                    .expect("occupant exists")
+            };
+            mrt[slot].retain(|&m| m != victim);
+            time[victim] = None;
+        }
+        time[v] = Some(t);
+        ever[v] = true;
+        last[v] = t;
+        mrt[slot].push(v);
+
+        // Evict scheduled neighbours whose transfer window broke.
+        let mut evict: Vec<usize> = Vec::new();
+        for (_, e) in dfg.edges() {
+            let (s, d) = (e.src.index(), e.dst.index());
+            if s != v && d != v {
+                continue;
+            }
+            if s == d {
+                continue;
+            }
+            let (Some(ts), Some(td)) = (time[s], time[d]) else {
+                continue;
+            };
+            let delta = td - ts + i64::from(e.distance) * ii_i;
+            if delta < 1 || delta > ii_i {
+                let other = if s == v { d } else { s };
+                evict.push(other);
+            }
+        }
+        for m in evict {
+            if let Some(tm) = time[m] {
+                mrt[(tm % ii_i) as usize].retain(|&x| x != m);
+                time[m] = None;
+            }
+        }
+    }
+
+    // Final legality check.
+    let times: Vec<u32> = time
+        .into_iter()
+        .map(|t| t.expect("all scheduled") as u32)
+        .collect();
+    if schedule_is_legal(dfg, cgra, &times, ii) {
+        Some(times)
+    } else {
+        None
+    }
+}
+
+/// Checks the schedule-level legality: transfer windows and per-slot
+/// resource counts.
+pub fn schedule_is_legal(dfg: &Dfg, cgra: &Cgra, times: &[u32], ii: u32) -> bool {
+    let ii_i = i64::from(ii);
+    for (_, e) in dfg.edges() {
+        if e.src == e.dst {
+            if e.distance != 1 {
+                return false;
+            }
+            continue;
+        }
+        let delta = i64::from(times[e.dst.index()]) - i64::from(times[e.src.index()])
+            + i64::from(e.distance) * ii_i;
+        if delta < 1 || delta > ii_i {
+            return false;
+        }
+    }
+    let mut counts = vec![0usize; ii as usize];
+    let mut mem_counts = vec![0usize; ii as usize];
+    for v in 0..dfg.num_nodes() {
+        let slot = (times[v] % ii) as usize;
+        counts[slot] += 1;
+        if dfg.node(NodeId(v as u32)).op.is_memory() {
+            mem_counts[slot] += 1;
+        }
+    }
+    counts.iter().all(|&c| c <= cgra.num_pes())
+        && mem_counts.iter().all(|&c| c <= cgra.num_memory_pes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::Op;
+    use satmapit_schedule::mii;
+
+    fn chain(n: usize) -> Dfg {
+        let mut dfg = Dfg::new("chain");
+        let mut prev = dfg.add_const(1);
+        for _ in 1..n {
+            let next = dfg.add_node(Op::Neg);
+            dfg.add_edge(prev, next, 0);
+            prev = next;
+        }
+        dfg
+    }
+
+    #[test]
+    fn chain_schedules_at_mii() {
+        let dfg = chain(6);
+        let cgra = Cgra::square(2);
+        let ii = mii(&dfg, &cgra);
+        let times = modulo_schedule(&dfg, &cgra, ii, Priority::Height, 20).unwrap();
+        assert!(schedule_is_legal(&dfg, &cgra, &times, ii));
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "chain order preserved");
+        }
+    }
+
+    #[test]
+    fn parallel_constants_spread_across_slots() {
+        let mut dfg = Dfg::new("par");
+        for i in 0..8 {
+            let _ = dfg.add_const(i);
+        }
+        let cgra = Cgra::square(2);
+        let times = modulo_schedule(&dfg, &cgra, 2, Priority::Height, 20).unwrap();
+        assert!(schedule_is_legal(&dfg, &cgra, &times, 2));
+    }
+
+    #[test]
+    fn recurrence_respected() {
+        let mut dfg = Dfg::new("rec");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        let cgra = Cgra::square(3);
+        assert!(
+            modulo_schedule(&dfg, &cgra, 2, Priority::Height, 30).is_none(),
+            "RecMII is 3"
+        );
+        let times = modulo_schedule(&dfg, &cgra, 3, Priority::Height, 30).unwrap();
+        assert!(schedule_is_legal(&dfg, &cgra, &times, 3));
+    }
+
+    #[test]
+    fn all_kernels_schedule_somewhere() {
+        for k in satmapit_kernels::all() {
+            let cgra = Cgra::square(4);
+            let start = mii(&k.dfg, &cgra);
+            let mut scheduled = false;
+            for ii in start..start + 12 {
+                if let Some(times) = modulo_schedule(&k.dfg, &cgra, ii, Priority::Height, 50) {
+                    assert!(schedule_is_legal(&k.dfg, &cgra, &times, ii));
+                    scheduled = true;
+                    break;
+                }
+            }
+            assert!(scheduled, "{} never scheduled", k.name());
+        }
+    }
+
+    #[test]
+    fn random_priorities_are_deterministic_per_seed() {
+        let dfg = chain(8);
+        let cgra = Cgra::square(2);
+        let a = modulo_schedule(&dfg, &cgra, 2, Priority::Random(7), 30);
+        let b = modulo_schedule(&dfg, &cgra, 2, Priority::Random(7), 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn priority_variants_cover_height_and_fanout() {
+        let dfg = chain(5);
+        let cgra = Cgra::square(2);
+        for p in [Priority::Height, Priority::HeightFanout, Priority::Random(3)] {
+            let times = modulo_schedule(&dfg, &cgra, 2, p, 30).unwrap();
+            assert!(schedule_is_legal(&dfg, &cgra, &times, 2), "{p:?}");
+        }
+    }
+}

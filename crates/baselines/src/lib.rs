@@ -1,0 +1,38 @@
+//! # satmapit-baselines
+//!
+//! Reimplementations of the state-of-the-art heuristic mappers that the
+//! SAT-MapIt paper compares against (§II, §V):
+//!
+//! * [`RampMapper`] — RAMP-like (Dave et al., DAC 2018): iterative modulo
+//!   scheduling with height/fan-out priority variants, placement as a
+//!   max-clique-style backtracking search over the node×PE compatibility
+//!   structure, and explicit routing-node insertion when direct placement
+//!   fails (the capability SAT-MapIt lacks);
+//! * [`PathSeekerMapper`] — PathSeeker-like (Balasubramanian &
+//!   Shrivastava, DATE 2022): randomized iterative modulo scheduling with
+//!   restart-based exploration and local schedule adjustment after
+//!   placement failures.
+//!
+//! Both mappers target exactly the same architectural rules as the SAT
+//! mapper — every returned mapping passes
+//! [`satmapit_core::validate_mapping`] and register allocation — so the
+//! Figure-6/Table I–IV comparisons measure mapping quality, not rule
+//! differences.
+//!
+//! The building blocks ([`ims`] scheduling, [`place`] placement,
+//! [`routing`] transformations) are public for reuse and benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+pub mod ims;
+pub mod place;
+pub mod routing;
+
+mod pathseeker;
+mod ramp;
+
+pub use common::{BaselineConfig, BaselineFailure, BaselineMapped, BaselineOutcome};
+pub use pathseeker::PathSeekerMapper;
+pub use ramp::RampMapper;

@@ -1,0 +1,250 @@
+//! PathSeeker-like baseline (Balasubramanian & Shrivastava, DATE 2022):
+//! randomized iterative modulo scheduling (CRIMSON-style restarts) with
+//! failure analysis and local schedule adjustment between placement
+//! attempts. The paper runs it 10× per benchmark owing to its randomized
+//! nature; `attempts_per_ii` plays that role here.
+
+use crate::common::{BaselineConfig, BaselineFailure, BaselineMapped, BaselineOutcome};
+use crate::ims::{modulo_schedule, schedule_is_legal, Priority, Rng};
+use crate::place::{place, schedule_to_mapping, PlaceConfig};
+use satmapit_cgra::Cgra;
+use satmapit_core::validate_mapping;
+use satmapit_dfg::{Dfg, NodeId};
+use satmapit_regalloc::allocate;
+use satmapit_schedule::mii;
+use std::time::Instant;
+
+/// Number of local schedule adjustments tried after each failed placement.
+const ADJUST_ROUNDS: u32 = 4;
+
+/// The PathSeeker-like mapper.
+///
+/// ```
+/// use satmapit_baselines::PathSeekerMapper;
+/// use satmapit_cgra::Cgra;
+/// use satmapit_dfg::{Dfg, Op};
+///
+/// let mut dfg = Dfg::new("pair");
+/// let a = dfg.add_const(1);
+/// let b = dfg.add_node(Op::Neg);
+/// dfg.add_edge(a, b, 0);
+/// let cgra = Cgra::square(2);
+/// let outcome = PathSeekerMapper::new(&dfg, &cgra).run();
+/// assert_eq!(outcome.ii(), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct PathSeekerMapper<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    config: BaselineConfig,
+}
+
+impl<'a> PathSeekerMapper<'a> {
+    /// Creates a mapper with default configuration.
+    pub fn new(dfg: &'a Dfg, cgra: &'a Cgra) -> PathSeekerMapper<'a> {
+        PathSeekerMapper {
+            dfg,
+            cgra,
+            config: BaselineConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: BaselineConfig) -> PathSeekerMapper<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Runs the randomized iterative search.
+    pub fn run(&self) -> BaselineOutcome {
+        let t0 = Instant::now();
+        let deadline = self.config.timeout.map(|d| t0 + d);
+        let mut schedules_tried = 0u32;
+
+        if let Err(e) = self.dfg.validate() {
+            return BaselineOutcome {
+                result: Err(BaselineFailure::InvalidDfg(e)),
+                elapsed: t0.elapsed(),
+                schedules_tried,
+            };
+        }
+        let start = mii(self.dfg, self.cgra);
+
+        for ii in start..=self.config.max_ii {
+            for run in 0..self.config.attempts_per_ii {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        return BaselineOutcome {
+                            result: Err(BaselineFailure::Timeout { at_ii: ii }),
+                            elapsed: t0.elapsed(),
+                            schedules_tried,
+                        };
+                    }
+                }
+                let run_seed = self
+                    .config
+                    .seed
+                    .wrapping_add(u64::from(ii) << 32)
+                    .wrapping_add(u64::from(run));
+                schedules_tried += 1;
+                let Some(mut times) = modulo_schedule(
+                    self.dfg,
+                    self.cgra,
+                    ii,
+                    Priority::Random(run_seed),
+                    self.config.ims_budget_factor,
+                ) else {
+                    continue;
+                };
+                let mut rng = Rng::new(run_seed ^ 0x5EED);
+                for adjust in 0..=ADJUST_ROUNDS {
+                    let place_config = PlaceConfig {
+                        // PathSeeker's placement is a fast local search,
+                        // not an exhaustive one: keep the budget small and
+                        // rely on restarts/adjustments.
+                        budget: self.config.place_budget / 8,
+                        shuffle_seed: Some(run_seed.wrapping_add(u64::from(adjust))),
+                    };
+                    if let Some(pes) = place(self.dfg, self.cgra, &times, ii, &place_config) {
+                        let mapping = schedule_to_mapping(self.dfg, &times, &pes, ii);
+                        if validate_mapping(self.dfg, self.cgra, &mapping).is_err() {
+                            continue;
+                        }
+                        let live = satmapit_core::live_values(self.dfg, self.cgra, &mapping);
+                        if let Ok(registers) = allocate(
+                            &live,
+                            ii,
+                            self.cgra.regs_per_pe(),
+                            self.config.regalloc_budget,
+                        ) {
+                            return BaselineOutcome {
+                                result: Ok(BaselineMapped {
+                                    dfg: self.dfg.clone(),
+                                    mapping,
+                                    registers,
+                                    routes: 0,
+                                }),
+                                elapsed: t0.elapsed(),
+                                schedules_tried,
+                            };
+                        }
+                    }
+                    // Placement failed: local adjustment — nudge a random
+                    // node within its legal window and retry.
+                    if adjust < ADJUST_ROUNDS {
+                        if let Some(adjusted) = self.adjust(&times, ii, &mut rng) {
+                            times = adjusted;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        BaselineOutcome {
+            result: Err(BaselineFailure::IiCapReached {
+                cap: self.config.max_ii,
+            }),
+            elapsed: t0.elapsed(),
+            schedules_tried,
+        }
+    }
+
+    /// PathSeeker's "local adjustment": move one node a few cycles while
+    /// keeping the schedule legal (dependences and resource counts).
+    fn adjust(&self, times: &[u32], ii: u32, rng: &mut Rng) -> Option<Vec<u32>> {
+        let n = self.dfg.num_nodes();
+        for _ in 0..2 * n {
+            let v = rng.below(n);
+            let delta: i64 = match rng.below(4) {
+                0 => -2,
+                1 => -1,
+                2 => 1,
+                _ => 2,
+            };
+            let old = i64::from(times[v]);
+            let candidate = old + delta;
+            if candidate < 0 {
+                continue;
+            }
+            let mut adjusted = times.to_vec();
+            adjusted[v] = candidate as u32;
+            if schedule_is_legal(self.dfg, self.cgra, &adjusted, ii) {
+                return Some(adjusted);
+            }
+            let _ = NodeId(v as u32);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::Op;
+
+    #[test]
+    fn maps_accumulator_loop() {
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(1);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 0);
+        let cgra = Cgra::square(2);
+        let outcome = PathSeekerMapper::new(&dfg, &cgra).run();
+        let mapped = outcome.result.expect("mappable");
+        assert!(validate_mapping(&mapped.dfg, &cgra, &mapped.mapping).is_ok());
+        assert_eq!(mapped.routes, 0, "PathSeeker never inserts routes");
+    }
+
+    #[test]
+    fn respects_rec_mii() {
+        let mut dfg = Dfg::new("rec3");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        let cgra = Cgra::square(3);
+        let outcome = PathSeekerMapper::new(&dfg, &cgra).run();
+        assert!(outcome.ii().unwrap() >= 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut dfg = Dfg::new("mix");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Add);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(a, c, 0);
+        dfg.add_edge(b, c, 1);
+        let cgra = Cgra::square(2);
+        let r1 = PathSeekerMapper::new(&dfg, &cgra).run();
+        let r2 = PathSeekerMapper::new(&dfg, &cgra).run();
+        assert_eq!(r1.ii(), r2.ii());
+        assert_eq!(r1.schedules_tried, r2.schedules_tried);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_valid() {
+        let mut dfg = Dfg::new("w");
+        let a = dfg.add_const(1);
+        for _ in 0..5 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(a, n, 0);
+        }
+        let cgra = Cgra::square(2);
+        for seed in [1u64, 2, 3] {
+            let config = BaselineConfig {
+                seed,
+                ..BaselineConfig::default()
+            };
+            let outcome = PathSeekerMapper::new(&dfg, &cgra).with_config(config).run();
+            if let Ok(m) = outcome.result {
+                assert!(validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok(), "seed {seed}");
+            }
+        }
+    }
+}

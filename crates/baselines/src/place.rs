@@ -1,0 +1,344 @@
+//! Placement of a modulo schedule onto the PE array.
+//!
+//! This is the baselines' counterpart of REGIMap/RAMP's max-clique search:
+//! finding one PE per node such that mutual compatibility holds is exactly
+//! finding an `n`-clique in the node×PE compatibility graph. We implement
+//! it as class-based backtracking with forward checking and a step budget
+//! (each DFG node is a clique "class"; candidates are its compatible PEs),
+//! plus window *reservations* that model the output-register lifetime of
+//! cross-PE transfers.
+
+use crate::ims::Rng;
+use satmapit_cgra::{Cgra, PeId};
+use satmapit_dfg::{Dfg, NodeId};
+
+/// Placement search configuration.
+#[derive(Debug, Clone)]
+pub struct PlaceConfig {
+    /// Maximum number of candidate trials before giving up.
+    pub budget: u64,
+    /// Shuffle candidate PEs (randomized baselines).
+    pub shuffle_seed: Option<u64>,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> PlaceConfig {
+        PlaceConfig {
+            budget: 200_000,
+            shuffle_seed: None,
+        }
+    }
+}
+
+struct Searcher<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    times: &'a [u32],
+    ii: u32,
+    order: Vec<usize>,
+    /// occupant node per (pe, slot), `usize::MAX` = free.
+    occupied: Vec<usize>,
+    /// reservation count per (pe, slot) from cross-PE transfer windows.
+    reserved: Vec<u32>,
+    place: Vec<Option<PeId>>,
+    budget: u64,
+    rng: Option<Rng>,
+}
+
+const FREE: usize = usize::MAX;
+
+impl<'a> Searcher<'a> {
+    fn idx(&self, pe: PeId, slot: u32) -> usize {
+        pe.index() * self.ii as usize + slot as usize
+    }
+
+    fn slot_of(&self, v: usize) -> u32 {
+        self.times[v] % self.ii
+    }
+
+    /// The window slots (on the producer's PE) of a cross-PE edge.
+    fn window(&self, s: usize, d: usize, dist: u32) -> Vec<u32> {
+        let ii = i64::from(self.ii);
+        let ts = i64::from(self.times[s]);
+        let td = i64::from(self.times[d]);
+        let delta = td - ts + i64::from(dist) * ii;
+        (1..delta).map(|k| ((ts + k) % ii) as u32).collect()
+    }
+
+    /// Checks `v @ pe` against everything already placed.
+    fn compatible(&self, v: usize, pe: PeId) -> bool {
+        let node = NodeId(v as u32);
+        if !self.cgra.supports_op(pe, self.dfg.node(node).op) {
+            return false;
+        }
+        let slot = self.slot_of(v);
+        let at = self.idx(pe, slot);
+        if self.occupied[at] != FREE || self.reserved[at] > 0 {
+            return false;
+        }
+        // Edge compatibility with placed endpoints.
+        for (_, e) in self.dfg.edges() {
+            let (s, d) = (e.src.index(), e.dst.index());
+            if s == d {
+                continue;
+            }
+            let other = if s == v {
+                d
+            } else if d == v {
+                s
+            } else {
+                continue;
+            };
+            let Some(q) = self.place[other] else { continue };
+            let (ps, pd) = if s == v { (pe, q) } else { (q, pe) };
+            if ps != pd && !self.cgra.adjacent_or_same(ps, pd) {
+                return false;
+            }
+            if ps != pd {
+                // Output-register window on the producer PE must be free of
+                // occupants, and conversely v must not land in a slot that
+                // the edge will reserve.
+                for w in self.window(s, d, e.distance) {
+                    let wi = self.idx(ps, w);
+                    if self.occupied[wi] != FREE {
+                        return false;
+                    }
+                }
+            } else {
+                // Same-PE transfer: schedule-level window already ensures
+                // 1 <= Δ <= II; colliding slots are impossible unless
+                // Δ == II (same slot), which same-PE placement forbids.
+                if self.slot_of(s) == self.slot_of(d) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn apply(&mut self, v: usize, pe: PeId, delta: i32) {
+        let slot = self.slot_of(v);
+        let at = self.idx(pe, slot);
+        if delta > 0 {
+            self.occupied[at] = v;
+            self.place[v] = Some(pe);
+        } else {
+            self.occupied[at] = FREE;
+            self.place[v] = None;
+        }
+        // Update reservations of every edge that now has both endpoints.
+        for (_, e) in self.dfg.edges() {
+            let (s, d) = (e.src.index(), e.dst.index());
+            if s == d || (s != v && d != v) {
+                continue;
+            }
+            let (Some(ps), Some(pd)) = (
+                if s == v { Some(pe) } else { self.place[s] },
+                if d == v { Some(pe) } else { self.place[d] },
+            ) else {
+                continue;
+            };
+            if ps == pd {
+                continue;
+            }
+            for w in self.window(s, d, e.distance) {
+                let wi = self.idx(ps, w);
+                if delta > 0 {
+                    self.reserved[wi] += 1;
+                } else {
+                    self.reserved[wi] -= 1;
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, pos: usize) -> Result<bool, ()> {
+        if pos == self.order.len() {
+            return Ok(true);
+        }
+        let v = self.order[pos];
+        let mut candidates: Vec<PeId> = self.cgra.pes().collect();
+        if let Some(rng) = self.rng.as_mut() {
+            rng.shuffle(&mut candidates);
+        }
+        for pe in candidates {
+            if self.budget == 0 {
+                return Err(());
+            }
+            self.budget -= 1;
+            if !self.compatible(v, pe) {
+                continue;
+            }
+            self.apply(v, pe, 1);
+            match self.search(pos + 1) {
+                Ok(true) => return Ok(true),
+                Ok(false) => self.apply(v, pe, -1),
+                Err(()) => return Err(()),
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Searches for a placement of `times` onto the array. Returns one PE per
+/// node, or `None` when the search fails or exhausts its budget.
+pub fn place(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    times: &[u32],
+    ii: u32,
+    config: &PlaceConfig,
+) -> Option<Vec<PeId>> {
+    let n = dfg.num_nodes();
+    // Most-constrained-first: high connectivity, then early schedule time.
+    let mut order: Vec<usize> = (0..n).collect();
+    let degree = |v: usize| {
+        dfg.in_edges(NodeId(v as u32)).len() + dfg.out_edges(NodeId(v as u32)).len()
+    };
+    order.sort_by_key(|&v| (std::cmp::Reverse(degree(v)), times[v]));
+
+    let mut searcher = Searcher {
+        dfg,
+        cgra,
+        times,
+        ii,
+        order,
+        occupied: vec![FREE; cgra.num_pes() * ii as usize],
+        reserved: vec![0; cgra.num_pes() * ii as usize],
+        place: vec![None; n],
+        budget: config.budget,
+        rng: config.shuffle_seed.map(Rng::new),
+    };
+    match searcher.search(0) {
+        Ok(true) => Some(
+            searcher
+                .place
+                .into_iter()
+                .map(|p| p.expect("complete placement"))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Converts a (times, pes) schedule/placement pair into a core
+/// [`Mapping`](satmapit_core::Mapping) for validation, register allocation
+/// and simulation.
+pub fn schedule_to_mapping(
+    dfg: &Dfg,
+    times: &[u32],
+    pes: &[PeId],
+    ii: u32,
+) -> satmapit_core::Mapping {
+    use satmapit_core::{Mapping, Placement, TransferKind};
+    let folds = times.iter().map(|&t| t / ii + 1).max().unwrap_or(1);
+    let placements = (0..dfg.num_nodes())
+        .map(|v| Placement {
+            pe: pes[v],
+            cycle: times[v] % ii,
+            fold: times[v] / ii,
+        })
+        .collect();
+    let transfers = dfg
+        .edges()
+        .map(|(_, e)| {
+            if pes[e.src.index()] == pes[e.dst.index()] {
+                TransferKind::SamePeRegister
+            } else {
+                TransferKind::NeighborOutput
+            }
+        })
+        .collect();
+    Mapping {
+        ii,
+        folds,
+        placements,
+        transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ims::{modulo_schedule, Priority};
+    use satmapit_core::validate_mapping;
+    use satmapit_dfg::Op;
+    use satmapit_schedule::mii;
+
+    fn to_mapping(dfg: &Dfg, times: &[u32], pes: &[PeId], ii: u32) -> satmapit_core::Mapping {
+        schedule_to_mapping(dfg, times, pes, ii)
+    }
+
+    #[test]
+    fn placed_schedule_validates() {
+        let mut dfg = Dfg::new("mix");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        let d = dfg.add_node(Op::Add);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(a, c, 0);
+        dfg.add_edge(b, d, 0);
+        dfg.add_edge(c, d, 1);
+        let cgra = Cgra::square(2);
+        let ii = mii(&dfg, &cgra);
+        let times = modulo_schedule(&dfg, &cgra, ii, Priority::Height, 30).unwrap();
+        let pes = place(&dfg, &cgra, &times, ii, &PlaceConfig::default()).unwrap();
+        let mapping = to_mapping(&dfg, &times, &pes, ii);
+        assert!(validate_mapping(&dfg, &cgra, &mapping).is_ok());
+    }
+
+    #[test]
+    fn impossible_placement_returns_none() {
+        // 5 nodes all forced to slot 0 of a 2x2 (ii=1, 4 PEs): placement
+        // must fail (the schedule itself is illegal, but place() should
+        // still reject gracefully).
+        let mut dfg = Dfg::new("par5");
+        for i in 0..5 {
+            let _ = dfg.add_const(i);
+        }
+        let cgra = Cgra::square(2);
+        let times = vec![0; 5];
+        assert!(place(&dfg, &cgra, &times, 1, &PlaceConfig::default()).is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_gracefully() {
+        let mut dfg = Dfg::new("wide");
+        let src = dfg.add_const(1);
+        for _ in 0..6 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(src, n, 0);
+        }
+        let cgra = Cgra::square(3);
+        let times: Vec<u32> = vec![0, 1, 1, 1, 1, 1, 1];
+        let config = PlaceConfig {
+            budget: 2,
+            shuffle_seed: None,
+        };
+        assert!(place(&dfg, &cgra, &times, 2, &config).is_none());
+    }
+
+    #[test]
+    fn shuffled_placement_still_valid() {
+        let mut dfg = Dfg::new("chain");
+        let mut prev = dfg.add_const(1);
+        for _ in 0..5 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(prev, n, 0);
+            prev = n;
+        }
+        let cgra = Cgra::square(3);
+        let ii = 2;
+        let times = modulo_schedule(&dfg, &cgra, ii, Priority::Height, 30).unwrap();
+        for seed in 1..6 {
+            let config = PlaceConfig {
+                budget: 100_000,
+                shuffle_seed: Some(seed),
+            };
+            let pes = place(&dfg, &cgra, &times, ii, &config).unwrap();
+            let mapping = to_mapping(&dfg, &times, &pes, ii);
+            assert!(validate_mapping(&dfg, &cgra, &mapping).is_ok(), "seed {seed}");
+        }
+    }
+}

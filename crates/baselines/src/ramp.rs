@@ -1,0 +1,260 @@
+//! RAMP-like baseline (Dave et al., DAC 2018): iterative modulo scheduling
+//! with deterministic priority variants, max-clique-style placement, and
+//! escalating insertion of explicit routing nodes when placement fails.
+
+use crate::common::{BaselineConfig, BaselineFailure, BaselineMapped, BaselineOutcome};
+use crate::ims::{modulo_schedule, Priority};
+use crate::place::{place, schedule_to_mapping, PlaceConfig};
+use crate::routing::{insert_route, route_candidates};
+use satmapit_cgra::Cgra;
+use satmapit_core::validate_mapping;
+use satmapit_dfg::Dfg;
+use satmapit_regalloc::allocate;
+use satmapit_schedule::mii;
+use std::time::Instant;
+
+/// The RAMP-like mapper.
+///
+/// ```
+/// use satmapit_baselines::RampMapper;
+/// use satmapit_cgra::Cgra;
+/// use satmapit_dfg::{Dfg, Op};
+///
+/// let mut dfg = Dfg::new("pair");
+/// let a = dfg.add_const(1);
+/// let b = dfg.add_node(Op::Neg);
+/// dfg.add_edge(a, b, 0);
+/// let cgra = Cgra::square(2);
+/// let outcome = RampMapper::new(&dfg, &cgra).run();
+/// assert_eq!(outcome.ii(), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct RampMapper<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    config: BaselineConfig,
+}
+
+impl<'a> RampMapper<'a> {
+    /// Creates a mapper with default configuration.
+    pub fn new(dfg: &'a Dfg, cgra: &'a Cgra) -> RampMapper<'a> {
+        RampMapper {
+            dfg,
+            cgra,
+            config: BaselineConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: BaselineConfig) -> RampMapper<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Runs the iterative search.
+    pub fn run(&self) -> BaselineOutcome {
+        let t0 = Instant::now();
+        let deadline = self.config.timeout.map(|d| t0 + d);
+        let mut schedules_tried = 0u32;
+
+        if let Err(e) = self.dfg.validate() {
+            return BaselineOutcome {
+                result: Err(BaselineFailure::InvalidDfg(e)),
+                elapsed: t0.elapsed(),
+                schedules_tried,
+            };
+        }
+        let start = mii(self.dfg, self.cgra);
+
+        for ii in start..=self.config.max_ii {
+            // Routing escalation: start from the plain DFG, add routes on
+            // placement failure.
+            let mut current = self.dfg.clone();
+            let mut routes = 0u32;
+            loop {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        return BaselineOutcome {
+                            result: Err(BaselineFailure::Timeout { at_ii: ii }),
+                            elapsed: t0.elapsed(),
+                            schedules_tried,
+                        };
+                    }
+                }
+                let variants = self.variants(ii, routes);
+                for variant in variants {
+                    schedules_tried += 1;
+                    let Some(times) = modulo_schedule(
+                        &current,
+                        self.cgra,
+                        ii,
+                        variant,
+                        self.config.ims_budget_factor,
+                    ) else {
+                        continue;
+                    };
+                    let place_config = PlaceConfig {
+                        budget: self.config.place_budget,
+                        shuffle_seed: None,
+                    };
+                    let Some(pes) = place(&current, self.cgra, &times, ii, &place_config)
+                    else {
+                        continue;
+                    };
+                    let mapping = schedule_to_mapping(&current, &times, &pes, ii);
+                    if validate_mapping(&current, self.cgra, &mapping).is_err() {
+                        // Heuristic produced an invalid mapping: reject it
+                        // honestly and keep searching.
+                        continue;
+                    }
+                    let live = satmapit_core::live_values(&current, self.cgra, &mapping);
+                    match allocate(
+                        &live,
+                        ii,
+                        self.cgra.regs_per_pe(),
+                        self.config.regalloc_budget,
+                    ) {
+                        Ok(registers) => {
+                            return BaselineOutcome {
+                                result: Ok(BaselineMapped {
+                                    dfg: current,
+                                    mapping,
+                                    registers,
+                                    routes,
+                                }),
+                                elapsed: t0.elapsed(),
+                                schedules_tried,
+                            };
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Escalate: add one routing node and retry this II.
+                if routes >= self.config.routing_budget {
+                    break;
+                }
+                let cands = route_candidates(&current);
+                let Some(&edge) = cands.first() else { break };
+                current = insert_route(&current, edge);
+                routes += 1;
+            }
+        }
+        BaselineOutcome {
+            result: Err(BaselineFailure::IiCapReached {
+                cap: self.config.max_ii,
+            }),
+            elapsed: t0.elapsed(),
+            schedules_tried,
+        }
+    }
+
+    fn variants(&self, ii: u32, routes: u32) -> Vec<Priority> {
+        let mut v = vec![Priority::Height, Priority::HeightFanout];
+        let extra = self.config.attempts_per_ii.saturating_sub(2);
+        for k in 0..extra {
+            v.push(Priority::Random(
+                self.config
+                    .seed
+                    .wrapping_add(u64::from(ii) << 24)
+                    .wrapping_add(u64::from(routes) << 16)
+                    .wrapping_add(u64::from(k)),
+            ));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::Op;
+
+    #[test]
+    fn maps_simple_chain_at_ii_one() {
+        let mut dfg = Dfg::new("chain");
+        let mut prev = dfg.add_const(1);
+        for _ in 0..3 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(prev, n, 0);
+            prev = n;
+        }
+        let cgra = Cgra::square(2);
+        let outcome = RampMapper::new(&dfg, &cgra).run();
+        assert_eq!(outcome.ii(), Some(1));
+        let mapped = outcome.result.unwrap();
+        assert!(validate_mapping(&mapped.dfg, &cgra, &mapped.mapping).is_ok());
+    }
+
+    #[test]
+    fn high_fanout_triggers_routing() {
+        // One producer with 7 consumers: on a 3x3 the producer has at most
+        // 4 neighbours + itself; with II=1 placement is impossible without
+        // routing, so a success with low II implies routing kicked in or II
+        // grew. Either way the result must validate on the *returned* DFG.
+        let mut dfg = Dfg::new("fan7");
+        let src = dfg.add_const(1);
+        for _ in 0..7 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(src, n, 0);
+        }
+        let cgra = Cgra::square(3);
+        let outcome = RampMapper::new(&dfg, &cgra).run();
+        let mapped = outcome.result.expect("mappable with routing or larger II");
+        assert!(validate_mapping(&mapped.dfg, &cgra, &mapped.mapping).is_ok());
+        assert!(mapped.dfg.num_nodes() >= dfg.num_nodes());
+    }
+
+    #[test]
+    fn reports_ii_cap() {
+        let mut dfg = Dfg::new("rec");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_back_edge(b, a, 0, 1, 0);
+        let cgra = Cgra::square(2);
+        let config = BaselineConfig {
+            max_ii: 1, // RecMII is 2: cap below it
+            ..BaselineConfig::default()
+        };
+        let outcome = RampMapper::new(&dfg, &cgra).with_config(config).run();
+        assert_eq!(
+            outcome.result.unwrap_err(),
+            BaselineFailure::IiCapReached { cap: 1 }
+        );
+    }
+
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let mut dfg = Dfg::new("pair");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        let cgra = Cgra::square(2);
+        let config = BaselineConfig {
+            timeout: Some(std::time::Duration::from_secs(0)),
+            ..BaselineConfig::default()
+        };
+        let outcome = RampMapper::new(&dfg, &cgra).with_config(config).run();
+        assert!(matches!(
+            outcome.result,
+            Err(BaselineFailure::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut dfg = Dfg::new("mix");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        let d = dfg.add_node(Op::Add);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(a, c, 0);
+        dfg.add_edge(b, d, 0);
+        dfg.add_edge(c, d, 1);
+        let cgra = Cgra::square(2);
+        let r1 = RampMapper::new(&dfg, &cgra).run();
+        let r2 = RampMapper::new(&dfg, &cgra).run();
+        assert_eq!(r1.ii(), r2.ii());
+    }
+}

@@ -1,0 +1,92 @@
+//! Explicit routing nodes (RAMP's key capability, paper §II).
+//!
+//! When a value cannot reach its consumer directly — the PEs are not
+//! adjacent, or the transfer window is longer than II — a `Route` node can
+//! carry it through an intermediate PE/cycle. SAT-MapIt deliberately lacks
+//! this (its stated limitation, visible on `sha` at 5×5); the RAMP-like
+//! baseline uses it.
+
+use satmapit_dfg::{Dfg, NodeId, Op};
+
+// The transformations are shared with the SAT mapper's routing extension;
+// the canonical implementations live in `satmapit_dfg::transform`.
+pub use satmapit_dfg::transform::{insert_route, route_candidates};
+
+/// `true` if node `n` is a routing node added by [`insert_route`].
+pub fn is_route(dfg: &Dfg, n: NodeId) -> bool {
+    dfg.node(n).op == Op::Route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::interp::interpret;
+    use satmapit_dfg::EdgeId;
+
+    fn sample() -> Dfg {
+        let mut dfg = Dfg::new("s");
+        let a = dfg.add_const(5);
+        let b = dfg.add_node(Op::Neg);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 100);
+        dfg
+    }
+
+    #[test]
+    fn routing_preserves_semantics() {
+        let dfg = sample();
+        let reference = interpret(&dfg, vec![], 5).unwrap();
+        for (eid, _) in dfg.edges().collect::<Vec<_>>() {
+            let routed = insert_route(&dfg, eid);
+            assert!(routed.validate().is_ok(), "edge {eid:?}");
+            assert_eq!(routed.num_nodes(), dfg.num_nodes() + 1);
+            let r = interpret(&routed, vec![], 5).unwrap();
+            for n in dfg.node_ids() {
+                for i in 0..5 {
+                    assert_eq!(
+                        reference.values[i][n.index()],
+                        r.values[i][n.index()],
+                        "edge {eid:?} node {n} iter {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn back_edge_routing_moves_distance_to_second_leg() {
+        let dfg = sample();
+        // Edge 2 is the back edge acc -> acc.
+        let routed = insert_route(&dfg, EdgeId(2));
+        let route_node = NodeId(3);
+        assert!(is_route(&routed, route_node));
+        let in_edges = routed.in_edges(route_node);
+        assert_eq!(routed.edge(in_edges[0]).distance, 0, "first leg same-iter");
+        // The leg into acc keeps distance 1.
+        let acc_ins = routed.in_edges(NodeId(2));
+        let back = acc_ins
+            .iter()
+            .map(|&e| routed.edge(e))
+            .find(|e| e.src == route_node)
+            .unwrap();
+        assert_eq!(back.distance, 1);
+        assert_eq!(back.init, 100);
+    }
+
+    #[test]
+    fn candidates_prefer_high_fanout() {
+        let mut dfg = Dfg::new("fan");
+        let hub = dfg.add_const(1);
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(hub, a, 0);
+        dfg.add_edge(hub, b, 0);
+        dfg.add_edge(a, c, 0);
+        let cands = route_candidates(&dfg);
+        let first = dfg.edge(cands[0]);
+        assert_eq!(first.src, hub, "hub edges ranked first");
+    }
+}

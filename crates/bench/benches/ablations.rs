@@ -1,0 +1,102 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! * at-most-one encoding (the paper's pairwise Eq. 1/2 vs sequential),
+//! * the C4 register-pressure constraints (extension) vs pure post-hoc
+//!   register allocation (the paper's flow),
+//! * mobility-window slack (paper-strict `Zero` vs the default
+//!   `FullWheel`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satmapit_cgra::Cgra;
+use satmapit_core::encoder::{encode_with_options, EncodeOptions};
+use satmapit_core::{Mapper, MapperConfig, SlackPolicy};
+use satmapit_sat::encode::AmoEncoding;
+use satmapit_sat::Solver;
+use satmapit_schedule::{Kms, MobilitySchedule};
+
+fn bench_amo_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_amo");
+    group.sample_size(10);
+    let kernel = satmapit_kernels::by_name("gsm").unwrap();
+    let cgra = Cgra::square(3);
+    let ms = MobilitySchedule::compute(&kernel.dfg).unwrap();
+    let kms = Kms::build_with_slack(&ms, 4, 3);
+    for (label, amo) in [
+        ("pairwise", AmoEncoding::Pairwise),
+        ("sequential", AmoEncoding::Sequential),
+        ("auto", AmoEncoding::Auto),
+    ] {
+        group.bench_with_input(BenchmarkId::new("gsm_ii4", label), &amo, |b, &amo| {
+            b.iter(|| {
+                let enc = encode_with_options(
+                    &kernel.dfg,
+                    &cgra,
+                    &kms,
+                    EncodeOptions {
+                        amo,
+                        register_pressure: true,
+                    },
+                )
+                .unwrap();
+                Solver::from_cnf(&enc.formula).solve()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_register_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pressure");
+    group.sample_size(10);
+    let kernel = satmapit_kernels::by_name("sha").unwrap();
+    let cgra = Cgra::square(3);
+    for (label, pressure) in [("c4_encoded", true), ("posthoc_ra", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("sha_3x3", label),
+            &pressure,
+            |b, &pressure| {
+                b.iter(|| {
+                    let config = MapperConfig {
+                        max_ii: 20,
+                        register_pressure: pressure,
+                        ..MapperConfig::default()
+                    };
+                    let outcome = Mapper::new(&kernel.dfg, &cgra).with_config(config).run();
+                    assert!(outcome.ii().is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_slack_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_slack");
+    group.sample_size(10);
+    let kernel = satmapit_kernels::by_name("bitcount").unwrap();
+    let cgra = Cgra::square(4);
+    for (label, slack) in [
+        ("paper_zero", SlackPolicy::Zero),
+        ("full_wheel", SlackPolicy::FullWheel),
+    ] {
+        group.bench_with_input(BenchmarkId::new("bitcount_4x4", label), &slack, |b, &slack| {
+            b.iter(|| {
+                let config = MapperConfig {
+                    max_ii: 20,
+                    slack,
+                    ..MapperConfig::default()
+                };
+                Mapper::new(&kernel.dfg, &cgra).with_config(config).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_amo_encodings,
+    bench_register_pressure,
+    bench_slack_policy
+);
+criterion_main!(benches);

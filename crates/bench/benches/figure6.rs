@@ -1,0 +1,37 @@
+//! Figure 6 cells as Criterion benchmarks: end-to-end SAT-MapIt mapping
+//! time per (kernel, mesh size). The full sweep (all kernels, all sizes,
+//! with failure marks) is produced by the `repro` binary; Criterion runs
+//! the fast cells repeatedly for stable timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satmapit_cgra::Cgra;
+use satmapit_core::{Mapper, MapperConfig};
+
+fn bench_figure6_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_satmapit");
+    group.sample_size(10);
+    for name in ["srand", "basicmath", "gsm", "sha2", "nw"] {
+        let kernel = satmapit_kernels::by_name(name).unwrap();
+        for size in [2u16, 3, 4] {
+            let cgra = Cgra::square(size);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{size}x{size}")),
+                &cgra,
+                |b, cgra| {
+                    b.iter(|| {
+                        let config = MapperConfig {
+                            max_ii: 20,
+                            ..MapperConfig::default()
+                        };
+                        let outcome = Mapper::new(&kernel.dfg, cgra).with_config(config).run();
+                        assert!(outcome.ii().is_some(), "{name} must map");
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure6_cells);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Micro-benchmarks of the substrates: SAT solving, constraint encoding,
+//! schedule construction, clique search and colouring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satmapit_cgra::Cgra;
+use satmapit_core::encoder::encode;
+use satmapit_graphs::{clique, coloring, UnGraph};
+use satmapit_sat::encode::AmoEncoding;
+use satmapit_sat::{CnfFormula, Lit, SolveResult, Solver};
+use satmapit_schedule::{Kms, MobilitySchedule};
+
+fn pigeonhole(holes: usize) -> CnfFormula {
+    let pigeons = holes + 1;
+    let mut f = CnfFormula::new();
+    let mut var = vec![vec![Lit::from_code(0); holes]; pigeons];
+    for p in 0..pigeons {
+        for h in 0..holes {
+            var[p][h] = f.new_var().positive();
+        }
+    }
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| var[p][h]).collect();
+        f.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                f.add_clause(&[!var[p1][h], !var[p2][h]]);
+            }
+        }
+    }
+    f
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(20);
+    for holes in [6usize, 7] {
+        let f = pigeonhole(holes);
+        group.bench_with_input(BenchmarkId::new("pigeonhole_unsat", holes), &f, |b, f| {
+            b.iter(|| {
+                let mut s = Solver::from_cnf(f);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    // A satisfiable mapping instance: the paper example at II=3 on 2x2.
+    let kernel = satmapit_kernels::paper_example();
+    let cgra = Cgra::square(2);
+    let ms = MobilitySchedule::compute(&kernel.dfg).unwrap();
+    let kms = Kms::build_with_slack(&ms, 3, 2);
+    let enc = encode(&kernel.dfg, &cgra, &kms, AmoEncoding::Auto).unwrap();
+    group.bench_function("paper_example_ii3_sat", |b| {
+        b.iter(|| {
+            let mut s = Solver::from_cnf(&enc.formula);
+            assert_eq!(s.solve(), SolveResult::Sat);
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(20);
+    let kernel = satmapit_kernels::by_name("patricia").unwrap();
+    for size in [2u16, 4] {
+        let cgra = Cgra::square(size);
+        let ms = MobilitySchedule::compute(&kernel.dfg).unwrap();
+        let kms = Kms::build_with_slack(&ms, 6, 5);
+        group.bench_with_input(
+            BenchmarkId::new("patricia_ii6", size),
+            &(cgra, kms),
+            |b, (cgra, kms)| {
+                b.iter(|| encode(&kernel.dfg, cgra, kms, AmoEncoding::Auto).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    for name in ["sha", "hotspot"] {
+        let kernel = satmapit_kernels::by_name(name).unwrap();
+        group.bench_function(BenchmarkId::new("mobility", name), |b| {
+            b.iter(|| MobilitySchedule::compute(&kernel.dfg).unwrap())
+        });
+        let ms = MobilitySchedule::compute(&kernel.dfg).unwrap();
+        group.bench_function(BenchmarkId::new("kms_fold", name), |b| {
+            b.iter(|| Kms::build_with_slack(&ms, 4, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs");
+    // Planted clique.
+    let mut g = UnGraph::new(40);
+    let planted = [3usize, 9, 15, 21, 27, 33, 39];
+    for (i, &u) in planted.iter().enumerate() {
+        for &v in &planted[i + 1..] {
+            g.add_edge(u, v);
+        }
+    }
+    for k in 0..40 {
+        g.add_edge(k, (k + 2) % 40);
+    }
+    group.bench_function("max_clique_40", |b| {
+        b.iter(|| clique::max_clique(&g, 1_000_000))
+    });
+    // Colouring a wheel-ish interference graph.
+    let mut ig = UnGraph::new(24);
+    for u in 0..24 {
+        for d in 1..4 {
+            ig.add_edge(u, (u + d) % 24);
+        }
+    }
+    group.bench_function("exact_coloring_24", |b| {
+        b.iter(|| coloring::exact_k_coloring(&ig, 4, 1_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_encoding, bench_schedules, bench_graphs);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Tables I–IV as Criterion benchmarks: mapping *time* per mapper on
+//! representative benchmarks (the full timing tables over all cells come
+//! from the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satmapit_baselines::{BaselineConfig, PathSeekerMapper, RampMapper};
+use satmapit_cgra::Cgra;
+use satmapit_core::{Mapper, MapperConfig};
+
+fn bench_mapping_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableII_3x3");
+    group.sample_size(10);
+    let cgra = Cgra::square(3);
+    for name in ["srand", "gsm", "nw"] {
+        let kernel = satmapit_kernels::by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("satmapit", name), &kernel, |b, k| {
+            b.iter(|| {
+                let config = MapperConfig {
+                    max_ii: 20,
+                    ..MapperConfig::default()
+                };
+                Mapper::new(&k.dfg, &cgra).with_config(config).run()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ramp", name), &kernel, |b, k| {
+            b.iter(|| {
+                let config = BaselineConfig {
+                    max_ii: 20,
+                    ..BaselineConfig::default()
+                };
+                RampMapper::new(&k.dfg, &cgra).with_config(config).run()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pathseeker", name), &kernel, |b, k| {
+            b.iter(|| {
+                let config = BaselineConfig {
+                    max_ii: 20,
+                    ..BaselineConfig::default()
+                };
+                PathSeekerMapper::new(&k.dfg, &cgra).with_config(config).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping_time);
+criterion_main!(benches);

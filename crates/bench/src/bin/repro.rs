@@ -1,0 +1,106 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```sh
+//! repro figure6 [--timeout 60] [--sizes 2,3,4,5] [--kernels sha,gsm] [--out results/]
+//! repro table 2            # Table I (2x2) … table 5 = Table IV (5x5)
+//! repro summary
+//! repro all                # everything, plus CSV dump
+//! ```
+//!
+//! Timings are machine-local; the paper's shape (who wins, where the
+//! crossovers fall) is the reproduction target, not absolute seconds.
+
+use satmapit_bench::{report, run_grid, GridConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let mut config = GridConfig::default();
+    let mut out_dir: Option<String> = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                let secs: u64 = args[i].parse().expect("--timeout takes seconds");
+                config.timeout = Duration::from_secs(secs);
+            }
+            "--sizes" => {
+                i += 1;
+                config.sizes = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes takes e.g. 2,3,4,5"))
+                    .collect();
+            }
+            "--kernels" => {
+                i += 1;
+                config.kernels = args[i].split(',').map(str::to_string).collect();
+            }
+            "--max-ii" => {
+                i += 1;
+                config.max_ii = args[i].parse().expect("--max-ii takes an integer");
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args[i].clone());
+            }
+            other => {
+                // `table N` consumes its argument below.
+                if command != "table" || i != 1 {
+                    panic!("unknown argument `{other}`");
+                }
+            }
+        }
+        i += 1;
+    }
+
+    match command {
+        "figure6" => {
+            let cells = run_grid(&config);
+            print!("{}", report::figure6(&cells, &config.sizes, &config.kernels));
+            dump(&cells, out_dir.as_deref());
+        }
+        "table" => {
+            let size: u16 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .expect("usage: repro table <2|3|4|5>");
+            config.sizes = vec![size];
+            let cells = run_grid(&config);
+            print!("{}", report::table(&cells, size, &config.kernels));
+            dump(&cells, out_dir.as_deref());
+        }
+        "summary" => {
+            let cells = run_grid(&config);
+            print!("{}", report::summary(&cells, &config.sizes, &config.kernels));
+            dump(&cells, out_dir.as_deref());
+        }
+        "all" => {
+            let cells = run_grid(&config);
+            print!("{}", report::figure6(&cells, &config.sizes, &config.kernels));
+            for &size in &config.sizes {
+                print!("{}", report::table(&cells, size, &config.kernels));
+            }
+            print!("{}", report::summary(&cells, &config.sizes, &config.kernels));
+            dump(&cells, out_dir.as_deref());
+        }
+        other => {
+            eprintln!("unknown command `{other}`; use figure6|table|summary|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dump(cells: &[satmapit_bench::Cell], out_dir: Option<&str>) {
+    let Some(dir) = out_dir else { return };
+    std::fs::create_dir_all(dir).expect("create out dir");
+    let path = format!("{dir}/cells.csv");
+    std::fs::write(&path, report::to_csv(cells)).expect("write csv");
+    eprintln!("[repro] wrote {path}");
+}

@@ -1,0 +1,263 @@
+//! Rendering of the paper's figures and tables from measured grid cells.
+
+use crate::{best_baseline, cell_of, Cell, CellResult, MapperKind};
+use std::fmt::Write as _;
+
+/// Renders Figure 6: per mesh size, the II achieved by SAT-MapIt vs the
+/// best of the heuristic baselines, with ✕ marks for failures
+/// (`✕T` = timeout / red, `✕C` = II cap / black).
+pub fn figure6(cells: &[Cell], sizes: &[u16], kernels: &[String]) -> String {
+    let mut out = String::new();
+    for &size in sizes {
+        let _ = writeln!(out, "── Figure 6 panel: {size}x{size} CGRA ──");
+        let _ = writeln!(
+            out,
+            " {:<13} | {:>11} | {:>9} | Δ",
+            "benchmark", "SoA(best)", "SAT-MapIt"
+        );
+        let _ = writeln!(out, " {:-<13}-+-{:-<11}-+-{:-<9}-+----", "", "", "");
+        for kernel in kernels {
+            let soa = best_baseline(cells, kernel, size);
+            let sat = cell_of(cells, kernel, size, MapperKind::SatMapIt);
+            let fmt = |c: &Option<Cell>| match c.as_ref().map(|c| c.result) {
+                Some(CellResult::Mapped { ii, routes }) => {
+                    if routes > 0 {
+                        format!("{ii} (+{routes}r)")
+                    } else {
+                        format!("{ii}")
+                    }
+                }
+                Some(CellResult::Timeout) => "✕T".to_string(),
+                Some(CellResult::IiCap) => "✕C".to_string(),
+                None => "?".to_string(),
+            };
+            let delta = match (
+                soa.as_ref().and_then(|c| c.result.ii()),
+                sat.as_ref().and_then(|c| c.result.ii()),
+            ) {
+                (Some(a), Some(b)) if b < a => format!("SAT -{}", a - b),
+                (Some(a), Some(b)) if b > a => format!("SoA -{}", b - a),
+                (Some(_), Some(_)) => "tie".to_string(),
+                (None, Some(_)) => "SAT only".to_string(),
+                (Some(_), None) => "SoA only".to_string(),
+                (None, None) => "both ✕".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                " {:<13} | {:>11} | {:>9} | {delta}",
+                kernel,
+                fmt(&soa),
+                fmt(&sat)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders one of Tables I–IV: mapping time in seconds for the given mesh
+/// size (paper numbering: Table I = 2x2 … Table IV = 5x5).
+pub fn table(cells: &[Cell], size: u16, kernels: &[String]) -> String {
+    let mut out = String::new();
+    let number = match size {
+        2 => "I",
+        3 => "II",
+        4 => "III",
+        5 => "IV",
+        _ => "?",
+    };
+    let _ = writeln!(
+        out,
+        "── Table {number}: mapping time (seconds) on a {size}x{size} CGRA ──"
+    );
+    let _ = writeln!(
+        out,
+        " {:<13} | {:>12} | {:>12} | {:>8}",
+        "benchmark", "SoA(best)", "SAT-MapIt", "Δ"
+    );
+    let _ = writeln!(out, " {:-<13}-+-{:-<12}-+-{:-<12}-+-{:-<8}", "", "", "", "");
+    for kernel in kernels {
+        let soa = best_baseline(cells, kernel, size);
+        let sat = cell_of(cells, kernel, size, MapperKind::SatMapIt);
+        let secs = |c: &Option<Cell>| c.as_ref().map(|c| c.seconds);
+        let cell_fmt = |c: &Option<Cell>| match c.as_ref() {
+            Some(c) => format!("{:.2}", c.seconds),
+            None => "?".to_string(),
+        };
+        let delta = match (secs(&soa), secs(&sat)) {
+            (Some(a), Some(b)) => format!("{:+.2}", b - a),
+            _ => "?".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            " {:<13} | {:>12} | {:>12} | {:>8}",
+            kernel,
+            cell_fmt(&soa),
+            cell_fmt(&sat),
+            delta
+        );
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Summary statistics in the style of §V: in how many cells SAT-MapIt is
+/// strictly better (lower II, or mapped where the SoA failed), plus the
+/// "faster when it matters" timing split.
+pub fn summary(cells: &[Cell], sizes: &[u16], kernels: &[String]) -> String {
+    let mut better = 0usize;
+    let mut tie = 0usize;
+    let mut worse = 0usize;
+    let mut total = 0usize;
+    let mut sat_slower: Vec<f64> = Vec::new();
+    let mut sat_faster: Vec<f64> = Vec::new();
+
+    for &size in sizes {
+        for kernel in kernels {
+            let soa = best_baseline(cells, kernel, size);
+            let sat = cell_of(cells, kernel, size, MapperKind::SatMapIt);
+            let (Some(soa), Some(sat)) = (soa, sat) else {
+                continue;
+            };
+            total += 1;
+            match (soa.result.ii(), sat.result.ii()) {
+                (Some(a), Some(b)) if b < a => better += 1,
+                (None, Some(_)) => better += 1,
+                (Some(a), Some(b)) if b > a => worse += 1,
+                (Some(_), None) => worse += 1,
+                (None, None) => tie += 1,
+                _ => tie += 1,
+            }
+            let d = sat.seconds - soa.seconds;
+            if d > 0.0 {
+                sat_slower.push(d);
+            } else {
+                sat_faster.push(-d);
+            }
+        }
+    }
+
+    let stats = |v: &[f64]| {
+        if v.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+            (mean, var.sqrt())
+        }
+    };
+    let (slow_mean, slow_sd) = stats(&sat_slower);
+    let (fast_mean, fast_sd) = stats(&sat_faster);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "── Summary (cf. §V) ──");
+    let _ = writeln!(
+        out,
+        " SAT-MapIt strictly better II (or mapped where SoA failed): {better}/{total} = {:.2}%",
+        100.0 * better as f64 / total.max(1) as f64
+    );
+    let _ = writeln!(out, " ties: {tie}/{total}, worse: {worse}/{total}");
+    let _ = writeln!(
+        out,
+        " cells where SAT-MapIt is slower: {} (mean +{:.2}s, sd {:.2})",
+        sat_slower.len(),
+        slow_mean,
+        slow_sd
+    );
+    let _ = writeln!(
+        out,
+        " cells where SAT-MapIt is faster: {} (mean -{:.2}s, sd {:.2})",
+        sat_faster.len(),
+        fast_mean,
+        fast_sd
+    );
+    let _ = writeln!(
+        out,
+        " paper reference: better in 47.72% of 44 cells; slower cells avg +15.28s (sd 34.97); faster cells avg -962.24s (sd 1438.78)"
+    );
+    out
+}
+
+/// Serializes the cells as a simple CSV for archival.
+pub fn to_csv(cells: &[Cell]) -> String {
+    let mut out = String::from("kernel,size,mapper,status,ii,routes,seconds\n");
+    for c in cells {
+        let (status, ii, routes) = match c.result {
+            CellResult::Mapped { ii, routes } => ("mapped", ii.to_string(), routes),
+            CellResult::Timeout => ("timeout", String::new(), 0),
+            CellResult::IiCap => ("iicap", String::new(), 0),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{status},{ii},{routes},{:.3}",
+            c.kernel,
+            c.size,
+            c.mapper.name(),
+            c.seconds
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cells() -> Vec<Cell> {
+        vec![
+            Cell {
+                kernel: "k".into(),
+                size: 2,
+                mapper: MapperKind::SatMapIt,
+                result: CellResult::Mapped { ii: 3, routes: 0 },
+                seconds: 1.0,
+            },
+            Cell {
+                kernel: "k".into(),
+                size: 2,
+                mapper: MapperKind::Ramp,
+                result: CellResult::Mapped { ii: 4, routes: 1 },
+                seconds: 0.5,
+            },
+            Cell {
+                kernel: "k".into(),
+                size: 2,
+                mapper: MapperKind::PathSeeker,
+                result: CellResult::IiCap,
+                seconds: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn figure6_marks_and_deltas() {
+        let cells = sample_cells();
+        let fig = figure6(&cells, &[2], &["k".to_string()]);
+        assert!(fig.contains("SAT -1"), "{fig}");
+        assert!(fig.contains("(+1r)"), "{fig}");
+    }
+
+    #[test]
+    fn table_renders_seconds() {
+        let cells = sample_cells();
+        let t = table(&cells, 2, &["k".to_string()]);
+        assert!(t.contains("Table I"));
+        assert!(t.contains("0.50"));
+        assert!(t.contains("1.00"));
+    }
+
+    #[test]
+    fn summary_counts_better() {
+        let cells = sample_cells();
+        let s = summary(&cells, &[2], &["k".to_string()]);
+        assert!(s.contains("1/1 = 100.00%"), "{s}");
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let cells = sample_cells();
+        let csv = to_csv(&cells);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("timeout") || csv.contains("iicap"));
+    }
+}

@@ -1,0 +1,379 @@
+//! # satmapit-cgra
+//!
+//! Architecture model of the coarse-grain reconfigurable array targeted by
+//! SAT-MapIt (DATE 2023, Fig. 1): a 2-D mesh of processing elements (PEs),
+//! each containing an ALU, a small local register file and one output
+//! register, connected to its nearest neighbours.
+//!
+//! The paper evaluates square meshes from 2×2 to 5×5 with four local
+//! registers per PE and 4-neighbour connectivity; [`Cgra::square`] builds
+//! exactly that configuration. Torus and 8-neighbour variants are provided
+//! as architecture-exploration extensions.
+//!
+//! ```
+//! use satmapit_cgra::{Cgra, Topology};
+//! let cgra = Cgra::square(3);
+//! assert_eq!(cgra.num_pes(), 9);
+//! let center = cgra.pe_at(1, 1);
+//! assert_eq!(cgra.neighbors(center).len(), 4);
+//! let corner = cgra.pe_at(0, 0);
+//! assert_eq!(cgra.neighbors(corner).len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use satmapit_dfg::Op;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processing element (dense index, row-major).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeId(pub u16);
+
+impl PeId {
+    /// Dense index for array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// Interconnect topology of the PE mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Topology {
+    /// 4-neighbour 2-D mesh (the paper's architecture).
+    #[default]
+    Mesh4,
+    /// 8-neighbour mesh (adds diagonals).
+    Mesh8,
+    /// 4-neighbour torus (wrap-around rows/columns).
+    Torus4,
+}
+
+/// Which PEs may execute memory operations (loads/stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MemoryPolicy {
+    /// Every PE has a memory port (the default; the paper's Fig. 1 shows
+    /// data-memory lines reaching the array).
+    #[default]
+    AllPes,
+    /// Only column 0 PEs may access memory (a common CGRA restriction,
+    /// provided for architecture exploration).
+    LeftColumn,
+}
+
+/// A CGRA instance: mesh geometry, topology, per-PE register count and
+/// memory-access policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cgra {
+    rows: u16,
+    cols: u16,
+    topology: Topology,
+    regs_per_pe: u8,
+    memory_policy: MemoryPolicy,
+}
+
+impl Cgra {
+    /// Creates an `rows × cols` CGRA with the paper's defaults: 4-neighbour
+    /// mesh, 4 registers per PE, memory on every PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u16, cols: u16) -> Cgra {
+        assert!(rows > 0 && cols > 0, "CGRA dimensions must be positive");
+        Cgra {
+            rows,
+            cols,
+            topology: Topology::Mesh4,
+            regs_per_pe: 4,
+            memory_policy: MemoryPolicy::AllPes,
+        }
+    }
+
+    /// Creates the paper's `n × n` configuration.
+    pub fn square(n: u16) -> Cgra {
+        Cgra::new(n, n)
+    }
+
+    /// Sets the interconnect topology.
+    pub fn with_topology(mut self, topology: Topology) -> Cgra {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the register-file size per PE.
+    pub fn with_regs_per_pe(mut self, regs: u8) -> Cgra {
+        self.regs_per_pe = regs;
+        self
+    }
+
+    /// Sets the memory-access policy.
+    pub fn with_memory_policy(mut self, policy: MemoryPolicy) -> Cgra {
+        self.memory_policy = policy;
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        usize::from(self.rows) * usize::from(self.cols)
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Registers in each PE's local register file.
+    pub fn regs_per_pe(&self) -> u8 {
+        self.regs_per_pe
+    }
+
+    /// The memory-access policy.
+    pub fn memory_policy(&self) -> MemoryPolicy {
+        self.memory_policy
+    }
+
+    /// The PE at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pe_at(&self, row: u16, col: u16) -> PeId {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        PeId(row * self.cols + col)
+    }
+
+    /// The `(row, col)` coordinates of a PE.
+    pub fn coords(&self, pe: PeId) -> (u16, u16) {
+        (pe.0 / self.cols, pe.0 % self.cols)
+    }
+
+    /// Iterates over all PE ids in row-major order.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> {
+        (0..self.rows * self.cols).map(PeId)
+    }
+
+    /// The neighbours of `pe` under the configured topology (excluding
+    /// `pe` itself).
+    pub fn neighbors(&self, pe: PeId) -> Vec<PeId> {
+        let (r, c) = self.coords(pe);
+        let (rows, cols) = (i32::from(self.rows), i32::from(self.cols));
+        let (r, c) = (i32::from(r), i32::from(c));
+        let deltas: &[(i32, i32)] = match self.topology {
+            Topology::Mesh4 | Topology::Torus4 => &[(-1, 0), (1, 0), (0, -1), (0, 1)],
+            Topology::Mesh8 => &[
+                (-1, 0),
+                (1, 0),
+                (0, -1),
+                (0, 1),
+                (-1, -1),
+                (-1, 1),
+                (1, -1),
+                (1, 1),
+            ],
+        };
+        let wrap = matches!(self.topology, Topology::Torus4);
+        let mut out = Vec::with_capacity(deltas.len());
+        for &(dr, dc) in deltas {
+            let (nr, nc) = (r + dr, c + dc);
+            let (nr, nc) = if wrap {
+                ((nr + rows) % rows, (nc + cols) % cols)
+            } else {
+                if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+                    continue;
+                }
+                (nr, nc)
+            };
+            let id = PeId((nr * cols + nc) as u16);
+            if id != pe && !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// `true` if `a` and `b` are connected or identical; data can move from
+    /// a producer on `a` to a consumer on `b` in one step.
+    pub fn adjacent_or_same(&self, a: PeId, b: PeId) -> bool {
+        a == b || self.neighbors(a).contains(&b)
+    }
+
+    /// Manhattan distance between two PEs (ignoring torus wrap).
+    pub fn manhattan(&self, a: PeId, b: PeId) -> u32 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        (i32::from(ar) - i32::from(br)).unsigned_abs()
+            + (i32::from(ac) - i32::from(bc)).unsigned_abs()
+    }
+
+    /// `true` if `pe` may execute `op` (memory policy check).
+    pub fn supports_op(&self, pe: PeId, op: Op) -> bool {
+        if !op.is_memory() {
+            return true;
+        }
+        match self.memory_policy {
+            MemoryPolicy::AllPes => true,
+            MemoryPolicy::LeftColumn => self.coords(pe).1 == 0,
+        }
+    }
+
+    /// Number of PEs allowed to execute memory operations.
+    pub fn num_memory_pes(&self) -> usize {
+        match self.memory_policy {
+            MemoryPolicy::AllPes => self.num_pes(),
+            MemoryPolicy::LeftColumn => usize::from(self.rows),
+        }
+    }
+}
+
+impl fmt::Display for Cgra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} CGRA ({:?}, {} regs/PE, mem={:?})",
+            self.rows, self.cols, self.topology, self.regs_per_pe, self.memory_policy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_configuration() {
+        let cgra = Cgra::square(4);
+        assert_eq!(cgra.num_pes(), 16);
+        assert_eq!(cgra.regs_per_pe(), 4);
+        assert_eq!(cgra.topology(), Topology::Mesh4);
+        assert_eq!(cgra.memory_policy(), MemoryPolicy::AllPes);
+    }
+
+    #[test]
+    fn mesh4_neighbor_counts() {
+        let cgra = Cgra::square(3);
+        // Corners: 2, edges: 3, center: 4.
+        assert_eq!(cgra.neighbors(cgra.pe_at(0, 0)).len(), 2);
+        assert_eq!(cgra.neighbors(cgra.pe_at(0, 1)).len(), 3);
+        assert_eq!(cgra.neighbors(cgra.pe_at(1, 1)).len(), 4);
+    }
+
+    #[test]
+    fn mesh8_neighbor_counts() {
+        let cgra = Cgra::square(3).with_topology(Topology::Mesh8);
+        assert_eq!(cgra.neighbors(cgra.pe_at(0, 0)).len(), 3);
+        assert_eq!(cgra.neighbors(cgra.pe_at(1, 1)).len(), 8);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let cgra = Cgra::square(3).with_topology(Topology::Torus4);
+        for pe in cgra.pes() {
+            assert_eq!(cgra.neighbors(pe).len(), 4, "{pe}");
+        }
+        let corner = cgra.pe_at(0, 0);
+        let ns = cgra.neighbors(corner);
+        assert!(ns.contains(&cgra.pe_at(2, 0)));
+        assert!(ns.contains(&cgra.pe_at(0, 2)));
+    }
+
+    #[test]
+    fn tiny_torus_has_no_self_or_duplicate_neighbors() {
+        let cgra = Cgra::new(1, 2).with_topology(Topology::Torus4);
+        let ns = cgra.neighbors(cgra.pe_at(0, 0));
+        assert_eq!(ns, vec![cgra.pe_at(0, 1)]);
+        let cgra1 = Cgra::new(1, 1).with_topology(Topology::Torus4);
+        assert!(cgra1.neighbors(cgra1.pe_at(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        for topo in [Topology::Mesh4, Topology::Mesh8, Topology::Torus4] {
+            let cgra = Cgra::square(4).with_topology(topo);
+            for a in cgra.pes() {
+                for b in cgra.pes() {
+                    assert_eq!(
+                        cgra.neighbors(a).contains(&b),
+                        cgra.neighbors(b).contains(&a),
+                        "{topo:?} {a} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let cgra = Cgra::new(3, 5);
+        for pe in cgra.pes() {
+            let (r, c) = cgra.coords(pe);
+            assert_eq!(cgra.pe_at(r, c), pe);
+        }
+    }
+
+    #[test]
+    fn manhattan_distances() {
+        let cgra = Cgra::square(4);
+        assert_eq!(cgra.manhattan(cgra.pe_at(0, 0), cgra.pe_at(3, 3)), 6);
+        assert_eq!(cgra.manhattan(cgra.pe_at(1, 2), cgra.pe_at(1, 2)), 0);
+        assert_eq!(cgra.manhattan(cgra.pe_at(0, 1), cgra.pe_at(1, 1)), 1);
+    }
+
+    #[test]
+    fn memory_policy_restricts_ops() {
+        let all = Cgra::square(3);
+        assert!(all.supports_op(all.pe_at(1, 2), Op::Load));
+        assert_eq!(all.num_memory_pes(), 9);
+
+        let left = Cgra::square(3).with_memory_policy(MemoryPolicy::LeftColumn);
+        assert!(left.supports_op(left.pe_at(2, 0), Op::Store));
+        assert!(!left.supports_op(left.pe_at(0, 1), Op::Store));
+        assert!(left.supports_op(left.pe_at(0, 1), Op::Add), "non-memory ok");
+        assert_eq!(left.num_memory_pes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Cgra::new(0, 3);
+    }
+
+    #[test]
+    fn adjacent_or_same_includes_self() {
+        let cgra = Cgra::square(2);
+        let p = cgra.pe_at(0, 0);
+        assert!(cgra.adjacent_or_same(p, p));
+        assert!(cgra.adjacent_or_same(p, cgra.pe_at(0, 1)));
+        assert!(!cgra.adjacent_or_same(p, cgra.pe_at(1, 1)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Cgra::square(2).to_string();
+        assert!(s.contains("2x2"));
+        assert!(s.contains("Mesh4"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Code generation: turning a validated mapping plus register allocation
+//! into a per-PE kernel program, and rendering the prolog/kernel/epilog
+//! structure of the modulo schedule (paper Fig. 2b).
+
+use crate::mapping::{Mapping, TransferKind};
+use satmapit_cgra::{Cgra, PeId};
+use satmapit_dfg::{Dfg, EdgeId, NodeId, Op};
+use satmapit_regalloc::RegAllocation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Where an instruction operand comes from at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperandSrc {
+    /// Read register `r` of the executing PE's register file.
+    Register(u8),
+    /// Read the output register of PE `p` (a neighbour, or the PE itself
+    /// never occurs — same-PE transfers go through the register file).
+    NeighborOutput(PeId),
+}
+
+/// One operand of a kernel instruction, tagged with the DFG edge it
+/// implements (the simulator uses the edge for loop-carried warm-up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeOperand {
+    /// The DFG dependency realized by this operand.
+    pub edge: EdgeId,
+    /// The physical data source.
+    pub src: OperandSrc,
+}
+
+/// One slot of the kernel program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// The DFG node this instruction executes.
+    pub node: NodeId,
+    /// The operation.
+    pub op: Op,
+    /// Immediate payload (constants).
+    pub imm: i64,
+    /// Operand sources in operand-slot order.
+    pub operands: Vec<EdgeOperand>,
+    /// Register-file destination, if any same-PE consumer needs the value.
+    pub dest_reg: Option<u8>,
+}
+
+/// The steady-state kernel: one optional instruction per `(PE, cycle)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelProgram {
+    /// Initiation interval (kernel length in cycles).
+    pub ii: u32,
+    /// Folds in flight.
+    pub folds: u32,
+    /// `grid[pe][cycle]` — the instruction issued by PE `pe` at kernel
+    /// cycle `cycle`.
+    pub grid: Vec<Vec<Option<Instr>>>,
+}
+
+impl KernelProgram {
+    /// The instruction at `(pe, cycle)`.
+    pub fn at(&self, pe: PeId, cycle: u32) -> Option<&Instr> {
+        self.grid[pe.index()][cycle as usize].as_ref()
+    }
+
+    /// Number of occupied slots.
+    pub fn num_instrs(&self) -> usize {
+        self.grid
+            .iter()
+            .map(|row| row.iter().filter(|i| i.is_some()).count())
+            .sum()
+    }
+
+    /// Utilization: occupied slots over total slots.
+    pub fn utilization(&self) -> f64 {
+        let total = self.grid.len() * self.ii as usize;
+        if total == 0 {
+            0.0
+        } else {
+            self.num_instrs() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for KernelProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel (II={}, folds={}):", self.ii, self.folds)?;
+        for c in 0..self.ii {
+            write!(f, "  c{c}:")?;
+            for (pe, row) in self.grid.iter().enumerate() {
+                match &row[c as usize] {
+                    Some(i) => write!(f, " pe{pe}={}", i.node)?,
+                    None => write!(f, " pe{pe}=·")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the kernel program from a mapping and register allocation.
+///
+/// # Panics
+///
+/// Panics if the mapping/allocation are inconsistent (a same-PE transfer
+/// without an allocated register); run the validator and allocator first.
+pub fn kernel_program(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapping: &Mapping,
+    regs: &RegAllocation,
+) -> KernelProgram {
+    let mut grid: Vec<Vec<Option<Instr>>> =
+        vec![vec![None; mapping.ii as usize]; cgra.num_pes()];
+    for n in dfg.node_ids() {
+        let p = mapping.placement(n);
+        let node = dfg.node(n);
+        let operands = dfg
+            .in_edges(n)
+            .into_iter()
+            .map(|eid| {
+                let e = dfg.edge(eid);
+                let src = match mapping.transfer(eid) {
+                    TransferKind::SamePeRegister => OperandSrc::Register(
+                        regs.reg_of(p.pe.index(), e.src.0)
+                            .expect("same-PE transfer must have an allocated register"),
+                    ),
+                    TransferKind::NeighborOutput => {
+                        OperandSrc::NeighborOutput(mapping.placement(e.src).pe)
+                    }
+                };
+                EdgeOperand { edge: eid, src }
+            })
+            .collect();
+        let dest_reg = regs.reg_of(p.pe.index(), n.0);
+        grid[p.pe.index()][p.cycle as usize] = Some(Instr {
+            node: n,
+            op: node.op,
+            imm: node.imm,
+            operands,
+            dest_reg,
+        });
+    }
+    KernelProgram {
+        ii: mapping.ii,
+        folds: mapping.folds,
+        grid,
+    }
+}
+
+/// Stage of the modulo schedule a given global cycle belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Filling the pipeline.
+    Prolog,
+    /// Steady state.
+    Kernel,
+    /// Draining the pipeline.
+    Epilog,
+}
+
+/// Classifies global cycle `t` for a run of `iterations` iterations
+/// (paper Fig. 2b). Requires `iterations >= folds`.
+pub fn stage_of(mapping: &Mapping, iterations: u32, t: u32) -> Stage {
+    let ii = mapping.ii;
+    let folds = mapping.folds;
+    if t < (folds - 1) * ii {
+        Stage::Prolog
+    } else if t < iterations * ii {
+        Stage::Kernel
+    } else {
+        Stage::Epilog
+    }
+}
+
+/// Renders the full unfolded schedule — prolog, kernel repetitions and
+/// epilog — as text, one row per global cycle listing the op instances
+/// `node@iteration` that execute (paper Fig. 2b).
+pub fn render_stages(dfg: &Dfg, mapping: &Mapping, iterations: u32) -> String {
+    let ii = mapping.ii;
+    let total = mapping.schedule_len() + (iterations.saturating_sub(1)) * ii;
+    let mut out = String::new();
+    let mut last_stage = None;
+    for t in 0..total {
+        let stage = stage_of(mapping, iterations, t);
+        if last_stage != Some(stage) {
+            let name = match stage {
+                Stage::Prolog => "prolog",
+                Stage::Kernel => "kernel",
+                Stage::Epilog => "epilog",
+            };
+            let _ = writeln!(out, "--- {name} ---");
+            last_stage = Some(stage);
+        }
+        let _ = write!(out, "t{t:>3}:");
+        for n in dfg.node_ids() {
+            let tn = mapping.time(n);
+            // Instance (n, i) executes at tn + i*ii.
+            if t >= tn && (t - tn) % ii == 0 {
+                let i = (t - tn) / ii;
+                if i < iterations {
+                    let _ = write!(out, " {}@{}", n, i);
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::map;
+    use satmapit_dfg::Op;
+
+    fn mapped_chain() -> (Dfg, Cgra, crate::mapper::MappedLoop) {
+        let mut dfg = Dfg::new("chain");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        let cgra = Cgra::square(2);
+        let mapped = map(&dfg, &cgra).result.unwrap();
+        (dfg, cgra, mapped)
+    }
+
+    #[test]
+    fn kernel_program_places_every_node_once() {
+        let (dfg, cgra, mapped) = mapped_chain();
+        let prog = kernel_program(&dfg, &cgra, &mapped.mapping, &mapped.registers);
+        assert_eq!(prog.num_instrs(), dfg.num_nodes());
+        assert!(prog.utilization() > 0.0);
+        // Every node appears exactly where its placement says.
+        for n in dfg.node_ids() {
+            let p = mapped.mapping.placement(n);
+            let instr = prog.at(p.pe, p.cycle).expect("slot occupied");
+            assert_eq!(instr.node, n);
+        }
+    }
+
+    #[test]
+    fn operands_reference_producing_pes_or_registers() {
+        let (dfg, cgra, mapped) = mapped_chain();
+        let prog = kernel_program(&dfg, &cgra, &mapped.mapping, &mapped.registers);
+        for n in dfg.node_ids() {
+            let p = mapped.mapping.placement(n);
+            let instr = prog.at(p.pe, p.cycle).unwrap();
+            assert_eq!(instr.operands.len(), dfg.node(n).op.arity());
+            for opnd in &instr.operands {
+                let e = dfg.edge(opnd.edge);
+                match opnd.src {
+                    OperandSrc::Register(r) => {
+                        assert!(r < cgra.regs_per_pe());
+                        assert_eq!(mapped.mapping.placement(e.src).pe, p.pe);
+                    }
+                    OperandSrc::NeighborOutput(q) => {
+                        assert_eq!(mapped.mapping.placement(e.src).pe, q);
+                        assert!(cgra.adjacent_or_same(p.pe, q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stages_partition_time() {
+        let (dfg, _cgra, mapped) = mapped_chain();
+        let iterations = 5;
+        let rendered = render_stages(&dfg, &mapped.mapping, iterations);
+        assert!(rendered.contains("--- kernel ---"));
+        // Prolog appears iff the kernel holds more than one fold.
+        if mapped.mapping.folds > 1 {
+            assert!(rendered.contains("--- prolog ---"));
+        }
+        // Every instance node@iter appears exactly once.
+        for n in dfg.node_ids() {
+            for i in 0..iterations {
+                let needle = format!(" {}@{}", n, i);
+                let count = rendered.matches(&needle).count();
+                assert_eq!(count, 1, "instance {needle} in\n{rendered}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let (dfg, cgra, mapped) = mapped_chain();
+        let prog = kernel_program(&dfg, &cgra, &mapped.mapping, &mapped.registers);
+        let s = prog.to_string();
+        assert!(s.contains("kernel (II="));
+        assert!(s.contains("c0:"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Turning a SAT model back into a [`Mapping`].
+
+use crate::mapping::{Mapping, Placement, TransferKind};
+use crate::varmap::VarMap;
+use satmapit_dfg::{Dfg, NodeId};
+use satmapit_sat::Var;
+use satmapit_schedule::Kms;
+use std::fmt;
+
+/// Decodes the placement variables of a satisfying `model`.
+///
+/// Only the first `varmap.num_vars()` entries of the model are read
+/// (auxiliary variables are ignored). Transfer kinds are derived from the
+/// placements: same-PE dependencies go through the register file,
+/// cross-PE dependencies through the producer's output register.
+///
+/// # Errors
+///
+/// Fails if the model does not set exactly one placement per node — which
+/// would indicate an encoder bug, since C1 forbids it.
+pub fn decode_model(
+    dfg: &Dfg,
+    kms: &Kms,
+    varmap: &VarMap,
+    model: &[bool],
+) -> Result<Mapping, DecodeError> {
+    let mut placements: Vec<Option<Placement>> = vec![None; dfg.num_nodes()];
+    for idx in 0..varmap.num_vars() {
+        if !model[idx] {
+            continue;
+        }
+        let (node, pos, pe) = varmap.decode(Var::new(idx as u32));
+        let slot = placements
+            .get_mut(node.index())
+            .expect("decoded node in range");
+        if slot.is_some() {
+            return Err(DecodeError::MultiplePlacements { node });
+        }
+        *slot = Some(Placement {
+            pe,
+            cycle: pos.cycle,
+            fold: pos.fold,
+        });
+    }
+    let mut out = Vec::with_capacity(dfg.num_nodes());
+    for (i, p) in placements.into_iter().enumerate() {
+        match p {
+            Some(p) => out.push(p),
+            None => {
+                return Err(DecodeError::MissingPlacement {
+                    node: NodeId(i as u32),
+                })
+            }
+        }
+    }
+    let transfers = dfg
+        .edges()
+        .map(|(_, e)| {
+            if out[e.src.index()].pe == out[e.dst.index()].pe {
+                TransferKind::SamePeRegister
+            } else {
+                TransferKind::NeighborOutput
+            }
+        })
+        .collect();
+    Ok(Mapping {
+        ii: kms.ii(),
+        folds: kms.folds(),
+        placements: out,
+        transfers,
+    })
+}
+
+/// Model-decoding failures (indicate an encoder/solver bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A node has two true placement literals.
+    MultiplePlacements {
+        /// The over-placed node.
+        node: NodeId,
+    },
+    /// A node has no true placement literal.
+    MissingPlacement {
+        /// The unplaced node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::MultiplePlacements { node } => {
+                write!(f, "model places node {node} more than once")
+            }
+            DecodeError::MissingPlacement { node } => {
+                write!(f, "model leaves node {node} unplaced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode;
+    use satmapit_cgra::Cgra;
+    use satmapit_dfg::Op;
+    use satmapit_sat::encode::AmoEncoding;
+    use satmapit_sat::{SolveResult, Solver};
+    use satmapit_schedule::MobilitySchedule;
+
+    #[test]
+    fn decode_of_solved_instance_is_consistent() {
+        let mut dfg = Dfg::new("pair");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        let cgra = Cgra::square(2);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 1);
+        let enc = encode(&dfg, &cgra, &kms, AmoEncoding::Auto).unwrap();
+        let mut solver = Solver::from_cnf(&enc.formula);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let mapping = decode_model(&dfg, &kms, &enc.varmap, solver.model().unwrap()).unwrap();
+        assert_eq!(mapping.ii, 1);
+        assert_eq!(mapping.placements.len(), 2);
+        assert_eq!(mapping.transfers.len(), 1);
+        // The dependency must be adjacent-or-same.
+        let pa = mapping.placement(a);
+        let pb = mapping.placement(b);
+        assert!(cgra.adjacent_or_same(pa.pe, pb.pe));
+    }
+
+    #[test]
+    fn corrupted_model_detected() {
+        let mut dfg = Dfg::new("single");
+        let _ = dfg.add_const(1);
+        let cgra = Cgra::square(2);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 1);
+        let enc = encode(&dfg, &cgra, &kms, AmoEncoding::Auto).unwrap();
+        // All-false model: missing placement.
+        let model = vec![false; enc.formula.num_vars()];
+        assert!(matches!(
+            decode_model(&dfg, &kms, &enc.varmap, &model),
+            Err(DecodeError::MissingPlacement { .. })
+        ));
+        // All-true model: multiple placements.
+        let model = vec![true; enc.formula.num_vars()];
+        assert!(matches!(
+            decode_model(&dfg, &kms, &enc.varmap, &model),
+            Err(DecodeError::MultiplePlacements { .. })
+        ));
+    }
+}

@@ -1,0 +1,611 @@
+//! CNF generation: the paper's constraint sets C1, C2 and C3 (§IV-C,
+//! Eqs. 1–5) over the kernel mobility schedule.
+//!
+//! * **C1** — every node takes exactly one `(pe, cycle, fold)` placement.
+//! * **C2** — at most one node occupies a physical `(pe, kernel-cycle)`
+//!   slot, across folds (fold labels share physical slots).
+//! * **C3** — for every dependency `s → d` with loop-carried distance
+//!   `dist`, the placements must satisfy `1 ≤ Δ ≤ II` with
+//!   `Δ = t_d − t_s + dist·II` (Eq. 3 generalized to back-edges), on the
+//!   same PE (register-file transfer, Eq. 4) or neighbouring PEs
+//!   (output-register transfer, Eq. 5). Output-register transfers
+//!   additionally require that no operation executes on the producer's PE
+//!   strictly between production and consumption.
+//!
+//! The paper encodes C3 as a disjunction of conjunctive terms; under C1's
+//! exactly-one semantics this is equivalent to the pairwise form used
+//! here — per producer literal a *compatibility clause* (`¬vi ∨ w₁ ∨ …`)
+//! plus, per cross-PE pair, *non-overwrite guards*
+//! (`¬vi ∨ ¬wj ∨ ¬occupied(p_s, c)`), where `occupied(p, c)` is a shared
+//! auxiliary monotone indicator of slot occupancy. This avoids one Tseitin
+//! auxiliary per term and keeps the formula linear in the number of
+//! admissible pairs.
+
+use crate::varmap::VarMap;
+use satmapit_cgra::{Cgra, PeId};
+use satmapit_dfg::{Dfg, EdgeId, NodeId};
+use satmapit_sat::encode::{at_most_one, exactly_one, AmoEncoding};
+use satmapit_sat::{CnfFormula, Lit};
+use satmapit_schedule::Kms;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size counters of an encoded instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodeStats {
+    /// Placement variables (`x(n,p,c,it)`).
+    pub placement_vars: usize,
+    /// Total variables including auxiliaries.
+    pub total_vars: usize,
+    /// Total clauses.
+    pub clauses: usize,
+    /// Clauses from C1 (exactly-one).
+    pub c1_clauses: usize,
+    /// Clauses from C2 (slot exclusivity).
+    pub c2_clauses: usize,
+    /// C3 compatibility clauses.
+    pub c3_compat_clauses: usize,
+    /// C3 non-overwrite guard clauses.
+    pub c3_guard_clauses: usize,
+    /// Occupancy auxiliary variables created.
+    pub occupancy_vars: usize,
+    /// Register-pressure (C4) liveness variables created.
+    pub pressure_vars: usize,
+    /// Register-pressure (C4) clauses.
+    pub pressure_clauses: usize,
+}
+
+/// Encoder options.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeOptions {
+    /// At-most-one strategy for C1/C2.
+    pub amo: AmoEncoding,
+    /// Emit the C4 register-pressure constraints (an extension over the
+    /// paper, which defers all register checking to the post-hoc
+    /// allocation): for every PE and kernel cycle, at most `regs_per_pe`
+    /// values may be live in the register file. Per-slot capacity is a
+    /// sound relaxation of colourability (any allocatable mapping
+    /// satisfies it), so completeness is preserved; the rare
+    /// capacity-feasible-but-uncolourable mappings are caught by the
+    /// allocator and excluded via blocking cuts.
+    pub register_pressure: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> EncodeOptions {
+        EncodeOptions {
+            amo: AmoEncoding::Auto,
+            register_pressure: true,
+        }
+    }
+}
+
+/// A successfully encoded instance.
+#[derive(Debug)]
+pub struct Encoded {
+    /// The CNF formula to hand to the solver.
+    pub formula: CnfFormula,
+    /// The placement-variable index (for decoding models).
+    pub varmap: VarMap,
+    /// Size statistics.
+    pub stats: EncodeStats,
+}
+
+/// Structural encoding failures that no II increase can repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncodeError {
+    /// Some node's op cannot execute on any PE (memory policy).
+    NoPeForOp {
+        /// The unplaceable node.
+        node: NodeId,
+    },
+    /// A self-dependency with distance ≠ 1: its latency is
+    /// `distance · II`, which exceeds II for every II. The architecture
+    /// would need rotating registers / modulo variable expansion.
+    SelfEdgeDistance {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::NoPeForOp { node } => {
+                write!(f, "no PE supports the operation of node {node}")
+            }
+            EncodeError::SelfEdgeDistance { edge } => {
+                write!(
+                    f,
+                    "self-dependency {edge:?} has distance != 1 (needs rotating registers)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Lazily-created occupancy indicators, one per physical `(pe, cycle)`
+/// slot: `lit → occupied(p,c)` for every candidate literal at that slot.
+struct Occupancy {
+    lits: Vec<Option<Lit>>,
+    ii: usize,
+    created: usize,
+}
+
+impl Occupancy {
+    fn new(num_pes: usize, ii: u32) -> Occupancy {
+        Occupancy {
+            lits: vec![None; num_pes * ii as usize],
+            ii: ii as usize,
+            created: 0,
+        }
+    }
+
+    fn get(
+        &mut self,
+        formula: &mut CnfFormula,
+        varmap: &VarMap,
+        pe: PeId,
+        cycle: u32,
+        guard_clauses: &mut usize,
+    ) -> Lit {
+        let idx = pe.index() * self.ii + cycle as usize;
+        if let Some(l) = self.lits[idx] {
+            return l;
+        }
+        let o = formula.new_var().positive();
+        for &l in varmap.slot_lits(pe, cycle) {
+            formula.add_clause(&[!l, o]);
+            *guard_clauses += 1;
+        }
+        self.lits[idx] = Some(o);
+        self.created += 1;
+        o
+    }
+}
+
+/// Lazily-created liveness indicators for the register-pressure
+/// constraints: `live(n, p, x)` means node `n`'s value occupies a register
+/// of PE `p` during kernel cycle `x`.
+struct Pressure {
+    bases: Vec<Option<u32>>,
+    slot_lits: Vec<Vec<Lit>>,
+    ii: usize,
+    num_pes: usize,
+    created: usize,
+}
+
+impl Pressure {
+    fn new(num_nodes: usize, num_pes: usize, ii: u32) -> Pressure {
+        Pressure {
+            bases: vec![None; num_nodes * num_pes],
+            slot_lits: vec![Vec::new(); num_pes * ii as usize],
+            ii: ii as usize,
+            num_pes,
+            created: 0,
+        }
+    }
+
+    fn live(&mut self, formula: &mut CnfFormula, n: usize, pe: PeId, x: u32) -> Lit {
+        let key = n * self.num_pes + pe.index();
+        let base = match self.bases[key] {
+            Some(b) => b,
+            None => {
+                let first = formula.new_vars(self.ii);
+                let b = first.index() as u32;
+                self.bases[key] = Some(b);
+                self.created += self.ii;
+                for xx in 0..self.ii {
+                    let l = satmapit_sat::Var::new(b + xx as u32).positive();
+                    self.slot_lits[pe.index() * self.ii + xx].push(l);
+                }
+                b
+            }
+        };
+        satmapit_sat::Var::new(base + x).positive()
+    }
+}
+
+/// Encodes the mapping problem with default options (see
+/// [`encode_with_options`]).
+///
+/// # Errors
+///
+/// Fails only for II-independent structural reasons ([`EncodeError`]).
+pub fn encode(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    kms: &Kms,
+    amo: AmoEncoding,
+) -> Result<Encoded, EncodeError> {
+    encode_with_options(
+        dfg,
+        cgra,
+        kms,
+        EncodeOptions {
+            amo,
+            ..EncodeOptions::default()
+        },
+    )
+}
+
+/// Encodes the mapping problem for `dfg` on `cgra` at the II of `kms`.
+///
+/// # Errors
+///
+/// Fails only for II-independent structural reasons ([`EncodeError`]);
+/// an II that is merely too small produces a formula the solver reports
+/// as unsatisfiable.
+pub fn encode_with_options(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    kms: &Kms,
+    options: EncodeOptions,
+) -> Result<Encoded, EncodeError> {
+    let amo = options.amo;
+    // Structural pre-checks.
+    for n in dfg.node_ids() {
+        let op = dfg.node(n).op;
+        if !cgra.pes().any(|p| cgra.supports_op(p, op)) {
+            return Err(EncodeError::NoPeForOp { node: n });
+        }
+    }
+    for (eid, e) in dfg.edges() {
+        if e.src == e.dst && e.distance != 1 {
+            return Err(EncodeError::SelfEdgeDistance { edge: eid });
+        }
+    }
+
+    let varmap = VarMap::build(dfg, cgra, kms).expect("per-node PE support checked above");
+    let mut formula = CnfFormula::with_vars(varmap.num_vars());
+    let mut stats = EncodeStats {
+        placement_vars: varmap.num_vars(),
+        ..EncodeStats::default()
+    };
+
+    let ii = i64::from(kms.ii());
+
+    // Adjacency matrix (excluding self).
+    let num_pes = cgra.num_pes();
+    let mut adjacent = vec![false; num_pes * num_pes];
+    for p in cgra.pes() {
+        for q in cgra.neighbors(p) {
+            adjacent[p.index() * num_pes + q.index()] = true;
+        }
+    }
+
+    // C1: exactly one placement per node.
+    for n in dfg.node_ids() {
+        let before = formula.num_clauses();
+        exactly_one(&mut formula, &varmap.node_lits(n), amo);
+        stats.c1_clauses += formula.num_clauses() - before;
+    }
+
+    // C2: at most one node per physical slot.
+    for pe in cgra.pes() {
+        for c in 0..kms.ii() {
+            let before = formula.num_clauses();
+            let lits = varmap.slot_lits(pe, c).to_vec();
+            at_most_one(&mut formula, &lits, amo);
+            stats.c2_clauses += formula.num_clauses() - before;
+        }
+    }
+
+    // C3: dependencies (+ C4 liveness implications where same-PE).
+    let mut occupancy = Occupancy::new(num_pes, kms.ii());
+    let mut pressure = options
+        .register_pressure
+        .then(|| Pressure::new(dfg.num_nodes(), num_pes, kms.ii()));
+    for (_eid, edge) in dfg.edges() {
+        let s = edge.src;
+        let d = edge.dst;
+        if s == d {
+            // distance == 1 (checked above): Δ = II on the same PE — the
+            // value lives a full wheel revolution in the register file.
+            // Always satisfiable; it occupies one register for the whole
+            // wheel, which the pressure constraints account for.
+            if let Some(p) = pressure.as_mut() {
+                for (ks, _pos_s) in kms.positions(s).iter().enumerate() {
+                    for (js, &pe_s) in varmap.allowed_pes(s).to_vec().iter().enumerate() {
+                        let vi = varmap.lit(s, ks, js);
+                        for x in 0..kms.ii() {
+                            let live = p.live(&mut formula, s.index(), pe_s, x);
+                            formula.add_clause(&[!vi, live]);
+                            stats.pressure_clauses += 1;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let s_positions = kms.positions(s).to_vec();
+        let d_positions = kms.positions(d).to_vec();
+        let s_pes = varmap.allowed_pes(s).to_vec();
+        let d_pes = varmap.allowed_pes(d).to_vec();
+
+        for (ks, &pos_s) in s_positions.iter().enumerate() {
+            let ts = i64::from(kms.unfolded_time(pos_s));
+            for (js, &pe_s) in s_pes.iter().enumerate() {
+                let vi = varmap.lit(s, ks, js);
+                let mut compat: Vec<Lit> = Vec::new();
+                for (kd, &pos_d) in d_positions.iter().enumerate() {
+                    let td = i64::from(kms.unfolded_time(pos_d));
+                    let delta = td - ts + i64::from(edge.distance) * ii;
+                    if delta < 1 || delta > ii {
+                        continue;
+                    }
+                    for (jd, &pe_d) in d_pes.iter().enumerate() {
+                        let same = pe_d == pe_s;
+                        if same && pos_d.cycle == pos_s.cycle {
+                            // Would collide on the slot (Δ == II on the
+                            // same PE); C2 forbids it anyway.
+                            continue;
+                        }
+                        if !same && !adjacent[pe_s.index() * num_pes + pe_d.index()] {
+                            continue;
+                        }
+                        let wj = varmap.lit(d, kd, jd);
+                        compat.push(wj);
+                        if same {
+                            // C4: a same-PE transfer keeps the value in the
+                            // register file for cycles ts+1 ..= ts+Δ.
+                            if let Some(p) = pressure.as_mut() {
+                                for k in 1..=delta {
+                                    let x = ((ts + k) % ii) as u32;
+                                    let live = p.live(&mut formula, s.index(), pe_s, x);
+                                    formula.add_clause(&[!vi, !wj, live]);
+                                    stats.pressure_clauses += 1;
+                                }
+                            }
+                        }
+                        if !same {
+                            // Non-overwrite guards for the output-register
+                            // path: slots strictly between production and
+                            // consumption on the producer's PE must be empty.
+                            for k in 1..delta {
+                                let slot = ((ts + k) % ii) as u32;
+                                let occ = occupancy.get(
+                                    &mut formula,
+                                    &varmap,
+                                    pe_s,
+                                    slot,
+                                    &mut stats.c3_guard_clauses,
+                                );
+                                formula.add_clause(&[!vi, !wj, !occ]);
+                                stats.c3_guard_clauses += 1;
+                            }
+                        }
+                    }
+                }
+                let mut clause = Vec::with_capacity(compat.len() + 1);
+                clause.push(!vi);
+                clause.extend(compat);
+                formula.add_clause(&clause);
+                stats.c3_compat_clauses += 1;
+            }
+        }
+    }
+
+    // C4 capacity: at most `regs_per_pe` live values per (PE, cycle).
+    if let Some(p) = pressure {
+        let before = formula.num_clauses();
+        for slot in &p.slot_lits {
+            satmapit_sat::encode::at_most_k(
+                &mut formula,
+                slot,
+                usize::from(cgra.regs_per_pe()),
+            );
+        }
+        stats.pressure_clauses += formula.num_clauses() - before;
+        stats.pressure_vars = p.created;
+    }
+
+    stats.occupancy_vars = occupancy.created;
+    stats.total_vars = formula.num_vars();
+    stats.clauses = formula.num_clauses();
+
+    Ok(Encoded {
+        formula,
+        varmap,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_cgra::MemoryPolicy;
+    use satmapit_dfg::Op;
+    use satmapit_sat::{SolveResult, Solver};
+    use satmapit_schedule::{mii, Kms, MobilitySchedule};
+
+    fn encode_at(dfg: &Dfg, cgra: &Cgra, ii: u32) -> Encoded {
+        let ms = MobilitySchedule::compute(dfg).unwrap();
+        let kms = Kms::build(&ms, ii);
+        encode(dfg, cgra, &kms, AmoEncoding::Auto).unwrap()
+    }
+
+    fn solve_at(dfg: &Dfg, cgra: &Cgra, ii: u32) -> SolveResult {
+        let enc = encode_at(dfg, cgra, ii);
+        Solver::from_cnf(&enc.formula).solve()
+    }
+
+    /// Encode with the mapper's default window slack (II - 1).
+    fn solve_at_slacked(dfg: &Dfg, cgra: &Cgra, ii: u32) -> SolveResult {
+        let ms = MobilitySchedule::compute(dfg).unwrap();
+        let kms = Kms::build_with_slack(&ms, ii, ii - 1);
+        let enc = encode(dfg, cgra, &kms, AmoEncoding::Auto).unwrap();
+        Solver::from_cnf(&enc.formula).solve()
+    }
+
+    #[test]
+    fn chain_on_2x2_is_sat_at_mii() {
+        let mut dfg = Dfg::new("chain");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        let cgra = Cgra::square(2);
+        let start = mii(&dfg, &cgra);
+        assert_eq!(start, 1);
+        assert_eq!(solve_at(&dfg, &cgra, 1), SolveResult::Sat);
+    }
+
+    #[test]
+    fn too_many_parallel_nodes_unsat_at_small_ii() {
+        // 5 independent constants on a 2x2 (4 PEs): II=1 impossible; II=2
+        // needs window slack (the constants all sit in MS row 0, so the
+        // paper-strict windows keep them pinned to kernel cycle 0).
+        let mut dfg = Dfg::new("par5");
+        for i in 0..5 {
+            let _ = dfg.add_const(i);
+        }
+        let cgra = Cgra::square(2);
+        assert_eq!(solve_at(&dfg, &cgra, 1), SolveResult::Unsat);
+        assert_eq!(
+            solve_at(&dfg, &cgra, 2),
+            SolveResult::Unsat,
+            "paper-strict windows pin all constants to cycle 0"
+        );
+        assert_eq!(solve_at_slacked(&dfg, &cgra, 2), SolveResult::Sat);
+    }
+
+    #[test]
+    fn one_by_one_serializes_everything() {
+        // A 1x1 CGRA runs one op per cycle; a 3-node graph needs II=3, and
+        // dependencies must be same-PE register transfers.
+        let mut dfg = Dfg::new("chain3");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        let cgra = Cgra::square(1);
+        assert_eq!(solve_at(&dfg, &cgra, 2), SolveResult::Unsat);
+        assert_eq!(solve_at(&dfg, &cgra, 3), SolveResult::Sat);
+    }
+
+    #[test]
+    fn non_adjacent_dependency_forces_ii_growth_or_unsat() {
+        // A node with 5 direct consumers: all consumers must be placed on
+        // neighbours/same PE. On a 2x2 every PE has only 2 neighbours, so
+        // at II=2 with 6 nodes (3 slots used of 8) the fanout is the binding
+        // constraint.
+        let mut dfg = Dfg::new("fan5");
+        let src = dfg.add_const(1);
+        for _ in 0..5 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(src, n, 0);
+        }
+        let cgra = Cgra::square(2);
+        // 6 nodes / 4 PEs -> ResMII 2. With strict windows all 5 consumers
+        // are pinned to kernel cycle 1 and only 3 PEs are reachable from
+        // the producer: UNSAT at any II. With slack, a large II spreads the
+        // consumers across cycles.
+        let r = solve_at(&dfg, &cgra, 2);
+        assert!(matches!(r, SolveResult::Sat | SolveResult::Unsat));
+        assert_eq!(solve_at(&dfg, &cgra, 6), SolveResult::Unsat);
+        assert_eq!(solve_at_slacked(&dfg, &cgra, 6), SolveResult::Sat);
+    }
+
+    #[test]
+    fn memory_policy_structural_failure() {
+        // A store on an architecture where... every policy allows some PE,
+        // so NoPeForOp cannot trigger with built-in policies; instead check
+        // that LeftColumn restricts but still encodes.
+        let mut dfg = Dfg::new("st");
+        let a = dfg.add_const(0);
+        let v = dfg.add_const(1);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(a, st, 0);
+        dfg.add_edge(v, st, 1);
+        let cgra = Cgra::square(2).with_memory_policy(MemoryPolicy::LeftColumn);
+        let enc = encode_at(&dfg, &cgra, 2);
+        assert!(enc.stats.placement_vars > 0);
+        assert_eq!(
+            Solver::from_cnf(&enc.formula).solve(),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn self_edge_distance_two_rejected() {
+        let mut dfg = Dfg::new("fib");
+        let f = dfg.add_node(Op::Add);
+        dfg.add_back_edge(f, f, 0, 1, 1);
+        dfg.add_back_edge(f, f, 1, 2, 0);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 2);
+        let err = encode(&dfg, &Cgra::square(2), &kms, AmoEncoding::Auto).unwrap_err();
+        assert!(matches!(err, EncodeError::SelfEdgeDistance { .. }));
+    }
+
+    #[test]
+    fn accumulator_self_edge_is_free() {
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(1);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 0);
+        assert_eq!(solve_at(&dfg, &Cgra::square(2), 1), SolveResult::Sat);
+    }
+
+    #[test]
+    fn recurrence_cycle_respects_rec_mii() {
+        // a -> b -> c -> a (dist 1): RecMII = 3; II=2 must be UNSAT even on
+        // a large array, II=3 SAT.
+        let mut dfg = Dfg::new("rec3");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        let cgra = Cgra::square(4);
+        assert_eq!(solve_at(&dfg, &cgra, 2), SolveResult::Unsat);
+        assert_eq!(solve_at(&dfg, &cgra, 3), SolveResult::Sat);
+    }
+
+    #[test]
+    fn encode_stats_populated() {
+        let mut dfg = Dfg::new("pair");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        let enc = encode_at(&dfg, &Cgra::square(2), 1);
+        assert!(enc.stats.placement_vars > 0);
+        assert!(enc.stats.c1_clauses > 0);
+        assert!(enc.stats.c2_clauses > 0);
+        assert!(enc.stats.c3_compat_clauses > 0);
+        assert_eq!(enc.stats.clauses, enc.formula.num_clauses());
+        assert_eq!(enc.stats.total_vars, enc.formula.num_vars());
+    }
+
+    #[test]
+    fn amo_encodings_agree_on_satisfiability() {
+        let mut dfg = Dfg::new("mix");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        let d = dfg.add_node(Op::Add);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(a, c, 0);
+        dfg.add_edge(b, d, 0);
+        dfg.add_edge(c, d, 1);
+        let cgra = Cgra::square(2);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        for ii in 1..=3 {
+            let kms = Kms::build(&ms, ii);
+            let mut results = Vec::new();
+            for amo in [AmoEncoding::Pairwise, AmoEncoding::Sequential, AmoEncoding::Auto] {
+                let enc = encode(&dfg, &cgra, &kms, amo).unwrap();
+                results.push(Solver::from_cnf(&enc.formula).solve());
+            }
+            assert_eq!(results[0], results[1], "ii={ii}");
+            assert_eq!(results[1], results[2], "ii={ii}");
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! The iterative mapping loop (paper Fig. 3): starting at MII, encode the
+//! KMS constraints, solve, register-allocate, and increase II on failure.
+
+use crate::decode::decode_model;
+use crate::encoder::{EncodeError, EncodeStats};
+use crate::mapping::{Mapping, TransferKind};
+use crate::regs::allocate_registers;
+use crate::validate::validate_mapping;
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, DfgError};
+use satmapit_regalloc::{RegAllocError, RegAllocation};
+use satmapit_sat::encode::AmoEncoding;
+use satmapit_sat::{SolveLimits, SolveResult, Solver, SolverStats, StopReason};
+use satmapit_schedule::{mii, Kms, MobilitySchedule};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How far beyond its ALAP a node's mobility window is extended when the
+/// KMS is built (see [`Kms::build_with_slack`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlackPolicy {
+    /// The paper's strict windows (`[asap, alap]`). Shallow, wide DFGs can
+    /// be unmappable at every II under this policy.
+    Zero,
+    /// Extend every window by a fixed number of cycles.
+    Fixed(u32),
+    /// Extend by `II - 1`, so every node can reach every kernel cycle in
+    /// some fold (the default; restores completeness of the II search).
+    #[default]
+    FullWheel,
+}
+
+impl SlackPolicy {
+    /// The slack in cycles for a candidate `ii`.
+    pub fn slack(self, ii: u32) -> u32 {
+        match self {
+            SlackPolicy::Zero => 0,
+            SlackPolicy::Fixed(s) => s,
+            SlackPolicy::FullWheel => ii - 1,
+        }
+    }
+}
+
+/// Configuration of the iterative mapper.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Give up once II exceeds this cap (the paper terminates at II = 50).
+    pub max_ii: u32,
+    /// Overall wall-clock budget (the paper's experiments use 4000 s).
+    pub timeout: Option<Duration>,
+    /// At-most-one encoding used for C1/C2.
+    pub amo: AmoEncoding,
+    /// Optional per-II conflict budget; exhausting it skips to the next II
+    /// (off by default — it trades optimality for time).
+    pub max_conflicts_per_ii: Option<u64>,
+    /// Step budget for the exact register-allocation colouring.
+    pub regalloc_budget: u64,
+    /// Start the search at this II instead of the computed MII.
+    pub start_ii: Option<u32>,
+    /// Mobility-window extension policy.
+    pub slack: SlackPolicy,
+    /// When register allocation fails, forbid the failing PE's exact
+    /// configuration with a blocking clause and re-solve the same II (up
+    /// to this many cuts) before falling back to II++ (paper Fig. 3).
+    /// The cut is sound: register demand on a PE is fully determined by
+    /// the nodes placed on it, so only genuinely infeasible
+    /// configurations are excluded. `0` reproduces the paper's plain
+    /// "II++ on RA failure" behaviour.
+    pub ra_cuts: u32,
+    /// Encode register-file capacity (C4) directly in the SAT formulation
+    /// (extension over the paper; see
+    /// [`crate::encoder::EncodeOptions::register_pressure`]).
+    pub register_pressure: bool,
+}
+
+impl Default for MapperConfig {
+    fn default() -> MapperConfig {
+        MapperConfig {
+            max_ii: 50,
+            timeout: None,
+            amo: AmoEncoding::Auto,
+            max_conflicts_per_ii: None,
+            regalloc_budget: 1_000_000,
+            start_ii: None,
+            slack: SlackPolicy::FullWheel,
+            ra_cuts: 200,
+            register_pressure: true,
+        }
+    }
+}
+
+/// What happened at one candidate II.
+#[derive(Debug, Clone)]
+pub struct IiAttempt {
+    /// The candidate II.
+    pub ii: u32,
+    /// Encoded instance sizes.
+    pub encode_stats: EncodeStats,
+    /// Outcome of this attempt.
+    pub outcome: AttemptOutcome,
+    /// Solver effort (when the solver ran).
+    pub solver_stats: Option<SolverStats>,
+    /// Register-allocation blocking cuts added at this II.
+    pub ra_cuts: u32,
+    /// Wall-clock time spent on this II.
+    pub elapsed: Duration,
+}
+
+/// Per-II outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// A mapping was found and register-allocated.
+    Mapped,
+    /// SAT, but register allocation failed (paper Fig. 3's second loop).
+    RegAllocFailed(RegAllocError),
+    /// Proven unsatisfiable at this II.
+    Unsat,
+    /// Solver budget exhausted (conflict budget skips to the next II).
+    SolverBudget(StopReason),
+}
+
+/// Terminal mapping failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapFailure {
+    /// The input DFG is malformed.
+    InvalidDfg(DfgError),
+    /// No II can map this DFG on this architecture (see [`EncodeError`]).
+    Structural(EncodeError),
+    /// The wall-clock budget expired (a "red ✕" in the paper's Fig. 6).
+    Timeout {
+        /// The II being attempted when time ran out.
+        at_ii: u32,
+    },
+    /// II climbed past the cap without a mapping (a "black ✕" in Fig. 6).
+    IiCapReached {
+        /// The configured cap.
+        cap: u32,
+    },
+    /// Internal consistency failure: the decoded mapping did not validate
+    /// (indicates an encoder bug; never expected).
+    Internal(String),
+}
+
+impl fmt::Display for MapFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapFailure::InvalidDfg(e) => write!(f, "invalid DFG: {e}"),
+            MapFailure::Structural(e) => write!(f, "structurally unmappable: {e}"),
+            MapFailure::Timeout { at_ii } => write!(f, "timeout while attempting II={at_ii}"),
+            MapFailure::IiCapReached { cap } => write!(f, "no mapping up to II cap {cap}"),
+            MapFailure::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MapFailure {}
+
+/// A successful mapping with its register allocation.
+#[derive(Debug, Clone)]
+pub struct MappedLoop {
+    /// The placement/schedule.
+    pub mapping: Mapping,
+    /// Register assignment for register-file transfers.
+    pub registers: RegAllocation,
+    /// The MII lower bound the search started from.
+    pub mii: u32,
+}
+
+impl MappedLoop {
+    /// The achieved initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.mapping.ii
+    }
+}
+
+/// Full mapping report: result plus the per-II trace.
+#[derive(Debug, Clone)]
+pub struct MapOutcome {
+    /// Success or terminal failure.
+    pub result: Result<MappedLoop, MapFailure>,
+    /// One entry per II tried, in order.
+    pub attempts: Vec<IiAttempt>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl MapOutcome {
+    /// The achieved II, if mapping succeeded.
+    pub fn ii(&self) -> Option<u32> {
+        self.result.as_ref().ok().map(MappedLoop::ii)
+    }
+}
+
+/// The SAT-MapIt mapper.
+///
+/// ```
+/// use satmapit_core::Mapper;
+/// use satmapit_cgra::Cgra;
+/// use satmapit_dfg::{Dfg, Op};
+///
+/// let mut dfg = Dfg::new("pair");
+/// let a = dfg.add_const(1);
+/// let b = dfg.add_node(Op::Neg);
+/// dfg.add_edge(a, b, 0);
+///
+/// let cgra = Cgra::square(2);
+/// let outcome = Mapper::new(&dfg, &cgra).run();
+/// assert_eq!(outcome.ii(), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct Mapper<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    config: MapperConfig,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper with the default configuration.
+    pub fn new(dfg: &'a Dfg, cgra: &'a Cgra) -> Mapper<'a> {
+        Mapper {
+            dfg,
+            cgra,
+            config: MapperConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: MapperConfig) -> Mapper<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Mapper<'a> {
+        self.config.timeout = Some(timeout);
+        self
+    }
+
+    /// Runs the iterative search of paper Fig. 3.
+    pub fn run(&self) -> MapOutcome {
+        let t0 = Instant::now();
+        let deadline = self.config.timeout.map(|d| t0 + d);
+        let mut attempts = Vec::new();
+
+        if let Err(e) = self.dfg.validate() {
+            return MapOutcome {
+                result: Err(MapFailure::InvalidDfg(e)),
+                attempts,
+                elapsed: t0.elapsed(),
+            };
+        }
+        let ms = MobilitySchedule::compute(self.dfg).expect("validated above");
+        let mii_v = mii(self.dfg, self.cgra);
+        let start = self.config.start_ii.unwrap_or(mii_v).max(1);
+
+        let mut ii = start;
+        while ii <= self.config.max_ii {
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    return MapOutcome {
+                        result: Err(MapFailure::Timeout { at_ii: ii }),
+                        attempts,
+                        elapsed: t0.elapsed(),
+                    };
+                }
+            }
+            let t_ii = Instant::now();
+            let kms = Kms::build_with_slack(&ms, ii, self.config.slack.slack(ii));
+            let options = crate::encoder::EncodeOptions {
+                amo: self.config.amo,
+                register_pressure: self.config.register_pressure,
+            };
+            let enc = match crate::encoder::encode_with_options(self.dfg, self.cgra, &kms, options)
+            {
+                Ok(enc) => enc,
+                Err(e) => {
+                    return MapOutcome {
+                        result: Err(MapFailure::Structural(e)),
+                        attempts,
+                        elapsed: t0.elapsed(),
+                    };
+                }
+            };
+            let mut solver = Solver::from_cnf(&enc.formula);
+            let mut limits = SolveLimits::none();
+            if let Some(dl) = deadline {
+                limits = limits.with_deadline(dl);
+            }
+            if let Some(c) = self.config.max_conflicts_per_ii {
+                limits = limits.with_max_conflicts(c);
+            }
+            // Solve at this II; on register-allocation failure, cut the
+            // failing PE's configuration and re-solve (warm solver).
+            let mut cuts = 0u32;
+            let mut last_ra_error = None;
+            loop {
+                let solve_result = solver.solve_limited(&[], &limits);
+                match solve_result {
+                    SolveResult::Sat => {
+                        let model = solver.model().expect("SAT result has a model");
+                        let mapping = match decode_model(self.dfg, &kms, &enc.varmap, model) {
+                            Ok(m) => m,
+                            Err(e) => {
+                                return MapOutcome {
+                                    result: Err(MapFailure::Internal(e.to_string())),
+                                    attempts,
+                                    elapsed: t0.elapsed(),
+                                };
+                            }
+                        };
+                        if let Err(violations) = validate_mapping(self.dfg, self.cgra, &mapping) {
+                            return MapOutcome {
+                                result: Err(MapFailure::Internal(format!(
+                                    "decoded mapping failed validation: {violations:?}"
+                                ))),
+                                attempts,
+                                elapsed: t0.elapsed(),
+                            };
+                        }
+                        match allocate_registers(
+                            self.dfg,
+                            self.cgra,
+                            &mapping,
+                            self.config.regalloc_budget,
+                        ) {
+                            Ok(registers) => {
+                                attempts.push(IiAttempt {
+                                    ii,
+                                    encode_stats: enc.stats,
+                                    outcome: AttemptOutcome::Mapped,
+                                    solver_stats: Some(solver.stats().clone()),
+                                    ra_cuts: cuts,
+                                    elapsed: t_ii.elapsed(),
+                                });
+                                return MapOutcome {
+                                    result: Ok(MappedLoop {
+                                        mapping,
+                                        registers,
+                                        mii: mii_v,
+                                    }),
+                                    attempts,
+                                    elapsed: t0.elapsed(),
+                                };
+                            }
+                            Err(e) if cuts < self.config.ra_cuts => {
+                                let model = solver.model().expect("model").to_vec();
+                                let clause =
+                                    self.ra_cut_clause(&enc.varmap, &model, &mapping, e.pe);
+                                debug_assert!(!clause.is_empty());
+                                solver.add_clause(&clause);
+                                cuts += 1;
+                                last_ra_error = Some(e);
+                                continue;
+                            }
+                            Err(e) => {
+                                attempts.push(IiAttempt {
+                                    ii,
+                                    encode_stats: enc.stats,
+                                    outcome: AttemptOutcome::RegAllocFailed(e),
+                                    solver_stats: Some(solver.stats().clone()),
+                                    ra_cuts: cuts,
+                                    elapsed: t_ii.elapsed(),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    SolveResult::Unsat => {
+                        // With cuts this means: no register-allocatable
+                        // mapping exists at this II.
+                        let outcome = match last_ra_error {
+                            Some(e) if cuts > 0 => AttemptOutcome::RegAllocFailed(e),
+                            _ => AttemptOutcome::Unsat,
+                        };
+                        attempts.push(IiAttempt {
+                            ii,
+                            encode_stats: enc.stats,
+                            outcome,
+                            solver_stats: Some(solver.stats().clone()),
+                            ra_cuts: cuts,
+                            elapsed: t_ii.elapsed(),
+                        });
+                        break;
+                    }
+                    SolveResult::Unknown(StopReason::Timeout) => {
+                        return MapOutcome {
+                            result: Err(MapFailure::Timeout { at_ii: ii }),
+                            attempts,
+                            elapsed: t0.elapsed(),
+                        };
+                    }
+                    SolveResult::Unknown(reason @ StopReason::ConflictLimit) => {
+                        attempts.push(IiAttempt {
+                            ii,
+                            encode_stats: enc.stats,
+                            outcome: AttemptOutcome::SolverBudget(reason),
+                            solver_stats: Some(solver.stats().clone()),
+                            ra_cuts: cuts,
+                            elapsed: t_ii.elapsed(),
+                        });
+                        break;
+                    }
+                }
+            }
+            ii += 1;
+        }
+        MapOutcome {
+            result: Err(MapFailure::IiCapReached {
+                cap: self.config.max_ii,
+            }),
+            attempts,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Builds a blocking clause after a register-allocation failure on
+    /// `failed_pe`.
+    ///
+    /// Preferred cut: a minimal witness of infeasibility — `regs + 1`
+    /// mutually-overlapping live ranges (a clique in the PE's circular-arc
+    /// interference graph), blocked via the producers *and* the consumers
+    /// that pin each lifetime. Whenever those placements co-occur the PE
+    /// provably needs more registers than it has, so the cut never removes
+    /// a feasible solution. Fallback: block the PE's whole configuration
+    /// (register demand on a PE is fully determined by the nodes placed on
+    /// it — also sound, just weaker).
+    fn ra_cut_clause(
+        &self,
+        varmap: &crate::varmap::VarMap,
+        model: &[bool],
+        mapping: &Mapping,
+        failed_pe: usize,
+    ) -> Vec<satmapit_sat::Lit> {
+        use satmapit_graphs::arcs::{interference_graph, CyclicArc};
+        use satmapit_graphs::clique::clique_of_size;
+
+        // True placement literal per node.
+        let mut lit_of = vec![None; self.dfg.num_nodes()];
+        for idx in 0..varmap.num_vars() {
+            if model[idx] {
+                let (node, _, _) = varmap.decode(satmapit_sat::Var::new(idx as u32));
+                lit_of[node.index()] = Some(satmapit_sat::Var::new(idx as u32).positive());
+            }
+        }
+
+        let per_pe = crate::regs::live_values(self.dfg, self.cgra, mapping);
+        let values = &per_pe[failed_pe];
+        let ii = mapping.ii;
+        let arcs: Vec<CyclicArc> = values.iter().map(|v| v.arc(ii)).collect();
+        let graph = interference_graph(&arcs);
+        let want = usize::from(self.cgra.regs_per_pe()) + 1;
+        let result = clique_of_size(&graph, want, 50_000);
+
+        let mut cut_nodes: Vec<usize> = Vec::new();
+        if result.clique.len() >= want {
+            for &vi in &result.clique {
+                let producer = values[vi].id as usize;
+                cut_nodes.push(producer);
+                // The same-PE consumer realizing the value's span.
+                let pnode = satmapit_dfg::NodeId(producer as u32);
+                let mut best: Option<(i64, usize)> = None;
+                for eid in self.dfg.out_edges(pnode) {
+                    if mapping.transfer(eid) == TransferKind::SamePeRegister {
+                        let delta = mapping.edge_delta(self.dfg, eid);
+                        let consumer = self.dfg.edge(eid).dst.index();
+                        if best.map_or(true, |(d, _)| delta > d) {
+                            best = Some((delta, consumer));
+                        }
+                    }
+                }
+                if let Some((_, consumer)) = best {
+                    cut_nodes.push(consumer);
+                }
+            }
+        } else {
+            // Fallback: every node on the failing PE.
+            for (n, p) in mapping.iter() {
+                if p.pe.index() == failed_pe {
+                    cut_nodes.push(n.index());
+                }
+            }
+        }
+        cut_nodes.sort_unstable();
+        cut_nodes.dedup();
+        cut_nodes
+            .into_iter()
+            .filter_map(|n| lit_of[n].map(|l| !l))
+            .collect()
+    }
+}
+
+/// Maps `dfg` onto `cgra` with the default configuration.
+pub fn map(dfg: &Dfg, cgra: &Cgra) -> MapOutcome {
+    Mapper::new(dfg, cgra).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::Op;
+
+    fn chain(n: usize) -> Dfg {
+        let mut dfg = Dfg::new(format!("chain{n}"));
+        let mut prev = dfg.add_const(1);
+        for _ in 1..n {
+            let next = dfg.add_node(Op::Neg);
+            dfg.add_edge(prev, next, 0);
+            prev = next;
+        }
+        dfg
+    }
+
+    #[test]
+    fn chain_maps_at_mii() {
+        let dfg = chain(4);
+        let cgra = Cgra::square(2);
+        let outcome = map(&dfg, &cgra);
+        assert_eq!(outcome.ii(), Some(1));
+        let mapped = outcome.result.unwrap();
+        assert_eq!(mapped.mii, 1);
+        assert!(validate_mapping(&dfg, &cgra, &mapped.mapping).is_ok());
+    }
+
+    #[test]
+    fn parallel_ops_push_ii_up() {
+        // 9 independent constants on 2x2: ResMII = 3.
+        let mut dfg = Dfg::new("par9");
+        for i in 0..9 {
+            let _ = dfg.add_const(i);
+        }
+        let cgra = Cgra::square(2);
+        let outcome = map(&dfg, &cgra);
+        assert_eq!(outcome.ii(), Some(3));
+        assert_eq!(outcome.attempts.len(), 1, "starts directly at MII=3");
+    }
+
+    #[test]
+    fn attempts_record_unsat_iis() {
+        // A recurrence a->b->c->a on a 1x1: RecMII=3 and everything on one
+        // PE. The accumulator cycle forces II=3.
+        let mut dfg = Dfg::new("rec");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        let cgra = Cgra::square(1);
+        let outcome = map(&dfg, &cgra);
+        assert_eq!(outcome.ii(), Some(3));
+    }
+
+    #[test]
+    fn ii_cap_reported() {
+        // Fanout that cannot be satisfied on a 1x1 CGRA: a const feeding
+        // two consumers is fine (same PE), but a node with a consumer that
+        // must read within II while every II is blocked... Use an
+        // unmappable case: two parallel chains with a cross dependency
+        // needing adjacency on 1 PE is actually fine. Instead use a cap of
+        // 0 iterations: max_ii below MII.
+        let dfg = chain(5);
+        let cgra = Cgra::square(1);
+        let config = MapperConfig {
+            max_ii: 3, // MII is 5 on a 1x1 (5 nodes, 1 PE)
+            ..MapperConfig::default()
+        };
+        let outcome = Mapper::new(&dfg, &cgra).with_config(config).run();
+        assert_eq!(
+            outcome.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 3 }
+        );
+        assert!(outcome.attempts.is_empty(), "MII already exceeds the cap");
+    }
+
+    #[test]
+    fn invalid_dfg_fails_fast() {
+        let mut dfg = Dfg::new("bad");
+        let _ = dfg.add_node(Op::Add);
+        let cgra = Cgra::square(2);
+        let outcome = map(&dfg, &cgra);
+        assert!(matches!(
+            outcome.result,
+            Err(MapFailure::InvalidDfg(_))
+        ));
+    }
+
+    #[test]
+    fn structural_failure_reported() {
+        let mut dfg = Dfg::new("fib");
+        let f = dfg.add_node(Op::Add);
+        dfg.add_back_edge(f, f, 0, 1, 1);
+        dfg.add_back_edge(f, f, 1, 2, 0);
+        let cgra = Cgra::square(2);
+        let outcome = map(&dfg, &cgra);
+        assert!(matches!(
+            outcome.result,
+            Err(MapFailure::Structural(EncodeError::SelfEdgeDistance { .. }))
+        ));
+    }
+
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let dfg = chain(6);
+        let cgra = Cgra::square(2);
+        let outcome = Mapper::new(&dfg, &cgra)
+            .with_timeout(Duration::from_secs(0))
+            .run();
+        assert!(matches!(
+            outcome.result,
+            Err(MapFailure::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn start_ii_override() {
+        let dfg = chain(3);
+        let cgra = Cgra::square(2);
+        let config = MapperConfig {
+            start_ii: Some(2),
+            ..MapperConfig::default()
+        };
+        let outcome = Mapper::new(&dfg, &cgra).with_config(config).run();
+        assert_eq!(outcome.ii(), Some(2), "search starts above MII");
+    }
+
+    #[test]
+    fn register_pressure_forces_higher_ii() {
+        // One producer with many long-lived same-PE consumers would exceed
+        // 4 registers; on a 1x1 CGRA everything is same-PE. A node feeding
+        // 6 consumers on a 1x1: II must reach at least 7 (7 nodes), and all
+        // six values... only the producer's value needs a register (span up
+        // to 6 <= II=7), so allocation succeeds with 1 register. Make
+        // pressure real: 5 producers each feeding a consumer far away.
+        let mut dfg = Dfg::new("pressure");
+        let regs_needed = 5;
+        let mut pairs = Vec::new();
+        for _ in 0..regs_needed {
+            let p = dfg.add_const(1);
+            let c = dfg.add_node(Op::Neg);
+            pairs.push((p, c));
+        }
+        for (p, c) in pairs {
+            dfg.add_edge(p, c, 0);
+        }
+        let cgra = Cgra::square(1).with_regs_per_pe(2);
+        let outcome = map(&dfg, &cgra);
+        // 10 nodes on 1 PE: MII = 10. With II=10 the solver can schedule
+        // producer/consumer adjacently so lifetimes don't overlap much; the
+        // search must terminate with a valid allocation either way.
+        let mapped = outcome.result.expect("should map");
+        assert!(mapped.ii() >= 10);
+        assert!(validate_mapping(&dfg, &cgra, &mapped.mapping).is_ok());
+    }
+}

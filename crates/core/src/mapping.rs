@@ -1,0 +1,150 @@
+//! The result of mapping: a placement of every DFG node onto a
+//! `(PE, kernel cycle, fold)` triple plus the data-transfer route chosen
+//! for every dependency.
+
+use satmapit_cgra::PeId;
+use satmapit_dfg::{Dfg, EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Where and when a node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The processing element.
+    pub pe: PeId,
+    /// Kernel cycle in `0..ii` (the physical slot in the steady-state
+    /// kernel).
+    pub cycle: u32,
+    /// Fold / iteration label within the kernel mobility schedule.
+    pub fold: u32,
+}
+
+impl Placement {
+    /// The unfolded schedule time `cycle + fold * ii`.
+    pub fn time(&self, ii: u32) -> u32 {
+        self.cycle + self.fold * ii
+    }
+}
+
+/// How a dependency's value travels from producer to consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Producer and consumer share a PE; the value lives in the PE's
+    /// register file (paper Eq. 4). Register allocation assigns the
+    /// concrete register.
+    SamePeRegister,
+    /// Consumer reads the producer's output register from a neighbouring
+    /// PE (paper Eq. 5); the output register must not be overwritten in
+    /// between.
+    NeighborOutput,
+}
+
+/// A complete modulo-scheduled mapping of a DFG onto a CGRA.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The achieved initiation interval.
+    pub ii: u32,
+    /// Number of folds in the kernel (iterations in flight).
+    pub folds: u32,
+    /// Placement per node (indexed by node id).
+    pub placements: Vec<Placement>,
+    /// Transfer route per edge (indexed by edge id).
+    pub transfers: Vec<TransferKind>,
+}
+
+impl Mapping {
+    /// The placement of node `n`.
+    pub fn placement(&self, n: NodeId) -> Placement {
+        self.placements[n.index()]
+    }
+
+    /// The unfolded schedule time of node `n`.
+    pub fn time(&self, n: NodeId) -> u32 {
+        self.placements[n.index()].time(self.ii)
+    }
+
+    /// The transfer route of edge `e`.
+    pub fn transfer(&self, e: EdgeId) -> TransferKind {
+        self.transfers[e.index()]
+    }
+
+    /// Length of one unfolded iteration's schedule: `max time + 1`.
+    pub fn schedule_len(&self) -> u32 {
+        self.placements
+            .iter()
+            .map(|p| p.time(self.ii) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The dependency latency of edge `e` in cycles, counted from producer
+    /// instance to consumer instance:
+    /// `Δ = t_dst - t_src + distance * II`. A legal mapping has
+    /// `1 <= Δ <= II` for every edge.
+    pub fn edge_delta(&self, dfg: &Dfg, e: EdgeId) -> i64 {
+        let edge = dfg.edge(e);
+        let ts = i64::from(self.time(edge.src));
+        let td = i64::from(self.time(edge.dst));
+        td - ts + i64::from(edge.distance) * i64::from(self.ii)
+    }
+
+    /// Iterates `(node, placement)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Placement)> + '_ {
+        self.placements
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId(i as u32), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_time_folds_correctly() {
+        let p = Placement {
+            pe: PeId(0),
+            cycle: 2,
+            fold: 1,
+        };
+        assert_eq!(p.time(3), 5);
+        assert_eq!(p.time(4), 6);
+    }
+
+    #[test]
+    fn schedule_len_and_times() {
+        let m = Mapping {
+            ii: 2,
+            folds: 2,
+            placements: vec![
+                Placement { pe: PeId(0), cycle: 0, fold: 0 },
+                Placement { pe: PeId(1), cycle: 1, fold: 1 },
+            ],
+            transfers: vec![],
+        };
+        assert_eq!(m.time(NodeId(0)), 0);
+        assert_eq!(m.time(NodeId(1)), 3);
+        assert_eq!(m.schedule_len(), 4);
+    }
+
+    #[test]
+    fn edge_delta_includes_distance() {
+        use satmapit_dfg::Op;
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_back_edge(b, a, 0, 1, 0);
+        let m = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![
+                Placement { pe: PeId(0), cycle: 0, fold: 0 },
+                Placement { pe: PeId(1), cycle: 1, fold: 0 },
+            ],
+            transfers: vec![TransferKind::NeighborOutput, TransferKind::NeighborOutput],
+        };
+        assert_eq!(m.edge_delta(&dfg, EdgeId(0)), 1); // forward a->b
+        assert_eq!(m.edge_delta(&dfg, EdgeId(1)), 1); // back b->a: -1 + 2
+    }
+}

@@ -1,0 +1,134 @@
+//! Deriving register-file demand from a mapping and running register
+//! allocation (paper §IV-D).
+
+use crate::mapping::{Mapping, TransferKind};
+use satmapit_cgra::Cgra;
+use satmapit_dfg::Dfg;
+use satmapit_regalloc::{allocate, LiveValue, RegAllocError, RegAllocation};
+
+/// Collects, per PE, the values that must live in that PE's register file:
+/// every node with at least one same-PE consumer. The value's span is the
+/// largest latency among its register-file consumers (at most II by the C3
+/// constraints; self-dependencies span the full wheel).
+pub fn live_values(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) -> Vec<Vec<LiveValue>> {
+    let mut per_pe: Vec<Vec<LiveValue>> = vec![Vec::new(); cgra.num_pes()];
+    for n in dfg.node_ids() {
+        if !dfg.node(n).op.has_output() {
+            continue;
+        }
+        let mut span: u32 = 0;
+        for eid in dfg.out_edges(n) {
+            if mapping.transfer(eid) == TransferKind::SamePeRegister {
+                let delta = mapping.edge_delta(dfg, eid);
+                debug_assert!(delta >= 1 && delta <= i64::from(mapping.ii));
+                span = span.max(delta as u32);
+            }
+        }
+        if span > 0 {
+            let p = mapping.placement(n);
+            per_pe[p.pe.index()].push(LiveValue {
+                id: n.0,
+                write_time: p.time(mapping.ii),
+                span,
+            });
+        }
+    }
+    per_pe
+}
+
+/// Runs register allocation for `mapping` on `cgra`.
+///
+/// # Errors
+///
+/// Propagates the failing PE from the allocator; the mapper responds by
+/// increasing II (paper Fig. 3).
+pub fn allocate_registers(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapping: &Mapping,
+    budget: u64,
+) -> Result<RegAllocation, RegAllocError> {
+    let per_pe = live_values(dfg, cgra, mapping);
+    allocate(&per_pe, mapping.ii, cgra.regs_per_pe(), budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Placement;
+    use satmapit_cgra::PeId;
+    use satmapit_dfg::Op;
+
+    #[test]
+    fn only_same_pe_consumers_create_demand() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0); // same PE
+        dfg.add_edge(a, c, 0); // cross PE
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 3,
+            folds: 1,
+            placements: vec![
+                Placement { pe: PeId(0), cycle: 0, fold: 0 },
+                Placement { pe: PeId(0), cycle: 2, fold: 0 },
+                Placement { pe: PeId(1), cycle: 1, fold: 0 },
+            ],
+            transfers: vec![TransferKind::SamePeRegister, TransferKind::NeighborOutput],
+        };
+        let values = live_values(&dfg, &cgra, &mapping);
+        assert_eq!(values[0].len(), 1);
+        assert_eq!(values[0][0].id, a.0);
+        assert_eq!(values[0][0].span, 2);
+        assert!(values[1].is_empty());
+        let alloc = allocate_registers(&dfg, &cgra, &mapping, 10_000).unwrap();
+        assert!(alloc.reg_of(0, a.0).is_some());
+    }
+
+    #[test]
+    fn accumulator_occupies_full_wheel() {
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(1);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 0);
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![
+                Placement { pe: PeId(0), cycle: 0, fold: 0 },
+                Placement { pe: PeId(0), cycle: 1, fold: 0 },
+            ],
+            transfers: vec![TransferKind::SamePeRegister, TransferKind::SamePeRegister],
+        };
+        let values = live_values(&dfg, &cgra, &mapping);
+        let acc_value = values[0].iter().find(|v| v.id == acc.0).unwrap();
+        assert_eq!(acc_value.span, 2, "self-dependency spans the whole II");
+    }
+
+    #[test]
+    fn stores_never_demand_registers() {
+        let mut dfg = Dfg::new("st");
+        let a = dfg.add_const(0);
+        let v = dfg.add_const(1);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(a, st, 0);
+        dfg.add_edge(v, st, 1);
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 3,
+            folds: 1,
+            placements: vec![
+                Placement { pe: PeId(0), cycle: 0, fold: 0 },
+                Placement { pe: PeId(0), cycle: 1, fold: 0 },
+                Placement { pe: PeId(0), cycle: 2, fold: 0 },
+            ],
+            transfers: vec![TransferKind::SamePeRegister, TransferKind::SamePeRegister],
+        };
+        let values = live_values(&dfg, &cgra, &mapping);
+        assert!(values[0].iter().all(|v| v.id != st.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! Independent mapping validator.
+//!
+//! The validator re-checks every architectural and scheduling rule from
+//! first principles, *without* trusting the SAT encoder: slot exclusivity,
+//! interconnect adjacency, dependency timing windows, output-register
+//! lifetime, and the memory policy. Every mapping returned by the mapper —
+//! and by the baselines — must pass this check.
+
+use crate::mapping::{Mapping, TransferKind};
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A violated mapping rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// `placements`/`transfers` lengths disagree with the DFG.
+    ShapeMismatch,
+    /// A node's kernel cycle is not in `0..ii`.
+    CycleOutOfRange {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// Two nodes occupy the same `(pe, kernel cycle)` slot.
+    SlotConflict {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+    /// A node is placed on a PE that cannot execute its op.
+    MemoryPolicy {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// Producer and consumer of an edge are neither co-located nor
+    /// neighbours.
+    NotAdjacent {
+        /// Offending edge.
+        edge: EdgeId,
+    },
+    /// The dependency latency `Δ = t_d - t_s + dist·II` is outside
+    /// `1..=II`.
+    DeltaOutOfRange {
+        /// Offending edge.
+        edge: EdgeId,
+        /// The offending latency.
+        delta: i64,
+    },
+    /// A cross-PE transfer's output register is overwritten before the
+    /// consumer reads it.
+    OutputOverwritten {
+        /// Offending edge.
+        edge: EdgeId,
+        /// The node that clobbers the producer's output register.
+        by: NodeId,
+    },
+    /// The recorded transfer kind contradicts the placements.
+    WrongTransferKind {
+        /// Offending edge.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ShapeMismatch => write!(f, "mapping shape disagrees with DFG"),
+            Violation::CycleOutOfRange { node } => {
+                write!(f, "node {node} scheduled outside the kernel")
+            }
+            Violation::SlotConflict { a, b } => {
+                write!(f, "nodes {a} and {b} share a (PE, cycle) slot")
+            }
+            Violation::MemoryPolicy { node } => {
+                write!(f, "node {node} placed on a PE that cannot run its op")
+            }
+            Violation::NotAdjacent { edge } => {
+                write!(f, "edge {edge:?} spans non-adjacent PEs")
+            }
+            Violation::DeltaOutOfRange { edge, delta } => {
+                write!(f, "edge {edge:?} has latency {delta} outside 1..=II")
+            }
+            Violation::OutputOverwritten { edge, by } => {
+                write!(f, "edge {edge:?}: output register clobbered by {by}")
+            }
+            Violation::WrongTransferKind { edge } => {
+                write!(f, "edge {edge:?} has an inconsistent transfer kind")
+            }
+        }
+    }
+}
+
+/// Validates `mapping` against the DFG and architecture.
+///
+/// # Errors
+///
+/// Returns *all* violations found (empty vector never returned as error).
+pub fn validate_mapping(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    if mapping.placements.len() != dfg.num_nodes()
+        || mapping.transfers.len() != dfg.num_edges()
+        || mapping.ii == 0
+    {
+        return Err(vec![Violation::ShapeMismatch]);
+    }
+    let ii = mapping.ii;
+
+    for n in dfg.node_ids() {
+        let p = mapping.placement(n);
+        if p.cycle >= ii {
+            violations.push(Violation::CycleOutOfRange { node: n });
+        }
+        if !cgra.supports_op(p.pe, dfg.node(n).op) {
+            violations.push(Violation::MemoryPolicy { node: n });
+        }
+    }
+
+    // Slot exclusivity.
+    for a in dfg.node_ids() {
+        for b in dfg.node_ids() {
+            if b <= a {
+                continue;
+            }
+            let pa = mapping.placement(a);
+            let pb = mapping.placement(b);
+            if pa.pe == pb.pe && pa.cycle % ii == pb.cycle % ii {
+                violations.push(Violation::SlotConflict { a, b });
+            }
+        }
+    }
+
+    // Dependencies.
+    for (eid, e) in dfg.edges() {
+        let ps = mapping.placement(e.src);
+        let pd = mapping.placement(e.dst);
+        let same = ps.pe == pd.pe;
+        if !same && !cgra.adjacent_or_same(ps.pe, pd.pe) {
+            violations.push(Violation::NotAdjacent { edge: eid });
+            continue;
+        }
+        let delta = mapping.edge_delta(dfg, eid);
+        if delta < 1 || delta > i64::from(ii) {
+            violations.push(Violation::DeltaOutOfRange { edge: eid, delta });
+            continue;
+        }
+        let expected = if same {
+            TransferKind::SamePeRegister
+        } else {
+            TransferKind::NeighborOutput
+        };
+        if mapping.transfer(eid) != expected {
+            violations.push(Violation::WrongTransferKind { edge: eid });
+        }
+        if !same {
+            // Output-register non-overwrite: no node on the producer's PE
+            // at kernel slots strictly between production and consumption.
+            let ts = i64::from(mapping.time(e.src));
+            for k in 1..delta {
+                let slot = ((ts + k) % i64::from(ii)) as u32;
+                for m in dfg.node_ids() {
+                    if m == e.src {
+                        continue;
+                    }
+                    let pm = mapping.placement(m);
+                    if pm.pe == ps.pe && pm.cycle == slot {
+                        violations.push(Violation::OutputOverwritten { edge: eid, by: m });
+                    }
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Placement;
+    use satmapit_cgra::PeId;
+    use satmapit_dfg::Op;
+
+    fn pair_dfg() -> Dfg {
+        let mut dfg = Dfg::new("pair");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg
+    }
+
+    fn place(pe: u16, cycle: u32, fold: u32) -> Placement {
+        Placement {
+            pe: PeId(pe),
+            cycle,
+            fold,
+        }
+    }
+
+    #[test]
+    fn accepts_a_good_mapping() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(1, 1, 0)],
+            transfers: vec![TransferKind::NeighborOutput],
+        };
+        assert!(validate_mapping(&dfg, &cgra, &mapping).is_ok());
+    }
+
+    #[test]
+    fn rejects_slot_conflicts() {
+        let mut dfg = Dfg::new("two");
+        let _ = dfg.add_const(1);
+        let _ = dfg.add_const(2);
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 1,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(0, 0, 0)],
+            transfers: vec![],
+        };
+        let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
+        assert!(vs.iter().any(|v| matches!(v, Violation::SlotConflict { .. })));
+    }
+
+    #[test]
+    fn rejects_non_adjacent_dependency() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::square(2);
+        // PE 0 (0,0) and PE 3 (1,1) are diagonal: not adjacent in Mesh4.
+        let mapping = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(3, 1, 0)],
+            transfers: vec![TransferKind::NeighborOutput],
+        };
+        let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
+        assert!(vs.iter().any(|v| matches!(v, Violation::NotAdjacent { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_latency() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::square(2);
+        // Consumer scheduled at the same time as the producer: Δ = 0.
+        let mapping = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(1, 0, 0)],
+            transfers: vec![TransferKind::NeighborOutput],
+        };
+        let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::DeltaOutOfRange { delta: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_overwritten_output_register() {
+        // a on PE0@t0 feeds c on PE1@t2 (Δ=2), but b executes on PE0@t1,
+        // clobbering a's output register before c reads it.
+        let mut dfg = Dfg::new("clobber");
+        let a = dfg.add_const(1);
+        let b = dfg.add_const(2);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, c, 0);
+        let _ = b;
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 3,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(0, 1, 0), place(1, 2, 0)],
+            transfers: vec![TransferKind::NeighborOutput],
+        };
+        let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::OutputOverwritten { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_transfer_kind() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(1, 1, 0)],
+            transfers: vec![TransferKind::SamePeRegister],
+        };
+        let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::WrongTransferKind { .. })));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 1,
+            folds: 1,
+            placements: vec![place(0, 0, 0)],
+            transfers: vec![],
+        };
+        assert_eq!(
+            validate_mapping(&dfg, &cgra, &mapping),
+            Err(vec![Violation::ShapeMismatch])
+        );
+    }
+
+    #[test]
+    fn back_edge_latency_accepts_wraparound() {
+        // acc -> acc with distance 1: Δ = II, always legal on one PE.
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(1);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 0);
+        let cgra = Cgra::square(2);
+        let mapping = Mapping {
+            ii: 2,
+            folds: 1,
+            placements: vec![place(0, 0, 0), place(0, 1, 0)],
+            transfers: vec![TransferKind::SamePeRegister, TransferKind::SamePeRegister],
+        };
+        assert!(validate_mapping(&dfg, &cgra, &mapping).is_ok());
+    }
+}

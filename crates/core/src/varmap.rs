@@ -1,0 +1,193 @@
+//! The SAT variable space: one variable `x(n, p, c, it)` per candidate
+//! placement of node `n` on PE `p` at KMS position `(c, it)` (paper §IV-C).
+
+use satmapit_cgra::{Cgra, PeId};
+use satmapit_dfg::{Dfg, NodeId};
+use satmapit_sat::{Lit, Var};
+use satmapit_schedule::{Kms, KmsPos};
+
+/// Dense bidirectional index between placement candidates and SAT
+/// variables.
+///
+/// Variables are laid out node-major, then position-major, then PE-major:
+/// `var(n, k, j) = offset[n] + k * |allowed(n)| + j`, where `allowed(n)` is
+/// the set of PEs that may execute `n` (restricted by the memory policy).
+#[derive(Debug, Clone)]
+pub struct VarMap {
+    offsets: Vec<usize>,
+    allowed: Vec<Vec<PeId>>,
+    entries: Vec<(NodeId, KmsPos, PeId)>,
+    /// lits at physical slot `(pe, cycle)`: indexed `pe * ii + cycle`.
+    slot_lits: Vec<Vec<Lit>>,
+    ii: u32,
+    num_pes: usize,
+}
+
+impl VarMap {
+    /// Builds the variable space for `dfg` on `cgra` folded as `kms`.
+    ///
+    /// Returns `None` if some node has no PE able to execute it (memory
+    /// policy excludes every PE).
+    pub fn build(dfg: &Dfg, cgra: &Cgra, kms: &Kms) -> Option<VarMap> {
+        let num_pes = cgra.num_pes();
+        let ii = kms.ii();
+        let mut offsets = Vec::with_capacity(dfg.num_nodes());
+        let mut allowed = Vec::with_capacity(dfg.num_nodes());
+        let mut entries = Vec::new();
+        let mut slot_lits = vec![Vec::new(); num_pes * ii as usize];
+        for n in dfg.node_ids() {
+            offsets.push(entries.len());
+            let op = dfg.node(n).op;
+            let pes: Vec<PeId> = cgra.pes().filter(|&p| cgra.supports_op(p, op)).collect();
+            if pes.is_empty() {
+                return None;
+            }
+            for &pos in kms.positions(n) {
+                for &pe in &pes {
+                    let var = Var::new(entries.len() as u32);
+                    entries.push((n, pos, pe));
+                    slot_lits[pe.index() * ii as usize + pos.cycle as usize]
+                        .push(var.positive());
+                }
+            }
+            allowed.push(pes);
+        }
+        Some(VarMap {
+            offsets,
+            allowed,
+            entries,
+            slot_lits,
+            ii,
+            num_pes,
+        })
+    }
+
+    /// Total number of placement variables.
+    pub fn num_vars(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of PEs in the target.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// The PEs allowed for node `n`.
+    pub fn allowed_pes(&self, n: NodeId) -> &[PeId] {
+        &self.allowed[n.index()]
+    }
+
+    /// The positive literal for `(n, position index, allowed-PE index)`.
+    pub fn lit(&self, n: NodeId, pos_idx: usize, pe_idx: usize) -> Lit {
+        let width = self.allowed[n.index()].len();
+        debug_assert!(pe_idx < width);
+        Var::new((self.offsets[n.index()] + pos_idx * width + pe_idx) as u32).positive()
+    }
+
+    /// All literals of node `n` (its `L(n)` from the paper).
+    pub fn node_lits(&self, n: NodeId) -> Vec<Lit> {
+        let width = self.allowed[n.index()].len();
+        let count = width * self.positions_len(n);
+        (0..count)
+            .map(|k| Var::new((self.offsets[n.index()] + k) as u32).positive())
+            .collect()
+    }
+
+    fn positions_len(&self, n: NodeId) -> usize {
+        let next = if n.index() + 1 < self.offsets.len() {
+            self.offsets[n.index() + 1]
+        } else {
+            self.entries.len()
+        };
+        (next - self.offsets[n.index()]) / self.allowed[n.index()].len()
+    }
+
+    /// Decodes a variable back to its `(node, position, pe)` triple.
+    pub fn decode(&self, var: Var) -> (NodeId, KmsPos, PeId) {
+        self.entries[var.index()]
+    }
+
+    /// The literals of all candidates occupying physical slot
+    /// `(pe, cycle)` — across all nodes and folds.
+    pub fn slot_lits(&self, pe: PeId, cycle: u32) -> &[Lit] {
+        &self.slot_lits[pe.index() * self.ii as usize + cycle as usize]
+    }
+
+    /// The initiation interval of the underlying KMS.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_cgra::MemoryPolicy;
+    use satmapit_dfg::Op;
+    use satmapit_schedule::MobilitySchedule;
+
+    fn tiny() -> (Dfg, Cgra) {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        (dfg, Cgra::square(2))
+    }
+
+    #[test]
+    fn var_count_is_positions_times_pes() {
+        let (dfg, cgra) = tiny();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 1);
+        let vm = VarMap::build(&dfg, &cgra, &kms).unwrap();
+        // Each node: 1 position, 4 PEs.
+        assert_eq!(vm.num_vars(), 8);
+        assert_eq!(vm.node_lits(NodeId(0)).len(), 4);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let (dfg, cgra) = tiny();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 2);
+        let vm = VarMap::build(&dfg, &cgra, &kms).unwrap();
+        for n in dfg.node_ids() {
+            for (k, &pos) in kms.positions(n).iter().enumerate() {
+                for (j, &pe) in vm.allowed_pes(n).iter().enumerate() {
+                    let lit = vm.lit(n, k, j);
+                    let (dn, dpos, dpe) = vm.decode(lit.var());
+                    assert_eq!((dn, dpos, dpe), (n, pos, pe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_lits_partition_variables() {
+        let (dfg, cgra) = tiny();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 2);
+        let vm = VarMap::build(&dfg, &cgra, &kms).unwrap();
+        let mut total = 0;
+        for pe in cgra.pes() {
+            for c in 0..kms.ii() {
+                total += vm.slot_lits(pe, c).len();
+            }
+        }
+        assert_eq!(total, vm.num_vars());
+    }
+
+    #[test]
+    fn memory_policy_restricts_allowed_pes() {
+        let mut dfg = Dfg::new("m");
+        let a = dfg.add_const(0);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(a, ld, 0);
+        let cgra = Cgra::square(2).with_memory_policy(MemoryPolicy::LeftColumn);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 1);
+        let vm = VarMap::build(&dfg, &cgra, &kms).unwrap();
+        assert_eq!(vm.allowed_pes(NodeId(0)).len(), 4, "const anywhere");
+        assert_eq!(vm.allowed_pes(ld).len(), 2, "load on left column only");
+    }
+}

@@ -1,0 +1,507 @@
+//! The data-flow graph structure: nodes, dependency edges, loop-carried
+//! back-edges, validation, and structural queries.
+
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a DFG node (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index for array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a DFG edge (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Dense index for array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A DFG node: one operation of the loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Immediate payload (the value of `Const` nodes; ignored otherwise).
+    pub imm: i64,
+    /// Human-readable label for dumps and DOT export.
+    pub label: String,
+}
+
+/// A dependency edge `src → dst` feeding operand slot `operand` of `dst`.
+///
+/// `distance == 0` is an intra-iteration dependency; `distance >= 1` is a
+/// loop-carried dependency: iteration `i` of `dst` consumes the value
+/// produced by iteration `i - distance` of `src`, and iterations
+/// `i < distance` consume `init` instead (the pre-loop live-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing node.
+    pub src: NodeId,
+    /// Consuming node.
+    pub dst: NodeId,
+    /// Operand position at the consumer (0-based).
+    pub operand: u8,
+    /// Loop-carried distance in iterations (0 = same iteration).
+    pub distance: u32,
+    /// Live-in value consumed by iterations `i < distance`.
+    pub init: i64,
+}
+
+impl Edge {
+    /// `true` for loop-carried (back) edges.
+    pub fn is_back_edge(&self) -> bool {
+        self.distance > 0
+    }
+}
+
+/// A loop-body data-flow graph.
+///
+/// ```
+/// use satmapit_dfg::{Dfg, Op};
+/// let mut dfg = Dfg::new("acc");
+/// let c = dfg.add_const(1);
+/// let acc = dfg.add_node(Op::Add);
+/// dfg.add_edge(c, acc, 0);
+/// dfg.add_back_edge(acc, acc, 1, 1, 0); // acc += 1 each iteration
+/// dfg.validate().unwrap();
+/// assert_eq!(dfg.num_nodes(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Dfg {
+    /// Creates an empty DFG with the given name.
+    pub fn new(name: impl Into<String>) -> Dfg {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The benchmark/loop name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (including back-edges).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node with the default label `<op><index>`.
+    pub fn add_node(&mut self, op: Op) -> NodeId {
+        let label = format!("{op}{}", self.nodes.len());
+        self.add_node_labeled(op, 0, label)
+    }
+
+    /// Adds a `Const` node producing `value`.
+    pub fn add_const(&mut self, value: i64) -> NodeId {
+        let label = format!("c{}", self.nodes.len());
+        self.add_node_labeled(Op::Const, value, label)
+    }
+
+    /// Adds a node with an explicit immediate and label.
+    pub fn add_node_labeled(&mut self, op: Op, imm: i64, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op,
+            imm,
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Adds an intra-iteration dependency feeding operand slot `operand`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, operand: u8) -> EdgeId {
+        self.push_edge(Edge {
+            src,
+            dst,
+            operand,
+            distance: 0,
+            init: 0,
+        })
+    }
+
+    /// Adds a loop-carried dependency with the given `distance >= 1` and
+    /// pre-loop live-in `init`.
+    pub fn add_back_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        operand: u8,
+        distance: u32,
+        init: i64,
+    ) -> EdgeId {
+        self.push_edge(Edge {
+            src,
+            dst,
+            operand,
+            distance,
+            init,
+        })
+    }
+
+    fn push_edge(&mut self, edge: Edge) -> EdgeId {
+        assert!(
+            edge.src.index() < self.nodes.len() && edge.dst.index() < self.nodes.len(),
+            "edge endpoints out of range"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(edge);
+        id
+    }
+
+    /// The node payload.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge payload.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Iterates over node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over edge ids in index order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Incoming edges of `n`, sorted by operand slot.
+    pub fn in_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.dst == n)
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect();
+        ids.sort_by_key(|&e| self.edges[e.index()].operand);
+        ids
+    }
+
+    /// Outgoing edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.src == n)
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect()
+    }
+
+    /// Number of memory operations (loads + stores).
+    pub fn num_memory_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_memory()).count()
+    }
+
+    /// A topological order of the forward (distance-0) subgraph.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DfgError::ForwardCycle`] if intra-iteration dependencies
+    /// form a cycle.
+    pub fn forward_topo_order(&self) -> Result<Vec<NodeId>, DfgError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if e.distance == 0 {
+                indeg[e.dst.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(NodeId(v as u32));
+            for e in &self.edges {
+                if e.distance == 0 && e.src.index() == v {
+                    let w = e.dst.index();
+                    indeg[w] -= 1;
+                    if indeg[w] == 0 {
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(DfgError::ForwardCycle)
+        }
+    }
+
+    /// Structural validation; see [`DfgError`] for the invariants checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        if self.nodes.is_empty() {
+            return Err(DfgError::Empty);
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src.index() >= self.nodes.len() || e.dst.index() >= self.nodes.len() {
+                return Err(DfgError::DanglingEdge(EdgeId(i as u32)));
+            }
+            if !self.nodes[e.src.index()].op.has_output() {
+                return Err(DfgError::SourceHasNoOutput(EdgeId(i as u32)));
+            }
+            let arity = self.nodes[e.dst.index()].op.arity();
+            if (e.operand as usize) >= arity {
+                return Err(DfgError::OperandOutOfRange(EdgeId(i as u32)));
+            }
+        }
+        // Every operand slot filled exactly once.
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(ni as u32);
+            let mut filled = vec![0usize; node.op.arity()];
+            for e in &self.edges {
+                if e.dst == id {
+                    filled[e.operand as usize] += 1;
+                }
+            }
+            for (slot, &count) in filled.iter().enumerate() {
+                if count == 0 {
+                    return Err(DfgError::MissingOperand { node: id, slot });
+                }
+                if count > 1 {
+                    return Err(DfgError::DuplicateOperand { node: id, slot });
+                }
+            }
+        }
+        self.forward_topo_order()?;
+        Ok(())
+    }
+}
+
+/// Violations detected by [`Dfg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge references a node out of range.
+    DanglingEdge(EdgeId),
+    /// An edge's source op produces no value (e.g. a store feeding a node).
+    SourceHasNoOutput(EdgeId),
+    /// An edge targets an operand slot beyond the consumer's arity.
+    OperandOutOfRange(EdgeId),
+    /// An operand slot of a node has no incoming edge.
+    MissingOperand {
+        /// Consumer node.
+        node: NodeId,
+        /// Unfilled slot.
+        slot: usize,
+    },
+    /// An operand slot of a node has several incoming edges.
+    DuplicateOperand {
+        /// Consumer node.
+        node: NodeId,
+        /// Multiply-driven slot.
+        slot: usize,
+    },
+    /// Intra-iteration dependencies form a cycle.
+    ForwardCycle,
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::Empty => write!(f, "graph has no nodes"),
+            DfgError::DanglingEdge(e) => write!(f, "edge {e:?} references missing node"),
+            DfgError::SourceHasNoOutput(e) => {
+                write!(f, "edge {e:?} originates from a node without output")
+            }
+            DfgError::OperandOutOfRange(e) => {
+                write!(f, "edge {e:?} targets an operand slot beyond arity")
+            }
+            DfgError::MissingOperand { node, slot } => {
+                write!(f, "operand {slot} of {node} is undriven")
+            }
+            DfgError::DuplicateOperand { node, slot } => {
+                write!(f, "operand {slot} of {node} is driven more than once")
+            }
+            DfgError::ForwardCycle => {
+                write!(f, "intra-iteration dependencies form a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_dfg() -> Dfg {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(1);
+        let b = dfg.add_const(2);
+        let s = dfg.add_node(Op::Add);
+        dfg.add_edge(a, s, 0);
+        dfg.add_edge(b, s, 1);
+        dfg
+    }
+
+    #[test]
+    fn valid_simple_graph() {
+        let dfg = simple_dfg();
+        assert!(dfg.validate().is_ok());
+        assert_eq!(dfg.num_nodes(), 3);
+        assert_eq!(dfg.num_edges(), 2);
+    }
+
+    #[test]
+    fn in_edges_sorted_by_operand() {
+        let dfg = simple_dfg();
+        let s = NodeId(2);
+        let ins = dfg.in_edges(s);
+        assert_eq!(ins.len(), 2);
+        assert_eq!(dfg.edge(ins[0]).operand, 0);
+        assert_eq!(dfg.edge(ins[1]).operand, 1);
+    }
+
+    #[test]
+    fn missing_operand_detected() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(1);
+        let s = dfg.add_node(Op::Add);
+        dfg.add_edge(a, s, 0);
+        assert_eq!(
+            dfg.validate(),
+            Err(DfgError::MissingOperand { node: s, slot: 1 })
+        );
+    }
+
+    #[test]
+    fn duplicate_operand_detected() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(1);
+        let s = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, s, 0);
+        dfg.add_edge(a, s, 0);
+        assert_eq!(
+            dfg.validate(),
+            Err(DfgError::DuplicateOperand { node: s, slot: 0 })
+        );
+    }
+
+    #[test]
+    fn operand_out_of_range_detected() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(1);
+        let s = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, s, 1);
+        assert_eq!(dfg.validate(), Err(DfgError::OperandOutOfRange(EdgeId(0))));
+    }
+
+    #[test]
+    fn store_cannot_feed() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(0);
+        let v = dfg.add_const(7);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(a, st, 0);
+        dfg.add_edge(v, st, 1);
+        let sink = dfg.add_node(Op::Neg);
+        dfg.add_edge(st, sink, 0);
+        assert_eq!(dfg.validate(), Err(DfgError::SourceHasNoOutput(EdgeId(2))));
+    }
+
+    #[test]
+    fn forward_cycle_detected_but_back_edge_ok() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_back_edge(b, a, 0, 1, 0);
+        assert!(dfg.validate().is_ok(), "cycle through back-edge is legal");
+
+        let mut dfg2 = Dfg::new("t");
+        let a = dfg2.add_node(Op::Neg);
+        let b = dfg2.add_node(Op::Neg);
+        dfg2.add_edge(a, b, 0);
+        dfg2.add_edge(b, a, 0);
+        assert_eq!(dfg2.validate(), Err(DfgError::ForwardCycle));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let dfg = Dfg::new("t");
+        assert_eq!(dfg.validate(), Err(DfgError::Empty));
+    }
+
+    #[test]
+    fn topo_order_respects_forward_edges() {
+        let dfg = simple_dfg();
+        let order = dfg.forward_topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 3];
+            for (i, n) in order.iter().enumerate() {
+                p[n.index()] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let dfg = simple_dfg();
+        let copy = dfg.clone();
+        assert_eq!(copy, dfg);
+        assert_eq!(copy.name(), "t");
+    }
+}

@@ -1,0 +1,248 @@
+//! Reference interpreter: executes a loop DFG sequentially, iteration by
+//! iteration. This defines the ground-truth semantics that any CGRA mapping
+//! of the same DFG must reproduce (checked by `satmapit-sim`).
+
+use crate::graph::{Dfg, DfgError, NodeId};
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+
+/// A recorded store: which node stored what where, on which iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreEvent {
+    /// Iteration index.
+    pub iteration: u32,
+    /// The storing node.
+    pub node: NodeId,
+    /// Target address (already wrapped into the memory size).
+    pub addr: usize,
+    /// Stored value.
+    pub value: i64,
+}
+
+/// Result of interpreting a DFG for a number of iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpResult {
+    /// `values[i][n]` = value produced by node `n` on iteration `i`
+    /// (stores record the stored value).
+    pub values: Vec<Vec<i64>>,
+    /// Final memory contents.
+    pub memory: Vec<i64>,
+    /// All stores in program order.
+    pub stores: Vec<StoreEvent>,
+}
+
+/// Interprets `dfg` for `iterations` iterations against `memory`.
+///
+/// Addresses are wrapped into `memory.len()` (Euclidean modulo), so any
+/// address expression is legal; graphs with memory ops require a non-empty
+/// memory.
+///
+/// # Errors
+///
+/// Fails if the DFG does not [`Dfg::validate`], or if memory ops exist but
+/// `memory` is empty.
+pub fn interpret(dfg: &Dfg, mut memory: Vec<i64>, iterations: u32) -> Result<InterpResult, InterpError> {
+    dfg.validate().map_err(InterpError::InvalidDfg)?;
+    if dfg.num_memory_ops() > 0 && memory.is_empty() {
+        return Err(InterpError::EmptyMemory);
+    }
+    let order = dfg.forward_topo_order().map_err(InterpError::InvalidDfg)?;
+    let n = dfg.num_nodes();
+    let mut values: Vec<Vec<i64>> = Vec::with_capacity(iterations as usize);
+    let mut stores = Vec::new();
+
+    // Pre-compute per-node input edges sorted by operand slot.
+    let in_edges: Vec<Vec<crate::graph::EdgeId>> =
+        dfg.node_ids().map(|id| dfg.in_edges(id)).collect();
+
+    for i in 0..iterations {
+        let mut row = vec![0i64; n];
+        for &node_id in &order {
+            let node = dfg.node(node_id);
+            let mut operands = Vec::with_capacity(node.op.arity());
+            for &eid in &in_edges[node_id.index()] {
+                let e = dfg.edge(eid);
+                let v = if e.distance == 0 {
+                    row[e.src.index()]
+                } else if i >= e.distance {
+                    values[(i - e.distance) as usize][e.src.index()]
+                } else {
+                    e.init
+                };
+                operands.push(v);
+            }
+            let value = match node.op {
+                Op::Load => {
+                    let addr = wrap_addr(operands[0], memory.len());
+                    memory[addr]
+                }
+                Op::Store => {
+                    let addr = wrap_addr(operands[0], memory.len());
+                    let value = operands[1];
+                    memory[addr] = value;
+                    stores.push(StoreEvent {
+                        iteration: i,
+                        node: node_id,
+                        addr,
+                        value,
+                    });
+                    value
+                }
+                op => op.eval_pure(node.imm, &operands),
+            };
+            row[node_id.index()] = value;
+        }
+        values.push(row);
+    }
+
+    Ok(InterpResult {
+        values,
+        memory,
+        stores,
+    })
+}
+
+/// Wraps a signed address into a memory of the given size.
+pub fn wrap_addr(addr: i64, size: usize) -> usize {
+    debug_assert!(size > 0);
+    (addr.rem_euclid(size as i64)) as usize
+}
+
+/// Errors produced by [`interpret`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The graph failed validation.
+    InvalidDfg(DfgError),
+    /// The graph has memory ops but no memory was provided.
+    EmptyMemory,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::InvalidDfg(e) => write!(f, "invalid dfg: {e}"),
+            InterpError::EmptyMemory => write!(f, "graph has memory ops but memory is empty"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dfg;
+
+    /// acc_{i} = acc_{i-1} + 2, acc_{-1} = 10.
+    #[test]
+    fn accumulator_recurrence() {
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(2);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 10);
+        let r = interpret(&dfg, vec![], 5).unwrap();
+        let accs: Vec<i64> = r.values.iter().map(|row| row[acc.index()]).collect();
+        assert_eq!(accs, vec![12, 14, 16, 18, 20]);
+    }
+
+    /// Induction variable + streaming store: out[i] = i * 3.
+    #[test]
+    fn streaming_store() {
+        let mut dfg = Dfg::new("stream");
+        let one = dfg.add_const(1);
+        let i = dfg.add_node(Op::Add); // i = i_prev + 1, init -1 => 0,1,2,...
+        dfg.add_edge(one, i, 0);
+        dfg.add_back_edge(i, i, 1, 1, -1);
+        let three = dfg.add_const(3);
+        let prod = dfg.add_node(Op::Mul);
+        dfg.add_edge(i, prod, 0);
+        dfg.add_edge(three, prod, 1);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(i, st, 0);
+        dfg.add_edge(prod, st, 1);
+
+        let r = interpret(&dfg, vec![0; 8], 4).unwrap();
+        assert_eq!(&r.memory[..4], &[0, 3, 6, 9]);
+        assert_eq!(r.stores.len(), 4);
+        assert_eq!(r.stores[2].addr, 2);
+        assert_eq!(r.stores[2].value, 6);
+    }
+
+    /// Load-compute-store round trip: out[i] = in[i] * in[i].
+    #[test]
+    fn load_square_store() {
+        let mut dfg = Dfg::new("square");
+        let one = dfg.add_const(1);
+        let i = dfg.add_node(Op::Add);
+        dfg.add_edge(one, i, 0);
+        dfg.add_back_edge(i, i, 1, 1, -1);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(i, ld, 0);
+        let sq = dfg.add_node(Op::Mul);
+        dfg.add_edge(ld, sq, 0);
+        dfg.add_edge(ld, sq, 1);
+        let base = dfg.add_const(8);
+        let addr = dfg.add_node(Op::Add);
+        dfg.add_edge(i, addr, 0);
+        dfg.add_edge(base, addr, 1);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(addr, st, 0);
+        dfg.add_edge(sq, st, 1);
+
+        let mut mem = vec![0i64; 16];
+        mem[..4].copy_from_slice(&[2, 3, 4, 5]);
+        let r = interpret(&dfg, mem, 4).unwrap();
+        assert_eq!(&r.memory[8..12], &[4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn distance_two_recurrence() {
+        // fib-like: f_i = f_{i-1} + f_{i-2}. Each back-edge has a single
+        // init consumed by *all* its warm-up iterations, so the dist-2
+        // operand reads 0 for both i=0 and i=1.
+        let mut dfg = Dfg::new("fib");
+        let f = dfg.add_node(Op::Add);
+        dfg.add_back_edge(f, f, 0, 1, 1);
+        dfg.add_back_edge(f, f, 1, 2, 0);
+        let r = interpret(&dfg, vec![], 6).unwrap();
+        let fs: Vec<i64> = r.values.iter().map(|row| row[f.index()]).collect();
+        // f0 = 1+0, f1 = f0+0, f2 = f1+f0, ...
+        assert_eq!(fs, vec![1, 1, 2, 3, 5, 8]);
+    }
+
+    #[test]
+    fn memory_required_when_memory_ops_exist() {
+        let mut dfg = Dfg::new("t");
+        let a = dfg.add_const(0);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(a, ld, 0);
+        assert_eq!(interpret(&dfg, vec![], 1), Err(InterpError::EmptyMemory));
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let mut dfg = Dfg::new("t");
+        let _ = dfg.add_node(Op::Add); // operands missing
+        assert!(matches!(
+            interpret(&dfg, vec![], 1),
+            Err(InterpError::InvalidDfg(_))
+        ));
+    }
+
+    #[test]
+    fn negative_addresses_wrap() {
+        assert_eq!(wrap_addr(-1, 8), 7);
+        assert_eq!(wrap_addr(-9, 8), 7);
+        assert_eq!(wrap_addr(8, 8), 0);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        let mut dfg = Dfg::new("t");
+        let _ = dfg.add_const(1);
+        let r = interpret(&dfg, vec![], 0).unwrap();
+        assert!(r.values.is_empty());
+        assert!(r.stores.is_empty());
+    }
+}

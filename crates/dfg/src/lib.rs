@@ -1,0 +1,55 @@
+//! # satmapit-dfg
+//!
+//! Data-flow graph intermediate representation for loop bodies, the input
+//! language of the SAT-MapIt CGRA mapper (DATE 2023, §III-A).
+//!
+//! A [`Dfg`] is a directed graph whose nodes are operations ([`Op`]) and
+//! whose edges are data dependencies. Loop-carried dependencies are
+//! *back-edges* carrying a `distance` (how many iterations apart producer
+//! and consumer are) and an `init` value (the pre-loop live-in consumed by
+//! the first `distance` iterations).
+//!
+//! The paper extracts DFGs from pragma-annotated C loops via LLVM; this
+//! reproduction models the same loop bodies directly in the IR (see the
+//! `satmapit-kernels` crate) — the mapper only ever consumes the graph.
+//!
+//! Besides the IR, the crate provides:
+//!
+//! * [`interp`] — a sequential reference interpreter defining loop
+//!   semantics (ground truth for mapping validation),
+//! * [`dot`] — Graphviz export,
+//! * [`gen`] — seeded random-DFG generation for property tests.
+//!
+//! ## Example: a multiply-accumulate loop
+//!
+//! ```
+//! use satmapit_dfg::{Dfg, Op, interp::interpret};
+//!
+//! let mut dfg = Dfg::new("mac");
+//! let one = dfg.add_const(1);
+//! let i = dfg.add_node(Op::Add);            // induction variable
+//! dfg.add_edge(one, i, 0);
+//! dfg.add_back_edge(i, i, 1, 1, -1);        // i starts at 0
+//! let x = dfg.add_node(Op::Load);           // x = a[i]
+//! dfg.add_edge(i, x, 0);
+//! let acc = dfg.add_node(Op::Add);          // acc += x
+//! dfg.add_edge(x, acc, 0);
+//! dfg.add_back_edge(acc, acc, 1, 1, 0);
+//!
+//! let memory = vec![10, 20, 30, 40];
+//! let result = interpret(&dfg, memory, 4).unwrap();
+//! assert_eq!(result.values[3][acc.index()], 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod gen;
+mod graph;
+pub mod interp;
+mod op;
+pub mod transform;
+
+pub use graph::{Dfg, DfgError, Edge, EdgeId, Node, NodeId};
+pub use op::Op;

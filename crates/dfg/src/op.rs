@@ -1,0 +1,296 @@
+//! Operation set of the data-flow graph.
+//!
+//! The op repertoire models a generic CGRA ALU: integer arithmetic, logic,
+//! shifts/rotates, comparisons, select, and memory access. All arithmetic is
+//! 64-bit two's-complement wrapping, matching a fixed-width datapath.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An instruction/operation executed by a DFG node (one PE slot when mapped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Produces the node's immediate value; no operands.
+    Const,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero yields 0 (hardware-defined).
+    Div,
+    /// Remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not (unary).
+    Not,
+    /// Arithmetic negation (unary).
+    Neg,
+    /// Absolute value (unary, wrapping at `i64::MIN`).
+    Abs,
+    /// Shift left by `rhs & 63`.
+    Shl,
+    /// Logical shift right by `rhs & 63`.
+    Shr,
+    /// Rotate right (64-bit) by `rhs & 63`.
+    Ror,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Equality comparison, produces 0/1.
+    Eq,
+    /// Inequality comparison, produces 0/1.
+    Ne,
+    /// Signed less-than, produces 0/1.
+    Lt,
+    /// Signed less-or-equal, produces 0/1.
+    Le,
+    /// Signed greater-than, produces 0/1.
+    Gt,
+    /// Signed greater-or-equal, produces 0/1.
+    Ge,
+    /// `select(cond, a, b)`: `a` if `cond != 0` else `b` (ternary).
+    Select,
+    /// Memory load from address operand.
+    Load,
+    /// Memory store: operands `(addr, value)`; produces the stored value
+    /// (so traces can be compared) but has no data consumers in wellformed
+    /// graphs by convention.
+    Store,
+    /// Identity/forwarding op used as an explicit routing node.
+    Route,
+}
+
+impl Op {
+    /// Number of data operands the op consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Const => 0,
+            Op::Not | Op::Neg | Op::Abs | Op::Load | Op::Route => 1,
+            Op::Select => 3,
+            _ => 2,
+        }
+    }
+
+    /// `true` if the op defines a value usable by consumers.
+    pub fn has_output(self) -> bool {
+        !matches!(self, Op::Store)
+    }
+
+    /// `true` for memory operations (loads and stores), which may be
+    /// restricted to memory-capable PEs by the architecture.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+
+    /// Evaluates the pure (non-memory) semantics of this op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands.len() != self.arity()` or if called on a memory
+    /// op (their semantics need the memory, see the interpreter).
+    pub fn eval_pure(self, imm: i64, operands: &[i64]) -> i64 {
+        assert_eq!(operands.len(), self.arity(), "arity mismatch for {self}");
+        assert!(!self.is_memory(), "memory ops need an interpreter");
+        let a = *operands.first().unwrap_or(&0);
+        let b = *operands.get(1).unwrap_or(&0);
+        match self {
+            Op::Const => imm,
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            Op::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Not => !a,
+            Op::Neg => a.wrapping_neg(),
+            Op::Abs => a.wrapping_abs(),
+            Op::Shl => a.wrapping_shl((b & 63) as u32),
+            Op::Shr => ((a as u64) >> (b & 63)) as i64,
+            Op::Ror => (a as u64).rotate_right((b & 63) as u32) as i64,
+            Op::Min => a.min(b),
+            Op::Max => a.max(b),
+            Op::Eq => i64::from(a == b),
+            Op::Ne => i64::from(a != b),
+            Op::Lt => i64::from(a < b),
+            Op::Le => i64::from(a <= b),
+            Op::Gt => i64::from(a > b),
+            Op::Ge => i64::from(a >= b),
+            Op::Select => {
+                let c = operands[2];
+                if a != 0 {
+                    b
+                } else {
+                    c
+                }
+            }
+            Op::Load | Op::Store => unreachable!(),
+            Op::Route => a,
+        }
+    }
+
+    /// All ops, for enumeration in tests and generators.
+    pub fn all() -> &'static [Op] {
+        &[
+            Op::Const,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Not,
+            Op::Neg,
+            Op::Abs,
+            Op::Shl,
+            Op::Shr,
+            Op::Ror,
+            Op::Min,
+            Op::Max,
+            Op::Eq,
+            Op::Ne,
+            Op::Lt,
+            Op::Le,
+            Op::Gt,
+            Op::Ge,
+            Op::Select,
+            Op::Load,
+            Op::Store,
+            Op::Route,
+        ]
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Const => "const",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Not => "not",
+            Op::Neg => "neg",
+            Op::Abs => "abs",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::Ror => "ror",
+            Op::Min => "min",
+            Op::Max => "max",
+            Op::Eq => "eq",
+            Op::Ne => "ne",
+            Op::Lt => "lt",
+            Op::Le => "le",
+            Op::Gt => "gt",
+            Op::Ge => "ge",
+            Op::Select => "select",
+            Op::Load => "load",
+            Op::Store => "store",
+            Op::Route => "route",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_consistency() {
+        for &op in Op::all() {
+            assert!(op.arity() <= 3);
+            if op == Op::Const {
+                assert_eq!(op.arity(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        assert_eq!(Op::Add.eval_pure(0, &[2, 3]), 5);
+        assert_eq!(Op::Sub.eval_pure(0, &[2, 3]), -1);
+        assert_eq!(Op::Mul.eval_pure(0, &[4, 5]), 20);
+        assert_eq!(Op::Div.eval_pure(0, &[7, 2]), 3);
+        assert_eq!(Op::Div.eval_pure(0, &[7, 0]), 0, "div-by-zero defined as 0");
+        assert_eq!(Op::Rem.eval_pure(0, &[7, 0]), 0);
+        assert_eq!(Op::Add.eval_pure(0, &[i64::MAX, 1]), i64::MIN, "wrapping");
+        assert_eq!(Op::Div.eval_pure(0, &[i64::MIN, -1]), i64::MIN, "wrapping div");
+    }
+
+    #[test]
+    fn logic_and_shift_semantics() {
+        assert_eq!(Op::And.eval_pure(0, &[0b1100, 0b1010]), 0b1000);
+        assert_eq!(Op::Or.eval_pure(0, &[0b1100, 0b1010]), 0b1110);
+        assert_eq!(Op::Xor.eval_pure(0, &[0b1100, 0b1010]), 0b0110);
+        assert_eq!(Op::Not.eval_pure(0, &[0]), -1);
+        assert_eq!(Op::Shl.eval_pure(0, &[1, 4]), 16);
+        assert_eq!(Op::Shr.eval_pure(0, &[-1, 63]), 1, "logical shift");
+        assert_eq!(Op::Shl.eval_pure(0, &[1, 64]), 1, "shift masks to 6 bits");
+        assert_eq!(Op::Ror.eval_pure(0, &[1, 1]), i64::MIN);
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        assert_eq!(Op::Lt.eval_pure(0, &[1, 2]), 1);
+        assert_eq!(Op::Lt.eval_pure(0, &[2, 1]), 0);
+        assert_eq!(Op::Ge.eval_pure(0, &[2, 2]), 1);
+        assert_eq!(Op::Eq.eval_pure(0, &[5, 5]), 1);
+        assert_eq!(Op::Ne.eval_pure(0, &[5, 5]), 0);
+    }
+
+    #[test]
+    fn select_and_minmax() {
+        assert_eq!(Op::Select.eval_pure(0, &[1, 10, 20]), 10);
+        assert_eq!(Op::Select.eval_pure(0, &[0, 10, 20]), 20);
+        assert_eq!(Op::Min.eval_pure(0, &[-3, 4]), -3);
+        assert_eq!(Op::Max.eval_pure(0, &[-3, 4]), 4);
+        assert_eq!(Op::Abs.eval_pure(0, &[-3]), 3);
+        assert_eq!(Op::Neg.eval_pure(0, &[3]), -3);
+    }
+
+    #[test]
+    fn const_and_route() {
+        assert_eq!(Op::Const.eval_pure(42, &[]), 42);
+        assert_eq!(Op::Route.eval_pure(0, &[17]), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_enforced() {
+        Op::Add.eval_pure(0, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory ops")]
+    fn memory_ops_rejected_in_pure_eval() {
+        Op::Load.eval_pure(0, &[0]);
+    }
+}

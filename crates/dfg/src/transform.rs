@@ -1,0 +1,249 @@
+//! Semantics-preserving DFG transformations used by mappers and
+//! experiments: explicit routing nodes and loop unrolling.
+
+use crate::graph::{Dfg, EdgeId, NodeId};
+use crate::op::Op;
+
+/// Rewrites edge `eid` (`s → d`) into `s → route → d`.
+///
+/// The route op is the identity; the original loop-carried distance and
+/// init move onto the `route → d` leg, so warm-up behaviour is unchanged.
+/// Pre-existing node ids are preserved (the route is appended), which lets
+/// callers compare interpreter traces of the original nodes directly.
+///
+/// # Panics
+///
+/// Panics if `eid` is out of range.
+pub fn insert_route(dfg: &Dfg, eid: EdgeId) -> Dfg {
+    let mut out = Dfg::new(dfg.name().to_string());
+    for n in dfg.node_ids() {
+        let node = dfg.node(n);
+        out.add_node_labeled(node.op, node.imm, node.label.clone());
+    }
+    let target = *dfg.edge(eid);
+    for (id, e) in dfg.edges() {
+        if id == eid {
+            continue;
+        }
+        if e.distance == 0 {
+            out.add_edge(e.src, e.dst, e.operand);
+        } else {
+            out.add_back_edge(e.src, e.dst, e.operand, e.distance, e.init);
+        }
+    }
+    let route = out.add_node_labeled(Op::Route, 0, format!("route{}", eid.index()));
+    out.add_edge(target.src, route, 0);
+    if target.distance == 0 {
+        out.add_edge(route, target.dst, target.operand);
+    } else {
+        out.add_back_edge(route, target.dst, target.operand, target.distance, target.init);
+    }
+    out
+}
+
+/// Ranks edges by how much they constrain mapping: high-fanout sources
+/// first. These are the edges routing relieves first.
+pub fn route_candidates(dfg: &Dfg) -> Vec<EdgeId> {
+    let mut edges: Vec<EdgeId> = dfg
+        .edges()
+        .filter(|(_, e)| e.src != e.dst)
+        .map(|(id, _)| id)
+        .collect();
+    edges.sort_by_key(|&id| {
+        let e = dfg.edge(id);
+        std::cmp::Reverse(dfg.out_edges(e.src).len())
+    });
+    edges
+}
+
+/// Unrolls the loop body `factor` times.
+///
+/// Copy `k` of node `n` gets id `k * N + n` (copy-major). Iteration `I` of
+/// the unrolled loop executes original iterations `I*factor + k` for
+/// `k = 0..factor`; loop-carried edges are rewired accordingly:
+/// the consumer copy `k` of a distance-`d` edge reads producer copy
+/// `(k - d).rem_euclid(factor)` at unrolled distance
+/// `(d - k + k') / factor`.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn unroll(dfg: &Dfg, factor: u32) -> Dfg {
+    assert!(factor > 0, "unroll factor must be positive");
+    if factor == 1 {
+        return dfg.clone();
+    }
+    let n = dfg.num_nodes() as u32;
+    let f = factor as i64;
+    let mut out = Dfg::new(format!("{}-x{}", dfg.name(), factor));
+    for k in 0..factor {
+        for id in dfg.node_ids() {
+            let node = dfg.node(id);
+            out.add_node_labeled(node.op, node.imm, format!("{}#{}", node.label, k));
+        }
+    }
+    let copy = |k: u32, id: NodeId| NodeId(k * n + id.0);
+    for (_, e) in dfg.edges() {
+        for k in 0..factor {
+            if e.distance == 0 {
+                out.add_edge(copy(k, e.src), copy(k, e.dst), e.operand);
+            } else {
+                let d = i64::from(e.distance);
+                let kk = (i64::from(k) - d).rem_euclid(f);
+                let new_dist = (d - i64::from(k) + kk) / f;
+                debug_assert!(new_dist >= 0);
+                if new_dist == 0 {
+                    out.add_edge(copy(kk as u32, e.src), copy(k, e.dst), e.operand);
+                } else {
+                    out.add_back_edge(
+                        copy(kk as u32, e.src),
+                        copy(k, e.dst),
+                        e.operand,
+                        new_dist as u32,
+                        e.init,
+                    );
+                }
+            }
+        }
+    }
+    debug_assert!(out.validate().is_ok(), "unroll produced invalid DFG");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpret;
+
+    fn acc_loop() -> Dfg {
+        // acc += i; i = i + 1
+        let mut dfg = Dfg::new("acc");
+        let one = dfg.add_const(1);
+        let i = dfg.add_node(Op::Add);
+        dfg.add_edge(one, i, 0);
+        dfg.add_back_edge(i, i, 1, 1, -1);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(i, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 0);
+        dfg
+    }
+
+    #[test]
+    fn route_preserves_semantics_on_every_edge() {
+        let dfg = acc_loop();
+        let reference = interpret(&dfg, vec![], 6).unwrap();
+        for (eid, _) in dfg.edges().collect::<Vec<_>>() {
+            let routed = insert_route(&dfg, eid);
+            routed.validate().unwrap();
+            let r = interpret(&routed, vec![], 6).unwrap();
+            for node in dfg.node_ids() {
+                for i in 0..6 {
+                    assert_eq!(
+                        reference.values[i][node.index()],
+                        r.values[i][node.index()],
+                        "{eid:?} {node} iter {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_matches_original_semantics() {
+        let dfg = acc_loop();
+        let n = dfg.num_nodes();
+        for factor in [2u32, 3, 4] {
+            let unrolled = unroll(&dfg, factor);
+            assert_eq!(unrolled.num_nodes(), n * factor as usize);
+            unrolled.validate().unwrap();
+            let iters = 4u32;
+            let reference = interpret(&dfg, vec![], iters * factor).unwrap();
+            let r = interpret(&unrolled, vec![], iters).unwrap();
+            for big_iter in 0..iters {
+                for k in 0..factor {
+                    for node in dfg.node_ids() {
+                        let orig_iter = (big_iter * factor + k) as usize;
+                        let unrolled_node = (k as usize) * n + node.index();
+                        assert_eq!(
+                            reference.values[orig_iter][node.index()],
+                            r.values[big_iter as usize][unrolled_node],
+                            "factor {factor} iter {big_iter} copy {k} node {node}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_with_memory_matches() {
+        // Streaming store: out[i] = i * 3.
+        let mut dfg = Dfg::new("stream");
+        let one = dfg.add_const(1);
+        let i = dfg.add_node(Op::Add);
+        dfg.add_edge(one, i, 0);
+        dfg.add_back_edge(i, i, 1, 1, -1);
+        let three = dfg.add_const(3);
+        let v = dfg.add_node(Op::Mul);
+        dfg.add_edge(i, v, 0);
+        dfg.add_edge(three, v, 1);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(i, st, 0);
+        dfg.add_edge(v, st, 1);
+
+        let unrolled = unroll(&dfg, 2);
+        let a = interpret(&dfg, vec![0; 16], 8).unwrap();
+        let b = interpret(&unrolled, vec![0; 16], 4).unwrap();
+        assert_eq!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn unroll_factor_one_is_identity() {
+        let dfg = acc_loop();
+        assert_eq!(unroll(&dfg, 1), dfg);
+    }
+
+    #[test]
+    fn distance_two_unrolls_correctly() {
+        // v_i = v_{i-2} + 1 over a distance-2 back edge.
+        let mut dfg = Dfg::new("d2");
+        let one = dfg.add_const(1);
+        let v = dfg.add_node(Op::Add);
+        dfg.add_edge(one, v, 0);
+        dfg.add_back_edge(v, v, 1, 2, 10);
+        let unrolled = unroll(&dfg, 2);
+        unrolled.validate().unwrap();
+        // After x2 unrolling, both copies carry distance-1 self edges.
+        let back: Vec<_> = unrolled
+            .edges()
+            .filter(|(_, e)| e.is_back_edge())
+            .collect();
+        assert_eq!(back.len(), 2);
+        assert!(back.iter().all(|(_, e)| e.distance == 1));
+        let a = interpret(&dfg, vec![], 8).unwrap();
+        let b = interpret(&unrolled, vec![], 4).unwrap();
+        let n = dfg.num_nodes();
+        for big in 0..4usize {
+            for k in 0..2usize {
+                assert_eq!(
+                    a.values[big * 2 + k][v.index()],
+                    b.values[big][k * n + v.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_prefer_high_fanout() {
+        let mut dfg = Dfg::new("fan");
+        let hub = dfg.add_const(1);
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(hub, a, 0);
+        dfg.add_edge(hub, b, 0);
+        dfg.add_edge(a, c, 0);
+        let cands = route_candidates(&dfg);
+        assert_eq!(dfg.edge(cands[0]).src, hub);
+    }
+}

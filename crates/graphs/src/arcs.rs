@@ -1,0 +1,175 @@
+//! Cyclic arcs on a modulo wheel.
+//!
+//! In a modulo schedule with initiation interval `II`, a value's live range
+//! is an arc on the `II`-cycle wheel. Register allocation builds an
+//! interference graph from overlapping arcs (a circular-arc graph).
+
+use crate::ungraph::UnGraph;
+use serde::{Deserialize, Serialize};
+
+/// A cyclic arc occupying `len` consecutive positions starting at `start`
+/// on a wheel of size `wheel` (positions `start, start+1, …, start+len-1`,
+/// all modulo `wheel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CyclicArc {
+    /// First occupied position (taken modulo `wheel`).
+    pub start: u32,
+    /// Number of occupied positions; `len >= wheel` means the full wheel.
+    pub len: u32,
+    /// Size of the wheel (the initiation interval).
+    pub wheel: u32,
+}
+
+impl CyclicArc {
+    /// Creates an arc; `start` is normalized modulo `wheel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wheel == 0`.
+    pub fn new(start: u32, len: u32, wheel: u32) -> CyclicArc {
+        assert!(wheel > 0, "wheel must be positive");
+        CyclicArc {
+            start: start % wheel,
+            len,
+            wheel,
+        }
+    }
+
+    /// `true` if the arc occupies position `pos` (taken modulo the wheel).
+    pub fn covers(&self, pos: u32) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        if self.len >= self.wheel {
+            return true;
+        }
+        let rel = (pos % self.wheel + self.wheel - self.start) % self.wheel;
+        rel < self.len
+    }
+
+    /// `true` if the two arcs share at least one wheel position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arcs live on different wheels.
+    pub fn overlaps(&self, other: &CyclicArc) -> bool {
+        assert_eq!(self.wheel, other.wheel, "arcs on different wheels");
+        if self.len == 0 || other.len == 0 {
+            return false;
+        }
+        if self.len >= self.wheel || other.len >= other.wheel {
+            return true;
+        }
+        // other.start inside self, or self.start inside other.
+        let d = (other.start + self.wheel - self.start) % self.wheel;
+        if d < self.len {
+            return true;
+        }
+        let d = (self.start + self.wheel - other.start) % self.wheel;
+        d < other.len
+    }
+}
+
+/// Builds the interference graph of a set of arcs: nodes are arc indices,
+/// edges connect overlapping arcs.
+///
+/// # Panics
+///
+/// Panics if arcs live on different wheels.
+pub fn interference_graph(arcs: &[CyclicArc]) -> UnGraph {
+    let mut g = UnGraph::new(arcs.len());
+    for i in 0..arcs.len() {
+        for j in (i + 1)..arcs.len() {
+            if arcs[i].overlaps(&arcs[j]) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_with_wraparound() {
+        let arc = CyclicArc::new(4, 3, 6); // covers 4, 5, 0
+        assert!(arc.covers(4));
+        assert!(arc.covers(5));
+        assert!(arc.covers(0));
+        assert!(!arc.covers(1));
+        assert!(!arc.covers(3));
+    }
+
+    #[test]
+    fn empty_arc_covers_nothing() {
+        let arc = CyclicArc::new(2, 0, 5);
+        for p in 0..5 {
+            assert!(!arc.covers(p));
+        }
+        assert!(!arc.overlaps(&CyclicArc::new(0, 5, 5)));
+    }
+
+    #[test]
+    fn full_wheel_overlaps_everything_nonempty() {
+        let full = CyclicArc::new(0, 7, 7);
+        let tiny = CyclicArc::new(3, 1, 7);
+        assert!(full.overlaps(&tiny));
+        assert!(tiny.overlaps(&full));
+    }
+
+    #[test]
+    fn disjoint_arcs() {
+        let a = CyclicArc::new(0, 2, 8); // 0,1
+        let b = CyclicArc::new(4, 2, 8); // 4,5
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+    }
+
+    #[test]
+    fn wraparound_overlap() {
+        let a = CyclicArc::new(6, 3, 8); // 6,7,0
+        let b = CyclicArc::new(0, 1, 8); // 0
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        let c = CyclicArc::new(1, 2, 8); // 1,2
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn overlap_matches_pointwise_definition() {
+        // Exhaustive check on a small wheel: overlap iff some position is
+        // covered by both.
+        let wheel = 5;
+        for s1 in 0..wheel {
+            for l1 in 0..=wheel {
+                for s2 in 0..wheel {
+                    for l2 in 0..=wheel {
+                        let a = CyclicArc::new(s1, l1, wheel);
+                        let b = CyclicArc::new(s2, l2, wheel);
+                        let expected = (0..wheel).any(|p| a.covers(p) && b.covers(p));
+                        assert_eq!(
+                            a.overlaps(&b),
+                            expected,
+                            "a={a:?} b={b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interference_graph_structure() {
+        let arcs = [
+            CyclicArc::new(0, 2, 6), // 0,1
+            CyclicArc::new(1, 2, 6), // 1,2
+            CyclicArc::new(3, 2, 6), // 3,4
+        ];
+        let g = interference_graph(&arcs);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+}

@@ -1,0 +1,235 @@
+//! Maximum-clique search (Bron–Kerbosch with pivoting and bounds).
+//!
+//! The REGIMap/RAMP family of CGRA mappers reduces placement to finding a
+//! clique of size `|DFG|` in a compatibility graph; this module provides the
+//! budgeted search those baselines use.
+
+use crate::ungraph::{NodeSet, UnGraph};
+
+/// Outcome of a clique search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueResult {
+    /// The best clique found (maximum if `complete`).
+    pub clique: Vec<usize>,
+    /// `true` if the search ran to completion (the clique is provably
+    /// maximum / the target is provably unreachable).
+    pub complete: bool,
+    /// Number of search-tree nodes expanded.
+    pub steps: u64,
+}
+
+struct Search<'g> {
+    g: &'g UnGraph,
+    best: Vec<usize>,
+    current: Vec<usize>,
+    target: Option<usize>,
+    budget: u64,
+    steps: u64,
+    exhausted: bool,
+    done: bool,
+}
+
+impl<'g> Search<'g> {
+    fn expand(&mut self, p: NodeSet, x: NodeSet) {
+        if self.done || self.exhausted {
+            return;
+        }
+        self.steps += 1;
+        if self.steps > self.budget {
+            self.exhausted = true;
+            return;
+        }
+        if p.is_empty() && x.is_empty() {
+            if self.current.len() > self.best.len() {
+                self.best = self.current.clone();
+                if let Some(t) = self.target {
+                    if self.best.len() >= t {
+                        self.done = true;
+                    }
+                }
+            }
+            return;
+        }
+        // Bound: even taking all of P cannot beat the incumbent.
+        if self.current.len() + p.count() <= self.best.len() {
+            return;
+        }
+        // Pivot: vertex of P ∪ X with most neighbours in P.
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .max_by_key(|&u| p.intersection_count(self.g.row(u)))
+            .expect("P ∪ X nonempty");
+        let pivot_row = self.g.row(pivot);
+        let candidates: Vec<usize> = p
+            .iter()
+            .filter(|&v| pivot_row[v / 64] >> (v % 64) & 1 == 0)
+            .collect();
+        let mut p = p;
+        let mut x = x;
+        for v in candidates {
+            if self.done || self.exhausted {
+                return;
+            }
+            let row = self.g.row(v);
+            let np = p.intersect_row(row);
+            let nx = x.intersect_row(row);
+            self.current.push(v);
+            self.expand(np, nx);
+            self.current.pop();
+            p.remove(v);
+            x.insert(v);
+        }
+    }
+}
+
+/// Finds a maximum clique, stopping after `budget` search-tree expansions.
+///
+/// If the budget is exhausted, the best clique found so far is returned with
+/// `complete == false`.
+pub fn max_clique(g: &UnGraph, budget: u64) -> CliqueResult {
+    let words = g.words();
+    let mut search = Search {
+        g,
+        best: Vec::new(),
+        current: Vec::new(),
+        target: None,
+        budget,
+        steps: 0,
+        exhausted: false,
+        done: false,
+    };
+    search.expand(NodeSet::full(words, g.num_nodes()), NodeSet::empty(words));
+    CliqueResult {
+        clique: search.best,
+        complete: !search.exhausted,
+        steps: search.steps,
+    }
+}
+
+/// Searches for a clique of at least `size` vertices, stopping early as soon
+/// as one is found or the budget runs out.
+pub fn clique_of_size(g: &UnGraph, size: usize, budget: u64) -> CliqueResult {
+    let words = g.words();
+    let mut search = Search {
+        g,
+        best: Vec::new(),
+        current: Vec::new(),
+        target: Some(size),
+        budget,
+        steps: 0,
+        exhausted: false,
+        done: false,
+    };
+    search.expand(NodeSet::full(words, g.num_nodes()), NodeSet::empty(words));
+    CliqueResult {
+        clique: search.best,
+        complete: !search.exhausted,
+        steps: search.steps,
+    }
+}
+
+/// Checks that `clique` is indeed a clique of `g`.
+pub fn is_clique(g: &UnGraph, clique: &[usize]) -> bool {
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            if !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> UnGraph {
+        let mut g = UnGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn clique_of_complete_graph() {
+        let g = complete_graph(7);
+        let r = max_clique(&g, 1_000_000);
+        assert!(r.complete);
+        assert_eq!(r.clique.len(), 7);
+        assert!(is_clique(&g, &r.clique));
+    }
+
+    #[test]
+    fn triangle_in_path() {
+        // Path 0-1-2-3 has max clique 2.
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let r = max_clique(&g, 1_000_000);
+        assert!(r.complete);
+        assert_eq!(r.clique.len(), 2);
+    }
+
+    #[test]
+    fn planted_clique_is_found() {
+        // 20 nodes, plant K6 on {2,5,8,11,14,17} plus light noise.
+        let mut g = UnGraph::new(20);
+        let planted = [2usize, 5, 8, 11, 14, 17];
+        for (i, &u) in planted.iter().enumerate() {
+            for &v in &planted[i + 1..] {
+                g.add_edge(u, v);
+            }
+        }
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        g.add_edge(6, 9);
+        let r = max_clique(&g, 1_000_000);
+        assert!(r.complete);
+        let mut clique = r.clique;
+        clique.sort_unstable();
+        assert_eq!(clique, planted);
+    }
+
+    #[test]
+    fn target_size_early_exit() {
+        let g = complete_graph(30);
+        let r = clique_of_size(&g, 5, 1_000_000);
+        assert!(r.clique.len() >= 5);
+        assert!(is_clique(&g, &r.clique));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let g = complete_graph(40);
+        let r = max_clique(&g, 3);
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UnGraph::new(0);
+        let r = max_clique(&g, 100);
+        assert!(r.complete);
+        assert!(r.clique.is_empty());
+
+        let g = UnGraph::new(3); // no edges
+        let r = max_clique(&g, 100);
+        assert!(r.complete);
+        assert_eq!(r.clique.len(), 1, "isolated vertex is a clique");
+    }
+
+    #[test]
+    fn unreachable_target_completes() {
+        let mut g = UnGraph::new(4);
+        g.add_edge(0, 1);
+        let r = clique_of_size(&g, 3, 1_000_000);
+        assert!(r.complete);
+        assert!(r.clique.len() < 3);
+    }
+}

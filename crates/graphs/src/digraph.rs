@@ -1,0 +1,306 @@
+//! Directed graphs: topological ordering, strongly connected components,
+//! DAG levelization, and positive-cycle detection (used for RecMII).
+
+use serde::{Deserialize, Serialize};
+
+/// A directed multigraph over dense node indices `0..n`.
+///
+/// Parallel edges are allowed and keep distinct edge indices, which matters
+/// for per-edge weights (e.g. modulo-scheduling distances).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> DiGraph {
+        DiGraph {
+            n,
+            edges: Vec::new(),
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds edge `u → v` and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> usize {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        let idx = self.edges.len();
+        self.edges.push((u, v));
+        self.succs[u].push(idx);
+        self.preds[v].push(idx);
+        idx
+    }
+
+    /// The endpoints of edge `e`.
+    pub fn edge(&self, e: usize) -> (usize, usize) {
+        self.edges[e]
+    }
+
+    /// Outgoing edge indices of `u`.
+    pub fn out_edges(&self, u: usize) -> &[usize] {
+        &self.succs[u]
+    }
+
+    /// Incoming edge indices of `v`.
+    pub fn in_edges(&self, v: usize) -> &[usize] {
+        &self.preds[v]
+    }
+
+    /// Successor nodes of `u` (with multiplicity).
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succs[u].iter().map(move |&e| self.edges[e].1)
+    }
+
+    /// Predecessor nodes of `v` (with multiplicity).
+    pub fn predecessors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.preds[v].iter().map(move |&e| self.edges[e].0)
+    }
+
+    /// Kahn topological sort. Returns `None` if the graph has a cycle.
+    pub fn topo_sort(&self) -> Option<Vec<usize>> {
+        let mut indeg: Vec<usize> = (0..self.n).map(|v| self.preds[v].len()).collect();
+        let mut queue: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &e in &self.succs[v] {
+                let w = self.edges[e].1;
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// ASAP levels of a DAG: `level[v] = max(level[pred]) + 1`, sources at 0.
+    /// Returns `None` if the graph has a cycle.
+    pub fn dag_levels(&self) -> Option<Vec<u32>> {
+        let order = self.topo_sort()?;
+        let mut level = vec![0u32; self.n];
+        for &v in &order {
+            for &e in &self.succs[v] {
+                let w = self.edges[e].1;
+                level[w] = level[w].max(level[v] + 1);
+            }
+        }
+        Some(level)
+    }
+
+    /// Strongly connected components (iterative Tarjan). Components are
+    /// returned in reverse topological order of the condensation.
+    pub fn tarjan_scc(&self) -> Vec<Vec<usize>> {
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; self.n];
+        let mut lowlink = vec![0usize; self.n];
+        let mut on_stack = vec![false; self.n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+
+        // Iterative DFS frame: (node, next successor position).
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..self.n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            call_stack.push((start, 0));
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                if *pos < self.succs[v].len() {
+                    let e = self.succs[v][*pos];
+                    *pos += 1;
+                    let w = self.edges[e].1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Detects whether any cycle has strictly positive total weight, with
+    /// `weights[e]` the weight of edge `e` (Bellman–Ford on a virtual
+    /// super-source in max-plus algebra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.num_edges()`.
+    pub fn has_positive_cycle(&self, weights: &[i64]) -> bool {
+        assert_eq!(weights.len(), self.edges.len());
+        let mut dist = vec![0i64; self.n];
+        for round in 0..=self.n {
+            let mut changed = false;
+            for (e, &(u, v)) in self.edges.iter().enumerate() {
+                let cand = dist[u].saturating_add(weights[e]);
+                if cand > dist[v] {
+                    dist[v] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+            if round == self.n {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn topo_sort_dag() {
+        let g = diamond();
+        let order = g.topo_sort().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let mut g = diamond();
+        g.add_edge(3, 0);
+        assert!(g.topo_sort().is_none());
+        assert!(g.dag_levels().is_none());
+    }
+
+    #[test]
+    fn dag_levels_are_longest_paths() {
+        let g = diamond();
+        assert_eq!(g.dag_levels().unwrap(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn scc_partitions_nodes() {
+        // Two SCCs: {0,1,2} cycle and {3}.
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        let mut sccs = g.tarjan_scc();
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn scc_reverse_topological_order() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let sccs = g.tarjan_scc();
+        // Sinks come first in Tarjan output.
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn positive_cycle_detection() {
+        let mut g = DiGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(1, 2);
+        let e2 = g.add_edge(2, 0);
+        let mut w = vec![0i64; 3];
+        w[e0] = 1;
+        w[e1] = 1;
+        w[e2] = -2;
+        assert!(!g.has_positive_cycle(&w), "zero-weight cycle is not positive");
+        w[e2] = -1;
+        assert!(g.has_positive_cycle(&w));
+        w[e2] = -5;
+        assert!(!g.has_positive_cycle(&w));
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g = DiGraph::new(2);
+        let a = g.add_edge(0, 1);
+        let b = g.add_edge(0, 1);
+        assert_ne!(a, b);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.successors(0).count(), 2);
+    }
+
+    #[test]
+    fn self_loop_positive_cycle() {
+        let mut g = DiGraph::new(1);
+        g.add_edge(0, 0);
+        assert!(g.has_positive_cycle(&[1]));
+        assert!(!g.has_positive_cycle(&[0]));
+        assert!(!g.has_positive_cycle(&[-1]));
+    }
+}

@@ -1,0 +1,37 @@
+//! # satmapit-graphs
+//!
+//! Graph-algorithm substrate for the SAT-MapIt reproduction:
+//!
+//! * [`DiGraph`] — directed multigraphs with topological sort, iterative
+//!   Tarjan SCC, DAG levelization and positive-cycle detection (the RecMII
+//!   computation of modulo scheduling reduces to the latter),
+//! * [`UnGraph`] — bitset-adjacency undirected graphs,
+//! * [`clique`] — budgeted Bron–Kerbosch maximum-clique search, the engine
+//!   behind REGIMap/RAMP-style placement baselines,
+//! * [`coloring`] — DSATUR and exact budgeted k-colouring for register
+//!   allocation,
+//! * [`arcs`] — cyclic live-range arcs on the II wheel and their
+//!   interference graphs.
+//!
+//! ```
+//! use satmapit_graphs::{clique, UnGraph};
+//!
+//! let mut g = UnGraph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(0, 2);
+//! let result = clique::max_clique(&g, 10_000);
+//! assert_eq!(result.clique.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arcs;
+pub mod clique;
+pub mod coloring;
+mod digraph;
+mod ungraph;
+
+pub use digraph::DiGraph;
+pub use ungraph::UnGraph;

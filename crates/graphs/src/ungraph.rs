@@ -1,0 +1,255 @@
+//! Undirected graphs backed by adjacency bitsets, sized for the clique and
+//! colouring searches used in CGRA placement and register allocation.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over dense node indices `0..n`, with
+/// bitset adjacency rows for fast set intersection.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnGraph {
+    n: usize,
+    words: usize,
+    adj: Vec<u64>,
+}
+
+impl UnGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> UnGraph {
+        let words = n.div_ceil(64);
+        UnGraph {
+            n,
+            words,
+            adj: vec![0; words * n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).sum::<usize>() / 2
+    }
+
+    /// Words per adjacency row (crate-internal).
+    pub(crate) fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        if u == v {
+            return;
+        }
+        self.adj[u * self.words + v / 64] |= 1u64 << (v % 64);
+        self.adj[v * self.words + u / 64] |= 1u64 << (u % 64);
+    }
+
+    /// `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u * self.words + v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// The adjacency bitset row of `v`.
+    pub(crate) fn row(&self, v: usize) -> &[u64] {
+        &self.adj[v * self.words..(v + 1) * self.words]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the neighbours of `v` in increasing order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        let row = self.row(v);
+        row.iter().enumerate().flat_map(|(wi, &word)| {
+            BitIter { word, base: wi * 64 }
+        })
+    }
+
+    /// A degeneracy ordering (repeatedly remove a minimum-degree node);
+    /// useful as a branching order for clique search.
+    pub fn degeneracy_order(&self) -> Vec<usize> {
+        let mut deg: Vec<usize> = (0..self.n).map(|v| self.degree(v)).collect();
+        let mut removed = vec![false; self.n];
+        let mut order = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let v = (0..self.n)
+                .filter(|&v| !removed[v])
+                .min_by_key(|&v| deg[v])
+                .expect("nodes remain");
+            removed[v] = true;
+            order.push(v);
+            for u in self.neighbors(v) {
+                if !removed[u] {
+                    deg[u] -= 1;
+                }
+            }
+        }
+        order
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+/// A heap-allocated bitset over node indices, aligned with an [`UnGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct NodeSet {
+    pub bits: Vec<u64>,
+}
+
+impl NodeSet {
+    pub fn empty(words: usize) -> NodeSet {
+        NodeSet {
+            bits: vec![0; words],
+        }
+    }
+
+    pub fn full(words: usize, n: usize) -> NodeSet {
+        let mut bits = vec![u64::MAX; words];
+        let rem = n % 64;
+        if rem != 0 && words > 0 {
+            bits[words - 1] = (1u64 << rem) - 1;
+        }
+        if n == 0 {
+            bits.iter_mut().for_each(|w| *w = 0);
+        }
+        NodeSet { bits }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn contains(&self, v: usize) -> bool {
+        self.bits[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    pub fn insert(&mut self, v: usize) {
+        self.bits[v / 64] |= 1u64 << (v % 64);
+    }
+
+    pub fn remove(&mut self, v: usize) {
+        self.bits[v / 64] &= !(1u64 << (v % 64));
+    }
+
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    pub fn intersect_row(&self, row: &[u64]) -> NodeSet {
+        NodeSet {
+            bits: self
+                .bits
+                .iter()
+                .zip(row)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    pub fn intersection_count(&self, row: &[u64]) -> usize {
+        self.bits
+            .iter()
+            .zip(row)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter { word, base: wi * 64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_degrees() {
+        let mut g = UnGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = UnGraph::new(2);
+        g.add_edge(0, 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn works_past_64_nodes() {
+        let mut g = UnGraph::new(130);
+        g.add_edge(0, 129);
+        g.add_edge(64, 65);
+        assert!(g.has_edge(129, 0));
+        assert!(g.has_edge(65, 64));
+        assert_eq!(g.neighbors(129).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation() {
+        let mut g = UnGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let mut order = g.degeneracy_order();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nodeset_operations() {
+        let mut s = NodeSet::empty(2);
+        s.insert(3);
+        s.insert(70);
+        assert!(s.contains(3) && s.contains(70));
+        assert_eq!(s.count(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![70]);
+
+        let full = NodeSet::full(2, 70);
+        assert_eq!(full.count(), 70);
+        assert!(full.contains(69));
+        assert!(!full.contains(70));
+    }
+}

@@ -1,0 +1,181 @@
+//! A small construction DSL used by the kernel definitions.
+
+use satmapit_dfg::{Dfg, NodeId, Op};
+
+/// Incremental DFG builder with convenience helpers for the patterns that
+/// dominate loop kernels: constants, induction variables, array accesses
+/// and loop-carried state.
+#[derive(Debug)]
+pub struct Ctx {
+    dfg: Dfg,
+}
+
+impl Ctx {
+    /// Starts a kernel named `name`.
+    pub fn new(name: &str) -> Ctx {
+        Ctx {
+            dfg: Dfg::new(name),
+        }
+    }
+
+    /// A constant node.
+    pub fn konst(&mut self, value: i64) -> NodeId {
+        self.dfg.add_const(value)
+    }
+
+    /// A node whose operands are all intra-iteration values, in slot order.
+    pub fn op(&mut self, op: Op, inputs: &[NodeId]) -> NodeId {
+        assert_eq!(inputs.len(), op.arity(), "arity mismatch for {op}");
+        let n = self.dfg.add_node(op);
+        for (slot, &src) in inputs.iter().enumerate() {
+            self.dfg.add_edge(src, n, slot as u8);
+        }
+        n
+    }
+
+    /// A node created with *no* operands wired yet; use [`Ctx::wire`] /
+    /// [`Ctx::wire_prev`] to fill its slots (needed for cyclic
+    /// loop-carried state).
+    pub fn raw(&mut self, op: Op) -> NodeId {
+        self.dfg.add_node(op)
+    }
+
+    /// Wires an intra-iteration edge into `dst`'s `slot`.
+    pub fn wire(&mut self, src: NodeId, dst: NodeId, slot: u8) {
+        self.dfg.add_edge(src, dst, slot);
+    }
+
+    /// Wires a loop-carried (distance-1) edge into `dst`'s `slot`, with the
+    /// pre-loop live-in `init`.
+    pub fn wire_prev(&mut self, src: NodeId, dst: NodeId, slot: u8, init: i64) {
+        self.dfg.add_back_edge(src, dst, slot, 1, init);
+    }
+
+    /// An induction variable: `i = i_prev + step`, with `i = first` on the
+    /// first iteration.
+    pub fn induction(&mut self, first: i64, step: i64) -> NodeId {
+        let s = self.konst(step);
+        let i = self.raw(Op::Add);
+        self.wire(s, i, 0);
+        self.wire_prev(i, i, 1, first - step);
+        i
+    }
+
+    /// An accumulator: `acc = acc_prev ⊕ value`, starting from `init`.
+    pub fn accumulate(&mut self, op: Op, value: NodeId, init: i64) -> NodeId {
+        let acc = self.raw(op);
+        self.wire(value, acc, 0);
+        self.wire_prev(acc, acc, 1, init);
+        acc
+    }
+
+    /// Loop-carried state: `state_i = src_{i-1}` (a route op), starting
+    /// from `init`. Classic register-rotation pattern (`b = a; c = b; …`).
+    pub fn state_from_prev(&mut self, src: NodeId, init: i64) -> NodeId {
+        let s = self.raw(Op::Route);
+        self.wire_prev(src, s, 0, init);
+        s
+    }
+
+    /// `load(base + i)`; `base == 0` loads `mem[i]` directly.
+    pub fn load_at(&mut self, index: NodeId, base: i64) -> NodeId {
+        let addr = if base == 0 {
+            index
+        } else {
+            let b = self.konst(base);
+            self.op(Op::Add, &[index, b])
+        };
+        self.op(Op::Load, &[addr])
+    }
+
+    /// `mem[base + i] = value`.
+    pub fn store_at(&mut self, index: NodeId, base: i64, value: NodeId) -> NodeId {
+        let addr = if base == 0 {
+            index
+        } else {
+            let b = self.konst(base);
+            self.op(Op::Add, &[index, b])
+        };
+        self.op(Op::Store, &[addr, value])
+    }
+
+    /// Binary op against a fresh constant.
+    pub fn op_imm(&mut self, op: Op, lhs: NodeId, imm: i64) -> NodeId {
+        let c = self.konst(imm);
+        self.op(op, &[lhs, c])
+    }
+
+    /// Finishes and validates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed DFG is invalid — kernel definitions are
+    /// static data, so this is a programming error.
+    pub fn finish(self) -> Dfg {
+        self.dfg
+            .validate()
+            .unwrap_or_else(|e| panic!("kernel `{}` invalid: {e}", self.dfg.name()));
+        self.dfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::interp::interpret;
+
+    #[test]
+    fn induction_counts_from_first() {
+        let mut c = Ctx::new("ind");
+        let i = c.induction(0, 1);
+        let dfg = c.finish();
+        let r = interpret(&dfg, vec![], 4).unwrap();
+        let is: Vec<i64> = r.values.iter().map(|row| row[i.index()]).collect();
+        assert_eq!(is, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn induction_with_stride() {
+        let mut c = Ctx::new("ind2");
+        let i = c.induction(5, 3);
+        let dfg = c.finish();
+        let r = interpret(&dfg, vec![], 3).unwrap();
+        let is: Vec<i64> = r.values.iter().map(|row| row[i.index()]).collect();
+        assert_eq!(is, vec![5, 8, 11]);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut c = Ctx::new("acc");
+        let i = c.induction(1, 1);
+        let acc = c.accumulate(Op::Add, i, 100);
+        let dfg = c.finish();
+        let r = interpret(&dfg, vec![], 4).unwrap();
+        let accs: Vec<i64> = r.values.iter().map(|row| row[acc.index()]).collect();
+        assert_eq!(accs, vec![101, 103, 106, 110]);
+    }
+
+    #[test]
+    fn state_rotation() {
+        let mut c = Ctx::new("rot");
+        let i = c.induction(10, 10);
+        let b = c.state_from_prev(i, -1); // b_i = i_{i-1}
+        let dfg = c.finish();
+        let r = interpret(&dfg, vec![], 3).unwrap();
+        let bs: Vec<i64> = r.values.iter().map(|row| row[b.index()]).collect();
+        assert_eq!(bs, vec![-1, 10, 20]);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut c = Ctx::new("copy");
+        let i = c.induction(0, 1);
+        let v = c.load_at(i, 0);
+        let _ = c.store_at(i, 8, v);
+        let dfg = c.finish();
+        let mut mem = vec![0i64; 16];
+        mem[..4].copy_from_slice(&[9, 8, 7, 6]);
+        let r = interpret(&dfg, mem, 4).unwrap();
+        assert_eq!(&r.memory[8..12], &[9, 8, 7, 6]);
+    }
+}

@@ -1,0 +1,230 @@
+//! # satmapit-kernels
+//!
+//! The benchmark suite of the SAT-MapIt evaluation (DATE 2023, §V): loop
+//! kernels from MiBench and Rodinia, modelled directly in the DFG IR.
+//!
+//! The paper extracts these loops from C sources through LLVM; this
+//! reproduction reconstructs each loop body's data-flow structure by hand
+//! from the published benchmark sources (see DESIGN.md, "Substitutions").
+//! Every kernel is a *valid, executable* DFG: the test suite interprets it
+//! and the integration tests map it onto CGRAs and verify the mapped code
+//! computes the same values.
+//!
+//! ```
+//! use satmapit_kernels::{all, by_name};
+//! assert_eq!(all().len(), 11);
+//! let sha = by_name("sha").unwrap();
+//! assert!(sha.dfg.num_nodes() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+mod mibench;
+mod rodinia;
+
+use satmapit_dfg::{Dfg, Op};
+
+pub use mibench::{basicmath, bitcount, gsm, patricia, sha, sha2, stringsearch};
+pub use rodinia::{backprop, hotspot, nw, srand};
+
+/// A benchmark kernel: the loop DFG plus everything needed to execute it.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The loop body.
+    pub dfg: Dfg,
+    /// One-line description of the modelled loop.
+    pub description: &'static str,
+    /// Initial data memory for simulation.
+    pub memory: Vec<i64>,
+    /// Iteration count used by the verification tests.
+    pub sim_iterations: u32,
+}
+
+impl Kernel {
+    fn new(dfg: Dfg, description: &'static str, sim_iterations: u32) -> Kernel {
+        Kernel {
+            dfg,
+            description,
+            memory: default_memory(),
+            sim_iterations,
+        }
+    }
+
+    /// The kernel's name (the DFG name).
+    pub fn name(&self) -> &str {
+        self.dfg.name()
+    }
+}
+
+/// Deterministic 256-word input memory shared by all kernels: input arrays
+/// live in the low half, outputs in the high half.
+pub fn default_memory() -> Vec<i64> {
+    (0..256).map(|k| ((k * 37 + 11) % 251) as i64).collect()
+}
+
+/// Benchmark names in the paper's presentation order (Fig. 6 x-axis).
+pub const NAMES: [&str; 11] = [
+    "sha",
+    "gsm",
+    "patricia",
+    "bitcount",
+    "backprop",
+    "nw",
+    "srand",
+    "hotspot",
+    "sha2",
+    "basicmath",
+    "stringsearch",
+];
+
+/// All 11 benchmark kernels, in [`NAMES`] order.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        sha(),
+        gsm(),
+        patricia(),
+        bitcount(),
+        backprop(),
+        nw(),
+        srand(),
+        hotspot(),
+        sha2(),
+        basicmath(),
+        stringsearch(),
+    ]
+}
+
+/// Looks up a kernel by name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    all().into_iter().find(|k| k.name() == name)
+}
+
+/// The paper's running example (Fig. 2a): 11 nodes whose schedules are
+/// shown in Figs. 4–5 and whose 2×2 mapping at II=3 is Fig. 2c. Paper
+/// node `k` is `NodeId(k-1)`.
+pub fn paper_example() -> Kernel {
+    let mut dfg = Dfg::new("paper-example");
+    let n1 = dfg.add_const(3);
+    let n2 = dfg.add_const(5);
+    let n3 = dfg.add_const(7);
+    let n4 = dfg.add_const(11);
+    let n5 = dfg.add_node_labeled(Op::Neg, 0, "n5");
+    let n6 = dfg.add_node_labeled(Op::Not, 0, "n6");
+    let n7 = dfg.add_node_labeled(Op::Abs, 0, "n7");
+    let n8 = dfg.add_node_labeled(Op::Add, 0, "n8");
+    let n9 = dfg.add_node_labeled(Op::Add, 0, "n9");
+    let n10 = dfg.add_node_labeled(Op::Neg, 0, "n10");
+    let n11 = dfg.add_node_labeled(Op::Xor, 0, "n11");
+
+    dfg.add_edge(n3, n5, 0);
+    dfg.add_edge(n5, n6, 0);
+    dfg.add_edge(n4, n7, 0);
+    dfg.add_edge(n6, n8, 0);
+    dfg.add_edge(n7, n8, 1);
+    dfg.add_edge(n8, n9, 0);
+    dfg.add_back_edge(n9, n9, 1, 1, 0);
+    dfg.add_edge(n1, n10, 0);
+    dfg.add_edge(n10, n11, 0);
+    dfg.add_edge(n2, n11, 1);
+
+    Kernel::new(
+        dfg,
+        "the paper's running example (Fig. 2a): two fan-in trees and an accumulator",
+        8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_cgra::Cgra;
+    use satmapit_dfg::interp::interpret;
+    use satmapit_schedule::{mii, rec_mii, res_mii, MobilitySchedule};
+
+    #[test]
+    fn names_match_suite() {
+        let kernels = all();
+        assert_eq!(kernels.len(), NAMES.len());
+        for (k, name) in kernels.iter().zip(NAMES) {
+            assert_eq!(k.name(), name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for name in NAMES {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert!(by_name("doesnotexist").is_none());
+    }
+
+    #[test]
+    fn kernel_sizes_are_realistic() {
+        // The paper's loops range from a handful of ops to a few dozen.
+        for k in all() {
+            let n = k.dfg.num_nodes();
+            assert!((8..=36).contains(&n), "{}: {} nodes", k.name(), n);
+        }
+    }
+
+    #[test]
+    fn every_kernel_validates_interprets_and_schedules() {
+        for k in all().into_iter().chain([paper_example()]) {
+            k.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            let r = interpret(&k.dfg, k.memory.clone(), k.sim_iterations)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            assert_eq!(r.values.len() as u32, k.sim_iterations);
+            let ms = MobilitySchedule::compute(&k.dfg).unwrap();
+            assert!(ms.len() >= 2, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn mii_spread_covers_the_paper_range() {
+        // On a 2x2, the suite's MIIs should span a meaningful range (the
+        // paper's Fig. 6 shows IIs from ~2 to ~13 on 2x2).
+        let cgra = Cgra::square(2);
+        let miis: Vec<u32> = all().iter().map(|k| mii(&k.dfg, &cgra)).collect();
+        assert!(miis.iter().any(|&m| m >= 5), "some kernel is large: {miis:?}");
+        assert!(miis.iter().any(|&m| m <= 3), "some kernel is small: {miis:?}");
+    }
+
+    #[test]
+    fn recurrences_exist_in_crypto_kernels() {
+        assert!(rec_mii(&sha().dfg) >= 2);
+        assert!(rec_mii(&sha2().dfg) >= 2);
+        assert!(rec_mii(&srand().dfg) >= 2);
+        assert_eq!(rec_mii(&basicmath().dfg), 1);
+    }
+
+    #[test]
+    fn paper_example_matches_figures() {
+        let k = paper_example();
+        assert_eq!(k.dfg.num_nodes(), 11);
+        let cgra = Cgra::square(2);
+        assert_eq!(res_mii(&k.dfg, &cgra), 3, "paper: II=3 kernel on 2x2");
+        let ms = MobilitySchedule::compute(&k.dfg).unwrap();
+        assert_eq!(ms.len(), 5, "Fig. 4 has 5 time slots");
+    }
+
+    #[test]
+    fn memory_ops_present_where_expected() {
+        for k in all() {
+            assert!(
+                k.dfg.num_memory_ops() >= 1,
+                "{} should touch memory",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn default_memory_is_stable() {
+        let a = default_memory();
+        let b = default_memory();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 256);
+    }
+}

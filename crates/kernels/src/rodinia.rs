@@ -1,0 +1,185 @@
+//! Loop kernels modelled on the Rodinia benchmarks (plus the `srand` LCG)
+//! evaluated in the paper: `backprop`, `nw`, `hotspot`, `srand`.
+
+use crate::build::Ctx;
+use crate::Kernel;
+use satmapit_dfg::Op;
+
+/// Backprop weight-update: two multiply-accumulate streams feeding a
+/// squashing function approximation.
+pub fn backprop() -> Kernel {
+    let mut c = Ctx::new("backprop");
+    let i = c.induction(0, 1);
+    // Forward MAC: sum1 += w1[i] * in1[i].
+    let w1 = c.load_at(i, 0);
+    let in1 = c.load_at(i, 32);
+    let m1 = c.op(Op::Mul, &[w1, in1]);
+    let sum1 = c.accumulate(Op::Add, m1, 0);
+    // Error MAC: sum2 += w2[i] * delta[i].
+    let w2 = c.load_at(i, 64);
+    let dl = c.load_at(i, 96);
+    let m2 = c.op(Op::Mul, &[w2, dl]);
+    let sum2 = c.accumulate(Op::Add, m2, 0);
+    // Squash approximation: out = s - s*s >> 12, s = sum1 + sum2.
+    let s = c.op(Op::Add, &[sum1, sum2]);
+    let sq = c.op(Op::Mul, &[s, s]);
+    let sh = c.op_imm(Op::Shr, sq, 12);
+    let out = c.op(Op::Sub, &[s, sh]);
+    let _st = c.store_at(i, 128, out);
+    Kernel::new(
+        c.finish(),
+        "backprop: dual multiply-accumulate with squash-function output",
+        16,
+    )
+}
+
+/// Needleman–Wunsch cell update: the three-way max over the north-west,
+/// west and north neighbours with gap penalties.
+pub fn nw() -> Kernel {
+    let mut c = Ctx::new("nw");
+    let i = c.induction(0, 1);
+    let nw_v = c.load_at(i, 0); // northwest score
+    let w_v = c.load_at(i, 32); // west score
+    let n_v = c.load_at(i, 64); // north score
+    let sub = c.load_at(i, 96); // substitution matrix entry
+    let diag = c.op(Op::Add, &[nw_v, sub]);
+    let from_w = c.op_imm(Op::Add, w_v, -2); // gap penalty
+    let from_n = c.op_imm(Op::Add, n_v, -2);
+    let best_gap = c.op(Op::Max, &[from_w, from_n]);
+    let best = c.op(Op::Max, &[diag, best_gap]);
+    // Running maximum of the row (traceback seed).
+    let rowmax = c.accumulate(Op::Max, best, i64::MIN + 1);
+    let _ = rowmax;
+    let _st = c.store_at(i, 128, best);
+    Kernel::new(
+        c.finish(),
+        "Needleman-Wunsch cell: 3-way max with gap penalties and row maximum",
+        16,
+    )
+}
+
+/// Hotspot transient thermal update: 4-point stencil with distinct
+/// row/column weights (one boundary direction folded into the ambient
+/// term, as in the Rodinia kernel's interior loop).
+pub fn hotspot() -> Kernel {
+    let mut c = Ctx::new("hotspot");
+    let i = c.induction(0, 1);
+    let center = c.load_at(i, 0);
+    let north = c.load_at(i, 32);
+    let south = c.load_at(i, 64);
+    let east = c.load_at(i, 96);
+    // Vertical conduction: (n + s - 2c) * wy.
+    let ns = c.op(Op::Add, &[north, south]);
+    let c2 = c.op_imm(Op::Shl, center, 1);
+    let dv = c.op(Op::Sub, &[ns, c2]);
+    let tv = c.op_imm(Op::Mul, dv, 13);
+    // Horizontal conduction against the east neighbour: (e - c) * wx.
+    let dh = c.op(Op::Sub, &[east, center]);
+    let th = c.op_imm(Op::Mul, dh, 7);
+    // Power input and ambient drift.
+    let p = c.load_at(i, 128);
+    let flux = c.op(Op::Add, &[tv, th]);
+    let fp = c.op(Op::Add, &[flux, p]);
+    let scaled = c.op_imm(Op::Shr, fp, 4);
+    // Live-range split for the deep reuse of `center` (a copy the
+    // compiler inserts so the value does not have to survive the whole
+    // flux computation in one register/output window).
+    let center_copy = c.op(Op::Route, &[center]);
+    let out = c.op(Op::Add, &[center_copy, scaled]);
+    let _st = c.store_at(i, 160, out);
+    Kernel::new(
+        c.finish(),
+        "hotspot: 4-point thermal stencil with power input and scaling",
+        16,
+    )
+}
+
+/// The C library LCG used by the benchmarks' data generators:
+/// `seed = seed * 1103515245 + 12345; out = (seed >> 16) & 0x7fff`.
+pub fn srand() -> Kernel {
+    let mut c = Ctx::new("srand");
+    let i = c.induction(0, 1);
+    // seed recurrence (distance-1 cycle of length 2 -> RecMII 2).
+    let mul = c.raw(Op::Mul);
+    let cm = c.konst(1103515245);
+    let seed = c.op_imm(Op::Add, mul, 12345);
+    c.wire_prev(seed, mul, 0, 42);
+    c.wire(cm, mul, 1);
+    let sh = c.op_imm(Op::Shr, seed, 16);
+    let out = c.op_imm(Op::And, sh, 0x7fff);
+    let _st = c.store_at(i, 64, out);
+    Kernel::new(
+        c.finish(),
+        "srand: linear congruential generator with output tempering",
+        16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::interp::interpret;
+
+    #[test]
+    fn all_rodinia_kernels_validate_and_run() {
+        for k in [backprop(), nw(), hotspot(), srand()] {
+            assert!(k.dfg.validate().is_ok(), "{}", k.dfg.name());
+            let r = interpret(&k.dfg, k.memory.clone(), k.sim_iterations).unwrap();
+            assert_eq!(r.values.len() as u32, k.sim_iterations);
+        }
+    }
+
+    #[test]
+    fn srand_matches_libc_lcg() {
+        let k = srand();
+        let r = interpret(&k.dfg, k.memory.clone(), 3).unwrap();
+        let mut seed: i64 = 42;
+        for j in 0..3 {
+            seed = seed.wrapping_mul(1103515245).wrapping_add(12345);
+            let expected = (seed >> 16) & 0x7fff;
+            assert_eq!(r.memory[64 + j], expected, "draw {j}");
+        }
+    }
+
+    #[test]
+    fn nw_picks_the_best_move() {
+        let k = nw();
+        let mut mem = vec![0i64; 256];
+        mem[0] = 10; // nw
+        mem[32] = 50; // w
+        mem[64] = 1; // n
+        mem[96] = 3; // sub
+        let r = interpret(&k.dfg, mem, 1).unwrap();
+        assert_eq!(r.memory[128], 48, "west + gap wins");
+    }
+
+    #[test]
+    fn hotspot_steady_state_is_fixed_point() {
+        // Uniform temperature and zero power: flux is zero, so the output
+        // equals the input temperature.
+        let k = hotspot();
+        let mut mem = vec![0i64; 256];
+        for j in 0..32 {
+            mem[j] = 100;
+            mem[32 + j] = 100;
+            mem[64 + j] = 100;
+            mem[96 + j] = 100;
+            mem[128 + j] = 0;
+        }
+        let r = interpret(&k.dfg, mem, 8).unwrap();
+        assert!(r.memory[160..168].iter().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn backprop_accumulates_macs() {
+        let k = backprop();
+        let mut mem = vec![0i64; 256];
+        mem[0] = 2;
+        mem[32] = 3; // m1 = 6
+        mem[64] = 1;
+        mem[96] = 4; // m2 = 4
+        let r = interpret(&k.dfg, mem, 1).unwrap();
+        // s = 10, sq>>12 = 0, out = 10.
+        assert_eq!(r.memory[128], 10);
+    }
+}

@@ -1,0 +1,345 @@
+//! # satmapit-regalloc
+//!
+//! Register allocation for modulo-scheduled CGRA mappings (SAT-MapIt,
+//! DATE 2023, §IV-D).
+//!
+//! After the SAT solver fixes where and when every DFG node executes, each
+//! value that is transferred through a PE's local register file must be
+//! assigned one of the PE's registers for its whole lifetime. In a modulo
+//! schedule with initiation interval `II`, a value produced at unfolded
+//! time `t` and last consumed `span` cycles later occupies a register
+//! during the *cyclic* window `(t, t+span]` on the `II`-cycle wheel —
+//! because the kernel repeats every `II` cycles, and the producing
+//! instruction re-writes the same register each revolution. Lifetimes are
+//! therefore at most `II` (longer lifetimes would need modulo variable
+//! expansion / rotating register files, which the paper's architecture does
+//! not have; the mapper's C3 constraints enforce this bound).
+//!
+//! Allocation per PE is exact graph colouring of the circular-arc
+//! interference graph with `regs_per_pe` colours (the paper's
+//! SSA-based-optimal claim corresponds to the small per-PE instance sizes:
+//! at most `II` values live per PE, so exact search is cheap). Failure
+//! feeds back into the mapper's iterative loop, which increments II
+//! (paper Fig. 3).
+//!
+//! ```
+//! use satmapit_regalloc::{allocate_pe, LiveValue};
+//! let values = vec![
+//!     LiveValue { id: 0, write_time: 0, span: 2 },
+//!     LiveValue { id: 1, write_time: 1, span: 2 },
+//! ];
+//! let regs = allocate_pe(&values, 3, 4, 10_000).unwrap();
+//! assert_ne!(regs[0], regs[1], "overlapping lifetimes need distinct registers");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use satmapit_graphs::arcs::{interference_graph, CyclicArc};
+use satmapit_graphs::coloring::{exact_k_coloring, is_valid_coloring, ColoringResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value that must reside in a PE's register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveValue {
+    /// Opaque identifier (the producing DFG node index).
+    pub id: u32,
+    /// Unfolded schedule time at which the producer executes (the register
+    /// is written at the *end* of this cycle).
+    pub write_time: u32,
+    /// Lifetime in cycles: distance from production to the last read
+    /// through the register file. Must satisfy `1 <= span <= II`.
+    pub span: u32,
+}
+
+impl LiveValue {
+    /// The cyclic occupancy arc of this value on the `II` wheel:
+    /// cycles `write_time+1 ..= write_time+span`.
+    pub fn arc(&self, ii: u32) -> CyclicArc {
+        CyclicArc::new((self.write_time + 1) % ii, self.span, ii)
+    }
+}
+
+/// Register assignment for one PE: parallel to the input `values` slice.
+pub type PeRegs = Vec<u8>;
+
+/// Why allocation of one PE failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeAllocFailure {
+    /// The interference graph is not colourable with the available
+    /// registers: too much register pressure at this II.
+    Infeasible,
+    /// The exact search ran out of budget (treated as failure by callers).
+    BudgetExhausted,
+    /// A value's span is out of the legal `1..=II` range.
+    IllegalSpan {
+        /// The offending value id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for PeAllocFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeAllocFailure::Infeasible => write!(f, "register pressure exceeds register file"),
+            PeAllocFailure::BudgetExhausted => write!(f, "colouring budget exhausted"),
+            PeAllocFailure::IllegalSpan { id } => {
+                write!(f, "value {id} has a span outside 1..=II")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PeAllocFailure {}
+
+/// Allocates the register file of a single PE.
+///
+/// Returns one register index (in `0..num_regs`) per input value, aligned
+/// with `values`.
+///
+/// # Errors
+///
+/// * [`PeAllocFailure::IllegalSpan`] if any span is 0 or exceeds `ii`;
+/// * [`PeAllocFailure::Infeasible`] if more than `num_regs` values overlap;
+/// * [`PeAllocFailure::BudgetExhausted`] if the exact search exceeds
+///   `budget` steps (callers treat this as a failure and raise II).
+pub fn allocate_pe(
+    values: &[LiveValue],
+    ii: u32,
+    num_regs: u8,
+    budget: u64,
+) -> Result<PeRegs, PeAllocFailure> {
+    assert!(ii > 0, "II must be positive");
+    if values.is_empty() {
+        return Ok(Vec::new());
+    }
+    for v in values {
+        if v.span == 0 || v.span > ii {
+            return Err(PeAllocFailure::IllegalSpan { id: v.id });
+        }
+    }
+    let arcs: Vec<CyclicArc> = values.iter().map(|v| v.arc(ii)).collect();
+    let graph = interference_graph(&arcs);
+    match exact_k_coloring(&graph, num_regs as usize, budget) {
+        ColoringResult::Colored(colors) => {
+            debug_assert!(is_valid_coloring(&graph, &colors, num_regs as usize));
+            Ok(colors.into_iter().map(|c| c as u8).collect())
+        }
+        ColoringResult::Infeasible => Err(PeAllocFailure::Infeasible),
+        ColoringResult::BudgetExhausted => Err(PeAllocFailure::BudgetExhausted),
+    }
+}
+
+/// A whole-array register allocation: per PE, pairs `(value id, register)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegAllocation {
+    per_pe: Vec<Vec<(u32, u8)>>,
+}
+
+impl RegAllocation {
+    /// Assignments on PE `pe` as `(value id, register)` pairs.
+    pub fn pe(&self, pe: usize) -> &[(u32, u8)] {
+        static EMPTY: [(u32, u8); 0] = [];
+        self.per_pe.get(pe).map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// The register holding value `id` on PE `pe`, if allocated there.
+    pub fn reg_of(&self, pe: usize, id: u32) -> Option<u8> {
+        self.pe(pe).iter().find(|(v, _)| *v == id).map(|&(_, r)| r)
+    }
+
+    /// Total number of register-resident values.
+    pub fn num_values(&self) -> usize {
+        self.per_pe.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum register index in use plus one, per PE.
+    pub fn pressure(&self, pe: usize) -> u8 {
+        self.pe(pe)
+            .iter()
+            .map(|&(_, r)| r + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Error from [`allocate`]: which PE failed and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegAllocError {
+    /// Index of the failing PE.
+    pub pe: usize,
+    /// The failure cause.
+    pub failure: PeAllocFailure,
+}
+
+impl fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register allocation failed on PE {}: {}", self.pe, self.failure)
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// Allocates every PE's register file.
+///
+/// `per_pe[p]` lists the register-file values of PE `p`.
+///
+/// # Errors
+///
+/// Returns the first failing PE (see [`allocate_pe`]).
+pub fn allocate(
+    per_pe: &[Vec<LiveValue>],
+    ii: u32,
+    num_regs: u8,
+    budget: u64,
+) -> Result<RegAllocation, RegAllocError> {
+    let mut result = Vec::with_capacity(per_pe.len());
+    for (pe, values) in per_pe.iter().enumerate() {
+        let regs = allocate_pe(values, ii, num_regs, budget)
+            .map_err(|failure| RegAllocError { pe, failure })?;
+        result.push(
+            values
+                .iter()
+                .zip(regs)
+                .map(|(v, r)| (v.id, r))
+                .collect(),
+        );
+    }
+    Ok(RegAllocation { per_pe: result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pe_allocates_trivially() {
+        assert_eq!(allocate_pe(&[], 4, 4, 100).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn disjoint_lifetimes_can_share_register() {
+        // II=4: value A occupies cycles 1..2, value B occupies 3..4.
+        let values = vec![
+            LiveValue { id: 0, write_time: 0, span: 1 },
+            LiveValue { id: 1, write_time: 2, span: 1 },
+        ];
+        let regs = allocate_pe(&values, 4, 1, 10_000).unwrap();
+        assert_eq!(regs[0], regs[1], "one register suffices");
+    }
+
+    #[test]
+    fn full_wheel_values_conflict() {
+        // Two values with span == II always interfere.
+        let values = vec![
+            LiveValue { id: 0, write_time: 0, span: 3 },
+            LiveValue { id: 1, write_time: 1, span: 3 },
+        ];
+        assert_eq!(
+            allocate_pe(&values, 3, 1, 10_000),
+            Err(PeAllocFailure::Infeasible)
+        );
+        let regs = allocate_pe(&values, 3, 2, 10_000).unwrap();
+        assert_ne!(regs[0], regs[1]);
+    }
+
+    #[test]
+    fn pressure_equals_max_overlap_for_wheel() {
+        // II = 4, four staggered full-span values need 4 registers.
+        let values: Vec<LiveValue> = (0..4)
+            .map(|i| LiveValue { id: i, write_time: i, span: 4 })
+            .collect();
+        assert!(allocate_pe(&values, 4, 3, 100_000).is_err());
+        let regs = allocate_pe(&values, 4, 4, 100_000).unwrap();
+        let mut sorted = regs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "all four registers used");
+    }
+
+    #[test]
+    fn illegal_spans_rejected() {
+        let z = [LiveValue { id: 7, write_time: 0, span: 0 }];
+        assert_eq!(
+            allocate_pe(&z, 4, 4, 100),
+            Err(PeAllocFailure::IllegalSpan { id: 7 })
+        );
+        let too_long = [LiveValue { id: 9, write_time: 0, span: 5 }];
+        assert_eq!(
+            allocate_pe(&too_long, 4, 4, 100),
+            Err(PeAllocFailure::IllegalSpan { id: 9 })
+        );
+    }
+
+    #[test]
+    fn wraparound_lifetime_interferes_across_boundary() {
+        // II=4: A written at cycle 3 with span 2 occupies cycles 0 and 1 of
+        // the next revolution; B written at 0 spans cycle 1 -> conflict.
+        let values = vec![
+            LiveValue { id: 0, write_time: 3, span: 2 },
+            LiveValue { id: 1, write_time: 0, span: 1 },
+        ];
+        let regs = allocate_pe(&values, 4, 2, 10_000).unwrap();
+        assert_ne!(regs[0], regs[1]);
+    }
+
+    #[test]
+    fn whole_array_allocation_and_queries() {
+        let per_pe = vec![
+            vec![LiveValue { id: 10, write_time: 0, span: 2 }],
+            vec![],
+            vec![
+                LiveValue { id: 20, write_time: 0, span: 2 },
+                LiveValue { id: 21, write_time: 1, span: 2 },
+            ],
+        ];
+        let alloc = allocate(&per_pe, 3, 4, 10_000).unwrap();
+        assert_eq!(alloc.num_values(), 3);
+        assert!(alloc.reg_of(0, 10).is_some());
+        assert!(alloc.reg_of(1, 10).is_none());
+        let r20 = alloc.reg_of(2, 20).unwrap();
+        let r21 = alloc.reg_of(2, 21).unwrap();
+        assert_ne!(r20, r21);
+        assert!(alloc.pressure(2) >= 2);
+    }
+
+    #[test]
+    fn whole_array_reports_failing_pe() {
+        let per_pe = vec![
+            vec![],
+            vec![
+                LiveValue { id: 0, write_time: 0, span: 2 },
+                LiveValue { id: 1, write_time: 0, span: 2 },
+                LiveValue { id: 2, write_time: 0, span: 2 },
+            ],
+        ];
+        let err = allocate(&per_pe, 2, 2, 10_000).unwrap_err();
+        assert_eq!(err.pe, 1);
+        assert_eq!(err.failure, PeAllocFailure::Infeasible);
+    }
+
+    #[test]
+    fn allocation_is_conflict_free_property() {
+        // Brute check on staggered random-ish values: any two values whose
+        // arcs overlap must receive different registers.
+        for ii in 2..=6u32 {
+            let values: Vec<LiveValue> = (0..ii)
+                .map(|i| LiveValue {
+                    id: i,
+                    write_time: (i * 2) % ii,
+                    span: 1 + (i % ii.min(3)),
+                })
+                .collect();
+            if let Ok(regs) = allocate_pe(&values, ii, 4, 100_000) {
+                for i in 0..values.len() {
+                    for j in (i + 1)..values.len() {
+                        if values[i].arc(ii).overlaps(&values[j].arc(ii)) {
+                            assert_ne!(regs[i], regs[j], "ii={ii} i={i} j={j}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Exhaustive SAT oracle for testing.
+//!
+//! Enumerates all assignments of a small formula. This is the ground truth
+//! against which the CDCL solver is property-tested.
+
+use crate::cnf::CnfFormula;
+
+/// Hard cap on the variable count accepted by [`solve_exhaustive`].
+pub const MAX_EXHAUSTIVE_VARS: usize = 26;
+
+/// Exhaustively decides satisfiability of `formula`.
+///
+/// Returns `Err(TooManyVars)` when the formula has more than
+/// [`MAX_EXHAUSTIVE_VARS`] variables, `Ok(Some(model))` with the
+/// lexicographically-first model when satisfiable, and `Ok(None)` when
+/// unsatisfiable.
+///
+/// ```
+/// use satmapit_sat::{brute::solve_exhaustive, CnfFormula};
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var().positive();
+/// f.add_clause(&[!a]);
+/// assert_eq!(solve_exhaustive(&f).unwrap(), Some(vec![false]));
+/// ```
+pub fn solve_exhaustive(formula: &CnfFormula) -> Result<Option<Vec<bool>>, TooManyVars> {
+    let n = formula.num_vars();
+    if n > MAX_EXHAUSTIVE_VARS {
+        return Err(TooManyVars { vars: n });
+    }
+    for bits in 0u64..(1u64 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if formula.eval(&assignment) {
+            return Ok(Some(assignment));
+        }
+    }
+    Ok(None)
+}
+
+/// Counts the models of a small formula.
+///
+/// # Errors
+///
+/// Fails with [`TooManyVars`] above [`MAX_EXHAUSTIVE_VARS`] variables.
+pub fn count_models(formula: &CnfFormula) -> Result<u64, TooManyVars> {
+    let n = formula.num_vars();
+    if n > MAX_EXHAUSTIVE_VARS {
+        return Err(TooManyVars { vars: n });
+    }
+    let mut count = 0;
+    for bits in 0u64..(1u64 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if formula.eval(&assignment) {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Error: formula too large for exhaustive enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyVars {
+    /// The offending variable count.
+    pub vars: usize,
+}
+
+impl std::fmt::Display for TooManyVars {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "formula has {} vars, exhaustive limit is {}",
+            self.vars, MAX_EXHAUSTIVE_VARS
+        )
+    }
+}
+
+impl std::error::Error for TooManyVars {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_formulas() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var().positive();
+        let b = f.new_var().positive();
+        f.add_clause(&[a, b]);
+        f.add_clause(&[!a]);
+        assert_eq!(solve_exhaustive(&f).unwrap(), Some(vec![false, true]));
+        assert_eq!(count_models(&f).unwrap(), 1);
+    }
+
+    #[test]
+    fn unsat_detected() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var().positive();
+        f.add_clause(&[a]);
+        f.add_clause(&[!a]);
+        assert_eq!(solve_exhaustive(&f).unwrap(), None);
+        assert_eq!(count_models(&f).unwrap(), 0);
+    }
+
+    #[test]
+    fn too_many_vars_rejected() {
+        let f = CnfFormula::with_vars(MAX_EXHAUSTIVE_VARS + 1);
+        assert!(solve_exhaustive(&f).is_err());
+    }
+}

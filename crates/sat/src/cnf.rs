@@ -1,0 +1,296 @@
+//! Solver-independent CNF container and DIMACS serialization.
+
+use crate::types::{Lit, Var};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A formula in conjunctive normal form: a variable pool plus a clause list.
+///
+/// `CnfFormula` is the hand-off type between constraint *generation* (see
+/// `satmapit-core`) and constraint *solving* ([`crate::Solver`]). It imposes
+/// no invariants beyond literals referring to allocated variables, which is
+/// checked on insertion.
+///
+/// ```
+/// use satmapit_sat::{CnfFormula, Solver, SolveResult};
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var().positive();
+/// let b = f.new_var().positive();
+/// f.add_clause(&[a, b]);
+/// f.add_clause(&[!a]);
+/// let mut solver = Solver::from_cnf(&f);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert!(solver.model().unwrap()[b.var().index()]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> CnfFormula {
+        CnfFormula::default()
+    }
+
+    /// Creates an empty formula with `n` pre-allocated variables.
+    pub fn with_vars(n: usize) -> CnfFormula {
+        CnfFormula {
+            num_vars: n,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables and returns the first one.
+    pub fn new_vars(&mut self, n: usize) -> Var {
+        let first = Var::new(self.num_vars as u32);
+        self.num_vars += n;
+        first
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences across all clauses.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// The empty clause is representable and makes the formula unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable that was never allocated.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        for lit in lits {
+            assert!(
+                lit.var().index() < self.num_vars,
+                "literal {lit} out of range: formula has {} vars",
+                self.num_vars
+            );
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(Vec::as_slice)
+    }
+
+    /// Evaluates the formula under a complete assignment
+    /// (`assignment[v.index()]` is the value of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_vars()`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var().index()] == lit.is_positive())
+        })
+    }
+
+    /// Serializes in DIMACS CNF format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_dimacs<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "p cnf {} {}", self.num_vars, self.clauses.len())?;
+        for clause in &self.clauses {
+            for lit in clause {
+                write!(writer, "{} ", lit.to_dimacs())?;
+            }
+            writeln!(writer, "0")?;
+        }
+        Ok(())
+    }
+
+    /// Parses a DIMACS CNF file. Comment lines (`c ...`) are skipped; the
+    /// problem line is optional (variables are grown on demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed input or I/O failure.
+    pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsError> {
+        let mut formula = CnfFormula::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| ParseDimacsError {
+                line: lineno + 1,
+                kind: ParseDimacsErrorKind::Io(e.to_string()),
+            })?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+                continue;
+            }
+            if trimmed.starts_with('p') {
+                let mut parts = trimmed.split_whitespace().skip(2);
+                if let Some(nv) = parts.next() {
+                    let nv: usize = nv.parse().map_err(|_| ParseDimacsError {
+                        line: lineno + 1,
+                        kind: ParseDimacsErrorKind::BadHeader,
+                    })?;
+                    if nv > formula.num_vars {
+                        formula.num_vars = nv;
+                    }
+                }
+                continue;
+            }
+            for tok in trimmed.split_whitespace() {
+                let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    kind: ParseDimacsErrorKind::BadLiteral(tok.to_string()),
+                })?;
+                match Lit::from_dimacs(value) {
+                    Some(lit) => {
+                        if lit.var().index() >= formula.num_vars {
+                            formula.num_vars = lit.var().index() + 1;
+                        }
+                        current.push(lit);
+                    }
+                    None => {
+                        formula.clauses.push(std::mem::take(&mut current));
+                    }
+                }
+            }
+        }
+        if !current.is_empty() {
+            formula.clauses.push(current);
+        }
+        Ok(formula)
+    }
+}
+
+/// Error produced by [`CnfFormula::parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseDimacsErrorKind,
+}
+
+/// Failure category for [`ParseDimacsError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsErrorKind {
+    /// Malformed `p cnf` header.
+    BadHeader,
+    /// Token was not a valid integer literal.
+    BadLiteral(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseDimacsErrorKind::BadHeader => {
+                write!(f, "malformed problem header on line {}", self.line)
+            }
+            ParseDimacsErrorKind::BadLiteral(tok) => {
+                write!(f, "invalid literal `{tok}` on line {}", self.line)
+            }
+            ParseDimacsErrorKind::Io(e) => write!(f, "i/o error on line {}: {e}", self.line),
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_eval() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause(&[a.positive(), b.positive()]);
+        f.add_clause(&[a.negative(), b.negative()]);
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.num_clauses(), 2);
+        assert!(f.eval(&[true, false]));
+        assert!(f.eval(&[false, true]));
+        assert!(!f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        let mut f = CnfFormula::new();
+        f.add_clause(&[Var::new(0).positive()]);
+    }
+
+    #[test]
+    fn empty_clause_falsifies() {
+        let mut f = CnfFormula::new();
+        let _ = f.new_var();
+        f.add_clause(&[]);
+        assert!(!f.eval(&[true]));
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        let c = f.new_var();
+        f.add_clause(&[a.positive(), b.negative()]);
+        f.add_clause(&[c.positive()]);
+        f.add_clause(&[a.negative(), b.positive(), c.negative()]);
+
+        let mut buf = Vec::new();
+        f.write_dimacs(&mut buf).unwrap();
+        let parsed = CnfFormula::parse_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn dimacs_parses_comments_and_header() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n3 0\n";
+        let f = CnfFormula::parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        let text = "1 x 0\n";
+        let err = CnfFormula::parse_dimacs(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, ParseDimacsErrorKind::BadLiteral(_)));
+    }
+
+    #[test]
+    fn new_vars_bulk_allocation() {
+        let mut f = CnfFormula::new();
+        let first = f.new_vars(5);
+        assert_eq!(first.index(), 0);
+        assert_eq!(f.num_vars(), 5);
+        let next = f.new_var();
+        assert_eq!(next.index(), 5);
+    }
+}

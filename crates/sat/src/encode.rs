@@ -1,0 +1,267 @@
+//! Reusable CNF encodings for cardinality and implication constraints.
+//!
+//! SAT-MapIt's constraint sets C1 and C2 are built from exactly-one /
+//! at-most-one constraints over large literal sets (one literal per
+//! candidate placement of a node). The encoding choice matters: the paper's
+//! pairwise formulation is quadratic in the set size, while the sequential
+//! (ladder) encoding is linear at the cost of auxiliary variables. Both are
+//! provided; [`AmoEncoding::Auto`] switches at a small threshold.
+
+use crate::cnf::CnfFormula;
+use crate::types::Lit;
+
+/// Strategy for at-most-one constraints.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum AmoEncoding {
+    /// `O(n²)` binary clauses, no auxiliary variables (the paper's Eq. 1/2).
+    Pairwise,
+    /// Sequential/ladder encoding: `O(n)` clauses and `n-1` auxiliary
+    /// variables (Sinz 2005).
+    Sequential,
+    /// Pairwise for small sets (≤ [`AUTO_PAIRWISE_MAX`] literals),
+    /// sequential otherwise.
+    #[default]
+    Auto,
+}
+
+/// Threshold used by [`AmoEncoding::Auto`]: sets up to this size are encoded
+/// pairwise.
+pub const AUTO_PAIRWISE_MAX: usize = 6;
+
+/// Adds the clause `l1 ∨ l2 ∨ … ∨ ln` ("at least one").
+///
+/// An empty `lits` adds the empty clause, making the formula unsatisfiable.
+pub fn at_least_one(formula: &mut CnfFormula, lits: &[Lit]) {
+    formula.add_clause(lits);
+}
+
+/// Adds pairwise at-most-one constraints: `¬li ∨ ¬lj` for all `i < j`.
+pub fn at_most_one_pairwise(formula: &mut CnfFormula, lits: &[Lit]) {
+    for i in 0..lits.len() {
+        for j in (i + 1)..lits.len() {
+            formula.add_clause(&[!lits[i], !lits[j]]);
+        }
+    }
+}
+
+/// Adds the sequential (ladder) at-most-one encoding.
+///
+/// Introduces `n-1` auxiliary variables `s_i` meaning "some literal among
+/// `l_0..=l_i` is true", with clauses:
+/// `¬l_i ∨ s_i`, `¬s_{i-1} ∨ s_i`, `¬l_i ∨ ¬s_{i-1}`.
+pub fn at_most_one_sequential(formula: &mut CnfFormula, lits: &[Lit]) {
+    if lits.len() <= 1 {
+        return;
+    }
+    let n = lits.len();
+    // s[i] corresponds to prefix 0..=i, for i in 0..n-1.
+    let first = formula.new_vars(n - 1);
+    let s = |i: usize| Lit::new(crate::types::Var::new(first.index() as u32 + i as u32), true);
+    formula.add_clause(&[!lits[0], s(0)]);
+    for i in 1..n - 1 {
+        formula.add_clause(&[!lits[i], s(i)]);
+        formula.add_clause(&[!s(i - 1), s(i)]);
+        formula.add_clause(&[!lits[i], !s(i - 1)]);
+    }
+    formula.add_clause(&[!lits[n - 1], !s(n - 2)]);
+}
+
+/// Adds an at-most-one constraint with the chosen strategy.
+pub fn at_most_one(formula: &mut CnfFormula, lits: &[Lit], encoding: AmoEncoding) {
+    match encoding {
+        AmoEncoding::Pairwise => at_most_one_pairwise(formula, lits),
+        AmoEncoding::Sequential => at_most_one_sequential(formula, lits),
+        AmoEncoding::Auto => {
+            if lits.len() <= AUTO_PAIRWISE_MAX {
+                at_most_one_pairwise(formula, lits);
+            } else {
+                at_most_one_sequential(formula, lits);
+            }
+        }
+    }
+}
+
+/// Adds an exactly-one constraint (at-least-one + at-most-one).
+pub fn exactly_one(formula: &mut CnfFormula, lits: &[Lit], encoding: AmoEncoding) {
+    at_least_one(formula, lits);
+    at_most_one(formula, lits, encoding);
+}
+
+/// Adds the implications `trigger → l` for every `l` in `lits`
+/// (i.e. clauses `¬trigger ∨ l`).
+///
+/// This is the one-directional Tseitin expansion used for the per-dependency
+/// disjunctions of constraint set C3: the auxiliary `trigger` stands for a
+/// conjunction of `lits`, and only the `trigger ⇒ conjunct` direction is
+/// needed to preserve satisfiability and model soundness.
+pub fn implies_all(formula: &mut CnfFormula, trigger: Lit, lits: &[Lit]) {
+    for &l in lits {
+        formula.add_clause(&[!trigger, l]);
+    }
+}
+
+/// Adds a sequential-counter at-most-`k` constraint (Sinz 2005).
+///
+/// For `k >= lits.len()` this is a no-op; `k == 0` forces all literals false.
+pub fn at_most_k(formula: &mut CnfFormula, lits: &[Lit], k: usize) {
+    let n = lits.len();
+    if k >= n {
+        return;
+    }
+    if k == 0 {
+        for &l in lits {
+            formula.add_clause(&[!l]);
+        }
+        return;
+    }
+    // r[i][j]: among lits[0..=i], at least j+1 are true (j in 0..k).
+    let first = formula.new_vars((n - 1) * k).index() as u32;
+    let r = |i: usize, j: usize| {
+        debug_assert!(i < n - 1 && j < k);
+        Lit::new(crate::types::Var::new(first + (i * k + j) as u32), true)
+    };
+    // Base: l0 -> r[0][0]; r[0][j>=1] is false implicitly (never implied).
+    formula.add_clause(&[!lits[0], r(0, 0)]);
+    for j in 1..k {
+        formula.add_clause(&[!r(0, j)]);
+    }
+    for i in 1..n {
+        if i < n - 1 {
+            // carry: r[i-1][j] -> r[i][j]
+            for j in 0..k {
+                formula.add_clause(&[!r(i - 1, j), r(i, j)]);
+            }
+            // increment: l_i ∧ r[i-1][j-1] -> r[i][j]; l_i -> r[i][0]
+            formula.add_clause(&[!lits[i], r(i, 0)]);
+            for j in 1..k {
+                formula.add_clause(&[!lits[i], !r(i - 1, j - 1), r(i, j)]);
+            }
+        }
+        // overflow: l_i ∧ r[i-1][k-1] -> ⊥
+        formula.add_clause(&[!lits[i], !r(i - 1, k - 1)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::solve_exhaustive;
+
+    fn fresh(formula: &mut CnfFormula, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| formula.new_var().positive()).collect()
+    }
+
+    /// Counts models of `formula` projected onto the first `n_proj` vars.
+    fn count_projected_models(formula: &CnfFormula, n_proj: usize) -> usize {
+        let n = formula.num_vars();
+        assert!(n <= 22, "too many vars for exhaustive model counting");
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if formula.eval(&assignment) {
+                let proj: Vec<bool> = assignment[..n_proj].to_vec();
+                seen.insert(proj);
+            }
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn pairwise_amo_models() {
+        for n in 1..6 {
+            let mut f = CnfFormula::new();
+            let lits = fresh(&mut f, n);
+            at_most_one_pairwise(&mut f, &lits);
+            // Models: all-false + n one-hot assignments.
+            assert_eq!(count_projected_models(&f, n), n + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sequential_amo_models() {
+        for n in 1..7 {
+            let mut f = CnfFormula::new();
+            let lits = fresh(&mut f, n);
+            at_most_one_sequential(&mut f, &lits);
+            assert_eq!(count_projected_models(&f, n), n + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exactly_one_models() {
+        for encoding in [AmoEncoding::Pairwise, AmoEncoding::Sequential, AmoEncoding::Auto] {
+            for n in 1..6 {
+                let mut f = CnfFormula::new();
+                let lits = fresh(&mut f, n);
+                exactly_one(&mut f, &lits, encoding);
+                assert_eq!(count_projected_models(&f, n), n, "n={n} {encoding:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_models() {
+        fn binom(n: usize, k: usize) -> usize {
+            if k > n {
+                return 0;
+            }
+            let mut r = 1usize;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        }
+        for n in 1..6 {
+            for k in 0..=n {
+                let mut f = CnfFormula::new();
+                let lits = fresh(&mut f, n);
+                at_most_k(&mut f, &lits, k);
+                let expected: usize = (0..=k).map(|j| binom(n, j)).sum();
+                assert_eq!(count_projected_models(&f, n), expected, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn implies_all_forces_conjuncts() {
+        let mut f = CnfFormula::new();
+        let t = f.new_var().positive();
+        let a = f.new_var().positive();
+        let b = f.new_var().positive();
+        implies_all(&mut f, t, &[a, !b]);
+        f.add_clause(&[t]);
+        let model = solve_exhaustive(&f).unwrap().expect("sat");
+        assert!(model[a.var().index()]);
+        assert!(!model[b.var().index()]);
+    }
+
+    #[test]
+    fn empty_at_least_one_is_unsat() {
+        let mut f = CnfFormula::new();
+        let _ = f.new_var();
+        at_least_one(&mut f, &[]);
+        assert!(solve_exhaustive(&f).unwrap().is_none());
+    }
+
+    #[test]
+    fn amo_auto_switches_encoding() {
+        let mut small = CnfFormula::new();
+        let lits = fresh(&mut small, AUTO_PAIRWISE_MAX);
+        at_most_one(&mut small, &lits, AmoEncoding::Auto);
+        assert_eq!(small.num_vars(), AUTO_PAIRWISE_MAX, "no aux vars expected");
+
+        let mut large = CnfFormula::new();
+        let lits = fresh(&mut large, AUTO_PAIRWISE_MAX + 1);
+        at_most_one(&mut large, &lits, AmoEncoding::Auto);
+        assert!(large.num_vars() > AUTO_PAIRWISE_MAX + 1, "aux vars expected");
+    }
+
+    #[test]
+    fn single_literal_amo_is_trivial() {
+        let mut f = CnfFormula::new();
+        let lits = fresh(&mut f, 1);
+        at_most_one_sequential(&mut f, &lits);
+        assert_eq!(f.num_clauses(), 0);
+        let _ = lits;
+    }
+}

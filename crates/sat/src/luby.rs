@@ -1,0 +1,56 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+
+/// Returns the `x`-th element (0-based) of the Luby sequence.
+///
+/// The Luby sequence is the theoretically optimal universal restart
+/// strategy; CDCL restarts run `luby(i) * base` conflicts for restart `i`.
+pub fn luby(x: u64) -> u64 {
+    // Find the finite subsequence that contains index x, and the sequence
+    // value at its end (MiniSat's formulation).
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_terms_match_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn powers_of_two_appear() {
+        // Element 2^k - 2 of the sequence is 2^(k-1).
+        for k in 1..10u32 {
+            let idx = (1u64 << k) - 2;
+            assert_eq!(luby(idx), 1u64 << (k - 1));
+        }
+    }
+
+    #[test]
+    fn self_similarity() {
+        // The sequence repeats its prefix: luby(i) == luby(i + 2^k - 1)
+        // whenever i < 2^k - 1.
+        for k in 2..8u32 {
+            let period = (1u64 << k) - 1;
+            for i in 0..period.min(40) {
+                assert_eq!(luby(i), luby(i + period));
+            }
+        }
+    }
+}

@@ -1,0 +1,1091 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! Feature set: two-literal watching, VSIDS branching with phase saving,
+//! first-UIP conflict analysis with self-subsumption minimization, Luby
+//! restarts, activity/LBD-based learnt-clause database reduction,
+//! solving under assumptions with final-conflict extraction, and
+//! conflict/time budgets that make the solver interruptible (required by the
+//! mapping timeout semantics of the experiments).
+
+use crate::cnf::CnfFormula;
+use crate::heap::ActivityHeap;
+use crate::luby::luby;
+use crate::types::{LBool, Lit, Var};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+const CLAUSE_NONE: u32 = u32::MAX;
+
+const VAR_ACT_DECAY: f64 = 1.0 / 0.95;
+const CLA_ACT_DECAY: f64 = 1.0 / 0.999;
+const RESTART_BASE: u64 = 100;
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+    lbd: u32,
+}
+
+/// Counters describing solver effort; useful for the paper's runtime tables
+/// and the ablation benchmarks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently retained.
+    pub learnt_clauses: u64,
+    /// Learnt clauses removed by database reduction.
+    pub removed_clauses: u64,
+    /// Problem clauses added (after top-level simplification).
+    pub added_clauses: u64,
+}
+
+/// Resource budget for a single [`Solver::solve_limited`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SolveLimits {
+    /// Abort after this many conflicts (counted per call).
+    pub max_conflicts: Option<u64>,
+    /// Abort once `Instant::now()` passes this deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveLimits {
+    /// No limits: run to completion.
+    pub fn none() -> SolveLimits {
+        SolveLimits::default()
+    }
+
+    /// Limits with a conflict cap.
+    pub fn with_max_conflicts(mut self, n: u64) -> SolveLimits {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Limits with a wall-clock timeout from now.
+    pub fn with_timeout(mut self, d: Duration) -> SolveLimits {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Limits with an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> SolveLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a [`SolveResult::Unknown`] was returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The per-call conflict budget was exhausted.
+    ConflictLimit,
+    /// The wall-clock deadline passed.
+    Timeout,
+}
+
+/// Outcome of a solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A model was found; retrieve it with [`Solver::model`].
+    Sat,
+    /// The formula is unsatisfiable (under the given assumptions, if any);
+    /// see [`Solver::final_conflict`] for the failed assumption core.
+    Unsat,
+    /// The budget ran out before an answer was derived.
+    Unknown(StopReason),
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    Stop(StopReason),
+}
+
+/// The CDCL solver.
+///
+/// ```
+/// use satmapit_sat::{Solver, SolveResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause(&[a, b]);
+/// s.add_clause(&[!a, b]);
+/// s.add_clause(&[a, !b]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// let m = s.model().unwrap();
+/// assert!(m[a.var().index()] && m[b.var().index()]);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_idxs: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: ActivityHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    reason: Vec<u32>,
+    level: Vec<u32>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Option<Vec<bool>>,
+    conflict_core: Vec<Lit>,
+    stats: SolverStats,
+    next_reduce: u64,
+    reduce_count: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            learnt_idxs: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: ActivityHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: Vec::new(),
+            level: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: None,
+            conflict_core: Vec::new(),
+            stats: SolverStats::default(),
+            next_reduce: 4000,
+            reduce_count: 0,
+        }
+    }
+
+    /// Creates a solver pre-loaded with `formula`.
+    pub fn from_cnf(formula: &CnfFormula) -> Solver {
+        let mut solver = Solver::new();
+        solver.ensure_vars(formula.num_vars());
+        for clause in formula.iter() {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(CLAUSE_NONE);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v.index() as u32, &self.activity);
+        v
+    }
+
+    /// Grows the variable pool so that at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assigns.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// `false` once the clause set has been proven unsatisfiable at the top
+    /// level (adding further clauses has no effect).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Effort counters accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Adds a clause. Must be called at decision level 0 (i.e. not from
+    /// within a solve callback). Returns `false` if the formula became
+    /// trivially unsatisfiable.
+    ///
+    /// Tautologies are dropped, duplicate literals merged, and literals
+    /// already false at the top level removed.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        for l in &ls {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} out of range ({} vars)",
+                self.num_vars()
+            );
+        }
+        ls.sort_unstable();
+        ls.dedup();
+        // Tautology / top-level simplification.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(ls.len());
+        let mut i = 0;
+        while i < ls.len() {
+            let l = ls[i];
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: l and ¬l adjacent after sort
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], CLAUSE_NONE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let ci = self.alloc_clause(simplified, false, 0);
+                self.attach_clause(ci);
+                self.stats.added_clauses += 1;
+                true
+            }
+        }
+    }
+
+    /// Solves without assumptions or limits.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(&[], &SolveLimits::none())
+    }
+
+    /// Solves under the given assumption literals.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, &SolveLimits::none())
+    }
+
+    /// Solves under assumptions with a resource budget.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: &SolveLimits) -> SolveResult {
+        self.model = None;
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let start_conflicts = self.stats.conflicts;
+        let mut restarts = 0u64;
+        loop {
+            if let Some(deadline) = limits.deadline {
+                if Instant::now() >= deadline {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown(StopReason::Timeout);
+                }
+            }
+            if let Some(max) = limits.max_conflicts {
+                if self.stats.conflicts - start_conflicts >= max {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown(StopReason::ConflictLimit);
+                }
+            }
+            let budget = luby(restarts) * RESTART_BASE;
+            let outcome = self.search(budget, assumptions, limits, start_conflicts);
+            match outcome {
+                SearchOutcome::Sat => {
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Stop(reason) => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown(reason);
+                }
+                SearchOutcome::Restart => {
+                    self.cancel_until(0);
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        }
+    }
+
+    /// The satisfying assignment found by the last successful solve, indexed
+    /// by variable index.
+    pub fn model(&self) -> Option<&[bool]> {
+        self.model.as_deref()
+    }
+
+    /// Value of `lit` in the current model.
+    pub fn model_value(&self, lit: Lit) -> Option<bool> {
+        self.model
+            .as_ref()
+            .map(|m| m[lit.var().index()] == lit.is_positive())
+    }
+
+    /// After an assumption-based `Unsat`, the subset of assumptions that was
+    /// proven contradictory (negated), MiniSat's "final conflict".
+    pub fn final_conflict(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    // ----------------------------------------------------------------- //
+    // Internals
+    // ----------------------------------------------------------------- //
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+        let ci = self.clauses.len() as u32;
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+            lbd,
+        });
+        if learnt {
+            self.learnt_idxs.push(ci);
+            self.stats.learnt_clauses += 1;
+        }
+        ci
+    }
+
+    fn attach_clause(&mut self, ci: u32) {
+        let (l0, l1) = {
+            let c = &self.clauses[ci as usize];
+            debug_assert!(c.lits.len() >= 2);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher {
+            clause: ci,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            clause: ci,
+            blocker: l0,
+        });
+    }
+
+    fn detach_clause(&mut self, ci: u32) {
+        let (l0, l1) = {
+            let c = &self.clauses[ci as usize];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].retain(|w| w.clause != ci);
+        self.watches[(!l1).code()].retain(|w| w.clause != ci);
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.polarity[v] = self.assigns[v] == LBool::True;
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = CLAUSE_NONE;
+            self.order.insert(v as u32, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target_level);
+        self.qhead = bound;
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let not_p = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                if self.clauses[ci].lits[0] == not_p {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], not_p);
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        debug_assert_ne!((!new_watch).code(), p.code());
+                        self.watches[(!new_watch).code()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current assignment.
+                ws[j] = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore remaining watchers and bail out.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.clause);
+                }
+                self.unchecked_enqueue(first, w.clause);
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v.index() as u32, &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for idx in &self.learnt_idxs {
+                self.clauses[*idx as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first), the backtrack level, and the clause's LBD.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)];
+        let mut path_c: i32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            debug_assert_ne!(confl, CLAUSE_NONE);
+            if self.clauses[confl as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.bump_var(q.var());
+                    self.seen[vi] = true;
+                    if self.level[vi] as usize >= self.decision_level() {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next trail literal participating in the conflict.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            confl = self.reason[pl.var().index()];
+            self.seen[pl.var().index()] = false;
+            path_c -= 1;
+            p = Some(pl);
+            if path_c <= 0 {
+                break;
+            }
+        }
+        learnt[0] = !p.expect("conflict analysis visited at least one literal");
+
+        // Self-subsumption minimization: a literal is redundant if all
+        // antecedents of its reason are already in the clause (or level 0).
+        let original: Vec<Lit> = learnt[1..].to_vec();
+        let mut kept: Vec<Lit> = Vec::with_capacity(learnt.len());
+        kept.push(learnt[0]);
+        'lits: for &q in &original {
+            let r = self.reason[q.var().index()];
+            if r == CLAUSE_NONE {
+                kept.push(q);
+                continue;
+            }
+            for &a in &self.clauses[r as usize].lits {
+                if a.var() == q.var() {
+                    continue;
+                }
+                let vi = a.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    kept.push(q);
+                    continue 'lits;
+                }
+            }
+            // redundant: dropped
+        }
+        for &q in &original {
+            self.seen[q.var().index()] = false;
+        }
+        let mut learnt = kept;
+
+        // Compute backtrack level; move the highest-level remaining literal
+        // to position 1 so it can be watched.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+
+        // LBD: number of distinct decision levels in the clause.
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (learnt, bt_level, lbd)
+    }
+
+    /// Computes the subset of assumptions responsible for forcing `p` false
+    /// (called when an assumption literal is already falsified).
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let bottom = self.trail_lim[0];
+        for i in (bottom..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let vi = x.var().index();
+            if !self.seen[vi] {
+                continue;
+            }
+            let r = self.reason[vi];
+            if r == CLAUSE_NONE {
+                if self.level[vi] > 0 {
+                    self.conflict_core.push(!x);
+                }
+            } else {
+                let lits = self.clauses[r as usize].lits.clone();
+                for l in lits {
+                    if l.var() != x.var() && self.level[l.var().index()] > 0 {
+                        self.seen[l.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[vi] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses: glue clauses (lbd <= 3) and locked clauses are
+        // kept; the least active half of the rest is removed.
+        let mut candidates: Vec<u32> = Vec::new();
+        for &ci in &self.learnt_idxs {
+            let c = &self.clauses[ci as usize];
+            if c.deleted || c.lbd <= 3 || c.lits.len() <= 2 {
+                continue;
+            }
+            if self.is_locked(ci) {
+                continue;
+            }
+            candidates.push(ci);
+        }
+        candidates.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let remove_n = candidates.len() / 2;
+        for &ci in candidates.iter().take(remove_n) {
+            self.detach_clause(ci);
+            let c = &mut self.clauses[ci as usize];
+            c.deleted = true;
+            c.lits = Vec::new();
+            self.stats.removed_clauses += 1;
+            self.stats.learnt_clauses -= 1;
+        }
+        self.learnt_idxs
+            .retain(|&ci| !self.clauses[ci as usize].deleted);
+        self.reduce_count += 1;
+        self.next_reduce = self.stats.conflicts + 2000 + 500 * self.reduce_count;
+    }
+
+    fn is_locked(&self, ci: u32) -> bool {
+        let c = &self.clauses[ci as usize];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let l0 = c.lits[0];
+        self.lit_value(l0) == LBool::True && self.reason[l0.var().index()] == ci
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order.pop_max(&self.activity)?;
+            if self.assigns[v as usize] == LBool::Undef {
+                return Some(Lit::new(Var::new(v), self.polarity[v as usize]));
+            }
+        }
+    }
+
+    fn extract_model(&mut self) {
+        self.model = Some(
+            self.assigns
+                .iter()
+                .map(|&a| a == LBool::True)
+                .collect(),
+        );
+    }
+
+    fn search(
+        &mut self,
+        nof_conflicts: u64,
+        assumptions: &[Lit],
+        limits: &SolveLimits,
+        start_conflicts: u64,
+    ) -> SearchOutcome {
+        let mut conflict_c: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflict_c += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                if self.decision_level() <= assumptions.len() {
+                    // Conflict at or below the assumption levels: the
+                    // assumptions themselves are inconsistent.
+                    // Analyze to learn, but if the backjump target is within
+                    // the assumptions we must re-establish them afterwards,
+                    // which the outer loop handles via restart semantics.
+                }
+                let (learnt, bt_level, lbd) = self.analyze(confl);
+                let bt_level = bt_level.min(self.decision_level() - 1);
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], CLAUSE_NONE);
+                    } else if self.lit_value(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return SearchOutcome::Unsat;
+                    }
+                } else {
+                    let ci = self.alloc_clause(learnt, true, lbd);
+                    self.attach_clause(ci);
+                    let l0 = self.clauses[ci as usize].lits[0];
+                    debug_assert_eq!(self.lit_value(l0), LBool::Undef);
+                    self.unchecked_enqueue(l0, ci);
+                }
+                self.var_inc *= VAR_ACT_DECAY;
+                self.cla_inc *= CLA_ACT_DECAY;
+                if conflict_c % 256 == 0 {
+                    if let Some(deadline) = limits.deadline {
+                        if Instant::now() >= deadline {
+                            return SearchOutcome::Stop(StopReason::Timeout);
+                        }
+                    }
+                }
+            } else {
+                // No conflict.
+                if conflict_c >= nof_conflicts {
+                    return SearchOutcome::Restart;
+                }
+                if let Some(max) = limits.max_conflicts {
+                    if self.stats.conflicts - start_conflicts >= max {
+                        return SearchOutcome::Stop(StopReason::ConflictLimit);
+                    }
+                }
+                if self.stats.conflicts >= self.next_reduce {
+                    self.reduce_db();
+                }
+                // Establish assumptions as pseudo-decisions.
+                let mut next: Option<Lit> = None;
+                while self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        LBool::True => self.new_decision_level(),
+                        LBool::False => {
+                            self.analyze_final(!p);
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch() {
+                        Some(p) => p,
+                        None => {
+                            self.extract_model();
+                            return SearchOutcome::Sat;
+                        }
+                    },
+                };
+                self.stats.decisions += 1;
+                self.new_decision_level();
+                self.unchecked_enqueue(decision, CLAUSE_NONE);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver) -> Lit {
+        s.new_var().positive()
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        s.add_clause(&[a]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        s.add_clause(&[a]);
+        assert!(!s.add_clause(&[!a]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..50).map(|_| lit(&mut s)).collect();
+        s.add_clause(&[xs[0]]);
+        for w in xs.windows(2) {
+            s.add_clause(&[!w[0], w[1]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &x in &xs {
+            assert_eq!(s.model_value(x), Some(true));
+        }
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable, requires real search.
+    fn pigeonhole(holes: usize) -> Solver {
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Lit::from_code(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var().positive();
+            }
+        }
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| var[p][h]).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[!var[p1][h], !var[p2][h]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=6 {
+            let mut s = pigeonhole(holes);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{})", holes + 1, holes);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_exact_fit_sat() {
+        // n pigeons, n holes: satisfiable.
+        let holes = 5;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Lit::from_code(0); holes]; holes];
+        for p in 0..holes {
+            for h in 0..holes {
+                var[p][h] = s.new_var().positive();
+            }
+        }
+        for p in 0..holes {
+            let clause: Vec<Lit> = (0..holes).map(|h| var[p][h]).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in (p1 + 1)..holes {
+                    s.add_clause(&[!var[p1][h], !var[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Verify it is a perfect matching.
+        for h in 0..holes {
+            let count = (0..holes)
+                .filter(|&p| s.model_value(var[p][h]) == Some(true))
+                .count();
+            assert!(count <= 1);
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve_with_assumptions(&[!a]), SolveResult::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[!a, !b]), SolveResult::Unsat);
+        let core = s.final_conflict().to_vec();
+        assert!(!core.is_empty());
+        // Solver remains usable and consistent afterwards.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        let mut s = pigeonhole(8);
+        let limits = SolveLimits::none().with_max_conflicts(10);
+        let r = s.solve_limited(&[], &limits);
+        assert_eq!(r, SolveResult::Unknown(StopReason::ConflictLimit));
+        // And with a large budget it still finishes.
+        let r = s.solve_limited(&[], &SolveLimits::none().with_max_conflicts(10_000_000));
+        assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn timeout_deadline_in_past_stops() {
+        let mut s = pigeonhole(9);
+        let limits = SolveLimits {
+            max_conflicts: None,
+            deadline: Some(Instant::now()),
+        };
+        // The check happens every 256 conflicts, so this returns quickly.
+        let r = s.solve_limited(&[], &limits);
+        assert!(matches!(
+            r,
+            SolveResult::Unknown(StopReason::Timeout) | SolveResult::Unsat
+        ));
+    }
+
+    #[test]
+    fn incremental_add_between_solves() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        let c = lit(&mut s);
+        s.add_clause(&[a, b, c]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[!a]);
+        s.add_clause(&[!b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(c), Some(true));
+        s.add_clause(&[!c]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        s.add_clause(&[a, a, b]);
+        s.add_clause(&[a, !a]); // tautology, dropped
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = pigeonhole(5);
+        s.solve();
+        assert!(s.stats().conflicts > 0);
+        assert!(s.stats().decisions > 0);
+        assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // Random-ish 3-CNF that is satisfiable by construction: plant a
+        // solution and only add clauses consistent with it.
+        let n = 60;
+        let mut s = Solver::new();
+        let lits: Vec<Lit> = (0..n).map(|_| lit(&mut s)).collect();
+        let planted: Vec<bool> = (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect();
+        let mut clauses = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..300 {
+            let mut clause = Vec::new();
+            for _ in 0..3 {
+                let v = (rng() % n as u64) as usize;
+                let pol = rng() % 2 == 0;
+                clause.push(if pol { lits[v] } else { !lits[v] });
+            }
+            // Ensure the planted assignment satisfies the clause.
+            if !clause
+                .iter()
+                .any(|l| planted[l.var().index()] == l.is_positive())
+            {
+                let v = clause[0].var().index();
+                clause[0] = if planted[v] { lits[v] } else { !lits[v] };
+            }
+            clauses.push(clause);
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().unwrap();
+        for c in &clauses {
+            assert!(c.iter().any(|l| model[l.var().index()] == l.is_positive()));
+        }
+    }
+}

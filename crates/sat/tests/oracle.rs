@@ -1,0 +1,103 @@
+//! Property tests: the CDCL solver must agree with the exhaustive oracle on
+//! random small formulas, and produce genuine models when satisfiable.
+
+use proptest::prelude::*;
+use satmapit_sat::brute::solve_exhaustive;
+use satmapit_sat::{CnfFormula, Lit, SolveResult, Solver, Var};
+
+/// Strategy: a random CNF over up to `max_vars` variables.
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    (1..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4);
+        proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+            let mut f = CnfFormula::with_vars(nv);
+            for c in clauses {
+                let lits: Vec<Lit> = c
+                    .into_iter()
+                    .map(|(v, pol)| Lit::new(Var::new(v as u32), pol))
+                    .collect();
+                f.add_clause(&lits);
+            }
+            f
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_oracle(f in cnf_strategy(10, 40)) {
+        let oracle = solve_exhaustive(&f).unwrap();
+        let mut solver = Solver::from_cnf(&f);
+        let result = solver.solve();
+        match oracle {
+            Some(_) => {
+                prop_assert_eq!(result, SolveResult::Sat);
+                let model = solver.model().unwrap();
+                prop_assert!(f.eval(model), "reported model does not satisfy formula");
+            }
+            None => prop_assert_eq!(result, SolveResult::Unsat),
+        }
+    }
+
+    #[test]
+    fn assumptions_consistent_with_added_units(f in cnf_strategy(8, 24), polarities in proptest::collection::vec(any::<bool>(), 8)) {
+        // Solving F under assumptions A must equal solving F ∧ A.
+        let nv = f.num_vars();
+        let assumptions: Vec<Lit> = (0..nv.min(3))
+            .map(|i| Lit::new(Var::new(i as u32), polarities[i]))
+            .collect();
+
+        let mut with_assumptions = Solver::from_cnf(&f);
+        let r1 = with_assumptions.solve_with_assumptions(&assumptions);
+
+        let mut with_units = f.clone();
+        for &a in &assumptions {
+            with_units.add_clause(&[a]);
+        }
+        let oracle = solve_exhaustive(&with_units).unwrap();
+        match oracle {
+            Some(_) => prop_assert_eq!(r1, SolveResult::Sat),
+            None => prop_assert_eq!(r1, SolveResult::Unsat),
+        }
+        if r1 == SolveResult::Sat {
+            let model = with_assumptions.model().unwrap();
+            prop_assert!(with_units.eval(model));
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_formula(f in cnf_strategy(12, 30)) {
+        let mut buf = Vec::new();
+        f.write_dimacs(&mut buf).unwrap();
+        let parsed = CnfFormula::parse_dimacs(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed.num_clauses(), f.num_clauses());
+        // Satisfiability must be preserved.
+        let a = solve_exhaustive(&f).unwrap().is_some();
+        let b = solve_exhaustive(&parsed).unwrap().is_some();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_solving_matches_monolithic(f in cnf_strategy(9, 20), extra in cnf_strategy(9, 10)) {
+        // Add f, solve, then add extra clauses (over the same var ids) and
+        // re-solve: result must match solving the union from scratch.
+        let nv = f.num_vars().max(extra.num_vars());
+        let mut solver = Solver::new();
+        solver.ensure_vars(nv);
+        for c in f.iter() { solver.add_clause(c); }
+        let _ = solver.solve();
+        for c in extra.iter() { solver.add_clause(c); }
+        let r = solver.solve();
+
+        let mut union = CnfFormula::with_vars(nv);
+        for c in f.iter() { union.add_clause(c); }
+        for c in extra.iter() { union.add_clause(c); }
+        let oracle = solve_exhaustive(&union).unwrap();
+        match oracle {
+            Some(_) => prop_assert_eq!(r, SolveResult::Sat),
+            None => prop_assert_eq!(r, SolveResult::Unsat),
+        }
+    }
+}

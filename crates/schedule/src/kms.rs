@@ -1,0 +1,254 @@
+//! The Kernel Mobility Schedule (KMS), the paper's central data structure
+//! (§IV-B, Fig. 5).
+//!
+//! For a candidate initiation interval `II`, the mobility schedule of length
+//! `L` is folded `⌈L / II⌉` times: a node occupying MS time slot `t` lands
+//! at kernel cycle `t mod II` with fold (iteration) label `t / II`. The KMS
+//! is "a superset of all possible kernels": any concrete kernel schedule
+//! picks exactly one `(cycle, fold)` position per node.
+
+use crate::mobility::MobilitySchedule;
+use satmapit_dfg::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One candidate position of a node in the KMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KmsPos {
+    /// Kernel cycle in `0..ii`.
+    pub cycle: u32,
+    /// Fold (iteration label within the kernel), in `0..folds`.
+    pub fold: u32,
+}
+
+/// The kernel mobility schedule for a given `II`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kms {
+    ii: u32,
+    folds: u32,
+    positions: Vec<Vec<KmsPos>>,
+}
+
+impl Kms {
+    /// Folds the mobility schedule by `ii` with the paper's strict windows
+    /// (`[asap, alap]`, no slack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn build(ms: &MobilitySchedule, ii: u32) -> Kms {
+        Kms::build_with_slack(ms, ii, 0)
+    }
+
+    /// Folds the mobility schedule by `ii`, extending every node's window
+    /// to `[asap, alap + slack]`.
+    ///
+    /// The paper fixes the schedule length to the critical path, which
+    /// makes shallow-but-wide DFGs (many parallel ops, short chains)
+    /// unmappable at *any* II: all nodes stay pinned to the same kernel
+    /// cycles no matter how far II grows. Extending ALAP by `II - 1`
+    /// lets every node reach every kernel cycle in some fold, restoring
+    /// completeness of the iterative search while preserving the ASAP
+    /// lower bounds. `slack = 0` reproduces the paper's formulation
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn build_with_slack(ms: &MobilitySchedule, ii: u32, slack: u32) -> Kms {
+        assert!(ii > 0, "II must be positive");
+        let folds = (ms.len() + slack).div_ceil(ii).max(1);
+        let positions = (0..ms.num_nodes())
+            .map(|i| {
+                let n = NodeId(i as u32);
+                (ms.asap(n)..=ms.alap(n) + slack)
+                    .map(|t| KmsPos {
+                        cycle: t % ii,
+                        fold: t / ii,
+                    })
+                    .collect()
+            })
+            .collect();
+        Kms {
+            ii,
+            folds,
+            positions,
+        }
+    }
+
+    /// The initiation interval this KMS was folded by.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Number of folds (iterations coexisting in the kernel).
+    pub fn folds(&self) -> u32 {
+        self.folds
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The candidate positions of node `n` (in increasing unfolded time).
+    pub fn positions(&self, n: NodeId) -> &[KmsPos] {
+        &self.positions[n.index()]
+    }
+
+    /// The unfolded schedule time corresponding to a position:
+    /// `cycle + fold * ii`.
+    pub fn unfolded_time(&self, pos: KmsPos) -> u32 {
+        pos.cycle + pos.fold * self.ii
+    }
+
+    /// One row of the KMS table: every `(node, fold)` that may occupy
+    /// kernel cycle `c` (Fig. 5's rows).
+    pub fn row(&self, c: u32) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::new();
+        for (i, ps) in self.positions.iter().enumerate() {
+            for p in ps {
+                if p.cycle == c {
+                    out.push((NodeId(i as u32), p.fold));
+                }
+            }
+        }
+        out
+    }
+
+    /// All rows (`rows()[c] == row(c)`).
+    pub fn rows(&self) -> Vec<Vec<(NodeId, u32)>> {
+        (0..self.ii).map(|c| self.row(c)).collect()
+    }
+
+    /// Total number of `(node, cycle, fold)` placement candidates; the SAT
+    /// variable count is this times the number of PEs.
+    pub fn num_candidates(&self) -> usize {
+        self.positions.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::paper_example_dfg;
+
+    fn paper_kms() -> Kms {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        Kms::build(&ms, 3)
+    }
+
+    /// Fig. 5: MS of length 5 folded by II=3 gives 2 folds.
+    #[test]
+    fn paper_fold_count() {
+        let kms = paper_kms();
+        assert_eq!(kms.ii(), 3);
+        assert_eq!(kms.folds(), 2);
+    }
+
+    /// Fig. 5's KMS rows: row c = MS row c at fold 0 ∪ MS row c+II at fold 1.
+    #[test]
+    fn paper_figure5_rows() {
+        let kms = paper_kms();
+        // (paper node, fold) pairs per kernel cycle.
+        let expected: [&[(u32, u32)]; 3] = [
+            // cycle 0: MS row0 (it0) + MS row3 (it1)
+            &[(1, 0), (2, 0), (3, 0), (4, 0), (2, 1), (8, 1), (10, 1), (11, 1)],
+            // cycle 1: MS row1 (it0) + MS row4 (it1)
+            &[(1, 0), (2, 0), (4, 0), (5, 0), (7, 0), (10, 0), (9, 1), (11, 1)],
+            // cycle 2: MS row2 (it0)
+            &[(1, 0), (2, 0), (6, 0), (7, 0), (10, 0), (11, 0)],
+        ];
+        for (c, exp) in expected.iter().enumerate() {
+            let mut want: Vec<(NodeId, u32)> = exp
+                .iter()
+                .map(|&(pn, f)| (NodeId(pn - 1), f))
+                .collect();
+            want.sort();
+            let mut got = kms.row(c as u32);
+            got.sort();
+            assert_eq!(got, want, "KMS row {c}");
+        }
+    }
+
+    #[test]
+    fn positions_cover_mobility_window() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        for ii in 1..=6 {
+            let kms = Kms::build(&ms, ii);
+            for n in dfg.node_ids() {
+                let ps = kms.positions(n);
+                assert_eq!(ps.len() as u32, ms.mobility(n) + 1, "node {n} ii {ii}");
+                for (k, p) in ps.iter().enumerate() {
+                    let t = kms.unfolded_time(*p);
+                    assert_eq!(t, ms.asap(n) + k as u32);
+                    assert!(p.cycle < ii);
+                    assert!(p.fold < kms.folds());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_membership_matches_positions() {
+        let kms = paper_kms();
+        let rows = kms.rows();
+        let total: usize = rows.iter().map(Vec::len).sum();
+        assert_eq!(total, kms.num_candidates());
+    }
+
+    #[test]
+    fn ii_of_one_flattens_everything() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 1);
+        assert_eq!(kms.folds(), 5);
+        for n in dfg.node_ids() {
+            for p in kms.positions(n) {
+                assert_eq!(p.cycle, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn slack_extends_windows_and_reaches_all_cycles() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        for ii in 2..=4u32 {
+            let kms = Kms::build_with_slack(&ms, ii, ii - 1);
+            for n in dfg.node_ids() {
+                let ps = kms.positions(n);
+                assert_eq!(ps.len() as u32, ms.mobility(n) + ii);
+                // With slack II-1 every kernel cycle is reachable.
+                let mut cycles: Vec<u32> = ps.iter().map(|p| p.cycle).collect();
+                cycles.sort_unstable();
+                cycles.dedup();
+                assert_eq!(cycles.len() as u32, ii, "node {n} ii {ii}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_slack_matches_plain_build() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        for ii in 1..=5 {
+            assert_eq!(Kms::build(&ms, ii), Kms::build_with_slack(&ms, ii, 0));
+        }
+    }
+
+    #[test]
+    fn large_ii_single_fold() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build(&ms, 10);
+        assert_eq!(kms.folds(), 1);
+        for n in dfg.node_ids() {
+            for p in kms.positions(n) {
+                assert_eq!(p.fold, 0);
+                assert_eq!(p.cycle, kms.unfolded_time(*p));
+            }
+        }
+    }
+}

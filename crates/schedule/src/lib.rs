@@ -1,0 +1,42 @@
+//! # satmapit-schedule
+//!
+//! Scheduling structures for CGRA modulo scheduling, as defined in
+//! SAT-MapIt (DATE 2023, §IV-B):
+//!
+//! * [`MobilitySchedule`] — ASAP/ALAP windows and the Mobility Schedule
+//!   table (paper Fig. 4),
+//! * [`Kms`] — the Kernel Mobility Schedule: the mobility schedule folded
+//!   by a candidate II, labelling each node occurrence with its kernel
+//!   cycle and fold/iteration (paper Fig. 5). Note the paper's figure
+//!   numbers iterations by *age* (later unfolded times get lower labels);
+//!   we use `fold = time / II`, which is the same structure up to
+//!   relabelling,
+//! * [`mii`], [`res_mii`], [`rec_mii`] — the initiation-interval lower
+//!   bounds that seed the iterative search of Fig. 3.
+//!
+//! ```
+//! use satmapit_dfg::{Dfg, Op};
+//! use satmapit_schedule::{Kms, MobilitySchedule};
+//!
+//! let mut dfg = Dfg::new("pair");
+//! let a = dfg.add_const(1);
+//! let b = dfg.add_node(Op::Neg);
+//! dfg.add_edge(a, b, 0);
+//! let ms = MobilitySchedule::compute(&dfg).unwrap();
+//! assert_eq!(ms.len(), 2);
+//! let kms = Kms::build(&ms, 1);
+//! assert_eq!(kms.folds(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kms;
+mod mii;
+mod mobility;
+#[cfg(test)]
+mod testutil;
+
+pub use kms::{Kms, KmsPos};
+pub use mii::{mii, rec_mii, res_mii};
+pub use mobility::MobilitySchedule;

@@ -1,0 +1,168 @@
+//! Lower bounds on the initiation interval: ResMII (resource-limited) and
+//! RecMII (recurrence-limited). The mapper's iterative search starts at
+//! `MII = max(ResMII, RecMII)`.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::Dfg;
+use satmapit_graphs::DiGraph;
+
+/// Resource-limited minimum II: with `P` PEs, at most `P` operations can
+/// issue per kernel cycle (and at most `M` memory operations on the `M`
+/// memory-capable PEs).
+pub fn res_mii(dfg: &Dfg, cgra: &Cgra) -> u32 {
+    let nodes = dfg.num_nodes() as u32;
+    let pes = cgra.num_pes() as u32;
+    let mut bound = nodes.div_ceil(pes);
+    let mem_ops = dfg.num_memory_ops() as u32;
+    if mem_ops > 0 {
+        let mem_pes = cgra.num_memory_pes() as u32;
+        bound = bound.max(mem_ops.div_ceil(mem_pes));
+    }
+    bound.max(1)
+}
+
+/// Recurrence-limited minimum II: the smallest `II` such that every
+/// dependence cycle satisfies `latency(cycle) <= II * distance(cycle)`.
+///
+/// With unit latencies this is `max over cycles ⌈len / dist⌉`, computed by
+/// searching for the smallest `II` that leaves no positive-weight cycle
+/// under edge weights `1 - II * distance`.
+pub fn rec_mii(dfg: &Dfg) -> u32 {
+    let has_back_edges = dfg.edges().any(|(_, e)| e.is_back_edge());
+    if !has_back_edges {
+        return 1;
+    }
+    let mut g = DiGraph::new(dfg.num_nodes());
+    let mut dists: Vec<u32> = Vec::with_capacity(dfg.num_edges());
+    for (_, e) in dfg.edges() {
+        g.add_edge(e.src.index(), e.dst.index());
+        dists.push(e.distance);
+    }
+    // II = num_nodes is always sufficient: any simple cycle has length
+    // <= num_nodes and distance >= 1.
+    let upper = dfg.num_nodes() as u32;
+    for ii in 1..=upper {
+        let weights: Vec<i64> = dists
+            .iter()
+            .map(|&d| 1 - i64::from(ii) * i64::from(d))
+            .collect();
+        if !g.has_positive_cycle(&weights) {
+            return ii;
+        }
+    }
+    upper
+}
+
+/// `MII = max(ResMII, RecMII)` — the starting point of the iterative
+/// mapping loop (paper Fig. 3).
+pub fn mii(dfg: &Dfg, cgra: &Cgra) -> u32 {
+    res_mii(dfg, cgra).max(rec_mii(dfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::paper_example_dfg;
+    use satmapit_cgra::MemoryPolicy;
+    use satmapit_dfg::Op;
+
+    #[test]
+    fn paper_example_res_mii() {
+        let dfg = paper_example_dfg();
+        // 11 nodes on 4 PEs -> ceil(11/4) = 3, the paper's kernel II.
+        assert_eq!(res_mii(&dfg, &Cgra::square(2)), 3);
+        assert_eq!(res_mii(&dfg, &Cgra::square(3)), 2);
+        assert_eq!(res_mii(&dfg, &Cgra::square(4)), 1);
+    }
+
+    #[test]
+    fn rec_mii_without_back_edges_is_one() {
+        let mut dfg = Dfg::new("fwd");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        assert_eq!(rec_mii(&dfg), 1);
+    }
+
+    #[test]
+    fn self_accumulator_rec_mii_is_one() {
+        // acc = acc + 1: cycle length 1, distance 1.
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(1);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 0);
+        assert_eq!(rec_mii(&dfg), 1);
+    }
+
+    #[test]
+    fn long_recurrence_raises_rec_mii() {
+        // Cycle a -> b -> c -> a with a single distance-1 back edge:
+        // len 3 / dist 1 -> RecMII = 3.
+        let mut dfg = Dfg::new("rec3");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        assert_eq!(rec_mii(&dfg), 3);
+    }
+
+    #[test]
+    fn distance_two_halves_rec_mii() {
+        // Same 3-cycle but the back edge carries distance 2:
+        // ceil(3/2) = 2.
+        let mut dfg = Dfg::new("rec3d2");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 2, 0);
+        assert_eq!(rec_mii(&dfg), 2);
+    }
+
+    #[test]
+    fn mii_is_max_of_bounds() {
+        let mut dfg = Dfg::new("both");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        // RecMII 3 dominates on a big array; ResMII 3 on 1x1 gives 3 too.
+        assert_eq!(mii(&dfg, &Cgra::square(5)), 3);
+        assert_eq!(mii(&dfg, &Cgra::square(1)), 3);
+    }
+
+    #[test]
+    fn memory_policy_raises_res_mii() {
+        // 4 loads on a 2x2 with only the left column (2 PEs) memory-capable.
+        let mut dfg = Dfg::new("mem");
+        let idx = dfg.add_const(0);
+        for _ in 0..4 {
+            let ld = dfg.add_node(Op::Load);
+            dfg.add_edge(idx, ld, 0);
+        }
+        let all = Cgra::square(2);
+        assert_eq!(res_mii(&dfg, &all), 2, "5 nodes / 4 PEs");
+        let left = Cgra::square(2).with_memory_policy(MemoryPolicy::LeftColumn);
+        assert_eq!(res_mii(&dfg, &left), 2, "4 loads / 2 mem PEs");
+        // With 8 loads the memory bound dominates.
+        let mut dfg8 = Dfg::new("mem8");
+        let idx = dfg8.add_const(0);
+        for _ in 0..8 {
+            let ld = dfg8.add_node(Op::Load);
+            dfg8.add_edge(idx, ld, 0);
+        }
+        assert_eq!(res_mii(&dfg8, &left), 4);
+    }
+
+    #[test]
+    fn paper_example_mii_on_2x2() {
+        let dfg = paper_example_dfg();
+        assert_eq!(mii(&dfg, &Cgra::square(2)), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! ASAP / ALAP / Mobility schedules (paper §IV-B, Fig. 4).
+//!
+//! The mobility schedule records, for each node of the forward DAG, the
+//! earliest (`ASAP`) and latest (`ALAP`) cycles it may occupy in a schedule
+//! of minimum length. Back-edges (loop-carried dependencies) are ignored at
+//! this stage — they are enforced later, by the SAT constraints over the
+//! kernel mobility schedule.
+
+use satmapit_dfg::{Dfg, DfgError, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The ASAP/ALAP mobility windows of all nodes of a DFG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MobilitySchedule {
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+    len: u32,
+}
+
+impl MobilitySchedule {
+    /// Computes ASAP and ALAP over the forward (distance-0) subgraph, with
+    /// the ALAP aligned to the critical-path length.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DFG is invalid (see [`Dfg::validate`]).
+    pub fn compute(dfg: &Dfg) -> Result<MobilitySchedule, DfgError> {
+        dfg.validate()?;
+        let order = dfg.forward_topo_order()?;
+        let n = dfg.num_nodes();
+
+        let mut asap = vec![0u32; n];
+        for &v in &order {
+            for eid in dfg.out_edges(v) {
+                let e = dfg.edge(eid);
+                if e.distance == 0 {
+                    let d = e.dst.index();
+                    asap[d] = asap[d].max(asap[v.index()] + 1);
+                }
+            }
+        }
+        let len = asap.iter().max().copied().unwrap_or(0) + 1;
+
+        // Height = longest forward path to any sink.
+        let mut height = vec![0u32; n];
+        for &v in order.iter().rev() {
+            for eid in dfg.out_edges(v) {
+                let e = dfg.edge(eid);
+                if e.distance == 0 {
+                    height[v.index()] = height[v.index()].max(height[e.dst.index()] + 1);
+                }
+            }
+        }
+        let alap: Vec<u32> = height.iter().map(|&h| len - 1 - h).collect();
+
+        Ok(MobilitySchedule { asap, alap, len })
+    }
+
+    /// Earliest cycle of `n`.
+    pub fn asap(&self, n: NodeId) -> u32 {
+        self.asap[n.index()]
+    }
+
+    /// Latest cycle of `n`.
+    pub fn alap(&self, n: NodeId) -> u32 {
+        self.alap[n.index()]
+    }
+
+    /// Mobility (slack) of `n`: `alap - asap`.
+    pub fn mobility(&self, n: NodeId) -> u32 {
+        self.alap[n.index()] - self.asap[n.index()]
+    }
+
+    /// Schedule length (number of time slots, the critical-path length).
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` if there are no time slots (empty graphs cannot occur for
+    /// validated DFGs, so this is always `false` in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.asap.len()
+    }
+
+    /// The nodes whose mobility window contains time slot `t`
+    /// (one row of the paper's "MS" table, Fig. 4).
+    pub fn slot_nodes(&self, t: u32) -> Vec<NodeId> {
+        (0..self.asap.len())
+            .filter(|&i| self.asap[i] <= t && t <= self.alap[i])
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// All rows of the mobility schedule (`rows()[t] == slot_nodes(t)`).
+    pub fn rows(&self) -> Vec<Vec<NodeId>> {
+        (0..self.len).map(|t| self.slot_nodes(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::paper_example_dfg;
+    use satmapit_dfg::Op;
+
+    #[test]
+    fn chain_has_zero_mobility() {
+        let mut dfg = Dfg::new("chain");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        assert_eq!(ms.len(), 3);
+        for n in dfg.node_ids() {
+            assert_eq!(ms.mobility(n), 0);
+        }
+    }
+
+    /// Reproduces the paper's Fig. 4 tables exactly (nodes are 1-based in
+    /// the paper; our ids are the paper's minus one).
+    #[test]
+    fn paper_figure4_asap_alap_ms() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        assert_eq!(ms.len(), 5);
+
+        let paper_asap: [(u32, &[u32]); 5] = [
+            (0, &[1, 2, 3, 4]),
+            (1, &[5, 7, 10]),
+            (2, &[6, 11]),
+            (3, &[8]),
+            (4, &[9]),
+        ];
+        for (t, nodes) in paper_asap {
+            for &pn in nodes {
+                assert_eq!(ms.asap(NodeId(pn - 1)), t, "asap of paper node {pn}");
+            }
+        }
+
+        let paper_alap: [(u32, &[u32]); 5] = [
+            (0, &[3]),
+            (1, &[4, 5]),
+            (2, &[1, 6, 7]),
+            (3, &[2, 8, 10]),
+            (4, &[9, 11]),
+        ];
+        for (t, nodes) in paper_alap {
+            for &pn in nodes {
+                assert_eq!(ms.alap(NodeId(pn - 1)), t, "alap of paper node {pn}");
+            }
+        }
+
+        let paper_ms: [(u32, &[u32]); 5] = [
+            (0, &[1, 2, 3, 4]),
+            (1, &[1, 2, 4, 5, 7, 10]),
+            (2, &[1, 2, 6, 7, 10, 11]),
+            (3, &[2, 8, 10, 11]),
+            (4, &[9, 11]),
+        ];
+        for (t, nodes) in paper_ms {
+            let expected: Vec<NodeId> = nodes.iter().map(|&pn| NodeId(pn - 1)).collect();
+            let mut got = ms.slot_nodes(t);
+            got.sort();
+            assert_eq!(got, expected, "MS row {t}");
+        }
+    }
+
+    #[test]
+    fn every_node_in_exactly_its_window_rows() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let rows = ms.rows();
+        for n in dfg.node_ids() {
+            let occurrences = rows
+                .iter()
+                .filter(|row| row.contains(&n))
+                .count() as u32;
+            assert_eq!(occurrences, ms.mobility(n) + 1);
+        }
+    }
+
+    #[test]
+    fn asap_not_after_alap() {
+        let dfg = paper_example_dfg();
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        for n in dfg.node_ids() {
+            assert!(ms.asap(n) <= ms.alap(n));
+            assert!(ms.alap(n) < ms.len());
+        }
+    }
+
+    #[test]
+    fn invalid_dfg_rejected() {
+        let mut dfg = Dfg::new("bad");
+        let _ = dfg.add_node(Op::Add);
+        assert!(MobilitySchedule::compute(&dfg).is_err());
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut dfg = Dfg::new("one");
+        let _ = dfg.add_const(7);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms.slot_nodes(0), vec![NodeId(0)]);
+    }
+}

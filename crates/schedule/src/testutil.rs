@@ -1,0 +1,42 @@
+//! Test helpers: the paper's running-example DFG (Fig. 2a).
+//!
+//! The canonical, fully-featured version (with ops chosen for simulation)
+//! lives in `satmapit-kernels`; this private copy keeps the schedule crate's
+//! tests self-contained. Paper node `k` is `NodeId(k-1)` here.
+
+use satmapit_dfg::{Dfg, Op};
+
+/// Builds the running example of the paper (Fig. 2a): 11 nodes whose
+/// ASAP/ALAP/MS tables are given in Fig. 4 and whose KMS at II=3 is Fig. 5.
+///
+/// Forward structure (paper numbering):
+/// `3→5→6→8→9`, `4→7→8`, `1→10→11`, `2→11`, plus the loop-carried
+/// self-dependence on the accumulator node 9.
+pub fn paper_example_dfg() -> Dfg {
+    let mut dfg = Dfg::new("paper-example");
+    let n1 = dfg.add_const(3); // paper node 1
+    let n2 = dfg.add_const(5); // paper node 2
+    let n3 = dfg.add_const(7); // paper node 3
+    let n4 = dfg.add_const(11); // paper node 4
+    let n5 = dfg.add_node_labeled(Op::Neg, 0, "n5"); // 3 -> 5
+    let n6 = dfg.add_node_labeled(Op::Not, 0, "n6"); // 5 -> 6
+    let n7 = dfg.add_node_labeled(Op::Abs, 0, "n7"); // 4 -> 7
+    let n8 = dfg.add_node_labeled(Op::Add, 0, "n8"); // 6,7 -> 8
+    let n9 = dfg.add_node_labeled(Op::Add, 0, "n9"); // 8, self -> 9 (acc)
+    let n10 = dfg.add_node_labeled(Op::Neg, 0, "n10"); // 1 -> 10
+    let n11 = dfg.add_node_labeled(Op::Xor, 0, "n11"); // 10,2 -> 11
+
+    dfg.add_edge(n3, n5, 0);
+    dfg.add_edge(n5, n6, 0);
+    dfg.add_edge(n4, n7, 0);
+    dfg.add_edge(n6, n8, 0);
+    dfg.add_edge(n7, n8, 1);
+    dfg.add_edge(n8, n9, 0);
+    dfg.add_back_edge(n9, n9, 1, 1, 0);
+    dfg.add_edge(n1, n10, 0);
+    dfg.add_edge(n10, n11, 0);
+    dfg.add_edge(n2, n11, 1);
+
+    debug_assert!(dfg.validate().is_ok());
+    dfg
+}

@@ -1,0 +1,42 @@
+//! # satmapit-sim
+//!
+//! Cycle-level functional simulator for mapped CGRA loops, plus
+//! end-to-end equivalence checking against the sequential reference
+//! interpreter.
+//!
+//! The SAT-MapIt paper validates mappings structurally (constraints +
+//! register allocation). This crate goes one step further and *executes*
+//! the mapped program on a physical machine model — output registers,
+//! per-PE register files, neighbour reads, shared data memory — across
+//! the full prolog/kernel/epilog timeline, then compares every produced
+//! value against `satmapit_dfg::interp`. A mapping whose constraint system
+//! were subtly wrong (a missed overwrite, a mis-timed read) would compute
+//! different values and fail [`verify_mapping`].
+//!
+//! ```
+//! use satmapit_cgra::Cgra;
+//! use satmapit_core::map;
+//! use satmapit_dfg::{Dfg, Op};
+//! use satmapit_sim::verify_mapping;
+//!
+//! // acc += 2 with acc0 = 10
+//! let mut dfg = Dfg::new("acc");
+//! let c = dfg.add_const(2);
+//! let acc = dfg.add_node(Op::Add);
+//! dfg.add_edge(c, acc, 0);
+//! dfg.add_back_edge(acc, acc, 1, 1, 10);
+//!
+//! let cgra = Cgra::square(2);
+//! let mapped = map(&dfg, &cgra).result.unwrap();
+//! let sim = verify_mapping(&dfg, &cgra, &mapped, vec![], 4).unwrap();
+//! assert_eq!(sim.values[3][acc.index()], 18);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod verify;
+
+pub use machine::{simulate, SimError, SimResult};
+pub use verify::{verify_mapping, Mismatch, VerifyError};

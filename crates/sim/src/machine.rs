@@ -1,0 +1,332 @@
+//! The physical machine model: PEs with one output register and a small
+//! register file, executing the full unfolded modulo schedule
+//! (prolog + kernel repetitions + epilog) cycle by cycle.
+//!
+//! Execution semantics:
+//!
+//! * at each global cycle, every PE whose kernel slot is occupied executes
+//!   the instruction instance whose iteration is in range;
+//! * operand reads (register file, neighbour output registers, memory)
+//!   observe the *start-of-cycle* state;
+//! * results are written to the PE's output register (always), to the
+//!   allocated register-file register (if any), and to memory (stores) at
+//!   the *end* of the cycle;
+//! * loop-carried operands of warm-up iterations (`i < distance`) read the
+//!   edge's declared init value, modelling pre-loaded live-ins.
+//!
+//! Constraint set C2 guarantees the unfolded timeline is conflict-free
+//! (two instances on one PE at one cycle would share a kernel slot); the
+//! simulator still checks and reports violations.
+
+use satmapit_cgra::Cgra;
+use satmapit_core::codegen::{kernel_program, Instr, OperandSrc};
+use satmapit_core::{validate_mapping, Mapping, Violation};
+use satmapit_dfg::interp::{wrap_addr, StoreEvent};
+use satmapit_dfg::{Dfg, NodeId, Op};
+use satmapit_regalloc::RegAllocation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of simulating a mapped loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// `values[i][n]` — value produced by node `n` in iteration `i`.
+    pub values: Vec<Vec<i64>>,
+    /// Final memory contents.
+    pub memory: Vec<i64>,
+    /// All stores in execution order.
+    pub stores: Vec<StoreEvent>,
+    /// Total simulated cycles.
+    pub cycles: u32,
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The mapping failed validation; simulating it would read garbage.
+    InvalidMapping(Vec<Violation>),
+    /// The DFG has memory ops but no memory was provided.
+    EmptyMemory,
+    /// Two instruction instances collided on one PE (cannot happen for
+    /// validated mappings; indicates an internal inconsistency).
+    PeConflict {
+        /// PE index.
+        pe: usize,
+        /// Global cycle.
+        time: u32,
+    },
+    /// A register-file operand had no allocated register.
+    MissingRegister {
+        /// Consuming node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidMapping(vs) => write!(f, "invalid mapping ({} violations)", vs.len()),
+            SimError::EmptyMemory => write!(f, "memory ops present but memory is empty"),
+            SimError::PeConflict { pe, time } => {
+                write!(f, "two instances on PE {pe} at cycle {time}")
+            }
+            SimError::MissingRegister { node } => {
+                write!(f, "node {node} reads an unallocated register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct PendingWrite {
+    pe: usize,
+    out: i64,
+    reg: Option<(u8, i64)>,
+}
+
+/// Simulates `iterations` iterations of the mapped loop on the physical
+/// machine.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapping: &Mapping,
+    regs: &RegAllocation,
+    mut memory: Vec<i64>,
+    iterations: u32,
+) -> Result<SimResult, SimError> {
+    if let Err(vs) = validate_mapping(dfg, cgra, mapping) {
+        return Err(SimError::InvalidMapping(vs));
+    }
+    if dfg.num_memory_ops() > 0 && memory.is_empty() {
+        return Err(SimError::EmptyMemory);
+    }
+    let program = kernel_program(dfg, cgra, mapping, regs);
+    let ii = mapping.ii;
+    let num_pes = cgra.num_pes();
+    let total = if iterations == 0 {
+        0
+    } else {
+        mapping.schedule_len() + (iterations - 1) * ii
+    };
+
+    let mut out = vec![0i64; num_pes];
+    let mut rf = vec![vec![0i64; cgra.regs_per_pe() as usize]; num_pes];
+    let mut values = vec![vec![0i64; dfg.num_nodes()]; iterations as usize];
+    let mut stores = Vec::new();
+
+    for t in 0..total {
+        let slot = t % ii;
+        let mut reg_writes: Vec<PendingWrite> = Vec::new();
+        let mut mem_writes: Vec<(usize, i64)> = Vec::new();
+        let mut executed_on = vec![false; num_pes];
+
+        for pe in 0..num_pes {
+            let Some(instr) = program.grid[pe][slot as usize].as_ref() else {
+                continue;
+            };
+            let t_n = mapping.time(instr.node);
+            if t < t_n || (t - t_n) % ii != 0 {
+                continue;
+            }
+            let i = (t - t_n) / ii;
+            if i >= iterations {
+                continue;
+            }
+            if executed_on[pe] {
+                return Err(SimError::PeConflict { pe, time: t });
+            }
+            executed_on[pe] = true;
+
+            let operands = read_operands(dfg, instr, i, pe, &out, &rf)?;
+            let value = match instr.op {
+                Op::Load => {
+                    let addr = wrap_addr(operands[0], memory.len());
+                    memory[addr]
+                }
+                Op::Store => {
+                    let addr = wrap_addr(operands[0], memory.len());
+                    let v = operands[1];
+                    mem_writes.push((addr, v));
+                    stores.push(StoreEvent {
+                        iteration: i,
+                        node: instr.node,
+                        addr,
+                        value: v,
+                    });
+                    v
+                }
+                op => op.eval_pure(instr.imm, &operands),
+            };
+            values[i as usize][instr.node.index()] = value;
+            reg_writes.push(PendingWrite {
+                pe,
+                out: value,
+                reg: instr.dest_reg.map(|r| (r, value)),
+            });
+        }
+
+        // End of cycle: commit writes.
+        for w in reg_writes {
+            out[w.pe] = w.out;
+            if let Some((r, v)) = w.reg {
+                rf[w.pe][r as usize] = v;
+            }
+        }
+        for (addr, v) in mem_writes {
+            memory[addr] = v;
+        }
+    }
+
+    Ok(SimResult {
+        values,
+        memory,
+        stores,
+        cycles: total,
+    })
+}
+
+fn read_operands(
+    dfg: &Dfg,
+    instr: &Instr,
+    iteration: u32,
+    pe: usize,
+    out: &[i64],
+    rf: &[Vec<i64>],
+) -> Result<Vec<i64>, SimError> {
+    let mut operands = Vec::with_capacity(instr.operands.len());
+    for opnd in &instr.operands {
+        let e = dfg.edge(opnd.edge);
+        let v = if iteration < e.distance {
+            // Warm-up: the producing instance predates the loop; read the
+            // architecturally pre-loaded live-in.
+            e.init
+        } else {
+            match opnd.src {
+                OperandSrc::Register(r) => {
+                    let row = &rf[pe];
+                    *row.get(r as usize)
+                        .ok_or(SimError::MissingRegister { node: instr.node })?
+                }
+                OperandSrc::NeighborOutput(q) => out[q.index()],
+            }
+        };
+        operands.push(v);
+    }
+    Ok(operands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_core::map;
+    use satmapit_dfg::Op;
+
+    fn run_mapped(dfg: &Dfg, cgra: &Cgra, memory: Vec<i64>, iterations: u32) -> SimResult {
+        let mapped = map(dfg, cgra).result.expect("mappable");
+        simulate(dfg, cgra, &mapped.mapping, &mapped.registers, memory, iterations).unwrap()
+    }
+
+    #[test]
+    fn accumulator_matches_closed_form() {
+        let mut dfg = Dfg::new("acc");
+        let c = dfg.add_const(2);
+        let acc = dfg.add_node(Op::Add);
+        dfg.add_edge(c, acc, 0);
+        dfg.add_back_edge(acc, acc, 1, 1, 10);
+        let cgra = Cgra::square(2);
+        let r = run_mapped(&dfg, &cgra, vec![], 6);
+        let accs: Vec<i64> = r.values.iter().map(|row| row[acc.index()]).collect();
+        assert_eq!(accs, vec![12, 14, 16, 18, 20, 22]);
+    }
+
+    #[test]
+    fn streaming_store_writes_memory() {
+        let mut dfg = Dfg::new("stream");
+        let one = dfg.add_const(1);
+        let i = dfg.add_node(Op::Add);
+        dfg.add_edge(one, i, 0);
+        dfg.add_back_edge(i, i, 1, 1, -1);
+        let three = dfg.add_const(3);
+        let prod = dfg.add_node(Op::Mul);
+        dfg.add_edge(i, prod, 0);
+        dfg.add_edge(three, prod, 1);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(i, st, 0);
+        dfg.add_edge(prod, st, 1);
+        let cgra = Cgra::square(2);
+        let r = run_mapped(&dfg, &cgra, vec![0; 8], 5);
+        assert_eq!(&r.memory[..5], &[0, 3, 6, 9, 12]);
+        assert_eq!(r.stores.len(), 5);
+    }
+
+    #[test]
+    fn zero_iterations_is_a_noop() {
+        let mut dfg = Dfg::new("one");
+        let _ = dfg.add_const(5);
+        let cgra = Cgra::square(2);
+        let r = run_mapped(&dfg, &cgra, vec![], 0);
+        assert_eq!(r.cycles, 0);
+        assert!(r.values.is_empty());
+    }
+
+    #[test]
+    fn invalid_mapping_rejected() {
+        use satmapit_core::{Mapping, Placement, TransferKind};
+        let mut dfg = Dfg::new("pair");
+        let a = dfg.add_const(1);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        let cgra = Cgra::square(2);
+        let bad = Mapping {
+            ii: 1,
+            folds: 1,
+            placements: vec![
+                Placement { pe: satmapit_cgra::PeId(0), cycle: 0, fold: 0 },
+                Placement { pe: satmapit_cgra::PeId(3), cycle: 0, fold: 0 },
+            ],
+            transfers: vec![TransferKind::NeighborOutput],
+        };
+        let err = simulate(&dfg, &cgra, &bad, &RegAllocation::default(), vec![], 2).unwrap_err();
+        assert!(matches!(err, SimError::InvalidMapping(_)));
+    }
+
+    #[test]
+    fn memory_required() {
+        let mut dfg = Dfg::new("ld");
+        let a = dfg.add_const(0);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(a, ld, 0);
+        let cgra = Cgra::square(2);
+        let mapped = map(&dfg, &cgra).result.unwrap();
+        let err = simulate(&dfg, &cgra, &mapped.mapping, &mapped.registers, vec![], 1).unwrap_err();
+        assert_eq!(err, SimError::EmptyMemory);
+    }
+
+    #[test]
+    fn deep_pipeline_on_one_pe() {
+        // Everything serialized on a 1x1 array: register-file transfers
+        // only; checks RF read/write timing over many iterations.
+        let mut dfg = Dfg::new("serial");
+        let c = dfg.add_const(3);
+        let a = dfg.add_node(Op::Add); // a = 3 + a_prev
+        dfg.add_edge(c, a, 0);
+        dfg.add_back_edge(a, a, 1, 1, 1);
+        let b = dfg.add_node(Op::Mul); // b = a * 2
+        let two = dfg.add_const(2);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(two, b, 1);
+        let cgra = Cgra::square(1);
+        let r = run_mapped(&dfg, &cgra, vec![], 4);
+        let exp_a = [4i64, 7, 10, 13];
+        let exp_b: Vec<i64> = exp_a.iter().map(|v| v * 2).collect();
+        for (i, row) in r.values.iter().enumerate() {
+            assert_eq!(row[a.index()], exp_a[i]);
+            assert_eq!(row[b.index()], exp_b[i]);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! SAT-MapIt vs the heuristic state of the art on a few kernels: prints
+//! the achieved IIs and times side by side (a slice of the paper's Fig. 6
+//! plus Tables I–IV).
+//!
+//! ```sh
+//! cargo run --release --example baseline_duel -- [mesh-size] [timeout-secs]
+//! ```
+
+use sat_mapit::baselines::{BaselineConfig, PathSeekerMapper, RampMapper};
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::Mapper;
+use sat_mapit::kernels;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let size: u16 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let timeout = Duration::from_secs(args.next().and_then(|s| s.parse().ok()).unwrap_or(30));
+    let cgra = Cgra::square(size);
+    println!("target: {cgra}, timeout {timeout:?} per mapper\n");
+    println!(" kernel       | SAT-MapIt     | RAMP-like     | PathSeeker-like");
+    println!(" -------------+---------------+---------------+----------------");
+
+    for kernel in kernels::all() {
+        let sat = Mapper::new(&kernel.dfg, &cgra)
+            .with_timeout(timeout)
+            .run();
+        let config = BaselineConfig {
+            timeout: Some(timeout),
+            ..BaselineConfig::default()
+        };
+        let ramp = RampMapper::new(&kernel.dfg, &cgra)
+            .with_config(config.clone())
+            .run();
+        let path = PathSeekerMapper::new(&kernel.dfg, &cgra)
+            .with_config(config)
+            .run();
+
+        let cell = |ii: Option<u32>, secs: f64| match ii {
+            Some(ii) => format!("II={ii:<2} {secs:>6.2}s"),
+            None => format!("✕    {secs:>6.2}s"),
+        };
+        println!(
+            " {:<12} | {:<13} | {:<13} | {:<13}",
+            kernel.name(),
+            cell(sat.ii(), sat.elapsed.as_secs_f64()),
+            cell(ramp.ii(), ramp.elapsed.as_secs_f64()),
+            cell(path.ii(), path.elapsed.as_secs_f64()),
+        );
+    }
+    println!("\n(✕ = no mapping within budget; lower II is better)");
+}

@@ -1,0 +1,53 @@
+//! Sweeps one benchmark across the paper's four mesh sizes (2×2 … 5×5)
+//! and prints the achieved II and mapping time — one column of Fig. 6.
+//!
+//! ```sh
+//! cargo run --release --example mesh_sweep -- [kernel] [timeout-secs]
+//! ```
+
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::{MapFailure, Mapper};
+use sat_mapit::kernels;
+use sat_mapit::schedule::mii;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gsm".to_string());
+    let timeout: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let kernel = kernels::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}`; available: {:?}", kernels::NAMES);
+        std::process::exit(1);
+    });
+    println!(
+        "kernel `{}` ({} nodes, {} edges): {}",
+        kernel.name(),
+        kernel.dfg.num_nodes(),
+        kernel.dfg.num_edges(),
+        kernel.description
+    );
+    println!("\n size | MII | II  | time      | IIs tried");
+    println!(" -----+-----+-----+-----------+----------");
+    for n in 2..=5u16 {
+        let cgra = Cgra::square(n);
+        let lower = mii(&kernel.dfg, &cgra);
+        let outcome = Mapper::new(&kernel.dfg, &cgra)
+            .with_timeout(Duration::from_secs(timeout))
+            .run();
+        let (ii, note) = match &outcome.result {
+            Ok(mapped) => (mapped.ii().to_string(), String::new()),
+            Err(MapFailure::Timeout { at_ii }) => ("—".into(), format!("timeout at II={at_ii}")),
+            Err(MapFailure::IiCapReached { cap }) => ("—".into(), format!("no II ≤ {cap}")),
+            Err(e) => ("—".into(), e.to_string()),
+        };
+        println!(
+            " {n}x{n}  | {lower:>3} | {ii:>3} | {:>8.2?} | {} {note}",
+            outcome.elapsed,
+            outcome.attempts.len(),
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproduces the paper's running example end to end:
+//! Fig. 2a (the DFG), Fig. 4 (ASAP/ALAP/MS), Fig. 5 (KMS at II=3),
+//! Fig. 2c (a 2×2 mapping at II=3) and Fig. 2b (prolog/kernel/epilog).
+//!
+//! ```sh
+//! cargo run --release --example paper_example
+//! ```
+
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::{codegen, Mapper};
+use sat_mapit::dfg::dot::to_dot;
+use sat_mapit::kernels::paper_example;
+use sat_mapit::schedule::{mii, Kms, MobilitySchedule};
+
+fn main() {
+    let kernel = paper_example();
+    let dfg = &kernel.dfg;
+    println!("Fig. 2a — the running example as DOT:\n{}", to_dot(dfg));
+
+    // Fig. 4: ASAP / ALAP / mobility schedule. Paper node k = NodeId(k-1).
+    let ms = MobilitySchedule::compute(dfg).unwrap();
+    println!("Fig. 4 — schedules (paper node numbering):");
+    println!("  t | ASAP            | ALAP            | MS");
+    for t in 0..ms.len() {
+        let fmt = |nodes: Vec<sat_mapit::dfg::NodeId>| {
+            nodes
+                .iter()
+                .map(|n| (n.0 + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let asap = fmt(dfg.node_ids().filter(|&n| ms.asap(n) == t).collect());
+        let alap = fmt(dfg.node_ids().filter(|&n| ms.alap(n) == t).collect());
+        let slot = fmt(ms.slot_nodes(t));
+        println!("  {t} | {asap:<15} | {alap:<15} | {slot}");
+    }
+
+    // Fig. 5: the kernel mobility schedule at II = 3 (2 folds).
+    let kms = Kms::build(&ms, 3);
+    println!(
+        "\nFig. 5 — KMS at II=3 ({} folds), entries `node@fold`:",
+        kms.folds()
+    );
+    for c in 0..kms.ii() {
+        let row = kms
+            .row(c)
+            .iter()
+            .map(|(n, f)| format!("{}@{}", n.0 + 1, f))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  cycle {c}: {row}");
+    }
+
+    // Fig. 2c: map on a 2x2. ResMII = ceil(11/4) = 3, and the paper's
+    // kernel indeed has II = 3.
+    let cgra = Cgra::square(2);
+    println!("\nmapping on {cgra} (MII = {})...", mii(dfg, &cgra));
+    let outcome = Mapper::new(dfg, &cgra).run();
+    let mapped = outcome.result.expect("the paper maps this at II=3");
+    assert_eq!(mapped.ii(), 3, "paper Fig. 2 has a 3-cycle kernel");
+    let program = codegen::kernel_program(dfg, &cgra, &mapped.mapping, &mapped.registers);
+    println!("Fig. 2c — kernel program:\n{program}");
+
+    // Fig. 2b: the staged modulo schedule for 2 iterations (as drawn).
+    println!("Fig. 2b — prolog/kernel/epilog for 2 iterations:");
+    println!(
+        "{}",
+        codegen::render_stages(dfg, &mapped.mapping, 2)
+    );
+}

@@ -1,0 +1,147 @@
+//! `satmapit` — command-line front-end to the mapper toolchain.
+//!
+//! ```sh
+//! satmapit kernels                      # list the benchmark suite
+//! satmapit dot <kernel>                 # dump a kernel's DFG as Graphviz
+//! satmapit map <kernel> [--size N] [--timeout S] [--routing R]
+//!                                       # map, print the kernel program,
+//!                                       # verify by execution
+//! satmapit sweep <kernel> [--timeout S] # one Figure-6 column (2x2..5x5)
+//! ```
+
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::routing::map_with_routing;
+use sat_mapit::core::{codegen, Mapper, MapperConfig};
+use sat_mapit::dfg::dot::to_dot;
+use sat_mapit::kernels;
+use sat_mapit::schedule::{mii, rec_mii, res_mii};
+use sat_mapit::sim::verify_mapping;
+use std::process::exit;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("kernels") => cmd_kernels(),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("map") => cmd_map(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        _ => {
+            eprintln!("usage: satmapit <kernels|dot|map|sweep> [args]   (see --help in source)");
+            exit(2);
+        }
+    }
+}
+
+fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
+    let Some(name) = name else {
+        eprintln!("expected a kernel name; try `satmapit kernels`");
+        exit(2);
+    };
+    if name == "paper-example" {
+        return kernels::paper_example();
+    }
+    kernels::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}`; available: {:?} + paper-example", kernels::NAMES);
+        exit(2);
+    })
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn cmd_kernels() {
+    println!("{:<14} {:>5} {:>5}  description", "name", "nodes", "edges");
+    for k in kernels::all() {
+        println!(
+            "{:<14} {:>5} {:>5}  {}",
+            k.name(),
+            k.dfg.num_nodes(),
+            k.dfg.num_edges(),
+            k.description
+        );
+    }
+}
+
+fn cmd_dot(args: &[String]) {
+    let kernel = kernel_or_exit(args.first());
+    print!("{}", to_dot(&kernel.dfg));
+}
+
+fn cmd_map(args: &[String]) {
+    let kernel = kernel_or_exit(args.first());
+    let size = flag(args, "--size").unwrap_or(3) as u16;
+    let timeout = Duration::from_secs(flag(args, "--timeout").unwrap_or(60));
+    let routes = flag(args, "--routing").unwrap_or(0) as u32;
+    let cgra = Cgra::square(size);
+    let config = MapperConfig {
+        timeout: Some(timeout),
+        ..MapperConfig::default()
+    };
+
+    println!(
+        "kernel `{}` on {} | MII = max(Res {}, Rec {}) = {}",
+        kernel.name(),
+        cgra,
+        res_mii(&kernel.dfg, &cgra),
+        rec_mii(&kernel.dfg),
+        mii(&kernel.dfg, &cgra)
+    );
+
+    let (dfg, outcome, used_routes) = if routes > 0 {
+        let routed = map_with_routing(&kernel.dfg, &cgra, &config, routes);
+        (routed.dfg, routed.outcome, routed.routes)
+    } else {
+        let outcome = Mapper::new(&kernel.dfg, &cgra).with_config(config).run();
+        (kernel.dfg.clone(), outcome, 0)
+    };
+
+    match outcome.result {
+        Ok(mapped) => {
+            println!(
+                "mapped at II={} ({} routing nodes) in {:?}",
+                mapped.ii(),
+                used_routes,
+                outcome.elapsed
+            );
+            let program = codegen::kernel_program(&dfg, &cgra, &mapped.mapping, &mapped.registers);
+            println!("\n{program}");
+            println!("utilization: {:.0}%", program.utilization() * 100.0);
+            match verify_mapping(&dfg, &cgra, &mapped, kernel.memory.clone(), 8) {
+                Ok(sim) => println!("verified 8 iterations by execution ({} cycles) ✓", sim.cycles),
+                Err(e) => {
+                    eprintln!("VERIFICATION FAILED: {e}");
+                    exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("mapping failed: {e} (after {:?})", outcome.elapsed);
+            exit(1);
+        }
+    }
+}
+
+fn cmd_sweep(args: &[String]) {
+    let kernel = kernel_or_exit(args.first());
+    let timeout = Duration::from_secs(flag(args, "--timeout").unwrap_or(60));
+    println!(" size | MII | II  | time");
+    for n in 2..=5u16 {
+        let cgra = Cgra::square(n);
+        let outcome = Mapper::new(&kernel.dfg, &cgra)
+            .with_timeout(timeout)
+            .run();
+        match outcome.ii() {
+            Some(ii) => println!(
+                " {n}x{n}  | {:>3} | {ii:>3} | {:?}",
+                mii(&kernel.dfg, &cgra),
+                outcome.elapsed
+            ),
+            None => println!(" {n}x{n}  | {:>3} |  ✕  | {:?}", mii(&kernel.dfg, &cgra), outcome.elapsed),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # sat-mapit
+//!
+//! A from-scratch Rust reproduction of **SAT-MapIt** (Tirelli, Ferretti,
+//! Pozzi — DATE 2023): an exact, SAT-based modulo-scheduling mapper for
+//! coarse-grain reconfigurable arrays, together with every substrate it
+//! needs and the heuristic state-of-the-art baselines it is evaluated
+//! against.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof and hosts the runnable examples and cross-crate integration tests.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dfg`] | `satmapit-dfg` | loop-body data-flow graph IR, interpreter, generators |
+//! | [`cgra`] | `satmapit-cgra` | PE-array architecture model |
+//! | [`sat`] | `satmapit-sat` | CDCL SAT solver, CNF, encodings |
+//! | [`graphs`] | `satmapit-graphs` | cliques, colouring, SCC, cyclic arcs |
+//! | [`schedule`] | `satmapit-schedule` | ASAP/ALAP, mobility schedule, KMS, MII |
+//! | [`regalloc`] | `satmapit-regalloc` | per-PE cyclic-interval register allocation |
+//! | [`core`] | `satmapit-core` | the SAT-MapIt mapper itself |
+//! | [`sim`] | `satmapit-sim` | physical simulator + equivalence checking |
+//! | [`baselines`] | `satmapit-baselines` | RAMP-like and PathSeeker-like mappers |
+//! | [`kernels`] | `satmapit-kernels` | the 11 MiBench/Rodinia benchmark DFGs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sat_mapit::cgra::Cgra;
+//! use sat_mapit::core::Mapper;
+//! use sat_mapit::kernels;
+//! use sat_mapit::sim::verify_mapping;
+//!
+//! let kernel = kernels::by_name("srand").unwrap();
+//! let cgra = Cgra::square(3);
+//! let outcome = Mapper::new(&kernel.dfg, &cgra).run();
+//! let mapped = outcome.result.expect("srand maps on a 3x3");
+//!
+//! // Execute the mapped loop and compare against reference semantics.
+//! verify_mapping(&kernel.dfg, &cgra, &mapped, kernel.memory.clone(), 8)
+//!     .expect("mapped code computes the same values");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use satmapit_baselines as baselines;
+pub use satmapit_cgra as cgra;
+pub use satmapit_core as core;
+pub use satmapit_dfg as dfg;
+pub use satmapit_graphs as graphs;
+pub use satmapit_kernels as kernels;
+pub use satmapit_regalloc as regalloc;
+pub use satmapit_sat as sat;
+pub use satmapit_schedule as schedule;
+pub use satmapit_sim as sim;

@@ -1,0 +1,131 @@
+//! Cross-checks between the SAT mapper and the heuristic baselines: the
+//! SAT mapper is exact within the shared architectural model, so whenever
+//! a baseline finds II_b, SAT must find II_sat <= II_b (unless the
+//! baseline used routing, which changes the DFG). Every mapping from every
+//! mapper must validate and execute correctly.
+
+use sat_mapit::baselines::{BaselineConfig, PathSeekerMapper, RampMapper};
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::{validate_mapping, Mapper};
+use sat_mapit::kernels;
+use sat_mapit::regalloc::RegAllocation;
+use sat_mapit::sim::simulate;
+use sat_mapit::core::Mapping;
+use sat_mapit::dfg::interp::interpret;
+use sat_mapit::dfg::Dfg;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Simulates a (possibly route-augmented) mapped DFG and compares it with
+/// its own reference interpretation.
+fn check_executes(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping, regs: &RegAllocation, mem: Vec<i64>) {
+    let iterations = 8;
+    let reference = interpret(dfg, mem.clone(), iterations).expect("interpretable");
+    let sim = simulate(dfg, cgra, mapping, regs, mem, iterations).expect("simulates");
+    for i in 0..iterations as usize {
+        for n in dfg.node_ids() {
+            assert_eq!(
+                reference.values[i][n.index()],
+                sim.values[i][n.index()],
+                "node {n} iteration {i}"
+            );
+        }
+    }
+    assert_eq!(reference.memory, sim.memory);
+}
+
+#[test]
+fn sat_never_loses_to_pathseeker_on_3x3() {
+    let cgra = Cgra::square(3);
+    for kernel in kernels::all() {
+        let sat = Mapper::new(&kernel.dfg, &cgra).with_timeout(TIMEOUT).run();
+        let ps = PathSeekerMapper::new(&kernel.dfg, &cgra)
+            .with_config(BaselineConfig {
+                timeout: Some(TIMEOUT),
+                ..BaselineConfig::default()
+            })
+            .run();
+        if let (Some(sat_ii), Some(ps_ii)) = (sat.ii(), ps.ii()) {
+            assert!(
+                sat_ii <= ps_ii,
+                "{}: SAT II={sat_ii} > PathSeeker II={ps_ii}",
+                kernel.name()
+            );
+        }
+        if let Ok(m) = ps.result {
+            assert!(validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok());
+            check_executes(&m.dfg, &cgra, &m.mapping, &m.registers, kernel.memory.clone());
+        }
+    }
+}
+
+#[test]
+fn sat_never_loses_to_unrouted_ramp_on_3x3() {
+    let cgra = Cgra::square(3);
+    for kernel in kernels::all() {
+        let sat = Mapper::new(&kernel.dfg, &cgra).with_timeout(TIMEOUT).run();
+        let ramp = RampMapper::new(&kernel.dfg, &cgra)
+            .with_config(BaselineConfig {
+                timeout: Some(TIMEOUT),
+                ..BaselineConfig::default()
+            })
+            .run();
+        if let Ok(m) = &ramp.result {
+            if m.routes == 0 {
+                if let Some(sat_ii) = sat.ii() {
+                    assert!(
+                        sat_ii <= m.ii(),
+                        "{}: SAT II={sat_ii} > RAMP II={}",
+                        kernel.name(),
+                        m.ii()
+                    );
+                }
+            }
+            assert!(validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok());
+            check_executes(&m.dfg, &cgra, &m.mapping, &m.registers, kernel.memory.clone());
+        }
+    }
+}
+
+#[test]
+fn routed_ramp_mappings_preserve_original_node_semantics() {
+    // Build a fan-out-heavy graph that pushes RAMP into routing, then
+    // check the routed mapping still computes the original nodes' values.
+    let mut dfg = Dfg::new("fan6");
+    let src = dfg.add_const(7);
+    let mut sinks = Vec::new();
+    for _ in 0..6 {
+        let n = dfg.add_node(sat_mapit::dfg::Op::Neg);
+        dfg.add_edge(src, n, 0);
+        sinks.push(n);
+    }
+    let cgra = Cgra::square(3);
+    let outcome = RampMapper::new(&dfg, &cgra).run();
+    let mapped = outcome.result.expect("mappable");
+    let reference = interpret(&dfg, vec![], 4).unwrap();
+    let routed_ref = interpret(&mapped.dfg, vec![], 4).unwrap();
+    for n in dfg.node_ids() {
+        for i in 0..4 {
+            assert_eq!(
+                reference.values[i][n.index()],
+                routed_ref.values[i][n.index()]
+            );
+        }
+    }
+    check_executes(&mapped.dfg, &cgra, &mapped.mapping, &mapped.registers, vec![0; 8]);
+}
+
+#[test]
+fn baselines_handle_timeouts_gracefully() {
+    let kernel = kernels::by_name("hotspot").unwrap();
+    let cgra = Cgra::square(2);
+    let config = BaselineConfig {
+        timeout: Some(Duration::from_millis(1)),
+        ..BaselineConfig::default()
+    };
+    let ramp = RampMapper::new(&kernel.dfg, &cgra).with_config(config.clone()).run();
+    let ps = PathSeekerMapper::new(&kernel.dfg, &cgra).with_config(config).run();
+    assert!(ramp.result.is_err());
+    assert!(ps.result.is_err());
+}

@@ -1,0 +1,87 @@
+//! The paper's running example, end to end: Fig. 2 (mapping at II=3 on a
+//! 2×2), Fig. 4/5 (schedules — unit-tested in `satmapit-schedule`), and
+//! the staged prolog/kernel/epilog structure.
+
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::{codegen, Mapper};
+use sat_mapit::kernels::paper_example;
+use sat_mapit::schedule::{mii, Kms, MobilitySchedule};
+use sat_mapit::sim::verify_mapping;
+
+#[test]
+fn maps_at_ii_3_on_2x2_like_fig2c() {
+    let kernel = paper_example();
+    let cgra = Cgra::square(2);
+    assert_eq!(mii(&kernel.dfg, &cgra), 3);
+    let outcome = Mapper::new(&kernel.dfg, &cgra).run();
+    let mapped = outcome.result.expect("paper maps it");
+    assert_eq!(mapped.ii(), 3, "paper Fig. 2 kernel is 3 cycles");
+    verify_mapping(
+        &kernel.dfg,
+        &cgra,
+        &mapped,
+        kernel.memory.clone(),
+        kernel.sim_iterations,
+    )
+    .expect("verified");
+}
+
+#[test]
+fn kms_candidate_count_matches_var_budget() {
+    // |variables| = candidates × PEs (paper §IV-C literal space).
+    let kernel = paper_example();
+    let ms = MobilitySchedule::compute(&kernel.dfg).unwrap();
+    let kms = Kms::build(&ms, 3);
+    let cgra = Cgra::square(2);
+    let vm = sat_mapit::core::VarMap::build(&kernel.dfg, &cgra, &kms).unwrap();
+    assert_eq!(vm.num_vars(), kms.num_candidates() * cgra.num_pes());
+}
+
+#[test]
+fn staged_schedule_has_paper_shape() {
+    // With II=3 and 2 folds, running 2 iterations gives 8 rows:
+    // prolog t0..2, kernel t3..5, epilog t6..7 (paper Fig. 2b).
+    let kernel = paper_example();
+    let cgra = Cgra::square(2);
+    let mapped = Mapper::new(&kernel.dfg, &cgra).run().result.unwrap();
+    if mapped.mapping.folds == 2 && mapped.mapping.schedule_len() == 5 {
+        use sat_mapit::core::codegen::{stage_of, Stage};
+        let m = &mapped.mapping;
+        for t in 0..3 {
+            assert_eq!(stage_of(m, 2, t), Stage::Prolog, "t={t}");
+        }
+        for t in 3..6 {
+            assert_eq!(stage_of(m, 2, t), Stage::Kernel, "t={t}");
+        }
+        for t in 6..8 {
+            assert_eq!(stage_of(m, 2, t), Stage::Epilog, "t={t}");
+        }
+    }
+    // Regardless of the found schedule's length, every instance must
+    // appear exactly once in the render.
+    let rendered = codegen::render_stages(&kernel.dfg, &mapped.mapping, 3);
+    for n in kernel.dfg.node_ids() {
+        for i in 0..3 {
+            assert_eq!(
+                rendered.matches(&format!(" {}@{}", n, i)).count(),
+                1,
+                "{n}@{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_arrays_reach_lower_ii() {
+    // Fig. 6 trend: the same kernel gets a smaller (or equal) II on a
+    // bigger array, down to the recurrence bound.
+    let kernel = paper_example();
+    let mut last = u32::MAX;
+    for n in 2..=4u16 {
+        let cgra = Cgra::square(n);
+        let ii = Mapper::new(&kernel.dfg, &cgra).run().ii().unwrap();
+        assert!(ii <= last, "II must not grow with array size");
+        last = ii;
+    }
+    assert!(last <= 2, "plenty of room on 4x4 (accumulator allows II>=1)");
+}

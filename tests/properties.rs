@@ -1,0 +1,180 @@
+//! Cross-crate property tests: random loop bodies through the full
+//! pipeline, plus invariants linking the scheduling theory to the mapper.
+
+use proptest::prelude::*;
+use sat_mapit::baselines::ims::{modulo_schedule, schedule_is_legal, Priority};
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::{validate_mapping, MapFailure, Mapper, MapperConfig};
+use sat_mapit::dfg::gen::{random_dfg, RandomDfgConfig};
+use sat_mapit::schedule::{mii, rec_mii, res_mii, Kms, MobilitySchedule};
+use sat_mapit::sim::verify_mapping;
+
+fn dfg_config() -> impl Strategy<Value = RandomDfgConfig> {
+    (4usize..14, 0usize..3, any::<bool>(), any::<u64>()).prop_map(
+        |(nodes, back_edges, memory_ops, seed)| RandomDfgConfig {
+            nodes,
+            back_edges,
+            memory_ops,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: whatever random loop body we map, the mapped
+    /// program computes exactly the reference semantics.
+    #[test]
+    fn mapped_random_loops_execute_correctly(config in dfg_config()) {
+        let dfg = random_dfg(&config);
+        let cgra = Cgra::square(3);
+        let mapper_config = MapperConfig { max_ii: 8, ..MapperConfig::default() };
+        let outcome = Mapper::new(&dfg, &cgra).with_config(mapper_config).run();
+        if let Ok(mapped) = outcome.result {
+            prop_assert!(validate_mapping(&dfg, &cgra, &mapped.mapping).is_ok());
+            let mapped_ii = mapped.ii();
+            prop_assert!(mapped_ii >= mii(&dfg, &cgra));
+            let sim = verify_mapping(&dfg, &cgra, &mapped, vec![3; 64], 5);
+            prop_assert!(sim.is_ok(), "{:?}", sim.err());
+        }
+    }
+
+    /// MII bounds are genuine lower bounds for both mapper families.
+    #[test]
+    fn achieved_ii_respects_bounds(config in dfg_config()) {
+        let dfg = random_dfg(&config);
+        let cgra = Cgra::square(2);
+        let mapper_config = MapperConfig { max_ii: 8, ..MapperConfig::default() };
+        let outcome = Mapper::new(&dfg, &cgra).with_config(mapper_config).run();
+        if let Some(ii) = outcome.ii() {
+            prop_assert!(ii >= res_mii(&dfg, &cgra));
+            prop_assert!(ii >= rec_mii(&dfg));
+        }
+    }
+
+    /// IMS schedules, when produced, always pass the legality check.
+    #[test]
+    fn ims_schedules_are_legal(config in dfg_config(), ii_extra in 0u32..3) {
+        let dfg = random_dfg(&config);
+        let cgra = Cgra::square(3);
+        let ii = mii(&dfg, &cgra) + ii_extra;
+        for p in [Priority::Height, Priority::Random(config.seed)] {
+            if let Some(times) = modulo_schedule(&dfg, &cgra, ii, p, 40) {
+                prop_assert!(schedule_is_legal(&dfg, &cgra, &times, ii));
+            }
+        }
+    }
+
+    /// KMS structure: positions are exactly the (extended) mobility window
+    /// folded by II, for every node and candidate II.
+    #[test]
+    fn kms_positions_consistent(config in dfg_config(), ii in 1u32..7, slack in 0u32..3) {
+        let dfg = random_dfg(&config);
+        let ms = MobilitySchedule::compute(&dfg).unwrap();
+        let kms = Kms::build_with_slack(&ms, ii, slack);
+        for n in dfg.node_ids() {
+            let ps = kms.positions(n);
+            prop_assert_eq!(ps.len() as u32, ms.mobility(n) + 1 + slack);
+            for (k, p) in ps.iter().enumerate() {
+                prop_assert_eq!(kms.unfolded_time(*p), ms.asap(n) + k as u32);
+            }
+        }
+    }
+
+    /// Fuzzing the validator: randomly perturbing a valid mapping either
+    /// trips the validator, or — if the perturbed mapping is still legal —
+    /// the simulator still reproduces reference semantics. There is no
+    /// middle ground where an accepted mapping computes wrong values.
+    #[test]
+    fn perturbed_mappings_never_silently_miscompute(
+        config in dfg_config(),
+        node_sel in any::<u32>(),
+        pe_sel in any::<u16>(),
+        cycle_sel in any::<u32>(),
+    ) {
+        use sat_mapit::cgra::PeId;
+        use sat_mapit::core::{Placement, TransferKind};
+        use sat_mapit::sim::simulate;
+        use sat_mapit::dfg::interp::interpret;
+
+        let dfg = random_dfg(&config);
+        let cgra = Cgra::square(3);
+        let mapper_config = MapperConfig { max_ii: 8, ..MapperConfig::default() };
+        let outcome = Mapper::new(&dfg, &cgra).with_config(mapper_config).run();
+        let Ok(mapped) = outcome.result else { return Ok(()); };
+
+        // Perturb one node's placement.
+        let mut mapping = mapped.mapping.clone();
+        let v = (node_sel as usize) % dfg.num_nodes();
+        let ii = mapping.ii;
+        mapping.placements[v] = Placement {
+            pe: PeId(pe_sel % cgra.num_pes() as u16),
+            cycle: cycle_sel % ii,
+            fold: mapping.placements[v].fold,
+        };
+        // Re-derive transfer kinds so shape stays consistent.
+        for (i, (_, e)) in dfg.edges().enumerate() {
+            mapping.transfers[i] =
+                if mapping.placements[e.src.index()].pe == mapping.placements[e.dst.index()].pe {
+                    TransferKind::SamePeRegister
+                } else {
+                    TransferKind::NeighborOutput
+                };
+        }
+
+        if validate_mapping(&dfg, &cgra, &mapping).is_ok() {
+            // Still legal: re-allocate registers and execute.
+            if let Ok(regs) = sat_mapit::core::allocate_registers(&dfg, &cgra, &mapping, 1_000_000) {
+                let iterations = 4;
+                let reference = interpret(&dfg, vec![5; 64], iterations).unwrap();
+                let sim = simulate(&dfg, &cgra, &mapping, &regs, vec![5; 64], iterations).unwrap();
+                for i in 0..iterations as usize {
+                    for n in dfg.node_ids() {
+                        prop_assert_eq!(
+                            reference.values[i][n.index()],
+                            sim.values[i][n.index()],
+                            "node {} iter {}", n, i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unrolled loops map and verify end to end (unrolling is semantics-
+    /// preserving and the mapper treats the unrolled body like any DFG).
+    #[test]
+    fn unrolled_random_loops_map_and_verify(seed in any::<u64>()) {
+        use sat_mapit::dfg::transform::unroll;
+        let dfg = random_dfg(&RandomDfgConfig {
+            nodes: 6,
+            back_edges: 1,
+            memory_ops: false,
+            seed,
+        });
+        let unrolled = unroll(&dfg, 2);
+        let cgra = Cgra::square(3);
+        let mapper_config = MapperConfig { max_ii: 8, ..MapperConfig::default() };
+        let outcome = Mapper::new(&unrolled, &cgra).with_config(mapper_config).run();
+        if let Ok(mapped) = outcome.result {
+            let sim = verify_mapping(&unrolled, &cgra, &mapped, vec![2; 64], 4);
+            prop_assert!(sim.is_ok(), "{:?}", sim.err());
+        }
+    }
+
+    /// Timeouts never panic and always produce a coherent failure.
+    #[test]
+    fn zero_timeout_is_graceful(config in dfg_config()) {
+        let dfg = random_dfg(&config);
+        let cgra = Cgra::square(2);
+        let outcome = Mapper::new(&dfg, &cgra)
+            .with_timeout(std::time::Duration::ZERO)
+            .run();
+        let graceful = matches!(
+            outcome.result,
+            Err(MapFailure::Timeout { .. }) | Err(MapFailure::InvalidDfg(_))
+        );
+        prop_assert!(graceful);
+    }
+}
