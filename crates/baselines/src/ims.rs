@@ -55,9 +55,7 @@ impl Rng {
 
 /// Computes node heights (longest forward path to a sink).
 pub fn heights(dfg: &Dfg) -> Vec<u32> {
-    let order = dfg
-        .forward_topo_order()
-        .expect("caller validates the DFG");
+    let order = dfg.forward_topo_order().expect("caller validates the DFG");
     let mut h = vec![0u32; dfg.num_nodes()];
     for &v in order.iter().rev() {
         for eid in dfg.out_edges(v) {
@@ -74,6 +72,7 @@ pub fn heights(dfg: &Dfg) -> Vec<u32> {
 ///
 /// `budget_factor` bounds the total number of (re)scheduling operations at
 /// `budget_factor * num_nodes`; heuristic failure returns `None`.
+#[allow(clippy::while_let_loop)] // the loop has two exits with distinct results
 pub fn modulo_schedule(
     dfg: &Dfg,
     cgra: &Cgra,
@@ -194,7 +193,7 @@ pub fn modulo_schedule(
                     score += 10_000;
                 }
             }
-            if best.map_or(true, |(_, bs)| score < bs) {
+            if best.is_none_or(|(_, bs)| score < bs) {
                 best = Some((t, score));
             }
         }
@@ -277,6 +276,7 @@ pub fn modulo_schedule(
 
 /// Checks the schedule-level legality: transfer windows and per-slot
 /// resource counts.
+#[allow(clippy::needless_range_loop)]
 pub fn schedule_is_legal(dfg: &Dfg, cgra: &Cgra, times: &[u32], ii: u32) -> bool {
     let ii_i = i64::from(ii);
     for (_, e) in dfg.edges() {
@@ -393,7 +393,11 @@ mod tests {
     fn priority_variants_cover_height_and_fanout() {
         let dfg = chain(5);
         let cgra = Cgra::square(2);
-        for p in [Priority::Height, Priority::HeightFanout, Priority::Random(3)] {
+        for p in [
+            Priority::Height,
+            Priority::HeightFanout,
+            Priority::Random(3),
+        ] {
             let times = modulo_schedule(&dfg, &cgra, 2, p, 30).unwrap();
             assert!(schedule_is_legal(&dfg, &cgra, &times, 2), "{p:?}");
         }

@@ -243,7 +243,10 @@ mod tests {
             };
             let outcome = PathSeekerMapper::new(&dfg, &cgra).with_config(config).run();
             if let Ok(m) = outcome.result {
-                assert!(validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok(), "seed {seed}");
+                assert!(
+                    validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok(),
+                    "seed {seed}"
+                );
             }
         }
     }

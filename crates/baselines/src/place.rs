@@ -192,9 +192,8 @@ pub fn place(
     let n = dfg.num_nodes();
     // Most-constrained-first: high connectivity, then early schedule time.
     let mut order: Vec<usize> = (0..n).collect();
-    let degree = |v: usize| {
-        dfg.in_edges(NodeId(v as u32)).len() + dfg.out_edges(NodeId(v as u32)).len()
-    };
+    let degree =
+        |v: usize| dfg.in_edges(NodeId(v as u32)).len() + dfg.out_edges(NodeId(v as u32)).len();
     order.sort_by_key(|&v| (std::cmp::Reverse(degree(v)), times[v]));
 
     let mut searcher = Searcher {
@@ -338,7 +337,10 @@ mod tests {
             };
             let pes = place(&dfg, &cgra, &times, ii, &config).unwrap();
             let mapping = to_mapping(&dfg, &times, &pes, ii);
-            assert!(validate_mapping(&dfg, &cgra, &mapping).is_ok(), "seed {seed}");
+            assert!(
+                validate_mapping(&dfg, &cgra, &mapping).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 }

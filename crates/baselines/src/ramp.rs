@@ -97,8 +97,7 @@ impl<'a> RampMapper<'a> {
                         budget: self.config.place_budget,
                         shuffle_seed: None,
                     };
-                    let Some(pes) = place(&current, self.cgra, &times, ii, &place_config)
-                    else {
+                    let Some(pes) = place(&current, self.cgra, &times, ii, &place_config) else {
                         continue;
                     };
                     let mapping = schedule_to_mapping(&current, &times, &pes, ii);

@@ -79,16 +79,20 @@ fn bench_slack_policy(c: &mut Criterion) {
         ("paper_zero", SlackPolicy::Zero),
         ("full_wheel", SlackPolicy::FullWheel),
     ] {
-        group.bench_with_input(BenchmarkId::new("bitcount_4x4", label), &slack, |b, &slack| {
-            b.iter(|| {
-                let config = MapperConfig {
-                    max_ii: 20,
-                    slack,
-                    ..MapperConfig::default()
-                };
-                Mapper::new(&kernel.dfg, &cgra).with_config(config).run()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bitcount_4x4", label),
+            &slack,
+            |b, &slack| {
+                b.iter(|| {
+                    let config = MapperConfig {
+                        max_ii: 20,
+                        slack,
+                        ..MapperConfig::default()
+                    };
+                    Mapper::new(&kernel.dfg, &cgra).with_config(config).run()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::needless_range_loop)] // pigeonhole matrices read best indexed
+
 //! Micro-benchmarks of the substrates: SAT solving, constraint encoding,
 //! schedule construction, clique search and colouring.
 
@@ -70,9 +72,7 @@ fn bench_encoding(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("patricia_ii6", size),
             &(cgra, kms),
-            |b, (cgra, kms)| {
-                b.iter(|| encode(&kernel.dfg, cgra, kms, AmoEncoding::Auto).unwrap())
-            },
+            |b, (cgra, kms)| b.iter(|| encode(&kernel.dfg, cgra, kms, AmoEncoding::Auto).unwrap()),
         );
     }
     group.finish();
@@ -122,5 +122,11 @@ fn bench_graphs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver, bench_encoding, bench_schedules, bench_graphs);
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_encoding,
+    bench_schedules,
+    bench_graphs
+);
 criterion_main!(benches);

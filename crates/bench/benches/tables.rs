@@ -37,7 +37,9 @@ fn bench_mapping_time(c: &mut Criterion) {
                     max_ii: 20,
                     ..BaselineConfig::default()
                 };
-                PathSeekerMapper::new(&k.dfg, &cgra).with_config(config).run()
+                PathSeekerMapper::new(&k.dfg, &cgra)
+                    .with_config(config)
+                    .run()
             })
         });
     }

@@ -63,7 +63,10 @@ fn main() {
     match command {
         "figure6" => {
             let cells = run_grid(&config);
-            print!("{}", report::figure6(&cells, &config.sizes, &config.kernels));
+            print!(
+                "{}",
+                report::figure6(&cells, &config.sizes, &config.kernels)
+            );
             dump(&cells, out_dir.as_deref());
         }
         "table" => {
@@ -78,16 +81,25 @@ fn main() {
         }
         "summary" => {
             let cells = run_grid(&config);
-            print!("{}", report::summary(&cells, &config.sizes, &config.kernels));
+            print!(
+                "{}",
+                report::summary(&cells, &config.sizes, &config.kernels)
+            );
             dump(&cells, out_dir.as_deref());
         }
         "all" => {
             let cells = run_grid(&config);
-            print!("{}", report::figure6(&cells, &config.sizes, &config.kernels));
+            print!(
+                "{}",
+                report::figure6(&cells, &config.sizes, &config.kernels)
+            );
             for &size in &config.sizes {
                 print!("{}", report::table(&cells, size, &config.kernels));
             }
-            print!("{}", report::summary(&cells, &config.sizes, &config.kernels));
+            print!(
+                "{}",
+                report::summary(&cells, &config.sizes, &config.kernels)
+            );
             dump(&cells, out_dir.as_deref());
         }
         other => {

@@ -155,7 +155,9 @@ pub fn run_cell(kernel: &Kernel, cgra: &Cgra, mapper: MapperKind, config: &GridC
             let outcome = if mapper == MapperKind::Ramp {
                 RampMapper::new(&kernel.dfg, cgra).with_config(bc).run()
             } else {
-                PathSeekerMapper::new(&kernel.dfg, cgra).with_config(bc).run()
+                PathSeekerMapper::new(&kernel.dfg, cgra)
+                    .with_config(bc)
+                    .run()
             };
             let result = match outcome.result {
                 Ok(m) => CellResult::Mapped {
@@ -183,11 +185,15 @@ pub fn run_cell(kernel: &Kernel, cgra: &Cgra, mapper: MapperKind, config: &GridC
 pub fn run_grid(config: &GridConfig) -> Vec<Cell> {
     let mut cells = Vec::new();
     for name in &config.kernels {
-        let kernel = satmapit_kernels::by_name(name)
-            .unwrap_or_else(|| panic!("unknown kernel `{name}`"));
+        let kernel =
+            satmapit_kernels::by_name(name).unwrap_or_else(|| panic!("unknown kernel `{name}`"));
         for &size in &config.sizes {
             let cgra = Cgra::square(size);
-            for mapper in [MapperKind::SatMapIt, MapperKind::Ramp, MapperKind::PathSeeker] {
+            for mapper in [
+                MapperKind::SatMapIt,
+                MapperKind::Ramp,
+                MapperKind::PathSeeker,
+            ] {
                 eprintln!("[grid] {name} {size}x{size} {}...", mapper.name());
                 cells.push(run_cell(&kernel, &cgra, mapper, config));
             }

@@ -162,7 +162,10 @@ impl Cgra {
     ///
     /// Panics if the coordinates are out of range.
     pub fn pe_at(&self, row: u16, col: u16) -> PeId {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of range"
+        );
         PeId(row * self.cols + col)
     }
 

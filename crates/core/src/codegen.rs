@@ -111,8 +111,7 @@ pub fn kernel_program(
     mapping: &Mapping,
     regs: &RegAllocation,
 ) -> KernelProgram {
-    let mut grid: Vec<Vec<Option<Instr>>> =
-        vec![vec![None; mapping.ii as usize]; cgra.num_pes()];
+    let mut grid: Vec<Vec<Option<Instr>>> = vec![vec![None; mapping.ii as usize]; cgra.num_pes()];
     for n in dfg.node_ids() {
         let p = mapping.placement(n);
         let node = dfg.node(n);
@@ -197,7 +196,7 @@ pub fn render_stages(dfg: &Dfg, mapping: &Mapping, iterations: u32) -> String {
         for n in dfg.node_ids() {
             let tn = mapping.time(n);
             // Instance (n, i) executes at tn + i*ii.
-            if t >= tn && (t - tn) % ii == 0 {
+            if t >= tn && (t - tn).is_multiple_of(ii) {
                 let i = (t - tn) / ii;
                 if i < iterations {
                     let _ = write!(out, " {}@{}", n, i);

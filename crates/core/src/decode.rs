@@ -25,8 +25,8 @@ pub fn decode_model(
     model: &[bool],
 ) -> Result<Mapping, DecodeError> {
     let mut placements: Vec<Option<Placement>> = vec![None; dfg.num_nodes()];
-    for idx in 0..varmap.num_vars() {
-        if !model[idx] {
+    for (idx, &set) in model.iter().enumerate().take(varmap.num_vars()) {
+        if !set {
             continue;
         }
         let (node, pos, pe) = varmap.decode(Var::new(idx as u32));

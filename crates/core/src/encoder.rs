@@ -214,12 +214,7 @@ impl Pressure {
 /// # Errors
 ///
 /// Fails only for II-independent structural reasons ([`EncodeError`]).
-pub fn encode(
-    dfg: &Dfg,
-    cgra: &Cgra,
-    kms: &Kms,
-    amo: AmoEncoding,
-) -> Result<Encoded, EncodeError> {
+pub fn encode(dfg: &Dfg, cgra: &Cgra, kms: &Kms, amo: AmoEncoding) -> Result<Encoded, EncodeError> {
     encode_with_options(
         dfg,
         cgra,
@@ -392,11 +387,7 @@ pub fn encode_with_options(
     if let Some(p) = pressure {
         let before = formula.num_clauses();
         for slot in &p.slot_lits {
-            satmapit_sat::encode::at_most_k(
-                &mut formula,
-                slot,
-                usize::from(cgra.regs_per_pe()),
-            );
+            satmapit_sat::encode::at_most_k(&mut formula, slot, usize::from(cgra.regs_per_pe()));
         }
         stats.pressure_clauses += formula.num_clauses() - before;
         stats.pressure_vars = p.created;
@@ -525,10 +516,7 @@ mod tests {
         let cgra = Cgra::square(2).with_memory_policy(MemoryPolicy::LeftColumn);
         let enc = encode_at(&dfg, &cgra, 2);
         assert!(enc.stats.placement_vars > 0);
-        assert_eq!(
-            Solver::from_cnf(&enc.formula).solve(),
-            SolveResult::Sat
-        );
+        assert_eq!(Solver::from_cnf(&enc.formula).solve(), SolveResult::Sat);
     }
 
     #[test]
@@ -600,7 +588,11 @@ mod tests {
         for ii in 1..=3 {
             let kms = Kms::build(&ms, ii);
             let mut results = Vec::new();
-            for amo in [AmoEncoding::Pairwise, AmoEncoding::Sequential, AmoEncoding::Auto] {
+            for amo in [
+                AmoEncoding::Pairwise,
+                AmoEncoding::Sequential,
+                AmoEncoding::Auto,
+            ] {
                 let enc = encode(&dfg, &cgra, &kms, amo).unwrap();
                 results.push(Solver::from_cnf(&enc.formula).solve());
             }

@@ -66,8 +66,8 @@ mod varmap;
 
 pub use decode::{decode_model, DecodeError};
 pub use mapper::{
-    map, AttemptOutcome, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper, MapperConfig,
-    SlackPolicy,
+    map, AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper,
+    MapperConfig, PreparedMapper, SlackPolicy,
 };
 pub use mapping::{Mapping, Placement, TransferKind};
 pub use regs::{allocate_registers, live_values};

@@ -10,7 +10,7 @@ use satmapit_cgra::Cgra;
 use satmapit_dfg::{Dfg, DfgError};
 use satmapit_regalloc::{RegAllocError, RegAllocation};
 use satmapit_sat::encode::AmoEncoding;
-use satmapit_sat::{SolveLimits, SolveResult, Solver, SolverStats, StopReason};
+use satmapit_sat::{SolveLimits, SolveResult, Solver, SolverOptions, SolverStats, StopReason};
 use satmapit_schedule::{mii, Kms, MobilitySchedule};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -71,6 +71,10 @@ pub struct MapperConfig {
     /// (extension over the paper; see
     /// [`crate::encoder::EncodeOptions::register_pressure`]).
     pub register_pressure: bool,
+    /// Solver tunables (restart scale, phase seed). The defaults reproduce
+    /// the canonical solver; `satmapit-engine` races variations of these
+    /// in its portfolio mode.
+    pub solver: SolverOptions,
 }
 
 impl Default for MapperConfig {
@@ -85,6 +89,7 @@ impl Default for MapperConfig {
             slack: SlackPolicy::FullWheel,
             ra_cuts: 200,
             register_pressure: true,
+            solver: SolverOptions::default(),
         }
     }
 }
@@ -236,24 +241,42 @@ impl<'a> Mapper<'a> {
         self
     }
 
+    /// Validates the DFG and precomputes the mobility schedule and MII,
+    /// returning a session that can attempt candidate IIs individually.
+    ///
+    /// This is the reusable core shared by the sequential [`Mapper::run`]
+    /// loop and the parallel II-race in `satmapit-engine`.
+    pub fn prepare(&self) -> Result<PreparedMapper<'a>, MapFailure> {
+        self.dfg.validate().map_err(MapFailure::InvalidDfg)?;
+        let ms = MobilitySchedule::compute(self.dfg).expect("validated above");
+        let mii_v = mii(self.dfg, self.cgra);
+        Ok(PreparedMapper {
+            dfg: self.dfg,
+            cgra: self.cgra,
+            config: self.config.clone(),
+            ms,
+            mii: mii_v,
+        })
+    }
+
     /// Runs the iterative search of paper Fig. 3.
     pub fn run(&self) -> MapOutcome {
         let t0 = Instant::now();
         let deadline = self.config.timeout.map(|d| t0 + d);
         let mut attempts = Vec::new();
 
-        if let Err(e) = self.dfg.validate() {
-            return MapOutcome {
-                result: Err(MapFailure::InvalidDfg(e)),
-                attempts,
-                elapsed: t0.elapsed(),
-            };
-        }
-        let ms = MobilitySchedule::compute(self.dfg).expect("validated above");
-        let mii_v = mii(self.dfg, self.cgra);
-        let start = self.config.start_ii.unwrap_or(mii_v).max(1);
+        let prepared = match self.prepare() {
+            Ok(p) => p,
+            Err(e) => {
+                return MapOutcome {
+                    result: Err(e),
+                    attempts,
+                    elapsed: t0.elapsed(),
+                };
+            }
+        };
 
-        let mut ii = start;
+        let mut ii = prepared.start_ii();
         while ii <= self.config.max_ii {
             if let Some(dl) = deadline {
                 if Instant::now() >= dl {
@@ -264,24 +287,6 @@ impl<'a> Mapper<'a> {
                     };
                 }
             }
-            let t_ii = Instant::now();
-            let kms = Kms::build_with_slack(&ms, ii, self.config.slack.slack(ii));
-            let options = crate::encoder::EncodeOptions {
-                amo: self.config.amo,
-                register_pressure: self.config.register_pressure,
-            };
-            let enc = match crate::encoder::encode_with_options(self.dfg, self.cgra, &kms, options)
-            {
-                Ok(enc) => enc,
-                Err(e) => {
-                    return MapOutcome {
-                        result: Err(MapFailure::Structural(e)),
-                        attempts,
-                        elapsed: t0.elapsed(),
-                    };
-                }
-            };
-            let mut solver = Solver::from_cnf(&enc.formula);
             let mut limits = SolveLimits::none();
             if let Some(dl) = deadline {
                 limits = limits.with_deadline(dl);
@@ -289,116 +294,23 @@ impl<'a> Mapper<'a> {
             if let Some(c) = self.config.max_conflicts_per_ii {
                 limits = limits.with_max_conflicts(c);
             }
-            // Solve at this II; on register-allocation failure, cut the
-            // failing PE's configuration and re-solve (warm solver).
-            let mut cuts = 0u32;
-            let mut last_ra_error = None;
-            loop {
-                let solve_result = solver.solve_limited(&[], &limits);
-                match solve_result {
-                    SolveResult::Sat => {
-                        let model = solver.model().expect("SAT result has a model");
-                        let mapping = match decode_model(self.dfg, &kms, &enc.varmap, model) {
-                            Ok(m) => m,
-                            Err(e) => {
-                                return MapOutcome {
-                                    result: Err(MapFailure::Internal(e.to_string())),
-                                    attempts,
-                                    elapsed: t0.elapsed(),
-                                };
-                            }
-                        };
-                        if let Err(violations) = validate_mapping(self.dfg, self.cgra, &mapping) {
-                            return MapOutcome {
-                                result: Err(MapFailure::Internal(format!(
-                                    "decoded mapping failed validation: {violations:?}"
-                                ))),
-                                attempts,
-                                elapsed: t0.elapsed(),
-                            };
-                        }
-                        match allocate_registers(
-                            self.dfg,
-                            self.cgra,
-                            &mapping,
-                            self.config.regalloc_budget,
-                        ) {
-                            Ok(registers) => {
-                                attempts.push(IiAttempt {
-                                    ii,
-                                    encode_stats: enc.stats,
-                                    outcome: AttemptOutcome::Mapped,
-                                    solver_stats: Some(solver.stats().clone()),
-                                    ra_cuts: cuts,
-                                    elapsed: t_ii.elapsed(),
-                                });
-                                return MapOutcome {
-                                    result: Ok(MappedLoop {
-                                        mapping,
-                                        registers,
-                                        mii: mii_v,
-                                    }),
-                                    attempts,
-                                    elapsed: t0.elapsed(),
-                                };
-                            }
-                            Err(e) if cuts < self.config.ra_cuts => {
-                                let model = solver.model().expect("model").to_vec();
-                                let clause =
-                                    self.ra_cut_clause(&enc.varmap, &model, &mapping, e.pe);
-                                debug_assert!(!clause.is_empty());
-                                solver.add_clause(&clause);
-                                cuts += 1;
-                                last_ra_error = Some(e);
-                                continue;
-                            }
-                            Err(e) => {
-                                attempts.push(IiAttempt {
-                                    ii,
-                                    encode_stats: enc.stats,
-                                    outcome: AttemptOutcome::RegAllocFailed(e),
-                                    solver_stats: Some(solver.stats().clone()),
-                                    ra_cuts: cuts,
-                                    elapsed: t_ii.elapsed(),
-                                });
-                                break;
-                            }
-                        }
-                    }
-                    SolveResult::Unsat => {
-                        // With cuts this means: no register-allocatable
-                        // mapping exists at this II.
-                        let outcome = match last_ra_error {
-                            Some(e) if cuts > 0 => AttemptOutcome::RegAllocFailed(e),
-                            _ => AttemptOutcome::Unsat,
-                        };
-                        attempts.push(IiAttempt {
-                            ii,
-                            encode_stats: enc.stats,
-                            outcome,
-                            solver_stats: Some(solver.stats().clone()),
-                            ra_cuts: cuts,
-                            elapsed: t_ii.elapsed(),
-                        });
-                        break;
-                    }
-                    SolveResult::Unknown(StopReason::Timeout) => {
+            match prepared.attempt_ii(ii, &limits) {
+                Err(e) => {
+                    return MapOutcome {
+                        result: Err(e),
+                        attempts,
+                        elapsed: t0.elapsed(),
+                    };
+                }
+                Ok(report) => {
+                    let mapped = report.mapped;
+                    attempts.push(report.attempt);
+                    if let Some(m) = mapped {
                         return MapOutcome {
-                            result: Err(MapFailure::Timeout { at_ii: ii }),
+                            result: Ok(m),
                             attempts,
                             elapsed: t0.elapsed(),
                         };
-                    }
-                    SolveResult::Unknown(reason @ StopReason::ConflictLimit) => {
-                        attempts.push(IiAttempt {
-                            ii,
-                            encode_stats: enc.stats,
-                            outcome: AttemptOutcome::SolverBudget(reason),
-                            solver_stats: Some(solver.stats().clone()),
-                            ra_cuts: cuts,
-                            elapsed: t_ii.elapsed(),
-                        });
-                        break;
                     }
                 }
             }
@@ -410,6 +322,221 @@ impl<'a> Mapper<'a> {
             }),
             attempts,
             elapsed: t0.elapsed(),
+        }
+    }
+}
+
+/// What one [`PreparedMapper::attempt_ii`] call produced.
+#[derive(Debug, Clone)]
+pub struct AttemptReport {
+    /// The attempt trace entry (outcome, solver effort, timings).
+    pub attempt: IiAttempt,
+    /// The mapping, present iff `attempt.outcome == AttemptOutcome::Mapped`.
+    pub mapped: Option<MappedLoop>,
+}
+
+impl AttemptReport {
+    /// `true` when this II is settled: it either mapped or was proven /
+    /// declared unmappable (UNSAT, register-allocation giveup, conflict
+    /// budget). Cancelled attempts are *not* definitive — the candidate II
+    /// was abandoned, not answered.
+    pub fn is_definitive(&self) -> bool {
+        !matches!(
+            self.attempt.outcome,
+            AttemptOutcome::SolverBudget(StopReason::Cancelled)
+        )
+    }
+}
+
+/// A validated mapping session: the DFG's mobility schedule and MII are
+/// computed once, after which any candidate II can be attempted — from one
+/// thread or many (it is `Sync`; each attempt builds its own solver).
+///
+/// ```
+/// use satmapit_cgra::Cgra;
+/// use satmapit_core::Mapper;
+/// use satmapit_dfg::{Dfg, Op};
+/// use satmapit_sat::SolveLimits;
+///
+/// let mut dfg = Dfg::new("pair");
+/// let a = dfg.add_const(1);
+/// let b = dfg.add_node(Op::Neg);
+/// dfg.add_edge(a, b, 0);
+/// let cgra = Cgra::square(2);
+///
+/// let mapper = Mapper::new(&dfg, &cgra);
+/// let prepared = mapper.prepare().unwrap();
+/// let report = prepared.attempt_ii(prepared.start_ii(), &SolveLimits::none()).unwrap();
+/// assert!(report.mapped.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedMapper<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    config: MapperConfig,
+    ms: MobilitySchedule,
+    mii: u32,
+}
+
+impl<'a> PreparedMapper<'a> {
+    /// The MII lower bound (`max(ResMII, RecMII)`).
+    pub fn mii(&self) -> u32 {
+        self.mii
+    }
+
+    /// The first II the search considers (configured start or MII).
+    pub fn start_ii(&self) -> u32 {
+        self.config.start_ii.unwrap_or(self.mii).max(1)
+    }
+
+    /// The configuration this session attempts IIs under.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (e.g. a portfolio variant's solver
+    /// options). The DFG/CGRA and precomputed schedule are reused.
+    pub fn with_config(mut self, config: MapperConfig) -> PreparedMapper<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Attempts one candidate II: encode, solve (with register-allocation
+    /// cuts), decode, validate, allocate registers.
+    ///
+    /// Terminal conditions become `Err`: a structural encoding failure, an
+    /// internal consistency failure, or the wall-clock deadline in `limits`
+    /// expiring ([`MapFailure::Timeout`]). Everything else — including a
+    /// cooperative cancellation via `limits.stop`, reported as
+    /// `AttemptOutcome::SolverBudget(StopReason::Cancelled)` — is an `Ok`
+    /// report.
+    pub fn attempt_ii(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
+        let t_ii = Instant::now();
+        // An already-raised stop flag makes the whole attempt moot; bail
+        // before paying for the KMS fold and the CNF encoding (the solver
+        // checks again before searching, covering the encode window).
+        if limits.stop_requested() {
+            return Ok(AttemptReport {
+                attempt: IiAttempt {
+                    ii,
+                    encode_stats: EncodeStats::default(),
+                    outcome: AttemptOutcome::SolverBudget(StopReason::Cancelled),
+                    solver_stats: None,
+                    ra_cuts: 0,
+                    elapsed: t_ii.elapsed(),
+                },
+                mapped: None,
+            });
+        }
+        let kms = Kms::build_with_slack(&self.ms, ii, self.config.slack.slack(ii));
+        let options = crate::encoder::EncodeOptions {
+            amo: self.config.amo,
+            register_pressure: self.config.register_pressure,
+        };
+        let enc = crate::encoder::encode_with_options(self.dfg, self.cgra, &kms, options)
+            .map_err(MapFailure::Structural)?;
+        let mut solver = Solver::from_cnf_with(&enc.formula, &self.config.solver);
+        // Solve at this II; on register-allocation failure, cut the
+        // failing PE's configuration and re-solve (warm solver).
+        let mut cuts = 0u32;
+        let mut last_ra_error = None;
+        loop {
+            let solve_result = solver.solve_limited(&[], limits);
+            match solve_result {
+                SolveResult::Sat => {
+                    let model = solver.model().expect("SAT result has a model");
+                    let mapping = decode_model(self.dfg, &kms, &enc.varmap, model)
+                        .map_err(|e| MapFailure::Internal(e.to_string()))?;
+                    if let Err(violations) = validate_mapping(self.dfg, self.cgra, &mapping) {
+                        return Err(MapFailure::Internal(format!(
+                            "decoded mapping failed validation: {violations:?}"
+                        )));
+                    }
+                    match allocate_registers(
+                        self.dfg,
+                        self.cgra,
+                        &mapping,
+                        self.config.regalloc_budget,
+                    ) {
+                        Ok(registers) => {
+                            return Ok(AttemptReport {
+                                attempt: IiAttempt {
+                                    ii,
+                                    encode_stats: enc.stats,
+                                    outcome: AttemptOutcome::Mapped,
+                                    solver_stats: Some(solver.stats().clone()),
+                                    ra_cuts: cuts,
+                                    elapsed: t_ii.elapsed(),
+                                },
+                                mapped: Some(MappedLoop {
+                                    mapping,
+                                    registers,
+                                    mii: self.mii,
+                                }),
+                            });
+                        }
+                        Err(e) if cuts < self.config.ra_cuts => {
+                            let model = solver.model().expect("model").to_vec();
+                            let clause = self.ra_cut_clause(&enc.varmap, &model, &mapping, e.pe);
+                            debug_assert!(!clause.is_empty());
+                            solver.add_clause(&clause);
+                            cuts += 1;
+                            last_ra_error = Some(e);
+                            continue;
+                        }
+                        Err(e) => {
+                            return Ok(AttemptReport {
+                                attempt: IiAttempt {
+                                    ii,
+                                    encode_stats: enc.stats,
+                                    outcome: AttemptOutcome::RegAllocFailed(e),
+                                    solver_stats: Some(solver.stats().clone()),
+                                    ra_cuts: cuts,
+                                    elapsed: t_ii.elapsed(),
+                                },
+                                mapped: None,
+                            });
+                        }
+                    }
+                }
+                SolveResult::Unsat => {
+                    // With cuts this means: no register-allocatable
+                    // mapping exists at this II.
+                    let outcome = match last_ra_error {
+                        Some(e) if cuts > 0 => AttemptOutcome::RegAllocFailed(e),
+                        _ => AttemptOutcome::Unsat,
+                    };
+                    return Ok(AttemptReport {
+                        attempt: IiAttempt {
+                            ii,
+                            encode_stats: enc.stats,
+                            outcome,
+                            solver_stats: Some(solver.stats().clone()),
+                            ra_cuts: cuts,
+                            elapsed: t_ii.elapsed(),
+                        },
+                        mapped: None,
+                    });
+                }
+                SolveResult::Unknown(StopReason::Timeout) => {
+                    return Err(MapFailure::Timeout { at_ii: ii });
+                }
+                SolveResult::Unknown(
+                    reason @ (StopReason::ConflictLimit | StopReason::Cancelled),
+                ) => {
+                    return Ok(AttemptReport {
+                        attempt: IiAttempt {
+                            ii,
+                            encode_stats: enc.stats,
+                            outcome: AttemptOutcome::SolverBudget(reason),
+                            solver_stats: Some(solver.stats().clone()),
+                            ra_cuts: cuts,
+                            elapsed: t_ii.elapsed(),
+                        },
+                        mapped: None,
+                    });
+                }
+            }
         }
     }
 
@@ -436,6 +563,7 @@ impl<'a> Mapper<'a> {
 
         // True placement literal per node.
         let mut lit_of = vec![None; self.dfg.num_nodes()];
+        #[allow(clippy::needless_range_loop)] // idx doubles as the variable id
         for idx in 0..varmap.num_vars() {
             if model[idx] {
                 let (node, _, _) = varmap.decode(satmapit_sat::Var::new(idx as u32));
@@ -463,7 +591,7 @@ impl<'a> Mapper<'a> {
                     if mapping.transfer(eid) == TransferKind::SamePeRegister {
                         let delta = mapping.edge_delta(self.dfg, eid);
                         let consumer = self.dfg.edge(eid).dst.index();
-                        if best.map_or(true, |(d, _)| delta > d) {
+                        if best.is_none_or(|(d, _)| delta > d) {
                             best = Some((delta, consumer));
                         }
                     }
@@ -578,10 +706,7 @@ mod tests {
         let _ = dfg.add_node(Op::Add);
         let cgra = Cgra::square(2);
         let outcome = map(&dfg, &cgra);
-        assert!(matches!(
-            outcome.result,
-            Err(MapFailure::InvalidDfg(_))
-        ));
+        assert!(matches!(outcome.result, Err(MapFailure::InvalidDfg(_))));
     }
 
     #[test]
@@ -605,10 +730,7 @@ mod tests {
         let outcome = Mapper::new(&dfg, &cgra)
             .with_timeout(Duration::from_secs(0))
             .run();
-        assert!(matches!(
-            outcome.result,
-            Err(MapFailure::Timeout { .. })
-        ));
+        assert!(matches!(outcome.result, Err(MapFailure::Timeout { .. })));
     }
 
     #[test]

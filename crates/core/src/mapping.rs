@@ -117,8 +117,16 @@ mod tests {
             ii: 2,
             folds: 2,
             placements: vec![
-                Placement { pe: PeId(0), cycle: 0, fold: 0 },
-                Placement { pe: PeId(1), cycle: 1, fold: 1 },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 0,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(1),
+                    cycle: 1,
+                    fold: 1,
+                },
             ],
             transfers: vec![],
         };
@@ -139,8 +147,16 @@ mod tests {
             ii: 2,
             folds: 1,
             placements: vec![
-                Placement { pe: PeId(0), cycle: 0, fold: 0 },
-                Placement { pe: PeId(1), cycle: 1, fold: 0 },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 0,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(1),
+                    cycle: 1,
+                    fold: 0,
+                },
             ],
             transfers: vec![TransferKind::NeighborOutput, TransferKind::NeighborOutput],
         };

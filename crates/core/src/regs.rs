@@ -72,9 +72,21 @@ mod tests {
             ii: 3,
             folds: 1,
             placements: vec![
-                Placement { pe: PeId(0), cycle: 0, fold: 0 },
-                Placement { pe: PeId(0), cycle: 2, fold: 0 },
-                Placement { pe: PeId(1), cycle: 1, fold: 0 },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 0,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 2,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(1),
+                    cycle: 1,
+                    fold: 0,
+                },
             ],
             transfers: vec![TransferKind::SamePeRegister, TransferKind::NeighborOutput],
         };
@@ -99,8 +111,16 @@ mod tests {
             ii: 2,
             folds: 1,
             placements: vec![
-                Placement { pe: PeId(0), cycle: 0, fold: 0 },
-                Placement { pe: PeId(0), cycle: 1, fold: 0 },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 0,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 1,
+                    fold: 0,
+                },
             ],
             transfers: vec![TransferKind::SamePeRegister, TransferKind::SamePeRegister],
         };
@@ -122,9 +142,21 @@ mod tests {
             ii: 3,
             folds: 1,
             placements: vec![
-                Placement { pe: PeId(0), cycle: 0, fold: 0 },
-                Placement { pe: PeId(0), cycle: 1, fold: 0 },
-                Placement { pe: PeId(0), cycle: 2, fold: 0 },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 0,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 1,
+                    fold: 0,
+                },
+                Placement {
+                    pe: PeId(0),
+                    cycle: 2,
+                    fold: 0,
+                },
             ],
             transfers: vec![TransferKind::SamePeRegister, TransferKind::SamePeRegister],
         };

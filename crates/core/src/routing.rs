@@ -148,9 +148,7 @@ mod tests {
         if routed.routes > 0 {
             assert!(routed.dfg.num_nodes() > dfg.num_nodes());
             let mapped = routed.outcome.result.as_ref().unwrap();
-            assert!(
-                crate::validate_mapping(&routed.dfg, &cgra, &mapped.mapping).is_ok()
-            );
+            assert!(crate::validate_mapping(&routed.dfg, &cgra, &mapped.mapping).is_ok());
         }
         // The route should genuinely help here: Δ(head→tail)=5 forces
         // II>=5 plain, while a split brings it down.

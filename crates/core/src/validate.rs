@@ -228,7 +228,9 @@ mod tests {
             transfers: vec![],
         };
         let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
-        assert!(vs.iter().any(|v| matches!(v, Violation::SlotConflict { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::SlotConflict { .. })));
     }
 
     #[test]
@@ -243,7 +245,9 @@ mod tests {
             transfers: vec![TransferKind::NeighborOutput],
         };
         let vs = validate_mapping(&dfg, &cgra, &mapping).unwrap_err();
-        assert!(vs.iter().any(|v| matches!(v, Violation::NotAdjacent { .. })));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, Violation::NotAdjacent { .. })));
     }
 
     #[test]

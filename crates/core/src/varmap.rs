@@ -46,8 +46,7 @@ impl VarMap {
                 for &pe in &pes {
                     let var = Var::new(entries.len() as u32);
                     entries.push((n, pos, pe));
-                    slot_lits[pe.index() * ii as usize + pos.cycle as usize]
-                        .push(var.positive());
+                    slot_lits[pe.index() * ii as usize + pos.cycle as usize].push(var.positive());
                 }
             }
             allowed.push(pes);

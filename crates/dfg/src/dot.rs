@@ -41,7 +41,11 @@ pub fn to_dot(dfg: &Dfg) -> String {
                 e.src.0, e.dst.0, e.distance, e.operand
             );
         } else {
-            let _ = writeln!(out, "  n{} -> n{} [label=\"op{}\"];", e.src.0, e.dst.0, e.operand);
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"op{}\"];",
+                e.src.0, e.dst.0, e.operand
+            );
         }
     }
     let _ = writeln!(out, "}}");

@@ -41,7 +41,11 @@ pub struct InterpResult {
 ///
 /// Fails if the DFG does not [`Dfg::validate`], or if memory ops exist but
 /// `memory` is empty.
-pub fn interpret(dfg: &Dfg, mut memory: Vec<i64>, iterations: u32) -> Result<InterpResult, InterpError> {
+pub fn interpret(
+    dfg: &Dfg,
+    mut memory: Vec<i64>,
+    iterations: u32,
+) -> Result<InterpResult, InterpError> {
     dfg.validate().map_err(InterpError::InvalidDfg)?;
     if dfg.num_memory_ops() > 0 && memory.is_empty() {
         return Err(InterpError::EmptyMemory);

@@ -242,7 +242,11 @@ mod tests {
         assert_eq!(Op::Div.eval_pure(0, &[7, 0]), 0, "div-by-zero defined as 0");
         assert_eq!(Op::Rem.eval_pure(0, &[7, 0]), 0);
         assert_eq!(Op::Add.eval_pure(0, &[i64::MAX, 1]), i64::MIN, "wrapping");
-        assert_eq!(Op::Div.eval_pure(0, &[i64::MIN, -1]), i64::MIN, "wrapping div");
+        assert_eq!(
+            Op::Div.eval_pure(0, &[i64::MIN, -1]),
+            i64::MIN,
+            "wrapping div"
+        );
     }
 
     #[test]

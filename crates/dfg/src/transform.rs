@@ -36,7 +36,13 @@ pub fn insert_route(dfg: &Dfg, eid: EdgeId) -> Dfg {
     if target.distance == 0 {
         out.add_edge(route, target.dst, target.operand);
     } else {
-        out.add_back_edge(route, target.dst, target.operand, target.distance, target.init);
+        out.add_back_edge(
+            route,
+            target.dst,
+            target.operand,
+            target.distance,
+            target.init,
+        );
     }
     out
 }
@@ -214,10 +220,7 @@ mod tests {
         let unrolled = unroll(&dfg, 2);
         unrolled.validate().unwrap();
         // After x2 unrolling, both copies carry distance-1 self edges.
-        let back: Vec<_> = unrolled
-            .edges()
-            .filter(|(_, e)| e.is_back_edge())
-            .collect();
+        let back: Vec<_> = unrolled.edges().filter(|(_, e)| e.is_back_edge()).collect();
         assert_eq!(back.len(), 2);
         assert!(back.iter().all(|(_, e)| e.distance == 1));
         let a = interpret(&dfg, vec![], 8).unwrap();

@@ -1,0 +1,214 @@
+//! Content fingerprinting for the result cache.
+//!
+//! A mapping request is fully determined by the DFG structure, the CGRA
+//! instance and the engine configuration, so the cache keys on a 128-bit
+//! content hash of exactly those three. Node labels and the DFG name are
+//! deliberately excluded: they are presentation metadata and two renamed
+//! copies of the same loop body should share a cache entry.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::Dfg;
+
+use crate::EngineConfig;
+
+/// A 128-bit content hash (two independent 64-bit FNV-1a streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a hasher over two de-correlated streams.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Default for Hasher {
+    fn default() -> Hasher {
+        Hasher::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher.
+    pub fn new() -> Hasher {
+        Hasher {
+            a: FNV_OFFSET,
+            // A distinct offset basis de-correlates the second stream.
+            b: FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte ^ 0xA5)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs an integer (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a signed integer (little-endian).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a string with a length prefix (prevents concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Absorbs an optional integer distinguishably from its absence.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.write(&[1]);
+                self.write_u64(v);
+            }
+            None => self.write(&[0]),
+        }
+    }
+
+    /// The accumulated 128-bit fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint((u128::from(self.a) << 64) | u128::from(self.b))
+    }
+}
+
+/// Absorbs the structural content of a DFG: ops, immediates and the full
+/// edge relation. Names and labels are excluded (see module docs).
+pub fn hash_dfg(h: &mut Hasher, dfg: &Dfg) {
+    h.write_u64(dfg.num_nodes() as u64);
+    for n in dfg.node_ids() {
+        let node = dfg.node(n);
+        h.write_str(&format!("{:?}", node.op));
+        h.write_i64(node.imm);
+    }
+    h.write_u64(dfg.num_edges() as u64);
+    for (_, e) in dfg.edges() {
+        h.write_u64(e.src.index() as u64);
+        h.write_u64(e.dst.index() as u64);
+        h.write_u64(u64::from(e.operand));
+        h.write_u64(u64::from(e.distance));
+        h.write_i64(e.init);
+    }
+}
+
+/// Absorbs a CGRA instance: geometry, topology, registers, memory policy.
+pub fn hash_cgra(h: &mut Hasher, cgra: &Cgra) {
+    h.write_u64(u64::from(cgra.rows()));
+    h.write_u64(u64::from(cgra.cols()));
+    h.write_str(&format!("{:?}", cgra.topology()));
+    h.write_u64(u64::from(cgra.regs_per_pe()));
+    h.write_str(&format!("{:?}", cgra.memory_policy()));
+}
+
+/// Absorbs every result-affecting knob of an [`EngineConfig`].
+pub fn hash_config(h: &mut Hasher, config: &EngineConfig) {
+    let m = &config.mapper;
+    h.write_u64(u64::from(m.max_ii));
+    h.write_opt_u64(m.timeout.map(|d| d.as_nanos() as u64));
+    h.write_str(&format!("{:?}", m.amo));
+    h.write_opt_u64(m.max_conflicts_per_ii);
+    h.write_u64(m.regalloc_budget);
+    h.write_opt_u64(m.start_ii.map(u64::from));
+    h.write_str(&format!("{:?}", m.slack));
+    h.write_u64(u64::from(m.ra_cuts));
+    h.write(&[u8::from(m.register_pressure)]);
+    h.write_u64(m.solver.restart_base);
+    h.write_opt_u64(m.solver.phase_seed);
+    h.write_u64(config.race_width as u64);
+    h.write_u64(config.portfolio as u64);
+}
+
+/// The cache key for one mapping request under `config`.
+pub fn fingerprint(dfg: &Dfg, cgra: &Cgra, config: &EngineConfig) -> Fingerprint {
+    let mut h = Hasher::new();
+    hash_dfg(&mut h, dfg);
+    hash_cgra(&mut h, cgra);
+    hash_config(&mut h, config);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_dfg::Op;
+
+    fn sample_dfg(name: &str) -> Dfg {
+        let mut dfg = Dfg::new(name);
+        let a = dfg.add_const(7);
+        let b = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        let dfg = sample_dfg("x");
+        let cgra = Cgra::square(3);
+        let config = EngineConfig::default();
+        assert_eq!(
+            fingerprint(&dfg, &cgra, &config),
+            fingerprint(&dfg, &cgra, &config)
+        );
+    }
+
+    #[test]
+    fn name_is_cosmetic() {
+        let cgra = Cgra::square(3);
+        let config = EngineConfig::default();
+        assert_eq!(
+            fingerprint(&sample_dfg("a"), &cgra, &config),
+            fingerprint(&sample_dfg("b"), &cgra, &config)
+        );
+    }
+
+    #[test]
+    fn structure_and_architecture_matter() {
+        let cgra = Cgra::square(3);
+        let config = EngineConfig::default();
+        let base = fingerprint(&sample_dfg("x"), &cgra, &config);
+
+        let mut bigger = sample_dfg("x");
+        let _ = bigger.add_const(9);
+        assert_ne!(base, fingerprint(&bigger, &cgra, &config));
+
+        assert_ne!(
+            base,
+            fingerprint(&sample_dfg("x"), &Cgra::square(4), &config)
+        );
+
+        let mut other_config = EngineConfig::default();
+        other_config.mapper.max_ii = 7;
+        assert_ne!(base, fingerprint(&sample_dfg("x"), &cgra, &other_config));
+    }
+
+    #[test]
+    fn immediates_matter() {
+        let cgra = Cgra::square(2);
+        let config = EngineConfig::default();
+        let mut a = Dfg::new("k");
+        let _ = a.add_const(1);
+        let mut b = Dfg::new("k");
+        let _ = b.add_const(2);
+        assert_ne!(
+            fingerprint(&a, &cgra, &config),
+            fingerprint(&b, &cgra, &config)
+        );
+    }
+}

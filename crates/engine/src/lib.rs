@@ -1,0 +1,303 @@
+//! # satmapit-engine
+//!
+//! A multi-threaded mapping engine layered on the SAT-MapIt mapper
+//! (`satmapit-core`). The sequential search of paper Fig. 3 proves
+//! candidate IIs infeasible one at a time; this crate attacks that
+//! wall-clock bottleneck on three fronts:
+//!
+//! 1. **II-race** ([`map_raced`]): a pool of workers speculatively solves
+//!    II, II+1, …, II+k concurrently. A shared stop flag (plumbed into
+//!    [`satmapit_sat::SolveLimits`]) cancels losing workers cooperatively
+//!    the moment a lower feasible II is proven, and UNSAT proofs at low
+//!    IIs slide the race window upward.
+//! 2. **Portfolio**: optionally, several solver configurations (phase
+//!    seed, restart scale, at-most-one encoding) race *the same* II; the
+//!    first definitive answer cancels its siblings.
+//! 3. **Batch + cache** ([`Engine`]): many (kernel × CGRA) jobs over a
+//!    bounded worker pool, memoized in a content-hash-keyed result cache
+//!    — repeated requests are O(1) and return byte-identical results.
+//!
+//! The engine returns **the same best II as the sequential mapper**
+//! whenever the sequential search is exact (the default configuration);
+//! see [`race`] for the precise guarantee.
+//!
+//! ```
+//! use satmapit_cgra::Cgra;
+//! use satmapit_dfg::{Dfg, Op};
+//! use satmapit_engine::{map_raced, EngineConfig};
+//!
+//! let mut dfg = Dfg::new("pair");
+//! let a = dfg.add_const(1);
+//! let b = dfg.add_node(Op::Neg);
+//! dfg.add_edge(a, b, 0);
+//!
+//! let outcome = map_raced(&dfg, &Cgra::square(2), &EngineConfig::default());
+//! assert_eq!(outcome.ii(), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod fingerprint;
+pub mod race;
+
+pub use batch::{BatchItem, CacheStats, Engine, Job};
+pub use fingerprint::Fingerprint;
+pub use race::{map_raced, portfolio_variant, EngineOutcome, RaceStats};
+
+use satmapit_core::MapperConfig;
+
+/// Configuration of the parallel engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The underlying mapper configuration (variant 0 of the portfolio
+    /// runs it verbatim — the agreement anchor with the sequential
+    /// mapper).
+    pub mapper: MapperConfig,
+    /// How many candidate IIs are raced concurrently (the sliding window
+    /// above the lowest unresolved II). `1` disables speculation across
+    /// IIs.
+    pub race_width: usize,
+    /// Solver-portfolio variants raced per II. `1` disables the
+    /// portfolio; variant 0 is always the canonical configuration.
+    pub portfolio: usize,
+    /// Worker threads. `0` means one per available hardware thread.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            mapper: MapperConfig::default(),
+            race_width: 4,
+            portfolio: 1,
+            workers: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The resolved worker count (`workers`, or the hardware parallelism
+    /// when 0).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satmapit_cgra::Cgra;
+    use satmapit_core::{map, AttemptOutcome, MapFailure, MapperConfig};
+    use satmapit_dfg::{Dfg, Op};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn chain(n: usize) -> Dfg {
+        let mut dfg = Dfg::new(format!("chain{n}"));
+        let mut prev = dfg.add_const(1);
+        for _ in 1..n {
+            let next = dfg.add_node(Op::Neg);
+            dfg.add_edge(prev, next, 0);
+            prev = next;
+        }
+        dfg
+    }
+
+    /// A recurrence that forces the search through UNSAT IIs before the
+    /// feasible one (RecMII < achieved II is impossible here; instead the
+    /// 1x1 resource bound forces climbing).
+    fn recurrence() -> Dfg {
+        let mut dfg = Dfg::new("rec");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        dfg
+    }
+
+    #[test]
+    fn race_matches_sequential_on_simple_chain() {
+        let dfg = chain(4);
+        let cgra = Cgra::square(2);
+        let sequential = map(&dfg, &cgra);
+        let raced = map_raced(&dfg, &cgra, &EngineConfig::default());
+        assert_eq!(raced.ii(), sequential.ii());
+        assert_eq!(raced.ii(), Some(1));
+    }
+
+    #[test]
+    fn race_matches_sequential_through_unsat_prefix() {
+        let dfg = recurrence();
+        let cgra = Cgra::square(1);
+        let sequential = map(&dfg, &cgra);
+        let raced = map_raced(&dfg, &cgra, &EngineConfig::default());
+        assert_eq!(raced.ii(), sequential.ii());
+        assert_eq!(raced.ii(), Some(3));
+        // The trace must show the same definitive attempts, in order.
+        let seq_iis: Vec<u32> = sequential.attempts.iter().map(|a| a.ii).collect();
+        let race_iis: Vec<u32> = raced.outcome.attempts.iter().map(|a| a.ii).collect();
+        assert_eq!(race_iis, seq_iis);
+    }
+
+    #[test]
+    fn portfolio_race_still_agrees() {
+        let dfg = recurrence();
+        let cgra = Cgra::square(1);
+        let config = EngineConfig {
+            portfolio: 3,
+            race_width: 2,
+            ..EngineConfig::default()
+        };
+        let raced = map_raced(&dfg, &cgra, &config);
+        assert_eq!(raced.ii(), Some(3));
+    }
+
+    #[test]
+    fn ii_cap_reported_like_sequential() {
+        let dfg = chain(5);
+        let cgra = Cgra::square(1);
+        let mapper = MapperConfig {
+            max_ii: 3, // MII is 5 on a 1x1
+            ..MapperConfig::default()
+        };
+        let config = EngineConfig {
+            mapper,
+            ..EngineConfig::default()
+        };
+        let raced = map_raced(&dfg, &cgra, &config);
+        assert_eq!(
+            raced.outcome.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 3 }
+        );
+        assert!(raced.outcome.attempts.is_empty());
+    }
+
+    #[test]
+    fn invalid_dfg_fails_fast() {
+        let mut dfg = Dfg::new("bad");
+        let _ = dfg.add_node(Op::Add); // Add with no operands
+        let raced = map_raced(&dfg, &Cgra::square(2), &EngineConfig::default());
+        assert!(matches!(
+            raced.outcome.result,
+            Err(MapFailure::InvalidDfg(_))
+        ));
+    }
+
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let dfg = chain(6);
+        let cgra = Cgra::square(2);
+        let mapper = MapperConfig {
+            timeout: Some(Duration::ZERO),
+            ..MapperConfig::default()
+        };
+        let config = EngineConfig {
+            mapper,
+            ..EngineConfig::default()
+        };
+        let raced = map_raced(&dfg, &cgra, &config);
+        assert!(matches!(
+            raced.outcome.result,
+            Err(MapFailure::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn winning_attempt_is_last_and_mapped() {
+        let dfg = recurrence();
+        let raced = map_raced(&dfg, &Cgra::square(1), &EngineConfig::default());
+        let last = raced.outcome.attempts.last().expect("has attempts");
+        assert_eq!(last.outcome, AttemptOutcome::Mapped);
+        assert_eq!(Some(last.ii), raced.ii());
+    }
+
+    #[test]
+    fn engine_cache_returns_identical_result() {
+        let dfg = chain(4);
+        let cgra = Cgra::square(2);
+        let engine = Engine::new(EngineConfig::default());
+        let (first, cached_first) = engine.map(&dfg, &cgra);
+        let (second, cached_second) = engine.map(&dfg, &cgra);
+        assert!(!cached_first);
+        assert!(cached_second);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_jobs() {
+        let dfg = chain(4);
+        let cgra = Cgra::square(2);
+        let engine = Engine::new(EngineConfig::default());
+        let jobs = vec![
+            Job::new("a", dfg.clone(), cgra.clone()),
+            Job::new("b", chain(3), cgra.clone()),
+            Job::new("a-again", dfg.clone(), cgra.clone()),
+        ];
+        let items = engine.map_batch(jobs);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].name, "a");
+        assert_eq!(items[2].name, "a-again");
+        assert_eq!(items[0].fingerprint, items[2].fingerprint);
+        assert_ne!(items[0].fingerprint, items[1].fingerprint);
+        // The duplicate is solved once and fanned out: only two distinct
+        // solves happen, the repeat comes back as a hit sharing the same
+        // allocation as the original.
+        assert!(!items[0].cached);
+        assert!(items[2].cached);
+        assert!(Arc::ptr_eq(&items[0].outcome, &items[2].outcome));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 2, "the duplicate never reached a solver");
+        assert_eq!(items[0].outcome.ii(), items[2].outcome.ii());
+    }
+
+    #[test]
+    fn timeouts_are_not_cached() {
+        let dfg = chain(6);
+        let cgra = Cgra::square(2);
+        let mapper = MapperConfig {
+            timeout: Some(Duration::ZERO),
+            ..MapperConfig::default()
+        };
+        let engine = Engine::new(EngineConfig {
+            mapper,
+            ..EngineConfig::default()
+        });
+        let (first, cached) = engine.map(&dfg, &cgra);
+        assert!(!cached);
+        assert!(matches!(
+            first.outcome.result,
+            Err(MapFailure::Timeout { .. })
+        ));
+        // A wall-clock failure must not poison the cache: the retry solves
+        // afresh instead of replaying the stale Err(Timeout).
+        assert_eq!(engine.cache_stats().entries, 0);
+        let (_, cached) = engine.map(&dfg, &cgra);
+        assert!(!cached);
+    }
+
+    #[test]
+    fn single_worker_race_still_resolves() {
+        let config = EngineConfig {
+            workers: 1,
+            race_width: 1,
+            ..EngineConfig::default()
+        };
+        let raced = map_raced(&recurrence(), &Cgra::square(1), &config);
+        assert_eq!(raced.ii(), Some(3));
+        assert_eq!(raced.stats.workers, 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! The speculative II-race.
+//!
+//! The sequential mapper (paper Fig. 3) tries II = MII, MII+1, … strictly
+//! in order, and almost all of its time is burnt *proving the infeasible
+//! IIs infeasible* — every other core sits idle while one SAT instance
+//! grinds. The race flips that around: a pool of workers attempts a
+//! window of candidate IIs (and, optionally, several solver-portfolio
+//! variants per II) concurrently, with cooperative cancellation through
+//! the stop flag in [`SolveLimits`]:
+//!
+//! * a **mapping** found at II = k immediately cancels every attempt at
+//!   II ≥ k — they can no longer improve the answer;
+//! * an **UNSAT proof** (or the canonical variant giving up) at II = j
+//!   *closes* j and lets the window slide upward;
+//! * the race resolves once some mapped II has every lower candidate
+//!   closed — which is exactly the sequential answer.
+//!
+//! ## Agreement with the sequential mapper
+//!
+//! Variant 0 of the portfolio runs the *identical* configuration as
+//! [`Mapper::run`], and only variant 0 (or a sound UNSAT proof from any
+//! variant) may close an II. Under the default configuration — no per-II
+//! conflict budget, no register-allocation giveups — every closure is
+//! then a proof, and the race returns **the same best II as the
+//! sequential search**. When the sequential search is itself heuristic
+//! (conflict budgets, RA giveups), a non-canonical variant may still
+//! *map* an II the canonical configuration would have skipped, in which
+//! case the race only improves on the sequential answer (a lower II),
+//! never worsens it.
+
+use satmapit_cgra::Cgra;
+use satmapit_core::{
+    AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper,
+    MapperConfig, PreparedMapper,
+};
+use satmapit_dfg::Dfg;
+use satmapit_sat::encode::AmoEncoding;
+use satmapit_sat::SolveLimits;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::EngineConfig;
+
+/// Effort and outcome counters of one race.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceStats {
+    /// Worker threads the race ran on.
+    pub workers: usize,
+    /// Single-II attempts dispatched (including cancelled ones).
+    pub tasks_started: u64,
+    /// Attempts that observed the stop flag and aborted cooperatively.
+    pub tasks_cancelled: u64,
+}
+
+/// A [`MapOutcome`] plus race-level telemetry.
+///
+/// `outcome.attempts` holds the *definitive* attempts in II order: every
+/// closed II below the winner plus the winning attempt itself. Cancelled
+/// attempts appear only in `stats.tasks_cancelled`.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Result and definitive per-II trace, like the sequential mapper's.
+    pub outcome: MapOutcome,
+    /// Race telemetry.
+    pub stats: RaceStats,
+}
+
+impl EngineOutcome {
+    /// The achieved II, if mapping succeeded.
+    pub fn ii(&self) -> Option<u32> {
+        self.outcome.ii()
+    }
+}
+
+/// The solver configuration raced as portfolio variant `k`.
+///
+/// Variant 0 is always the caller's configuration verbatim (the agreement
+/// anchor); higher variants perturb the phase seed, the restart scale and
+/// the at-most-one encoding — all answer-preserving knobs.
+pub fn portfolio_variant(base: &MapperConfig, k: usize) -> MapperConfig {
+    if k == 0 {
+        return base.clone();
+    }
+    let mut config = base.clone();
+    config.solver.phase_seed = Some((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    config.solver.restart_base = match k % 3 {
+        1 => 32,
+        2 => 400,
+        _ => base.solver.restart_base,
+    };
+    // Odd variants force the ladder encoding; even ones keep Auto (which
+    // already picks pairwise for small groups without risking the
+    // quadratic blowup unguarded pairwise has on large ones).
+    config.amo = if k % 2 == 1 {
+        AmoEncoding::Sequential
+    } else {
+        AmoEncoding::Auto
+    };
+    config
+}
+
+struct Task {
+    ii: u32,
+    variant: usize,
+    stop: Arc<AtomicBool>,
+}
+
+struct Best {
+    ii: u32,
+    attempt: IiAttempt,
+    mapped: MappedLoop,
+}
+
+#[derive(Default)]
+struct OpenIi {
+    dispatched: usize,
+    stops: Vec<Arc<AtomicBool>>,
+}
+
+struct RaceState {
+    start: u32,
+    max_ii: u32,
+    race_width: u32,
+    portfolio: usize,
+    open: HashMap<u32, OpenIi>,
+    closed: BTreeMap<u32, IiAttempt>,
+    best: Option<Best>,
+    fatal: Option<MapFailure>,
+    tasks_started: u64,
+    tasks_cancelled: u64,
+}
+
+impl RaceState {
+    fn finished(&self) -> bool {
+        if self.fatal.is_some() {
+            return true;
+        }
+        match &self.best {
+            Some(best) => (self.start..best.ii).all(|ii| self.closed.contains_key(&ii)),
+            None => (self.start..=self.max_ii).all(|ii| self.closed.contains_key(&ii)),
+        }
+    }
+
+    /// Dispatches the next (II, variant) attempt inside the sliding race
+    /// window, if one is available.
+    fn take_task(&mut self) -> Option<Task> {
+        let mut ii = self.start;
+        let mut considered = 0u32;
+        while ii <= self.max_ii && considered < self.race_width {
+            if self.best.as_ref().is_some_and(|b| ii >= b.ii) {
+                break; // IIs at or above the current winner are moot
+            }
+            if !self.closed.contains_key(&ii) {
+                considered += 1;
+                let open = self.open.entry(ii).or_default();
+                if open.dispatched < self.portfolio {
+                    let variant = open.dispatched;
+                    open.dispatched += 1;
+                    let stop = Arc::new(AtomicBool::new(false));
+                    open.stops.push(Arc::clone(&stop));
+                    self.tasks_started += 1;
+                    return Some(Task { ii, variant, stop });
+                }
+            }
+            ii += 1;
+        }
+        None
+    }
+
+    fn cancel_at_or_above(&mut self, ii: u32) {
+        for (&open_ii, open) in &self.open {
+            if open_ii >= ii {
+                for stop in &open.stops {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn cancel_ii(&mut self, ii: u32) {
+        if let Some(open) = self.open.get(&ii) {
+            for stop in &open.stops {
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn cancel_all(&mut self) {
+        self.cancel_at_or_above(0);
+    }
+
+    fn record(&mut self, task: &Task, result: Result<AttemptReport, MapFailure>) {
+        match result {
+            Err(MapFailure::Timeout { at_ii }) => {
+                // attempt_ii only reports Timeout when the shared deadline
+                // genuinely passed, so this is always fatal here; a race
+                // that nevertheless completed a winner is restored by the
+                // end-of-race rescue below.
+                match &mut self.fatal {
+                    Some(MapFailure::Timeout { at_ii: lowest }) => {
+                        *lowest = (*lowest).min(at_ii);
+                    }
+                    Some(_) => {}
+                    None => self.fatal = Some(MapFailure::Timeout { at_ii }),
+                }
+            }
+            Err(e) => {
+                // Structural/Internal failures outrank a Timeout: the
+                // end-of-race rescue may clear a Timeout fatal, but these
+                // must never be masked.
+                let existing_outranks =
+                    matches!(self.fatal, Some(ref f) if !matches!(f, MapFailure::Timeout { .. }));
+                if !existing_outranks {
+                    self.fatal = Some(e);
+                }
+            }
+            Ok(report) if !report.is_definitive() => {
+                // The attempt was abandoned (cooperative cancel), not
+                // answered; it never closes its II.
+                self.tasks_cancelled += 1;
+            }
+            Ok(report) => match report.attempt.outcome {
+                AttemptOutcome::Mapped => {
+                    if self.best.as_ref().is_none_or(|b| task.ii < b.ii) {
+                        self.best = Some(Best {
+                            ii: task.ii,
+                            attempt: report.attempt,
+                            mapped: report.mapped.expect("Mapped outcome carries a mapping"),
+                        });
+                        // Everything at or above the winner is now moot —
+                        // including sibling variants of the same II.
+                        self.cancel_at_or_above(task.ii);
+                    }
+                }
+                _ => {
+                    // Definitive no-mapping. Closure is sound when it comes
+                    // from the canonical variant (it mirrors the sequential
+                    // mapper exactly) or is an UNSAT proof (variant-
+                    // independent). Giveups from non-canonical variants are
+                    // dropped — closing on them could diverge from the
+                    // sequential answer.
+                    let is_proof = matches!(report.attempt.outcome, AttemptOutcome::Unsat);
+                    if (task.variant == 0 || is_proof) && !self.closed.contains_key(&task.ii) {
+                        self.closed.insert(task.ii, report.attempt);
+                        self.cancel_ii(task.ii);
+                    }
+                }
+            },
+        }
+        if self.finished() {
+            self.cancel_all();
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<RaceState>,
+    cv: Condvar,
+}
+
+fn worker(shared: &Shared, variants: &[PreparedMapper<'_>], limits_proto: &SolveLimits) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("race state poisoned");
+            loop {
+                if state.finished() {
+                    drop(state);
+                    shared.cv.notify_all();
+                    return;
+                }
+                if let Some(task) = state.take_task() {
+                    break task;
+                }
+                // Window fully in flight: wait for a sibling to record.
+                // The timeout guards against missed wakeups near the end.
+                state = shared
+                    .cv
+                    .wait_timeout(state, Duration::from_millis(25))
+                    .expect("race state poisoned")
+                    .0;
+            }
+        };
+        let limits = limits_proto.clone().with_stop_flag(Arc::clone(&task.stop));
+        let result = variants[task.variant].attempt_ii(task.ii, &limits);
+        let mut state = shared.state.lock().expect("race state poisoned");
+        state.record(&task, result);
+        drop(state);
+        shared.cv.notify_all();
+    }
+}
+
+/// Maps `dfg` onto `cgra` by racing candidate IIs (and portfolio variants)
+/// across a worker pool. See the module docs for the guarantees.
+pub fn map_raced(dfg: &Dfg, cgra: &Cgra, config: &EngineConfig) -> EngineOutcome {
+    let t0 = Instant::now();
+    let failure = |result: MapFailure, elapsed: Duration| EngineOutcome {
+        outcome: MapOutcome {
+            result: Err(result),
+            attempts: Vec::new(),
+            elapsed,
+        },
+        stats: RaceStats::default(),
+    };
+
+    let mapper = Mapper::new(dfg, cgra).with_config(config.mapper.clone());
+    let base = match mapper.prepare() {
+        Ok(p) => p,
+        Err(e) => return failure(e, t0.elapsed()),
+    };
+    let start = base.start_ii();
+    let max_ii = config.mapper.max_ii;
+    if start > max_ii {
+        return failure(MapFailure::IiCapReached { cap: max_ii }, t0.elapsed());
+    }
+
+    let portfolio = config.portfolio.max(1);
+    let variants: Vec<PreparedMapper<'_>> = (0..portfolio)
+        .map(|k| {
+            base.clone()
+                .with_config(portfolio_variant(&config.mapper, k))
+        })
+        .collect();
+
+    let race_width = config.race_width.max(1) as u32;
+    let deadline = config.mapper.timeout.map(|d| t0 + d);
+    let mut limits_proto = SolveLimits::none();
+    if let Some(dl) = deadline {
+        limits_proto = limits_proto.with_deadline(dl);
+    }
+    if let Some(c) = config.mapper.max_conflicts_per_ii {
+        limits_proto = limits_proto.with_max_conflicts(c);
+    }
+
+    let max_useful = (race_width as usize).saturating_mul(portfolio);
+    let workers = config.effective_workers().min(max_useful).max(1);
+
+    let shared = Shared {
+        state: Mutex::new(RaceState {
+            start,
+            max_ii,
+            race_width,
+            portfolio,
+            open: HashMap::new(),
+            closed: BTreeMap::new(),
+            best: None,
+            fatal: None,
+            tasks_started: 0,
+            tasks_cancelled: 0,
+        }),
+        cv: Condvar::new(),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker(&shared, &variants, &limits_proto));
+        }
+    });
+
+    let mut state = shared.state.into_inner().expect("race state poisoned");
+    let elapsed = t0.elapsed();
+    let stats = RaceStats {
+        workers,
+        tasks_started: state.tasks_started,
+        tasks_cancelled: state.tasks_cancelled,
+    };
+
+    // A complete winner (every lower II closed) beats a Timeout recorded
+    // by a losing worker: the mapping was found before the deadline and is
+    // provably the best II, so discarding it for Err(Timeout) would throw
+    // away a full answer. Other fatals (structural/internal) still win —
+    // they signal problems a mapping must not mask.
+    let timeout_only = matches!(state.fatal, Some(MapFailure::Timeout { .. }));
+    let best_is_complete = state
+        .best
+        .as_ref()
+        .is_some_and(|b| (start..b.ii).all(|ii| state.closed.contains_key(&ii)));
+    if timeout_only && best_is_complete {
+        state.fatal = None;
+    }
+
+    let (result, attempts) = if let Some(fatal) = state.fatal {
+        let attempts = state.closed.into_values().collect();
+        (Err(fatal), attempts)
+    } else if let Some(best) = state.best {
+        let mut attempts: Vec<IiAttempt> = state
+            .closed
+            .into_iter()
+            .filter(|(ii, _)| *ii < best.ii)
+            .map(|(_, a)| a)
+            .collect();
+        attempts.push(best.attempt);
+        (Ok(best.mapped), attempts)
+    } else {
+        let attempts = state.closed.into_values().collect();
+        (Err(MapFailure::IiCapReached { cap: max_ii }), attempts)
+    };
+
+    EngineOutcome {
+        outcome: MapOutcome {
+            result,
+            attempts,
+            elapsed,
+        },
+        stats,
+    }
+}

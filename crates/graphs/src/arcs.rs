@@ -149,11 +149,7 @@ mod tests {
                         let a = CyclicArc::new(s1, l1, wheel);
                         let b = CyclicArc::new(s2, l2, wheel);
                         let expected = (0..wheel).any(|p| a.covers(p) && b.covers(p));
-                        assert_eq!(
-                            a.overlaps(&b),
-                            expected,
-                            "a={a:?} b={b:?}"
-                        );
+                        assert_eq!(a.overlaps(&b), expected, "a={a:?} b={b:?}");
                     }
                 }
             }

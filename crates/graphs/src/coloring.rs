@@ -82,6 +82,7 @@ pub fn exact_k_coloring(g: &UnGraph, k: usize, budget: u64) -> ColoringResult {
 
     let mut colors = vec![usize::MAX; n];
     let mut steps = 0u64;
+    #[allow(clippy::needless_range_loop)] // index loops mirror the recurrence
     fn assign(
         g: &UnGraph,
         order: &[usize],
@@ -224,10 +225,7 @@ mod tests {
     #[test]
     fn empty_graph_coloring() {
         let g = UnGraph::new(0);
-        assert_eq!(
-            exact_k_coloring(&g, 1, 10),
-            ColoringResult::Colored(vec![])
-        );
+        assert_eq!(exact_k_coloring(&g, 1, 10), ColoringResult::Colored(vec![]));
         let g = UnGraph::new(4);
         match exact_k_coloring(&g, 1, 10) {
             ColoringResult::Colored(c) => assert_eq!(c, vec![0, 0, 0, 0]),

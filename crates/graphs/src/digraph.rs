@@ -278,7 +278,10 @@ mod tests {
         w[e0] = 1;
         w[e1] = 1;
         w[e2] = -2;
-        assert!(!g.has_positive_cycle(&w), "zero-weight cycle is not positive");
+        assert!(
+            !g.has_positive_cycle(&w),
+            "zero-weight cycle is not positive"
+        );
         w[e2] = -1;
         assert!(g.has_positive_cycle(&w));
         w[e2] = -5;

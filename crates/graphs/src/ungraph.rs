@@ -70,8 +70,9 @@ impl UnGraph {
     /// Iterates over the neighbours of `v` in increasing order.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
         let row = self.row(v);
-        row.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: wi * 64 }
+        row.iter().enumerate().flat_map(|(wi, &word)| BitIter {
+            word,
+            base: wi * 64,
         })
     }
 
@@ -164,12 +165,7 @@ impl NodeSet {
 
     pub fn intersect_row(&self, row: &[u64]) -> NodeSet {
         NodeSet {
-            bits: self
-                .bits
-                .iter()
-                .zip(row)
-                .map(|(a, b)| a & b)
-                .collect(),
+            bits: self.bits.iter().zip(row).map(|(a, b)| a & b).collect(),
         }
     }
 
@@ -185,7 +181,10 @@ impl NodeSet {
         self.bits
             .iter()
             .enumerate()
-            .flat_map(|(wi, &word)| BitIter { word, base: wi * 64 })
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: wi * 64,
+            })
     }
 }
 

@@ -172,7 +172,9 @@ mod tests {
     #[test]
     fn every_kernel_validates_interprets_and_schedules() {
         for k in all().into_iter().chain([paper_example()]) {
-            k.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            k.dfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             let r = interpret(&k.dfg, k.memory.clone(), k.sim_iterations)
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             assert_eq!(r.values.len() as u32, k.sim_iterations);
@@ -187,8 +189,14 @@ mod tests {
         // paper's Fig. 6 shows IIs from ~2 to ~13 on 2x2).
         let cgra = Cgra::square(2);
         let miis: Vec<u32> = all().iter().map(|k| mii(&k.dfg, &cgra)).collect();
-        assert!(miis.iter().any(|&m| m >= 5), "some kernel is large: {miis:?}");
-        assert!(miis.iter().any(|&m| m <= 3), "some kernel is small: {miis:?}");
+        assert!(
+            miis.iter().any(|&m| m >= 5),
+            "some kernel is large: {miis:?}"
+        );
+        assert!(
+            miis.iter().any(|&m| m <= 3),
+            "some kernel is small: {miis:?}"
+        );
     }
 
     #[test]

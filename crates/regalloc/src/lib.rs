@@ -156,11 +156,7 @@ impl RegAllocation {
 
     /// Maximum register index in use plus one, per PE.
     pub fn pressure(&self, pe: usize) -> u8 {
-        self.pe(pe)
-            .iter()
-            .map(|&(_, r)| r + 1)
-            .max()
-            .unwrap_or(0)
+        self.pe(pe).iter().map(|&(_, r)| r + 1).max().unwrap_or(0)
     }
 }
 
@@ -175,7 +171,11 @@ pub struct RegAllocError {
 
 impl fmt::Display for RegAllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "register allocation failed on PE {}: {}", self.pe, self.failure)
+        write!(
+            f,
+            "register allocation failed on PE {}: {}",
+            self.pe, self.failure
+        )
     }
 }
 
@@ -198,13 +198,7 @@ pub fn allocate(
     for (pe, values) in per_pe.iter().enumerate() {
         let regs = allocate_pe(values, ii, num_regs, budget)
             .map_err(|failure| RegAllocError { pe, failure })?;
-        result.push(
-            values
-                .iter()
-                .zip(regs)
-                .map(|(v, r)| (v.id, r))
-                .collect(),
-        );
+        result.push(values.iter().zip(regs).map(|(v, r)| (v.id, r)).collect());
     }
     Ok(RegAllocation { per_pe: result })
 }
@@ -222,8 +216,16 @@ mod tests {
     fn disjoint_lifetimes_can_share_register() {
         // II=4: value A occupies cycles 1..2, value B occupies 3..4.
         let values = vec![
-            LiveValue { id: 0, write_time: 0, span: 1 },
-            LiveValue { id: 1, write_time: 2, span: 1 },
+            LiveValue {
+                id: 0,
+                write_time: 0,
+                span: 1,
+            },
+            LiveValue {
+                id: 1,
+                write_time: 2,
+                span: 1,
+            },
         ];
         let regs = allocate_pe(&values, 4, 1, 10_000).unwrap();
         assert_eq!(regs[0], regs[1], "one register suffices");
@@ -233,8 +235,16 @@ mod tests {
     fn full_wheel_values_conflict() {
         // Two values with span == II always interfere.
         let values = vec![
-            LiveValue { id: 0, write_time: 0, span: 3 },
-            LiveValue { id: 1, write_time: 1, span: 3 },
+            LiveValue {
+                id: 0,
+                write_time: 0,
+                span: 3,
+            },
+            LiveValue {
+                id: 1,
+                write_time: 1,
+                span: 3,
+            },
         ];
         assert_eq!(
             allocate_pe(&values, 3, 1, 10_000),
@@ -248,7 +258,11 @@ mod tests {
     fn pressure_equals_max_overlap_for_wheel() {
         // II = 4, four staggered full-span values need 4 registers.
         let values: Vec<LiveValue> = (0..4)
-            .map(|i| LiveValue { id: i, write_time: i, span: 4 })
+            .map(|i| LiveValue {
+                id: i,
+                write_time: i,
+                span: 4,
+            })
             .collect();
         assert!(allocate_pe(&values, 4, 3, 100_000).is_err());
         let regs = allocate_pe(&values, 4, 4, 100_000).unwrap();
@@ -260,12 +274,20 @@ mod tests {
 
     #[test]
     fn illegal_spans_rejected() {
-        let z = [LiveValue { id: 7, write_time: 0, span: 0 }];
+        let z = [LiveValue {
+            id: 7,
+            write_time: 0,
+            span: 0,
+        }];
         assert_eq!(
             allocate_pe(&z, 4, 4, 100),
             Err(PeAllocFailure::IllegalSpan { id: 7 })
         );
-        let too_long = [LiveValue { id: 9, write_time: 0, span: 5 }];
+        let too_long = [LiveValue {
+            id: 9,
+            write_time: 0,
+            span: 5,
+        }];
         assert_eq!(
             allocate_pe(&too_long, 4, 4, 100),
             Err(PeAllocFailure::IllegalSpan { id: 9 })
@@ -277,8 +299,16 @@ mod tests {
         // II=4: A written at cycle 3 with span 2 occupies cycles 0 and 1 of
         // the next revolution; B written at 0 spans cycle 1 -> conflict.
         let values = vec![
-            LiveValue { id: 0, write_time: 3, span: 2 },
-            LiveValue { id: 1, write_time: 0, span: 1 },
+            LiveValue {
+                id: 0,
+                write_time: 3,
+                span: 2,
+            },
+            LiveValue {
+                id: 1,
+                write_time: 0,
+                span: 1,
+            },
         ];
         let regs = allocate_pe(&values, 4, 2, 10_000).unwrap();
         assert_ne!(regs[0], regs[1]);
@@ -287,11 +317,23 @@ mod tests {
     #[test]
     fn whole_array_allocation_and_queries() {
         let per_pe = vec![
-            vec![LiveValue { id: 10, write_time: 0, span: 2 }],
+            vec![LiveValue {
+                id: 10,
+                write_time: 0,
+                span: 2,
+            }],
             vec![],
             vec![
-                LiveValue { id: 20, write_time: 0, span: 2 },
-                LiveValue { id: 21, write_time: 1, span: 2 },
+                LiveValue {
+                    id: 20,
+                    write_time: 0,
+                    span: 2,
+                },
+                LiveValue {
+                    id: 21,
+                    write_time: 1,
+                    span: 2,
+                },
             ],
         ];
         let alloc = allocate(&per_pe, 3, 4, 10_000).unwrap();
@@ -309,9 +351,21 @@ mod tests {
         let per_pe = vec![
             vec![],
             vec![
-                LiveValue { id: 0, write_time: 0, span: 2 },
-                LiveValue { id: 1, write_time: 0, span: 2 },
-                LiveValue { id: 2, write_time: 0, span: 2 },
+                LiveValue {
+                    id: 0,
+                    write_time: 0,
+                    span: 2,
+                },
+                LiveValue {
+                    id: 1,
+                    write_time: 0,
+                    span: 2,
+                },
+                LiveValue {
+                    id: 2,
+                    write_time: 0,
+                    span: 2,
+                },
             ],
         ];
         let err = allocate(&per_pe, 2, 2, 10_000).unwrap_err();

@@ -49,6 +49,7 @@ pub fn at_most_one_pairwise(formula: &mut CnfFormula, lits: &[Lit]) {
 /// Introduces `n-1` auxiliary variables `s_i` meaning "some literal among
 /// `l_0..=l_i` is true", with clauses:
 /// `¬l_i ∨ s_i`, `¬s_{i-1} ∨ s_i`, `¬l_i ∨ ¬s_{i-1}`.
+#[allow(clippy::needless_range_loop)] // the ladder recurrences read best indexed
 pub fn at_most_one_sequential(formula: &mut CnfFormula, lits: &[Lit]) {
     if lits.len() <= 1 {
         return;
@@ -56,7 +57,12 @@ pub fn at_most_one_sequential(formula: &mut CnfFormula, lits: &[Lit]) {
     let n = lits.len();
     // s[i] corresponds to prefix 0..=i, for i in 0..n-1.
     let first = formula.new_vars(n - 1);
-    let s = |i: usize| Lit::new(crate::types::Var::new(first.index() as u32 + i as u32), true);
+    let s = |i: usize| {
+        Lit::new(
+            crate::types::Var::new(first.index() as u32 + i as u32),
+            true,
+        )
+    };
     formula.add_clause(&[!lits[0], s(0)]);
     for i in 1..n - 1 {
         formula.add_clause(&[!lits[i], s(i)]);
@@ -103,6 +109,7 @@ pub fn implies_all(formula: &mut CnfFormula, trigger: Lit, lits: &[Lit]) {
 /// Adds a sequential-counter at-most-`k` constraint (Sinz 2005).
 ///
 /// For `k >= lits.len()` this is a no-op; `k == 0` forces all literals false.
+#[allow(clippy::needless_range_loop)] // the ladder recurrences read best indexed
 pub fn at_most_k(formula: &mut CnfFormula, lits: &[Lit], k: usize) {
     let n = lits.len();
     if k >= n {
@@ -189,7 +196,11 @@ mod tests {
 
     #[test]
     fn exactly_one_models() {
-        for encoding in [AmoEncoding::Pairwise, AmoEncoding::Sequential, AmoEncoding::Auto] {
+        for encoding in [
+            AmoEncoding::Pairwise,
+            AmoEncoding::Sequential,
+            AmoEncoding::Auto,
+        ] {
             for n in 1..6 {
                 let mut f = CnfFormula::new();
                 let lits = fresh(&mut f, n);
@@ -253,7 +264,10 @@ mod tests {
         let mut large = CnfFormula::new();
         let lits = fresh(&mut large, AUTO_PAIRWISE_MAX + 1);
         at_most_one(&mut large, &lits, AmoEncoding::Auto);
-        assert!(large.num_vars() > AUTO_PAIRWISE_MAX + 1, "aux vars expected");
+        assert!(
+            large.num_vars() > AUTO_PAIRWISE_MAX + 1,
+            "aux vars expected"
+        );
     }
 
     #[test]

@@ -25,9 +25,7 @@ impl ActivityHeap {
     }
 
     pub fn contains(&self, v: u32) -> bool {
-        self.pos
-            .get(v as usize)
-            .is_some_and(|&p| p != ABSENT)
+        self.pos.get(v as usize).is_some_and(|&p| p != ABSENT)
     }
 
     #[cfg_attr(not(test), allow(dead_code))]

@@ -50,5 +50,5 @@ mod types;
 
 pub use cnf::{CnfFormula, ParseDimacsError, ParseDimacsErrorKind};
 pub use luby::luby;
-pub use solver::{SolveLimits, SolveResult, Solver, SolverStats, StopReason};
+pub use solver::{SolveLimits, SolveResult, Solver, SolverOptions, SolverStats, StopReason};
 pub use types::{LBool, Lit, Var};

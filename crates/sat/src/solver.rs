@@ -12,13 +12,15 @@ use crate::heap::ActivityHeap;
 use crate::luby::luby;
 use crate::types::{LBool, Lit, Var};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const CLAUSE_NONE: u32 = u32::MAX;
 
 const VAR_ACT_DECAY: f64 = 1.0 / 0.95;
 const CLA_ACT_DECAY: f64 = 1.0 / 0.999;
-const RESTART_BASE: u64 = 100;
+const DEFAULT_RESTART_BASE: u64 = 100;
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
@@ -62,6 +64,12 @@ pub struct SolveLimits {
     pub max_conflicts: Option<u64>,
     /// Abort once `Instant::now()` passes this deadline.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation: abort as soon as the flag reads `true`.
+    /// Another thread may set it at any time (e.g. because a sibling in a
+    /// portfolio or II-race already produced an answer); the solver polls
+    /// it at every restart and at the same cadence as the deadline check,
+    /// so cancellation is observed within a few hundred conflicts.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl SolveLimits {
@@ -87,6 +95,32 @@ impl SolveLimits {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Limits with a cooperative stop flag (shared with other threads).
+    pub fn with_stop_flag(mut self, stop: Arc<AtomicBool>) -> SolveLimits {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// `true` once the stop flag has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    /// The first exceeded limit, if any (stop flag, then deadline).
+    fn exceeded(&self) -> Option<StopReason> {
+        if self.stop_requested() {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::Timeout);
+            }
+        }
+        None
+    }
 }
 
 /// Why a [`SolveResult::Unknown`] was returned.
@@ -96,6 +130,8 @@ pub enum StopReason {
     ConflictLimit,
     /// The wall-clock deadline passed.
     Timeout,
+    /// The cooperative stop flag was raised by another thread.
+    Cancelled,
 }
 
 /// Outcome of a solve call.
@@ -115,6 +151,28 @@ enum SearchOutcome {
     Unsat,
     Restart,
     Stop(StopReason),
+}
+
+/// Tunables that diversify solver behaviour without affecting soundness —
+/// the knobs a portfolio races (see `satmapit-engine`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Base of the Luby restart sequence, in conflicts (default 100).
+    /// Smaller values restart aggressively; larger ones search deeper.
+    pub restart_base: u64,
+    /// When set, initial phase polarity is drawn pseudo-randomly from this
+    /// seed instead of defaulting to `false`, steering the first descent
+    /// into a different part of the assignment space per seed.
+    pub phase_seed: Option<u64>,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            restart_base: DEFAULT_RESTART_BASE,
+            phase_seed: None,
+        }
+    }
 }
 
 /// The CDCL solver.
@@ -154,6 +212,8 @@ pub struct Solver {
     stats: SolverStats,
     next_reduce: u64,
     reduce_count: u64,
+    restart_base: u64,
+    phase_rng: Option<u64>,
 }
 
 impl Default for Solver {
@@ -187,12 +247,29 @@ impl Solver {
             stats: SolverStats::default(),
             next_reduce: 4000,
             reduce_count: 0,
+            restart_base: DEFAULT_RESTART_BASE,
+            phase_rng: None,
         }
+    }
+
+    /// Creates an empty solver with the given portfolio options.
+    pub fn with_options(options: &SolverOptions) -> Solver {
+        let mut solver = Solver::new();
+        solver.restart_base = options.restart_base.max(1);
+        // Only seed 0 is remapped (the xorshift zero fixed point); all
+        // other seeds stay distinct.
+        solver.phase_rng = options.phase_seed.map(|s| s.max(1));
+        solver
     }
 
     /// Creates a solver pre-loaded with `formula`.
     pub fn from_cnf(formula: &CnfFormula) -> Solver {
-        let mut solver = Solver::new();
+        Solver::from_cnf_with(formula, &SolverOptions::default())
+    }
+
+    /// Creates a solver pre-loaded with `formula` using the given options.
+    pub fn from_cnf_with(formula: &CnfFormula, options: &SolverOptions) -> Solver {
+        let mut solver = Solver::with_options(options);
         solver.ensure_vars(formula.num_vars());
         for clause in formula.iter() {
             solver.add_clause(clause);
@@ -203,8 +280,18 @@ impl Solver {
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var::new(self.assigns.len() as u32);
+        let phase = match &mut self.phase_rng {
+            Some(state) => {
+                // xorshift64: a stable pseudo-random initial polarity.
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                *state & 1 == 1
+            }
+            None => false,
+        };
         self.assigns.push(LBool::Undef);
-        self.polarity.push(false);
+        self.polarity.push(phase);
         self.activity.push(0.0);
         self.reason.push(CLAUSE_NONE);
         self.level.push(0);
@@ -322,11 +409,9 @@ impl Solver {
         let start_conflicts = self.stats.conflicts;
         let mut restarts = 0u64;
         loop {
-            if let Some(deadline) = limits.deadline {
-                if Instant::now() >= deadline {
-                    self.cancel_until(0);
-                    return SolveResult::Unknown(StopReason::Timeout);
-                }
+            if let Some(reason) = limits.exceeded() {
+                self.cancel_until(0);
+                return SolveResult::Unknown(reason);
             }
             if let Some(max) = limits.max_conflicts {
                 if self.stats.conflicts - start_conflicts >= max {
@@ -334,7 +419,7 @@ impl Solver {
                     return SolveResult::Unknown(StopReason::ConflictLimit);
                 }
             }
-            let budget = luby(restarts) * RESTART_BASE;
+            let budget = luby(restarts) * self.restart_base;
             let outcome = self.search(budget, assumptions, limits, start_conflicts);
             match outcome {
                 SearchOutcome::Sat => {
@@ -649,10 +734,7 @@ impl Solver {
         };
 
         // LBD: number of distinct decision levels in the clause.
-        let mut levels: Vec<u32> = learnt
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         let lbd = levels.len() as u32;
@@ -748,12 +830,7 @@ impl Solver {
     }
 
     fn extract_model(&mut self) {
-        self.model = Some(
-            self.assigns
-                .iter()
-                .map(|&a| a == LBool::True)
-                .collect(),
-        );
+        self.model = Some(self.assigns.iter().map(|&a| a == LBool::True).collect());
     }
 
     fn search(
@@ -798,11 +875,9 @@ impl Solver {
                 }
                 self.var_inc *= VAR_ACT_DECAY;
                 self.cla_inc *= CLA_ACT_DECAY;
-                if conflict_c % 256 == 0 {
-                    if let Some(deadline) = limits.deadline {
-                        if Instant::now() >= deadline {
-                            return SearchOutcome::Stop(StopReason::Timeout);
-                        }
+                if conflict_c.is_multiple_of(256) {
+                    if let Some(reason) = limits.exceeded() {
+                        return SearchOutcome::Stop(reason);
                     }
                 }
             } else {
@@ -845,6 +920,9 @@ impl Solver {
                     },
                 };
                 self.stats.decisions += 1;
+                if self.stats.decisions.is_multiple_of(1024) && limits.stop_requested() {
+                    return SearchOutcome::Stop(StopReason::Cancelled);
+                }
                 self.new_decision_level();
                 self.unchecked_enqueue(decision, CLAUSE_NONE);
             }
@@ -854,6 +932,8 @@ impl Solver {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // pigeonhole matrices read best indexed
+
     use super::*;
 
     fn lit(s: &mut Solver) -> Lit {
@@ -934,7 +1014,13 @@ mod tests {
     fn pigeonhole_unsat() {
         for holes in 2..=6 {
             let mut s = pigeonhole(holes);
-            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{})", holes + 1, holes);
+            assert_eq!(
+                s.solve(),
+                SolveResult::Unsat,
+                "PHP({},{})",
+                holes + 1,
+                holes
+            );
         }
     }
 
@@ -1002,6 +1088,7 @@ mod tests {
         let limits = SolveLimits {
             max_conflicts: None,
             deadline: Some(Instant::now()),
+            stop: None,
         };
         // The check happens every 256 conflicts, so this returns quickly.
         let r = s.solve_limited(&[], &limits);
@@ -1009,6 +1096,109 @@ mod tests {
             r,
             SolveResult::Unknown(StopReason::Timeout) | SolveResult::Unsat
         ));
+    }
+
+    #[test]
+    fn already_cancelled_flag_returns_without_searching() {
+        let mut s = pigeonhole(9);
+        let stop = Arc::new(AtomicBool::new(true));
+        let limits = SolveLimits::none().with_stop_flag(stop);
+        let r = s.solve_limited(&[], &limits);
+        assert_eq!(r, SolveResult::Unknown(StopReason::Cancelled));
+        assert_eq!(s.stats().decisions, 0, "no search may happen");
+        assert_eq!(s.stats().conflicts, 0);
+        // The solver remains usable once the flag is lowered.
+        let r = s.solve_limited(&[], &SolveLimits::none());
+        assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn parked_solver_observes_stop_flag_promptly() {
+        // PHP(12,11) takes far longer than the test budget; a cooperative
+        // cancel must pull the solver out of the search mid-flight.
+        let stop = Arc::new(AtomicBool::new(false));
+        let limits = SolveLimits::none().with_stop_flag(Arc::clone(&stop));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        let mut s = pigeonhole(11);
+        let t0 = Instant::now();
+        let r = s.solve_limited(&[], &limits);
+        handle.join().unwrap();
+        assert_eq!(r, SolveResult::Unknown(StopReason::Cancelled));
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "cancellation took {:?}",
+            t0.elapsed()
+        );
+        assert!(s.stats().conflicts > 0, "the solver was mid-search");
+    }
+
+    #[test]
+    fn cancelled_solver_stays_consistent() {
+        // Cancel, lower the flag, re-solve: the result must match a fresh
+        // solver's (learnt clauses are sound, so state carries over).
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut s = pigeonhole(6);
+        let limits = SolveLimits::none()
+            .with_stop_flag(Arc::clone(&stop))
+            .with_max_conflicts(40);
+        let r = s.solve_limited(&[], &limits);
+        assert_eq!(r, SolveResult::Unknown(StopReason::ConflictLimit));
+        stop.store(true, Ordering::Relaxed);
+        let r = s.solve_limited(&[], &limits);
+        assert_eq!(r, SolveResult::Unknown(StopReason::Cancelled));
+        stop.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn portfolio_options_do_not_change_answers() {
+        let mut sat_formula = crate::cnf::CnfFormula::new();
+        let lits: Vec<Lit> = (0..6).map(|_| sat_formula.new_var().positive()).collect();
+        for w in lits.windows(2) {
+            sat_formula.add_clause(&[!w[0], w[1]]);
+        }
+        sat_formula.add_clause(&[lits[0]]);
+        for (base, seed) in [(25u64, Some(1u64)), (400, Some(0xDEAD)), (100, None)] {
+            let options = SolverOptions {
+                restart_base: base,
+                phase_seed: seed,
+            };
+            let mut s = Solver::from_cnf_with(&sat_formula, &options);
+            assert_eq!(s.solve(), SolveResult::Sat, "base={base} seed={seed:?}");
+
+            let mut s2 = Solver::with_options(&options);
+            let l = s2.new_var().positive();
+            s2.add_clause(&[l]);
+            s2.add_clause(&[!l]);
+            assert_eq!(s2.solve(), SolveResult::Unsat, "base={base} seed={seed:?}");
+        }
+    }
+
+    #[test]
+    fn phase_seed_perturbs_first_model() {
+        // Unconstrained variables: default phase yields all-false; a seeded
+        // phase should flip at least one of 64 variables.
+        let mut plain = Solver::new();
+        let mut seeded = Solver::with_options(&SolverOptions {
+            restart_base: 100,
+            phase_seed: Some(0x5EED),
+        });
+        for _ in 0..64 {
+            let _ = plain.new_var();
+            let _ = seeded.new_var();
+        }
+        assert_eq!(plain.solve(), SolveResult::Sat);
+        assert_eq!(seeded.solve(), SolveResult::Sat);
+        let m0 = plain.model().unwrap().to_vec();
+        let m1 = seeded.model().unwrap().to_vec();
+        assert!(m0.iter().all(|&b| !b));
+        assert_ne!(m0, m1, "seeded phases should differ somewhere");
     }
 
     #[test]

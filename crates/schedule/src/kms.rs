@@ -153,17 +153,33 @@ mod tests {
         // (paper node, fold) pairs per kernel cycle.
         let expected: [&[(u32, u32)]; 3] = [
             // cycle 0: MS row0 (it0) + MS row3 (it1)
-            &[(1, 0), (2, 0), (3, 0), (4, 0), (2, 1), (8, 1), (10, 1), (11, 1)],
+            &[
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+                (2, 1),
+                (8, 1),
+                (10, 1),
+                (11, 1),
+            ],
             // cycle 1: MS row1 (it0) + MS row4 (it1)
-            &[(1, 0), (2, 0), (4, 0), (5, 0), (7, 0), (10, 0), (9, 1), (11, 1)],
+            &[
+                (1, 0),
+                (2, 0),
+                (4, 0),
+                (5, 0),
+                (7, 0),
+                (10, 0),
+                (9, 1),
+                (11, 1),
+            ],
             // cycle 2: MS row2 (it0)
             &[(1, 0), (2, 0), (6, 0), (7, 0), (10, 0), (11, 0)],
         ];
         for (c, exp) in expected.iter().enumerate() {
-            let mut want: Vec<(NodeId, u32)> = exp
-                .iter()
-                .map(|&(pn, f)| (NodeId(pn - 1), f))
-                .collect();
+            let mut want: Vec<(NodeId, u32)> =
+                exp.iter().map(|&(pn, f)| (NodeId(pn - 1), f)).collect();
             want.sort();
             let mut got = kms.row(c as u32);
             got.sort();

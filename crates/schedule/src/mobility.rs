@@ -178,10 +178,7 @@ mod tests {
         let ms = MobilitySchedule::compute(&dfg).unwrap();
         let rows = ms.rows();
         for n in dfg.node_ids() {
-            let occurrences = rows
-                .iter()
-                .filter(|row| row.contains(&n))
-                .count() as u32;
+            let occurrences = rows.iter().filter(|row| row.contains(&n)).count() as u32;
             assert_eq!(occurrences, ms.mobility(n) + 1);
         }
     }

@@ -91,6 +91,7 @@ struct PendingWrite {
 /// # Errors
 ///
 /// See [`SimError`].
+#[allow(clippy::needless_range_loop)] // PE/slot grids are indexed in lockstep
 pub fn simulate(
     dfg: &Dfg,
     cgra: &Cgra,
@@ -130,7 +131,7 @@ pub fn simulate(
                 continue;
             };
             let t_n = mapping.time(instr.node);
-            if t < t_n || (t - t_n) % ii != 0 {
+            if t < t_n || !(t - t_n).is_multiple_of(ii) {
                 continue;
             }
             let i = (t - t_n) / ii;
@@ -228,7 +229,15 @@ mod tests {
 
     fn run_mapped(dfg: &Dfg, cgra: &Cgra, memory: Vec<i64>, iterations: u32) -> SimResult {
         let mapped = map(dfg, cgra).result.expect("mappable");
-        simulate(dfg, cgra, &mapped.mapping, &mapped.registers, memory, iterations).unwrap()
+        simulate(
+            dfg,
+            cgra,
+            &mapped.mapping,
+            &mapped.registers,
+            memory,
+            iterations,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -286,8 +295,16 @@ mod tests {
             ii: 1,
             folds: 1,
             placements: vec![
-                Placement { pe: satmapit_cgra::PeId(0), cycle: 0, fold: 0 },
-                Placement { pe: satmapit_cgra::PeId(3), cycle: 0, fold: 0 },
+                Placement {
+                    pe: satmapit_cgra::PeId(0),
+                    cycle: 0,
+                    fold: 0,
+                },
+                Placement {
+                    pe: satmapit_cgra::PeId(3),
+                    cycle: 0,
+                    fold: 0,
+                },
             ],
             transfers: vec![TransferKind::NeighborOutput],
         };

@@ -138,6 +138,7 @@ mod tests {
     use satmapit_dfg::Op;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn verified_load_square_store() {
         let mut dfg = Dfg::new("square");
         let one = dfg.add_const(1);
@@ -194,7 +195,10 @@ mod tests {
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             verified += 1;
         }
-        assert!(verified >= 8, "expected most random DFGs to map, got {verified}");
+        assert!(
+            verified >= 8,
+            "expected most random DFGs to map, got {verified}"
+        );
     }
 
     #[test]

@@ -22,9 +22,7 @@ fn main() {
     println!(" -------------+---------------+---------------+----------------");
 
     for kernel in kernels::all() {
-        let sat = Mapper::new(&kernel.dfg, &cgra)
-            .with_timeout(timeout)
-            .run();
+        let sat = Mapper::new(&kernel.dfg, &cgra).with_timeout(timeout).run();
         let config = BaselineConfig {
             timeout: Some(timeout),
             ..BaselineConfig::default()

@@ -1,0 +1,83 @@
+//! Demonstrates the parallel mapping engine: the II-race against the
+//! sequential search, the solver portfolio, and the batch cache.
+//!
+//! ```sh
+//! cargo run --release --example engine_race
+//! ```
+
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::Mapper;
+use sat_mapit::engine::{map_raced, Engine, EngineConfig, Job};
+use sat_mapit::kernels;
+use std::time::Instant;
+
+fn main() {
+    // 1. One kernel, sequential vs raced: same best II, shared cores.
+    let kernel = kernels::by_name("hotspot").expect("suite kernel");
+    let cgra = Cgra::square(3);
+
+    let t0 = Instant::now();
+    let sequential = Mapper::new(&kernel.dfg, &cgra).run();
+    let t_seq = t0.elapsed();
+
+    let config = EngineConfig::default();
+    let t0 = Instant::now();
+    let raced = map_raced(&kernel.dfg, &cgra, &config);
+    let t_race = t0.elapsed();
+
+    println!(
+        "hotspot on 3x3: sequential II={:?} in {t_seq:.2?} | raced II={:?} in {t_race:.2?} \
+         ({} workers, {} attempts, {} cancelled)",
+        sequential.ii(),
+        raced.ii(),
+        raced.stats.workers,
+        raced.stats.tasks_started,
+        raced.stats.tasks_cancelled,
+    );
+    assert_eq!(
+        sequential.ii(),
+        raced.ii(),
+        "the race never changes the answer"
+    );
+
+    // 2. A portfolio race: three solver configurations per II.
+    let portfolio = EngineConfig {
+        portfolio: 3,
+        race_width: 2,
+        ..EngineConfig::default()
+    };
+    let t0 = Instant::now();
+    let ported = map_raced(&kernel.dfg, &cgra, &portfolio);
+    println!(
+        "portfolio(3) race: II={:?} in {:.2?} ({} attempts started)",
+        ported.ii(),
+        t0.elapsed(),
+        ported.stats.tasks_started,
+    );
+
+    // 3. Batch + cache: the whole suite on 3x3, submitted twice.
+    let engine = Engine::new(EngineConfig::default());
+    let jobs: Vec<Job> = kernels::all()
+        .into_iter()
+        .map(|k| Job::new(k.name().to_string(), k.dfg, Cgra::square(3)))
+        .collect();
+
+    let t0 = Instant::now();
+    let first = engine.map_batch(jobs.clone());
+    let cold = t0.elapsed();
+    let t0 = Instant::now();
+    let second = engine.map_batch(jobs);
+    let warm = t0.elapsed();
+
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.outcome.ii(), b.outcome.ii());
+        assert!(b.cached, "second submission must be cache-served");
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "batch of {} jobs: cold {cold:.2?}, warm {warm:.2?} | cache {} entries, {} hits",
+        first.len(),
+        stats.entries,
+        stats.hits,
+    );
+}

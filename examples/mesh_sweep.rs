@@ -14,10 +14,7 @@ use std::time::Duration;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "gsm".to_string());
-    let timeout: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let timeout: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
 
     let kernel = kernels::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown kernel `{name}`; available: {:?}", kernels::NAMES);

@@ -63,8 +63,5 @@ fn main() {
 
     // Fig. 2b: the staged modulo schedule for 2 iterations (as drawn).
     println!("Fig. 2b — prolog/kernel/epilog for 2 iterations:");
-    println!(
-        "{}",
-        codegen::render_stages(dfg, &mapped.mapping, 2)
-    );
+    println!("{}", codegen::render_stages(dfg, &mapped.mapping, 2));
 }

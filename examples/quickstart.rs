@@ -42,14 +42,17 @@ fn main() {
     // 4. Execute the mapped loop on the physical machine model and compare
     //    every value against the sequential reference interpreter.
     let iterations = 16;
-    let sim = verify_mapping(&kernel.dfg, &cgra, &mapped, kernel.memory.clone(), iterations)
-        .expect("mapped code must compute reference semantics");
+    let sim = verify_mapping(
+        &kernel.dfg,
+        &cgra,
+        &mapped,
+        kernel.memory.clone(),
+        iterations,
+    )
+    .expect("mapped code must compute reference semantics");
     println!(
         "verified {iterations} iterations in {} machine cycles",
         sim.cycles
     );
-    println!(
-        "first pseudo-random outputs: {:?}",
-        &sim.memory[64..64 + 6]
-    );
+    println!("first pseudo-random outputs: {:?}", &sim.memory[64..64 + 6]);
 }

@@ -3,33 +3,161 @@
 //! ```sh
 //! satmapit kernels                      # list the benchmark suite
 //! satmapit dot <kernel>                 # dump a kernel's DFG as Graphviz
-//! satmapit map <kernel> [--size N] [--timeout S] [--routing R]
-//!                                       # map, print the kernel program,
-//!                                       # verify by execution
-//! satmapit sweep <kernel> [--timeout S] # one Figure-6 column (2x2..5x5)
+//! satmapit map <kernel> [flags]         # map one kernel, verify by execution
+//! satmapit sweep <kernel> [flags]       # one Figure-6 column (2x2..5x5)
+//! satmapit batch [flags]                # the whole suite through the engine
 //! ```
+//!
+//! Run `satmapit <subcommand> --help` for per-subcommand flags. Unknown
+//! flags are an error, not silently ignored.
 
 use sat_mapit::cgra::Cgra;
 use sat_mapit::core::routing::map_with_routing;
 use sat_mapit::core::{codegen, Mapper, MapperConfig};
 use sat_mapit::dfg::dot::to_dot;
+use sat_mapit::engine::{Engine, EngineConfig, Job};
 use sat_mapit::kernels;
 use sat_mapit::schedule::{mii, rec_mii, res_mii};
 use sat_mapit::sim::verify_mapping;
 use std::process::exit;
 use std::time::Duration;
 
+const TOP_HELP: &str = "satmapit — SAT-based modulo-scheduling mapper for CGRAs
+
+USAGE:
+    satmapit <SUBCOMMAND> [ARGS]
+
+SUBCOMMANDS:
+    kernels    List the 11-kernel MiBench/Rodinia benchmark suite
+    dot        Dump a kernel's DFG as Graphviz
+    map        Map one kernel onto a square mesh and verify by execution
+    sweep      Map one kernel on every mesh size 2x2..5x5 (one Fig. 6 column)
+    batch      Map the whole suite across mesh sizes through the parallel engine
+
+Run `satmapit <SUBCOMMAND> --help` for that subcommand's flags.";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("kernels") => cmd_kernels(),
+        Some("kernels") => cmd_kernels(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("map") => cmd_map(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
-        _ => {
-            eprintln!("usage: satmapit <kernels|dot|map|sweep> [args]   (see --help in source)");
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => println!("{TOP_HELP}"),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{TOP_HELP}");
             exit(2);
         }
+        None => {
+            eprintln!("{TOP_HELP}");
+            exit(2);
+        }
+    }
+}
+
+/// One recognized flag: name, whether it takes a value, and help text.
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+    help: &'static str,
+}
+
+/// Parsed command line: positional arguments and flag values.
+struct Parsed {
+    positional: Vec<String>,
+    values: Vec<(&'static str, String)>,
+}
+
+impl Parsed {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{raw}` for {name}");
+                exit(2);
+            }),
+        }
+    }
+}
+
+/// Parses `args` against `spec`, printing `help` and exiting on `--help`,
+/// and erroring out on any unrecognized flag.
+fn parse_args(args: &[String], spec: &[FlagSpec], help: &str) -> Parsed {
+    let mut parsed = Parsed {
+        positional: Vec::new(),
+        values: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--help" || arg == "-h" {
+            println!("{help}");
+            exit(0);
+        }
+        if let Some(flag) = spec.iter().find(|f| f.name == arg) {
+            if flag.takes_value {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("flag {} expects a value", flag.name);
+                    exit(2);
+                };
+                parsed.values.push((flag.name, value.clone()));
+                i += 2;
+            } else {
+                parsed.values.push((flag.name, String::from("true")));
+                i += 1;
+            }
+            continue;
+        }
+        if arg.starts_with('-') {
+            let known: Vec<&str> = spec.iter().map(|f| f.name).collect();
+            eprintln!(
+                "unknown flag `{arg}`; recognized flags: {}",
+                if known.is_empty() {
+                    String::from("(none)")
+                } else {
+                    known.join(", ")
+                }
+            );
+            exit(2);
+        }
+        parsed.positional.push(arg.clone());
+        i += 1;
+    }
+    parsed
+}
+
+fn render_help(usage: &str, about: &str, spec: &[FlagSpec]) -> String {
+    let mut out = format!("{about}\n\nUSAGE:\n    {usage}\n");
+    if !spec.is_empty() {
+        out.push_str("\nFLAGS:\n");
+        for flag in spec {
+            let name = if flag.takes_value {
+                format!("{} <value>", flag.name)
+            } else {
+                flag.name.to_string()
+            };
+            out.push_str(&format!("    {name:<22} {}\n", flag.help));
+        }
+    }
+    out.push_str("    --help                 Print this help\n");
+    out
+}
+
+/// Rejects positional arguments beyond the `expected` count (mirrors the
+/// strict unknown-flag handling: surplus arguments are an error, not noise).
+fn reject_extra_positionals(parsed: &Parsed, expected: usize) {
+    if let Some(extra) = parsed.positional.get(expected) {
+        eprintln!("unexpected argument `{extra}`");
+        exit(2);
     }
 }
 
@@ -42,19 +170,22 @@ fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
         return kernels::paper_example();
     }
     kernels::by_name(name).unwrap_or_else(|| {
-        eprintln!("unknown kernel `{name}`; available: {:?} + paper-example", kernels::NAMES);
+        eprintln!(
+            "unknown kernel `{name}`; available: {:?} + paper-example",
+            kernels::NAMES
+        );
         exit(2);
     })
 }
 
-fn flag(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-fn cmd_kernels() {
+fn cmd_kernels(args: &[String]) {
+    let help = render_help(
+        "satmapit kernels",
+        "List the benchmark suite: name, size and description of each kernel.",
+        &[],
+    );
+    let parsed = parse_args(args, &[], &help);
+    reject_extra_positionals(&parsed, 0);
     println!("{:<14} {:>5} {:>5}  description", "name", "nodes", "edges");
     for k in kernels::all() {
         println!(
@@ -68,15 +199,50 @@ fn cmd_kernels() {
 }
 
 fn cmd_dot(args: &[String]) {
-    let kernel = kernel_or_exit(args.first());
+    let help = render_help(
+        "satmapit dot <kernel>",
+        "Dump a kernel's data-flow graph in Graphviz DOT format.",
+        &[],
+    );
+    let parsed = parse_args(args, &[], &help);
+    reject_extra_positionals(&parsed, 1);
+    let kernel = kernel_or_exit(parsed.positional.first());
     print!("{}", to_dot(&kernel.dfg));
 }
 
 fn cmd_map(args: &[String]) {
-    let kernel = kernel_or_exit(args.first());
-    let size = flag(args, "--size").unwrap_or(3) as u16;
-    let timeout = Duration::from_secs(flag(args, "--timeout").unwrap_or(60));
-    let routes = flag(args, "--routing").unwrap_or(0) as u32;
+    let spec = [
+        FlagSpec {
+            name: "--size",
+            takes_value: true,
+            help: "Mesh edge length N for an NxN CGRA (default 3)",
+        },
+        FlagSpec {
+            name: "--timeout",
+            takes_value: true,
+            help: "Wall-clock budget in seconds (default 60)",
+        },
+        FlagSpec {
+            name: "--routing",
+            takes_value: true,
+            help: "Allow up to this many routing (copy) nodes (default 0)",
+        },
+    ];
+    let help = render_help(
+        "satmapit map <kernel> [--size N] [--timeout S] [--routing R]",
+        "Map one kernel onto an NxN mesh, print the kernel program and verify\nthe mapping by executing it against reference semantics.",
+        &spec,
+    );
+    let parsed = parse_args(args, &spec, &help);
+    reject_extra_positionals(&parsed, 1);
+    let kernel = kernel_or_exit(parsed.positional.first());
+    let size: u16 = parsed.parse_num("--size", 3);
+    if size == 0 {
+        eprintln!("--size must be at least 1");
+        exit(2);
+    }
+    let timeout = Duration::from_secs(parsed.parse_num("--timeout", 60u64));
+    let routes: u32 = parsed.parse_num("--routing", 0);
     let cgra = Cgra::square(size);
     let config = MapperConfig {
         timeout: Some(timeout),
@@ -112,7 +278,10 @@ fn cmd_map(args: &[String]) {
             println!("\n{program}");
             println!("utilization: {:.0}%", program.utilization() * 100.0);
             match verify_mapping(&dfg, &cgra, &mapped, kernel.memory.clone(), 8) {
-                Ok(sim) => println!("verified 8 iterations by execution ({} cycles) ✓", sim.cycles),
+                Ok(sim) => println!(
+                    "verified 8 iterations by execution ({} cycles) ✓",
+                    sim.cycles
+                ),
                 Err(e) => {
                     eprintln!("VERIFICATION FAILED: {e}");
                     exit(1);
@@ -127,21 +296,190 @@ fn cmd_map(args: &[String]) {
 }
 
 fn cmd_sweep(args: &[String]) {
-    let kernel = kernel_or_exit(args.first());
-    let timeout = Duration::from_secs(flag(args, "--timeout").unwrap_or(60));
+    let spec = [FlagSpec {
+        name: "--timeout",
+        takes_value: true,
+        help: "Wall-clock budget in seconds per mesh size (default 60)",
+    }];
+    let help = render_help(
+        "satmapit sweep <kernel> [--timeout S]",
+        "Map one kernel on every mesh size 2x2..5x5 — one column of the\npaper's Figure 6.",
+        &spec,
+    );
+    let parsed = parse_args(args, &spec, &help);
+    reject_extra_positionals(&parsed, 1);
+    let kernel = kernel_or_exit(parsed.positional.first());
+    let timeout = Duration::from_secs(parsed.parse_num("--timeout", 60u64));
     println!(" size | MII | II  | time");
     for n in 2..=5u16 {
         let cgra = Cgra::square(n);
-        let outcome = Mapper::new(&kernel.dfg, &cgra)
-            .with_timeout(timeout)
-            .run();
+        let outcome = Mapper::new(&kernel.dfg, &cgra).with_timeout(timeout).run();
         match outcome.ii() {
             Some(ii) => println!(
                 " {n}x{n}  | {:>3} | {ii:>3} | {:?}",
                 mii(&kernel.dfg, &cgra),
                 outcome.elapsed
             ),
-            None => println!(" {n}x{n}  | {:>3} |  ✕  | {:?}", mii(&kernel.dfg, &cgra), outcome.elapsed),
+            None => println!(
+                " {n}x{n}  | {:>3} |  ✕  | {:?}",
+                mii(&kernel.dfg, &cgra),
+                outcome.elapsed
+            ),
         }
+    }
+}
+
+fn cmd_batch(args: &[String]) {
+    let spec = [
+        FlagSpec {
+            name: "--sizes",
+            takes_value: true,
+            help: "Comma-separated mesh edge lengths (default 3,4,5)",
+        },
+        FlagSpec {
+            name: "--kernels",
+            takes_value: true,
+            help: "Comma-separated kernel subset (default: all 11)",
+        },
+        FlagSpec {
+            name: "--timeout",
+            takes_value: true,
+            help: "Wall-clock budget in seconds per job (default 120)",
+        },
+        FlagSpec {
+            name: "--workers",
+            takes_value: true,
+            help: "Worker threads (default 0 = one per hardware thread)",
+        },
+        FlagSpec {
+            name: "--race",
+            takes_value: true,
+            help: "IIs raced concurrently per job (default 4)",
+        },
+        FlagSpec {
+            name: "--portfolio",
+            takes_value: true,
+            help: "Solver-portfolio variants per II (default 1)",
+        },
+        FlagSpec {
+            name: "--repeat",
+            takes_value: true,
+            help: "Submit the batch this many times (exercises the cache; default 1)",
+        },
+    ];
+    let help = render_help(
+        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--repeat R]",
+        "Map the benchmark suite across mesh sizes through the parallel\nII-race engine, with content-hash result caching.",
+        &spec,
+    );
+    let parsed = parse_args(args, &spec, &help);
+    reject_extra_positionals(&parsed, 0);
+
+    let sizes: Vec<u16> = parsed
+        .value("--sizes")
+        .unwrap_or("3,4,5")
+        .split(',')
+        .map(|s| {
+            let size: u16 = s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("invalid mesh size `{s}` in --sizes");
+                exit(2);
+            });
+            if size == 0 {
+                eprintln!("mesh sizes must be at least 1 (got `{s}`)");
+                exit(2);
+            }
+            size
+        })
+        .collect();
+    let kernel_names: Vec<String> = match parsed.value("--kernels") {
+        None => kernels::NAMES.iter().map(|s| s.to_string()).collect(),
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+    };
+    let timeout = Duration::from_secs(parsed.parse_num("--timeout", 120u64));
+    let repeat: usize = parsed.parse_num("--repeat", 1usize).max(1);
+
+    let config = EngineConfig {
+        mapper: MapperConfig {
+            timeout: Some(timeout),
+            ..MapperConfig::default()
+        },
+        race_width: parsed.parse_num("--race", 4usize).max(1),
+        portfolio: parsed.parse_num("--portfolio", 1usize).max(1),
+        workers: parsed.parse_num("--workers", 0usize),
+    };
+
+    let mut jobs = Vec::new();
+    for name in &kernel_names {
+        let kernel = kernel_or_exit(Some(name));
+        for &size in &sizes {
+            jobs.push(Job::new(
+                format!("{name}@{size}x{size}"),
+                kernel.dfg.clone(),
+                Cgra::square(size),
+            ));
+        }
+    }
+
+    let engine = Engine::new(config);
+    println!(
+        "batch: {} jobs ({} kernels x {} sizes), {} worker threads, race width {}, portfolio {}",
+        jobs.len(),
+        kernel_names.len(),
+        sizes.len(),
+        engine.config().effective_workers(),
+        engine.config().race_width,
+        engine.config().portfolio,
+    );
+
+    let mut any_failed = false;
+    for round in 0..repeat {
+        if repeat > 1 {
+            println!("--- round {} ---", round + 1);
+        }
+        let t0 = std::time::Instant::now();
+        let items = engine.map_batch(jobs.clone());
+        let wall = t0.elapsed();
+        println!(
+            "{:<28} {:>4} {:>4} {:>10} {:>7} {:>7}",
+            "job", "MII", "II", "time", "cached", "cancel"
+        );
+        let mut failures = 0usize;
+        for item in &items {
+            let ii = match item.outcome.ii() {
+                Some(ii) => ii.to_string(),
+                None => {
+                    failures += 1;
+                    "✕".to_string()
+                }
+            };
+            let mii_s = item
+                .outcome
+                .outcome
+                .result
+                .as_ref()
+                .map(|m| m.mii.to_string())
+                .unwrap_or_else(|_| "-".to_string());
+            println!(
+                "{:<28} {:>4} {:>4} {:>10.3?} {:>7} {:>7}",
+                item.name,
+                mii_s,
+                ii,
+                item.elapsed,
+                if item.cached { "yes" } else { "no" },
+                item.outcome.stats.tasks_cancelled,
+            );
+        }
+        let stats = engine.cache_stats();
+        println!(
+            "round wall-clock {wall:.3?} | cache: {} entries, {} hits, {} misses",
+            stats.entries, stats.hits, stats.misses
+        );
+        if failures > 0 {
+            eprintln!("{failures} job(s) failed to map");
+            any_failed = true;
+        }
+    }
+    if any_failed {
+        exit(1);
     }
 }

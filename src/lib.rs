@@ -18,9 +18,22 @@
 //! | [`schedule`] | `satmapit-schedule` | ASAP/ALAP, mobility schedule, KMS, MII |
 //! | [`regalloc`] | `satmapit-regalloc` | per-PE cyclic-interval register allocation |
 //! | [`core`] | `satmapit-core` | the SAT-MapIt mapper itself |
+//! | [`engine`] | `satmapit-engine` | parallel II-race + portfolio engine, batch frontend, result cache |
 //! | [`sim`] | `satmapit-sim` | physical simulator + equivalence checking |
 //! | [`baselines`] | `satmapit-baselines` | RAMP-like and PathSeeker-like mappers |
 //! | [`kernels`] | `satmapit-kernels` | the 11 MiBench/Rodinia benchmark DFGs |
+//!
+//! ## Parallel mapping
+//!
+//! The [`engine`] crate races candidate IIs (and, optionally, a portfolio
+//! of solver configurations per II) across a worker pool, with losing
+//! workers cancelled cooperatively. Its knobs are the race width (IIs in
+//! flight), the portfolio size (solver variants per II) and the worker
+//! count; with the default exact configuration it is guaranteed to return
+//! the **same best II** as the sequential [`core::Mapper::run`] search.
+//! Batch workloads go through [`engine::Engine`], which memoizes results
+//! in a content-hash-keyed cache — repeated requests are O(1) and
+//! byte-identical. The `satmapit batch` CLI subcommand fronts it.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +60,7 @@ pub use satmapit_baselines as baselines;
 pub use satmapit_cgra as cgra;
 pub use satmapit_core as core;
 pub use satmapit_dfg as dfg;
+pub use satmapit_engine as engine;
 pub use satmapit_graphs as graphs;
 pub use satmapit_kernels as kernels;
 pub use satmapit_regalloc as regalloc;

@@ -6,13 +6,13 @@
 
 use sat_mapit::baselines::{BaselineConfig, PathSeekerMapper, RampMapper};
 use sat_mapit::cgra::Cgra;
+use sat_mapit::core::Mapping;
 use sat_mapit::core::{validate_mapping, Mapper};
+use sat_mapit::dfg::interp::interpret;
+use sat_mapit::dfg::Dfg;
 use sat_mapit::kernels;
 use sat_mapit::regalloc::RegAllocation;
 use sat_mapit::sim::simulate;
-use sat_mapit::core::Mapping;
-use sat_mapit::dfg::interp::interpret;
-use sat_mapit::dfg::Dfg;
 use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(60);
@@ -55,7 +55,13 @@ fn sat_never_loses_to_pathseeker_on_3x3() {
         }
         if let Ok(m) = ps.result {
             assert!(validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok());
-            check_executes(&m.dfg, &cgra, &m.mapping, &m.registers, kernel.memory.clone());
+            check_executes(
+                &m.dfg,
+                &cgra,
+                &m.mapping,
+                &m.registers,
+                kernel.memory.clone(),
+            );
         }
     }
 }
@@ -83,7 +89,13 @@ fn sat_never_loses_to_unrouted_ramp_on_3x3() {
                 }
             }
             assert!(validate_mapping(&m.dfg, &cgra, &m.mapping).is_ok());
-            check_executes(&m.dfg, &cgra, &m.mapping, &m.registers, kernel.memory.clone());
+            check_executes(
+                &m.dfg,
+                &cgra,
+                &m.mapping,
+                &m.registers,
+                kernel.memory.clone(),
+            );
         }
     }
 }
@@ -113,7 +125,13 @@ fn routed_ramp_mappings_preserve_original_node_semantics() {
             );
         }
     }
-    check_executes(&mapped.dfg, &cgra, &mapped.mapping, &mapped.registers, vec![0; 8]);
+    check_executes(
+        &mapped.dfg,
+        &cgra,
+        &mapped.mapping,
+        &mapped.registers,
+        vec![0; 8],
+    );
 }
 
 #[test]
@@ -124,8 +142,12 @@ fn baselines_handle_timeouts_gracefully() {
         timeout: Some(Duration::from_millis(1)),
         ..BaselineConfig::default()
     };
-    let ramp = RampMapper::new(&kernel.dfg, &cgra).with_config(config.clone()).run();
-    let ps = PathSeekerMapper::new(&kernel.dfg, &cgra).with_config(config).run();
+    let ramp = RampMapper::new(&kernel.dfg, &cgra)
+        .with_config(config.clone())
+        .run();
+    let ps = PathSeekerMapper::new(&kernel.dfg, &cgra)
+        .with_config(config)
+        .run();
     assert!(ramp.result.is_err());
     assert!(ps.result.is_err());
 }

@@ -1,0 +1,119 @@
+//! Engine/sequential agreement: for every kernel in the suite that maps
+//! on a 4x4 mesh, the parallel engine must return the same best II as the
+//! sequential mapper, and the result cache must return a byte-identical
+//! mapping on the second lookup.
+
+use sat_mapit::cgra::Cgra;
+use sat_mapit::core::{validate_mapping, Mapper};
+use sat_mapit::engine::{map_raced, Engine, EngineConfig, Job};
+use sat_mapit::kernels;
+use sat_mapit::sim::verify_mapping;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config_with_timeout() -> EngineConfig {
+    EngineConfig {
+        mapper: sat_mapit::core::MapperConfig {
+            timeout: Some(Duration::from_secs(120)),
+            ..sat_mapit::core::MapperConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn engine_matches_sequential_on_4x4_for_every_kernel() {
+    let cgra = Cgra::square(4);
+    let config = config_with_timeout();
+    for kernel in kernels::all() {
+        let sequential = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(config.mapper.clone())
+            .run();
+        let raced = map_raced(&kernel.dfg, &cgra, &config);
+        let seq_ii = sequential
+            .ii()
+            .unwrap_or_else(|| panic!("{} should map sequentially on 4x4", kernel.name()));
+        assert_eq!(
+            raced.ii(),
+            Some(seq_ii),
+            "{}: engine best II must equal the sequential mapper's",
+            kernel.name()
+        );
+        // The engine's winning mapping is independently valid and executes
+        // to the same values as the reference semantics.
+        let mapped = raced.outcome.result.expect("mapped above");
+        assert!(validate_mapping(&kernel.dfg, &cgra, &mapped.mapping).is_ok());
+        verify_mapping(&kernel.dfg, &cgra, &mapped, kernel.memory.clone(), 4)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    }
+}
+
+#[test]
+fn engine_portfolio_matches_sequential_on_small_kernels() {
+    let cgra = Cgra::square(4);
+    let mut config = config_with_timeout();
+    config.portfolio = 3;
+    config.race_width = 2;
+    for name in ["srand", "basicmath", "gsm", "nw"] {
+        let kernel = kernels::by_name(name).unwrap();
+        let sequential = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(config.mapper.clone())
+            .run();
+        let raced = map_raced(&kernel.dfg, &cgra, &config);
+        assert_eq!(raced.ii(), sequential.ii(), "{name}");
+    }
+}
+
+#[test]
+fn cache_returns_byte_identical_mapping_on_second_lookup() {
+    let cgra = Cgra::square(4);
+    let engine = Engine::new(config_with_timeout());
+    for name in ["srand", "sha", "hotspot"] {
+        let kernel = kernels::by_name(name).unwrap();
+        let (first, cached_first) = engine.map(&kernel.dfg, &cgra);
+        let (second, cached_second) = engine.map(&kernel.dfg, &cgra);
+        assert!(!cached_first, "{name}: first lookup must solve");
+        assert!(cached_second, "{name}: second lookup must hit the cache");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "{name}: cache must return the same allocation"
+        );
+        // Byte-identical down to the rendered representation.
+        let a = format!("{:?}", first.outcome.result);
+        let b = format!("{:?}", second.outcome.result);
+        assert_eq!(a, b, "{name}");
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 3);
+    assert_eq!(stats.hits, 3);
+    assert_eq!(stats.misses, 3);
+}
+
+#[test]
+fn batch_frontend_maps_the_suite_across_three_mesh_sizes() {
+    // The acceptance scenario behind `satmapit batch`: the full suite
+    // across 3x3, 4x4 and 5x5 through the engine, every job mapping.
+    let engine = Engine::new(config_with_timeout());
+    let mut jobs = Vec::new();
+    for kernel in kernels::all() {
+        for size in [3u16, 4, 5] {
+            jobs.push(Job::new(
+                format!("{}@{size}x{size}", kernel.name()),
+                kernel.dfg.clone(),
+                Cgra::square(size),
+            ));
+        }
+    }
+    let expected = jobs.len();
+    let items = engine.map_batch(jobs);
+    assert_eq!(items.len(), expected);
+    for item in &items {
+        assert!(
+            item.outcome.ii().is_some(),
+            "{} failed: {:?}",
+            item.name,
+            item.outcome.outcome.result
+        );
+    }
+    assert_eq!(engine.cache_stats().entries, expected, "all jobs distinct");
+}

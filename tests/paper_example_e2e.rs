@@ -83,5 +83,8 @@ fn larger_arrays_reach_lower_ii() {
         assert!(ii <= last, "II must not grow with array size");
         last = ii;
     }
-    assert!(last <= 2, "plenty of room on 4x4 (accumulator allows II>=1)");
+    assert!(
+        last <= 2,
+        "plenty of room on 4x4 (accumulator allows II>=1)"
+    );
 }

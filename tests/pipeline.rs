@@ -39,7 +39,11 @@ fn all_kernels_map_and_verify_on_4x4() {
     let cgra = Cgra::square(4);
     for kernel in kernels::all() {
         let ii = map_and_verify(&kernel, &cgra);
-        assert!(ii <= 16, "{}: II={ii} suspiciously high on 4x4", kernel.name());
+        assert!(
+            ii <= 16,
+            "{}: II={ii} suspiciously high on 4x4",
+            kernel.name()
+        );
     }
 }
 
@@ -76,16 +80,16 @@ fn sat_ii_is_minimal_for_its_window_model_on_srand() {
     assert!(!attempts.is_empty());
     for a in &attempts[..attempts.len() - 1] {
         assert!(
-            matches!(a.outcome, AttemptOutcome::Unsat | AttemptOutcome::RegAllocFailed(_)),
+            matches!(
+                a.outcome,
+                AttemptOutcome::Unsat | AttemptOutcome::RegAllocFailed(_)
+            ),
             "intermediate II {} must not map: {:?}",
             a.ii,
             a.outcome
         );
     }
-    assert_eq!(
-        attempts.last().unwrap().outcome,
-        AttemptOutcome::Mapped
-    );
+    assert_eq!(attempts.last().unwrap().outcome, AttemptOutcome::Mapped);
 }
 
 #[test]

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `serde` is unavailable. The workspace derives `Serialize`/`Deserialize`
+//! on its data types for downstream consumers but never serializes inside
+//! this repository, so marker traits and no-op derives are sufficient.
+//! Swapping in the real `serde` is a one-line change in the workspace
+//! manifest and requires no source edits.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `serde_derive` (and its `syn`/`quote` dependency tree) is unavailable.
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on plain-old-data types — nothing serializes at runtime — so these
+//! derives simply expand to nothing. Swapping in the real `serde` is a
+//! one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
