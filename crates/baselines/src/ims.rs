@@ -326,7 +326,7 @@ mod tests {
     fn chain_schedules_at_mii() {
         let dfg = chain(6);
         let cgra = Cgra::square(2);
-        let ii = mii(&dfg, &cgra);
+        let ii = mii(&dfg, &cgra).unwrap();
         let times = modulo_schedule(&dfg, &cgra, ii, Priority::Height, 20).unwrap();
         assert!(schedule_is_legal(&dfg, &cgra, &times, ii));
         for w in times.windows(2) {
@@ -367,7 +367,7 @@ mod tests {
     fn all_kernels_schedule_somewhere() {
         for k in satmapit_kernels::all() {
             let cgra = Cgra::square(4);
-            let start = mii(&k.dfg, &cgra);
+            let start = mii(&k.dfg, &cgra).unwrap();
             let mut scheduled = false;
             for ii in start..start + 12 {
                 if let Some(times) = modulo_schedule(&k.dfg, &cgra, ii, Priority::Height, 50) {

@@ -68,7 +68,9 @@ impl<'a> PathSeekerMapper<'a> {
                 schedules_tried,
             };
         }
-        let start = mii(self.dfg, self.cgra);
+        // An unmappable signal (no memory-capable PE) skips the loop
+        // entirely and falls through to the II-cap failure.
+        let start = mii(self.dfg, self.cgra).unwrap_or(self.config.max_ii.saturating_add(1));
 
         for ii in start..=self.config.max_ii {
             for run in 0..self.config.attempts_per_ii {

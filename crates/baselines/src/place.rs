@@ -280,7 +280,7 @@ mod tests {
         dfg.add_edge(b, d, 0);
         dfg.add_edge(c, d, 1);
         let cgra = Cgra::square(2);
-        let ii = mii(&dfg, &cgra);
+        let ii = mii(&dfg, &cgra).unwrap();
         let times = modulo_schedule(&dfg, &cgra, ii, Priority::Height, 30).unwrap();
         let pes = place(&dfg, &cgra, &times, ii, &PlaceConfig::default()).unwrap();
         let mapping = to_mapping(&dfg, &times, &pes, ii);

@@ -72,6 +72,18 @@ pub enum MemoryPolicy {
     /// Only column 0 PEs may access memory (a common CGRA restriction,
     /// provided for architecture exploration).
     LeftColumn,
+    /// No PE may access memory: a pure compute fabric (streaming
+    /// accelerators that receive operands over the interconnect). Any DFG
+    /// containing loads or stores is structurally unmappable on such an
+    /// array, which the `res_mii`-style lower bounds report as an explicit
+    /// "unmappable" signal rather than dividing by zero.
+    None,
+    /// Loads on column 0, stores on the last column (separate read and
+    /// write ports on opposite edges of the array). On meshes at least
+    /// three columns wide a direct load→store dependency is PE-level
+    /// infeasible at *every* II — the case the incremental mapper's
+    /// UNSAT-core analysis proves from a single solve.
+    SplitLoadStore,
 }
 
 /// A CGRA instance: mesh geometry, topology, per-PE register count and
@@ -224,6 +236,30 @@ impl Cgra {
         a == b || self.neighbors(a).contains(&b)
     }
 
+    /// Dense adjacency matrix (row-major, excluding self):
+    /// `matrix[a.index() * num_pes + b.index()]` is `true` iff `b` is a
+    /// neighbour of `a`. The shared precomputation for the encoder's C3
+    /// pair enumeration and the incremental ladder's PE-level prefix —
+    /// one definition keeps the two formulations in sync.
+    pub fn adjacency_matrix(&self) -> Vec<bool> {
+        let n = self.num_pes();
+        let mut matrix = vec![false; n * n];
+        for p in self.pes() {
+            for q in self.neighbors(p) {
+                matrix[p.index() * n + q.index()] = true;
+            }
+        }
+        matrix
+    }
+
+    /// The PEs able to execute `op`, in PE-id order (memory-policy
+    /// filtered). Empty means `op` is structurally unmappable. This is
+    /// the single definition of each node's placement domain, shared by
+    /// the per-II variable space (`VarMap`) and the II-invariant prefix.
+    pub fn supported_pes(&self, op: Op) -> Vec<PeId> {
+        self.pes().filter(|&p| self.supports_op(p, op)).collect()
+    }
+
     /// Manhattan distance between two PEs (ignoring torus wrap).
     pub fn manhattan(&self, a: PeId, b: PeId) -> u32 {
         let (ar, ac) = self.coords(a);
@@ -240,6 +276,15 @@ impl Cgra {
         match self.memory_policy {
             MemoryPolicy::AllPes => true,
             MemoryPolicy::LeftColumn => self.coords(pe).1 == 0,
+            MemoryPolicy::None => false,
+            MemoryPolicy::SplitLoadStore => {
+                let col = self.coords(pe).1;
+                if matches!(op, Op::Load) {
+                    col == 0
+                } else {
+                    col == self.cols - 1
+                }
+            }
         }
     }
 
@@ -248,6 +293,11 @@ impl Cgra {
         match self.memory_policy {
             MemoryPolicy::AllPes => self.num_pes(),
             MemoryPolicy::LeftColumn => usize::from(self.rows),
+            MemoryPolicy::None => 0,
+            MemoryPolicy::SplitLoadStore => {
+                // Load and store columns coincide on single-column arrays.
+                usize::from(self.rows) * if self.cols > 1 { 2 } else { 1 }
+            }
         }
     }
 }
@@ -356,6 +406,30 @@ mod tests {
         assert!(!left.supports_op(left.pe_at(0, 1), Op::Store));
         assert!(left.supports_op(left.pe_at(0, 1), Op::Add), "non-memory ok");
         assert_eq!(left.num_memory_pes(), 3);
+    }
+
+    #[test]
+    fn memory_policy_none_and_split() {
+        let none = Cgra::square(2).with_memory_policy(MemoryPolicy::None);
+        assert_eq!(none.num_memory_pes(), 0);
+        for pe in none.pes() {
+            assert!(!none.supports_op(pe, Op::Load));
+            assert!(!none.supports_op(pe, Op::Store));
+            assert!(none.supports_op(pe, Op::Add));
+        }
+
+        let split = Cgra::new(2, 3).with_memory_policy(MemoryPolicy::SplitLoadStore);
+        assert_eq!(split.num_memory_pes(), 4, "2 load PEs + 2 store PEs");
+        assert!(split.supports_op(split.pe_at(0, 0), Op::Load));
+        assert!(!split.supports_op(split.pe_at(0, 0), Op::Store));
+        assert!(split.supports_op(split.pe_at(1, 2), Op::Store));
+        assert!(!split.supports_op(split.pe_at(1, 2), Op::Load));
+        assert!(!split.supports_op(split.pe_at(0, 1), Op::Load));
+
+        let column = Cgra::new(3, 1).with_memory_policy(MemoryPolicy::SplitLoadStore);
+        assert_eq!(column.num_memory_pes(), 3, "load and store columns merge");
+        assert!(column.supports_op(column.pe_at(0, 0), Op::Load));
+        assert!(column.supports_op(column.pe_at(0, 0), Op::Store));
     }
 
     #[test]

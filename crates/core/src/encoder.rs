@@ -264,12 +264,7 @@ pub fn encode_with_options(
 
     // Adjacency matrix (excluding self).
     let num_pes = cgra.num_pes();
-    let mut adjacent = vec![false; num_pes * num_pes];
-    for p in cgra.pes() {
-        for q in cgra.neighbors(p) {
-            adjacent[p.index() * num_pes + q.index()] = true;
-        }
-    }
+    let adjacent = cgra.adjacency_matrix();
 
     // C1: exactly one placement per node.
     for n in dfg.node_ids() {
@@ -441,7 +436,7 @@ mod tests {
         dfg.add_edge(b, c, 0);
         let cgra = Cgra::square(2);
         let start = mii(&dfg, &cgra);
-        assert_eq!(start, 1);
+        assert_eq!(start, Some(1));
         assert_eq!(solve_at(&dfg, &cgra, 1), SolveResult::Sat);
     }
 

@@ -1,0 +1,504 @@
+//! Incremental solving of the II ladder.
+//!
+//! The paper's loop (Fig. 3) re-encodes and re-solves the whole KMS
+//! formula from scratch at every candidate II, discarding everything the
+//! solver learned about *why* the previous II failed. This module keeps
+//! one live [`Solver`] across the ladder instead:
+//!
+//! * an **II-invariant prefix** is installed once, as permanent clauses:
+//!   one `on(n, p)` variable per node × allowed PE, exactly-one per node,
+//!   and PE-level adjacency implications per dependency (`src` and `dst`
+//!   must sit on the same or neighbouring PEs at *every* II). These
+//!   clauses — and any learned clause derived from them alone — stay
+//!   valid for the whole ladder;
+//! * each candidate II contributes a **gated delta**: the full per-II
+//!   encoding (C1–C4, plus any register-allocation cuts) lives in an
+//!   assumption-gated clause group ([`Solver::new_group`]) that is
+//!   activated only for that rung's solves and retired once the rung is
+//!   answered — its clauses and every learned clause that depended on
+//!   them are swept, and its variables are masked out of branching
+//!   ([`Solver::set_decision_var`]);
+//! * an **UNSAT core** that does not mention the rung's activation
+//!   literal proves the contradiction lives in the prefix alone — every
+//!   II is infeasible, and the remaining rungs are skipped without
+//!   solving ([`AttemptReport::proven_unmappable`]).
+//!
+//! Because the prefix shares no variables with any per-II delta, its
+//! verdict is a per-session constant; [`crate::Mapper::prepare`]
+//! pre-solves it once so that one-shot [`PreparedMapper::attempt_ii`]
+//! calls — and the parallel II-race in `satmapit-engine`, whose rungs
+//! solve concurrently and cannot share one solver — get the
+//! unmappability signal without carrying any of the gated machinery.
+//!
+//! Soundness: the prefix only states facts true of every valid mapping at
+//! every II (each node executes on exactly one PE; dependent nodes are
+//! same-or-adjacent), so adding it never changes satisfiability at any
+//! II. The clause-group soundness argument (learnt clauses derived from a
+//! group always carry its negated activation literal) lives in the
+//! `satmapit-sat` module docs. The deltas are deliberately *not*
+//! channelled to the prefix variables — every channeling variant measured
+//! slower across the 11-kernel suite than letting the prefix act purely
+//! through top-level propagation and core analysis; see `attempt_gated`.
+
+use crate::encoder::{EncodeError, EncodeStats};
+use crate::mapper::{
+    AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MappedLoop, PreparedMapper,
+};
+use crate::{decode_model, validate_mapping};
+use satmapit_cgra::{Cgra, PeId};
+use satmapit_dfg::Dfg;
+use satmapit_sat::encode::{exactly_one, AmoEncoding};
+use satmapit_sat::{
+    CnfFormula, Lit, SolveLimits, SolveResult, Solver, SolverStats, StopReason, Var,
+};
+use satmapit_schedule::Kms;
+use std::time::Instant;
+
+/// The installed II-invariant prefix: the per-node allowed-PE lists
+/// (identical, by construction, to the ones every per-II
+/// [`crate::VarMap`] computes). The `on(n, p)` variables themselves live
+/// only inside the solver — the per-II deltas never reference them (see
+/// `attempt_gated` on why channeling lost its ablation).
+#[derive(Debug)]
+pub(crate) struct PePrefix {
+    /// Per node, the PEs that may execute it (memory-policy filtered),
+    /// in the same order as `VarMap::allowed_pes`.
+    allowed: Vec<Vec<PeId>>,
+}
+
+/// Installs the II-invariant PE-level prefix into `solver` (permanent,
+/// ungated clauses) and returns the variable table.
+///
+/// # Errors
+///
+/// Fails with [`EncodeError::NoPeForOp`] when some node has no PE able to
+/// execute it — the same structural condition every per-II encode reports.
+pub(crate) fn install_prefix(
+    solver: &mut Solver,
+    dfg: &Dfg,
+    cgra: &Cgra,
+) -> Result<PePrefix, EncodeError> {
+    let base = solver.num_vars() as u32;
+    let mut formula = CnfFormula::new();
+    let mut offsets = Vec::with_capacity(dfg.num_nodes());
+    let mut allowed: Vec<Vec<PeId>> = Vec::with_capacity(dfg.num_nodes());
+    for n in dfg.node_ids() {
+        let pes = cgra.supported_pes(dfg.node(n).op);
+        if pes.is_empty() {
+            return Err(EncodeError::NoPeForOp { node: n });
+        }
+        offsets.push(formula.num_vars() as u32);
+        let _ = formula.new_vars(pes.len());
+        allowed.push(pes);
+    }
+    // Formula-local literal (offset applied when copying into solver).
+    let on =
+        |node: usize, pe_idx: usize| -> Lit { Var::new(offsets[node] + pe_idx as u32).positive() };
+
+    // Every node executes on exactly one PE (true at every II).
+    for n in dfg.node_ids() {
+        let lits: Vec<Lit> = (0..allowed[n.index()].len())
+            .map(|j| on(n.index(), j))
+            .collect();
+        exactly_one(&mut formula, &lits, AmoEncoding::Auto);
+    }
+
+    // Every dependency is a same-PE register transfer or a neighbour
+    // output-register transfer, at every II: on(s, p) → ⋁ on(d, q) over
+    // q ∈ {p} ∪ N(p), and symmetrically for the consumer side.
+    let num_pes = cgra.num_pes();
+    let adjacent = cgra.adjacency_matrix();
+    let reach = |a: PeId, b: PeId| a == b || adjacent[a.index() * num_pes + b.index()];
+    for (_eid, edge) in dfg.edges() {
+        if edge.src == edge.dst {
+            continue; // trivially same PE
+        }
+        for (here, there) in [(edge.src, edge.dst), (edge.dst, edge.src)] {
+            for (j, &p) in allowed[here.index()].iter().enumerate() {
+                let mut clause = vec![!on(here.index(), j)];
+                for (k, &q) in allowed[there.index()].iter().enumerate() {
+                    if reach(p, q) {
+                        clause.push(on(there.index(), k));
+                    }
+                }
+                formula.add_clause(&clause);
+            }
+        }
+    }
+
+    solver.ensure_vars(base as usize + formula.num_vars());
+    let mut shifted: Vec<Lit> = Vec::new();
+    for clause in formula.iter() {
+        shifted.clear();
+        shifted.extend(clause.iter().map(|l| offset_lit(*l, base)));
+        solver.add_clause(&shifted);
+    }
+    // Prefix variables are propagation-only: the per-II deltas are not
+    // channelled to them (see `attempt_gated`), so branching on them
+    // could only wander through placement-irrelevant assignments.
+    for v in base..solver.num_vars() as u32 {
+        solver.set_decision_var(Var::new(v), false);
+    }
+    Ok(PePrefix { allowed })
+}
+
+fn offset_lit(l: Lit, base: u32) -> Lit {
+    Lit::new(Var::new(l.var().index() as u32 + base), l.is_positive())
+}
+
+/// One gated rung: the attempt's result plus the activation literal of
+/// the clause group it used and the variable block it allocated. The
+/// handle is returned even when the attempt itself failed (timeout,
+/// internal error), so the persistent caller can always retire the group
+/// and mask the dead variables out of future branching — an abandoned
+/// rung must not leak its encoding into later solves.
+pub(crate) struct GatedAttempt {
+    pub(crate) result: Result<AttemptReport, MapFailure>,
+    pub(crate) gate: Lit,
+    pub(crate) delta_vars: std::ops::Range<u32>,
+}
+
+fn stats_delta(now: &SolverStats, before: &SolverStats) -> SolverStats {
+    SolverStats {
+        decisions: now.decisions - before.decisions,
+        propagations: now.propagations - before.propagations,
+        conflicts: now.conflicts - before.conflicts,
+        restarts: now.restarts - before.restarts,
+        // Gauges / whole-solver counters stay absolute.
+        learnt_clauses: now.learnt_clauses,
+        removed_clauses: now.removed_clauses,
+        added_clauses: now.added_clauses,
+    }
+}
+
+/// Attempts candidate `ii` on `solver` using the gated formulation: the
+/// per-II encoding is appended as a fresh clause group, solved under its
+/// activation literal, and register-allocation cuts are added to the same
+/// group. The group is *not* retired here — the caller ([`IiLadder`])
+/// retires it once the rung is settled, success or failure.
+///
+/// # Errors
+///
+/// `Err` is only returned for failures *before* the clause group exists
+/// (a structural encoding failure); everything after that — including
+/// [`MapFailure::Timeout`] — lands in [`GatedAttempt::result`] so the
+/// group handle is never lost.
+pub(crate) fn attempt_gated(
+    prepared: &PreparedMapper<'_>,
+    solver: &mut Solver,
+    prefix: &PePrefix,
+    ii: u32,
+    limits: &SolveLimits,
+) -> Result<GatedAttempt, MapFailure> {
+    let t_ii = Instant::now();
+    let config = &prepared.config;
+    let kms = Kms::build_with_slack(&prepared.ms, ii, config.slack.slack(ii));
+    let options = crate::encoder::EncodeOptions {
+        amo: config.amo,
+        register_pressure: config.register_pressure,
+    };
+    let enc = crate::encoder::encode_with_options(prepared.dfg, prepared.cgra, &kms, options)
+        .map_err(MapFailure::Structural)?;
+
+    let base = solver.num_vars() as u32;
+    solver.ensure_vars(base as usize + enc.formula.num_vars());
+    let gate = solver.new_group();
+    let delta_vars = base..solver.num_vars() as u32;
+    let mut shifted: Vec<Lit> = Vec::new();
+    for clause in enc.formula.iter() {
+        shifted.clear();
+        shifted.extend(clause.iter().map(|l| offset_lit(*l, base)));
+        solver.add_clause_in_group(gate, &shifted);
+    }
+    // The delta is deliberately NOT channelled to the prefix `on`
+    // variables: an ablation across the 11-kernel suite showed every
+    // channeling variant (x → on binaries, the abstraction-direction
+    // on → ⋁x form, decidable or propagation-only prefix) slows the
+    // per-rung search down — the prefix's accumulated VSIDS activity and
+    // the extra clauses perturb the placement search far more than the
+    // PE-level pruning returns. The prefix still earns its keep through
+    // the failed-assumption-core analysis: when it is contradictory on
+    // its own (install-time propagation finds this), every rung's solve
+    // returns `Unsat` with an empty core and the ladder stops.
+    debug_assert!(prepared
+        .dfg
+        .node_ids()
+        .all(|n| enc.varmap.allowed_pes(n) == &prefix.allowed[n.index()][..]));
+
+    let result = solve_rung(prepared, solver, &enc, &kms, gate, base, limits, t_ii);
+    Ok(GatedAttempt {
+        result,
+        gate,
+        delta_vars,
+    })
+}
+
+/// The solve / decode / register-allocate loop of one gated rung.
+#[allow(clippy::too_many_arguments)] // internal plumbing of one rung
+fn solve_rung(
+    prepared: &PreparedMapper<'_>,
+    solver: &mut Solver,
+    enc: &crate::encoder::Encoded,
+    kms: &Kms,
+    gate: Lit,
+    base: u32,
+    limits: &SolveLimits,
+    t_ii: Instant,
+) -> Result<AttemptReport, MapFailure> {
+    let config = &prepared.config;
+    let ii = kms.ii();
+    let mut shifted: Vec<Lit> = Vec::new();
+    let stats_before = solver.stats().clone();
+    let make_attempt = |outcome: AttemptOutcome,
+                        solver_stats: Option<SolverStats>,
+                        cuts: u32,
+                        encode_stats: EncodeStats| IiAttempt {
+        ii,
+        encode_stats,
+        outcome,
+        solver_stats,
+        ra_cuts: cuts,
+        elapsed: t_ii.elapsed(),
+    };
+
+    let mut cuts = 0u32;
+    let mut last_ra_error = None;
+    loop {
+        let solve_result = solver.solve_limited(&[gate], limits);
+        match solve_result {
+            SolveResult::Sat => {
+                let model = solver.model().expect("SAT result has a model");
+                let delta_model = &model[base as usize..];
+                let mapping = decode_model(prepared.dfg, kms, &enc.varmap, delta_model)
+                    .map_err(|e| MapFailure::Internal(e.to_string()))?;
+                if let Err(violations) = validate_mapping(prepared.dfg, prepared.cgra, &mapping) {
+                    return Err(MapFailure::Internal(format!(
+                        "decoded mapping failed validation: {violations:?}"
+                    )));
+                }
+                match crate::regs::allocate_registers(
+                    prepared.dfg,
+                    prepared.cgra,
+                    &mapping,
+                    config.regalloc_budget,
+                ) {
+                    Ok(registers) => {
+                        let stats = stats_delta(solver.stats(), &stats_before);
+                        return Ok(AttemptReport {
+                            attempt: make_attempt(
+                                AttemptOutcome::Mapped,
+                                Some(stats),
+                                cuts,
+                                enc.stats.clone(),
+                            ),
+                            mapped: Some(MappedLoop {
+                                mapping,
+                                registers,
+                                mii: prepared.mii,
+                            }),
+                            proven_unmappable: false,
+                        });
+                    }
+                    Err(e) if cuts < config.ra_cuts => {
+                        let delta_model = delta_model.to_vec();
+                        let cut = prepared.ra_cut_clause(&enc.varmap, &delta_model, &mapping, e.pe);
+                        debug_assert!(!cut.is_empty());
+                        shifted.clear();
+                        shifted.extend(cut.iter().map(|l| offset_lit(*l, base)));
+                        solver.add_clause_in_group(gate, &shifted);
+                        cuts += 1;
+                        last_ra_error = Some(e);
+                        continue;
+                    }
+                    Err(e) => {
+                        let stats = stats_delta(solver.stats(), &stats_before);
+                        return Ok(AttemptReport {
+                            attempt: make_attempt(
+                                AttemptOutcome::RegAllocFailed(e),
+                                Some(stats),
+                                cuts,
+                                enc.stats.clone(),
+                            ),
+                            mapped: None,
+                            proven_unmappable: false,
+                        });
+                    }
+                }
+            }
+            SolveResult::Unsat => {
+                // An empty failed-assumption core means the contradiction
+                // does not involve this rung's clause group: the permanent
+                // prefix is already unsatisfiable, so *no* II can map.
+                let proven_unmappable = solver.final_conflict().is_empty();
+                let outcome = match last_ra_error {
+                    Some(e) if cuts > 0 => AttemptOutcome::RegAllocFailed(e),
+                    _ => AttemptOutcome::Unsat,
+                };
+                let stats = stats_delta(solver.stats(), &stats_before);
+                return Ok(AttemptReport {
+                    attempt: make_attempt(outcome, Some(stats), cuts, enc.stats.clone()),
+                    mapped: None,
+                    proven_unmappable,
+                });
+            }
+            SolveResult::Unknown(StopReason::Timeout) => {
+                return Err(MapFailure::Timeout { at_ii: ii });
+            }
+            SolveResult::Unknown(reason @ (StopReason::ConflictLimit | StopReason::Cancelled)) => {
+                let stats = stats_delta(solver.stats(), &stats_before);
+                return Ok(AttemptReport {
+                    attempt: make_attempt(
+                        AttemptOutcome::SolverBudget(reason),
+                        Some(stats),
+                        cuts,
+                        enc.stats.clone(),
+                    ),
+                    mapped: None,
+                    proven_unmappable: false,
+                });
+            }
+        }
+    }
+}
+
+/// An incremental II ladder: one live solver answers every candidate II
+/// of a [`PreparedMapper`] session in sequence, carrying learned clauses
+/// across rungs and retiring each rung's clause group once it is settled.
+///
+/// Obtained from [`PreparedMapper::ladder`]; used automatically by
+/// [`crate::Mapper::run`] when [`crate::MapperConfig::incremental`] is set
+/// (the default).
+///
+/// ```
+/// use satmapit_cgra::Cgra;
+/// use satmapit_core::Mapper;
+/// use satmapit_dfg::{Dfg, Op};
+/// use satmapit_sat::SolveLimits;
+///
+/// let mut dfg = Dfg::new("rec");
+/// let a = dfg.add_node(Op::Neg);
+/// let b = dfg.add_node(Op::Neg);
+/// dfg.add_edge(a, b, 0);
+/// dfg.add_back_edge(b, a, 0, 1, 0);
+///
+/// let cgra = Cgra::square(1);
+/// let mapper = Mapper::new(&dfg, &cgra);
+/// let prepared = mapper.prepare().unwrap();
+/// let mut ladder = prepared.ladder().unwrap();
+/// // II=1 is infeasible (2 nodes, 1 PE); II=2 maps.
+/// let r1 = ladder.attempt_ii(1, &SolveLimits::none()).unwrap();
+/// assert!(r1.mapped.is_none());
+/// let r2 = ladder.attempt_ii(2, &SolveLimits::none()).unwrap();
+/// assert!(r2.mapped.is_some());
+/// assert_eq!(ladder.proven_lower_bound(), 2);
+/// ```
+#[derive(Debug)]
+pub struct IiLadder<'p, 'a> {
+    prepared: &'p PreparedMapper<'a>,
+    solver: Solver,
+    prefix: PePrefix,
+    unmappable: bool,
+    proven_lower_bound: u32,
+}
+
+impl<'p, 'a> IiLadder<'p, 'a> {
+    pub(crate) fn open(prepared: &'p PreparedMapper<'a>) -> Result<IiLadder<'p, 'a>, EncodeError> {
+        let mut solver = Solver::with_options(&prepared.config.solver);
+        let prefix = install_prefix(&mut solver, prepared.dfg, prepared.cgra)?;
+        let solver_ok = solver.is_ok();
+        Ok(IiLadder {
+            prepared,
+            solver,
+            prefix,
+            // A contradictory prefix is known before any rung runs (the
+            // install above, or the one in `prepare`, already hit it).
+            unmappable: !solver_ok,
+            proven_lower_bound: prepared.start_ii(),
+        })
+    }
+
+    /// `true` once some rung's UNSAT core avoided its clause group: every
+    /// candidate II is infeasible and further attempts are pointless (they
+    /// return synthetic `Unsat` reports without solving).
+    pub fn proven_unmappable(&self) -> bool {
+        self.unmappable
+    }
+
+    /// The smallest candidate II not yet *proven* infeasible by this
+    /// ladder: rungs below it were answered `Unsat` contiguously from the
+    /// session's start II. [`u32::MAX`] once the whole ladder is proven
+    /// unmappable.
+    pub fn proven_lower_bound(&self) -> u32 {
+        if self.unmappable {
+            u32::MAX
+        } else {
+            self.proven_lower_bound
+        }
+    }
+
+    /// Attempts one candidate II on the shared solver. Same contract as
+    /// [`PreparedMapper::attempt_ii`], plus: the rung's clause group is
+    /// retired after any definitive or budget outcome, and a prefix-only
+    /// UNSAT core marks the whole ladder unmappable.
+    pub fn attempt_ii(
+        &mut self,
+        ii: u32,
+        limits: &SolveLimits,
+    ) -> Result<AttemptReport, MapFailure> {
+        let config = &self.prepared.config;
+        if ii == 0 || ii > config.max_ii {
+            return Err(MapFailure::InvalidIi {
+                ii,
+                max_ii: config.max_ii,
+            });
+        }
+        let t_ii = Instant::now();
+        if self.unmappable {
+            // Already proven at an earlier rung; answer without solving.
+            return Ok(AttemptReport {
+                attempt: IiAttempt {
+                    ii,
+                    encode_stats: EncodeStats::default(),
+                    outcome: AttemptOutcome::Unsat,
+                    solver_stats: None,
+                    ra_cuts: 0,
+                    elapsed: t_ii.elapsed(),
+                },
+                mapped: None,
+                proven_unmappable: true,
+            });
+        }
+        if limits.stop_requested() {
+            return Ok(AttemptReport {
+                attempt: IiAttempt {
+                    ii,
+                    encode_stats: EncodeStats::default(),
+                    outcome: AttemptOutcome::SolverBudget(StopReason::Cancelled),
+                    solver_stats: None,
+                    ra_cuts: 0,
+                    elapsed: t_ii.elapsed(),
+                },
+                mapped: None,
+                proven_unmappable: false,
+            });
+        }
+        let gated = attempt_gated(self.prepared, &mut self.solver, &self.prefix, ii, limits)?;
+        // Retire the rung whatever its result — an abandoned rung
+        // (timeout, internal failure) must not leak its encoding into
+        // later solves. Its variables are dead weight now (every clause
+        // over them is retired); mask them out of branching so later
+        // rungs do not waste thousands of decisions enumerating them.
+        self.solver.retire_group(gated.gate);
+        for v in gated.delta_vars.clone() {
+            self.solver
+                .set_decision_var(satmapit_sat::Var::new(v), false);
+        }
+        let report = gated.result?;
+        if report.proven_unmappable {
+            self.unmappable = true;
+        } else if report.attempt.outcome == AttemptOutcome::Unsat && ii == self.proven_lower_bound {
+            self.proven_lower_bound = ii + 1;
+        }
+        Ok(report)
+    }
+}

@@ -57,6 +57,7 @@
 pub mod codegen;
 mod decode;
 pub mod encoder;
+pub mod ladder;
 mod mapper;
 mod mapping;
 mod regs;
@@ -65,6 +66,7 @@ mod validate;
 mod varmap;
 
 pub use decode::{decode_model, DecodeError};
+pub use ladder::IiLadder;
 pub use mapper::{
     map, AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper,
     MapperConfig, PreparedMapper, SlackPolicy,

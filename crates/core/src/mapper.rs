@@ -32,11 +32,15 @@ pub enum SlackPolicy {
 
 impl SlackPolicy {
     /// The slack in cycles for a candidate `ii`.
+    ///
+    /// `ii == 0` is not a meaningful candidate; `FullWheel` saturates to 0
+    /// there instead of underflowing (callers reject II = 0 before any
+    /// KMS is built — see [`PreparedMapper::attempt_ii`]).
     pub fn slack(self, ii: u32) -> u32 {
         match self {
             SlackPolicy::Zero => 0,
             SlackPolicy::Fixed(s) => s,
-            SlackPolicy::FullWheel => ii - 1,
+            SlackPolicy::FullWheel => ii.saturating_sub(1),
         }
     }
 }
@@ -75,6 +79,21 @@ pub struct MapperConfig {
     /// the canonical solver; `satmapit-engine` races variations of these
     /// in its portfolio mode.
     pub solver: SolverOptions,
+    /// Solve the II ladder incrementally (the default): every attempt
+    /// carries an II-invariant PE-level prefix whose learned clauses and
+    /// UNSAT cores transfer across candidate IIs, the sequential search
+    /// keeps one live solver for the whole ladder (see
+    /// [`PreparedMapper::ladder`]), and an UNSAT core that does not touch
+    /// the per-II clause group proves the loop unmappable at *every* II,
+    /// letting the remaining rungs be skipped without solving. `false`
+    /// reproduces the paper's scratch loop exactly: each II re-encodes and
+    /// re-solves from nothing. Whenever the search is complete — no
+    /// [`MapperConfig::max_conflicts_per_ii`] budget and no exhausted
+    /// register-allocation retry loop — both modes return the same best
+    /// II (pinned by `tests/engine_agreement.rs`). Under giveup budgets
+    /// the two modes may abandon different rungs, exactly as two
+    /// differently-seeded scratch runs may.
+    pub incremental: bool,
 }
 
 impl Default for MapperConfig {
@@ -90,6 +109,7 @@ impl Default for MapperConfig {
             ra_cuts: 200,
             register_pressure: true,
             solver: SolverOptions::default(),
+            incremental: true,
         }
     }
 }
@@ -141,6 +161,16 @@ pub enum MapFailure {
         /// The configured cap.
         cap: u32,
     },
+    /// A candidate II outside the valid range was requested (0, or above
+    /// the configured cap). The iterative drivers never produce this; it
+    /// guards direct [`PreparedMapper::attempt_ii`] callers against the
+    /// `II - 1` underflow a zero II would otherwise hit.
+    InvalidIi {
+        /// The rejected candidate.
+        ii: u32,
+        /// The configured cap it must not exceed.
+        max_ii: u32,
+    },
     /// Internal consistency failure: the decoded mapping did not validate
     /// (indicates an encoder bug; never expected).
     Internal(String),
@@ -153,6 +183,9 @@ impl fmt::Display for MapFailure {
             MapFailure::Structural(e) => write!(f, "structurally unmappable: {e}"),
             MapFailure::Timeout { at_ii } => write!(f, "timeout while attempting II={at_ii}"),
             MapFailure::IiCapReached { cap } => write!(f, "no mapping up to II cap {cap}"),
+            MapFailure::InvalidIi { ii, max_ii } => {
+                write!(f, "candidate II {ii} outside the valid range 1..={max_ii}")
+            }
             MapFailure::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -249,13 +282,23 @@ impl<'a> Mapper<'a> {
     pub fn prepare(&self) -> Result<PreparedMapper<'a>, MapFailure> {
         self.dfg.validate().map_err(MapFailure::InvalidDfg)?;
         let ms = MobilitySchedule::compute(self.dfg).expect("validated above");
-        let mii_v = mii(self.dfg, self.cgra);
+        let Some(mii_v) = mii(self.dfg, self.cgra) else {
+            // Memory operations with zero memory-capable PEs: the same
+            // structural condition the encoder reports per node.
+            let node = self
+                .dfg
+                .node_ids()
+                .find(|&n| self.dfg.node(n).op.is_memory())
+                .expect("res_mii is only None when memory ops exist");
+            return Err(MapFailure::Structural(EncodeError::NoPeForOp { node }));
+        };
         Ok(PreparedMapper {
             dfg: self.dfg,
             cgra: self.cgra,
             config: self.config.clone(),
             ms,
             mii: mii_v,
+            prefix_unsat: std::sync::OnceLock::new(),
         })
     }
 
@@ -276,6 +319,24 @@ impl<'a> Mapper<'a> {
             }
         };
 
+        // Incremental mode keeps one live solver for the whole ladder:
+        // learned clauses carry across candidate IIs and an UNSAT core
+        // confined to the II-invariant prefix ends the search immediately.
+        let mut ladder = if self.config.incremental {
+            match prepared.ladder() {
+                Ok(l) => Some(l),
+                Err(e) => {
+                    return MapOutcome {
+                        result: Err(e),
+                        attempts,
+                        elapsed: t0.elapsed(),
+                    };
+                }
+            }
+        } else {
+            None
+        };
+
         let mut ii = prepared.start_ii();
         while ii <= self.config.max_ii {
             if let Some(dl) = deadline {
@@ -294,7 +355,11 @@ impl<'a> Mapper<'a> {
             if let Some(c) = self.config.max_conflicts_per_ii {
                 limits = limits.with_max_conflicts(c);
             }
-            match prepared.attempt_ii(ii, &limits) {
+            let attempt_result = match &mut ladder {
+                Some(ladder) => ladder.attempt_ii(ii, &limits),
+                None => prepared.attempt_ii(ii, &limits),
+            };
+            match attempt_result {
                 Err(e) => {
                     return MapOutcome {
                         result: Err(e),
@@ -304,10 +369,23 @@ impl<'a> Mapper<'a> {
                 }
                 Ok(report) => {
                     let mapped = report.mapped;
+                    let unmappable = report.proven_unmappable;
                     attempts.push(report.attempt);
                     if let Some(m) = mapped {
                         return MapOutcome {
                             result: Ok(m),
+                            attempts,
+                            elapsed: t0.elapsed(),
+                        };
+                    }
+                    if unmappable {
+                        // The UNSAT core avoided the per-II group: no II
+                        // can map. Skip the remaining rungs; the answer is
+                        // exactly what the scratch ladder would grind out.
+                        return MapOutcome {
+                            result: Err(MapFailure::IiCapReached {
+                                cap: self.config.max_ii,
+                            }),
                             attempts,
                             elapsed: t0.elapsed(),
                         };
@@ -333,6 +411,13 @@ pub struct AttemptReport {
     pub attempt: IiAttempt,
     /// The mapping, present iff `attempt.outcome == AttemptOutcome::Mapped`.
     pub mapped: Option<MappedLoop>,
+    /// `true` when the UNSAT core of this attempt did not touch the per-II
+    /// clause group: the contradiction lives entirely in the II-invariant
+    /// PE-level prefix, so **every** candidate II is infeasible and the
+    /// remaining ladder rungs can be skipped without solving. Only the
+    /// incremental formulation ([`MapperConfig::incremental`]) can set
+    /// this; the scratch path always reports `false`.
+    pub proven_unmappable: bool,
 }
 
 impl AttemptReport {
@@ -371,17 +456,39 @@ impl AttemptReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PreparedMapper<'a> {
-    dfg: &'a Dfg,
-    cgra: &'a Cgra,
-    config: MapperConfig,
-    ms: MobilitySchedule,
-    mii: u32,
+    pub(crate) dfg: &'a Dfg,
+    pub(crate) cgra: &'a Cgra,
+    pub(crate) config: MapperConfig,
+    pub(crate) ms: MobilitySchedule,
+    pub(crate) mii: u32,
+    /// The lazily pre-solved verdict of the II-invariant PE-level prefix
+    /// (queried under incremental mode only): `true` means no II can map.
+    /// Lazy so the sequential ladder — which installs the prefix in its
+    /// own live solver anyway — never pays for a second build; the
+    /// one-shot race path probes it once and shares the cached verdict
+    /// with every cloned portfolio variant.
+    pub(crate) prefix_unsat: std::sync::OnceLock<bool>,
 }
 
 impl<'a> PreparedMapper<'a> {
     /// The MII lower bound (`max(ResMII, RecMII)`).
     pub fn mii(&self) -> u32 {
         self.mii
+    }
+
+    /// `true` when the loop is proven unmappable at *every* II: the
+    /// II-invariant PE-level prefix is contradictory. Computed on first
+    /// use (and only under [`MapperConfig::incremental`] — the paper's
+    /// scratch loop must grind the ladder itself); it shares no variables
+    /// with any per-II delta, so the verdict is a per-session constant.
+    /// Drivers can skip the whole ladder.
+    pub fn proven_unmappable(&self) -> bool {
+        self.config.incremental
+            && *self.prefix_unsat.get_or_init(|| {
+                let mut probe = Solver::new();
+                crate::ladder::install_prefix(&mut probe, self.dfg, self.cgra).is_ok()
+                    && !probe.is_ok()
+            })
     }
 
     /// The first II the search considers (configured start or MII).
@@ -401,16 +508,50 @@ impl<'a> PreparedMapper<'a> {
         self
     }
 
+    /// Opens an incremental II ladder over this session: one live solver
+    /// answers every candidate II, carrying learned clauses (and the
+    /// II-invariant PE-level prefix) across rungs. See
+    /// [`crate::ladder::IiLadder`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MapFailure::Structural`] when some node has no PE able
+    /// to execute it (the same condition every per-II encode would hit).
+    pub fn ladder(&self) -> Result<crate::ladder::IiLadder<'_, 'a>, MapFailure> {
+        crate::ladder::IiLadder::open(self).map_err(MapFailure::Structural)
+    }
+
     /// Attempts one candidate II: encode, solve (with register-allocation
     /// cuts), decode, validate, allocate registers.
     ///
-    /// Terminal conditions become `Err`: a structural encoding failure, an
-    /// internal consistency failure, or the wall-clock deadline in `limits`
-    /// expiring ([`MapFailure::Timeout`]). Everything else — including a
-    /// cooperative cancellation via `limits.stop`, reported as
+    /// Candidate IIs must lie in `1..=max_ii`; anything else is rejected
+    /// with [`MapFailure::InvalidIi`] (II = 0 has no kernel and used to
+    /// underflow the `FullWheel` slack computation).
+    ///
+    /// Terminal conditions become `Err`: an out-of-range II, a structural
+    /// encoding failure, an internal consistency failure, or the
+    /// wall-clock deadline in `limits` expiring ([`MapFailure::Timeout`]).
+    /// Everything else — including a cooperative cancellation via
+    /// `limits.stop`, reported as
     /// `AttemptOutcome::SolverBudget(StopReason::Cancelled)` — is an `Ok`
     /// report.
+    ///
+    /// Under [`MapperConfig::incremental`] (the default), preparation
+    /// pre-solved the II-invariant PE-level prefix of [`crate::ladder`];
+    /// if it is contradictory, the attempt answers `Unsat` with
+    /// [`AttemptReport::proven_unmappable`] set *without building a
+    /// formula* — every II is infeasible. (The prefix shares no variables
+    /// with any per-II encoding, so per-attempt core analysis could never
+    /// say more than this precomputed verdict; the persistent
+    /// [`PreparedMapper::ladder`] derives the same fact through its
+    /// failed-assumption cores.)
     pub fn attempt_ii(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
+        if ii == 0 || ii > self.config.max_ii {
+            return Err(MapFailure::InvalidIi {
+                ii,
+                max_ii: self.config.max_ii,
+            });
+        }
         let t_ii = Instant::now();
         // An already-raised stop flag makes the whole attempt moot; bail
         // before paying for the KMS fold and the CNF encoding (the solver
@@ -426,6 +567,21 @@ impl<'a> PreparedMapper<'a> {
                     elapsed: t_ii.elapsed(),
                 },
                 mapped: None,
+                proven_unmappable: false,
+            });
+        }
+        if self.proven_unmappable() {
+            return Ok(AttemptReport {
+                attempt: IiAttempt {
+                    ii,
+                    encode_stats: EncodeStats::default(),
+                    outcome: AttemptOutcome::Unsat,
+                    solver_stats: None,
+                    ra_cuts: 0,
+                    elapsed: t_ii.elapsed(),
+                },
+                mapped: None,
+                proven_unmappable: true,
             });
         }
         let kms = Kms::build_with_slack(&self.ms, ii, self.config.slack.slack(ii));
@@ -473,6 +629,7 @@ impl<'a> PreparedMapper<'a> {
                                     registers,
                                     mii: self.mii,
                                 }),
+                                proven_unmappable: false,
                             });
                         }
                         Err(e) if cuts < self.config.ra_cuts => {
@@ -495,6 +652,7 @@ impl<'a> PreparedMapper<'a> {
                                     elapsed: t_ii.elapsed(),
                                 },
                                 mapped: None,
+                                proven_unmappable: false,
                             });
                         }
                     }
@@ -516,6 +674,7 @@ impl<'a> PreparedMapper<'a> {
                             elapsed: t_ii.elapsed(),
                         },
                         mapped: None,
+                        proven_unmappable: false,
                     });
                 }
                 SolveResult::Unknown(StopReason::Timeout) => {
@@ -534,6 +693,7 @@ impl<'a> PreparedMapper<'a> {
                             elapsed: t_ii.elapsed(),
                         },
                         mapped: None,
+                        proven_unmappable: false,
                     });
                 }
             }
@@ -551,7 +711,7 @@ impl<'a> PreparedMapper<'a> {
     /// a feasible solution. Fallback: block the PE's whole configuration
     /// (register demand on a PE is fully determined by the nodes placed on
     /// it — also sound, just weaker).
-    fn ra_cut_clause(
+    pub(crate) fn ra_cut_clause(
         &self,
         varmap: &crate::varmap::VarMap,
         model: &[bool],
@@ -743,6 +903,153 @@ mod tests {
         };
         let outcome = Mapper::new(&dfg, &cgra).with_config(config).run();
         assert_eq!(outcome.ii(), Some(2), "search starts above MII");
+    }
+
+    #[test]
+    fn attempt_ii_rejects_out_of_range_candidates() {
+        // Satellite regression: II = 0 used to underflow the FullWheel
+        // slack (`ii - 1` on u32) and panic; out-of-range IIs are now a
+        // proper error for both the scratch and the incremental path.
+        let dfg = chain(3);
+        let cgra = Cgra::square(2);
+        for incremental in [false, true] {
+            let config = MapperConfig {
+                incremental,
+                ..MapperConfig::default()
+            };
+            let prepared = Mapper::new(&dfg, &cgra)
+                .with_config(config)
+                .prepare()
+                .unwrap();
+            assert_eq!(
+                prepared.attempt_ii(0, &SolveLimits::none()).unwrap_err(),
+                MapFailure::InvalidIi { ii: 0, max_ii: 50 }
+            );
+            assert_eq!(
+                prepared.attempt_ii(51, &SolveLimits::none()).unwrap_err(),
+                MapFailure::InvalidIi { ii: 51, max_ii: 50 }
+            );
+            let mut ladder = prepared.ladder().unwrap();
+            assert_eq!(
+                ladder.attempt_ii(0, &SolveLimits::none()).unwrap_err(),
+                MapFailure::InvalidIi { ii: 0, max_ii: 50 }
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_and_scratch_ladders_agree() {
+        // The recurrence climbs through UNSAT rungs before mapping; both
+        // formulations must settle on the same best II with the same
+        // per-II trace.
+        let mut dfg = Dfg::new("rec");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        let cgra = Cgra::square(1);
+        let scratch = Mapper::new(&dfg, &cgra)
+            .with_config(MapperConfig {
+                incremental: false,
+                ..MapperConfig::default()
+            })
+            .run();
+        let incremental = Mapper::new(&dfg, &cgra).run();
+        assert_eq!(incremental.ii(), scratch.ii());
+        assert_eq!(incremental.ii(), Some(3));
+        let scratch_iis: Vec<(u32, AttemptOutcome)> = scratch
+            .attempts
+            .iter()
+            .map(|a| (a.ii, a.outcome.clone()))
+            .collect();
+        let incr_iis: Vec<(u32, AttemptOutcome)> = incremental
+            .attempts
+            .iter()
+            .map(|a| (a.ii, a.outcome.clone()))
+            .collect();
+        assert_eq!(scratch_iis, incr_iis);
+    }
+
+    #[test]
+    fn prefix_core_proves_unmappable_in_one_rung() {
+        // Split load/store columns on a 1x4: the load (column 0) feeds the
+        // store (column 3) directly, which no II can make adjacent. The
+        // scratch ladder grinds every rung to the cap; the incremental
+        // ladder proves it from the first rung's UNSAT core.
+        use satmapit_cgra::MemoryPolicy;
+        let mut dfg = Dfg::new("split");
+        let addr = dfg.add_const(0);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(addr, ld, 0);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(addr, st, 0);
+        dfg.add_edge(ld, st, 1);
+        let cgra = Cgra::new(1, 4).with_memory_policy(MemoryPolicy::SplitLoadStore);
+
+        let prepared = Mapper::new(&dfg, &cgra).prepare().unwrap();
+        let report = prepared
+            .attempt_ii(prepared.start_ii(), &SolveLimits::none())
+            .unwrap();
+        assert_eq!(report.attempt.outcome, AttemptOutcome::Unsat);
+        assert!(report.proven_unmappable, "core avoids the per-II group");
+
+        let incremental = Mapper::new(&dfg, &cgra).run();
+        assert_eq!(
+            incremental.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 50 }
+        );
+        assert_eq!(
+            incremental.attempts.len(),
+            1,
+            "one rung settles the whole ladder"
+        );
+
+        // Agreement: the scratch ladder reaches the same verdict the slow
+        // way (smaller cap to keep the grind cheap).
+        let scratch = Mapper::new(&dfg, &cgra)
+            .with_config(MapperConfig {
+                incremental: false,
+                max_ii: 6,
+                ..MapperConfig::default()
+            })
+            .run();
+        assert_eq!(
+            scratch.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 6 }
+        );
+        assert_eq!(scratch.attempts.len(), 6, "every rung ground out");
+    }
+
+    #[test]
+    fn ladder_tracks_proven_lower_bound() {
+        let mut dfg = Dfg::new("rec");
+        let a = dfg.add_node(Op::Neg);
+        let b = dfg.add_node(Op::Neg);
+        let c = dfg.add_node(Op::Neg);
+        dfg.add_edge(a, b, 0);
+        dfg.add_edge(b, c, 0);
+        dfg.add_back_edge(c, a, 0, 1, 0);
+        let cgra = Cgra::square(2);
+        let config = MapperConfig {
+            start_ii: Some(1),
+            ..MapperConfig::default()
+        };
+        let prepared = Mapper::new(&dfg, &cgra)
+            .with_config(config)
+            .prepare()
+            .unwrap();
+        let mut ladder = prepared.ladder().unwrap();
+        assert_eq!(ladder.proven_lower_bound(), 1);
+        for ii in 1..=2 {
+            let report = ladder.attempt_ii(ii, &SolveLimits::none()).unwrap();
+            assert_eq!(report.attempt.outcome, AttemptOutcome::Unsat, "ii={ii}");
+        }
+        assert_eq!(ladder.proven_lower_bound(), 3, "IIs 1 and 2 proven out");
+        let report = ladder.attempt_ii(3, &SolveLimits::none()).unwrap();
+        assert!(report.mapped.is_some());
+        assert!(!ladder.proven_unmappable());
     }
 
     #[test]

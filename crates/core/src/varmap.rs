@@ -37,8 +37,7 @@ impl VarMap {
         let mut slot_lits = vec![Vec::new(); num_pes * ii as usize];
         for n in dfg.node_ids() {
             offsets.push(entries.len());
-            let op = dfg.node(n).op;
-            let pes: Vec<PeId> = cgra.pes().filter(|&p| cgra.supports_op(p, op)).collect();
+            let pes = cgra.supported_pes(dfg.node(n).op);
             if pes.is_empty() {
                 return None;
             }

@@ -8,9 +8,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::fingerprint::{fingerprint, Fingerprint};
-use crate::race::{map_raced, EngineOutcome};
+use crate::fingerprint::{fingerprint, problem_fingerprint, Fingerprint};
+use crate::race::{map_raced_with_bound, EngineOutcome};
 use crate::EngineConfig;
+use satmapit_core::AttemptOutcome;
 
 /// One mapping request in a batch.
 #[derive(Debug, Clone)]
@@ -59,6 +60,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that had to solve.
     pub misses: u64,
+    /// Problems with a proven II lower bound on record (kept across
+    /// execution-config changes and even across results the result cache
+    /// refuses to hold, like timeouts).
+    pub bound_entries: usize,
 }
 
 /// A mapping service: solves through the II-race and memoizes every result
@@ -87,6 +92,13 @@ pub struct CacheStats {
 pub struct Engine {
     config: EngineConfig,
     cache: Mutex<HashMap<Fingerprint, Arc<EngineOutcome>>>,
+    /// Proven II lower bounds per *problem* (see
+    /// [`problem_fingerprint`]): `b` means every II below `b` was answered
+    /// `Unsat` for that problem; `u32::MAX` means proven unmappable at
+    /// every II. Unlike the result cache this survives timeouts — a job
+    /// that died at the deadline still donates the rungs it closed, so
+    /// the retry starts its ladder higher.
+    bounds: Mutex<HashMap<Fingerprint, u32>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -103,6 +115,7 @@ impl Engine {
         Engine {
             config,
             cache: Mutex::new(HashMap::new()),
+            bounds: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -119,12 +132,26 @@ impl Engine {
             entries: self.cache.lock().expect("cache poisoned").len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            bound_entries: self.bounds.lock().expect("bounds poisoned").len(),
         }
     }
 
-    /// Drops every cached result.
+    /// Drops every cached result and every proven II bound.
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache poisoned").clear();
+        self.bounds.lock().expect("bounds poisoned").clear();
+    }
+
+    /// The proven II lower bound on record for `(dfg, cgra)` under this
+    /// engine's mapping semantics, if any (`u32::MAX` = proven unmappable
+    /// at every II).
+    pub fn proven_bound(&self, dfg: &Dfg, cgra: &Cgra) -> Option<u32> {
+        let key = problem_fingerprint(dfg, cgra, &self.config.mapper);
+        self.bounds
+            .lock()
+            .expect("bounds poisoned")
+            .get(&key)
+            .copied()
     }
 
     /// Maps one request, serving it from the cache when possible. Returns
@@ -147,8 +174,19 @@ impl Engine {
         }
         let mut config = self.config.clone();
         config.workers = workers.max(1);
-        let outcome = Arc::new(map_raced(dfg, cgra, &config));
+        // Consume any proven lower bound for this problem: rungs below it
+        // were already answered Unsat (possibly by a differently-configured
+        // or timed-out run), so the race starts above them.
+        let problem_key = problem_fingerprint(dfg, cgra, &config.mapper);
+        let known_bound = self
+            .bounds
+            .lock()
+            .expect("bounds poisoned")
+            .get(&problem_key)
+            .copied();
+        let outcome = Arc::new(map_raced_with_bound(dfg, cgra, &config, known_bound));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_bound(problem_key, known_bound, &outcome);
         // Wall-clock-dependent failures are not memoized: a timed-out job
         // resubmitted later (idler machine, luckier race) deserves a fresh
         // solve. Everything else — successes and deterministic failures —
@@ -164,6 +202,48 @@ impl Engine {
         let mut cache = self.cache.lock().expect("cache poisoned");
         let entry = cache.entry(key).or_insert(outcome);
         (Arc::clone(entry), false)
+    }
+
+    /// Extracts and records the II lower bound this outcome proved: the
+    /// contiguous run of `Unsat` closures anchored at the race's start
+    /// (IIs below the start are covered by the MII theory plus the
+    /// previously recorded bound), or `u32::MAX` when an UNSAT core proved
+    /// the problem unmappable at every II. Only sound proofs feed the map
+    /// — giveups (conflict budgets, register-allocation retries) never do,
+    /// and engines configured with an explicit `start_ii` record nothing
+    /// (their start is not a feasibility statement).
+    fn record_bound(
+        &self,
+        problem_key: Fingerprint,
+        known_bound: Option<u32>,
+        outcome: &EngineOutcome,
+    ) {
+        if self.config.mapper.start_ii.is_some() {
+            return;
+        }
+        let proven = if outcome.proven_unmappable {
+            u32::MAX
+        } else {
+            let anchor = outcome.stats.race_start;
+            if anchor == 0 {
+                return; // the race never ran
+            }
+            let mut expected = anchor;
+            for attempt in &outcome.outcome.attempts {
+                if attempt.ii == expected && attempt.outcome == AttemptOutcome::Unsat {
+                    expected += 1;
+                } else {
+                    break;
+                }
+            }
+            expected
+        };
+        if Some(proven) <= known_bound {
+            return; // nothing new proven
+        }
+        let mut bounds = self.bounds.lock().expect("bounds poisoned");
+        let entry = bounds.entry(problem_key).or_insert(proven);
+        *entry = (*entry).max(proven);
     }
 
     /// Maps a whole batch over a bounded pool: up to `workers` distinct

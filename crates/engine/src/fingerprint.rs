@@ -129,6 +129,7 @@ pub fn hash_config(h: &mut Hasher, config: &EngineConfig) {
     h.write_str(&format!("{:?}", m.slack));
     h.write_u64(u64::from(m.ra_cuts));
     h.write(&[u8::from(m.register_pressure)]);
+    h.write(&[u8::from(m.incremental)]);
     h.write_u64(m.solver.restart_base);
     h.write_opt_u64(m.solver.phase_seed);
     h.write_u64(config.race_width as u64);
@@ -141,6 +142,30 @@ pub fn fingerprint(dfg: &Dfg, cgra: &Cgra, config: &EngineConfig) -> Fingerprint
     hash_dfg(&mut h, dfg);
     hash_cgra(&mut h, cgra);
     hash_config(&mut h, config);
+    h.finish()
+}
+
+/// The key of the *problem semantics* only: the DFG structure, the CGRA,
+/// and the two configuration knobs that change which IIs are feasible
+/// (mobility-window slack and the C4 register-pressure constraints).
+///
+/// Unlike [`fingerprint`], execution knobs — timeouts, worker counts, race
+/// width, solver seeds, AMO encoding, incremental mode — are excluded: an
+/// `Unsat` proof at some II transfers between any two configurations that
+/// agree on this key. The engine's proven-II-bound cache is keyed on it,
+/// so a retried job (longer timeout, different parallelism) starts its
+/// ladder above everything already proven infeasible.
+pub fn problem_fingerprint(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapper: &satmapit_core::MapperConfig,
+) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.write_str("problem-semantics-v1");
+    hash_dfg(&mut h, dfg);
+    hash_cgra(&mut h, cgra);
+    h.write_str(&format!("{:?}", mapper.slack));
+    h.write(&[u8::from(mapper.register_pressure)]);
     h.finish()
 }
 
@@ -196,6 +221,70 @@ mod tests {
         let mut other_config = EngineConfig::default();
         other_config.mapper.max_ii = 7;
         assert_ne!(base, fingerprint(&sample_dfg("x"), &cgra, &other_config));
+    }
+
+    /// Pins the module-docs promise: two structurally identical DFGs that
+    /// differ only in node labels and graph name share a fingerprint.
+    #[test]
+    fn node_labels_and_graph_name_are_cosmetic() {
+        let cgra = Cgra::square(3);
+        let config = EngineConfig::default();
+
+        let mut plain = Dfg::new("kernel-a");
+        let a = plain.add_node_labeled(Op::Const, 7, "x");
+        let b = plain.add_node_labeled(Op::Neg, 0, "y");
+        plain.add_edge(a, b, 0);
+
+        let mut renamed = Dfg::new("kernel-b-entirely-different-name");
+        let a = renamed.add_node_labeled(Op::Const, 7, "loop_invariant_base_pointer");
+        let b = renamed.add_node_labeled(Op::Neg, 0, "negated_offset");
+        renamed.add_edge(a, b, 0);
+
+        assert_eq!(
+            fingerprint(&plain, &cgra, &config),
+            fingerprint(&renamed, &cgra, &config)
+        );
+        assert_eq!(
+            problem_fingerprint(&plain, &cgra, &config.mapper),
+            problem_fingerprint(&renamed, &cgra, &config.mapper)
+        );
+    }
+
+    #[test]
+    fn problem_fingerprint_ignores_execution_knobs_only() {
+        let dfg = sample_dfg("x");
+        let cgra = Cgra::square(3);
+        let base = EngineConfig::default();
+        let key = problem_fingerprint(&dfg, &cgra, &base.mapper);
+
+        // Execution knobs do not move the problem key…
+        let mut exec = base.clone();
+        exec.mapper.timeout = Some(std::time::Duration::from_secs(1));
+        exec.mapper.max_conflicts_per_ii = Some(10);
+        exec.mapper.incremental = false;
+        exec.mapper.solver.phase_seed = Some(42);
+        assert_eq!(key, problem_fingerprint(&dfg, &cgra, &exec.mapper));
+
+        // …but semantic knobs do.
+        let mut semantic = base.clone();
+        semantic.mapper.register_pressure = false;
+        assert_ne!(key, problem_fingerprint(&dfg, &cgra, &semantic.mapper));
+        let mut semantic = base;
+        semantic.mapper.slack = satmapit_core::SlackPolicy::Zero;
+        assert_ne!(key, problem_fingerprint(&dfg, &cgra, &semantic.mapper));
+    }
+
+    #[test]
+    fn incremental_knob_moves_the_result_key() {
+        let dfg = sample_dfg("x");
+        let cgra = Cgra::square(3);
+        let on = EngineConfig::default();
+        let mut off = EngineConfig::default();
+        off.mapper.incremental = false;
+        assert_ne!(
+            fingerprint(&dfg, &cgra, &on),
+            fingerprint(&dfg, &cgra, &off)
+        );
     }
 
     #[test]

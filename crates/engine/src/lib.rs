@@ -43,8 +43,8 @@ pub mod fingerprint;
 pub mod race;
 
 pub use batch::{BatchItem, CacheStats, Engine, Job};
-pub use fingerprint::Fingerprint;
-pub use race::{map_raced, portfolio_variant, EngineOutcome, RaceStats};
+pub use fingerprint::{problem_fingerprint, Fingerprint};
+pub use race::{map_raced, map_raced_with_bound, portfolio_variant, EngineOutcome, RaceStats};
 
 use satmapit_core::MapperConfig;
 
@@ -287,6 +287,116 @@ mod tests {
         assert_eq!(engine.cache_stats().entries, 0);
         let (_, cached) = engine.map(&dfg, &cgra);
         assert!(!cached);
+    }
+
+    /// A load (column 0) feeding a store (column 3) on a split-port 1x4:
+    /// PE-level infeasible at every II.
+    fn split_unmappable() -> (Dfg, Cgra) {
+        use satmapit_cgra::MemoryPolicy;
+        let mut dfg = Dfg::new("split");
+        let addr = dfg.add_const(0);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(addr, ld, 0);
+        let st = dfg.add_node(Op::Store);
+        dfg.add_edge(addr, st, 0);
+        dfg.add_edge(ld, st, 1);
+        let cgra = Cgra::new(1, 4).with_memory_policy(MemoryPolicy::SplitLoadStore);
+        (dfg, cgra)
+    }
+
+    /// A fanout that forces the race through several UNSAT rungs: one
+    /// producer with 5 consumers on a 1x2 row (MII 3, maps well above it).
+    fn fanout() -> (Dfg, Cgra) {
+        let mut dfg = Dfg::new("fan5");
+        let src = dfg.add_const(1);
+        for _ in 0..5 {
+            let n = dfg.add_node(Op::Neg);
+            dfg.add_edge(src, n, 0);
+        }
+        (dfg, Cgra::new(1, 2))
+    }
+
+    #[test]
+    fn race_consumes_unmappable_core() {
+        let (dfg, cgra) = split_unmappable();
+        let raced = map_raced(&dfg, &cgra, &EngineConfig::default());
+        assert_eq!(
+            raced.outcome.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 50 }
+        );
+        assert!(raced.proven_unmappable, "core avoids the per-II group");
+        assert!(
+            raced.stats.tasks_started < 50,
+            "the doomed ladder must not be ground out rung by rung ({} tasks)",
+            raced.stats.tasks_started
+        );
+        // Agreement: the sequential incremental ladder reaches the same
+        // verdict.
+        let sequential = map(&dfg, &cgra);
+        assert_eq!(
+            sequential.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 50 }
+        );
+    }
+
+    #[test]
+    fn proven_bound_lets_repeat_races_skip_closed_rungs() {
+        let (dfg, cgra) = fanout();
+        let config = EngineConfig::default();
+        let cold = map_raced(&dfg, &cgra, &config);
+        let best = cold.ii().expect("fanout maps eventually");
+        let sequential = map(&dfg, &cgra);
+        assert_eq!(Some(best), sequential.ii(), "agreement first");
+        assert!(
+            cold.outcome.attempts.len() > 1,
+            "fanout must climb through UNSAT rungs, got {:?}",
+            cold.outcome
+                .attempts
+                .iter()
+                .map(|a| a.ii)
+                .collect::<Vec<_>>()
+        );
+        // Feed the proven bound back: the race starts at the winner
+        // directly and answers with a single rung.
+        let warm = race::map_raced_with_bound(&dfg, &cgra, &config, Some(best));
+        assert_eq!(warm.ii(), Some(best));
+        assert_eq!(warm.outcome.attempts.len(), 1, "lower rungs skipped");
+        assert_eq!(warm.stats.race_start, best);
+        // An unmappability bound short-circuits without solving at all.
+        let doomed = race::map_raced_with_bound(&dfg, &cgra, &config, Some(u32::MAX));
+        assert_eq!(
+            doomed.outcome.result.unwrap_err(),
+            MapFailure::IiCapReached { cap: 50 }
+        );
+        assert!(doomed.proven_unmappable);
+        assert_eq!(doomed.stats.tasks_started, 0);
+    }
+
+    #[test]
+    fn engine_records_proven_bounds() {
+        let (dfg, cgra) = fanout();
+        let engine = Engine::new(EngineConfig::default());
+        assert_eq!(engine.proven_bound(&dfg, &cgra), None);
+        let (outcome, _) = engine.map(&dfg, &cgra);
+        let best = outcome.ii().expect("maps");
+        assert_eq!(
+            engine.proven_bound(&dfg, &cgra),
+            Some(best),
+            "every II below the winner was closed Unsat"
+        );
+        assert_eq!(engine.cache_stats().bound_entries, 1);
+
+        let (split_dfg, split_cgra) = split_unmappable();
+        let (outcome, _) = engine.map(&split_dfg, &split_cgra);
+        assert!(outcome.outcome.result.is_err());
+        assert_eq!(
+            engine.proven_bound(&split_dfg, &split_cgra),
+            Some(u32::MAX),
+            "unmappability is recorded as an infinite bound"
+        );
+        engine.clear_cache();
+        assert_eq!(engine.cache_stats().bound_entries, 0);
+        assert_eq!(engine.proven_bound(&dfg, &cgra), None);
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct RaceStats {
     pub tasks_started: u64,
     /// Attempts that observed the stop flag and aborted cooperatively.
     pub tasks_cancelled: u64,
+    /// The first candidate II the race considered (the prepared start,
+    /// lifted by any known proven bound). 0 when the race never started
+    /// (preparation failed or the window was empty). The batch engine uses
+    /// this as the anchor when it turns `Unsat` closures into a proven II
+    /// lower bound.
+    pub race_start: u32,
 }
 
 /// A [`MapOutcome`] plus race-level telemetry.
@@ -65,6 +71,14 @@ pub struct EngineOutcome {
     pub outcome: MapOutcome,
     /// Race telemetry.
     pub stats: RaceStats,
+    /// `true` when the loop is proven unmappable at *every* II — either a
+    /// cached unmappability bound was supplied, or preparation's
+    /// pre-solved II-invariant PE-level prefix is contradictory (see
+    /// [`satmapit_core::AttemptReport::proven_unmappable`]). The race
+    /// then fails fast without dispatching a single rung, and the batch
+    /// engine records an infinite II lower bound so repeat lookups never
+    /// solve again.
+    pub proven_unmappable: bool,
 }
 
 impl EngineOutcome {
@@ -294,25 +308,51 @@ fn worker(shared: &Shared, variants: &[PreparedMapper<'_>], limits_proto: &Solve
 /// Maps `dfg` onto `cgra` by racing candidate IIs (and portfolio variants)
 /// across a worker pool. See the module docs for the guarantees.
 pub fn map_raced(dfg: &Dfg, cgra: &Cgra, config: &EngineConfig) -> EngineOutcome {
+    map_raced_with_bound(dfg, cgra, config, None)
+}
+
+/// [`map_raced`] with a previously *proven* II lower bound: candidate IIs
+/// below `known_lower_bound` were already answered `Unsat` for this exact
+/// problem (same DFG, CGRA and mapping semantics) and are skipped without
+/// solving. [`u32::MAX`] means the problem was proven unmappable at every
+/// II. Passing an unproven bound forfeits the engine's agreement
+/// guarantee — the batch [`crate::Engine`] only feeds bounds derived from
+/// UNSAT closures or unmappability cores.
+pub fn map_raced_with_bound(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    config: &EngineConfig,
+    known_lower_bound: Option<u32>,
+) -> EngineOutcome {
     let t0 = Instant::now();
-    let failure = |result: MapFailure, elapsed: Duration| EngineOutcome {
+    let failure = |result: MapFailure, elapsed: Duration, unmappable: bool| EngineOutcome {
         outcome: MapOutcome {
             result: Err(result),
             attempts: Vec::new(),
             elapsed,
         },
         stats: RaceStats::default(),
+        proven_unmappable: unmappable,
     };
 
     let mapper = Mapper::new(dfg, cgra).with_config(config.mapper.clone());
     let base = match mapper.prepare() {
         Ok(p) => p,
-        Err(e) => return failure(e, t0.elapsed()),
+        Err(e) => return failure(e, t0.elapsed(), false),
     };
-    let start = base.start_ii();
     let max_ii = config.mapper.max_ii;
+    if known_lower_bound == Some(u32::MAX) || base.proven_unmappable() {
+        // Either a cached proof or preparation's pre-solved PE-level
+        // prefix says no II can map: fail fast, no rungs dispatched.
+        return failure(MapFailure::IiCapReached { cap: max_ii }, t0.elapsed(), true);
+    }
+    let start = base.start_ii().max(known_lower_bound.unwrap_or(0));
     if start > max_ii {
-        return failure(MapFailure::IiCapReached { cap: max_ii }, t0.elapsed());
+        return failure(
+            MapFailure::IiCapReached { cap: max_ii },
+            t0.elapsed(),
+            false,
+        );
     }
 
     let portfolio = config.portfolio.max(1);
@@ -364,6 +404,7 @@ pub fn map_raced(dfg: &Dfg, cgra: &Cgra, config: &EngineConfig) -> EngineOutcome
         workers,
         tasks_started: state.tasks_started,
         tasks_cancelled: state.tasks_cancelled,
+        race_start: start,
     };
 
     // A complete winner (every lower II closed) beats a Timeout recorded
@@ -404,5 +445,9 @@ pub fn map_raced(dfg: &Dfg, cgra: &Cgra, config: &EngineConfig) -> EngineOutcome
             elapsed,
         },
         stats,
+        // Unmappability is decided before dispatch (preparation pre-solves
+        // the PE-level prefix, shared by every portfolio variant), so a
+        // race that ran rungs was, by construction, not proven unmappable.
+        proven_unmappable: false,
     }
 }

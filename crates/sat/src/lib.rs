@@ -12,7 +12,10 @@
 //!   import/export,
 //! * [`Solver`] — the CDCL engine (watched literals, VSIDS + phase saving,
 //!   1-UIP learning with minimization, Luby restarts, clause-DB reduction,
-//!   assumptions, conflict/time budgets),
+//!   assumptions, conflict/time budgets, and assumption-gated clause
+//!   groups for incremental solving — see the [`solver`](Solver) module
+//!   docs for the activation-literal lifecycle and the
+//!   [`Solver::final_conflict`] failed-assumption-core contract),
 //! * [`encode`] — cardinality encodings (pairwise / sequential
 //!   at-most-one, sequential-counter at-most-k) used by the mapper's C1/C2
 //!   constraint families,
@@ -50,5 +53,7 @@ mod types;
 
 pub use cnf::{CnfFormula, ParseDimacsError, ParseDimacsErrorKind};
 pub use luby::luby;
-pub use solver::{SolveLimits, SolveResult, Solver, SolverOptions, SolverStats, StopReason};
+pub use solver::{
+    SolveLimits, SolveResult, Solver, SolverOptions, SolverStats, StopReason, LIMIT_POLL_INTERVAL,
+};
 pub use types::{LBool, Lit, Var};

@@ -3,9 +3,52 @@
 //! Feature set: two-literal watching, VSIDS branching with phase saving,
 //! first-UIP conflict analysis with self-subsumption minimization, Luby
 //! restarts, activity/LBD-based learnt-clause database reduction,
-//! solving under assumptions with final-conflict extraction, and
-//! conflict/time budgets that make the solver interruptible (required by the
-//! mapping timeout semantics of the experiments).
+//! solving under assumptions with final-conflict extraction, assumption-
+//! gated clause groups for incremental solving, and conflict/time budgets
+//! that make the solver interruptible (required by the mapping timeout
+//! semantics of the experiments).
+//!
+//! # Clause groups and the activation-literal lifecycle
+//!
+//! Incremental callers (the II ladder in `satmapit-core`) keep one solver
+//! alive across a sequence of related solves so learned clauses carry
+//! over. Clauses that are only valid for one solve in the sequence are
+//! *gated* behind an activation literal:
+//!
+//! 1. [`Solver::new_group`] allocates a fresh activation literal `g`.
+//! 2. [`Solver::add_clause_in_group`] adds each group clause `C` as
+//!    `C ∨ ¬g` — inert until `g` is assumed.
+//! 3. [`Solver::solve_limited`] is called with `g` among the assumptions,
+//!    which switches the group on for that call only.
+//! 4. Once the group's question is answered, [`Solver::retire_group`]
+//!    asserts `¬g` at the top level, permanently satisfying (and
+//!    physically deleting, where safe) the group's clauses *and* every
+//!    learnt clause that depended on them.
+//!
+//! The scheme is sound because conflict analysis only resolves on clauses:
+//! any learnt clause whose derivation used a clause of group `g` must
+//! itself contain `¬g` (the only way to eliminate `¬g` by resolution would
+//! be a clause containing `g` positively, and none exists). Learnt clauses
+//! *without* any activation literal are therefore implied by the permanent
+//! clauses alone and remain valid for every future solve — that carry-over
+//! is the entire point of keeping the solver alive.
+//!
+//! # The `final_conflict` contract
+//!
+//! After [`SolveResult::Unsat`] from an assumption-based solve,
+//! [`Solver::final_conflict`] returns the *failed assumption core*: a
+//! subset of the assumptions, negated, whose conjunction with the
+//! permanent clauses is already contradictory. Two cases matter to
+//! incremental callers:
+//!
+//! * the core **contains** `¬g` for an assumed activation literal `g` —
+//!   the contradiction needs the group, i.e. only this solve's gated
+//!   question was refuted;
+//! * the core is **empty** (equivalently, [`Solver::is_ok`] may have
+//!   become `false`) — the permanent clauses are contradictory on their
+//!   own, so every future solve will be `Unsat` no matter which groups
+//!   are activated. `satmapit-core` uses exactly this distinction to
+//!   prove "no II can ever map" from a single rung of the ladder.
 
 use crate::cnf::CnfFormula;
 use crate::heap::ActivityHeap;
@@ -21,6 +64,13 @@ const CLAUSE_NONE: u32 = u32::MAX;
 const VAR_ACT_DECAY: f64 = 1.0 / 0.95;
 const CLA_ACT_DECAY: f64 = 1.0 / 0.999;
 const DEFAULT_RESTART_BASE: u64 = 100;
+
+/// How many search steps (decisions + conflicts) pass between polls of the
+/// stop flag and the wall-clock deadline. Both limits share this single
+/// cadence: the previous split (stop every 1024 *decisions*, deadline
+/// every 256 *conflicts*) let propagation-heavy solves with few decisions
+/// overrun a cancellation by seconds.
+pub const LIMIT_POLL_INTERVAL: u64 = 64;
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
@@ -67,8 +117,10 @@ pub struct SolveLimits {
     /// Cooperative cancellation: abort as soon as the flag reads `true`.
     /// Another thread may set it at any time (e.g. because a sibling in a
     /// portfolio or II-race already produced an answer); the solver polls
-    /// it at every restart and at the same cadence as the deadline check,
-    /// so cancellation is observed within a few hundred conflicts.
+    /// it (together with the deadline) at every restart and on a uniform
+    /// cadence of [`LIMIT_POLL_INTERVAL`] search steps — decisions *and*
+    /// conflicts both count — so cancellation is observed promptly even in
+    /// propagation-heavy solves that rarely branch.
     pub stop: Option<Arc<AtomicBool>>,
 }
 
@@ -195,6 +247,7 @@ pub struct Solver {
     learnt_idxs: Vec<u32>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
+    decision: Vec<bool>,
     polarity: Vec<bool>,
     activity: Vec<f64>,
     var_inc: f64,
@@ -214,6 +267,9 @@ pub struct Solver {
     reduce_count: u64,
     restart_base: u64,
     phase_rng: Option<u64>,
+    /// Live clause groups: activation variable index → member clause
+    /// indices (see the module docs on the activation-literal lifecycle).
+    groups: std::collections::HashMap<u32, Vec<u32>>,
 }
 
 impl Default for Solver {
@@ -230,6 +286,7 @@ impl Solver {
             learnt_idxs: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
+            decision: Vec::new(),
             polarity: Vec::new(),
             activity: Vec::new(),
             var_inc: 1.0,
@@ -249,6 +306,7 @@ impl Solver {
             reduce_count: 0,
             restart_base: DEFAULT_RESTART_BASE,
             phase_rng: None,
+            groups: std::collections::HashMap::new(),
         }
     }
 
@@ -291,6 +349,7 @@ impl Solver {
             None => false,
         };
         self.assigns.push(LBool::Undef);
+        self.decision.push(true);
         self.polarity.push(phase);
         self.activity.push(0.0);
         self.reason.push(CLAUSE_NONE);
@@ -332,9 +391,16 @@ impl Solver {
     /// Tautologies are dropped, duplicate literals merged, and literals
     /// already false at the top level removed.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_tracked(lits).0
+    }
+
+    /// [`Solver::add_clause`] that also reports the index of the clause it
+    /// allocated, when the clause survived simplification as a real
+    /// (2+-literal) clause.
+    fn add_clause_tracked(&mut self, lits: &[Lit]) -> (bool, Option<u32>) {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
-            return false;
+            return (false, None);
         }
         let mut ls: Vec<Lit> = lits.to_vec();
         for l in &ls {
@@ -352,11 +418,11 @@ impl Solver {
         while i < ls.len() {
             let l = ls[i];
             if i + 1 < ls.len() && ls[i + 1] == !l {
-                return true; // tautology: l and ¬l adjacent after sort
+                return (true, None); // tautology: l and ¬l adjacent after sort
             }
             match self.lit_value(l) {
-                LBool::True => return true, // already satisfied
-                LBool::False => {}          // drop falsified literal
+                LBool::True => return (true, None), // already satisfied
+                LBool::False => {}                  // drop falsified literal
                 LBool::Undef => simplified.push(l),
             }
             i += 1;
@@ -364,24 +430,111 @@ impl Solver {
         match simplified.len() {
             0 => {
                 self.ok = false;
-                false
+                (false, None)
             }
             1 => {
                 self.unchecked_enqueue(simplified[0], CLAUSE_NONE);
                 if self.propagate().is_some() {
                     self.ok = false;
-                    false
+                    (false, None)
                 } else {
-                    true
+                    (true, None)
                 }
             }
             _ => {
                 let ci = self.alloc_clause(simplified, false, 0);
                 self.attach_clause(ci);
                 self.stats.added_clauses += 1;
-                true
+                (true, Some(ci))
             }
         }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Clause groups (incremental solving)
+    // ----------------------------------------------------------------- //
+
+    /// Opens a clause group: allocates a fresh *activation literal* `g`.
+    ///
+    /// Clauses added to the group via [`Solver::add_clause_in_group`] are
+    /// inert unless `g` is passed as an assumption to
+    /// [`Solver::solve_limited`]. See the module docs for the full
+    /// lifecycle and soundness argument.
+    pub fn new_group(&mut self) -> Lit {
+        self.new_var().positive()
+    }
+
+    /// Adds `lits` to the group of activation literal `group`: the stored
+    /// clause is `lits ∨ ¬group`, so it only constrains solves that assume
+    /// `group`. Returns `false` if the formula became trivially
+    /// unsatisfiable (which can only happen through non-group clauses).
+    pub fn add_clause_in_group(&mut self, group: Lit, lits: &[Lit]) -> bool {
+        debug_assert!(
+            group.is_positive(),
+            "activation literals are positive by convention"
+        );
+        let mut gated = Vec::with_capacity(lits.len() + 1);
+        gated.extend_from_slice(lits);
+        gated.push(!group);
+        let (ok, allocated) = self.add_clause_tracked(&gated);
+        if let Some(ci) = allocated {
+            self.groups
+                .entry(group.var().index() as u32)
+                .or_default()
+                .push(ci);
+        }
+        ok
+    }
+
+    /// Retires a clause group: asserts `¬group` at the top level, which
+    /// permanently satisfies every clause of the group and every learnt
+    /// clause derived from it, and physically deletes those that are safe
+    /// to drop (clauses currently acting as the reason of a top-level
+    /// implication are kept — they are satisfied and harmless).
+    ///
+    /// Must be called at decision level 0 (i.e. between solves). Returns
+    /// `false` if the formula is (or became) unsatisfiable at the top
+    /// level, mirroring [`Solver::add_clause`].
+    pub fn retire_group(&mut self, group: Lit) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let members = self
+            .groups
+            .remove(&(group.var().index() as u32))
+            .unwrap_or_default();
+        let ok = self.add_clause(&[!group]);
+        for ci in members {
+            let c = &self.clauses[ci as usize];
+            if c.deleted || self.is_locked(ci) {
+                continue;
+            }
+            self.detach_clause(ci);
+            let c = &mut self.clauses[ci as usize];
+            c.deleted = true;
+            c.lits = Vec::new();
+        }
+        // Learnt clauses that depended on the group all contain ¬group
+        // (see the module docs); they are satisfied now and can go.
+        let gone = !group;
+        let sweep: Vec<u32> = self
+            .learnt_idxs
+            .iter()
+            .copied()
+            .filter(|&ci| {
+                let c = &self.clauses[ci as usize];
+                !c.deleted && c.lits.contains(&gone) && !self.is_locked(ci)
+            })
+            .collect();
+        for ci in sweep {
+            self.detach_clause(ci);
+            let c = &mut self.clauses[ci as usize];
+            c.deleted = true;
+            c.lits = Vec::new();
+            self.stats.removed_clauses += 1;
+            self.stats.learnt_clauses -= 1;
+        }
+        self.learnt_idxs
+            .retain(|&ci| !self.clauses[ci as usize].deleted);
+        ok
     }
 
     /// Solves without assumptions or limits.
@@ -458,6 +611,16 @@ impl Solver {
 
     /// After an assumption-based `Unsat`, the subset of assumptions that was
     /// proven contradictory (negated), MiniSat's "final conflict".
+    ///
+    /// Contract (see also the module docs):
+    ///
+    /// * only meaningful immediately after [`SolveResult::Unsat`]; the
+    ///   buffer is cleared at the start of every solve call;
+    /// * every element is the negation of one of the assumptions passed to
+    ///   that solve call (a *core*, not necessarily minimal);
+    /// * an **empty** slice means the permanent clause set is contradictory
+    ///   without any assumptions — every future solve returns `Unsat`
+    ///   regardless of assumptions or clause groups.
     pub fn final_conflict(&self) -> &[Lit] {
         &self.conflict_core
     }
@@ -544,7 +707,9 @@ impl Solver {
             self.polarity[v] = self.assigns[v] == LBool::True;
             self.assigns[v] = LBool::Undef;
             self.reason[v] = CLAUSE_NONE;
-            self.order.insert(v as u32, &self.activity);
+            if self.decision[v] {
+                self.order.insert(v as u32, &self.activity);
+            }
         }
         self.trail.truncate(bound);
         self.trail_lim.truncate(target_level);
@@ -820,10 +985,30 @@ impl Solver {
         self.lit_value(l0) == LBool::True && self.reason[l0.var().index()] == ci
     }
 
+    /// Excludes `var` from (or re-admits it to) branching decisions.
+    ///
+    /// A non-decision variable is still assigned by unit propagation, but
+    /// the search never branches on it and a model may leave it
+    /// unassigned (it reads as `false` in [`Solver::model`]). The caller
+    /// must guarantee that every live clause mentioning the variable is
+    /// satisfiable without deciding it — the intended use is variables of
+    /// a retired clause group ([`Solver::retire_group`]), whose clauses
+    /// are all permanently satisfied. Branching on thousands of such dead
+    /// variables is pure waste; the incremental II ladder in
+    /// `satmapit-core` masks each rung's variables out once the rung is
+    /// settled.
+    pub fn set_decision_var(&mut self, var: Var, decide: bool) {
+        let i = var.index();
+        let was = std::mem::replace(&mut self.decision[i], decide);
+        if decide && !was && self.assigns[i] == LBool::Undef {
+            self.order.insert(i as u32, &self.activity);
+        }
+    }
+
     fn pick_branch(&mut self) -> Option<Lit> {
         loop {
             let v = self.order.pop_max(&self.activity)?;
-            if self.assigns[v as usize] == LBool::Undef {
+            if self.assigns[v as usize] == LBool::Undef && self.decision[v as usize] {
                 return Some(Lit::new(Var::new(v), self.polarity[v as usize]));
             }
         }
@@ -841,7 +1026,20 @@ impl Solver {
         start_conflicts: u64,
     ) -> SearchOutcome {
         let mut conflict_c: u64 = 0;
+        let mut steps: u64 = 0;
         loop {
+            // Uniform limit polling: every LIMIT_POLL_INTERVAL search steps
+            // (a step is a decision or a conflict), check the stop flag and
+            // the deadline together. Decisions and conflicts both advance
+            // the counter, so neither a propagation-heavy solve (few
+            // decisions) nor a conflict-free descent (few conflicts) can
+            // stretch the gap between polls.
+            steps += 1;
+            if steps.is_multiple_of(LIMIT_POLL_INTERVAL) {
+                if let Some(reason) = limits.exceeded() {
+                    return SearchOutcome::Stop(reason);
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflict_c += 1;
@@ -875,11 +1073,6 @@ impl Solver {
                 }
                 self.var_inc *= VAR_ACT_DECAY;
                 self.cla_inc *= CLA_ACT_DECAY;
-                if conflict_c.is_multiple_of(256) {
-                    if let Some(reason) = limits.exceeded() {
-                        return SearchOutcome::Stop(reason);
-                    }
-                }
             } else {
                 // No conflict.
                 if conflict_c >= nof_conflicts {
@@ -920,9 +1113,6 @@ impl Solver {
                     },
                 };
                 self.stats.decisions += 1;
-                if self.stats.decisions.is_multiple_of(1024) && limits.stop_requested() {
-                    return SearchOutcome::Stop(StopReason::Cancelled);
-                }
                 self.new_decision_level();
                 self.unchecked_enqueue(decision, CLAUSE_NONE);
             }
@@ -1199,6 +1389,159 @@ mod tests {
         let m1 = seeded.model().unwrap().to_vec();
         assert!(m0.iter().all(|&b| !b));
         assert_ne!(m0, m1, "seeded phases should differ somewhere");
+    }
+
+    #[test]
+    fn group_clauses_only_bind_under_their_assumption() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let g = s.new_group();
+        s.add_clause_in_group(g, &[a]);
+        // Without the assumption the group is inert.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Under the assumption it forces `a`.
+        assert_eq!(s.solve_with_assumptions(&[g]), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+    }
+
+    #[test]
+    fn contradictory_group_cores_name_the_group() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let g = s.new_group();
+        s.add_clause_in_group(g, &[a]);
+        s.add_clause_in_group(g, &[!a]);
+        assert_eq!(s.solve_with_assumptions(&[g]), SolveResult::Unsat);
+        assert!(
+            s.final_conflict().contains(&!g),
+            "core must name the contradictory group, got {:?}",
+            s.final_conflict()
+        );
+        // The rest of the formula is untouched: retiring the group leaves a
+        // satisfiable solver, and the activation literal is now pinned off.
+        assert!(s.retire_group(g));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(g), Some(false));
+    }
+
+    #[test]
+    fn permanent_unsat_yields_empty_core_under_assumptions() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let g = s.new_group();
+        s.add_clause_in_group(g, &[a]);
+        s.add_clause(&[a]);
+        assert!(!s.add_clause(&[!a]), "permanent clauses contradict");
+        assert_eq!(s.solve_with_assumptions(&[g]), SolveResult::Unsat);
+        assert!(
+            s.final_conflict().is_empty(),
+            "UNSAT independent of assumptions must produce an empty core"
+        );
+    }
+
+    #[test]
+    fn retirement_sweeps_group_and_dependent_learnt_clauses() {
+        // A gated pigeonhole: all problem clauses live in one group, so
+        // every learnt clause depends on it and must vanish on retirement.
+        let holes = 4;
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let mut var = vec![vec![Lit::from_code(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var().positive();
+            }
+        }
+        let g = s.new_group();
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| var[p][h]).collect();
+            s.add_clause_in_group(g, &clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause_in_group(g, &[!var[p1][h], !var[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve_with_assumptions(&[g]), SolveResult::Unsat);
+        assert!(s.final_conflict().contains(&!g));
+        assert!(s.retire_group(g));
+        assert_eq!(
+            s.stats().learnt_clauses,
+            0,
+            "all learnt clauses depended on the retired group"
+        );
+        // The solver stays fully usable: a fresh group can pose a new
+        // (satisfiable) question over the same variables.
+        let g2 = s.new_group();
+        s.add_clause_in_group(g2, &[var[0][0]]);
+        assert_eq!(s.solve_with_assumptions(&[g2]), SolveResult::Sat);
+        assert_eq!(s.model_value(var[0][0]), Some(true));
+    }
+
+    #[test]
+    fn learnt_clauses_survive_across_group_generations() {
+        // Permanent clauses encode an implication chain; a group adds a
+        // contradiction at the end. The UNSAT proof learns chain facts that
+        // outlive the group and speed up (or at least do not disturb) the
+        // next generation.
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..30).map(|_| lit(&mut s)).collect();
+        for w in xs.windows(2) {
+            s.add_clause(&[!w[0], w[1]]);
+        }
+        let g1 = s.new_group();
+        s.add_clause_in_group(g1, &[xs[0]]);
+        s.add_clause_in_group(g1, &[!xs[29]]);
+        assert_eq!(s.solve_with_assumptions(&[g1]), SolveResult::Unsat);
+        assert!(s.retire_group(g1));
+        let g2 = s.new_group();
+        s.add_clause_in_group(g2, &[xs[0]]);
+        assert_eq!(s.solve_with_assumptions(&[g2]), SolveResult::Sat);
+        for &x in &xs {
+            assert_eq!(s.model_value(x), Some(true));
+        }
+    }
+
+    /// Satellite regression: both the stop flag and the deadline are polled
+    /// on the uniform step cadence, so observed cancellation latency stays
+    /// bounded even mid-search (the old code polled the stop flag only
+    /// every 1024 decisions and the deadline only every 256 conflicts).
+    #[test]
+    fn cancellation_latency_is_bounded() {
+        // Deadline path.
+        let mut s = pigeonhole(11);
+        let limits = SolveLimits::none().with_timeout(Duration::from_millis(50));
+        let t0 = Instant::now();
+        let r = s.solve_limited(&[], &limits);
+        assert_eq!(r, SolveResult::Unknown(StopReason::Timeout));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "deadline overrun: {:?}",
+            t0.elapsed()
+        );
+
+        // Stop-flag path, raised mid-flight by another thread.
+        let stop = Arc::new(AtomicBool::new(false));
+        let limits = SolveLimits::none().with_stop_flag(Arc::clone(&stop));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        let mut s = pigeonhole(11);
+        let t0 = Instant::now();
+        let r = s.solve_limited(&[], &limits);
+        handle.join().unwrap();
+        assert_eq!(r, SolveResult::Unknown(StopReason::Cancelled));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "cancellation latency: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

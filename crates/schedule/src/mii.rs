@@ -3,22 +3,46 @@
 //! `MII = max(ResMII, RecMII)`.
 
 use satmapit_cgra::Cgra;
-use satmapit_dfg::Dfg;
+use satmapit_dfg::{Dfg, Op};
 use satmapit_graphs::DiGraph;
 
 /// Resource-limited minimum II: with `P` PEs, at most `P` operations can
-/// issue per kernel cycle (and at most `M` memory operations on the `M`
-/// memory-capable PEs).
-pub fn res_mii(dfg: &Dfg, cgra: &Cgra) -> u32 {
+/// issue per kernel cycle, at most `M` memory operations on the `M`
+/// memory-capable PEs, and — for policies with disjoint load/store ports
+/// like `MemoryPolicy::SplitLoadStore` — at most `L` loads on the `L`
+/// load-capable PEs and `S` stores on the `S` store-capable PEs per
+/// cycle. All three are sound lower bounds; the maximum is taken.
+///
+/// Returns `None` when no finite II exists: the DFG contains a memory
+/// operation class the architecture offers no PE for (e.g.
+/// `MemoryPolicy::None`). Callers must treat that as "structurally
+/// unmappable", not as a numeric bound.
+pub fn res_mii(dfg: &Dfg, cgra: &Cgra) -> Option<u32> {
     let nodes = dfg.num_nodes() as u32;
     let pes = cgra.num_pes() as u32;
     let mut bound = nodes.div_ceil(pes);
     let mem_ops = dfg.num_memory_ops() as u32;
     if mem_ops > 0 {
         let mem_pes = cgra.num_memory_pes() as u32;
+        if mem_pes == 0 {
+            return None;
+        }
         bound = bound.max(mem_ops.div_ceil(mem_pes));
+        // Per-port-class bounds (strictly tighter when loads and stores
+        // are pinned to disjoint PE sets).
+        for op in [Op::Load, Op::Store] {
+            let ops = dfg.node_ids().filter(|&n| dfg.node(n).op == op).count() as u32;
+            if ops == 0 {
+                continue;
+            }
+            let class_pes = cgra.supported_pes(op).len() as u32;
+            if class_pes == 0 {
+                return None;
+            }
+            bound = bound.max(ops.div_ceil(class_pes));
+        }
     }
-    bound.max(1)
+    Some(bound.max(1))
 }
 
 /// Recurrence-limited minimum II: the smallest `II` such that every
@@ -55,8 +79,11 @@ pub fn rec_mii(dfg: &Dfg) -> u32 {
 
 /// `MII = max(ResMII, RecMII)` — the starting point of the iterative
 /// mapping loop (paper Fig. 3).
-pub fn mii(dfg: &Dfg, cgra: &Cgra) -> u32 {
-    res_mii(dfg, cgra).max(rec_mii(dfg))
+///
+/// `None` propagates the [`res_mii`] "unmappable" signal: the DFG needs
+/// memory but the architecture offers none, so no II exists.
+pub fn mii(dfg: &Dfg, cgra: &Cgra) -> Option<u32> {
+    Some(res_mii(dfg, cgra)?.max(rec_mii(dfg)))
 }
 
 #[cfg(test)]
@@ -70,9 +97,9 @@ mod tests {
     fn paper_example_res_mii() {
         let dfg = paper_example_dfg();
         // 11 nodes on 4 PEs -> ceil(11/4) = 3, the paper's kernel II.
-        assert_eq!(res_mii(&dfg, &Cgra::square(2)), 3);
-        assert_eq!(res_mii(&dfg, &Cgra::square(3)), 2);
-        assert_eq!(res_mii(&dfg, &Cgra::square(4)), 1);
+        assert_eq!(res_mii(&dfg, &Cgra::square(2)), Some(3));
+        assert_eq!(res_mii(&dfg, &Cgra::square(3)), Some(2));
+        assert_eq!(res_mii(&dfg, &Cgra::square(4)), Some(1));
     }
 
     #[test]
@@ -133,8 +160,8 @@ mod tests {
         dfg.add_edge(b, c, 0);
         dfg.add_back_edge(c, a, 0, 1, 0);
         // RecMII 3 dominates on a big array; ResMII 3 on 1x1 gives 3 too.
-        assert_eq!(mii(&dfg, &Cgra::square(5)), 3);
-        assert_eq!(mii(&dfg, &Cgra::square(1)), 3);
+        assert_eq!(mii(&dfg, &Cgra::square(5)), Some(3));
+        assert_eq!(mii(&dfg, &Cgra::square(1)), Some(3));
     }
 
     #[test]
@@ -147,9 +174,9 @@ mod tests {
             dfg.add_edge(idx, ld, 0);
         }
         let all = Cgra::square(2);
-        assert_eq!(res_mii(&dfg, &all), 2, "5 nodes / 4 PEs");
+        assert_eq!(res_mii(&dfg, &all), Some(2), "5 nodes / 4 PEs");
         let left = Cgra::square(2).with_memory_policy(MemoryPolicy::LeftColumn);
-        assert_eq!(res_mii(&dfg, &left), 2, "4 loads / 2 mem PEs");
+        assert_eq!(res_mii(&dfg, &left), Some(2), "4 loads / 2 mem PEs");
         // With 8 loads the memory bound dominates.
         let mut dfg8 = Dfg::new("mem8");
         let idx = dfg8.add_const(0);
@@ -157,12 +184,48 @@ mod tests {
             let ld = dfg8.add_node(Op::Load);
             dfg8.add_edge(idx, ld, 0);
         }
-        assert_eq!(res_mii(&dfg8, &left), 4);
+        assert_eq!(res_mii(&dfg8, &left), Some(4));
     }
 
     #[test]
     fn paper_example_mii_on_2x2() {
         let dfg = paper_example_dfg();
-        assert_eq!(mii(&dfg, &Cgra::square(2)), 3);
+        assert_eq!(mii(&dfg, &Cgra::square(2)), Some(3));
+    }
+
+    #[test]
+    fn split_ports_bound_per_class() {
+        // 8 loads on a 2x3 split-port mesh: only the 2 column-0 PEs may
+        // load, so the true resource bound is ceil(8/2) = 4 — the pooled
+        // load+store PE count (4) must not weaken it to 2.
+        let mut dfg = Dfg::new("loads8");
+        let idx = dfg.add_const(0);
+        for _ in 0..8 {
+            let ld = dfg.add_node(Op::Load);
+            dfg.add_edge(idx, ld, 0);
+        }
+        let split = Cgra::new(2, 3).with_memory_policy(MemoryPolicy::SplitLoadStore);
+        assert_eq!(res_mii(&dfg, &split), Some(4));
+    }
+
+    /// Satellite regression: a memory-bearing DFG on an architecture with
+    /// zero memory-capable PEs must signal "unmappable", not divide by
+    /// zero.
+    #[test]
+    fn zero_memory_pes_is_unmappable_not_a_panic() {
+        let mut dfg = Dfg::new("mem");
+        let idx = dfg.add_const(0);
+        let ld = dfg.add_node(Op::Load);
+        dfg.add_edge(idx, ld, 0);
+        let compute_only = Cgra::square(2).with_memory_policy(MemoryPolicy::None);
+        assert_eq!(compute_only.num_memory_pes(), 0);
+        assert_eq!(res_mii(&dfg, &compute_only), None);
+        assert_eq!(mii(&dfg, &compute_only), None);
+        // A memory-free DFG is still bounded as usual.
+        let mut pure = Dfg::new("pure");
+        let a = pure.add_const(1);
+        let b = pure.add_node(Op::Neg);
+        pure.add_edge(a, b, 0);
+        assert_eq!(res_mii(&pure, &compute_only), Some(1));
     }
 }

@@ -31,7 +31,7 @@ fn main() {
     println!(" -----+-----+-----+-----------+----------");
     for n in 2..=5u16 {
         let cgra = Cgra::square(n);
-        let lower = mii(&kernel.dfg, &cgra);
+        let lower = mii(&kernel.dfg, &cgra).expect("suite kernels are mappable");
         let outcome = Mapper::new(&kernel.dfg, &cgra)
             .with_timeout(Duration::from_secs(timeout))
             .run();

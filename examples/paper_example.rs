@@ -54,7 +54,10 @@ fn main() {
     // Fig. 2c: map on a 2x2. ResMII = ceil(11/4) = 3, and the paper's
     // kernel indeed has II = 3.
     let cgra = Cgra::square(2);
-    println!("\nmapping on {cgra} (MII = {})...", mii(dfg, &cgra));
+    println!(
+        "\nmapping on {cgra} (MII = {})...",
+        mii(dfg, &cgra).unwrap()
+    );
     let outcome = Mapper::new(dfg, &cgra).run();
     let mapped = outcome.result.expect("the paper maps this at II=3");
     assert_eq!(mapped.ii(), 3, "paper Fig. 2 has a 3-cycle kernel");

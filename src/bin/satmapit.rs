@@ -161,6 +161,35 @@ fn reject_extra_positionals(parsed: &Parsed, expected: usize) {
     }
 }
 
+/// The `--incremental` / `--no-incremental` pair, shared by every
+/// mapping subcommand (one definition so wording and defaults cannot
+/// drift between `map`, `sweep` and `batch`).
+const INCREMENTAL_FLAG: FlagSpec = FlagSpec {
+    name: "--incremental",
+    takes_value: false,
+    help: "Incremental II ladder (the default): learned clauses carry across IIs",
+};
+const NO_INCREMENTAL_FLAG: FlagSpec = FlagSpec {
+    name: "--no-incremental",
+    takes_value: false,
+    help: "Re-encode and re-solve every II from scratch (the paper's loop)",
+};
+
+/// Resolves the `--incremental` / `--no-incremental` pair (incremental is
+/// the default; the last occurrence wins, mirroring repeated value flags).
+fn incremental_flag(parsed: &Parsed) -> bool {
+    parsed
+        .values
+        .iter()
+        .rev()
+        .find_map(|(name, _)| match *name {
+            "--incremental" => Some(true),
+            "--no-incremental" => Some(false),
+            _ => None,
+        })
+        .unwrap_or(true)
+}
+
 fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
     let Some(name) = name else {
         eprintln!("expected a kernel name; try `satmapit kernels`");
@@ -227,9 +256,11 @@ fn cmd_map(args: &[String]) {
             takes_value: true,
             help: "Allow up to this many routing (copy) nodes (default 0)",
         },
+        INCREMENTAL_FLAG,
+        NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit map <kernel> [--size N] [--timeout S] [--routing R]",
+        "satmapit map <kernel> [--size N] [--timeout S] [--routing R] [--no-incremental]",
         "Map one kernel onto an NxN mesh, print the kernel program and verify\nthe mapping by executing it against reference semantics.",
         &spec,
     );
@@ -246,16 +277,18 @@ fn cmd_map(args: &[String]) {
     let cgra = Cgra::square(size);
     let config = MapperConfig {
         timeout: Some(timeout),
+        incremental: incremental_flag(&parsed),
         ..MapperConfig::default()
     };
 
+    let fmt_bound = |b: Option<u32>| b.map_or_else(|| "∞".to_string(), |v| v.to_string());
     println!(
         "kernel `{}` on {} | MII = max(Res {}, Rec {}) = {}",
         kernel.name(),
         cgra,
-        res_mii(&kernel.dfg, &cgra),
+        fmt_bound(res_mii(&kernel.dfg, &cgra)),
         rec_mii(&kernel.dfg),
-        mii(&kernel.dfg, &cgra)
+        fmt_bound(mii(&kernel.dfg, &cgra))
     );
 
     let (dfg, outcome, used_routes) = if routes > 0 {
@@ -296,13 +329,17 @@ fn cmd_map(args: &[String]) {
 }
 
 fn cmd_sweep(args: &[String]) {
-    let spec = [FlagSpec {
-        name: "--timeout",
-        takes_value: true,
-        help: "Wall-clock budget in seconds per mesh size (default 60)",
-    }];
+    let spec = [
+        FlagSpec {
+            name: "--timeout",
+            takes_value: true,
+            help: "Wall-clock budget in seconds per mesh size (default 60)",
+        },
+        INCREMENTAL_FLAG,
+        NO_INCREMENTAL_FLAG,
+    ];
     let help = render_help(
-        "satmapit sweep <kernel> [--timeout S]",
+        "satmapit sweep <kernel> [--timeout S] [--no-incremental]",
         "Map one kernel on every mesh size 2x2..5x5 — one column of the\npaper's Figure 6.",
         &spec,
     );
@@ -310,21 +347,21 @@ fn cmd_sweep(args: &[String]) {
     reject_extra_positionals(&parsed, 1);
     let kernel = kernel_or_exit(parsed.positional.first());
     let timeout = Duration::from_secs(parsed.parse_num("--timeout", 60u64));
+    let config = MapperConfig {
+        timeout: Some(timeout),
+        incremental: incremental_flag(&parsed),
+        ..MapperConfig::default()
+    };
     println!(" size | MII | II  | time");
     for n in 2..=5u16 {
         let cgra = Cgra::square(n);
-        let outcome = Mapper::new(&kernel.dfg, &cgra).with_timeout(timeout).run();
+        let outcome = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(config.clone())
+            .run();
+        let lower = mii(&kernel.dfg, &cgra).map_or_else(|| "∞".to_string(), |v| v.to_string());
         match outcome.ii() {
-            Some(ii) => println!(
-                " {n}x{n}  | {:>3} | {ii:>3} | {:?}",
-                mii(&kernel.dfg, &cgra),
-                outcome.elapsed
-            ),
-            None => println!(
-                " {n}x{n}  | {:>3} |  ✕  | {:?}",
-                mii(&kernel.dfg, &cgra),
-                outcome.elapsed
-            ),
+            Some(ii) => println!(" {n}x{n}  | {lower:>3} | {ii:>3} | {:?}", outcome.elapsed),
+            None => println!(" {n}x{n}  | {lower:>3} |  ✕  | {:?}", outcome.elapsed),
         }
     }
 }
@@ -366,9 +403,11 @@ fn cmd_batch(args: &[String]) {
             takes_value: true,
             help: "Submit the batch this many times (exercises the cache; default 1)",
         },
+        INCREMENTAL_FLAG,
+        NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--repeat R]",
+        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--repeat R] [--no-incremental]",
         "Map the benchmark suite across mesh sizes through the parallel\nII-race engine, with content-hash result caching.",
         &spec,
     );
@@ -401,6 +440,7 @@ fn cmd_batch(args: &[String]) {
     let config = EngineConfig {
         mapper: MapperConfig {
             timeout: Some(timeout),
+            incremental: incremental_flag(&parsed),
             ..MapperConfig::default()
         },
         race_width: parsed.parse_num("--race", 4usize).max(1),

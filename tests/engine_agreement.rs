@@ -22,6 +22,45 @@ fn config_with_timeout() -> EngineConfig {
 }
 
 #[test]
+fn incremental_ladder_matches_scratch_on_4x4_for_every_kernel() {
+    // The tentpole guarantee: the incremental ladder (one live solver,
+    // learned clauses carried across IIs, UNSAT-core bound tightening)
+    // returns the same best II as the paper's scratch loop on the whole
+    // suite.
+    let cgra = Cgra::square(4);
+    let base = config_with_timeout().mapper;
+    for kernel in kernels::all() {
+        let scratch = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(sat_mapit::core::MapperConfig {
+                incremental: false,
+                ..base.clone()
+            })
+            .run();
+        let incremental = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(base.clone())
+            .run();
+        let scratch_ii = scratch
+            .ii()
+            .unwrap_or_else(|| panic!("{} should map (scratch) on 4x4", kernel.name()));
+        assert_eq!(
+            incremental.ii(),
+            Some(scratch_ii),
+            "{}: incremental ladder must return the scratch ladder's best II",
+            kernel.name()
+        );
+        // The per-II traces agree rung for rung, not just on the answer.
+        let scratch_trace: Vec<u32> = scratch.attempts.iter().map(|a| a.ii).collect();
+        let incr_trace: Vec<u32> = incremental.attempts.iter().map(|a| a.ii).collect();
+        assert_eq!(incr_trace, scratch_trace, "{}", kernel.name());
+        // And the incremental winner is independently valid + executable.
+        let mapped = incremental.result.expect("mapped above");
+        assert!(validate_mapping(&kernel.dfg, &cgra, &mapped.mapping).is_ok());
+        verify_mapping(&kernel.dfg, &cgra, &mapped, kernel.memory.clone(), 4)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    }
+}
+
+#[test]
 fn engine_matches_sequential_on_4x4_for_every_kernel() {
     let cgra = Cgra::square(4);
     let config = config_with_timeout();

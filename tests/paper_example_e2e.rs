@@ -12,7 +12,7 @@ use sat_mapit::sim::verify_mapping;
 fn maps_at_ii_3_on_2x2_like_fig2c() {
     let kernel = paper_example();
     let cgra = Cgra::square(2);
-    assert_eq!(mii(&kernel.dfg, &cgra), 3);
+    assert_eq!(mii(&kernel.dfg, &cgra), Some(3));
     let outcome = Mapper::new(&kernel.dfg, &cgra).run();
     let mapped = outcome.result.expect("paper maps it");
     assert_eq!(mapped.ii(), 3, "paper Fig. 2 kernel is 3 cycles");

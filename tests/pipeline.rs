@@ -22,7 +22,7 @@ fn map_and_verify(kernel: &kernels::Kernel, cgra: &Cgra) -> u32 {
         kernel.name(),
         cgra
     );
-    assert!(mapped.ii() >= mii(&kernel.dfg, cgra));
+    assert!(mapped.ii() >= mii(&kernel.dfg, cgra).unwrap());
     verify_mapping(
         &kernel.dfg,
         cgra,

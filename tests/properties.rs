@@ -34,7 +34,7 @@ proptest! {
         if let Ok(mapped) = outcome.result {
             prop_assert!(validate_mapping(&dfg, &cgra, &mapped.mapping).is_ok());
             let mapped_ii = mapped.ii();
-            prop_assert!(mapped_ii >= mii(&dfg, &cgra));
+            prop_assert!(mapped_ii >= mii(&dfg, &cgra).unwrap());
             let sim = verify_mapping(&dfg, &cgra, &mapped, vec![3; 64], 5);
             prop_assert!(sim.is_ok(), "{:?}", sim.err());
         }
@@ -48,7 +48,7 @@ proptest! {
         let mapper_config = MapperConfig { max_ii: 8, ..MapperConfig::default() };
         let outcome = Mapper::new(&dfg, &cgra).with_config(mapper_config).run();
         if let Some(ii) = outcome.ii() {
-            prop_assert!(ii >= res_mii(&dfg, &cgra));
+            prop_assert!(ii >= res_mii(&dfg, &cgra).unwrap());
             prop_assert!(ii >= rec_mii(&dfg));
         }
     }
@@ -58,7 +58,7 @@ proptest! {
     fn ims_schedules_are_legal(config in dfg_config(), ii_extra in 0u32..3) {
         let dfg = random_dfg(&config);
         let cgra = Cgra::square(3);
-        let ii = mii(&dfg, &cgra) + ii_extra;
+        let ii = mii(&dfg, &cgra).unwrap() + ii_extra;
         for p in [Priority::Height, Priority::Random(config.seed)] {
             if let Some(times) = modulo_schedule(&dfg, &cgra, ii, p, 40) {
                 prop_assert!(schedule_is_legal(&dfg, &cgra, &times, ii));
@@ -160,6 +160,72 @@ proptest! {
         if let Ok(mapped) = outcome.result {
             let sim = verify_mapping(&unrolled, &cgra, &mapped, vec![2; 64], 4);
             prop_assert!(sim.is_ok(), "{:?}", sim.err());
+        }
+    }
+
+    /// Cache-key sensitivity: mutating any single edge of a DFG — its
+    /// endpoint, operand slot, loop distance or live-in — must change the
+    /// engine fingerprint, or the result cache would serve a different
+    /// loop's mapping.
+    #[test]
+    fn single_edge_mutation_changes_fingerprint(
+        config in dfg_config(),
+        edge_sel in any::<u64>(),
+        field_sel in 0u8..4,
+    ) {
+        use sat_mapit::engine::{fingerprint::fingerprint, EngineConfig};
+
+        let dfg = random_dfg(&config);
+        if dfg.num_edges() == 0 {
+            return Ok(());
+        }
+        let target = (edge_sel as usize) % dfg.num_edges();
+
+        // Rebuild the DFG node-for-node, edge-for-edge, with exactly one
+        // field of one edge perturbed.
+        let mut mutated = sat_mapit::dfg::Dfg::new(dfg.name());
+        for n in dfg.node_ids() {
+            let node = dfg.node(n);
+            mutated.add_node_labeled(node.op, node.imm, node.label.clone());
+        }
+        for (i, (_, e)) in dfg.edges().enumerate() {
+            let mut src = e.src;
+            let mut operand = e.operand;
+            let mut distance = e.distance;
+            let mut init = e.init;
+            if i == target {
+                match field_sel {
+                    0 => operand = operand.wrapping_add(1),
+                    1 => distance += 1,
+                    2 => init = init.wrapping_add(1),
+                    _ => src = sat_mapit::dfg::NodeId((src.0 + 1) % dfg.num_nodes() as u32),
+                }
+            }
+            if distance > 0 {
+                mutated.add_back_edge(src, e.dst, operand, distance, init);
+            } else {
+                mutated.add_edge(src, e.dst, operand);
+            }
+        }
+
+        let cgra = Cgra::square(3);
+        let engine_config = EngineConfig::default();
+        let original = fingerprint(&dfg, &cgra, &engine_config);
+        let changed = fingerprint(&mutated, &cgra, &engine_config);
+        // Some mutations are not representable (an init tweak on a
+        // distance-0 edge is dropped by `add_edge`; endpoint arithmetic
+        // can wrap onto the original). Every mutation that actually
+        // changed the edge must change the hash.
+        let identical = mutated
+            .edges()
+            .nth(target)
+            .map(|(_, e)| (e.src, e.dst, e.operand, e.distance, e.init))
+            == dfg
+                .edges()
+                .nth(target)
+                .map(|(_, e)| (e.src, e.dst, e.operand, e.distance, e.init));
+        if !identical {
+            prop_assert_ne!(original, changed, "edge {} field {}", target, field_sel);
         }
     }
 

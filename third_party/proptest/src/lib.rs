@@ -162,4 +162,15 @@ macro_rules! prop_assert_ne {
             }
         }
     };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
 }
