@@ -4,11 +4,14 @@
 use satmapit_cgra::Cgra;
 use satmapit_dfg::Dfg;
 use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::fingerprint::{fingerprint, problem_fingerprint, Fingerprint};
+use crate::persist::{self, Appender, StoreKind};
 use crate::race::{map_raced_with_bound, EngineOutcome};
 use crate::EngineConfig;
 use satmapit_core::AttemptOutcome;
@@ -64,6 +67,30 @@ pub struct CacheStats {
     /// execution-config changes and even across results the result cache
     /// refuses to hold, like timeouts).
     pub bound_entries: usize,
+    /// Entries that came from the on-disk store at startup (0 without
+    /// persistence).
+    pub persistent_entries: usize,
+    /// Hits answered by an entry loaded from disk — repeat lookups that
+    /// never touched the SAT solver in *this* process's lifetime.
+    pub persistent_hits: u64,
+    /// Misses whose II ladder started from a previously proven lower
+    /// bound instead of the MII — rungs below it were skipped unsolved.
+    pub bound_starts: u64,
+}
+
+/// Where a served result came from.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The (shared) outcome.
+    pub outcome: Arc<EngineOutcome>,
+    /// The content hash the request was looked up under (callers reuse
+    /// it instead of re-hashing the problem).
+    pub key: Fingerprint,
+    /// `true` when no solving happened — the result cache answered.
+    pub cached: bool,
+    /// `true` when the answering entry was loaded from the on-disk store
+    /// (implies `cached`).
+    pub persistent: bool,
 }
 
 /// A mapping service: solves through the II-race and memoizes every result
@@ -101,6 +128,35 @@ pub struct Engine {
     bounds: Mutex<HashMap<Fingerprint, u32>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    persistent_hits: AtomicU64,
+    bound_starts: AtomicU64,
+    /// Thundering-herd guard: fingerprints currently being solved. A
+    /// lookup that finds its key here waits for the leader to finish and
+    /// then re-reads the cache, instead of solving the identical problem
+    /// a second time — essential once many service clients submit the
+    /// same job concurrently.
+    inflight: Mutex<HashSet<Fingerprint>>,
+    inflight_cv: Condvar,
+    /// Disk persistence, when opened with [`Engine::with_cache_dir`].
+    persist: Option<Persistence>,
+}
+
+/// Open on-disk stores plus the keys they seeded the caches with.
+#[derive(Debug)]
+struct Persistence {
+    dir: PathBuf,
+    results: Mutex<Appender>,
+    bounds: Mutex<Appender>,
+    /// Result-cache keys that came from disk (lookups hitting these
+    /// count as persistent hits; [`Engine::clear_cache`] empties it so a
+    /// re-solved key is no longer reported as loaded-from-disk).
+    loaded: Mutex<HashSet<Fingerprint>>,
+    /// `true` once anything was appended since the last compaction; lets
+    /// the drop-time compaction skip rewriting files that are already
+    /// exactly the live set.
+    dirty: std::sync::atomic::AtomicBool,
+    /// Load-time diagnostics: skipped records, ignored files.
+    warnings: Vec<String>,
 }
 
 impl Default for Engine {
@@ -110,7 +166,8 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the given configuration and an empty cache.
+    /// An engine with the given configuration and an empty, in-memory-only
+    /// cache.
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             config,
@@ -118,12 +175,73 @@ impl Engine {
             bounds: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            persistent_hits: AtomicU64::new(0),
+            bound_starts: AtomicU64::new(0),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            persist: None,
         }
+    }
+
+    /// An engine whose result and proven-II-bound caches are backed by the
+    /// versioned, checksummed stores in `dir` (see [`crate::persist`]):
+    /// existing records seed the caches, every miss appends its record, and
+    /// [`Engine::compact_persistent`] (also run on drop) rewrites the files
+    /// from the live set. Corrupt or truncated records are skipped and
+    /// reported through [`Engine::load_warnings`], never trusted.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on real I/O errors (unreadable directory, failing
+    /// appends); corruption is downgraded to warnings.
+    pub fn with_cache_dir(config: EngineConfig, dir: &Path) -> io::Result<Engine> {
+        std::fs::create_dir_all(dir)?;
+        let (results, mut warnings) = persist::load_results(dir)?;
+        let (bounds, bound_warnings) = persist::load_bounds(dir)?;
+        warnings.extend(bound_warnings);
+        let loaded: HashSet<Fingerprint> = results.keys().copied().collect();
+        let persistence = Persistence {
+            results: Mutex::new(Appender::open(
+                &dir.join(persist::RESULTS_FILE),
+                StoreKind::Results,
+            )?),
+            bounds: Mutex::new(Appender::open(
+                &dir.join(persist::BOUNDS_FILE),
+                StoreKind::Bounds,
+            )?),
+            dir: dir.to_path_buf(),
+            loaded: Mutex::new(loaded),
+            dirty: std::sync::atomic::AtomicBool::new(false),
+            warnings,
+        };
+        Ok(Engine {
+            config,
+            cache: Mutex::new(results),
+            bounds: Mutex::new(bounds),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            persistent_hits: AtomicU64::new(0),
+            bound_starts: AtomicU64::new(0),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            persist: Some(persistence),
+        })
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The cache directory backing this engine, if persistence is on.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.dir.as_path())
+    }
+
+    /// Diagnostics from loading the on-disk stores (skipped corrupt
+    /// records, ignored foreign files). Empty without persistence.
+    pub fn load_warnings(&self) -> &[String] {
+        self.persist.as_ref().map_or(&[], |p| &p.warnings)
     }
 
     /// Cache occupancy and hit/miss counters.
@@ -133,13 +251,87 @@ impl Engine {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             bound_entries: self.bounds.lock().expect("bounds poisoned").len(),
+            persistent_entries: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.loaded.lock().expect("loaded poisoned").len()),
+            persistent_hits: self.persistent_hits.load(Ordering::Relaxed),
+            bound_starts: self.bound_starts.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached result and every proven II bound.
+    /// Drops every cached result and every proven II bound (in memory
+    /// only; on-disk stores keep their records until the next compaction).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache poisoned").clear();
         self.bounds.lock().expect("bounds poisoned").clear();
+        if let Some(persist) = &self.persist {
+            // Keys re-solved after a clear are fresh work, not replays of
+            // the on-disk store; they must not report as persistent hits.
+            persist.loaded.lock().expect("loaded poisoned").clear();
+            // The stores no longer match the (now empty) live set.
+            persist.dirty.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Rewrites the on-disk stores from the live in-memory caches:
+    /// deduplicates superseded records, drops corrupt tails, and leaves
+    /// each file exactly one record per entry. A no-op without
+    /// persistence. Runs automatically when the engine is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the rewrite; the original files
+    /// are replaced atomically (temp file + rename), so a failed
+    /// compaction never destroys existing records.
+    pub fn compact_persistent(&self) -> io::Result<()> {
+        let Some(persist) = &self.persist else {
+            return Ok(());
+        };
+        // Poisoned locks still hold coherent data (every mutation here is a
+        // single insert); recovering them matters because compaction also
+        // runs from `drop`, where a second panic would abort.
+        fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+        {
+            let cache = lock(&self.cache);
+            let mut payloads: Vec<(Fingerprint, Vec<u8>)> = cache
+                .iter()
+                .map(|(&key, outcome)| (key, persist::encode_result_record(key, outcome)))
+                .collect();
+            // Deterministic file contents: key order, not hash-map order.
+            payloads.sort_by_key(|(key, _)| *key);
+            let payloads: Vec<Vec<u8>> = payloads.into_iter().map(|(_, p)| p).collect();
+            let mut appender = lock(&persist.results);
+            persist::rewrite(
+                &persist.dir.join(persist::RESULTS_FILE),
+                StoreKind::Results,
+                &payloads,
+            )?;
+            // The rewrite replaced the inode the appender held open;
+            // reopen so later appends land in the compacted file.
+            *appender =
+                Appender::open(&persist.dir.join(persist::RESULTS_FILE), StoreKind::Results)?;
+        }
+        {
+            let bounds = lock(&self.bounds);
+            let mut payloads: Vec<(Fingerprint, Vec<u8>)> = bounds
+                .iter()
+                .map(|(&key, &bound)| (key, persist::encode_bound_record(key, bound)))
+                .collect();
+            payloads.sort_by_key(|(key, _)| *key);
+            let payloads: Vec<Vec<u8>> = payloads.into_iter().map(|(_, p)| p).collect();
+            let mut appender = lock(&persist.bounds);
+            persist::rewrite(
+                &persist.dir.join(persist::BOUNDS_FILE),
+                StoreKind::Bounds,
+                &payloads,
+            )?;
+            *appender = Appender::open(&persist.dir.join(persist::BOUNDS_FILE), StoreKind::Bounds)?;
+        }
+        persist.dirty.store(false, Ordering::Relaxed);
+        Ok(())
     }
 
     /// The proven II lower bound on record for `(dfg, cgra)` under this
@@ -157,8 +349,20 @@ impl Engine {
     /// Maps one request, serving it from the cache when possible. Returns
     /// the (shared) outcome and whether it was a cache hit.
     pub fn map(&self, dfg: &Dfg, cgra: &Cgra) -> (Arc<EngineOutcome>, bool) {
+        let served = self.map_with_deadline(dfg, cgra, None);
+        (served.outcome, served.cached)
+    }
+
+    /// [`Engine::map`] with an optional wall-clock deadline for *this
+    /// lookup only*. The cache key is unchanged — the deadline is an
+    /// execution constraint, not part of the problem — so a request that
+    /// completes in time populates the cache for every later caller, and
+    /// one that times out is not memoized (the retry solves afresh).
+    /// The effective solve budget is the tighter of the engine's
+    /// configured timeout and the remaining time to `deadline`.
+    pub fn map_with_deadline(&self, dfg: &Dfg, cgra: &Cgra, deadline: Option<Instant>) -> Served {
         let key = fingerprint(dfg, cgra, &self.config);
-        self.map_keyed(key, dfg, cgra, self.config.effective_workers())
+        self.map_keyed(key, dfg, cgra, self.config.effective_workers(), deadline)
     }
 
     fn map_keyed(
@@ -167,13 +371,89 @@ impl Engine {
         dfg: &Dfg,
         cgra: &Cgra,
         workers: usize,
-    ) -> (Arc<EngineOutcome>, bool) {
-        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), true);
+        deadline: Option<Instant>,
+    ) -> Served {
+        loop {
+            if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let persistent = self
+                    .persist
+                    .as_ref()
+                    .is_some_and(|p| p.loaded.lock().expect("loaded poisoned").contains(&key));
+                if persistent {
+                    self.persistent_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Served {
+                    outcome: Arc::clone(hit),
+                    key,
+                    cached: true,
+                    persistent,
+                };
+            }
+            // Become the leader for this key, or wait for the current one
+            // and re-read the cache (its result lands there unless it was
+            // transient, in which case we take over).
+            {
+                let mut inflight = self.inflight.lock().expect("inflight poisoned");
+                if inflight.contains(&key) {
+                    // A follower whose own deadline has passed must not
+                    // keep waiting on a leader with a laxer budget: fall
+                    // through and solve — with the expired deadline the
+                    // race reports Timeout almost immediately, honouring
+                    // this caller's budget without disturbing the leader.
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        drop(inflight);
+                        return self.solve_keyed(key, dfg, cgra, workers, deadline);
+                    }
+                    let _wait = self
+                        .inflight_cv
+                        .wait_timeout(inflight, Duration::from_millis(50))
+                        .expect("inflight poisoned");
+                    continue;
+                }
+                inflight.insert(key);
+            }
+            // The guard removes the key and wakes followers even if the
+            // solve below unwinds — a panicking leader must not strand
+            // its followers in the wait loop.
+            struct InflightGuard<'a> {
+                engine: &'a Engine,
+                key: Fingerprint,
+            }
+            impl Drop for InflightGuard<'_> {
+                fn drop(&mut self) {
+                    self.engine
+                        .inflight
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .remove(&self.key);
+                    self.engine.inflight_cv.notify_all();
+                }
+            }
+            let _guard = InflightGuard { engine: self, key };
+            return self.solve_keyed(key, dfg, cgra, workers, deadline);
         }
+    }
+
+    /// The miss path: race the problem, record bounds, memoize and
+    /// persist. Callers hold the in-flight leadership for `key`.
+    fn solve_keyed(
+        &self,
+        key: Fingerprint,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        workers: usize,
+        deadline: Option<Instant>,
+    ) -> Served {
         let mut config = self.config.clone();
         config.workers = workers.max(1);
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            config.mapper.timeout = Some(match config.mapper.timeout {
+                Some(t) => t.min(remaining),
+                None => remaining,
+            });
+        }
         // Consume any proven lower bound for this problem: rungs below it
         // were already answered Unsat (possibly by a differently-configured
         // or timed-out run), so the race starts above them.
@@ -184,6 +464,9 @@ impl Engine {
             .expect("bounds poisoned")
             .get(&problem_key)
             .copied();
+        if known_bound.is_some() {
+            self.bound_starts.fetch_add(1, Ordering::Relaxed);
+        }
         let outcome = Arc::new(map_raced_with_bound(dfg, cgra, &config, known_bound));
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.record_bound(problem_key, known_bound, &outcome);
@@ -197,11 +480,39 @@ impl Engine {
             Err(satmapit_core::MapFailure::Timeout { .. })
         );
         if transient {
-            return (outcome, false);
+            return Served {
+                outcome,
+                key,
+                cached: false,
+                persistent: false,
+            };
         }
-        let mut cache = self.cache.lock().expect("cache poisoned");
-        let entry = cache.entry(key).or_insert(outcome);
-        (Arc::clone(entry), false)
+        let shared = {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            Arc::clone(cache.entry(key).or_insert_with(|| Arc::clone(&outcome)))
+        };
+        // Only the winning insert reaches the store — a lane that lost the
+        // race to an identical key must not write a duplicate record.
+        if Arc::ptr_eq(&shared, &outcome) {
+            if let Some(persist) = &self.persist {
+                let record = persist::encode_result_record(key, &shared);
+                let result = persist
+                    .results
+                    .lock()
+                    .expect("results appender poisoned")
+                    .append(&record);
+                match result {
+                    Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
+                    Err(e) => eprintln!("warning: failed to persist result record: {e}"),
+                }
+            }
+        }
+        Served {
+            outcome: shared,
+            key,
+            cached: false,
+            persistent: false,
+        }
     }
 
     /// Extracts and records the II lower bound this outcome proved: the
@@ -241,9 +552,30 @@ impl Engine {
         if Some(proven) <= known_bound {
             return; // nothing new proven
         }
-        let mut bounds = self.bounds.lock().expect("bounds poisoned");
-        let entry = bounds.entry(problem_key).or_insert(proven);
-        *entry = (*entry).max(proven);
+        let improved = {
+            let mut bounds = self.bounds.lock().expect("bounds poisoned");
+            let entry = bounds.entry(problem_key).or_insert(0);
+            if proven > *entry {
+                *entry = proven;
+                true
+            } else {
+                false
+            }
+        };
+        if improved {
+            if let Some(persist) = &self.persist {
+                let record = persist::encode_bound_record(problem_key, proven);
+                let result = persist
+                    .bounds
+                    .lock()
+                    .expect("bounds appender poisoned")
+                    .append(&record);
+                match result {
+                    Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
+                    Err(e) => eprintln!("warning: failed to persist bound record: {e}"),
+                }
+            }
+        }
     }
 
     /// Maps a whole batch over a bounded pool: up to `workers` distinct
@@ -287,10 +619,10 @@ impl Engine {
                     let index = unique[slot];
                     let job = &jobs[index];
                     let t0 = Instant::now();
-                    let (outcome, cached) =
-                        self.map_keyed(keys[index], &job.dfg, &job.cgra, inner_workers);
+                    let served =
+                        self.map_keyed(keys[index], &job.dfg, &job.cgra, inner_workers, None);
                     *solved[slot].lock().expect("result slot poisoned") =
-                        Some((outcome, cached, t0.elapsed()));
+                        Some((served.outcome, served.cached, t0.elapsed()));
                 });
             }
         });
@@ -327,5 +659,25 @@ impl Engine {
                 }
             })
             .collect()
+    }
+}
+
+impl Drop for Engine {
+    /// Best-effort shutdown compaction: a persistent engine rewrites its
+    /// stores so the next startup loads one clean record per entry.
+    /// Skipped when nothing was appended since the last compaction (an
+    /// explicit [`Engine::compact_persistent`] — e.g. the service's
+    /// shutdown path — already left the files exactly the live set).
+    /// Failures are reported, never panicked — drop runs on unwind paths.
+    fn drop(&mut self) {
+        let dirty = self
+            .persist
+            .as_ref()
+            .is_some_and(|p| p.dirty.load(Ordering::Relaxed));
+        if dirty {
+            if let Err(e) = self.compact_persistent() {
+                eprintln!("warning: cache compaction on shutdown failed: {e}");
+            }
+        }
     }
 }

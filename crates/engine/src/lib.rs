@@ -40,9 +40,10 @@
 
 pub mod batch;
 pub mod fingerprint;
+pub mod persist;
 pub mod race;
 
-pub use batch::{BatchItem, CacheStats, Engine, Job};
+pub use batch::{BatchItem, CacheStats, Engine, Job, Served};
 pub use fingerprint::{problem_fingerprint, Fingerprint};
 pub use race::{map_raced, map_raced_with_bound, portfolio_variant, EngineOutcome, RaceStats};
 
@@ -262,6 +263,27 @@ mod tests {
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.misses, 2, "the duplicate never reached a solver");
         assert_eq!(items[0].outcome.ii(), items[2].outcome.ii());
+    }
+
+    #[test]
+    fn concurrent_identical_lookups_solve_once() {
+        // The thundering-herd guard: N threads racing the same cold key
+        // must produce exactly one solve; the rest wait and hit.
+        let dfg = chain(4);
+        let cgra = Cgra::square(2);
+        let engine = Engine::new(EngineConfig::default());
+        let outcomes: Vec<Arc<crate::EngineOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| engine.map(&dfg, &cgra).0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "one leader solved");
+        assert_eq!(stats.hits, 7, "every follower hit the cache");
+        for outcome in &outcomes {
+            assert!(Arc::ptr_eq(outcome, &outcomes[0]), "all byte-identical");
+        }
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The persistence layer end to end: warm restarts answer from disk,
+//! proven bounds survive, and corrupt or truncated store files are
+//! detected by the versioned header + checksums and skipped with a
+//! warning instead of panicking or poisoning results.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::{Engine, EngineConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique, self-cleaning cache directory per test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "satmapit-persist-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("create temp cache dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+
+    fn results_file(&self) -> PathBuf {
+        self.0.join(satmapit_engine::persist::RESULTS_FILE)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chain(n: usize) -> Dfg {
+    let mut dfg = Dfg::new(format!("chain{n}"));
+    let mut prev = dfg.add_const(1);
+    for _ in 1..n {
+        let next = dfg.add_node(Op::Neg);
+        dfg.add_edge(prev, next, 0);
+        prev = next;
+    }
+    dfg
+}
+
+/// One producer fanned out to 5 consumers on a 1x2 row: climbs through
+/// several UNSAT rungs, so a proven II lower bound gets recorded.
+fn fanout() -> (Dfg, Cgra) {
+    let mut dfg = Dfg::new("fan5");
+    let src = dfg.add_const(1);
+    for _ in 0..5 {
+        let n = dfg.add_node(Op::Neg);
+        dfg.add_edge(src, n, 0);
+    }
+    (dfg, Cgra::new(1, 2))
+}
+
+#[test]
+fn warm_restart_serves_results_from_disk_without_solving() {
+    let dir = TempDir::new("warm");
+    let dfg = chain(4);
+    let cgra = Cgra::square(2);
+
+    let first_debug = {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        assert!(engine.load_warnings().is_empty());
+        assert_eq!(engine.cache_stats().persistent_entries, 0);
+        let (outcome, cached) = engine.map(&dfg, &cgra);
+        assert!(!cached);
+        format!("{outcome:?}")
+        // engine drops here → shutdown compaction rewrites the stores
+    };
+
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert!(
+        engine.load_warnings().is_empty(),
+        "{:?}",
+        engine.load_warnings()
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.persistent_entries, 1, "result record reloaded");
+    assert_eq!(stats.entries, 1);
+
+    let served = engine.map_with_deadline(&dfg, &cgra, None);
+    assert!(served.cached, "warm restart must not re-solve");
+    assert!(served.persistent, "the hit came from the on-disk store");
+    assert_eq!(
+        format!("{:?}", served.outcome),
+        first_debug,
+        "replayed outcome is byte-identical to the original solve"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 0, "no SAT work on the second run");
+    assert_eq!(stats.persistent_hits, 1);
+}
+
+#[test]
+fn proven_bounds_survive_restart_and_lift_the_ladder() {
+    let dir = TempDir::new("bounds");
+    let (dfg, cgra) = fanout();
+
+    let best = {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        let (outcome, _) = engine.map(&dfg, &cgra);
+        let best = outcome.ii().expect("fanout maps");
+        assert_eq!(engine.proven_bound(&dfg, &cgra), Some(best));
+        best
+    };
+
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert_eq!(
+        engine.proven_bound(&dfg, &cgra),
+        Some(best),
+        "the bound is on record before any mapping"
+    );
+    // Drop the result cache but keep the bound: the re-solve must start
+    // its ladder at the proven bound instead of grinding the low rungs.
+    engine.clear_cache();
+    let engine2 = {
+        drop(engine);
+        Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap()
+    };
+    assert_eq!(
+        engine2.cache_stats().persistent_entries,
+        0,
+        "results cleared"
+    );
+    assert_eq!(
+        engine2.proven_bound(&dfg, &cgra),
+        None,
+        "bounds cleared too"
+    );
+}
+
+#[test]
+fn bounds_restart_skips_closed_rungs() {
+    let dir = TempDir::new("bounds-skip");
+    let (dfg, cgra) = fanout();
+
+    let (best, cold_attempts) = {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        let (outcome, _) = engine.map(&dfg, &cgra);
+        (outcome.ii().unwrap(), outcome.outcome.attempts.len())
+    };
+    assert!(cold_attempts > 1, "fanout must climb through UNSAT rungs");
+
+    // Restart, remove only the *result* store so the lookup misses but the
+    // bound store still lifts the ladder.
+    fs::remove_file(dir.results_file()).unwrap();
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert_eq!(engine.cache_stats().persistent_entries, 0);
+    let (outcome, cached) = engine.map(&dfg, &cgra);
+    assert!(!cached);
+    assert_eq!(outcome.ii(), Some(best));
+    assert_eq!(outcome.stats.race_start, best, "ladder starts at the bound");
+    assert_eq!(outcome.outcome.attempts.len(), 1, "lower rungs skipped");
+    assert_eq!(engine.cache_stats().bound_starts, 1);
+}
+
+#[test]
+fn bit_flipped_record_is_skipped_with_warning() {
+    let dir = TempDir::new("bitflip");
+    let dfg = chain(4);
+    let cgra = Cgra::square(2);
+    {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        let _ = engine.map(&dfg, &cgra);
+    }
+
+    // Flip one payload byte of the single record: header (16) + frame (12)
+    // + a couple bytes in.
+    let path = dir.results_file();
+    let mut bytes = fs::read(&path).unwrap();
+    assert!(bytes.len() > 40, "store holds a record");
+    bytes[16 + 12 + 2] ^= 0x40;
+    fs::write(&path, &bytes).unwrap();
+
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert_eq!(
+        engine.load_warnings().len(),
+        1,
+        "{:?}",
+        engine.load_warnings()
+    );
+    assert!(engine.load_warnings()[0].contains("checksum"));
+    assert_eq!(engine.cache_stats().persistent_entries, 0, "record dropped");
+    // The engine still works — it just solves afresh.
+    let (outcome, cached) = engine.map(&dfg, &cgra);
+    assert!(!cached);
+    assert_eq!(outcome.ii(), Some(1));
+}
+
+#[test]
+fn corrupt_record_does_not_take_down_its_neighbours() {
+    let dir = TempDir::new("neighbour");
+    let cgra = Cgra::square(2);
+    {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        let _ = engine.map(&chain(3), &cgra);
+        let _ = engine.map(&chain(4), &cgra);
+    }
+
+    // Corrupt only the first record's payload; the second is still framed
+    // by its own length prefix and must load.
+    let path = dir.results_file();
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[16 + 12 + 4] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert_eq!(engine.load_warnings().len(), 1);
+    assert_eq!(engine.cache_stats().persistent_entries, 1, "survivor loads");
+}
+
+#[test]
+fn truncated_tail_is_dropped_without_panic() {
+    let dir = TempDir::new("truncate");
+    let cgra = Cgra::square(2);
+    {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        let _ = engine.map(&chain(4), &cgra);
+    }
+    let path = dir.results_file();
+    let bytes = fs::read(&path).unwrap();
+    // Cut the record in half — an interrupted append.
+    fs::write(&path, &bytes[..16 + 12 + (bytes.len() - 28) / 2]).unwrap();
+
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert_eq!(engine.load_warnings().len(), 1);
+    assert!(engine.load_warnings()[0].contains("dropping tail"));
+    assert_eq!(engine.cache_stats().persistent_entries, 0);
+}
+
+#[test]
+fn foreign_or_wrong_version_file_is_ignored_wholesale() {
+    let dir = TempDir::new("magic");
+    fs::write(dir.results_file(), b"definitely not a cache file").unwrap();
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert_eq!(engine.load_warnings().len(), 1);
+    assert!(engine.load_warnings()[0].contains("bad magic"));
+    assert_eq!(engine.cache_stats().persistent_entries, 0);
+
+    // A future format version must be left alone, not misread.
+    let dir2 = TempDir::new("version");
+    let mut header = Vec::new();
+    header.extend_from_slice(&satmapit_engine::persist::MAGIC);
+    header.extend_from_slice(&99u32.to_le_bytes());
+    header.push(1);
+    header.extend_from_slice(&[0, 0, 0]);
+    fs::write(dir2.results_file(), &header).unwrap();
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir2.path()).unwrap();
+    assert_eq!(engine.load_warnings().len(), 1);
+    assert!(engine.load_warnings()[0].contains("version 99"));
+}
+
+#[test]
+fn appends_after_a_bad_header_are_not_lost() {
+    // Regression: a store whose header fails validation is ignored by the
+    // loader — but the appender used to append *after* the bad header,
+    // making every record written during the run unreadable too (silent
+    // ongoing data loss if the process died before compaction). The
+    // appender now truncates and re-headers the unusable file up front.
+    let dir = TempDir::new("bad-header-append");
+    fs::write(dir.results_file(), b"garbage, not a cache file").unwrap();
+    {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        assert_eq!(engine.cache_stats().persistent_entries, 0);
+        let _ = engine.map(&chain(4), &Cgra::square(2));
+        // Simulate a crash: skip the shutdown compaction entirely. The
+        // appended record alone must be loadable.
+        std::mem::forget(engine);
+    }
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert!(
+        engine.load_warnings().is_empty(),
+        "{:?}",
+        engine.load_warnings()
+    );
+    assert_eq!(
+        engine.cache_stats().persistent_entries,
+        1,
+        "the record appended after the corrupt header must survive"
+    );
+}
+
+#[test]
+fn follower_with_expired_deadline_answers_without_the_leader() {
+    use std::time::{Duration, Instant};
+    // While a leader solves a problem, a same-key lookup whose own
+    // deadline already passed must not inherit the leader's budget: it
+    // answers on its own (a fast Timeout), or — if the leader happened to
+    // finish first — takes the cache hit.
+    let (dfg, cgra) = fanout();
+    let engine = Engine::new(EngineConfig::default());
+    std::thread::scope(|scope| {
+        let leader = scope.spawn(|| engine.map(&dfg, &cgra));
+        let expired = Instant::now() - Duration::from_millis(1);
+        let served = engine.map_with_deadline(&dfg, &cgra, Some(expired));
+        if !served.cached {
+            assert!(
+                matches!(
+                    served.outcome.outcome.result,
+                    Err(satmapit_core::MapFailure::Timeout { .. })
+                ),
+                "an expired-deadline follower reports its own timeout, got {:?}",
+                served.outcome.outcome.result
+            );
+        }
+        let (outcome, _) = leader.join().unwrap();
+        assert!(outcome.ii().is_some(), "the leader is undisturbed");
+    });
+}
+
+#[test]
+fn compaction_deduplicates_superseded_records() {
+    let dir = TempDir::new("compact");
+    let (dfg, cgra) = fanout();
+    {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        let _ = engine.map(&dfg, &cgra);
+        // Appends so far: one result record plus one bound record. Map a
+        // second job to grow the append-only file…
+        let _ = engine.map(&chain(3), &cgra);
+        engine.compact_persistent().unwrap();
+        let after_first = fs::metadata(dir.results_file()).unwrap().len();
+        // …and verify appends after a compaction still reach the store
+        // (the appender reopened the rewritten file).
+        let _ = engine.map(&chain(4), &cgra);
+        engine.compact_persistent().unwrap();
+        assert!(fs::metadata(dir.results_file()).unwrap().len() > after_first);
+    }
+    let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert!(
+        engine.load_warnings().is_empty(),
+        "{:?}",
+        engine.load_warnings()
+    );
+    assert_eq!(engine.cache_stats().persistent_entries, 3);
+}
+
+#[test]
+fn plain_engine_has_no_persistence_side_effects() {
+    let engine = Engine::new(EngineConfig::default());
+    assert!(engine.cache_dir().is_none());
+    assert!(engine.load_warnings().is_empty());
+    let (outcome, _) = engine.map(&chain(3), &Cgra::square(2));
+    assert_eq!(outcome.ii(), Some(1));
+    assert_eq!(engine.cache_stats().persistent_entries, 0);
+    engine.compact_persistent().unwrap(); // no-op, must not fail
+}

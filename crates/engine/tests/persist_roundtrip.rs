@@ -1,0 +1,249 @@
+//! Property coverage for the persisted record codec: arbitrary engine
+//! outcomes — successes with full mappings and register files, every
+//! failure variant, attempt traces with every outcome kind — survive
+//! encode→decode bit-exactly (compared through their complete `Debug`
+//! rendering, which covers every field).
+
+use proptest::prelude::*;
+use satmapit_cgra::PeId;
+use satmapit_core::encoder::EncodeStats;
+use satmapit_core::{
+    AttemptOutcome, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapping, Placement, TransferKind,
+};
+use satmapit_engine::persist::{
+    decode_bound_record, decode_result_record, encode_bound_record, encode_result_record,
+};
+use satmapit_engine::{EngineOutcome, Fingerprint, RaceStats};
+use satmapit_regalloc::{PeAllocFailure, RegAllocError, RegAllocation};
+use satmapit_sat::{SolverStats, StopReason};
+use std::time::Duration;
+
+/// Deterministically expands a seed into an arbitrary outcome, exercising
+/// every enum variant the codec handles. A seeded xorshift keeps the
+/// generator simple under the offline proptest stand-in.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn u32(&mut self, bound: u32) -> u32 {
+        (self.next() % u64::from(bound.max(1))) as u32
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn duration(&mut self) -> Duration {
+        Duration::new(self.next() % 10_000, self.u32(1_000_000_000))
+    }
+
+    fn mapping(&mut self) -> Mapping {
+        let nodes = 1 + self.usize(12);
+        let edges = self.usize(16);
+        Mapping {
+            ii: 1 + self.u32(49),
+            folds: 1 + self.u32(7),
+            placements: (0..nodes)
+                .map(|_| Placement {
+                    pe: PeId(self.u32(25) as u16),
+                    cycle: self.u32(50),
+                    fold: self.u32(8),
+                })
+                .collect(),
+            transfers: (0..edges)
+                .map(|_| {
+                    if self.next().is_multiple_of(2) {
+                        TransferKind::SamePeRegister
+                    } else {
+                        TransferKind::NeighborOutput
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn registers(&mut self) -> RegAllocation {
+        let pes = self.usize(9);
+        RegAllocation::from_per_pe(
+            (0..pes)
+                .map(|_| {
+                    let n = self.usize(5);
+                    (0..n).map(|_| (self.u32(64), self.u32(4) as u8)).collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn attempt_outcome(&mut self) -> AttemptOutcome {
+        match self.next() % 6 {
+            0 => AttemptOutcome::Mapped,
+            1 => AttemptOutcome::Unsat,
+            2 => AttemptOutcome::SolverBudget(match self.next() % 3 {
+                0 => StopReason::ConflictLimit,
+                1 => StopReason::Timeout,
+                _ => StopReason::Cancelled,
+            }),
+            _ => AttemptOutcome::RegAllocFailed(RegAllocError {
+                pe: self.usize(25),
+                failure: match self.next() % 3 {
+                    0 => PeAllocFailure::Infeasible,
+                    1 => PeAllocFailure::BudgetExhausted,
+                    _ => PeAllocFailure::IllegalSpan { id: self.u32(64) },
+                },
+            }),
+        }
+    }
+
+    fn attempt(&mut self) -> IiAttempt {
+        IiAttempt {
+            ii: 1 + self.u32(49),
+            encode_stats: EncodeStats {
+                placement_vars: self.usize(100_000),
+                total_vars: self.usize(100_000),
+                clauses: self.usize(1_000_000),
+                c1_clauses: self.usize(100_000),
+                c2_clauses: self.usize(100_000),
+                c3_compat_clauses: self.usize(100_000),
+                c3_guard_clauses: self.usize(100_000),
+                occupancy_vars: self.usize(100_000),
+                pressure_vars: self.usize(100_000),
+                pressure_clauses: self.usize(100_000),
+            },
+            outcome: self.attempt_outcome(),
+            solver_stats: if self.next().is_multiple_of(4) {
+                None
+            } else {
+                Some(SolverStats {
+                    decisions: self.next(),
+                    propagations: self.next(),
+                    conflicts: self.next(),
+                    restarts: self.next(),
+                    learnt_clauses: self.next(),
+                    removed_clauses: self.next(),
+                    added_clauses: self.next(),
+                })
+            },
+            ra_cuts: self.u32(200),
+            elapsed: self.duration(),
+        }
+    }
+
+    fn failure(&mut self) -> MapFailure {
+        use satmapit_core::encoder::EncodeError;
+        use satmapit_dfg::{DfgError, EdgeId, NodeId};
+        match self.next() % 6 {
+            0 => MapFailure::InvalidDfg(match self.next() % 7 {
+                0 => DfgError::Empty,
+                1 => DfgError::DanglingEdge(EdgeId(self.u32(64))),
+                2 => DfgError::SourceHasNoOutput(EdgeId(self.u32(64))),
+                3 => DfgError::OperandOutOfRange(EdgeId(self.u32(64))),
+                4 => DfgError::MissingOperand {
+                    node: NodeId(self.u32(64)),
+                    slot: self.usize(3),
+                },
+                5 => DfgError::DuplicateOperand {
+                    node: NodeId(self.u32(64)),
+                    slot: self.usize(3),
+                },
+                _ => DfgError::ForwardCycle,
+            }),
+            1 => MapFailure::Structural(if self.next().is_multiple_of(2) {
+                EncodeError::NoPeForOp {
+                    node: NodeId(self.u32(64)),
+                }
+            } else {
+                EncodeError::SelfEdgeDistance {
+                    edge: EdgeId(self.u32(64)),
+                }
+            }),
+            2 => MapFailure::Timeout {
+                at_ii: 1 + self.u32(49),
+            },
+            3 => MapFailure::IiCapReached {
+                cap: 1 + self.u32(49),
+            },
+            4 => MapFailure::InvalidIi {
+                ii: self.u32(100),
+                max_ii: self.u32(100),
+            },
+            _ => MapFailure::Internal(format!("synthetic #{:x} — ünïcode ✓", self.next())),
+        }
+    }
+
+    fn outcome(&mut self) -> EngineOutcome {
+        let result = if self.next().is_multiple_of(2) {
+            Ok(MappedLoop {
+                mapping: self.mapping(),
+                registers: self.registers(),
+                mii: 1 + self.u32(20),
+            })
+        } else {
+            Err(self.failure())
+        };
+        let attempts = {
+            let n = self.usize(6);
+            (0..n).map(|_| self.attempt()).collect()
+        };
+        EngineOutcome {
+            outcome: MapOutcome {
+                result,
+                attempts,
+                elapsed: self.duration(),
+            },
+            stats: RaceStats {
+                workers: 1 + self.usize(16),
+                tasks_started: self.next() % 1000,
+                tasks_cancelled: self.next() % 1000,
+                race_start: self.u32(50),
+            },
+            proven_unmappable: self.next().is_multiple_of(8),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn result_records_round_trip(seed in any::<u64>()) {
+        let mut generator = Gen(seed | 1);
+        let key = Fingerprint((u128::from(generator.next()) << 64) | u128::from(generator.next()));
+        let outcome = generator.outcome();
+        let bytes = encode_result_record(key, &outcome);
+        let (key2, outcome2) = decode_result_record(&bytes).expect("decodes");
+        prop_assert_eq!(key, key2);
+        prop_assert_eq!(format!("{outcome:?}"), format!("{outcome2:?}"));
+        // Re-encoding the decoded value is byte-stable (canonical form).
+        prop_assert_eq!(bytes, encode_result_record(key2, &outcome2));
+    }
+
+    #[test]
+    fn bound_records_round_trip(hi in any::<u64>(), lo in any::<u64>(), bound in any::<u32>()) {
+        let key = Fingerprint((u128::from(hi) << 64) | u128::from(lo));
+        let bytes = encode_bound_record(key, bound);
+        prop_assert_eq!(decode_bound_record(&bytes).expect("decodes"), (key, bound));
+    }
+
+    /// Mangled payloads never panic the decoder: every prefix and every
+    /// single-byte corruption yields either an error or a decoded value —
+    /// no slice-index or allocation blowups.
+    #[test]
+    fn decoder_is_total_on_corrupt_bytes(seed in any::<u64>(), flip in any::<usize>()) {
+        let mut generator = Gen(seed | 1);
+        let key = Fingerprint(u128::from(generator.next()));
+        let outcome = generator.outcome();
+        let bytes = encode_result_record(key, &outcome);
+        let cut = flip % (bytes.len() + 1);
+        let _ = decode_result_record(&bytes[..cut]);
+        let mut mangled = bytes.clone();
+        mangled[cut % bytes.len()] ^= 1 << (flip % 8);
+        let _ = decode_result_record(&mangled);
+    }
+}

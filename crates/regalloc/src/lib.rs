@@ -138,6 +138,19 @@ pub struct RegAllocation {
 }
 
 impl RegAllocation {
+    /// Reconstructs an allocation from its raw per-PE assignment lists
+    /// (`per_pe[p]` holds `(value id, register)` pairs for PE `p`). The
+    /// inverse of [`RegAllocation::per_pe`]; used by persistence layers
+    /// that serialize allocations and must rebuild them byte-identically.
+    pub fn from_per_pe(per_pe: Vec<Vec<(u32, u8)>>) -> RegAllocation {
+        RegAllocation { per_pe }
+    }
+
+    /// The raw per-PE assignment lists, indexed by PE.
+    pub fn per_pe(&self) -> &[Vec<(u32, u8)>] {
+        &self.per_pe
+    }
+
     /// Assignments on PE `pe` as `(value id, register)` pairs.
     pub fn pe(&self, pe: usize) -> &[(u32, u8)] {
         static EMPTY: [(u32, u8); 0] = [];

@@ -1,0 +1,112 @@
+//! A minimal blocking client for the daemon's line protocol, used by
+//! `satmapit submit` and the loopback tests.
+
+use crate::json::{self, Json};
+use crate::wire::MapRequest;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection failed.
+    Io(io::Error),
+    /// The server's reply was not a parseable response line.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a mapping daemon. Requests are answered in order on
+/// a connection, so a `Client` is a simple synchronous round-trip box;
+/// open several for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7421`).
+    ///
+    /// # Errors
+    ///
+    /// Standard connection failures.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request document and reads one response document.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a reply that is not one line of JSON.
+    pub fn roundtrip(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        json::parse(reply.trim()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Submits a mapping job and returns the raw response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn map(&mut self, request: &MapRequest) -> Result<Json, ClientError> {
+        self.roundtrip(&request.to_json())
+    }
+
+    /// Fetches the daemon's statistics document.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Json::obj(vec![("op", Json::Str("stats".into()))]))
+    }
+
+    /// Probes daemon health.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Json::obj(vec![("op", Json::Str("health".into()))]))
+    }
+
+    /// Asks the daemon to drain, compact its caches and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Json::obj(vec![("op", Json::Str("shutdown".into()))]))
+    }
+}

@@ -1,0 +1,67 @@
+//! # satmapit-service
+//!
+//! Mapping-as-a-service: a long-running daemon that serves SAT-MapIt
+//! mapping requests over a line-delimited JSON protocol on TCP, backed by
+//! the parallel batch [`Engine`](satmapit_engine::Engine) and its
+//! disk-persistent result and proven-II-bound caches.
+//!
+//! The paper frames mapping as a compiler-invoked batch step; this crate
+//! turns it into a shared service so the expensive SAT work amortizes
+//! across compiler invocations, users and machine restarts: a kernel
+//! mapped once is answered from the cache forever after — including after
+//! a daemon restart, via the versioned, checksummed stores of
+//! [`satmapit_engine::persist`].
+//!
+//! ## Protocol (one JSON object per line; see `docs/service.md`)
+//!
+//! | request | answer |
+//! |---|---|
+//! | `{"op":"map","name":…,"dfg":{…},"cgra":{…},"timeout_ms":…}` | the mapping (or failure), fingerprint, cache provenance |
+//! | `{"op":"stats"}` | cache counters, queue depth, solve latencies |
+//! | `{"op":"health"}` | liveness probe |
+//! | `{"op":"shutdown"}` | drain, compact caches, exit |
+//!
+//! ## Example (loopback)
+//!
+//! ```
+//! use satmapit_service::{Client, Server, ServerConfig};
+//! use satmapit_service::wire::MapRequest;
+//! use satmapit_cgra::Cgra;
+//! use satmapit_dfg::{Dfg, Op};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().to_string();
+//! let handle = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut dfg = Dfg::new("pair");
+//! let a = dfg.add_const(1);
+//! let b = dfg.add_node(Op::Neg);
+//! dfg.add_edge(a, b, 0);
+//!
+//! let mut client = Client::connect(&addr).unwrap();
+//! let reply = client
+//!     .map(&MapRequest {
+//!         id: Some(1),
+//!         name: "pair@2x2".into(),
+//!         dfg,
+//!         cgra: Cgra::square(2),
+//!         timeout_ms: None,
+//!     })
+//!     .unwrap();
+//! assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig};
+pub use wire::{MapRequest, Request, WireError};

@@ -1,0 +1,414 @@
+//! The mapping daemon: a TCP listener, a bounded admission queue, and a
+//! worker pool driving the batch [`Engine`].
+//!
+//! Concurrency model, deliberately simple and fully `std`:
+//!
+//! * one thread per client connection reads request lines and writes
+//!   response lines (requests on a single connection are answered in
+//!   order; concurrency comes from multiple connections);
+//! * `map` requests are **admitted** into a bounded queue — a full queue
+//!   answers `queue full` immediately (backpressure) instead of
+//!   buffering unboundedly;
+//! * a fixed pool of worker threads pops the queue and solves through
+//!   the shared [`Engine`], so cache hits and in-flight deduplication
+//!   work across all clients;
+//! * per-request `timeout_ms` becomes a wall-clock deadline at admission
+//!   and is mapped onto the solver's `SolveLimits` through
+//!   [`Engine::map_with_deadline`];
+//! * `shutdown` drains the queue, compacts the persistent caches and
+//!   stops the accept loop.
+
+use crate::json::Json;
+use crate::wire::{self, MapRequest, Request};
+use satmapit_engine::{Engine, EngineConfig};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads solving admitted requests. `0` means one per
+    /// available hardware thread.
+    pub workers: usize,
+    /// Admission-queue capacity; a full queue rejects with backpressure.
+    pub queue_capacity: usize,
+    /// The engine configuration every request is solved under (it is part
+    /// of the cache key, so a daemon answers consistently for its
+    /// lifetime). Leave `engine.workers` at 0 (the default) to let the
+    /// server divide the hardware threads across its worker pool — each
+    /// concurrent solve then gets an equal share instead of every solve
+    /// claiming every core (quadratic oversubscription under load). A
+    /// non-zero value is an explicit per-solve override.
+    pub engine: EngineConfig,
+    /// Directory for the persistent result/bound stores; `None` keeps the
+    /// caches in memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+            engine: EngineConfig::default(),
+            cache_dir: None,
+        }
+    }
+}
+
+struct WorkItem {
+    request: MapRequest,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Json>,
+}
+
+struct Inner {
+    engine: Engine,
+    addr: SocketAddr,
+    workers: usize,
+    queue_capacity: usize,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<WorkItem>>,
+    queue_cv: Condvar,
+    started: Instant,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    solves: AtomicU64,
+    solve_total_us: AtomicU64,
+    solve_max_us: AtomicU64,
+}
+
+/// A bound, not-yet-running mapping daemon.
+pub struct Server {
+    listener: TcpListener,
+    inner: Inner,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7421`, port `0` for ephemeral) and
+    /// opens the engine — loading persistent caches when
+    /// [`ServerConfig::cache_dir`] is set. Load warnings are printed to
+    /// stderr; they indicate skipped corrupt records, not fatal state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the cache directory is
+    /// unusable.
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let hardware = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            hardware
+        };
+        let mut engine_config = config.engine.clone();
+        if engine_config.workers == 0 {
+            // Share the hardware: `workers` requests may solve at once, so
+            // each race gets an equal slice of the thread budget. (The
+            // worker count is not part of the result fingerprint, so this
+            // never changes cache keys or answers.)
+            engine_config.workers = (hardware / workers).max(1);
+        }
+        let engine = match &config.cache_dir {
+            Some(dir) => Engine::with_cache_dir(engine_config, dir)?,
+            None => Engine::new(engine_config),
+        };
+        for warning in engine.load_warnings() {
+            eprintln!("warning: {warning}");
+        }
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            inner: Inner {
+                engine,
+                addr,
+                workers,
+                queue_capacity: config.queue_capacity.max(1),
+                stop: AtomicBool::new(false),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                started: Instant::now(),
+                requests: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                solves: AtomicU64::new(0),
+                solve_total_us: AtomicU64::new(0),
+                solve_max_us: AtomicU64::new(0),
+            },
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The engine serving this daemon (e.g. for cache statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Serves until a `shutdown` request arrives: accepts connections,
+    /// admits work, answers. On return the queue is drained and the
+    /// persistent caches are compacted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures and the final compaction
+    /// error, if any.
+    pub fn run(self) -> io::Result<()> {
+        let inner = &self.inner;
+        let listener = &self.listener;
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..inner.workers {
+                scope.spawn(|| worker_loop(inner));
+            }
+            loop {
+                let (stream, _) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) if inner.stop.load(Ordering::SeqCst) => {
+                        let _ = e;
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                if inner.stop.load(Ordering::SeqCst) {
+                    break; // the wake-up connection after `shutdown`
+                }
+                scope.spawn(move || {
+                    if let Err(e) = handle_connection(inner, stream) {
+                        // Client went away mid-conversation: routine.
+                        let _ = e;
+                    }
+                });
+            }
+            inner.queue_cv.notify_all();
+            Ok(())
+        })?;
+        self.inner.engine.compact_persistent()
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let item = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    return; // stop + empty queue: drained
+                }
+                // The timeout guards against a missed notification racing
+                // the stop flag.
+                queue = inner
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned")
+                    .0;
+            }
+        };
+        let t0 = Instant::now();
+        let served =
+            inner
+                .engine
+                .map_with_deadline(&item.request.dfg, &item.request.cgra, item.deadline);
+        let elapsed_us = t0.elapsed().as_micros() as u64;
+        if !served.cached {
+            inner.solves.fetch_add(1, Ordering::Relaxed);
+            inner
+                .solve_total_us
+                .fetch_add(elapsed_us, Ordering::Relaxed);
+            inner.solve_max_us.fetch_max(elapsed_us, Ordering::Relaxed);
+        }
+        let response = wire::map_response(
+            item.request.id,
+            &item.request.name,
+            served.key,
+            &served.outcome,
+            served.cached,
+            served.persistent,
+            elapsed_us,
+        );
+        // A dead receiver means the client hung up; nothing to do.
+        let _ = item.reply.send(response);
+    }
+}
+
+fn stats_response(inner: &Inner) -> Json {
+    let queue_depth = inner.queue.lock().expect("queue poisoned").len();
+    let solves = inner.solves.load(Ordering::Relaxed);
+    let total_us = inner.solve_total_us.load(Ordering::Relaxed);
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        (
+            "cache",
+            wire::cache_stats_to_json(&inner.engine.cache_stats()),
+        ),
+        ("queue_depth", Json::Int(queue_depth as i64)),
+        ("queue_capacity", Json::Int(inner.queue_capacity as i64)),
+        ("workers", Json::Int(inner.workers as i64)),
+        (
+            "requests",
+            Json::Int(inner.requests.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "rejected",
+            Json::Int(inner.rejected.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "solves",
+            Json::obj(vec![
+                ("count", Json::Int(solves as i64)),
+                ("total_us", Json::Int(total_us as i64)),
+                (
+                    "mean_us",
+                    Json::Int(total_us.checked_div(solves).unwrap_or(0) as i64),
+                ),
+                (
+                    "max_us",
+                    Json::Int(inner.solve_max_us.load(Ordering::Relaxed) as i64),
+                ),
+            ]),
+        ),
+        (
+            "uptime_us",
+            Json::Int(inner.started.elapsed().as_micros() as i64),
+        ),
+    ])
+}
+
+fn health_response(inner: &Inner) -> Json {
+    let queue_depth = inner.queue.lock().expect("queue poisoned").len();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("status", Json::Str("healthy".to_string())),
+        ("queue_depth", Json::Int(queue_depth as i64)),
+        (
+            "persistent_cache",
+            Json::Bool(inner.engine.cache_dir().is_some()),
+        ),
+        (
+            "uptime_us",
+            Json::Int(inner.started.elapsed().as_micros() as i64),
+        ),
+    ])
+}
+
+fn write_line(stream: &mut TcpStream, value: &Json) -> io::Result<()> {
+    let mut line = value.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
+    // The read timeout lets the thread observe the stop flag even while a
+    // client holds the connection open silently.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Raw bytes, not `read_line`: a read timeout may strike in the
+        // middle of a multi-byte UTF-8 sequence, and per-call validation
+        // would reject the split prefix. Validation happens once the
+        // whole line is in hand.
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return Ok(()), // EOF: client closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // `read_until` keeps already-read bytes in `line`; loop
+                // and keep accumulating until the newline arrives.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if line.last() != Some(&b'\n') {
+            // EOF in the middle of a line; treat like a close.
+            return Ok(());
+        }
+        let Ok(text) = std::str::from_utf8(&line) else {
+            write_line(&mut writer, &wire::error_response(None, "invalid UTF-8"))?;
+            line.clear();
+            continue;
+        };
+        // Owned: the request may outlive `line`, which is reused.
+        let trimmed = text.trim().to_string();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        inner.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match wire::parse_request(&trimmed) {
+            Err(e) => wire::error_response(None, &e.to_string()),
+            Ok(Request::Stats) => stats_response(inner),
+            Ok(Request::Health) => health_response(inner),
+            Ok(Request::Shutdown) => {
+                inner.stop.store(true, Ordering::SeqCst);
+                inner.queue_cv.notify_all();
+                let ack = Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("status", Json::Str("shutting_down".to_string())),
+                ]);
+                write_line(&mut writer, &ack)?;
+                // Unblock the accept loop so `run` can wind down.
+                let _ = TcpStream::connect(inner.addr);
+                return Ok(());
+            }
+            Ok(Request::Map(request)) => {
+                let deadline = request
+                    .timeout_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let id = request.id;
+                let (tx, rx) = mpsc::channel();
+                let admitted = {
+                    let mut queue = inner.queue.lock().expect("queue poisoned");
+                    if queue.len() >= inner.queue_capacity {
+                        false
+                    } else {
+                        queue.push_back(WorkItem {
+                            request: *request,
+                            deadline,
+                            reply: tx,
+                        });
+                        true
+                    }
+                };
+                if admitted {
+                    inner.queue_cv.notify_all();
+                    match rx.recv() {
+                        Ok(response) => response,
+                        // Workers only drop a pending sender on shutdown.
+                        Err(_) => wire::error_response(id, "server shutting down"),
+                    }
+                } else {
+                    inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    wire::error_response(
+                        id,
+                        &format!("queue full ({} pending); retry later", inner.queue_capacity),
+                    )
+                }
+            }
+        };
+        write_line(&mut writer, &response)?;
+        line.clear();
+    }
+}

@@ -1,0 +1,374 @@
+//! Loopback integration: concurrent `submit` clients against one `serve`
+//! process agree with a sequential [`Engine::map_batch`], and a daemon
+//! restart answers repeated jobs from the persistent cache with no
+//! solver work.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::{Engine, EngineConfig, Job};
+use satmapit_service::wire::{outcome_signature, MapRequest};
+use satmapit_service::{Client, Json, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "satmapit-loopback-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp cache dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chain(n: usize) -> Dfg {
+    let mut dfg = Dfg::new(format!("chain{n}"));
+    let mut prev = dfg.add_const(1);
+    for _ in 1..n {
+        let next = dfg.add_node(Op::Neg);
+        dfg.add_edge(prev, next, 0);
+        prev = next;
+    }
+    dfg
+}
+
+fn recurrence() -> Dfg {
+    let mut dfg = Dfg::new("rec");
+    let a = dfg.add_node(Op::Neg);
+    let b = dfg.add_node(Op::Neg);
+    let c = dfg.add_node(Op::Neg);
+    dfg.add_edge(a, b, 0);
+    dfg.add_edge(b, c, 0);
+    dfg.add_back_edge(c, a, 0, 1, 0);
+    dfg
+}
+
+fn fanout() -> Dfg {
+    let mut dfg = Dfg::new("fan5");
+    let src = dfg.add_const(1);
+    for _ in 0..5 {
+        let n = dfg.add_node(Op::Neg);
+        dfg.add_edge(src, n, 0);
+    }
+    dfg
+}
+
+/// The job mix: synthetic loops exercising UNSAT climbs and recurrences,
+/// plus two real benchmark kernels, across two mesh sizes.
+fn jobs() -> Vec<Job> {
+    let mut jobs = vec![
+        Job::new("chain4@2x2", chain(4), Cgra::square(2)),
+        Job::new("rec@1x1", recurrence(), Cgra::square(1)),
+        Job::new("fan5@1x2", fanout(), Cgra::new(1, 2)),
+        Job::new("chain4@2x2-dup", chain(4), Cgra::square(2)),
+    ];
+    for name in ["srand", "nw"] {
+        let kernel = satmapit_kernels::by_name(name).unwrap();
+        jobs.push(Job::new(
+            format!("{name}@2x2"),
+            kernel.dfg.clone(),
+            Cgra::square(2),
+        ));
+    }
+    jobs
+}
+
+fn request_for(job: &Job, id: i64) -> MapRequest {
+    MapRequest {
+        id: Some(id),
+        name: job.name.clone(),
+        dfg: job.dfg.clone(),
+        cgra: job.cgra.clone(),
+        timeout_ms: None,
+    }
+}
+
+fn start_server(cache_dir: Option<PathBuf>) -> (String, std::thread::JoinHandle<()>) {
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        engine: EngineConfig::default(),
+        cache_dir,
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let ack = client.shutdown().expect("shutdown ack");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn concurrent_clients_agree_with_sequential_map_batch() {
+    // The reference answers, computed locally with the same engine
+    // configuration the server runs.
+    let reference = Engine::new(EngineConfig::default());
+    let expected: Vec<Json> = reference
+        .map_batch(jobs())
+        .iter()
+        .map(|item| outcome_signature(&item.outcome))
+        .collect();
+
+    let (addr, handle) = start_server(None);
+
+    // N concurrent clients, each submitting the whole suite on its own
+    // connection, half of them in reverse order to interleave the queue.
+    let num_clients = 4;
+    let all_jobs = jobs();
+    let results: Vec<Vec<Json>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let all_jobs = &all_jobs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("client connect");
+                    let mut order: Vec<usize> = (0..all_jobs.len()).collect();
+                    if c % 2 == 1 {
+                        order.reverse();
+                    }
+                    let mut replies = vec![Json::Null; all_jobs.len()];
+                    for index in order {
+                        let request = request_for(&all_jobs[index], index as i64);
+                        let reply = client.map(&request).expect("map roundtrip");
+                        assert_eq!(
+                            reply.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "{reply}"
+                        );
+                        assert_eq!(reply.get("id").and_then(Json::as_i64), Some(index as i64));
+                        replies[index] = reply;
+                    }
+                    replies
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (client_index, replies) in results.iter().enumerate() {
+        for (job_index, reply) in replies.iter().enumerate() {
+            let result = reply.get("result").expect("result present");
+            assert_eq!(
+                result, &expected[job_index],
+                "client {client_index}, job `{}`: daemon answer diverges from Engine::map_batch",
+                all_jobs[job_index].name
+            );
+        }
+    }
+
+    // The duplicate job and the cross-client repeats were all cache hits:
+    // 5 distinct problems were solved, ever.
+    let mut client = Client::connect(&addr).expect("stats connect");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        cache.get("hits").and_then(Json::as_u64),
+        Some(num_clients as u64 * all_jobs.len() as u64 - 5)
+    );
+
+    // Health and malformed-request handling on the same connection.
+    let health = client.health().expect("health");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("healthy"));
+    let bad = client
+        .roundtrip(&Json::obj(vec![("op", Json::Str("map".into()))]))
+        .expect("error roundtrip");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn daemon_restart_answers_from_the_persistent_cache() {
+    let dir = TempDir::new("restart");
+    let all_jobs = jobs();
+
+    // Cold daemon: everything solves.
+    let (addr, handle) = start_server(Some(dir.0.clone()));
+    let mut first_answers = Vec::new();
+    {
+        let mut client = Client::connect(&addr).expect("client connect");
+        for (index, job) in all_jobs.iter().enumerate() {
+            let reply = client
+                .map(&request_for(job, index as i64))
+                .expect("map roundtrip");
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(
+                reply.get("persistent").and_then(Json::as_bool),
+                Some(false),
+                "cold run cannot hit the persistent store"
+            );
+            first_answers.push(reply);
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("solves")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(5),
+            "five distinct problems solved"
+        );
+    }
+    shutdown(&addr, handle);
+
+    // Warm daemon on the same cache dir: 100% persistent hits, zero
+    // solver work, byte-identical fingerprints and results.
+    let (addr, handle) = start_server(Some(dir.0.clone()));
+    {
+        let mut client = Client::connect(&addr).expect("client connect");
+        for (index, job) in all_jobs.iter().enumerate() {
+            let reply = client
+                .map(&request_for(job, index as i64))
+                .expect("map roundtrip");
+            assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+            assert_eq!(
+                reply.get("persistent").and_then(Json::as_bool),
+                Some(true),
+                "job `{}` must be a persistent-cache hit",
+                job.name
+            );
+            assert_eq!(
+                reply.get("result"),
+                first_answers[index].get("result"),
+                "job `{}`: restart changed the answer",
+                job.name
+            );
+            assert_eq!(
+                reply.get("fingerprint"),
+                first_answers[index].get("fingerprint")
+            );
+        }
+        let stats = client.stats().expect("stats");
+        let cache = stats.get("cache").expect("cache stats");
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            cache.get("persistent_hits").and_then(Json::as_u64),
+            Some(all_jobs.len() as u64)
+        );
+        assert_eq!(
+            stats
+                .get("solves")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "the warm daemon never touched the SAT solver"
+        );
+    }
+    shutdown(&addr, handle);
+}
+
+/// The ISSUE's end-to-end acceptance: the full 11-kernel suite through a
+/// daemon with an empty cache dir, then a restart — the second run is
+/// 100% persistent-cache hits, byte-identical, zero SAT solves. Ignored
+/// by default (it solves the whole suite); CI runs it in `--release`
+/// with `-- --ignored`.
+#[test]
+#[ignore = "full 11-kernel suite; CI runs it in release with -- --ignored"]
+fn full_suite_restart_is_all_persistent_hits() {
+    let dir = TempDir::new("full-suite");
+    let suite: Vec<Job> = satmapit_kernels::all()
+        .into_iter()
+        .map(|k| Job::new(k.name().to_string(), k.dfg, Cgra::square(2)))
+        .collect();
+    assert_eq!(suite.len(), 11);
+
+    let (addr, handle) = start_server(Some(dir.0.clone()));
+    let mut first = Vec::new();
+    {
+        let mut client = Client::connect(&addr).expect("client connect");
+        for (index, job) in suite.iter().enumerate() {
+            let reply = client
+                .map(&request_for(job, index as i64))
+                .expect("map roundtrip");
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{}: {reply}",
+                job.name
+            );
+            first.push(reply);
+        }
+    }
+    shutdown(&addr, handle);
+
+    let (addr, handle) = start_server(Some(dir.0.clone()));
+    {
+        let mut client = Client::connect(&addr).expect("client connect");
+        for (index, job) in suite.iter().enumerate() {
+            let reply = client
+                .map(&request_for(job, index as i64))
+                .expect("map roundtrip");
+            assert_eq!(
+                reply.get("persistent").and_then(Json::as_bool),
+                Some(true),
+                "kernel `{}` must be a persistent-cache hit",
+                job.name
+            );
+            assert_eq!(
+                reply.get("result"),
+                first[index].get("result"),
+                "kernel `{}`: restart changed the answer",
+                job.name
+            );
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            stats
+                .get("solves")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "the warm daemon never touched the SAT solver"
+        );
+    }
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn per_request_deadline_times_out_and_is_not_poisoning() {
+    let (addr, handle) = start_server(None);
+    let mut client = Client::connect(&addr).expect("client connect");
+
+    // A zero-millisecond budget forces Timeout…
+    let job = Job::new("chain6@2x2", chain(6), Cgra::square(2));
+    let mut request = request_for(&job, 7);
+    request.timeout_ms = Some(0);
+    let reply = client.map(&request).expect("map roundtrip");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let result = reply.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("failed"));
+    assert_eq!(result.get("kind").and_then(Json::as_str), Some("timeout"));
+
+    // …and the timeout is not cached: the unconstrained retry solves.
+    request.timeout_ms = None;
+    let reply = client.map(&request).expect("map roundtrip");
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(false));
+    let result = reply.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("mapped"));
+
+    shutdown(&addr, handle);
+}

@@ -6,6 +6,8 @@
 //! satmapit map <kernel> [flags]         # map one kernel, verify by execution
 //! satmapit sweep <kernel> [flags]       # one Figure-6 column (2x2..5x5)
 //! satmapit batch [flags]                # the whole suite through the engine
+//! satmapit serve [flags]                # the mapping daemon (JSON over TCP)
+//! satmapit submit [flags]               # submit one job to a daemon
 //! ```
 //!
 //! Run `satmapit <subcommand> --help` for per-subcommand flags. Unknown
@@ -18,6 +20,8 @@ use sat_mapit::dfg::dot::to_dot;
 use sat_mapit::engine::{Engine, EngineConfig, Job};
 use sat_mapit::kernels;
 use sat_mapit::schedule::{mii, rec_mii, res_mii};
+use sat_mapit::service::wire::{self, MapRequest};
+use sat_mapit::service::{Client, Json, Server, ServerConfig};
 use sat_mapit::sim::verify_mapping;
 use std::process::exit;
 use std::time::Duration;
@@ -33,6 +37,8 @@ SUBCOMMANDS:
     map        Map one kernel onto a square mesh and verify by execution
     sweep      Map one kernel on every mesh size 2x2..5x5 (one Fig. 6 column)
     batch      Map the whole suite across mesh sizes through the parallel engine
+    serve      Run the mapping daemon (line-delimited JSON over TCP)
+    submit     Submit one mapping job to a running daemon
 
 Run `satmapit <SUBCOMMAND> --help` for that subcommand's flags.";
 
@@ -44,6 +50,8 @@ fn main() {
         Some("map") => cmd_map(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => println!("{TOP_HELP}"),
         Some(other) => {
             eprintln!("unknown subcommand `{other}`\n\n{TOP_HELP}");
@@ -117,7 +125,8 @@ fn parse_args(args: &[String], spec: &[FlagSpec], help: &str) -> Parsed {
             }
             continue;
         }
-        if arg.starts_with('-') {
+        // A lone `-` is the conventional stdin positional, not a flag.
+        if arg.starts_with('-') && arg != "-" {
             let known: Vec<&str> = spec.iter().map(|f| f.name).collect();
             eprintln!(
                 "unknown flag `{arg}`; recognized flags: {}",
@@ -403,11 +412,16 @@ fn cmd_batch(args: &[String]) {
             takes_value: true,
             help: "Submit the batch this many times (exercises the cache; default 1)",
         },
+        FlagSpec {
+            name: "--stats",
+            takes_value: false,
+            help: "Print full cache statistics (hits/misses, proven-bound ladder starts) after the run",
+        },
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--repeat R] [--no-incremental]",
+        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--repeat R] [--stats] [--no-incremental]",
         "Map the benchmark suite across mesh sizes through the parallel\nII-race engine, with content-hash result caching.",
         &spec,
     );
@@ -519,7 +533,289 @@ fn cmd_batch(args: &[String]) {
             any_failed = true;
         }
     }
+    if parsed.value("--stats").is_some() {
+        let stats = engine.cache_stats();
+        println!("\ncache statistics");
+        println!("  result entries        {}", stats.entries);
+        println!("  hits                  {}", stats.hits);
+        println!("  misses                {}", stats.misses);
+        println!("  proven-bound entries  {}", stats.bound_entries);
+        println!(
+            "  bound ladder starts   {} (misses whose II ladder started above MII from a proven bound)",
+            stats.bound_starts
+        );
+        if stats.persistent_entries > 0 || stats.persistent_hits > 0 {
+            println!("  persistent entries    {}", stats.persistent_entries);
+            println!("  persistent hits       {}", stats.persistent_hits);
+        }
+    }
     if any_failed {
         exit(1);
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let spec = [
+        FlagSpec {
+            name: "--addr",
+            takes_value: true,
+            help: "Listen address (default 127.0.0.1:7421; port 0 = ephemeral)",
+        },
+        FlagSpec {
+            name: "--cache-dir",
+            takes_value: true,
+            help: "Directory for the persistent result/bound caches (default: in-memory only)",
+        },
+        FlagSpec {
+            name: "--workers",
+            takes_value: true,
+            help: "Solver worker threads (default 0 = one per hardware thread)",
+        },
+        FlagSpec {
+            name: "--queue",
+            takes_value: true,
+            help: "Admission queue capacity; beyond it requests are rejected (default 64)",
+        },
+        FlagSpec {
+            name: "--timeout",
+            takes_value: true,
+            help: "Default wall-clock budget in seconds per job (default 120)",
+        },
+        FlagSpec {
+            name: "--race",
+            takes_value: true,
+            help: "IIs raced concurrently per job (default 4)",
+        },
+        FlagSpec {
+            name: "--portfolio",
+            takes_value: true,
+            help: "Solver-portfolio variants per II (default 1)",
+        },
+        INCREMENTAL_FLAG,
+        NO_INCREMENTAL_FLAG,
+    ];
+    let help = render_help(
+        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--no-incremental]",
+        "Run the mapping daemon: line-delimited JSON requests over TCP, a\nbounded admission queue over the parallel engine, and result/bound\ncaches persisted to --cache-dir across restarts.\n\nProtocol reference: docs/service.md. Stop it with\n`echo '{\"op\":\"shutdown\"}' | nc HOST PORT` or a `shutdown` request\nfrom any client; shutdown compacts the on-disk caches.",
+        &spec,
+    );
+    let parsed = parse_args(args, &spec, &help);
+    reject_extra_positionals(&parsed, 0);
+
+    let addr = parsed
+        .value("--addr")
+        .unwrap_or("127.0.0.1:7421")
+        .to_string();
+    let timeout = Duration::from_secs(parsed.parse_num("--timeout", 120u64));
+    let config = ServerConfig {
+        workers: parsed.parse_num("--workers", 0usize),
+        queue_capacity: parsed.parse_num("--queue", 64usize).max(1),
+        engine: EngineConfig {
+            mapper: MapperConfig {
+                timeout: Some(timeout),
+                incremental: incremental_flag(&parsed),
+                ..MapperConfig::default()
+            },
+            race_width: parsed.parse_num("--race", 4usize).max(1),
+            portfolio: parsed.parse_num("--portfolio", 1usize).max(1),
+            // 0: the server divides the hardware threads across its pool
+            // (each concurrent solve gets an equal share).
+            workers: 0,
+        },
+        cache_dir: parsed.value("--cache-dir").map(std::path::PathBuf::from),
+    };
+
+    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+        eprintln!("failed to start daemon on {addr}: {e}");
+        exit(1);
+    });
+    let stats = server.engine().cache_stats();
+    println!(
+        "satmapit-service listening on {} ({} persistent result entries, {} proven bounds{})",
+        server.local_addr(),
+        stats.persistent_entries,
+        stats.bound_entries,
+        match server.engine().cache_dir() {
+            Some(dir) => format!(", cache dir {}", dir.display()),
+            None => String::from(", in-memory cache only"),
+        }
+    );
+    if let Err(e) = server.run() {
+        eprintln!("daemon failed: {e}");
+        exit(1);
+    }
+    println!("daemon stopped; caches compacted");
+}
+
+/// Reads the `submit` DFG: a kernel name, `--file path`, or `-` (stdin),
+/// expecting the wire JSON DFG format for the latter two.
+fn submit_dfg(parsed: &Parsed) -> sat_mapit::dfg::Dfg {
+    use std::io::Read;
+    let positional = parsed.positional.first();
+    match (positional.map(String::as_str), parsed.value("--file")) {
+        (Some(name), None) if name != "-" => kernel_or_exit(Some(&name.to_string())).dfg,
+        (source, file) => {
+            let text = match (source, file) {
+                (_, Some(path)) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(2);
+                }),
+                (Some("-"), None) | (None, None) => {
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot read stdin: {e}");
+                            exit(2);
+                        });
+                    buf
+                }
+                _ => unreachable!("first match arm covers bare kernel names"),
+            };
+            let value = sat_mapit::service::json::parse(text.trim()).unwrap_or_else(|e| {
+                eprintln!("DFG is not valid JSON: {e}");
+                exit(2);
+            });
+            wire::dfg_from_json(&value).unwrap_or_else(|e| {
+                eprintln!("DFG JSON is malformed: {e}");
+                exit(2);
+            })
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) {
+    let spec = [
+        FlagSpec {
+            name: "--addr",
+            takes_value: true,
+            help: "Daemon address (default 127.0.0.1:7421)",
+        },
+        FlagSpec {
+            name: "--file",
+            takes_value: true,
+            help: "Read the DFG from this JSON file instead of a kernel name",
+        },
+        FlagSpec {
+            name: "--size",
+            takes_value: true,
+            help: "Mesh edge length N for an NxN CGRA (default 3)",
+        },
+        FlagSpec {
+            name: "--timeout",
+            takes_value: true,
+            help: "Per-request wall-clock budget in seconds (default: server's)",
+        },
+        FlagSpec {
+            name: "--json",
+            takes_value: false,
+            help: "Print the raw JSON response instead of the human summary",
+        },
+        FlagSpec {
+            name: "--stats",
+            takes_value: false,
+            help: "Also fetch and print the daemon's statistics",
+        },
+    ];
+    let help = render_help(
+        "satmapit submit [<kernel> | --file dfg.json | -] [--addr HOST:PORT] [--size N] [--timeout S] [--json] [--stats]",
+        "Submit one mapping job to a running daemon. The DFG comes from a\nbenchmark kernel name, a JSON file (--file), or stdin (`-`), in the\nwire format documented in docs/service.md.",
+        &spec,
+    );
+    let parsed = parse_args(args, &spec, &help);
+    reject_extra_positionals(&parsed, 1);
+
+    let addr = parsed.value("--addr").unwrap_or("127.0.0.1:7421");
+    let size: u16 = parsed.parse_num("--size", 3);
+    if size == 0 {
+        eprintln!("--size must be at least 1");
+        exit(2);
+    }
+    let dfg = submit_dfg(&parsed);
+    let request = MapRequest {
+        id: Some(1),
+        name: format!("{}@{size}x{size}", dfg.name()),
+        dfg,
+        cgra: Cgra::square(size),
+        timeout_ms: parsed
+            .value("--timeout")
+            .map(|_| parsed.parse_num("--timeout", 120u64) * 1000),
+    };
+
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot reach daemon at {addr}: {e}");
+        exit(1);
+    });
+    let reply = client.map(&request).unwrap_or_else(|e| {
+        eprintln!("submit failed: {e}");
+        exit(1);
+    });
+
+    if parsed.value("--json").is_some() {
+        println!("{reply}");
+    } else {
+        print_submit_summary(&request.name, &reply);
+    }
+    if parsed.value("--stats").is_some() {
+        match client.stats() {
+            Ok(stats) => println!("stats: {stats}"),
+            Err(e) => eprintln!("stats unavailable: {e}"),
+        }
+    }
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        exit(1);
+    }
+    let mapped = reply
+        .get("result")
+        .and_then(|r| r.get("status"))
+        .and_then(Json::as_str)
+        == Some("mapped");
+    if !mapped {
+        exit(1);
+    }
+}
+
+fn print_submit_summary(name: &str, reply: &Json) {
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        let error = reply
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed response");
+        eprintln!("daemon rejected `{name}`: {error}");
+        return;
+    }
+    let provenance = match (
+        reply.get("cached").and_then(Json::as_bool),
+        reply.get("persistent").and_then(Json::as_bool),
+    ) {
+        (Some(true), Some(true)) => "persistent cache hit",
+        (Some(true), _) => "cache hit",
+        _ => "solved",
+    };
+    let elapsed_us = reply.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+    let Some(result) = reply.get("result") else {
+        eprintln!("malformed response: no result");
+        return;
+    };
+    match result.get("status").and_then(Json::as_str) {
+        Some("mapped") => {
+            let ii = result.get("ii").and_then(Json::as_u64).unwrap_or(0);
+            let mii = result.get("mii").and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "{name}: mapped at II={ii} (MII {mii}) — {provenance}, {:.3} ms",
+                elapsed_us as f64 / 1000.0
+            );
+        }
+        Some("failed") => {
+            let error = result
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown failure");
+            println!(
+                "{name}: failed — {error} ({provenance}, {:.3} ms)",
+                elapsed_us as f64 / 1000.0
+            );
+        }
+        _ => eprintln!("malformed response: unknown result status"),
     }
 }

@@ -22,6 +22,7 @@
 //! | [`sim`] | `satmapit-sim` | physical simulator + equivalence checking |
 //! | [`baselines`] | `satmapit-baselines` | RAMP-like and PathSeeker-like mappers |
 //! | [`kernels`] | `satmapit-kernels` | the 11 MiBench/Rodinia benchmark DFGs |
+//! | [`service`] | `satmapit-service` | mapping daemon: JSON-over-TCP protocol, persistent caches |
 //!
 //! ## Parallel mapping
 //!
@@ -34,6 +35,15 @@
 //! Batch workloads go through [`engine::Engine`], which memoizes results
 //! in a content-hash-keyed cache — repeated requests are O(1) and
 //! byte-identical. The `satmapit batch` CLI subcommand fronts it.
+//!
+//! ## Mapping as a service
+//!
+//! The [`service`] crate wraps the engine in a long-running daemon
+//! (`satmapit serve`) speaking line-delimited JSON over TCP, with a
+//! bounded admission queue, per-request deadlines, and result/bound
+//! caches persisted to disk ([`engine::persist`]) so a warm restart
+//! answers repeat lookups without touching the SAT solver. `satmapit
+//! submit` is the matching client.
 //!
 //! ## Quickstart
 //!
@@ -66,4 +76,5 @@ pub use satmapit_kernels as kernels;
 pub use satmapit_regalloc as regalloc;
 pub use satmapit_sat as sat;
 pub use satmapit_schedule as schedule;
+pub use satmapit_service as service;
 pub use satmapit_sim as sim;
