@@ -1,0 +1,223 @@
+//! The SAT-core ablation bench: incremental vs scratch II ladders, arena
+//! GC on/off, rung-aware phase transfer on/off, and the arena-waste
+//! measurement after a full multi-rung ladder — emitted as machine-
+//! readable JSON (`BENCH_solver.json`) so CI and the bench trajectory can
+//! track the solver hot path across PRs.
+//!
+//! ```sh
+//! cargo run --release -p satmapit-bench --bin solver_bench -- [--reps N] [--out PATH]
+//! ```
+//!
+//! Wall-clock numbers are the minimum over `--reps` repetitions (minimum,
+//! not mean: scheduling noise only ever adds time). Run on an idle
+//! machine in `--release`.
+
+use satmapit_cgra::Cgra;
+use satmapit_core::{Mapper, MapperConfig};
+use satmapit_kernels::Kernel;
+use satmapit_sat::SolveLimits;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The kernels whose 2x2/3x3 searches climb through UNSAT rungs before
+/// mapping — the regime where the incremental ladder (and its GC) earns
+/// or loses its keep.
+const MULTI_RUNG: [&str; 4] = ["sha", "gsm", "bitcount", "stringsearch"];
+
+fn multi_rung_kernels() -> Vec<Kernel> {
+    MULTI_RUNG
+        .iter()
+        .map(|name| satmapit_kernels::by_name(name).expect("suite kernel"))
+        .collect()
+}
+
+/// Wall-clock of mapping every kernel in `set` on `cgra` under `config`,
+/// once.
+fn time_suite_once(set: &[Kernel], cgra: &Cgra, config: &MapperConfig) -> f64 {
+    let t0 = Instant::now();
+    for kernel in set {
+        let outcome = Mapper::new(&kernel.dfg, cgra)
+            .with_config(config.clone())
+            .run();
+        assert!(outcome.ii().is_some(), "{} must map", kernel.name());
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Per-variant minima over `reps` repetitions, with the variants
+/// *interleaved* inside each repetition: on a shared/1-CPU box, machine
+/// load drifts over the minutes a grid takes, and running all of one
+/// variant's repetitions back-to-back would let that drift masquerade as
+/// a variant difference. Adjacent passes see the same neighbours.
+fn time_variants(set: &[Kernel], cgra: &Cgra, variants: &[Variant], reps: u32) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; variants.len()];
+    for _ in 0..reps {
+        for (vi, variant) in variants.iter().enumerate() {
+            best[vi] = best[vi].min(time_suite_once(set, cgra, &variant.config));
+        }
+    }
+    best
+}
+
+struct Variant {
+    label: &'static str,
+    config: MapperConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = MapperConfig::default();
+    vec![
+        Variant {
+            label: "scratch",
+            config: MapperConfig {
+                incremental: false,
+                ..base.clone()
+            },
+        },
+        Variant {
+            label: "incremental",
+            config: base.clone(),
+        },
+        Variant {
+            label: "incremental_gc_off",
+            config: MapperConfig {
+                solver: satmapit_sat::SolverOptions {
+                    gc: false,
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+        },
+        Variant {
+            label: "incremental_no_transfer",
+            config: MapperConfig {
+                rung_transfer: false,
+                ..base
+            },
+        },
+    ]
+}
+
+/// Drives one full incremental ladder by hand (rung after rung until the
+/// kernel maps) and reports the live solver's arena occupancy afterwards —
+/// the number the GC exists to bound.
+fn arena_after_ladder(kernel: &Kernel, cgra: &Cgra) -> (u32, satmapit_sat::SolverStats) {
+    let mapper = Mapper::new(&kernel.dfg, cgra);
+    let prepared = mapper.prepare().expect("suite kernels prepare");
+    let mut ladder = prepared.ladder().expect("ladder opens");
+    let mut ii = prepared.start_ii();
+    loop {
+        assert!(ii <= 50, "{} never mapped", kernel.name());
+        let report = ladder
+            .attempt_ii(ii, &SolveLimits::none())
+            .expect("no limits set");
+        if report.mapped.is_some() {
+            return (ii, ladder.solver_stats().clone());
+        }
+        assert!(!report.proven_unmappable, "{} is mappable", kernel.name());
+        ii += 1;
+    }
+}
+
+fn json_num(v: f64) -> String {
+    format!("{:.3}", v)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps: u32 = 3;
+    let mut out = String::from("BENCH_solver.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps takes a positive integer");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out takes a path").clone();
+            }
+            other => {
+                eprintln!("usage: solver_bench [--reps N] [--out PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(reps > 0, "--reps must be positive");
+
+    let multi_rung = multi_rung_kernels();
+    let suite = satmapit_kernels::all();
+    let mut json = String::from("{\n  \"bench\": \"solver\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+
+    // 1. Wall-clock ablation grid: (kernel set × mesh) × variant.
+    let grids: [(&str, &[Kernel], usize); 3] = [
+        ("ladder_2x2_suite", &suite, 2),
+        ("ladder_2x2_multi_rung", &multi_rung, 2),
+        ("ladder_3x3_multi_rung", &multi_rung, 3),
+    ];
+    json.push_str("  \"ladders_ms\": {\n");
+    for (gi, (grid_label, set, size)) in grids.iter().enumerate() {
+        let cgra = Cgra::square(*size as u16);
+        let _ = write!(json, "    \"{grid_label}\": {{");
+        let variant_set = variants();
+        let minima = time_variants(set, &cgra, &variant_set, reps);
+        for (vi, (variant, &ms)) in variant_set.iter().zip(&minima).enumerate() {
+            eprintln!("{grid_label:24} {:24} {:>9.1} ms", variant.label, ms);
+            let sep = if vi == 0 { "" } else { ", " };
+            let _ = write!(json, "{sep}\"{}\": {}", variant.label, json_num(ms));
+        }
+        let sep = if gi + 1 == grids.len() { "" } else { "," };
+        let _ = writeln!(json, "}}{sep}");
+    }
+    json.push_str("  },\n");
+
+    // 2. Arena waste after a full multi-rung ladder (GC on, default
+    //    config): the acceptance bound is waste ≤ 25 % of the arena.
+    json.push_str("  \"arena_after_ladder\": [\n");
+    let arena_cells: Vec<(&Kernel, u16)> = multi_rung
+        .iter()
+        .flat_map(|k| [(k, 2u16), (k, 3u16)])
+        .collect();
+    for (ki, &(kernel, size)) in arena_cells.iter().enumerate() {
+        let (ii, stats) = arena_after_ladder(kernel, &Cgra::square(size));
+        let fraction = stats.arena_wasted as f64 / stats.arena_words.max(1) as f64;
+        eprintln!(
+            "arena {:14} {size}x{size} ii={ii:<3} words={:<9} wasted={:<8} ({:.1} %) gc_runs={} lits_reclaimed={}",
+            kernel.name(),
+            stats.arena_words,
+            stats.arena_wasted,
+            fraction * 100.0,
+            stats.gc_runs,
+            stats.lits_reclaimed,
+        );
+        let sep = if ki + 1 == arena_cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"cgra\": \"{size}x{size}\", \"mapped_ii\": {ii}, \
+             \"arena_words\": {}, \"arena_wasted\": {}, \"waste_fraction\": {}, \
+             \"gc_runs\": {}, \"lits_reclaimed\": {}}}{sep}",
+            kernel.name(),
+            stats.arena_words,
+            stats.arena_wasted,
+            json_num(fraction),
+            stats.gc_runs,
+            stats.lits_reclaimed,
+        );
+        assert!(
+            fraction <= 0.25,
+            "post-ladder arena waste must stay below 25 % (got {:.1} %)",
+            fraction * 100.0
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &json).expect("write BENCH_solver.json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

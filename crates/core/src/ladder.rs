@@ -14,9 +14,11 @@
 //! * each candidate II contributes a **gated delta**: the full per-II
 //!   encoding (C1–C4, plus any register-allocation cuts) lives in an
 //!   assumption-gated clause group ([`Solver::new_group`]) that is
-//!   activated only for that rung's solves and retired once the rung is
-//!   answered — its clauses and every learned clause that depended on
-//!   them are swept, and its variables are masked out of branching
+//!   activated only for that rung's solves and retired before the next
+//!   rung solves (deferred so the ladder's final rung skips the sweep) —
+//!   its clauses and every learned clause that depended on them are
+//!   swept, feeding the clause arena's garbage collector, and its
+//!   variables are masked out of branching
 //!   ([`Solver::set_decision_var`]);
 //! * an **UNSAT core** that does not mention the rung's activation
 //!   literal proves the contradiction lives in the prefix alone — every
@@ -156,6 +158,60 @@ pub(crate) struct GatedAttempt {
     pub(crate) result: Result<AttemptReport, MapFailure>,
     pub(crate) gate: Lit,
     pub(crate) delta_vars: std::ops::Range<u32>,
+    /// The rung's variable table, kept for the phase/activity transfer
+    /// into the next rung (see [`RungMemory`]).
+    pub(crate) varmap: crate::varmap::VarMap,
+}
+
+/// Heuristic memory of the most recently settled rung: its variable table
+/// plus the solver-variable offset its delta block started at. Used to
+/// seed the next rung's saved phases and VSIDS activities
+/// ([`Solver::on_rung_advance`]) from semantically corresponding
+/// variables.
+pub(crate) struct RungMemory {
+    varmap: crate::varmap::VarMap,
+    base: u32,
+}
+
+/// How strongly a new rung's variables inherit the previous rung's VSIDS
+/// activity (1.0 = verbatim, 0.0 = phases only). Measured across the
+/// 2x2/3x3 ladder ablations, carrying the activity is what closes the
+/// 3x3 incremental-vs-scratch gap (phases alone regress ~20 %); scales in
+/// [0.25, 2] are indistinguishable within noise, so the transfer is
+/// verbatim.
+const RUNG_ACTIVITY_SCALE: f64 = 1.0;
+
+/// The `(from, to)` variable pairs connecting the previous rung's delta
+/// block to the new one: same node, same unfolded schedule slot
+/// (`fold * II + cycle` — the II-invariant time axis), same PE. Adjacent
+/// rungs share most of their slots, so coverage is high; slots only one
+/// side has are simply left cold.
+fn rung_transfer_pairs(
+    prev: &RungMemory,
+    cur: &crate::varmap::VarMap,
+    cur_base: u32,
+) -> Vec<(Var, Var)> {
+    let prev_ii = u64::from(prev.varmap.ii());
+    let mut old: std::collections::HashMap<(u32, u64, u32), u32> =
+        std::collections::HashMap::with_capacity(prev.varmap.num_vars());
+    for i in 0..prev.varmap.num_vars() {
+        let (n, pos, pe) = prev.varmap.decode(Var::new(i as u32));
+        let t = u64::from(pos.fold) * prev_ii + u64::from(pos.cycle);
+        old.insert(
+            (n.index() as u32, t, pe.index() as u32),
+            prev.base + i as u32,
+        );
+    }
+    let cur_ii = u64::from(cur.ii());
+    let mut pairs = Vec::with_capacity(cur.num_vars());
+    for i in 0..cur.num_vars() {
+        let (n, pos, pe) = cur.decode(Var::new(i as u32));
+        let t = u64::from(pos.fold) * cur_ii + u64::from(pos.cycle);
+        if let Some(&from) = old.get(&(n.index() as u32, t, pe.index() as u32)) {
+            pairs.push((Var::new(from), Var::new(cur_base + i as u32)));
+        }
+    }
+    pairs
 }
 
 fn stats_delta(now: &SolverStats, before: &SolverStats) -> SolverStats {
@@ -164,10 +220,14 @@ fn stats_delta(now: &SolverStats, before: &SolverStats) -> SolverStats {
         propagations: now.propagations - before.propagations,
         conflicts: now.conflicts - before.conflicts,
         restarts: now.restarts - before.restarts,
+        gc_runs: now.gc_runs - before.gc_runs,
+        lits_reclaimed: now.lits_reclaimed - before.lits_reclaimed,
         // Gauges / whole-solver counters stay absolute.
         learnt_clauses: now.learnt_clauses,
         removed_clauses: now.removed_clauses,
         added_clauses: now.added_clauses,
+        arena_wasted: now.arena_wasted,
+        arena_words: now.arena_words,
     }
 }
 
@@ -187,6 +247,7 @@ pub(crate) fn attempt_gated(
     prepared: &PreparedMapper<'_>,
     solver: &mut Solver,
     prefix: &PePrefix,
+    prev_rung: Option<&RungMemory>,
     ii: u32,
     limits: &SolveLimits,
 ) -> Result<GatedAttempt, MapFailure> {
@@ -225,11 +286,22 @@ pub(crate) fn attempt_gated(
         .node_ids()
         .all(|n| enc.varmap.allowed_pes(n) == &prefix.allowed[n.index()][..]));
 
+    // Rung-aware heuristic hygiene: seed this rung's saved phases and
+    // VSIDS activities from the previous rung's semantically
+    // corresponding variables before the first solve.
+    if config.rung_transfer {
+        if let Some(prev) = prev_rung {
+            let pairs = rung_transfer_pairs(prev, &enc.varmap, base);
+            solver.on_rung_advance(&pairs, RUNG_ACTIVITY_SCALE);
+        }
+    }
+
     let result = solve_rung(prepared, solver, &enc, &kms, gate, base, limits, t_ii);
     Ok(GatedAttempt {
         result,
         gate,
         delta_vars,
+        varmap: enc.varmap,
     })
 }
 
@@ -392,13 +464,29 @@ fn solve_rung(
 /// assert!(r2.mapped.is_some());
 /// assert_eq!(ladder.proven_lower_bound(), 2);
 /// ```
-#[derive(Debug)]
 pub struct IiLadder<'p, 'a> {
     prepared: &'p PreparedMapper<'a>,
     solver: Solver,
     prefix: PePrefix,
     unmappable: bool,
     proven_lower_bound: u32,
+    /// Heuristic memory of the previous rung, feeding the phase/activity
+    /// transfer into the next one (see [`rung_transfer_pairs`]).
+    last_rung: Option<RungMemory>,
+    /// The settled-but-not-yet-retired rung (activation literal + delta
+    /// variable block). Retirement is deferred to the start of the next
+    /// attempt so the ladder's *final* rung — after which the ladder is
+    /// dropped — never pays for a sweep and collection nothing consumes.
+    pending_retire: Option<(Lit, std::ops::Range<u32>)>,
+}
+
+impl std::fmt::Debug for IiLadder<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IiLadder")
+            .field("unmappable", &self.unmappable)
+            .field("proven_lower_bound", &self.proven_lower_bound)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p, 'a> IiLadder<'p, 'a> {
@@ -414,7 +502,32 @@ impl<'p, 'a> IiLadder<'p, 'a> {
             // install above, or the one in `prepare`, already hit it).
             unmappable: !solver_ok,
             proven_lower_bound: prepared.start_ii(),
+            last_rung: None,
+            pending_retire: None,
         })
+    }
+
+    /// Retires the previously settled rung, if one is queued: asserts its
+    /// activation literal off (sweeping the group's clauses and every
+    /// learnt clause derived from them — the sweep that feeds the clause
+    /// arena's garbage collector) and masks its dead variables out of
+    /// branching so later rungs do not waste decisions enumerating them.
+    fn retire_pending(&mut self) {
+        if let Some((gate, delta_vars)) = self.pending_retire.take() {
+            self.solver.retire_group(gate);
+            for v in delta_vars {
+                self.solver
+                    .set_decision_var(satmapit_sat::Var::new(v), false);
+            }
+        }
+    }
+
+    /// The live solver's cumulative effort counters — including the
+    /// clause-arena occupancy gauges (`arena_words` / `arena_wasted`) and
+    /// GC counters, which is what the `solver_bench` waste measurements
+    /// read after a full ladder.
+    pub fn solver_stats(&self) -> &SolverStats {
+        self.solver.stats()
     }
 
     /// `true` once some rung's UNSAT core avoided its clause group: every
@@ -438,8 +551,9 @@ impl<'p, 'a> IiLadder<'p, 'a> {
 
     /// Attempts one candidate II on the shared solver. Same contract as
     /// [`PreparedMapper::attempt_ii`], plus: the rung's clause group is
-    /// retired after any definitive or budget outcome, and a prefix-only
-    /// UNSAT core marks the whole ladder unmappable.
+    /// queued for retirement (performed at the start of the next attempt
+    /// — see `retire_pending`), and a prefix-only UNSAT core marks the
+    /// whole ladder unmappable.
     pub fn attempt_ii(
         &mut self,
         ii: u32,
@@ -482,17 +596,34 @@ impl<'p, 'a> IiLadder<'p, 'a> {
                 proven_unmappable: false,
             });
         }
-        let gated = attempt_gated(self.prepared, &mut self.solver, &self.prefix, ii, limits)?;
-        // Retire the rung whatever its result — an abandoned rung
-        // (timeout, internal failure) must not leak its encoding into
-        // later solves. Its variables are dead weight now (every clause
-        // over them is retired); mask them out of branching so later
-        // rungs do not waste thousands of decisions enumerating them.
-        self.solver.retire_group(gated.gate);
-        for v in gated.delta_vars.clone() {
-            self.solver
-                .set_decision_var(satmapit_sat::Var::new(v), false);
-        }
+        // Retire the *previous* rung now, not the current one at exit:
+        // deferring the sweep (and the arena collection it feeds) to the
+        // start of the next attempt means a ladder that stops — because
+        // the rung mapped, timed out, or proved unmappability — never
+        // pays for a retirement whose cleanliness nothing will consume.
+        // The deferred group is inert in the meantime (its activation
+        // literal is simply never assumed again), so solve-time state is
+        // identical to eager retirement.
+        self.retire_pending();
+        let gated = attempt_gated(
+            self.prepared,
+            &mut self.solver,
+            &self.prefix,
+            self.last_rung.as_ref(),
+            ii,
+            limits,
+        )?;
+        // Queue this rung for retirement whatever its result — an
+        // abandoned rung (timeout, internal failure) must not leak its
+        // encoding into the next solve, and `retire_pending` runs before
+        // that solve. The rung's saved phases and activities survive in
+        // the solver's per-variable arrays; its variable table feeds the
+        // next rung's phase/activity transfer.
+        self.pending_retire = Some((gated.gate, gated.delta_vars.clone()));
+        self.last_rung = Some(RungMemory {
+            varmap: gated.varmap,
+            base: gated.delta_vars.start,
+        });
         let report = gated.result?;
         if report.proven_unmappable {
             self.unmappable = true;

@@ -94,6 +94,13 @@ pub struct MapperConfig {
     /// the two modes may abandon different rungs, exactly as two
     /// differently-seeded scratch runs may.
     pub incremental: bool,
+    /// Rung-aware heuristic transfer (incremental ladders only, default
+    /// on): when the ladder advances from II to the next candidate, the
+    /// new rung's variables inherit the saved phases and VSIDS
+    /// activities of the previous rung's semantically corresponding
+    /// variables — same node, same unfolded schedule slot, same PE. Answer-preserving: it only steers the search order, like
+    /// a phase seed. `false` starts every rung's heuristics cold.
+    pub rung_transfer: bool,
 }
 
 impl Default for MapperConfig {
@@ -110,6 +117,7 @@ impl Default for MapperConfig {
             register_pressure: true,
             solver: SolverOptions::default(),
             incremental: true,
+            rung_transfer: true,
         }
     }
 }

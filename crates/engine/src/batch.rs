@@ -76,6 +76,15 @@ pub struct CacheStats {
     /// Misses whose II ladder started from a previously proven lower
     /// bound instead of the MII — rungs below it were skipped unsolved.
     pub bound_starts: u64,
+    /// Clause-arena garbage collections across every solve this engine
+    /// ran (summed from the per-attempt [`satmapit_sat::SolverStats`]).
+    pub gc_runs: u64,
+    /// Literal slots reclaimed by those collections, summed likewise.
+    pub lits_reclaimed: u64,
+    /// The largest post-solve arena waste (in words) any attempt left
+    /// behind — an upper bound on how much dead clause memory a single
+    /// solver carried at once.
+    pub arena_wasted: u64,
 }
 
 /// Where a served result came from.
@@ -130,6 +139,12 @@ pub struct Engine {
     misses: AtomicU64,
     persistent_hits: AtomicU64,
     bound_starts: AtomicU64,
+    /// Solver-level GC telemetry, summed over every attempt of every
+    /// solve this engine ran (see [`CacheStats::gc_runs`] & friends).
+    gc_runs: AtomicU64,
+    lits_reclaimed: AtomicU64,
+    /// Peak post-solve arena waste in words (fetch_max, not a sum).
+    arena_wasted: AtomicU64,
     /// Thundering-herd guard: fingerprints currently being solved. A
     /// lookup that finds its key here waits for the leader to finish and
     /// then re-reads the cache, instead of solving the identical problem
@@ -177,6 +192,9 @@ impl Engine {
             misses: AtomicU64::new(0),
             persistent_hits: AtomicU64::new(0),
             bound_starts: AtomicU64::new(0),
+            gc_runs: AtomicU64::new(0),
+            lits_reclaimed: AtomicU64::new(0),
+            arena_wasted: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             persist: None,
@@ -222,6 +240,9 @@ impl Engine {
             misses: AtomicU64::new(0),
             persistent_hits: AtomicU64::new(0),
             bound_starts: AtomicU64::new(0),
+            gc_runs: AtomicU64::new(0),
+            lits_reclaimed: AtomicU64::new(0),
+            arena_wasted: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             persist: Some(persistence),
@@ -257,6 +278,9 @@ impl Engine {
                 .map_or(0, |p| p.loaded.lock().expect("loaded poisoned").len()),
             persistent_hits: self.persistent_hits.load(Ordering::Relaxed),
             bound_starts: self.bound_starts.load(Ordering::Relaxed),
+            gc_runs: self.gc_runs.load(Ordering::Relaxed),
+            lits_reclaimed: self.lits_reclaimed.load(Ordering::Relaxed),
+            arena_wasted: self.arena_wasted.load(Ordering::Relaxed),
         }
     }
 
@@ -469,6 +493,7 @@ impl Engine {
         }
         let outcome = Arc::new(map_raced_with_bound(dfg, cgra, &config, known_bound));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_solver_telemetry(&outcome);
         self.record_bound(problem_key, known_bound, &outcome);
         // Wall-clock-dependent failures are not memoized: a timed-out job
         // resubmitted later (idler machine, luckier race) deserves a fresh
@@ -513,6 +538,29 @@ impl Engine {
             cached: false,
             persistent: false,
         }
+    }
+
+    /// Folds each attempt's clause-arena counters into the engine-wide
+    /// telemetry surfaced by [`Engine::cache_stats`]: GC runs and
+    /// reclaimed literals are summed, arena waste keeps its peak.
+    fn record_solver_telemetry(&self, outcome: &EngineOutcome) {
+        let mut gc_runs = 0u64;
+        let mut lits = 0u64;
+        let mut wasted_peak = 0u64;
+        for attempt in &outcome.outcome.attempts {
+            if let Some(stats) = &attempt.solver_stats {
+                gc_runs += stats.gc_runs;
+                lits += stats.lits_reclaimed;
+                wasted_peak = wasted_peak.max(stats.arena_wasted);
+            }
+        }
+        if gc_runs > 0 {
+            self.gc_runs.fetch_add(gc_runs, Ordering::Relaxed);
+        }
+        if lits > 0 {
+            self.lits_reclaimed.fetch_add(lits, Ordering::Relaxed);
+        }
+        self.arena_wasted.fetch_max(wasted_peak, Ordering::Relaxed);
     }
 
     /// Extracts and records the II lower bound this outcome proved: the

@@ -130,8 +130,13 @@ pub fn hash_config(h: &mut Hasher, config: &EngineConfig) {
     h.write_u64(u64::from(m.ra_cuts));
     h.write(&[u8::from(m.register_pressure)]);
     h.write(&[u8::from(m.incremental)]);
+    h.write(&[u8::from(m.rung_transfer)]);
     h.write_u64(m.solver.restart_base);
     h.write_opt_u64(m.solver.phase_seed);
+    // Arena GC preserves the formula but compacts watch lists, which can
+    // reorder propagation and therefore the model found — an execution
+    // knob like the phase seed, so it moves the result key.
+    h.write(&[u8::from(m.solver.gc)]);
     h.write_u64(config.race_width as u64);
     h.write_u64(config.portfolio as u64);
 }

@@ -55,7 +55,11 @@ pub const BOUNDS_FILE: &str = "bounds.smc";
 pub const MAGIC: [u8; 8] = *b"SMCACHE\0";
 /// Current format version. Files with any other version are ignored
 /// wholesale (with a warning) rather than misread.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 extended the persisted [`satmapit_sat::SolverStats`] with the
+/// clause-arena GC counters (`gc_runs`, `lits_reclaimed`, `arena_wasted`,
+/// `arena_words`); v1 stores are simply re-solved.
+pub const FORMAT_VERSION: u32 = 2;
 const HEADER_LEN: usize = 16;
 /// Upper bound on a single record's payload; anything larger is treated
 /// as framing corruption (a flipped bit in a length field must not make
@@ -304,6 +308,10 @@ fn write_solver_stats(w: &mut ByteWriter, s: &satmapit_sat::SolverStats) {
     w.u64(s.learnt_clauses);
     w.u64(s.removed_clauses);
     w.u64(s.added_clauses);
+    w.u64(s.gc_runs);
+    w.u64(s.lits_reclaimed);
+    w.u64(s.arena_wasted);
+    w.u64(s.arena_words);
 }
 
 fn read_solver_stats(r: &mut ByteReader<'_>) -> Result<satmapit_sat::SolverStats, PersistError> {
@@ -315,6 +323,10 @@ fn read_solver_stats(r: &mut ByteReader<'_>) -> Result<satmapit_sat::SolverStats
         learnt_clauses: r.u64()?,
         removed_clauses: r.u64()?,
         added_clauses: r.u64()?,
+        gc_runs: r.u64()?,
+        lits_reclaimed: r.u64()?,
+        arena_wasted: r.u64()?,
+        arena_words: r.u64()?,
     })
 }
 

@@ -128,6 +128,10 @@ impl Gen {
                     learnt_clauses: self.next(),
                     removed_clauses: self.next(),
                     added_clauses: self.next(),
+                    gc_runs: self.next(),
+                    lits_reclaimed: self.next(),
+                    arena_wasted: self.next(),
+                    arena_words: self.next(),
                 })
             },
             ra_cuts: self.u32(200),

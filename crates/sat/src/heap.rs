@@ -58,6 +58,15 @@ impl ActivityHeap {
         Some(top)
     }
 
+    /// Restores the heap invariant after arbitrary activity rewrites
+    /// (e.g. a rung-advance activity transfer): O(n) bottom-up heapify
+    /// over the queued variables.
+    pub fn rebuild(&mut self, act: &[f64]) {
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i, act);
+        }
+    }
+
     /// Restores heap order after `act[v]` increased.
     pub fn bumped(&mut self, v: u32, act: &[f64]) {
         if let Some(&p) = self.pos.get(v as usize) {

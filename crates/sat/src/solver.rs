@@ -50,6 +50,7 @@
 //!   are activated. `satmapit-core` uses exactly this distinction to
 //!   prove "no II can ever map" from a single rung of the ladder.
 
+use crate::arena::{ClauseArena, ClauseRef};
 use crate::cnf::CnfFormula;
 use crate::heap::ActivityHeap;
 use crate::luby::luby;
@@ -59,11 +60,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const CLAUSE_NONE: u32 = u32::MAX;
-
 const VAR_ACT_DECAY: f64 = 1.0 / 0.95;
 const CLA_ACT_DECAY: f64 = 1.0 / 0.999;
 const DEFAULT_RESTART_BASE: u64 = 100;
+
+/// Arena garbage collection triggers once at least this fraction of the
+/// arena (in words) is occupied by deleted records…
+const GC_WASTE_DENOMINATOR: u64 = 5; // i.e. wasted ≥ 20 % of the arena
+/// …and at least this many words are wasted (collecting a tiny arena is
+/// pure overhead — 1024 words is 4 KiB, roughly one L1 load's worth of
+/// compaction).
+const GC_MIN_WASTE_WORDS: u64 = 1 << 10;
 
 /// How many search steps (decisions + conflicts) pass between polls of the
 /// stop flag and the wall-clock deadline. Both limits share this single
@@ -74,17 +81,8 @@ pub const LIMIT_POLL_INTERVAL: u64 = 64;
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
-    clause: u32,
+    clause: ClauseRef,
     blocker: Lit,
-}
-
-#[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
-    lbd: u32,
 }
 
 /// Counters describing solver effort; useful for the paper's runtime tables
@@ -105,6 +103,15 @@ pub struct SolverStats {
     pub removed_clauses: u64,
     /// Problem clauses added (after top-level simplification).
     pub added_clauses: u64,
+    /// Clause-arena garbage collections performed (compaction runs).
+    pub gc_runs: u64,
+    /// Literal slots reclaimed by arena garbage collection.
+    pub lits_reclaimed: u64,
+    /// Arena words currently occupied by deleted, unswept clause records —
+    /// a gauge, not a counter (0 right after a collection).
+    pub arena_wasted: u64,
+    /// Total arena words currently allocated (live + wasted) — a gauge.
+    pub arena_words: u64,
 }
 
 /// Resource budget for a single [`Solver::solve_limited`] call.
@@ -216,6 +223,13 @@ pub struct SolverOptions {
     /// seed instead of defaulting to `false`, steering the first descent
     /// into a different part of the assignment space per seed.
     pub phase_seed: Option<u64>,
+    /// Automatic clause-arena garbage collection (default on). Collection
+    /// preserves the formula exactly, but compacting the watch lists can
+    /// reorder propagation and therefore steer the search to a different
+    /// (equally valid) model — which is why the knob lives here with the
+    /// other answer-preserving diversification knobs. Forced collections
+    /// via [`Solver::collect_garbage`] ignore this flag.
+    pub gc: bool,
 }
 
 impl Default for SolverOptions {
@@ -223,6 +237,7 @@ impl Default for SolverOptions {
         SolverOptions {
             restart_base: DEFAULT_RESTART_BASE,
             phase_seed: None,
+            gc: true,
         }
     }
 }
@@ -243,8 +258,10 @@ impl Default for SolverOptions {
 /// ```
 #[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    learnt_idxs: Vec<u32>,
+    /// Flat clause storage; every `ClauseRef` below points into it (see
+    /// the `arena` module docs for the record layout and GC contract).
+    ca: ClauseArena,
+    learnt_idxs: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     decision: Vec<bool>,
@@ -256,7 +273,7 @@ pub struct Solver {
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
-    reason: Vec<u32>,
+    reason: Vec<ClauseRef>,
     level: Vec<u32>,
     seen: Vec<bool>,
     ok: bool,
@@ -267,9 +284,10 @@ pub struct Solver {
     reduce_count: u64,
     restart_base: u64,
     phase_rng: Option<u64>,
+    gc_enabled: bool,
     /// Live clause groups: activation variable index → member clause
-    /// indices (see the module docs on the activation-literal lifecycle).
-    groups: std::collections::HashMap<u32, Vec<u32>>,
+    /// refs (see the module docs on the activation-literal lifecycle).
+    groups: std::collections::HashMap<u32, Vec<ClauseRef>>,
 }
 
 impl Default for Solver {
@@ -282,7 +300,7 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
-            clauses: Vec::new(),
+            ca: ClauseArena::new(),
             learnt_idxs: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
@@ -306,6 +324,7 @@ impl Solver {
             reduce_count: 0,
             restart_base: DEFAULT_RESTART_BASE,
             phase_rng: None,
+            gc_enabled: true,
             groups: std::collections::HashMap::new(),
         }
     }
@@ -317,6 +336,7 @@ impl Solver {
         // Only seed 0 is remapped (the xorshift zero fixed point); all
         // other seeds stay distinct.
         solver.phase_rng = options.phase_seed.map(|s| s.max(1));
+        solver.gc_enabled = options.gc;
         solver
     }
 
@@ -352,7 +372,7 @@ impl Solver {
         self.decision.push(true);
         self.polarity.push(phase);
         self.activity.push(0.0);
-        self.reason.push(CLAUSE_NONE);
+        self.reason.push(ClauseRef::NONE);
         self.level.push(0);
         self.seen.push(false);
         self.watches.push(Vec::new());
@@ -394,15 +414,23 @@ impl Solver {
         self.add_clause_tracked(lits).0
     }
 
-    /// [`Solver::add_clause`] that also reports the index of the clause it
+    /// [`Solver::add_clause`] that also reports the ref of the clause it
     /// allocated, when the clause survived simplification as a real
     /// (2+-literal) clause.
-    fn add_clause_tracked(&mut self, lits: &[Lit]) -> (bool, Option<u32>) {
+    fn add_clause_tracked(&mut self, lits: &[Lit]) -> (bool, Option<ClauseRef>) {
+        self.add_clause_vec(lits.to_vec())
+    }
+
+    /// [`Solver::add_clause_tracked`] over an owned buffer — the gated
+    /// path ([`Solver::add_clause_in_group`]) builds its `C ∨ ¬g` clause
+    /// once and hands it over instead of paying a second copy per clause
+    /// (group deltas are added in the hundreds of thousands per
+    /// incremental rung).
+    fn add_clause_vec(&mut self, mut ls: Vec<Lit>) -> (bool, Option<ClauseRef>) {
         debug_assert_eq!(self.decision_level(), 0);
         if !self.ok {
             return (false, None);
         }
-        let mut ls: Vec<Lit> = lits.to_vec();
         for l in &ls {
             assert!(
                 l.var().index() < self.num_vars(),
@@ -433,7 +461,7 @@ impl Solver {
                 (false, None)
             }
             1 => {
-                self.unchecked_enqueue(simplified[0], CLAUSE_NONE);
+                self.unchecked_enqueue(simplified[0], ClauseRef::NONE);
                 if self.propagate().is_some() {
                     self.ok = false;
                     (false, None)
@@ -442,7 +470,7 @@ impl Solver {
                 }
             }
             _ => {
-                let ci = self.alloc_clause(simplified, false, 0);
+                let ci = self.alloc_clause(&simplified, false, 0);
                 self.attach_clause(ci);
                 self.stats.added_clauses += 1;
                 (true, Some(ci))
@@ -476,14 +504,50 @@ impl Solver {
         let mut gated = Vec::with_capacity(lits.len() + 1);
         gated.extend_from_slice(lits);
         gated.push(!group);
-        let (ok, allocated) = self.add_clause_tracked(&gated);
+        let (ok, allocated) = self.add_clause_vec(gated);
         if let Some(ci) = allocated {
+            // Keep ¬group out of the watched positions (0 and 1) when the
+            // clause has enough other literals: every group clause carries
+            // ¬group, so watching it would pile the whole group onto one
+            // watch list and make each rung's opening `assume(group)`
+            // propagation visit every such clause just to move its watch.
+            // Any two literals are a valid watch pair at add time (all
+            // Undef), so demoting ¬group is free.
+            let len = self.ca.len(ci);
+            if len > 2 {
+                for i in 0..2 {
+                    if self.ca.lit(ci, i) == !group {
+                        let old = self.ca.lit(ci, i);
+                        let new = self.ca.lit(ci, len - 1);
+                        self.ca.swap_lits(ci, i, len - 1);
+                        self.rewatch(ci, old, new);
+                    }
+                }
+            }
             self.groups
                 .entry(group.var().index() as u32)
                 .or_default()
                 .push(ci);
         }
         ok
+    }
+
+    /// Repoints the watcher of `ci` that watched `old` to watch `new`
+    /// instead (both literals belong to `ci`; `new` now sits in a watched
+    /// position). Used right after allocation, while the clause's watch
+    /// lists are still hot.
+    fn rewatch(&mut self, ci: ClauseRef, old: Lit, new: Lit) {
+        let ws = &mut self.watches[(!old).code()];
+        let at = ws
+            .iter()
+            .position(|w| w.clause == ci)
+            .expect("freshly attached clause is watched");
+        let blocker = ws[at].blocker;
+        ws.swap_remove(at);
+        self.watches[(!new).code()].push(Watcher {
+            clause: ci,
+            blocker,
+        });
     }
 
     /// Retires a clause group: asserts `¬group` at the top level, which
@@ -503,37 +567,33 @@ impl Solver {
             .unwrap_or_default();
         let ok = self.add_clause(&[!group]);
         for ci in members {
-            let c = &self.clauses[ci as usize];
-            if c.deleted || self.is_locked(ci) {
+            if self.ca.is_deleted(ci) || self.is_locked(ci) {
                 continue;
             }
-            self.detach_clause(ci);
-            let c = &mut self.clauses[ci as usize];
-            c.deleted = true;
-            c.lits = Vec::new();
+            // Deletion is a header-bit flip; the watchers pointing at the
+            // record are dropped lazily by propagation (or at the next
+            // collection, whichever dereferences them first).
+            self.ca.delete(ci);
         }
         // Learnt clauses that depended on the group all contain ¬group
         // (see the module docs); they are satisfied now and can go.
         let gone = !group;
-        let sweep: Vec<u32> = self
+        let sweep: Vec<ClauseRef> = self
             .learnt_idxs
             .iter()
             .copied()
             .filter(|&ci| {
-                let c = &self.clauses[ci as usize];
-                !c.deleted && c.lits.contains(&gone) && !self.is_locked(ci)
+                !self.ca.is_deleted(ci) && self.ca.contains(ci, gone) && !self.is_locked(ci)
             })
             .collect();
         for ci in sweep {
-            self.detach_clause(ci);
-            let c = &mut self.clauses[ci as usize];
-            c.deleted = true;
-            c.lits = Vec::new();
+            self.ca.delete(ci);
             self.stats.removed_clauses += 1;
             self.stats.learnt_clauses -= 1;
         }
-        self.learnt_idxs
-            .retain(|&ci| !self.clauses[ci as usize].deleted);
+        self.learnt_idxs.retain(|&ci| !self.ca.is_deleted(ci));
+        self.sync_arena_gauges();
+        self.maybe_collect();
         ok
     }
 
@@ -629,28 +689,20 @@ impl Solver {
     // Internals
     // ----------------------------------------------------------------- //
 
-    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
-        let ci = self.clauses.len() as u32;
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-            lbd,
-        });
+    fn alloc_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
+        let ci = self.ca.alloc(lits, learnt, lbd);
         if learnt {
             self.learnt_idxs.push(ci);
             self.stats.learnt_clauses += 1;
         }
+        self.sync_arena_gauges();
         ci
     }
 
-    fn attach_clause(&mut self, ci: u32) {
-        let (l0, l1) = {
-            let c = &self.clauses[ci as usize];
-            debug_assert!(c.lits.len() >= 2);
-            (c.lits[0], c.lits[1])
-        };
+    fn attach_clause(&mut self, ci: ClauseRef) {
+        debug_assert!(self.ca.len(ci) >= 2);
+        let l0 = self.ca.lit(ci, 0);
+        let l1 = self.ca.lit(ci, 1);
         self.watches[(!l0).code()].push(Watcher {
             clause: ci,
             blocker: l1,
@@ -659,15 +711,6 @@ impl Solver {
             clause: ci,
             blocker: l0,
         });
-    }
-
-    fn detach_clause(&mut self, ci: u32) {
-        let (l0, l1) = {
-            let c = &self.clauses[ci as usize];
-            (c.lits[0], c.lits[1])
-        };
-        self.watches[(!l0).code()].retain(|w| w.clause != ci);
-        self.watches[(!l1).code()].retain(|w| w.clause != ci);
     }
 
     fn lit_value(&self, l: Lit) -> LBool {
@@ -687,7 +730,7 @@ impl Solver {
         self.trail_lim.push(self.trail.len());
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var().index();
         self.assigns[v] = LBool::from_bool(l.is_positive());
@@ -706,7 +749,7 @@ impl Solver {
             let v = l.var().index();
             self.polarity[v] = self.assigns[v] == LBool::True;
             self.assigns[v] = LBool::Undef;
-            self.reason[v] = CLAUSE_NONE;
+            self.reason[v] = ClauseRef::NONE;
             if self.decision[v] {
                 self.order.insert(v as u32, &self.activity);
             }
@@ -716,8 +759,8 @@ impl Solver {
         self.qhead = bound;
     }
 
-    /// Unit propagation. Returns the index of a conflicting clause, if any.
-    fn propagate(&mut self) -> Option<u32> {
+    /// Unit propagation. Returns the ref of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -734,30 +777,36 @@ impl Solver {
                     j += 1;
                     continue;
                 }
-                let ci = w.clause as usize;
-                if self.clauses[ci].lits[0] == not_p {
-                    self.clauses[ci].lits.swap(0, 1);
+                let ci = w.clause;
+                // Lazy watcher removal: a deleted clause's watcher is
+                // dropped (not copied to `j`) the first time propagation
+                // dereferences it — no eager O(watchlist) detach scans.
+                if self.ca.is_deleted(ci) {
+                    continue;
                 }
-                debug_assert_eq!(self.clauses[ci].lits[1], not_p);
-                let first = self.clauses[ci].lits[0];
+                if self.ca.lit(ci, 0) == not_p {
+                    self.ca.swap_lits(ci, 0, 1);
+                }
+                debug_assert_eq!(self.ca.lit(ci, 1), not_p);
+                let first = self.ca.lit(ci, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     ws[j] = Watcher {
-                        clause: w.clause,
+                        clause: ci,
                         blocker: first,
                     };
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[ci].lits.len();
+                let len = self.ca.len(ci);
                 for k in 2..len {
-                    let lk = self.clauses[ci].lits[k];
+                    let lk = self.ca.lit(ci, k);
                     if self.lit_value(lk) != LBool::False {
-                        self.clauses[ci].lits.swap(1, k);
-                        let new_watch = self.clauses[ci].lits[1];
+                        self.ca.swap_lits(ci, 1, k);
+                        let new_watch = self.ca.lit(ci, 1);
                         debug_assert_ne!((!new_watch).code(), p.code());
                         self.watches[(!new_watch).code()].push(Watcher {
-                            clause: w.clause,
+                            clause: ci,
                             blocker: first,
                         });
                         continue 'watchers;
@@ -765,7 +814,7 @@ impl Solver {
                 }
                 // Clause is unit or conflicting under the current assignment.
                 ws[j] = Watcher {
-                    clause: w.clause,
+                    clause: ci,
                     blocker: first,
                 };
                 j += 1;
@@ -779,9 +828,9 @@ impl Solver {
                     ws.truncate(j);
                     self.watches[p.code()] = ws;
                     self.qhead = self.trail.len();
-                    return Some(w.clause);
+                    return Some(ci);
                 }
-                self.unchecked_enqueue(first, w.clause);
+                self.unchecked_enqueue(first, ci);
             }
             ws.truncate(j);
             self.watches[p.code()] = ws;
@@ -800,12 +849,13 @@ impl Solver {
         self.order.bumped(v.index() as u32, &self.activity);
     }
 
-    fn bump_clause(&mut self, ci: u32) {
-        let c = &mut self.clauses[ci as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for idx in &self.learnt_idxs {
-                self.clauses[*idx as usize].activity *= 1e-20;
+    fn bump_clause(&mut self, ci: ClauseRef) {
+        let act = self.ca.activity(ci) + self.cla_inc as f32;
+        self.ca.set_activity(ci, act);
+        if act > 1e20 {
+            for k in 0..self.learnt_idxs.len() {
+                let idx = self.learnt_idxs[k];
+                self.ca.set_activity(idx, self.ca.activity(idx) * 1e-20);
             }
             self.cla_inc *= 1e-20;
         }
@@ -813,19 +863,19 @@ impl Solver {
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first), the backtrack level, and the clause's LBD.
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize, u32) {
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)];
         let mut path_c: i32 = 0;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         loop {
-            debug_assert_ne!(confl, CLAUSE_NONE);
-            if self.clauses[confl as usize].learnt {
+            debug_assert_ne!(confl, ClauseRef::NONE);
+            if self.ca.is_learnt(confl) {
                 self.bump_clause(confl);
             }
             let start = usize::from(p.is_some());
-            for k in start..self.clauses[confl as usize].lits.len() {
-                let q = self.clauses[confl as usize].lits[k];
+            for k in start..self.ca.len(confl) {
+                let q = self.ca.lit(confl, k);
                 let vi = q.var().index();
                 if !self.seen[vi] && self.level[vi] > 0 {
                     self.bump_var(q.var());
@@ -862,11 +912,12 @@ impl Solver {
         kept.push(learnt[0]);
         'lits: for &q in &original {
             let r = self.reason[q.var().index()];
-            if r == CLAUSE_NONE {
+            if r == ClauseRef::NONE {
                 kept.push(q);
                 continue;
             }
-            for &a in &self.clauses[r as usize].lits {
+            for k in 0..self.ca.len(r) {
+                let a = self.ca.lit(r, k);
                 if a.var() == q.var() {
                     continue;
                 }
@@ -924,13 +975,13 @@ impl Solver {
                 continue;
             }
             let r = self.reason[vi];
-            if r == CLAUSE_NONE {
+            if r == ClauseRef::NONE {
                 if self.level[vi] > 0 {
                     self.conflict_core.push(!x);
                 }
             } else {
-                let lits = self.clauses[r as usize].lits.clone();
-                for l in lits {
+                for k in 0..self.ca.len(r) {
+                    let l = self.ca.lit(r, k);
                     if l.var() != x.var() && self.level[l.var().index()] > 0 {
                         self.seen[l.var().index()] = true;
                     }
@@ -944,10 +995,9 @@ impl Solver {
     fn reduce_db(&mut self) {
         // Sort learnt clauses: glue clauses (lbd <= 3) and locked clauses are
         // kept; the least active half of the rest is removed.
-        let mut candidates: Vec<u32> = Vec::new();
+        let mut candidates: Vec<ClauseRef> = Vec::new();
         for &ci in &self.learnt_idxs {
-            let c = &self.clauses[ci as usize];
-            if c.deleted || c.lbd <= 3 || c.lits.len() <= 2 {
+            if self.ca.is_deleted(ci) || self.ca.lbd(ci) <= 3 || self.ca.len(ci) <= 2 {
                 continue;
             }
             if self.is_locked(ci) {
@@ -956,33 +1006,130 @@ impl Solver {
             candidates.push(ci);
         }
         candidates.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
+            self.ca
+                .activity(a)
+                .partial_cmp(&self.ca.activity(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let remove_n = candidates.len() / 2;
         for &ci in candidates.iter().take(remove_n) {
-            self.detach_clause(ci);
-            let c = &mut self.clauses[ci as usize];
-            c.deleted = true;
-            c.lits = Vec::new();
+            self.ca.delete(ci);
             self.stats.removed_clauses += 1;
             self.stats.learnt_clauses -= 1;
         }
-        self.learnt_idxs
-            .retain(|&ci| !self.clauses[ci as usize].deleted);
+        self.learnt_idxs.retain(|&ci| !self.ca.is_deleted(ci));
         self.reduce_count += 1;
         self.next_reduce = self.stats.conflicts + 2000 + 500 * self.reduce_count;
+        self.sync_arena_gauges();
+        self.maybe_collect();
     }
 
-    fn is_locked(&self, ci: u32) -> bool {
-        let c = &self.clauses[ci as usize];
-        if c.lits.is_empty() {
-            return false;
-        }
-        let l0 = c.lits[0];
+    fn is_locked(&self, ci: ClauseRef) -> bool {
+        let l0 = self.ca.lit(ci, 0);
         self.lit_value(l0) == LBool::True && self.reason[l0.var().index()] == ci
+    }
+
+    /// Keeps the arena occupancy gauges in [`SolverStats`] current.
+    fn sync_arena_gauges(&mut self) {
+        self.stats.arena_wasted = self.ca.wasted_words();
+        self.stats.arena_words = self.ca.words();
+    }
+
+    /// Runs the mark-compact collector when automatic GC is enabled and
+    /// the wasted fraction crossed the trigger (≥ 1/[`GC_WASTE_DENOMINATOR`]
+    /// of the arena and at least [`GC_MIN_WASTE_WORDS`] words).
+    fn maybe_collect(&mut self) {
+        let wasted = self.ca.wasted_words();
+        if self.gc_enabled
+            && wasted >= GC_MIN_WASTE_WORDS
+            && wasted * GC_WASTE_DENOMINATOR >= self.ca.words()
+        {
+            self.collect_garbage();
+        }
+    }
+
+    /// Forces a clause-arena garbage collection: compacts every live
+    /// clause into a fresh contiguous buffer and remaps the watch lists, the
+    /// `reason` pointers of the current trail, the learnt-clause index and
+    /// the live group membership lists. Safe at any decision level (the
+    /// solver invokes it automatically after [`Solver::retire_group`]
+    /// sweeps and learnt-DB reductions once the waste trigger is crossed,
+    /// regardless of search depth); watchers of deleted clauses — the
+    /// lazy-removal leftovers — are dropped rather than remapped.
+    ///
+    /// Ignores the [`SolverOptions::gc`] switch (that only disables the
+    /// *automatic* trigger), which is what lets tests and benches force
+    /// collections deterministically.
+    pub fn collect_garbage(&mut self) {
+        let sweep = self.ca.collect();
+        let remap = &sweep.remap;
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| match remap.remap(w.clause) {
+                Some(nc) => {
+                    w.clause = nc;
+                    true
+                }
+                None => false,
+            });
+        }
+        for t in 0..self.trail.len() {
+            let v = self.trail[t].var().index();
+            let r = self.reason[v];
+            if r != ClauseRef::NONE {
+                self.reason[v] = remap
+                    .remap(r)
+                    .expect("reason clauses are locked and never deleted");
+            }
+        }
+        for ci in &mut self.learnt_idxs {
+            *ci = remap
+                .remap(*ci)
+                .expect("deleted learnt refs are dropped before collection");
+        }
+        for members in self.groups.values_mut() {
+            members.retain_mut(|ci| match remap.remap(*ci) {
+                Some(nc) => {
+                    *ci = nc;
+                    true
+                }
+                None => false,
+            });
+        }
+        self.stats.gc_runs += 1;
+        self.stats.lits_reclaimed += sweep.lits_reclaimed;
+        // Hand the spent forwarding table back so the next collection
+        // reuses its allocation instead of mapping a fresh buffer.
+        self.ca.recycle(sweep.remap);
+        self.sync_arena_gauges();
+    }
+
+    /// Rung-aware heuristic hygiene for incremental sessions: when an II
+    /// ladder advances to its next rung, the caller passes `(from, to)`
+    /// variable pairs connecting semantically corresponding variables of
+    /// the retired and the fresh rung (same node, same unfolded schedule
+    /// slot, same PE — see `satmapit-core`'s ladder). For every pair the
+    /// saved phase of `from` is copied to `to`, and — when
+    /// `activity_scale > 0` — `to`'s VSIDS activity is seeded at
+    /// `activity_scale` times `from`'s, so the new rung starts its search
+    /// where the previous rung's heuristic state left off instead of from
+    /// a cold, uniform zero. A scale of `0.0` transfers phases only.
+    ///
+    /// Sound by construction: phases and activities only steer the search
+    /// order, never the verdict.
+    pub fn on_rung_advance(&mut self, transfers: &[(Var, Var)], activity_scale: f64) {
+        for &(from, to) in transfers {
+            let f = from.index();
+            let t = to.index();
+            self.polarity[t] = self.polarity[f];
+            if activity_scale > 0.0 {
+                self.activity[t] = self.activity[f] * activity_scale;
+            }
+        }
+        if activity_scale > 0.0 && !transfers.is_empty() {
+            // Seeded activities may violate the heap order of queued
+            // variables; one O(n) heapify restores it.
+            self.order.rebuild(&self.activity);
+        }
     }
 
     /// Excludes `var` from (or re-admits it to) branching decisions.
@@ -1059,15 +1206,15 @@ impl Solver {
                 self.cancel_until(bt_level);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == LBool::Undef {
-                        self.unchecked_enqueue(learnt[0], CLAUSE_NONE);
+                        self.unchecked_enqueue(learnt[0], ClauseRef::NONE);
                     } else if self.lit_value(learnt[0]) == LBool::False {
                         self.ok = false;
                         return SearchOutcome::Unsat;
                     }
                 } else {
-                    let ci = self.alloc_clause(learnt, true, lbd);
+                    let ci = self.alloc_clause(&learnt, true, lbd);
                     self.attach_clause(ci);
-                    let l0 = self.clauses[ci as usize].lits[0];
+                    let l0 = self.ca.lit(ci, 0);
                     debug_assert_eq!(self.lit_value(l0), LBool::Undef);
                     self.unchecked_enqueue(l0, ci);
                 }
@@ -1114,7 +1261,7 @@ impl Solver {
                 };
                 self.stats.decisions += 1;
                 self.new_decision_level();
-                self.unchecked_enqueue(decision, CLAUSE_NONE);
+                self.unchecked_enqueue(decision, ClauseRef::NONE);
             }
         }
     }
@@ -1358,6 +1505,7 @@ mod tests {
             let options = SolverOptions {
                 restart_base: base,
                 phase_seed: seed,
+                ..SolverOptions::default()
             };
             let mut s = Solver::from_cnf_with(&sat_formula, &options);
             assert_eq!(s.solve(), SolveResult::Sat, "base={base} seed={seed:?}");
@@ -1378,6 +1526,7 @@ mod tests {
         let mut seeded = Solver::with_options(&SolverOptions {
             restart_base: 100,
             phase_seed: Some(0x5EED),
+            ..SolverOptions::default()
         });
         for _ in 0..64 {
             let _ = plain.new_var();

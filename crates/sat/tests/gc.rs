@@ -1,0 +1,235 @@
+//! Garbage-collection correctness: random interleavings of clause adds,
+//! clause-group lifecycles, solves and *forced* arena collections must be
+//! indistinguishable — verdict for verdict — from a GC-free reference
+//! solver, and every artifact (models, failed-assumption cores) must keep
+//! its documented contract.
+//!
+//! The subject solver runs with automatic GC enabled *and* gets
+//! `collect_garbage()` forced at random script points (including mid-run
+//! positions where watch lists are saturated with lazy-removal leftovers);
+//! the reference solver runs the identical script with
+//! `SolverOptions { gc: false, .. }` and never collects. Models are
+//! validated against an externally maintained copy of the formula, not
+//! against the solvers' own bookkeeping.
+
+use proptest::prelude::*;
+use satmapit_sat::{Lit, SolveResult, Solver, SolverOptions, Var};
+
+const NUM_VARS: usize = 10;
+
+/// One step of a solver script; `clause` and `pick` are interpreted per
+/// op kind (see `run_script`).
+type ScriptOp = (usize, Vec<(usize, bool)>, usize);
+
+fn op_strategy() -> impl Strategy<Value = ScriptOp> {
+    (
+        0..6usize,
+        proptest::collection::vec((0..NUM_VARS, any::<bool>()), 1..=4),
+        0..16usize,
+    )
+}
+
+/// The externally tracked ground truth: every clause the solvers hold
+/// (group clauses stored in their gated `C ∨ ¬g` form, retirements as
+/// `¬g` units), plus the live activation literals.
+#[derive(Default)]
+struct Mirror {
+    clauses: Vec<Vec<Lit>>,
+    live_gates: Vec<Lit>,
+}
+
+impl Mirror {
+    fn eval(&self, model: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|l| model[l.var().index()] == l.is_positive())
+        })
+    }
+}
+
+fn lits_of(spec: &[(usize, bool)]) -> Vec<Lit> {
+    spec.iter()
+        .map(|&(v, pol)| Lit::new(Var::new(v as u32), pol))
+        .collect()
+}
+
+/// Replays `script` on both solvers, checking agreement and contracts at
+/// every solve. Returns an error description on the first divergence.
+fn run_script(script: &[ScriptOp]) -> Result<(), String> {
+    let mut subject = Solver::new(); // automatic GC on (the default)
+    let mut reference = Solver::with_options(&SolverOptions {
+        gc: false,
+        ..SolverOptions::default()
+    });
+    for _ in 0..NUM_VARS {
+        let _ = subject.new_var();
+        let _ = reference.new_var();
+    }
+    let mut mirror = Mirror::default();
+    let mut solves = 0u32;
+
+    let check_solve = |subject: &mut Solver,
+                       reference: &mut Solver,
+                       mirror: &Mirror,
+                       assumptions: &[Lit]|
+     -> Result<(), String> {
+        let rs = subject.solve_with_assumptions(assumptions);
+        let rr = reference.solve_with_assumptions(assumptions);
+        if rs != rr {
+            return Err(format!(
+                "verdicts diverged under {assumptions:?}: gc={rs:?} reference={rr:?}"
+            ));
+        }
+        match rs {
+            SolveResult::Sat => {
+                for (who, solver) in [("gc", &*subject), ("reference", &*reference)] {
+                    let model = solver.model().expect("SAT carries a model");
+                    if !mirror.eval(model) {
+                        return Err(format!("{who} model violates the formula"));
+                    }
+                    for &a in assumptions {
+                        if model[a.var().index()] != a.is_positive() {
+                            return Err(format!("{who} model violates assumption {a:?}"));
+                        }
+                    }
+                }
+            }
+            SolveResult::Unsat => {
+                // The final_conflict contract: every core element is the
+                // negation of one of the assumptions.
+                for (who, solver) in [("gc", &*subject), ("reference", &*reference)] {
+                    for &l in solver.final_conflict() {
+                        if !assumptions.contains(&!l) {
+                            return Err(format!(
+                                "{who} core element {l:?} is not a negated assumption"
+                            ));
+                        }
+                    }
+                }
+            }
+            SolveResult::Unknown(_) => unreachable!("no limits were set"),
+        }
+        Ok(())
+    };
+
+    for (kind, clause_spec, pick) in script {
+        match kind {
+            0 => {
+                let lits = lits_of(clause_spec);
+                subject.add_clause(&lits);
+                reference.add_clause(&lits);
+                mirror.clauses.push(lits);
+            }
+            1 if mirror.live_gates.len() < 4 => {
+                let gs = subject.new_group();
+                let gr = reference.new_group();
+                assert_eq!(gs, gr, "identical scripts allocate identical vars");
+                mirror.live_gates.push(gs);
+            }
+            2 if !mirror.live_gates.is_empty() => {
+                let g = mirror.live_gates[pick % mirror.live_gates.len()];
+                let lits = lits_of(clause_spec);
+                subject.add_clause_in_group(g, &lits);
+                reference.add_clause_in_group(g, &lits);
+                let mut gated = lits;
+                gated.push(!g);
+                mirror.clauses.push(gated);
+            }
+            3 => {
+                // Assume a bitmask-chosen subset of the live gates.
+                let assumptions: Vec<Lit> = mirror
+                    .live_gates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| pick & (1 << i) != 0)
+                    .map(|(_, &g)| g)
+                    .collect();
+                check_solve(&mut subject, &mut reference, &mirror, &assumptions)?;
+                solves += 1;
+            }
+            4 if !mirror.live_gates.is_empty() => {
+                let g = mirror.live_gates.remove(pick % mirror.live_gates.len());
+                subject.retire_group(g);
+                reference.retire_group(g);
+                mirror.clauses.push(vec![!g]);
+            }
+            5 => {
+                // Forced collection on the subject only — the reference
+                // must never compact.
+                subject.collect_garbage();
+            }
+            _ => {}
+        }
+    }
+    // Closing solves: all live gates on, then none.
+    let gates = mirror.live_gates.clone();
+    check_solve(&mut subject, &mut reference, &mirror, &gates)?;
+    check_solve(&mut subject, &mut reference, &mirror, &[])?;
+    let _ = solves;
+    assert_eq!(
+        reference.stats().gc_runs,
+        0,
+        "reference solver must never collect"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn gc_is_invisible_to_verdicts(script in proptest::collection::vec(op_strategy(), 1..40)) {
+        if let Err(msg) = run_script(&script) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+}
+
+/// Deterministic end-to-end sweep: a long sequence of gated pigeonhole
+/// generations (each retired after its verdict) must keep verdicts exact
+/// while automatic GC actually fires and bounds the arena waste.
+#[test]
+#[allow(clippy::needless_range_loop)] // pigeonhole matrices read best indexed
+fn retirement_heavy_ladder_triggers_gc_and_stays_sound() {
+    let mut s = Solver::new();
+    let holes = 5;
+    let pigeons = holes + 1;
+    let vars: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for generation in 0..40 {
+        let g = s.new_group();
+        for p in 0..pigeons {
+            s.add_clause_in_group(g, &vars[p].clone());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause_in_group(g, &[!vars[p1][h], !vars[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_with_assumptions(&[g]),
+            SolveResult::Unsat,
+            "generation {generation}"
+        );
+        assert!(
+            s.final_conflict().contains(&!g),
+            "the gated pigeonhole is what is contradictory"
+        );
+        assert!(s.retire_group(g));
+    }
+    let stats = s.stats();
+    assert!(stats.gc_runs > 0, "40 retired generations must trigger GC");
+    assert!(stats.lits_reclaimed > 0);
+    assert!(
+        stats.arena_wasted * 4 <= stats.arena_words.max(1),
+        "post-sweep waste must stay bounded: {} of {} words dead",
+        stats.arena_wasted,
+        stats.arena_words
+    );
+    // And the solver is still fully functional.
+    assert_eq!(s.solve(), SolveResult::Sat);
+}

@@ -553,6 +553,9 @@ pub fn cache_stats_to_json(stats: &satmapit_engine::CacheStats) -> Json {
         ),
         ("persistent_hits", Json::Int(stats.persistent_hits as i64)),
         ("bound_starts", Json::Int(stats.bound_starts as i64)),
+        ("gc_runs", Json::Int(stats.gc_runs as i64)),
+        ("lits_reclaimed", Json::Int(stats.lits_reclaimed as i64)),
+        ("arena_wasted", Json::Int(stats.arena_wasted as i64)),
     ])
 }
 

@@ -548,6 +548,13 @@ fn cmd_batch(args: &[String]) {
             println!("  persistent entries    {}", stats.persistent_entries);
             println!("  persistent hits       {}", stats.persistent_hits);
         }
+        println!("\nsolver arena");
+        println!("  gc runs               {}", stats.gc_runs);
+        println!("  lits reclaimed        {}", stats.lits_reclaimed);
+        println!(
+            "  peak arena waste      {} words (largest dead-clause residue any solve carried)",
+            stats.arena_wasted
+        );
     }
     if any_failed {
         exit(1);
