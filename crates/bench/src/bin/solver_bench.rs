@@ -14,6 +14,7 @@
 
 use satmapit_cgra::Cgra;
 use satmapit_core::{Mapper, MapperConfig};
+use satmapit_engine::{map_raced, EngineConfig, ShareConfig};
 use satmapit_kernels::Kernel;
 use satmapit_sat::SolveLimits;
 use std::fmt::Write as _;
@@ -123,6 +124,38 @@ fn json_num(v: f64) -> String {
     format!("{:.3}", v)
 }
 
+/// Aggregate traffic of one portfolio pass over a kernel set.
+#[derive(Default)]
+struct ShareTraffic {
+    exported: u64,
+    imported: u64,
+    dropped: u64,
+}
+
+/// Wall-clock of racing every kernel in `set` on `cgra` with a 3-variant
+/// portfolio, sharing on or off, once. Four workers force sibling
+/// concurrency even on a 1-CPU runner (where one worker per hardware
+/// thread would serialize the portfolio out of existence).
+fn time_portfolio_once(set: &[Kernel], cgra: &Cgra, share: ShareConfig) -> (f64, ShareTraffic) {
+    let config = EngineConfig {
+        portfolio: 3,
+        race_width: 2,
+        workers: 4,
+        share,
+        ..EngineConfig::default()
+    };
+    let mut traffic = ShareTraffic::default();
+    let t0 = Instant::now();
+    for kernel in set {
+        let raced = map_raced(&kernel.dfg, cgra, &config);
+        assert!(raced.ii().is_some(), "{} must map", kernel.name());
+        traffic.exported += raced.stats.shared_exported;
+        traffic.imported += raced.stats.shared_imported;
+        traffic.dropped += raced.stats.shared_dropped;
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, traffic)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps: u32 = 3;
@@ -177,7 +210,56 @@ fn main() {
     }
     json.push_str("  },\n");
 
-    // 2. Arena waste after a full multi-rung ladder (GC on, default
+    // 2. Portfolio clause-sharing ablation: the multi-rung kernels at 2x2
+    //    through a 3-variant portfolio race, sharing off vs on,
+    //    interleaved per repetition like the ladder grid. The share-on
+    //    pass must show real traffic (`shared_imported > 0`) — asserted
+    //    here so CI fails the moment sharing rots into a silent no-op.
+    {
+        let cgra = Cgra::square(2);
+        let mut best = [f64::INFINITY; 2];
+        let mut imported_any = 0u64;
+        let mut last_traffic = ShareTraffic::default();
+        for _ in 0..reps {
+            for (vi, share) in [ShareConfig::off(), ShareConfig::on()]
+                .into_iter()
+                .enumerate()
+            {
+                let (ms, traffic) = time_portfolio_once(&multi_rung, &cgra, share);
+                best[vi] = best[vi].min(ms);
+                if share.enabled {
+                    imported_any += traffic.imported;
+                    last_traffic = traffic;
+                }
+            }
+        }
+        eprintln!(
+            "portfolio_share_2x2      share_off                {:>9.1} ms",
+            best[0]
+        );
+        eprintln!(
+            "portfolio_share_2x2      share_on                 {:>9.1} ms  (exported={} imported={} dropped={})",
+            best[1], last_traffic.exported, last_traffic.imported, last_traffic.dropped
+        );
+        let _ = writeln!(
+            json,
+            "  \"portfolio_share_2x2_ms\": {{\"share_off\": {}, \"share_on\": {}}},",
+            json_num(best[0]),
+            json_num(best[1]),
+        );
+        let _ = writeln!(
+            json,
+            "  \"portfolio_share_2x2_traffic\": {{\"exported\": {}, \"imported\": {}, \"dropped\": {}}},",
+            last_traffic.exported, last_traffic.imported, last_traffic.dropped,
+        );
+        assert!(
+            imported_any > 0,
+            "share-on portfolio runs must import sibling clauses; \
+             0 imports means sharing has rotted into a no-op"
+        );
+    }
+
+    // 3. Arena waste after a full multi-rung ladder (GC on, default
     //    config): the acceptance bound is waste ≤ 25 % of the arena.
     json.push_str("  \"arena_after_ladder\": [\n");
     let arena_cells: Vec<(&Kernel, u16)> = multi_rung

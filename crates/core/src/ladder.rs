@@ -222,6 +222,9 @@ fn stats_delta(now: &SolverStats, before: &SolverStats) -> SolverStats {
         restarts: now.restarts - before.restarts,
         gc_runs: now.gc_runs - before.gc_runs,
         lits_reclaimed: now.lits_reclaimed - before.lits_reclaimed,
+        shared_exported: now.shared_exported - before.shared_exported,
+        shared_imported: now.shared_imported - before.shared_imported,
+        shared_dropped: now.shared_dropped - before.shared_dropped,
         // Gauges / whole-solver counters stay absolute.
         learnt_clauses: now.learnt_clauses,
         removed_clauses: now.removed_clauses,

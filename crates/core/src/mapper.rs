@@ -600,6 +600,17 @@ impl<'a> PreparedMapper<'a> {
         let enc = crate::encoder::encode_with_options(self.dfg, self.cgra, &kms, options)
             .map_err(MapFailure::Structural)?;
         let mut solver = Solver::from_cnf_with(&enc.formula, &self.config.solver);
+        // Portfolio learnt-clause sharing: the engine's race hands each
+        // sibling a handle through the limits; connect it under the
+        // compatibility class of the exact CNF this attempt encoded, so
+        // only siblings with an identical formula (same II, same AMO
+        // encoding, same variable numbering) exchange clauses. The
+        // register-allocation cuts added below automatically disable this
+        // solver's exports (they are local clauses); imports stay sound.
+        if let Some(share) = &limits.share {
+            let class = satmapit_sat::formula_class(&enc.formula);
+            solver.connect_share(share.clone(), class);
+        }
         // Solve at this II; on register-allocation failure, cut the
         // failing PE's configuration and re-solve (warm solver).
         let mut cuts = 0u32;

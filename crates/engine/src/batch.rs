@@ -85,6 +85,14 @@ pub struct CacheStats {
     /// behind — an upper bound on how much dead clause memory a single
     /// solver carried at once.
     pub arena_wasted: u64,
+    /// Learnt clauses exported to portfolio share pools across every race
+    /// this engine ran (cancelled siblings included; see
+    /// [`crate::RaceStats::shared_exported`]). 0 with sharing off.
+    pub shared_exported: u64,
+    /// Sibling clauses imported at restart boundaries, summed likewise.
+    pub shared_imported: u64,
+    /// Share-pool ring evictions, summed likewise.
+    pub shared_dropped: u64,
 }
 
 /// Where a served result came from.
@@ -145,6 +153,11 @@ pub struct Engine {
     lits_reclaimed: AtomicU64,
     /// Peak post-solve arena waste in words (fetch_max, not a sum).
     arena_wasted: AtomicU64,
+    /// Portfolio clause-sharing traffic, summed over every race (see
+    /// [`CacheStats::shared_exported`] & friends).
+    shared_exported: AtomicU64,
+    shared_imported: AtomicU64,
+    shared_dropped: AtomicU64,
     /// Thundering-herd guard: fingerprints currently being solved. A
     /// lookup that finds its key here waits for the leader to finish and
     /// then re-reads the cache, instead of solving the identical problem
@@ -195,6 +208,9 @@ impl Engine {
             gc_runs: AtomicU64::new(0),
             lits_reclaimed: AtomicU64::new(0),
             arena_wasted: AtomicU64::new(0),
+            shared_exported: AtomicU64::new(0),
+            shared_imported: AtomicU64::new(0),
+            shared_dropped: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             persist: None,
@@ -243,6 +259,9 @@ impl Engine {
             gc_runs: AtomicU64::new(0),
             lits_reclaimed: AtomicU64::new(0),
             arena_wasted: AtomicU64::new(0),
+            shared_exported: AtomicU64::new(0),
+            shared_imported: AtomicU64::new(0),
+            shared_dropped: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             persist: Some(persistence),
@@ -281,6 +300,9 @@ impl Engine {
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
             lits_reclaimed: self.lits_reclaimed.load(Ordering::Relaxed),
             arena_wasted: self.arena_wasted.load(Ordering::Relaxed),
+            shared_exported: self.shared_exported.load(Ordering::Relaxed),
+            shared_imported: self.shared_imported.load(Ordering::Relaxed),
+            shared_dropped: self.shared_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -375,6 +397,31 @@ impl Engine {
     pub fn map(&self, dfg: &Dfg, cgra: &Cgra) -> (Arc<EngineOutcome>, bool) {
         let served = self.map_with_deadline(dfg, cgra, None);
         (served.outcome, served.cached)
+    }
+
+    /// A pure cache probe: answers from the result cache if the entry
+    /// exists (counting it as a hit, exactly like [`Engine::map`] would),
+    /// and returns `None` without solving — or queuing, or waiting on an
+    /// in-flight leader — otherwise. Lets callers with an already-expired
+    /// deadline still serve cached answers instead of a reflexive
+    /// timeout.
+    pub fn lookup_cached(&self, dfg: &Dfg, cgra: &Cgra) -> Option<Served> {
+        let key = fingerprint(dfg, cgra, &self.config);
+        let hit = Arc::clone(self.cache.lock().expect("cache poisoned").get(&key)?);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let persistent = self
+            .persist
+            .as_ref()
+            .is_some_and(|p| p.loaded.lock().expect("loaded poisoned").contains(&key));
+        if persistent {
+            self.persistent_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(Served {
+            outcome: hit,
+            key,
+            cached: true,
+            persistent,
+        })
     }
 
     /// [`Engine::map`] with an optional wall-clock deadline for *this
@@ -561,6 +608,22 @@ impl Engine {
             self.lits_reclaimed.fetch_add(lits, Ordering::Relaxed);
         }
         self.arena_wasted.fetch_max(wasted_peak, Ordering::Relaxed);
+        // Share traffic comes from the race-level sums, not the attempt
+        // trace: cancelled siblings (whose attempts never reach the
+        // trace) are where most exports happen.
+        let race = &outcome.stats;
+        if race.shared_exported > 0 {
+            self.shared_exported
+                .fetch_add(race.shared_exported, Ordering::Relaxed);
+        }
+        if race.shared_imported > 0 {
+            self.shared_imported
+                .fetch_add(race.shared_imported, Ordering::Relaxed);
+        }
+        if race.shared_dropped > 0 {
+            self.shared_dropped
+                .fetch_add(race.shared_dropped, Ordering::Relaxed);
+        }
     }
 
     /// Extracts and records the II lower bound this outcome proved: the

@@ -139,6 +139,20 @@ pub fn hash_config(h: &mut Hasher, config: &EngineConfig) {
     h.write(&[u8::from(m.solver.gc)]);
     h.write_u64(config.race_width as u64);
     h.write_u64(config.portfolio as u64);
+    // Learnt-clause sharing changes which (equally valid) model a
+    // portfolio finds, so its knobs move the result key — but only when
+    // sharing can actually engage (enabled *and* ≥ 2 siblings per II,
+    // matching the race's activation condition): share-off and
+    // portfolio-1 configurations must keep hashing exactly like builds
+    // that predate the feature, so existing persistent caches stay warm.
+    // (The *problem* fingerprint below excludes sharing entirely: UNSAT
+    // proofs are share-independent.)
+    if config.share.enabled && config.portfolio > 1 {
+        h.write_str("share");
+        h.write_u64(u64::from(config.share.share_lbd_max));
+        h.write_u64(config.share.share_len_max as u64);
+        h.write_u64(config.share.share_ring_cap as u64);
+    }
 }
 
 /// The cache key for one mapping request under `config`.
@@ -289,6 +303,63 @@ mod tests {
         assert_ne!(
             fingerprint(&dfg, &cgra, &on),
             fingerprint(&dfg, &cgra, &off)
+        );
+    }
+
+    #[test]
+    fn share_off_keys_are_bit_identical_to_pre_share_keys() {
+        // The share field only joins the hash when enabled: a share-off
+        // config must hash exactly like the default (which is how every
+        // pre-feature persistent cache was keyed), while share-on moves
+        // the result key but never the problem key.
+        let dfg = sample_dfg("x");
+        let cgra = Cgra::square(3);
+        let default_config = EngineConfig::default();
+        let mut off = EngineConfig::default();
+        off.share = crate::ShareConfig::off();
+        assert_eq!(
+            fingerprint(&dfg, &cgra, &default_config),
+            fingerprint(&dfg, &cgra, &off)
+        );
+
+        // Share-on with a portfolio of one cannot engage (the race needs
+        // ≥ 2 siblings per II), so it must keep the pre-share key too —
+        // toggling --share at portfolio 1 must not cold the caches.
+        let on_solo = EngineConfig {
+            share: crate::ShareConfig::on(),
+            ..EngineConfig::default()
+        };
+        assert_eq!(on_solo.portfolio, 1);
+        assert_eq!(
+            fingerprint(&dfg, &cgra, &default_config),
+            fingerprint(&dfg, &cgra, &on_solo)
+        );
+
+        let on = EngineConfig {
+            portfolio: 2,
+            share: crate::ShareConfig::on(),
+            ..EngineConfig::default()
+        };
+        let off_portfolio = EngineConfig {
+            portfolio: 2,
+            ..EngineConfig::default()
+        };
+        assert_ne!(
+            fingerprint(&dfg, &cgra, &off_portfolio),
+            fingerprint(&dfg, &cgra, &on),
+            "engaged sharing can change the model found, so it moves the result key"
+        );
+        let mut on_small_ring = on.clone();
+        on_small_ring.share.share_ring_cap = 7;
+        assert_ne!(
+            fingerprint(&dfg, &cgra, &on),
+            fingerprint(&dfg, &cgra, &on_small_ring)
+        );
+
+        // The proven-II-bound key is share-blind: UNSAT proofs transfer.
+        assert_eq!(
+            problem_fingerprint(&dfg, &cgra, &default_config.mapper),
+            problem_fingerprint(&dfg, &cgra, &on.mapper)
         );
     }
 

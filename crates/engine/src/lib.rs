@@ -49,6 +49,57 @@ pub use race::{map_raced, map_raced_with_bound, portfolio_variant, EngineOutcome
 
 use satmapit_core::MapperConfig;
 
+/// Learnt-clause sharing between the portfolio siblings racing one II
+/// (see [`satmapit_sat::share`] for the pool mechanics and soundness
+/// rules). Off by default: with sharing off (or `portfolio = 1`) the
+/// race is bit-identical to a build without the feature, and the result
+/// fingerprint is unchanged. With sharing on, siblings exchange short
+/// low-LBD lemmas through a bounded per-II pool — which can change which
+/// (equally valid) model is found and how fast, so the knobs join the
+/// result fingerprint, and determinism requires `portfolio = 1` or
+/// sharing off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareConfig {
+    /// Master switch. `false` ⇒ no pool is ever allocated and the solver
+    /// hot path is untouched.
+    pub enabled: bool,
+    /// Only clauses with LBD ≤ this are exported (the classic portfolio
+    /// quality filter; glue clauses travel, noise stays home).
+    pub share_lbd_max: u32,
+    /// Only clauses with at most this many literals are exported.
+    pub share_len_max: usize,
+    /// Capacity of each per-II pool ring; bounds share-pool memory at
+    /// `ring_cap × mean clause size` per open II. Overflow evicts the
+    /// oldest clause (counted in `shared_dropped`).
+    pub share_ring_cap: usize,
+}
+
+impl ShareConfig {
+    /// Sharing disabled (the default; bit-identical to PR 4 behaviour).
+    pub fn off() -> ShareConfig {
+        ShareConfig {
+            enabled: false,
+            ..ShareConfig::on()
+        }
+    }
+
+    /// Sharing enabled with the default thresholds.
+    pub fn on() -> ShareConfig {
+        ShareConfig {
+            enabled: true,
+            share_lbd_max: 6,
+            share_len_max: 24,
+            share_ring_cap: 4096,
+        }
+    }
+}
+
+impl Default for ShareConfig {
+    fn default() -> ShareConfig {
+        ShareConfig::off()
+    }
+}
+
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -65,6 +116,9 @@ pub struct EngineConfig {
     pub portfolio: usize,
     /// Worker threads. `0` means one per available hardware thread.
     pub workers: usize,
+    /// Learnt-clause sharing between portfolio siblings (off by
+    /// default).
+    pub share: ShareConfig,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +128,7 @@ impl Default for EngineConfig {
             race_width: 4,
             portfolio: 1,
             workers: 0,
+            share: ShareConfig::off(),
         }
     }
 }
@@ -419,6 +474,56 @@ mod tests {
         engine.clear_cache();
         assert_eq!(engine.cache_stats().bound_entries, 0);
         assert_eq!(engine.proven_bound(&dfg, &cgra), None);
+    }
+
+    #[test]
+    fn share_on_portfolio_race_agrees_with_sequential() {
+        // Sharing only changes *which* clauses each sibling knows; the
+        // closure rules (variant 0 or a sound UNSAT proof) are untouched,
+        // so the best II must match the sequential mapper's exactly.
+        let dfg = recurrence();
+        let cgra = Cgra::square(1);
+        let sequential = map(&dfg, &cgra);
+        let config = EngineConfig {
+            portfolio: 3,
+            race_width: 2,
+            share: ShareConfig::on(),
+            ..EngineConfig::default()
+        };
+        let raced = map_raced(&dfg, &cgra, &config);
+        assert_eq!(raced.ii(), sequential.ii());
+        assert_eq!(raced.ii(), Some(3));
+
+        let (fan_dfg, fan_cgra) = fanout();
+        let raced = map_raced(&fan_dfg, &fan_cgra, &config);
+        assert_eq!(raced.ii(), map(&fan_dfg, &fan_cgra).ii());
+    }
+
+    #[test]
+    fn share_off_and_single_variant_races_allocate_no_pools() {
+        // With sharing off — or a portfolio of one — the race must stay on
+        // the handle-free hot path: zero share traffic in the telemetry.
+        let dfg = recurrence();
+        let cgra = Cgra::square(1);
+        for config in [
+            EngineConfig::default(),
+            EngineConfig {
+                portfolio: 3,
+                share: ShareConfig::off(),
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                portfolio: 1,
+                share: ShareConfig::on(),
+                ..EngineConfig::default()
+            },
+        ] {
+            let raced = map_raced(&dfg, &cgra, &config);
+            assert_eq!(raced.ii(), Some(3));
+            assert_eq!(raced.stats.shared_exported, 0);
+            assert_eq!(raced.stats.shared_imported, 0);
+            assert_eq!(raced.stats.shared_dropped, 0);
+        }
     }
 
     #[test]

@@ -58,8 +58,11 @@ pub const MAGIC: [u8; 8] = *b"SMCACHE\0";
 ///
 /// v2 extended the persisted [`satmapit_sat::SolverStats`] with the
 /// clause-arena GC counters (`gc_runs`, `lits_reclaimed`, `arena_wasted`,
-/// `arena_words`); v1 stores are simply re-solved.
-pub const FORMAT_VERSION: u32 = 2;
+/// `arena_words`); v3 added the portfolio clause-sharing counters
+/// (`shared_exported`/`shared_imported`/`shared_dropped`, in both
+/// [`satmapit_sat::SolverStats`] and [`RaceStats`]). Older stores are
+/// simply re-solved.
+pub const FORMAT_VERSION: u32 = 3;
 const HEADER_LEN: usize = 16;
 /// Upper bound on a single record's payload; anything larger is treated
 /// as framing corruption (a flipped bit in a length field must not make
@@ -312,6 +315,9 @@ fn write_solver_stats(w: &mut ByteWriter, s: &satmapit_sat::SolverStats) {
     w.u64(s.lits_reclaimed);
     w.u64(s.arena_wasted);
     w.u64(s.arena_words);
+    w.u64(s.shared_exported);
+    w.u64(s.shared_imported);
+    w.u64(s.shared_dropped);
 }
 
 fn read_solver_stats(r: &mut ByteReader<'_>) -> Result<satmapit_sat::SolverStats, PersistError> {
@@ -327,6 +333,9 @@ fn read_solver_stats(r: &mut ByteReader<'_>) -> Result<satmapit_sat::SolverStats
         lits_reclaimed: r.u64()?,
         arena_wasted: r.u64()?,
         arena_words: r.u64()?,
+        shared_exported: r.u64()?,
+        shared_imported: r.u64()?,
+        shared_dropped: r.u64()?,
     })
 }
 
@@ -673,6 +682,9 @@ pub fn write_outcome(w: &mut ByteWriter, outcome: &EngineOutcome) {
     w.u64(outcome.stats.tasks_started);
     w.u64(outcome.stats.tasks_cancelled);
     w.u32(outcome.stats.race_start);
+    w.u64(outcome.stats.shared_exported);
+    w.u64(outcome.stats.shared_imported);
+    w.u64(outcome.stats.shared_dropped);
     w.bool(outcome.proven_unmappable);
 }
 
@@ -699,6 +711,9 @@ pub fn read_outcome(r: &mut ByteReader<'_>) -> Result<EngineOutcome, PersistErro
         tasks_started: r.u64()?,
         tasks_cancelled: r.u64()?,
         race_start: r.u32()?,
+        shared_exported: r.u64()?,
+        shared_imported: r.u64()?,
+        shared_dropped: r.u64()?,
     };
     let proven_unmappable = r.bool()?;
     Ok(EngineOutcome {
@@ -826,6 +841,22 @@ pub fn read_records(path: &Path, kind: StoreKind) -> io::Result<(Vec<Vec<u8>>, V
         }
         let payload = &bytes[body..body + len as usize];
         if checksum(payload) != sum {
+            // The checksum only covers the payload the *length prefix*
+            // framed — if the corruption hit the length itself, advancing
+            // by it would desynchronize the scan and silently mis-skip
+            // every following valid record. Only keep scanning when the
+            // bytes at the implied next offset actually look like a
+            // record header (or the clean end of the file); otherwise the
+            // frame boundary is untrustworthy and the tail is dropped.
+            let next = body + len as usize;
+            if !resyncs_at(&bytes, next) {
+                warnings.push(format!(
+                    "{}: record {index} at offset {pos} fails its checksum and the next \
+                     header does not parse; dropping tail",
+                    path.display()
+                ));
+                break;
+            }
             warnings.push(format!(
                 "{}: record {index} at offset {pos} fails its checksum; skipped",
                 path.display()
@@ -837,6 +868,22 @@ pub fn read_records(path: &Path, kind: StoreKind) -> io::Result<(Vec<Vec<u8>>, V
         index += 1;
     }
     Ok((records, warnings))
+}
+
+/// `true` when `pos` is a plausible record boundary of `bytes`: the clean
+/// end of the file, or a 12-byte frame header whose length field fits the
+/// remaining bytes and the global cap. Used to decide whether a
+/// checksum-failed record's length prefix can still be trusted for
+/// advancing the scan.
+fn resyncs_at(bytes: &[u8], pos: usize) -> bool {
+    if pos == bytes.len() {
+        return true; // the corrupt record was the last one
+    }
+    if pos > bytes.len() || bytes.len() - pos < 12 {
+        return false;
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+    len <= MAX_RECORD_LEN && bytes.len() - (pos + 12) >= len as usize
 }
 
 /// Appends framed records to a store file, creating it (with a header)

@@ -27,6 +27,20 @@
 //! *map* an II the canonical configuration would have skipped, in which
 //! case the race only improves on the sequential answer (a lower II),
 //! never worsens it.
+//!
+//! ## Learnt-clause sharing between siblings
+//!
+//! With [`crate::ShareConfig::enabled`] and `portfolio ≥ 2`, the
+//! siblings racing one II exchange short, low-LBD learnt clauses through
+//! a bounded per-II [`SharePool`] (see `satmapit_sat::share` for the
+//! pool mechanics, the compatibility-class fencing between different AMO
+//! encodings, and the guard-filtering soundness rules). Sharing never
+//! changes *whether* an II is feasible — closures still require variant
+//! 0 or a sound UNSAT proof, so the best II is unchanged — but it can
+//! change which (equally valid) model is found and how fast.
+//! **Determinism therefore requires `portfolio = 1` or sharing off**;
+//! share-off races are bit-identical to builds without the feature and
+//! keep their result-cache fingerprints.
 
 use satmapit_cgra::Cgra;
 use satmapit_core::{
@@ -35,13 +49,13 @@ use satmapit_core::{
 };
 use satmapit_dfg::Dfg;
 use satmapit_sat::encode::AmoEncoding;
-use satmapit_sat::SolveLimits;
+use satmapit_sat::{ShareHandle, SharePool, SolveLimits};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::EngineConfig;
+use crate::{EngineConfig, ShareConfig};
 
 /// Effort and outcome counters of one race.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -58,6 +72,17 @@ pub struct RaceStats {
     /// this as the anchor when it turns `Unsat` closures into a proven II
     /// lower bound.
     pub race_start: u32,
+    /// Learnt clauses portfolio siblings exported to their per-II share
+    /// pools, summed over *every* attempt of the race — cancelled
+    /// siblings included, since their exports are exactly what the
+    /// winners imported. 0 with sharing off.
+    pub shared_exported: u64,
+    /// Sibling clauses imported at restart boundaries, summed likewise.
+    pub shared_imported: u64,
+    /// Share-pool ring evictions (clauses overwritten before every
+    /// sibling read them); a persistently high value means
+    /// `share_ring_cap` is too small for the conflict rate.
+    pub shared_dropped: u64,
 }
 
 /// A [`MapOutcome`] plus race-level telemetry.
@@ -119,6 +144,9 @@ struct Task {
     ii: u32,
     variant: usize,
     stop: Arc<AtomicBool>,
+    /// This sibling's connection to the II's share pool (sharing on and
+    /// `portfolio > 1` only).
+    share: Option<ShareHandle>,
 }
 
 struct Best {
@@ -131,6 +159,10 @@ struct Best {
 struct OpenIi {
     dispatched: usize,
     stops: Vec<Arc<AtomicBool>>,
+    /// The learnt-clause exchange ring shared by this II's portfolio
+    /// siblings; allocated lazily on the first dispatch when sharing is
+    /// on, dropped with the `OpenIi` once the II is settled.
+    pool: Option<Arc<SharePool>>,
 }
 
 struct RaceState {
@@ -138,12 +170,18 @@ struct RaceState {
     max_ii: u32,
     race_width: u32,
     portfolio: usize,
+    /// `Some` when learnt-clause sharing is active for this race
+    /// (enabled in the config *and* more than one sibling per II).
+    share: Option<ShareConfig>,
     open: HashMap<u32, OpenIi>,
     closed: BTreeMap<u32, IiAttempt>,
     best: Option<Best>,
     fatal: Option<MapFailure>,
     tasks_started: u64,
     tasks_cancelled: u64,
+    shared_exported: u64,
+    shared_imported: u64,
+    shared_dropped: u64,
 }
 
 impl RaceState {
@@ -168,14 +206,31 @@ impl RaceState {
             }
             if !self.closed.contains_key(&ii) {
                 considered += 1;
+                let share = self.share;
                 let open = self.open.entry(ii).or_default();
                 if open.dispatched < self.portfolio {
                     let variant = open.dispatched;
                     open.dispatched += 1;
                     let stop = Arc::new(AtomicBool::new(false));
                     open.stops.push(Arc::clone(&stop));
+                    let share = share.map(|cfg| {
+                        let pool = open
+                            .pool
+                            .get_or_insert_with(|| Arc::new(SharePool::new(cfg.share_ring_cap)));
+                        ShareHandle::new(
+                            Arc::clone(pool),
+                            variant as u32,
+                            cfg.share_lbd_max,
+                            cfg.share_len_max,
+                        )
+                    });
                     self.tasks_started += 1;
-                    return Some(Task { ii, variant, stop });
+                    return Some(Task {
+                        ii,
+                        variant,
+                        stop,
+                        share,
+                    });
                 }
             }
             ii += 1;
@@ -206,6 +261,17 @@ impl RaceState {
     }
 
     fn record(&mut self, task: &Task, result: Result<AttemptReport, MapFailure>) {
+        // Share telemetry is summed over every report that ran a solver —
+        // cancelled siblings included: their exports are precisely what
+        // the surviving siblings imported, and dropping them would make
+        // `shared_exported` read near zero on a healthy race.
+        if let Ok(report) = &result {
+            if let Some(stats) = &report.attempt.solver_stats {
+                self.shared_exported += stats.shared_exported;
+                self.shared_imported += stats.shared_imported;
+                self.shared_dropped += stats.shared_dropped;
+            }
+        }
         match result {
             Err(MapFailure::Timeout { at_ii }) => {
                 // attempt_ii only reports Timeout when the shared deadline
@@ -296,7 +362,10 @@ fn worker(shared: &Shared, variants: &[PreparedMapper<'_>], limits_proto: &Solve
                     .0;
             }
         };
-        let limits = limits_proto.clone().with_stop_flag(Arc::clone(&task.stop));
+        let mut limits = limits_proto.clone().with_stop_flag(Arc::clone(&task.stop));
+        if let Some(share) = &task.share {
+            limits = limits.with_share(share.clone());
+        }
         let result = variants[task.variant].attempt_ii(task.ii, &limits);
         let mut state = shared.state.lock().expect("race state poisoned");
         state.record(&task, result);
@@ -376,18 +445,26 @@ pub fn map_raced_with_bound(
     let max_useful = (race_width as usize).saturating_mul(portfolio);
     let workers = config.effective_workers().min(max_useful).max(1);
 
+    // Sharing needs at least two siblings per II to have a partner;
+    // with one variant the race stays on the handle-free hot path.
+    let share = (config.share.enabled && portfolio > 1).then_some(config.share);
+
     let shared = Shared {
         state: Mutex::new(RaceState {
             start,
             max_ii,
             race_width,
             portfolio,
+            share,
             open: HashMap::new(),
             closed: BTreeMap::new(),
             best: None,
             fatal: None,
             tasks_started: 0,
             tasks_cancelled: 0,
+            shared_exported: 0,
+            shared_imported: 0,
+            shared_dropped: 0,
         }),
         cv: Condvar::new(),
     };
@@ -405,6 +482,9 @@ pub fn map_raced_with_bound(
         tasks_started: state.tasks_started,
         tasks_cancelled: state.tasks_cancelled,
         race_start: start,
+        shared_exported: state.shared_exported,
+        shared_imported: state.shared_imported,
+        shared_dropped: state.shared_dropped,
     };
 
     // A complete winner (every lower II closed) beats a Timeout recorded

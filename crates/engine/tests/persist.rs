@@ -220,6 +220,58 @@ fn corrupt_record_does_not_take_down_its_neighbours() {
     assert_eq!(engine.cache_stats().persistent_entries, 1, "survivor loads");
 }
 
+/// Satellite regression: a bit flip in a record's *length prefix* fails
+/// the checksum like any corruption, but the old loader still advanced
+/// the scan by the corrupt length — silently desynchronizing the frame
+/// boundaries and mis-skipping every following valid record. The loader
+/// now verifies that the implied next header parses sanely before
+/// trusting the length; otherwise it drops the tail with a warning.
+#[test]
+fn bit_flip_in_length_field_cannot_desync_the_scan() {
+    use satmapit_engine::persist::{self, StoreKind};
+    use satmapit_engine::Fingerprint;
+    let dir = TempDir::new("len-flip");
+    let path = dir.path().join(persist::BOUNDS_FILE);
+    let p1 =
+        persist::encode_bound_record(Fingerprint(0xAAAA_0000_1111_2222_3333_4444_5555_6666), 3);
+    let p2 =
+        persist::encode_bound_record(Fingerprint(0xBBBB_9999_8888_7777_6666_5555_4444_3333), 7);
+    persist::rewrite(&path, StoreKind::Bounds, &[p1, p2]).unwrap();
+
+    // Record 1's length prefix lives right after the 16-byte file header;
+    // flip one bit (20 → 28), which points the implied next-record
+    // boundary into the middle of record 2's frame.
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[16] ^= 0x08;
+    fs::write(&path, &bytes).unwrap();
+
+    let (records, warnings) = persist::read_records(&path, StoreKind::Bounds).unwrap();
+    assert!(
+        records.is_empty(),
+        "an untrustworthy frame boundary must never yield records, got {}",
+        records.len()
+    );
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert!(
+        warnings[0].contains("dropping tail"),
+        "the loader must refuse to scan past the broken frame: {warnings:?}"
+    );
+
+    // Contrast: the same flip in the *payload* leaves the framing intact,
+    // so only the flipped record is lost and its neighbour still loads
+    // (pinned in detail by `corrupt_record_does_not_take_down_its_neighbours`).
+    let (intact, _) = {
+        let p1 = persist::encode_bound_record(Fingerprint(1), 3);
+        let p2 = persist::encode_bound_record(Fingerprint(2), 7);
+        persist::rewrite(&path, StoreKind::Bounds, &[p1, p2]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[16 + 12 + 2] ^= 0x08; // payload byte of record 1
+        fs::write(&path, &bytes).unwrap();
+        persist::read_records(&path, StoreKind::Bounds).unwrap()
+    };
+    assert_eq!(intact.len(), 1, "a payload flip costs exactly one record");
+}
+
 #[test]
 fn truncated_tail_is_dropped_without_panic() {
     let dir = TempDir::new("truncate");

@@ -132,6 +132,9 @@ impl Gen {
                     lits_reclaimed: self.next(),
                     arena_wasted: self.next(),
                     arena_words: self.next(),
+                    shared_exported: self.next(),
+                    shared_imported: self.next(),
+                    shared_dropped: self.next(),
                 })
             },
             ra_cuts: self.u32(200),
@@ -206,6 +209,9 @@ impl Gen {
                 tasks_started: self.next() % 1000,
                 tasks_cancelled: self.next() % 1000,
                 race_start: self.u32(50),
+                shared_exported: self.next() % 100_000,
+                shared_imported: self.next() % 100_000,
+                shared_dropped: self.next() % 1000,
             },
             proven_unmappable: self.next().is_multiple_of(8),
         }

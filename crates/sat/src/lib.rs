@@ -19,6 +19,9 @@
 //! * [`encode`] — cardinality encodings (pairwise / sequential
 //!   at-most-one, sequential-counter at-most-k) used by the mapper's C1/C2
 //!   constraint families,
+//! * [`share`] — learnt-clause exchange between portfolio siblings
+//!   (bounded per-race pools, per-sibling cursors, compatibility-class
+//!   and activation-guard filtering),
 //! * [`brute`] — an exhaustive oracle used by the property-test suite.
 //!
 //! ## Example
@@ -49,11 +52,13 @@ mod cnf;
 pub mod encode;
 mod heap;
 mod luby;
+pub mod share;
 mod solver;
 mod types;
 
 pub use cnf::{CnfFormula, ParseDimacsError, ParseDimacsErrorKind};
 pub use luby::luby;
+pub use share::{formula_class, ShareHandle, SharePool, SharePoolStats};
 pub use solver::{
     SolveLimits, SolveResult, Solver, SolverOptions, SolverStats, StopReason, LIMIT_POLL_INTERVAL,
 };

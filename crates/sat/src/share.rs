@@ -1,0 +1,350 @@
+//! Learnt-clause sharing between portfolio siblings.
+//!
+//! A solver portfolio races several diversified solvers over the *same*
+//! formula; each sibling burns conflicts deriving lemmas the others will
+//! re-derive from scratch. Classic parallel SAT portfolios
+//! (ManySAT-lineage) amortize that cost by exchanging short, low-LBD
+//! learnt clauses. This module provides the exchange fabric:
+//!
+//! * [`SharePool`] — one bounded, append-ordered ring of published
+//!   clauses per raced II. Memory is bounded by the ring capacity; when
+//!   the ring is full the oldest entry is evicted (counted as a drop).
+//! * [`ShareHandle`] — one sibling's connection to a pool: a source id
+//!   (so a solver never re-imports its own exports), the export
+//!   thresholds, and a private read cursor so each sibling consumes the
+//!   stream independently and exactly once.
+//!
+//! # Soundness: compatibility classes and guard filtering
+//!
+//! A clause is only meaningful to a sibling that assigns the same
+//! variable indices the same meaning. Portfolio variants may encode the
+//! formula differently (e.g. different at-most-one encodings allocate
+//! different auxiliary variables), so every published clause is tagged
+//! with a **class** — a content hash of the sender's CNF, see
+//! [`formula_class`] — and importers only accept clauses of their own
+//! class. Two siblings whose CNFs differ in any clause or variable count
+//! therefore never exchange anything.
+//!
+//! Within a class, an exported clause must be implied by the formula the
+//! siblings share:
+//!
+//! * clauses learnt while gated clause groups are live may carry an
+//!   activation literal (`¬g`); under the gated-group contract they are
+//!   only valid together with the group, whose lifetime is
+//!   sender-local. The solver filters exports to **guard-free clauses
+//!   only** (the safe v1 of the ISSUE); a follow-up could instead ship
+//!   the guard and re-gate on import.
+//! * clauses added to one solver *after* it connected to a pool (e.g.
+//!   register-allocation blocking cuts) are sender-local too: any lemma
+//!   derived from them is not implied by the shared CNF alone, so the
+//!   first such add permanently disables that solver's exports (imports
+//!   stay on — receiving sound clauses is always safe).
+//!
+//! # Determinism
+//!
+//! Sharing changes which clauses a solver knows and therefore which
+//! (equally valid) model it finds first and how fast. A race with
+//! `portfolio = 1` or sharing disabled is bit-identical to a build
+//! without this module; anything else trades reproducibility for speed,
+//! exactly like racing siblings at all does.
+
+use crate::cnf::CnfFormula;
+use crate::types::Lit;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One published clause: the compatibility class and source that
+/// produced it, its LBD at export time, and the literals (shared, so a
+/// fetch clones a refcount, not a buffer).
+#[derive(Debug, Clone)]
+struct SharedClause {
+    class: u64,
+    source: u32,
+    lbd: u32,
+    lits: Arc<[Lit]>,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// The ring, newest at the back. `head_seq` is the sequence number of
+    /// the front entry; sequence numbers increase by one per publish and
+    /// never reset, so a sibling cursor is just "first unseen sequence".
+    ring: VecDeque<SharedClause>,
+    head_seq: u64,
+    published: u64,
+    dropped: u64,
+}
+
+/// Aggregate pool counters (diagnostics; the per-solver view lives in
+/// [`crate::SolverStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharePoolStats {
+    /// Clauses ever published into the pool.
+    pub published: u64,
+    /// Clauses evicted by ring overflow before every sibling read them.
+    pub dropped: u64,
+    /// Clauses currently held.
+    pub held: usize,
+}
+
+/// A bounded exchange ring for one group of portfolio siblings (the
+/// engine allocates one per raced II). Lock-light: publishers and
+/// fetchers hold one short mutex over the ring; clause literal buffers
+/// are `Arc`-shared so no fetch copies literals under the lock.
+#[derive(Debug)]
+pub struct SharePool {
+    cap: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl SharePool {
+    /// A pool holding at most `capacity` clauses (minimum 1).
+    pub fn new(capacity: usize) -> SharePool {
+        SharePool {
+            cap: capacity.max(1),
+            inner: Mutex::new(PoolInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        // A sibling that panicked mid-publish cannot leave the ring
+        // half-updated (every mutation is a single push/pop), so a
+        // poisoned lock still holds coherent data.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes one clause; returns how many ring entries were evicted
+    /// to make room (0 or 1).
+    fn publish(&self, class: u64, source: u32, lbd: u32, lits: &[Lit]) -> u64 {
+        // Copy the literals before taking the lock: every sibling's
+        // conflict path funnels through this mutex, so the critical
+        // section must stay push/pop-only.
+        let lits: Arc<[Lit]> = lits.into();
+        let mut inner = self.lock();
+        let mut dropped = 0;
+        if inner.ring.len() >= self.cap {
+            inner.ring.pop_front();
+            inner.head_seq += 1;
+            inner.dropped += 1;
+            dropped = 1;
+        }
+        inner.ring.push_back(SharedClause {
+            class,
+            source,
+            lbd,
+            lits,
+        });
+        inner.published += 1;
+        dropped
+    }
+
+    /// Copies every clause published at sequence ≥ `cursor` whose class
+    /// matches and whose source differs, into `out`. Returns the new
+    /// cursor (one past the newest entry).
+    fn fetch(&self, class: u64, source: u32, cursor: u64, out: &mut Vec<(u32, Arc<[Lit]>)>) -> u64 {
+        let inner = self.lock();
+        let end = inner.head_seq + inner.ring.len() as u64;
+        let start = cursor.max(inner.head_seq);
+        for seq in start..end {
+            let entry = &inner.ring[(seq - inner.head_seq) as usize];
+            if entry.class == class && entry.source != source {
+                out.push((entry.lbd, Arc::clone(&entry.lits)));
+            }
+        }
+        end
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SharePoolStats {
+        let inner = self.lock();
+        SharePoolStats {
+            published: inner.published,
+            dropped: inner.dropped,
+            held: inner.ring.len(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HandleInner {
+    pool: Arc<SharePool>,
+    source: u32,
+    lbd_max: u32,
+    max_len: usize,
+    /// First pool sequence this sibling has not imported yet. Atomic so
+    /// the handle can ride in a `Clone` [`crate::SolveLimits`] while the
+    /// cursor stays shared across the clones.
+    cursor: AtomicU64,
+}
+
+/// One sibling's connection to a [`SharePool`]: identity (for self-import
+/// suppression), export thresholds, and the private read cursor.
+///
+/// Cheap to clone — clones share the cursor. Pass it to the solver via
+/// [`crate::SolveLimits::with_share`] (the engine does this per racing
+/// task) and connect it with [`crate::Solver::connect_share`].
+#[derive(Debug, Clone)]
+pub struct ShareHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl ShareHandle {
+    /// Connects sibling `source` to `pool`. Only clauses with LBD ≤
+    /// `lbd_max` *and* at most `max_len` literals are exported.
+    pub fn new(pool: Arc<SharePool>, source: u32, lbd_max: u32, max_len: usize) -> ShareHandle {
+        ShareHandle {
+            inner: Arc::new(HandleInner {
+                pool,
+                source,
+                lbd_max,
+                max_len: max_len.max(1),
+                cursor: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The export LBD threshold.
+    pub fn lbd_max(&self) -> u32 {
+        self.inner.lbd_max
+    }
+
+    /// The export length threshold.
+    pub fn max_len(&self) -> usize {
+        self.inner.max_len
+    }
+
+    /// The pool this handle publishes into.
+    pub fn pool(&self) -> &Arc<SharePool> {
+        &self.inner.pool
+    }
+
+    /// Publishes one clause under `class`; returns ring evictions caused
+    /// (flows into `SolverStats::shared_dropped`). Threshold checks are
+    /// the *caller's* job — the solver applies them pre-lock.
+    pub(crate) fn export(&self, class: u64, lbd: u32, lits: &[Lit]) -> u64 {
+        self.inner.pool.publish(class, self.inner.source, lbd, lits)
+    }
+
+    /// Drains every not-yet-seen clause of `class` published by other
+    /// sources into `out`, advancing this sibling's cursor.
+    pub(crate) fn import(&self, class: u64, out: &mut Vec<(u32, Arc<[Lit]>)>) {
+        let cursor = self.inner.cursor.load(Ordering::Relaxed);
+        let next = self.inner.pool.fetch(class, self.inner.source, cursor, out);
+        self.inner.cursor.store(next, Ordering::Relaxed);
+    }
+}
+
+/// The compatibility class of a CNF: a content hash over the variable
+/// count and every clause's literal codes, in order. Two solvers whose
+/// formulas hash equal assign identical meaning to identical variable
+/// indices (they were built by the same deterministic encoder from the
+/// same input), so exchanging guard-free learnt clauses between them is
+/// sound. Different encodings (e.g. pairwise vs sequential at-most-one)
+/// hash differently and are automatically fenced off from each other.
+pub fn formula_class(formula: &CnfFormula) -> u64 {
+    // FNV-1a, same constants as the engine's fingerprints.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(formula.num_vars() as u64);
+    for clause in formula.iter() {
+        eat(clause.len() as u64);
+        for lit in clause {
+            eat(lit.code() as u64);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(idxs: &[u32]) -> Vec<Lit> {
+        idxs.iter().map(|&i| Var::new(i).positive()).collect()
+    }
+
+    #[test]
+    fn fetch_skips_own_exports_and_foreign_classes() {
+        let pool = Arc::new(SharePool::new(8));
+        let a = ShareHandle::new(Arc::clone(&pool), 0, 4, 8);
+        let b = ShareHandle::new(Arc::clone(&pool), 1, 4, 8);
+        a.export(7, 2, &lits(&[0, 1]));
+        b.export(7, 2, &lits(&[2, 3]));
+        b.export(9, 2, &lits(&[4, 5])); // different class: invisible to a
+
+        let mut got = Vec::new();
+        a.import(7, &mut got);
+        assert_eq!(got.len(), 1, "own export and foreign class skipped");
+        assert_eq!(got[0].1.as_ref(), lits(&[2, 3]).as_slice());
+
+        // The cursor advanced: a re-import sees nothing new.
+        got.clear();
+        a.import(7, &mut got);
+        assert!(got.is_empty());
+
+        // b sees a's clause (and not its own two).
+        got.clear();
+        b.import(7, &mut got);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.as_ref(), lits(&[0, 1]).as_slice());
+    }
+
+    #[test]
+    fn ring_capacity_bounds_memory_and_counts_drops() {
+        let pool = Arc::new(SharePool::new(2));
+        let a = ShareHandle::new(Arc::clone(&pool), 0, 4, 8);
+        let b = ShareHandle::new(Arc::clone(&pool), 1, 4, 8);
+        assert_eq!(a.export(1, 2, &lits(&[0, 1])), 0);
+        assert_eq!(a.export(1, 2, &lits(&[2, 3])), 0);
+        assert_eq!(a.export(1, 2, &lits(&[4, 5])), 1, "oldest evicted");
+        let stats = pool.stats();
+        assert_eq!(stats.published, 3);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.held, 2);
+
+        // A slow reader only sees what survived.
+        let mut got = Vec::new();
+        b.import(1, &mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1.as_ref(), lits(&[2, 3]).as_slice());
+    }
+
+    #[test]
+    fn cursor_is_shared_across_handle_clones() {
+        let pool = Arc::new(SharePool::new(8));
+        let a = ShareHandle::new(Arc::clone(&pool), 0, 4, 8);
+        let b = ShareHandle::new(Arc::clone(&pool), 1, 4, 8);
+        b.export(1, 2, &lits(&[0, 1]));
+        let a2 = a.clone();
+        let mut got = Vec::new();
+        a.import(1, &mut got);
+        assert_eq!(got.len(), 1);
+        got.clear();
+        a2.import(1, &mut got);
+        assert!(got.is_empty(), "the clone shares the advanced cursor");
+    }
+
+    #[test]
+    fn formula_class_separates_different_encodings() {
+        let mut f1 = CnfFormula::new();
+        let x = f1.new_var().positive();
+        let y = f1.new_var().positive();
+        f1.add_clause(&[x, y]);
+        let mut f2 = CnfFormula::new();
+        let x2 = f2.new_var().positive();
+        let y2 = f2.new_var().positive();
+        f2.add_clause(&[x2, y2]);
+        assert_eq!(formula_class(&f1), formula_class(&f2));
+        f2.add_clause(&[!x2]);
+        assert_ne!(formula_class(&f1), formula_class(&f2));
+        let mut f3 = CnfFormula::new();
+        let _ = f3.new_var();
+        assert_ne!(formula_class(&f1), formula_class(&f3));
+    }
+}

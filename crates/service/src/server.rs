@@ -14,9 +14,25 @@
 //!   work across all clients;
 //! * per-request `timeout_ms` becomes a wall-clock deadline at admission
 //!   and is mapped onto the solver's `SolveLimits` through
-//!   [`Engine::map_with_deadline`];
+//!   [`Engine::map_with_deadline`]; a deadline that is *already expired*
+//!   at admission (`timeout_ms: 0`) is answered immediately instead of
+//!   wasting a queue slot and a worker wakeup — with the cached result
+//!   when one exists (matching the engine, which checks the cache before
+//!   the clock), and a timeout response otherwise;
 //! * `shutdown` drains the queue, compacts the persistent caches and
 //!   stops the accept loop.
+//!
+//! ## Panic isolation
+//!
+//! A panicking solve must cost one request, not the daemon: each worker
+//! wraps the per-item solve in `catch_unwind` and turns a panic into a
+//! per-request `error` response, and every queue-lock acquisition
+//! recovers from poisoning (the queue is a `VecDeque` of fully-owned
+//! items — any interrupted mutation is a single push/pop, so the data is
+//! coherent). Before this, one panicking worker poisoned `inner.queue`
+//! and every later `.expect("queue poisoned")` — connection handlers and
+//! workers alike — aborted, amplifying one bad request into a dead
+//! daemon.
 
 use crate::json::Json;
 use crate::wire::{self, MapRequest, Request};
@@ -26,7 +42,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
@@ -48,6 +64,13 @@ pub struct ServerConfig {
     /// Directory for the persistent result/bound stores; `None` keeps the
     /// caches in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Fault injection for the panic-isolation regression tests: a worker
+    /// panics instead of solving when a `map` request's name equals this
+    /// value. Production configs leave it `None`; it exists because no
+    /// well-formed request should be able to panic the engine, yet the
+    /// daemon must survive one that somehow does.
+    #[doc(hidden)]
+    pub panic_on_name: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +80,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             engine: EngineConfig::default(),
             cache_dir: None,
+            panic_on_name: None,
         }
     }
 }
@@ -81,6 +105,23 @@ struct Inner {
     solves: AtomicU64,
     solve_total_us: AtomicU64,
     solve_max_us: AtomicU64,
+    /// Solves that panicked and were answered with an `error` response
+    /// instead of taking the daemon down.
+    panics: AtomicU64,
+    /// Requests answered with an immediate timeout at admission because
+    /// their deadline had already expired (`timeout_ms: 0`).
+    expired_at_admission: AtomicU64,
+    /// Test-only fault injection (see [`ServerConfig::panic_on_name`]).
+    panic_on_name: Option<String>,
+}
+
+/// Locks the admission queue, recovering from poisoning: the queue holds
+/// fully-owned items and every mutation is a single push/pop, so a
+/// panicking holder cannot leave it incoherent — and refusing to recover
+/// turned one panic into a daemon-wide abort (each later
+/// `.expect("queue poisoned")` re-panicked).
+fn lock_queue<'a>(inner: &'a Inner) -> MutexGuard<'a, VecDeque<WorkItem>> {
+    inner.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A bound, not-yet-running mapping daemon.
@@ -141,6 +182,9 @@ impl Server {
                 solves: AtomicU64::new(0),
                 solve_total_us: AtomicU64::new(0),
                 solve_max_us: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+                expired_at_admission: AtomicU64::new(0),
+                panic_on_name: config.panic_on_name,
             },
         })
     }
@@ -200,7 +244,7 @@ impl Server {
 fn worker_loop(inner: &Inner) {
     loop {
         let item = {
-            let mut queue = inner.queue.lock().expect("queue poisoned");
+            let mut queue = lock_queue(inner);
             loop {
                 if let Some(item) = queue.pop_front() {
                     break item;
@@ -213,39 +257,80 @@ fn worker_loop(inner: &Inner) {
                 queue = inner
                     .queue_cv
                     .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("queue poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .0;
             }
         };
         let t0 = Instant::now();
-        let served =
+        // Panic isolation: a solve that unwinds costs this request an
+        // `error` response, never the daemon. `AssertUnwindSafe` is
+        // justified because nothing from the broken call is reused — the
+        // engine recovers its own locks (its in-flight guard runs on
+        // unwind), and this worker immediately returns to the queue.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inner
+                .panic_on_name
+                .as_deref()
+                .is_some_and(|name| name == item.request.name)
+            {
+                panic!("fault injection: request `{}`", item.request.name);
+            }
             inner
                 .engine
-                .map_with_deadline(&item.request.dfg, &item.request.cgra, item.deadline);
+                .map_with_deadline(&item.request.dfg, &item.request.cgra, item.deadline)
+        }));
         let elapsed_us = t0.elapsed().as_micros() as u64;
-        if !served.cached {
-            inner.solves.fetch_add(1, Ordering::Relaxed);
-            inner
-                .solve_total_us
-                .fetch_add(elapsed_us, Ordering::Relaxed);
-            inner.solve_max_us.fetch_max(elapsed_us, Ordering::Relaxed);
-        }
-        let response = wire::map_response(
-            item.request.id,
-            &item.request.name,
-            served.key,
-            &served.outcome,
-            served.cached,
-            served.persistent,
-            elapsed_us,
-        );
+        let response = match solved {
+            Ok(served) => {
+                if !served.cached {
+                    inner.solves.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .solve_total_us
+                        .fetch_add(elapsed_us, Ordering::Relaxed);
+                    inner.solve_max_us.fetch_max(elapsed_us, Ordering::Relaxed);
+                }
+                wire::map_response(
+                    item.request.id,
+                    &item.request.name,
+                    served.key,
+                    &served.outcome,
+                    served.cached,
+                    served.persistent,
+                    elapsed_us,
+                )
+            }
+            Err(panic) => {
+                inner.panics.fetch_add(1, Ordering::Relaxed);
+                let what = panic_message(panic.as_ref());
+                eprintln!(
+                    "warning: solve for `{}` panicked ({what}); answered with an error",
+                    item.request.name
+                );
+                wire::error_response(
+                    item.request.id,
+                    &format!("internal error: solve panicked ({what})"),
+                )
+            }
+        };
         // A dead receiver means the client hung up; nothing to do.
         let _ = item.reply.send(response);
     }
 }
 
+/// Best-effort text of a caught panic payload (panics carry `&str` or
+/// `String` in practice; anything else is reported generically).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 fn stats_response(inner: &Inner) -> Json {
-    let queue_depth = inner.queue.lock().expect("queue poisoned").len();
+    let queue_depth = lock_queue(inner).len();
     let solves = inner.solves.load(Ordering::Relaxed);
     let total_us = inner.solve_total_us.load(Ordering::Relaxed);
     Json::obj(vec![
@@ -264,6 +349,14 @@ fn stats_response(inner: &Inner) -> Json {
         (
             "rejected",
             Json::Int(inner.rejected.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "panics",
+            Json::Int(inner.panics.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "expired_at_admission",
+            Json::Int(inner.expired_at_admission.load(Ordering::Relaxed) as i64),
         ),
         (
             "solves",
@@ -288,7 +381,7 @@ fn stats_response(inner: &Inner) -> Json {
 }
 
 fn health_response(inner: &Inner) -> Json {
-    let queue_depth = inner.queue.lock().expect("queue poisoned").len();
+    let queue_depth = lock_queue(inner).len();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("status", Json::Str("healthy".to_string())),
@@ -302,6 +395,30 @@ fn health_response(inner: &Inner) -> Json {
             Json::Int(inner.started.elapsed().as_micros() as i64),
         ),
     ])
+}
+
+/// The response for a request whose deadline was already expired when it
+/// arrived: the same shape an engine-produced timeout takes (`ok: true`,
+/// `result.status = "failed"`, `kind = "timeout"`), with `at_ii = 0`
+/// marking that no II was ever attempted. Timeouts are never cached, so
+/// skipping the engine changes nothing an observer could distinguish —
+/// except the latency.
+fn expired_response(inner: &Inner, request: &MapRequest) -> Json {
+    let key = satmapit_engine::fingerprint::fingerprint(
+        &request.dfg,
+        &request.cgra,
+        inner.engine.config(),
+    );
+    let outcome = satmapit_engine::EngineOutcome {
+        outcome: satmapit_core::MapOutcome {
+            result: Err(satmapit_core::MapFailure::Timeout { at_ii: 0 }),
+            attempts: Vec::new(),
+            elapsed: Duration::ZERO,
+        },
+        stats: satmapit_engine::RaceStats::default(),
+        proven_unmappable: false,
+    };
+    wire::map_response(request.id, &request.name, key, &outcome, false, false, 0)
 }
 
 fn write_line(stream: &mut TcpStream, value: &Json) -> io::Result<()> {
@@ -378,9 +495,35 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                     .timeout_ms
                     .map(|ms| Instant::now() + Duration::from_millis(ms));
                 let id = request.id;
+                // A deadline already expired at admission (`timeout_ms:
+                // 0`, or a degenerate clock) can only ever produce a
+                // timeout *for a cold problem* — answering it here saves
+                // the queue slot, the worker wakeup, and the client's
+                // wait behind real work. A cached answer is still served
+                // (the engine's own deadline handling checks the cache
+                // before the clock, and "answer only if you have it
+                // already" is exactly what a zero budget requests).
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    inner.expired_at_admission.fetch_add(1, Ordering::Relaxed);
+                    let response = match inner.engine.lookup_cached(&request.dfg, &request.cgra) {
+                        Some(served) => wire::map_response(
+                            id,
+                            &request.name,
+                            served.key,
+                            &served.outcome,
+                            served.cached,
+                            served.persistent,
+                            0,
+                        ),
+                        None => expired_response(inner, &request),
+                    };
+                    write_line(&mut writer, &response)?;
+                    line.clear();
+                    continue;
+                }
                 let (tx, rx) = mpsc::channel();
                 let admitted = {
-                    let mut queue = inner.queue.lock().expect("queue poisoned");
+                    let mut queue = lock_queue(inner);
                     if queue.len() >= inner.queue_capacity {
                         false
                     } else {

@@ -556,6 +556,9 @@ pub fn cache_stats_to_json(stats: &satmapit_engine::CacheStats) -> Json {
         ("gc_runs", Json::Int(stats.gc_runs as i64)),
         ("lits_reclaimed", Json::Int(stats.lits_reclaimed as i64)),
         ("arena_wasted", Json::Int(stats.arena_wasted as i64)),
+        ("shared_exported", Json::Int(stats.shared_exported as i64)),
+        ("shared_imported", Json::Int(stats.shared_imported as i64)),
+        ("shared_dropped", Json::Int(stats.shared_dropped as i64)),
     ])
 }
 

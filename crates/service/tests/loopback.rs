@@ -95,12 +95,16 @@ fn request_for(job: &Job, id: i64) -> MapRequest {
 }
 
 fn start_server(cache_dir: Option<PathBuf>) -> (String, std::thread::JoinHandle<()>) {
-    let config = ServerConfig {
+    start_server_with(ServerConfig {
         workers: 2,
         queue_capacity: 32,
         engine: EngineConfig::default(),
         cache_dir,
-    };
+        panic_on_name: None,
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
     let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("server run"));
@@ -345,6 +349,113 @@ fn full_suite_restart_is_all_persistent_hits() {
             "the warm daemon never touched the SAT solver"
         );
     }
+    shutdown(&addr, handle);
+}
+
+/// Satellite regression: a panicking solve used to poison `inner.queue`,
+/// after which every later lock attempt (`.expect("queue poisoned")`)
+/// aborted its thread — one bad request killed the whole daemon. The
+/// worker now catches the unwind, answers *that* request with an error,
+/// and the daemon keeps serving.
+#[test]
+fn daemon_survives_a_panicking_worker() {
+    let (addr, handle) = start_server_with(ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        engine: EngineConfig::default(),
+        cache_dir: None,
+        panic_on_name: Some("boom".to_string()),
+    });
+    let mut client = Client::connect(&addr).expect("client connect");
+
+    // The fault-injected request panics the worker mid-solve…
+    let poison = Job::new("boom", chain(3), Cgra::square(2));
+    let reply = client.map(&request_for(&poison, 1)).expect("map roundtrip");
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "a panicking solve must become a per-request error: {reply}"
+    );
+    assert!(
+        reply
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("panicked")),
+        "{reply}"
+    );
+
+    // …and the daemon still serves: same connection, new connections,
+    // queue-touching endpoints, repeatedly.
+    for round in 0..2 {
+        let job = Job::new(format!("after-{round}"), chain(4), Cgra::square(2));
+        let reply = client.map(&request_for(&job, 10 + round)).expect("map");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        let result = reply.get("result").expect("result");
+        assert_eq!(result.get("status").and_then(Json::as_str), Some("mapped"));
+    }
+    let mut fresh = Client::connect(&addr).expect("fresh connection");
+    let health = fresh.health().expect("health");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("healthy"));
+    let stats = fresh.stats().expect("stats");
+    assert_eq!(
+        stats.get("panics").and_then(Json::as_u64),
+        Some(1),
+        "the caught panic is counted: {stats}"
+    );
+
+    shutdown(&addr, handle);
+}
+
+/// Satellite regression: `timeout_ms: 0` used to be admitted with an
+/// already-expired deadline, wasting a queue slot and a worker wakeup on
+/// a foregone conclusion. It is now answered at admission — same
+/// response shape, zero solver work.
+#[test]
+fn zero_timeout_is_answered_at_admission_without_a_worker() {
+    let (addr, handle) = start_server(None);
+    let mut client = Client::connect(&addr).expect("client connect");
+
+    let job = Job::new("chain6@2x2", chain(6), Cgra::square(2));
+    let mut request = request_for(&job, 3);
+    request.timeout_ms = Some(0);
+    let reply = client.map(&request).expect("map roundtrip");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let result = reply.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("failed"));
+    assert_eq!(result.get("kind").and_then(Json::as_str), Some("timeout"));
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(false));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("expired_at_admission").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    assert_eq!(
+        stats
+            .get("solves")
+            .and_then(|s| s.get("count"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "no worker solve may happen for an expired deadline: {stats}"
+    );
+
+    // A real budget afterwards still solves normally (nothing was cached
+    // or poisoned by the fast path).
+    request.timeout_ms = Some(120_000);
+    let reply = client.map(&request).expect("map roundtrip");
+    let result = reply.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("mapped"));
+
+    // Once the answer is cached, a zero budget gets it anyway: "answer
+    // only if you already have it" must not regress to a reflexive
+    // timeout (the fast path probes the cache before synthesizing one).
+    request.timeout_ms = Some(0);
+    let reply = client.map(&request).expect("map roundtrip");
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+    let result = reply.get("result").expect("result");
+    assert_eq!(result.get("status").and_then(Json::as_str), Some("mapped"));
+
     shutdown(&addr, handle);
 }
 

@@ -17,7 +17,7 @@ use sat_mapit::cgra::Cgra;
 use sat_mapit::core::routing::map_with_routing;
 use sat_mapit::core::{codegen, Mapper, MapperConfig};
 use sat_mapit::dfg::dot::to_dot;
-use sat_mapit::engine::{Engine, EngineConfig, Job};
+use sat_mapit::engine::{Engine, EngineConfig, Job, ShareConfig};
 use sat_mapit::kernels;
 use sat_mapit::schedule::{mii, rec_mii, res_mii};
 use sat_mapit::service::wire::{self, MapRequest};
@@ -197,6 +197,25 @@ fn incremental_flag(parsed: &Parsed) -> bool {
             _ => None,
         })
         .unwrap_or(true)
+}
+
+/// The `--share` flag, shared by the engine-backed subcommands: learnt-
+/// clause exchange between portfolio siblings racing the same II
+/// (meaningful with `--portfolio ≥ 2`; changes which equally-valid model
+/// is found, so results are only reproducible with it off or a portfolio
+/// of 1).
+const SHARE_FLAG: FlagSpec = FlagSpec {
+    name: "--share",
+    takes_value: false,
+    help: "Share learnt clauses between portfolio siblings racing the same II (needs --portfolio >= 2)",
+};
+
+fn share_flag(parsed: &Parsed) -> ShareConfig {
+    if parsed.value("--share").is_some() {
+        ShareConfig::on()
+    } else {
+        ShareConfig::off()
+    }
 }
 
 fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
@@ -417,11 +436,12 @@ fn cmd_batch(args: &[String]) {
             takes_value: false,
             help: "Print full cache statistics (hits/misses, proven-bound ladder starts) after the run",
         },
+        SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--repeat R] [--stats] [--no-incremental]",
+        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--share] [--repeat R] [--stats] [--no-incremental]",
         "Map the benchmark suite across mesh sizes through the parallel\nII-race engine, with content-hash result caching.",
         &spec,
     );
@@ -460,6 +480,7 @@ fn cmd_batch(args: &[String]) {
         race_width: parsed.parse_num("--race", 4usize).max(1),
         portfolio: parsed.parse_num("--portfolio", 1usize).max(1),
         workers: parsed.parse_num("--workers", 0usize),
+        share: share_flag(&parsed),
     };
 
     let mut jobs = Vec::new();
@@ -555,6 +576,15 @@ fn cmd_batch(args: &[String]) {
             "  peak arena waste      {} words (largest dead-clause residue any solve carried)",
             stats.arena_wasted
         );
+        if stats.shared_exported > 0 || stats.shared_imported > 0 {
+            println!("\nportfolio clause sharing");
+            println!("  clauses exported      {}", stats.shared_exported);
+            println!("  clauses imported      {}", stats.shared_imported);
+            println!(
+                "  ring drops            {} (raise the share ring capacity if persistently high)",
+                stats.shared_dropped
+            );
+        }
     }
     if any_failed {
         exit(1);
@@ -598,11 +628,12 @@ fn cmd_serve(args: &[String]) {
             takes_value: true,
             help: "Solver-portfolio variants per II (default 1)",
         },
+        SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--no-incremental]",
+        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--share] [--no-incremental]",
         "Run the mapping daemon: line-delimited JSON requests over TCP, a\nbounded admission queue over the parallel engine, and result/bound\ncaches persisted to --cache-dir across restarts.\n\nProtocol reference: docs/service.md. Stop it with\n`echo '{\"op\":\"shutdown\"}' | nc HOST PORT` or a `shutdown` request\nfrom any client; shutdown compacts the on-disk caches.",
         &spec,
     );
@@ -628,8 +659,10 @@ fn cmd_serve(args: &[String]) {
             // 0: the server divides the hardware threads across its pool
             // (each concurrent solve gets an equal share).
             workers: 0,
+            share: share_flag(&parsed),
         },
         cache_dir: parsed.value("--cache-dir").map(std::path::PathBuf::from),
+        panic_on_name: None,
     };
 
     let server = Server::bind(&addr, config).unwrap_or_else(|e| {

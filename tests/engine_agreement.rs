@@ -3,9 +3,10 @@
 //! sequential mapper, and the result cache must return a byte-identical
 //! mapping on the second lookup.
 
+use proptest::prelude::*;
 use sat_mapit::cgra::Cgra;
 use sat_mapit::core::{validate_mapping, Mapper};
-use sat_mapit::engine::{map_raced, Engine, EngineConfig, Job};
+use sat_mapit::engine::{map_raced, Engine, EngineConfig, Job, ShareConfig};
 use sat_mapit::kernels;
 use sat_mapit::sim::verify_mapping;
 use std::sync::Arc;
@@ -100,6 +101,117 @@ fn engine_portfolio_matches_sequential_on_small_kernels() {
             .run();
         let raced = map_raced(&kernel.dfg, &cgra, &config);
         assert_eq!(raced.ii(), sequential.ii(), "{name}");
+    }
+}
+
+/// Clause sharing off (the default) is bit-identical to the pre-share
+/// engine: no pools are allocated, no share traffic appears in the
+/// telemetry, and a single-worker portfolio race — which executes its
+/// tasks in a deterministic order — reproduces its result exactly.
+#[test]
+fn share_off_portfolio_race_is_bit_identical_and_the_default() {
+    assert_eq!(ShareConfig::default(), ShareConfig::off());
+    let cgra = Cgra::square(2);
+    let mut config = config_with_timeout();
+    config.portfolio = 2;
+    config.race_width = 1;
+    config.workers = 1;
+    config.share = ShareConfig::off();
+    for name in ["srand", "gsm", "stringsearch"] {
+        let kernel = kernels::by_name(name).unwrap();
+        let a = map_raced(&kernel.dfg, &cgra, &config);
+        let b = map_raced(&kernel.dfg, &cgra, &config);
+        assert_eq!(
+            format!("{:?}", a.outcome.result),
+            format!("{:?}", b.outcome.result),
+            "{name}: share-off single-worker races must be reproducible"
+        );
+        assert_eq!(a.stats.shared_exported, 0, "{name}: no pool may exist");
+        assert_eq!(a.stats.shared_imported, 0, "{name}");
+        let sequential = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(config.mapper.clone())
+            .run();
+        assert_eq!(a.ii(), sequential.ii(), "{name}");
+    }
+}
+
+/// The tentpole acceptance on real kernels: a sharing portfolio racing
+/// the 2x2 suite returns the same best II as the sequential mapper (the
+/// default search is exact, so every closure is a proof and sharing can
+/// only change *which* model wins, never the II), and clauses actually
+/// travel between siblings on the multi-rung kernels.
+#[test]
+fn share_on_portfolio_matches_sequential_on_the_2x2_suite() {
+    let cgra = Cgra::square(2);
+    let mut config = config_with_timeout();
+    config.portfolio = 3;
+    config.race_width = 2;
+    config.share = ShareConfig::on();
+    // Force sibling concurrency even on a 1-CPU runner: with the default
+    // (one worker per hardware thread) a single-core box would run one
+    // variant per II to completion and the portfolio — and therefore
+    // sharing — would never materialize.
+    config.workers = 4;
+    let mut total_imported = 0u64;
+    for kernel in kernels::all() {
+        let sequential = Mapper::new(&kernel.dfg, &cgra)
+            .with_config(config.mapper.clone())
+            .run();
+        let raced = map_raced(&kernel.dfg, &cgra, &config);
+        assert_eq!(
+            raced.ii(),
+            sequential.ii(),
+            "{}: sharing must not change the best II",
+            kernel.name()
+        );
+        let mapped = raced.outcome.result.expect("2x2 suite maps");
+        assert!(validate_mapping(&kernel.dfg, &cgra, &mapped.mapping).is_ok());
+        total_imported += raced.stats.shared_imported;
+    }
+    assert!(
+        total_imported > 0,
+        "across the whole suite at portfolio 3, at least one sibling \
+         clause must actually be imported"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Share-on never reports a *worse* (higher) best II than share-off,
+    /// across randomly drawn suite kernels and share knobs. (With the
+    /// exact default search both are equal; `<=` is what sharing's
+    /// soundness argument guarantees even under freak scheduling.)
+    #[test]
+    fn share_on_is_never_worse_than_share_off_on_2x2(
+        kernel_index in 0usize..11,
+        lbd_max in 2u32..8,
+        ring_cap in 64usize..2048,
+        portfolio in 2usize..4,
+    ) {
+        let kernel = kernels::by_name(kernels::NAMES[kernel_index]).unwrap();
+        let cgra = Cgra::square(2);
+        let mut off = config_with_timeout();
+        off.portfolio = portfolio;
+        off.race_width = 2;
+        off.workers = 4; // sibling concurrency even on a 1-CPU runner
+        off.share = ShareConfig::off();
+        let mut on = off.clone();
+        on.share = ShareConfig {
+            enabled: true,
+            share_lbd_max: lbd_max,
+            share_len_max: 24,
+            share_ring_cap: ring_cap,
+        };
+        let base = map_raced(&kernel.dfg, &cgra, &off);
+        let shared = map_raced(&kernel.dfg, &cgra, &on);
+        let base_ii = base.ii().expect("2x2 suite maps");
+        let shared_ii = shared.ii().expect("2x2 suite maps under sharing");
+        prop_assert!(
+            shared_ii <= base_ii,
+            "{}: share-on II {} worse than share-off II {}",
+            kernel.name(), shared_ii, base_ii
+        );
     }
 }
 
