@@ -16,6 +16,7 @@ use satmapit_cgra::Cgra;
 use satmapit_core::{Mapper, MapperConfig};
 use satmapit_engine::{map_raced, EngineConfig, ShareConfig};
 use satmapit_kernels::Kernel;
+use satmapit_obs::Histogram;
 use satmapit_sat::SolveLimits;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,13 +34,22 @@ fn multi_rung_kernels() -> Vec<Kernel> {
 }
 
 /// Wall-clock of mapping every kernel in `set` on `cgra` under `config`,
-/// once.
-fn time_suite_once(set: &[Kernel], cgra: &Cgra, config: &MapperConfig) -> f64 {
+/// once. Each kernel's individual ladder time also lands in `latency`
+/// (microseconds), so the suite total and the per-kernel distribution
+/// come from the same passes.
+fn time_suite_once(
+    set: &[Kernel],
+    cgra: &Cgra,
+    config: &MapperConfig,
+    latency: &mut Histogram,
+) -> f64 {
     let t0 = Instant::now();
     for kernel in set {
+        let k0 = Instant::now();
         let outcome = Mapper::new(&kernel.dfg, cgra)
             .with_config(config.clone())
             .run();
+        latency.record(k0.elapsed().as_micros() as u64);
         assert!(outcome.ii().is_some(), "{} must map", kernel.name());
     }
     t0.elapsed().as_secs_f64() * 1e3
@@ -50,14 +60,25 @@ fn time_suite_once(set: &[Kernel], cgra: &Cgra, config: &MapperConfig) -> f64 {
 /// load drifts over the minutes a grid takes, and running all of one
 /// variant's repetitions back-to-back would let that drift masquerade as
 /// a variant difference. Adjacent passes see the same neighbours.
-fn time_variants(set: &[Kernel], cgra: &Cgra, variants: &[Variant], reps: u32) -> Vec<f64> {
+fn time_variants(
+    set: &[Kernel],
+    cgra: &Cgra,
+    variants: &[Variant],
+    reps: u32,
+) -> (Vec<f64>, Vec<Histogram>) {
     let mut best = vec![f64::INFINITY; variants.len()];
+    let mut latencies = vec![Histogram::new(); variants.len()];
     for _ in 0..reps {
         for (vi, variant) in variants.iter().enumerate() {
-            best[vi] = best[vi].min(time_suite_once(set, cgra, &variant.config));
+            best[vi] = best[vi].min(time_suite_once(
+                set,
+                cgra,
+                &variant.config,
+                &mut latencies[vi],
+            ));
         }
     }
-    best
+    (best, latencies)
 }
 
 struct Variant {
@@ -194,12 +215,13 @@ fn main() {
         ("ladder_2x2_multi_rung", &multi_rung, 2),
         ("ladder_3x3_multi_rung", &multi_rung, 3),
     ];
+    let mut grid_latencies: Vec<(&str, Vec<(&'static str, Histogram)>)> = Vec::new();
     json.push_str("  \"ladders_ms\": {\n");
     for (gi, (grid_label, set, size)) in grids.iter().enumerate() {
         let cgra = Cgra::square(*size as u16);
         let _ = write!(json, "    \"{grid_label}\": {{");
         let variant_set = variants();
-        let minima = time_variants(set, &cgra, &variant_set, reps);
+        let (minima, latencies) = time_variants(set, &cgra, &variant_set, reps);
         for (vi, (variant, &ms)) in variant_set.iter().zip(&minima).enumerate() {
             eprintln!("{grid_label:24} {:24} {:>9.1} ms", variant.label, ms);
             let sep = if vi == 0 { "" } else { ", " };
@@ -207,6 +229,39 @@ fn main() {
         }
         let sep = if gi + 1 == grids.len() { "" } else { "," };
         let _ = writeln!(json, "}}{sep}");
+        grid_latencies.push((
+            grid_label,
+            variant_set.iter().map(|v| v.label).zip(latencies).collect(),
+        ));
+    }
+    json.push_str("  },\n");
+
+    // Per-kernel ladder-time distributions from the same passes: every
+    // individual kernel solve (all repetitions pooled) lands in a
+    // log-bucketed histogram, and p50/p99 go into the JSON so the bench
+    // trajectory tracks tail latency, not just suite totals.
+    json.push_str("  \"ladder_latency_us\": {\n");
+    for (gi, (grid_label, per_variant)) in grid_latencies.iter().enumerate() {
+        let _ = writeln!(json, "    \"{grid_label}\": {{");
+        for (vi, (label, hist)) in per_variant.iter().enumerate() {
+            let snap = hist.snapshot();
+            eprintln!(
+                "{grid_label:24} {label:24} p50={:>8} us  p99={:>8} us  (n={})",
+                snap.p50, snap.p99, snap.count
+            );
+            let sep = if vi + 1 == per_variant.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "      \"{label}\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{sep}",
+                snap.count, snap.p50, snap.p99, snap.max,
+            );
+        }
+        let sep = if gi + 1 == grid_latencies.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    }}{sep}");
     }
     json.push_str("  },\n");
 

@@ -562,6 +562,20 @@ impl<'p, 'a> IiLadder<'p, 'a> {
         ii: u32,
         limits: &SolveLimits,
     ) -> Result<AttemptReport, MapFailure> {
+        if !satmapit_obs::trace::enabled() {
+            return self.attempt_ii_inner(ii, limits);
+        }
+        let start_us = satmapit_obs::trace::now_us();
+        let result = self.attempt_ii_inner(ii, limits);
+        crate::mapper::trace_rung_attempt(ii, start_us, &result);
+        result
+    }
+
+    fn attempt_ii_inner(
+        &mut self,
+        ii: u32,
+        limits: &SolveLimits,
+    ) -> Result<AttemptReport, MapFailure> {
         let config = &self.prepared.config;
         if ii == 0 || ii > config.max_ii {
             return Err(MapFailure::InvalidIi {

@@ -312,6 +312,26 @@ impl<'a> Mapper<'a> {
 
     /// Runs the iterative search of paper Fig. 3.
     pub fn run(&self) -> MapOutcome {
+        if !satmapit_obs::trace::enabled() {
+            return self.run_inner();
+        }
+        let mut span = satmapit_obs::trace::Span::begin(
+            satmapit_obs::trace::Category::Ladder,
+            &format!("ladder {}", self.dfg.name()),
+        );
+        let outcome = self.run_inner();
+        span.arg("rungs", outcome.attempts.len() as i64);
+        match &outcome.result {
+            Ok(mapped) => {
+                span.arg_str("status", "mapped");
+                span.arg("ii", i64::from(mapped.mapping.ii));
+            }
+            Err(failure) => span.arg_str("status", failure_label(failure)),
+        }
+        outcome
+    }
+
+    fn run_inner(&self) -> MapOutcome {
         let t0 = Instant::now();
         let deadline = self.config.timeout.map(|d| t0 + d);
         let mut attempts = Vec::new();
@@ -441,6 +461,107 @@ impl AttemptReport {
     }
 }
 
+/// Short trace label for a terminal failure.
+pub(crate) fn failure_label(failure: &MapFailure) -> &'static str {
+    match failure {
+        MapFailure::InvalidDfg(_) => "invalid_dfg",
+        MapFailure::Structural(_) => "structural",
+        MapFailure::Timeout { .. } => "timeout",
+        MapFailure::IiCapReached { .. } => "ii_cap_reached",
+        MapFailure::InvalidIi { .. } => "invalid_ii",
+        MapFailure::Internal(_) => "internal",
+    }
+}
+
+/// Records the `rung` span for one finished II attempt — outcome plus
+/// the solver-effort deltas (conflicts / propagations / restarts / GC /
+/// sharing) — and, when those deltas are nonzero, companion `gc` and
+/// `share` instants so the categories are filterable on the timeline.
+/// Shared by the one-shot [`PreparedMapper::attempt_ii`] and the
+/// incremental [`crate::ladder::IiLadder::attempt_ii`]. One atomic load
+/// when tracing is off.
+pub(crate) fn trace_rung_attempt(
+    ii: u32,
+    start_us: u64,
+    result: &Result<AttemptReport, MapFailure>,
+) {
+    use satmapit_obs::trace::{self, ArgValue, Category};
+    if !trace::enabled() {
+        return;
+    }
+    let end_us = trace::now_us();
+    let mut args: Vec<(&'static str, ArgValue)> = vec![("ii", ArgValue::Int(i64::from(ii)))];
+    let outcome = match result {
+        Ok(report) => match &report.attempt.outcome {
+            AttemptOutcome::Mapped => "mapped",
+            AttemptOutcome::RegAllocFailed(_) => "regalloc_failed",
+            AttemptOutcome::Unsat if report.proven_unmappable => "unsat_prefix",
+            AttemptOutcome::Unsat => "unsat",
+            AttemptOutcome::SolverBudget(StopReason::ConflictLimit) => "conflict_limit",
+            AttemptOutcome::SolverBudget(StopReason::Cancelled) => "cancelled",
+            AttemptOutcome::SolverBudget(StopReason::Timeout) => "timeout",
+        },
+        Err(failure) => failure_label(failure),
+    };
+    args.push(("outcome", ArgValue::Str(outcome.to_string())));
+    let stats = match result {
+        Ok(report) => {
+            args.push(("ra_cuts", ArgValue::Int(i64::from(report.attempt.ra_cuts))));
+            report.attempt.solver_stats.as_ref()
+        }
+        Err(_) => None,
+    };
+    if let Some(stats) = stats {
+        for (key, value) in [
+            ("conflicts", stats.conflicts),
+            ("propagations", stats.propagations),
+            ("decisions", stats.decisions),
+            ("restarts", stats.restarts),
+            ("gc_runs", stats.gc_runs),
+            ("lits_reclaimed", stats.lits_reclaimed),
+            ("shared_exported", stats.shared_exported),
+            ("shared_imported", stats.shared_imported),
+        ] {
+            args.push((key, ArgValue::Int(value as i64)));
+        }
+    }
+    let dur_us = end_us.saturating_sub(start_us);
+    trace::complete(
+        Category::Rung,
+        &format!("rung ii={ii}"),
+        start_us,
+        dur_us,
+        args,
+    );
+    if let Some(stats) = stats {
+        if stats.gc_runs > 0 {
+            trace::complete(
+                Category::Gc,
+                &format!("gc ii={ii}"),
+                end_us,
+                0,
+                vec![
+                    ("gc_runs", ArgValue::Int(stats.gc_runs as i64)),
+                    ("lits_reclaimed", ArgValue::Int(stats.lits_reclaimed as i64)),
+                ],
+            );
+        }
+        if stats.shared_exported + stats.shared_imported + stats.shared_dropped > 0 {
+            trace::complete(
+                Category::Share,
+                &format!("share ii={ii}"),
+                end_us,
+                0,
+                vec![
+                    ("exported", ArgValue::Int(stats.shared_exported as i64)),
+                    ("imported", ArgValue::Int(stats.shared_imported as i64)),
+                    ("dropped", ArgValue::Int(stats.shared_dropped as i64)),
+                ],
+            );
+        }
+    }
+}
+
 /// A validated mapping session: the DFG's mobility schedule and MII are
 /// computed once, after which any candidate II can be attempted — from one
 /// thread or many (it is `Sync`; each attempt builds its own solver).
@@ -554,6 +675,16 @@ impl<'a> PreparedMapper<'a> {
     /// [`PreparedMapper::ladder`] derives the same fact through its
     /// failed-assumption cores.)
     pub fn attempt_ii(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
+        if !satmapit_obs::trace::enabled() {
+            return self.attempt_ii_inner(ii, limits);
+        }
+        let start_us = satmapit_obs::trace::now_us();
+        let result = self.attempt_ii_inner(ii, limits);
+        trace_rung_attempt(ii, start_us, &result);
+        result
+    }
+
+    fn attempt_ii_inner(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
         if ii == 0 || ii > self.config.max_ii {
             return Err(MapFailure::InvalidIi {
                 ii,

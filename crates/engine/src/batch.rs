@@ -15,6 +15,7 @@ use crate::persist::{self, Appender, StoreKind};
 use crate::race::{map_raced_with_bound, EngineOutcome};
 use crate::EngineConfig;
 use satmapit_core::AttemptOutcome;
+use satmapit_obs as obs;
 
 /// One mapping request in a batch.
 #[derive(Debug, Clone)]
@@ -407,7 +408,17 @@ impl Engine {
     /// timeout.
     pub fn lookup_cached(&self, dfg: &Dfg, cgra: &Cgra) -> Option<Served> {
         let key = fingerprint(dfg, cgra, &self.config);
-        let hit = Arc::clone(self.cache.lock().expect("cache poisoned").get(&key)?);
+        let mut span = obs::trace::Span::begin(obs::trace::Category::Persist, "cache_probe");
+        let hit = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .get(&key)
+            .map(Arc::clone);
+        let Some(hit) = hit else {
+            span.arg("hit", 0);
+            return None;
+        };
         self.hits.fetch_add(1, Ordering::Relaxed);
         let persistent = self
             .persist
@@ -416,6 +427,8 @@ impl Engine {
         if persistent {
             self.persistent_hits.fetch_add(1, Ordering::Relaxed);
         }
+        span.arg("hit", 1);
+        span.arg("persistent", i64::from(persistent));
         Some(Served {
             outcome: hit,
             key,
@@ -453,6 +466,21 @@ impl Engine {
                     .is_some_and(|p| p.loaded.lock().expect("loaded poisoned").contains(&key));
                 if persistent {
                     self.persistent_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                if obs::trace::enabled() {
+                    obs::trace::complete(
+                        obs::trace::Category::Persist,
+                        "cache_probe",
+                        obs::trace::now_us(),
+                        0,
+                        vec![
+                            ("hit", obs::trace::ArgValue::Int(1)),
+                            (
+                                "persistent",
+                                obs::trace::ArgValue::Int(i64::from(persistent)),
+                            ),
+                        ],
+                    );
                 }
                 return Served {
                     outcome: Arc::clone(hit),
@@ -567,7 +595,10 @@ impl Engine {
         // race to an identical key must not write a duplicate record.
         if Arc::ptr_eq(&shared, &outcome) {
             if let Some(persist) = &self.persist {
+                let mut span =
+                    obs::trace::Span::begin(obs::trace::Category::Persist, "persist_result");
                 let record = persist::encode_result_record(key, &shared);
+                span.arg("bytes", record.len() as i64);
                 let result = persist
                     .results
                     .lock()
@@ -575,7 +606,13 @@ impl Engine {
                     .append(&record);
                 match result {
                     Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
-                    Err(e) => eprintln!("warning: failed to persist result record: {e}"),
+                    Err(e) => {
+                        span.arg_str("error", "append_failed");
+                        obs::warn!(
+                            "satmapit::engine::persist",
+                            "failed to persist result record: {e}"
+                        );
+                    }
                 }
             }
         }
@@ -675,6 +712,9 @@ impl Engine {
         };
         if improved {
             if let Some(persist) = &self.persist {
+                let mut span =
+                    obs::trace::Span::begin(obs::trace::Category::Persist, "persist_bound");
+                span.arg("proven_ii", i64::from(proven));
                 let record = persist::encode_bound_record(problem_key, proven);
                 let result = persist
                     .bounds
@@ -683,7 +723,13 @@ impl Engine {
                     .append(&record);
                 match result {
                     Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
-                    Err(e) => eprintln!("warning: failed to persist bound record: {e}"),
+                    Err(e) => {
+                        span.arg_str("error", "append_failed");
+                        obs::warn!(
+                            "satmapit::engine::persist",
+                            "failed to persist bound record: {e}"
+                        );
+                    }
                 }
             }
         }
@@ -787,7 +833,10 @@ impl Drop for Engine {
             .is_some_and(|p| p.dirty.load(Ordering::Relaxed));
         if dirty {
             if let Err(e) = self.compact_persistent() {
-                eprintln!("warning: cache compaction on shutdown failed: {e}");
+                obs::warn!(
+                    "satmapit::engine::persist",
+                    "cache compaction on shutdown failed: {e}"
+                );
             }
         }
     }

@@ -48,6 +48,7 @@ use satmapit_core::{
     MapperConfig, PreparedMapper,
 };
 use satmapit_dfg::Dfg;
+use satmapit_obs as obs;
 use satmapit_sat::encode::AmoEncoding;
 use satmapit_sat::{ShareHandle, SharePool, SolveLimits};
 use std::collections::{BTreeMap, HashMap};
@@ -340,7 +341,12 @@ struct Shared {
     cv: Condvar,
 }
 
-fn worker(shared: &Shared, variants: &[PreparedMapper<'_>], limits_proto: &SolveLimits) {
+fn worker(
+    shared: &Shared,
+    variants: &[PreparedMapper<'_>],
+    limits_proto: &SolveLimits,
+    trace_base: Option<u64>,
+) {
     loop {
         let task = {
             let mut state = shared.state.lock().expect("race state poisoned");
@@ -366,7 +372,23 @@ fn worker(shared: &Shared, variants: &[PreparedMapper<'_>], limits_proto: &Solve
         if let Some(share) = &task.share {
             limits = limits.with_share(share.clone());
         }
+        // Spans from this task (the `race` task span here, the `rung`
+        // span inside `attempt_ii`) all land on the sibling's own track,
+        // so concurrent portfolio siblings render as parallel timeline
+        // rows. `trace_base` is None whenever tracing was off at race
+        // start — the hot path stays guard-free.
+        let _track = trace_base.map(|base| obs::trace::push_track(base + task.variant as u64));
+        let mut span = obs::trace::Span::begin(
+            obs::trace::Category::Race,
+            &format!("task ii={} v={}", task.ii, task.variant),
+        );
+        span.arg("ii", i64::from(task.ii));
+        span.arg("variant", task.variant as i64);
         let result = variants[task.variant].attempt_ii(task.ii, &limits);
+        if span.active() {
+            span.arg("cancelled", i64::from(task.stop.load(Ordering::Relaxed)));
+        }
+        drop(span);
         let mut state = shared.state.lock().expect("race state poisoned");
         state.record(&task, result);
         drop(state);
@@ -469,9 +491,24 @@ pub fn map_raced_with_bound(
         cv: Condvar::new(),
     };
 
+    // One trace track per portfolio sibling, reserved up front so every
+    // worker thread maps task variant `k` to the same timeline row.
+    let trace_base = obs::trace::enabled().then(|| {
+        let base = obs::trace::allocate_tracks(portfolio as u64);
+        for k in 0..portfolio {
+            let label = if k == 0 {
+                format!("{} sibling 0 (canonical)", dfg.name())
+            } else {
+                format!("{} sibling {k}", dfg.name())
+            };
+            obs::trace::name_track(base + k as u64, &label);
+        }
+        base
+    });
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker(&shared, &variants, &limits_proto));
+            scope.spawn(|| worker(&shared, &variants, &limits_proto, trace_base));
         }
     });
 

@@ -1,0 +1,311 @@
+//! Log-bucketed latency histograms (HDR-style).
+//!
+//! Values (microseconds, but any `u64` works) are binned into
+//! power-of-two octaves, each split into `2^SUB_BITS = 16` linear
+//! sub-buckets. That gives constant memory (976 buckets cover all of
+//! `u64`), O(1) recording, exact counts, and quantile queries whose
+//! answer is the recorded bucket's **upper bound** — at most one
+//! sub-bucket width (≤ 1/16 ≈ 6.25% relative) above the true value, and
+//! never below it. Histograms merge bucket-wise, so per-thread or
+//! per-outcome histograms aggregate losslessly, and every accumulator
+//! saturates instead of wrapping.
+
+/// Linear sub-buckets per power-of-two octave, as a bit count.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover the full `u64` range: values below
+/// `SUB` index themselves, then `64 - SUB_BITS` octaves of `SUB`
+/// sub-buckets each.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// Bucket index of `value`. Monotonic in `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let octave = (msb - SUB_BITS + 1) as usize;
+        let sub = ((value >> (msb - SUB_BITS)) & (SUB - 1)) as usize;
+        (octave << SUB_BITS) | sub
+    }
+}
+
+/// Smallest value mapping to bucket `index` (inverse of
+/// [`bucket_index`]).
+fn bucket_low(index: usize) -> u64 {
+    if index < SUB as usize {
+        index as u64
+    } else {
+        let octave = (index >> SUB_BITS) as u32;
+        let sub = (index as u64) & (SUB - 1);
+        let msb = octave + SUB_BITS - 1;
+        (1u64 << msb) + (sub << (msb - SUB_BITS))
+    }
+}
+
+/// Largest value mapping to bucket `index`.
+fn bucket_high(index: usize) -> u64 {
+    if index + 1 < BUCKETS {
+        bucket_low(index + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// A mergeable, saturating, log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`]: totals plus the three
+/// quantiles the service reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Median, see [`Histogram::percentile`].
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`. All accumulators saturate.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let bucket = &mut self.counts[bucket_index(value)];
+        *bucket = bucket.saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` bucket-wise (saturating).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (0 when empty; exact only while `sum`
+    /// has not saturated).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`): the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q · count)`,
+    /// clamped into `[min, max]`. Never below the true quantile, and at
+    /// most one sub-bucket width (≤ 1/16 relative) above it. Returns 0
+    /// when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_high(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Totals plus p50/p90/p99 in one call.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_inverts() {
+        let mut probes = Vec::new();
+        for shift in 0..64u32 {
+            for delta in [0u64, 1, 3] {
+                probes.push((1u64 << shift).saturating_add(delta << shift.saturating_sub(5)));
+            }
+        }
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            assert!(
+                bucket_low(i) <= v && v <= bucket_high(i),
+                "{v} not in bucket {i}"
+            );
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    /// Deterministic pseudo-random `u64`s spread across magnitudes
+    /// (shifting by the state's low bits walks the whole octave range).
+    fn pseudo_values(n: usize) -> Vec<u64> {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                state >> (state % 50)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn percentiles_match_a_sorted_reference() {
+        let mut values = pseudo_values(10_000);
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.001, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let got = hist.percentile(q);
+            // Never below the true quantile, and at most one sub-bucket
+            // width (one sixteenth) above it.
+            assert!(got >= exact, "p{q}: {got} < exact {exact}");
+            assert!(
+                got <= exact.saturating_add(exact / SUB).saturating_add(1),
+                "p{q}: {got} too far above exact {exact}"
+            );
+        }
+        assert_eq!(hist.min(), values.first().copied());
+        assert_eq!(hist.max(), values.last().copied());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let values = pseudo_values(4_096);
+        let (left, right) = values.split_at(1_234);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in left {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in right {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn saturation_does_not_wrap() {
+        let mut hist = Histogram::new();
+        hist.record_n(u64::MAX, u64::MAX);
+        hist.record_n(u64::MAX, u64::MAX);
+        assert_eq!(hist.count(), u64::MAX);
+        assert_eq!(hist.sum(), u64::MAX);
+        assert_eq!(hist.percentile(1.0), u64::MAX);
+        let mut other = Histogram::new();
+        other.record_n(1, u64::MAX);
+        hist.merge(&other);
+        assert_eq!(hist.count(), u64::MAX);
+        assert_eq!(hist.min(), Some(1));
+        assert_eq!(hist.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let hist = Histogram::new();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50, 0);
+        assert_eq!(hist.min(), None);
+        assert_eq!(hist.max(), None);
+        assert_eq!(hist.mean(), 0);
+    }
+}

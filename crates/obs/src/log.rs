@@ -1,0 +1,239 @@
+//! Leveled, filtered, non-interleaving structured logging.
+//!
+//! Records go through the [`log!`](crate::log!) family of macros with
+//! an explicit **target** (a module-ish path such as
+//! `satmapit::service`). The `SATMAPIT_LOG` environment variable
+//! filters by level and target:
+//!
+//! ```text
+//! SATMAPIT_LOG=info                         # default level for everything
+//! SATMAPIT_LOG=warn,satmapit::engine=debug  # per-target overrides (longest prefix wins)
+//! SATMAPIT_LOG=off                          # silence everything
+//! ```
+//!
+//! Unset, the filter defaults to `warn` — warnings stay visible, as
+//! the old ad-hoc `eprintln!` sites were. Each record is rendered to
+//! one line — `[<seconds> <LEVEL> <target>] message` — and written
+//! with a **single `write_all` on a locked stderr**, so concurrent
+//! worker threads can never interleave mid-line.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and was not retried.
+    Error = 1,
+    /// Something degraded but was recovered or worked around.
+    Warn = 2,
+    /// Coarse lifecycle events.
+    Info = 3,
+    /// Per-request / per-solve detail.
+    Debug = 4,
+    /// Everything, including hot-loop detail.
+    Trace = 5,
+}
+
+impl Level {
+    /// Fixed-width display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses a filter token (case-insensitive; `off` parses as
+    /// "no level", returned as 0).
+    fn parse_token(token: &str) -> Option<u8> {
+        match token.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(0),
+            "error" => Some(Level::Error as u8),
+            "warn" | "warning" => Some(Level::Warn as u8),
+            "info" => Some(Level::Info as u8),
+            "debug" => Some(Level::Debug as u8),
+            "trace" => Some(Level::Trace as u8),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Filter {
+    /// Level for targets with no specific rule (0 = off).
+    default: u8,
+    /// `(target prefix, level)` rules; the longest matching prefix wins.
+    targets: Vec<(String, u8)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut filter = Filter {
+            default: Level::Warn as u8,
+            targets: Vec::new(),
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => {
+                    if let Some(level) = Level::parse_token(part) {
+                        filter.default = level;
+                    } else {
+                        // A bare target enables everything under it.
+                        filter.targets.push((part.to_string(), Level::Trace as u8));
+                    }
+                }
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse_token(level) {
+                        filter.targets.push((target.trim().to_string(), level));
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    fn level_for(&self, target: &str) -> u8 {
+        self.targets
+            .iter()
+            .filter(|(prefix, _)| target.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, level)| *level)
+            .unwrap_or(self.default)
+    }
+
+    fn max_level(&self) -> u8 {
+        self.targets
+            .iter()
+            .map(|(_, level)| *level)
+            .fold(self.default, u8::max)
+    }
+}
+
+static FILTER: Mutex<Option<Filter>> = Mutex::new(None);
+/// Cheap global reject: the maximum level any target lets through.
+/// `u8::MAX` means "filter not initialised yet".
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn with_filter<R>(f: impl FnOnce(&Filter) -> R) -> R {
+    let mut slot = FILTER.lock().unwrap_or_else(PoisonError::into_inner);
+    let filter = slot.get_or_insert_with(|| {
+        let filter = std::env::var("SATMAPIT_LOG")
+            .map(|spec| Filter::parse(&spec))
+            .unwrap_or_else(|_| Filter::parse(""));
+        MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+        filter
+    });
+    f(filter)
+}
+
+/// Replaces the active filter (same syntax as `SATMAPIT_LOG`),
+/// overriding the environment. For CLI verbosity flags and tests.
+pub fn set_filter(spec: &str) {
+    let filter = Filter::parse(spec);
+    MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
+    *FILTER.lock().unwrap_or_else(PoisonError::into_inner) = Some(filter);
+}
+
+/// Would a record at `level` for `target` be emitted?
+pub fn enabled(level: Level, target: &str) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    if max != u8::MAX && level as u8 > max {
+        return false;
+    }
+    with_filter(|filter| level as u8 <= filter.level_for(target))
+}
+
+/// Formats and writes one record; the [`log!`](crate::log!) macros call
+/// this. One `write_all` on a locked stderr — never interleaves.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level, target) {
+        return;
+    }
+    let seconds = crate::trace::now_us() as f64 / 1e6;
+    let line = format!("[{seconds:11.6} {:5} {target}] {args}\n", level.as_str());
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(line.as_bytes());
+}
+
+/// Logs at an explicit level: `log!(Level::Warn, "satmapit::x", "...", …)`.
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        $crate::log::log($level, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Error`](crate::Level::Error): `error!(target, fmt, …)`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log!($crate::log::Level::Error, $target, $($arg)*)
+    };
+}
+
+/// Logs at [`Level::Warn`](crate::Level::Warn): `warn!(target, fmt, …)`.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log!($crate::log::Level::Warn, $target, $($arg)*)
+    };
+}
+
+/// Logs at [`Level::Info`](crate::Level::Info): `info!(target, fmt, …)`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log!($crate::log::Level::Info, $target, $($arg)*)
+    };
+}
+
+/// Logs at [`Level::Debug`](crate::Level::Debug): `debug!(target, fmt, …)`.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log!($crate::log::Level::Debug, $target, $($arg)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_syntax_and_longest_prefix() {
+        let filter = Filter::parse("warn,satmapit::engine=debug,satmapit::engine::persist=off");
+        assert_eq!(filter.level_for("satmapit::service"), Level::Warn as u8);
+        assert_eq!(
+            filter.level_for("satmapit::engine::race"),
+            Level::Debug as u8
+        );
+        assert_eq!(filter.level_for("satmapit::engine::persist"), 0);
+        assert_eq!(filter.max_level(), Level::Debug as u8);
+
+        let silent = Filter::parse("off");
+        assert_eq!(silent.level_for("anything"), 0);
+
+        let bare_target = Filter::parse("satmapit::core");
+        assert_eq!(
+            bare_target.level_for("satmapit::core::ladder"),
+            Level::Trace as u8
+        );
+        assert_eq!(bare_target.level_for("other"), Level::Warn as u8);
+    }
+
+    #[test]
+    fn default_is_warn() {
+        let filter = Filter::parse("");
+        assert_eq!(filter.level_for("satmapit::service"), Level::Warn as u8);
+    }
+}

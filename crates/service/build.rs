@@ -1,0 +1,21 @@
+//! Resolves the git commit hash at build time so `health`/`stats`
+//! responses can report exactly which build is serving. Outside a git
+//! checkout (or without a `git` binary) the hash is `unknown` — the
+//! daemon must build anywhere, so this is best-effort by design.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=SATMAPIT_GIT_HASH={hash}");
+    // Rebuild when HEAD moves; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -101,6 +101,17 @@ impl Client {
         self.roundtrip(&Json::obj(vec![("op", Json::Str("health".into()))]))
     }
 
+    /// Drains the daemon's flight recorder (see the `trace` op): the
+    /// response reports the collected event count and, when the daemon
+    /// has a trace directory, the Chrome trace file it wrote.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn trace(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Json::obj(vec![("op", Json::Str("trace".into()))]))
+    }
+
     /// Asks the daemon to drain, compact its caches and exit.
     ///
     /// # Errors

@@ -17,8 +17,9 @@
 //! | request | answer |
 //! |---|---|
 //! | `{"op":"map","name":…,"dfg":{…},"cgra":{…},"timeout_ms":…}` | the mapping (or failure), fingerprint, cache provenance |
-//! | `{"op":"stats"}` | cache counters, queue depth, solve latencies |
-//! | `{"op":"health"}` | liveness probe |
+//! | `{"op":"stats"}` | cache counters, queue depth, per-outcome latency histograms |
+//! | `{"op":"health"}` | liveness probe (includes the server version) |
+//! | `{"op":"trace"}` | drain the flight recorder (requires `--trace-dir`) |
 //! | `{"op":"shutdown"}` | drain, compact caches, exit |
 //!
 //! ## Example (loopback)

@@ -37,6 +37,8 @@
 use crate::json::Json;
 use crate::wire::{self, MapRequest, Request};
 use satmapit_engine::{Engine, EngineConfig};
+use satmapit_obs as obs;
+use satmapit_obs::Histogram;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,6 +46,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Log target for daemon lifecycle and per-request warnings.
+const LOG_TARGET: &str = "satmapit::service";
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -64,6 +69,16 @@ pub struct ServerConfig {
     /// Directory for the persistent result/bound stores; `None` keeps the
     /// caches in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Directory the `trace` request writes Chrome trace-JSON files
+    /// into. Setting it turns the flight recorder on for the daemon's
+    /// lifetime (tracing is a process-wide observer switch — it never
+    /// joins a cache key or changes an answer); `None` leaves tracing
+    /// off and span recording at its zero-cost disabled path.
+    pub trace_dir: Option<PathBuf>,
+    /// Solves slower than this dump their per-II ladder trace through
+    /// the structured logger at warn level, so one slow request can be
+    /// diagnosed from the daemon's stderr alone. `None` disables.
+    pub slow_solve: Option<Duration>,
     /// Fault injection for the panic-isolation regression tests: a worker
     /// panics instead of solving when a `map` request's name equals this
     /// value. Production configs leave it `None`; it exists because no
@@ -80,6 +95,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             engine: EngineConfig::default(),
             cache_dir: None,
+            trace_dir: None,
+            slow_solve: None,
             panic_on_name: None,
         }
     }
@@ -88,7 +105,78 @@ impl Default for ServerConfig {
 struct WorkItem {
     request: MapRequest,
     deadline: Option<Instant>,
+    /// When the request entered the queue — its wait until a worker
+    /// pops it is reported as `queue_us`, separately from solve time.
+    admitted: Instant,
     reply: mpsc::Sender<Json>,
+}
+
+/// Per-outcome solve-latency histograms (microseconds). One mutex per
+/// class: recording locks only the class the finished request lands
+/// in, for the duration of one bucket increment — far from any solver
+/// hot path.
+struct Latency {
+    /// Answered by the in-memory result cache.
+    memory_hit: Mutex<Histogram>,
+    /// Answered by an entry loaded from the on-disk store.
+    persistent_hit: Mutex<Histogram>,
+    /// Solved to a definitive answer (mapped or deterministic failure).
+    solved: Mutex<Histogram>,
+    /// Solved to a wall-clock timeout (not memoized by the engine).
+    timeout: Mutex<Histogram>,
+    /// The solve panicked and was answered with an error response.
+    error: Mutex<Histogram>,
+    /// Admission-to-worker-pop wait, across all queued requests.
+    queue_wait: Mutex<Histogram>,
+}
+
+impl Latency {
+    fn new() -> Latency {
+        Latency {
+            memory_hit: Mutex::new(Histogram::new()),
+            persistent_hit: Mutex::new(Histogram::new()),
+            solved: Mutex::new(Histogram::new()),
+            timeout: Mutex::new(Histogram::new()),
+            error: Mutex::new(Histogram::new()),
+            queue_wait: Mutex::new(Histogram::new()),
+        }
+    }
+}
+
+fn record_us(hist: &Mutex<Histogram>, us: u64) {
+    hist.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .record(us);
+}
+
+fn histogram_json(hist: &Mutex<Histogram>) -> Json {
+    snapshot_json(
+        &hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .snapshot(),
+    )
+}
+
+fn snapshot_json(snap: &obs::Snapshot) -> Json {
+    Json::obj(vec![
+        ("count", Json::Int(snap.count as i64)),
+        ("total_us", Json::Int(snap.sum as i64)),
+        ("min_us", Json::Int(snap.min as i64)),
+        ("max_us", Json::Int(snap.max as i64)),
+        ("p50_us", Json::Int(snap.p50 as i64)),
+        ("p90_us", Json::Int(snap.p90 as i64)),
+        ("p99_us", Json::Int(snap.p99 as i64)),
+    ])
+}
+
+/// `<crate version>+g<git hash>`; the hash is resolved by `build.rs`
+/// (`unknown` outside a git checkout, in which case it is omitted).
+fn version_string() -> String {
+    match env!("SATMAPIT_GIT_HASH") {
+        "unknown" => env!("CARGO_PKG_VERSION").to_string(),
+        hash => format!("{}+g{hash}", env!("CARGO_PKG_VERSION")),
+    }
 }
 
 struct Inner {
@@ -102,9 +190,16 @@ struct Inner {
     started: Instant,
     requests: AtomicU64,
     rejected: AtomicU64,
-    solves: AtomicU64,
-    solve_total_us: AtomicU64,
-    solve_max_us: AtomicU64,
+    /// Per-outcome solve latencies; the legacy `solves` stats block is
+    /// derived from the `solved` + `timeout` classes.
+    latency: Latency,
+    /// Where `trace` requests write their Chrome trace files (`None`
+    /// answers with event counts only).
+    trace_dir: Option<PathBuf>,
+    /// Sequence number for trace file names.
+    trace_seq: AtomicU64,
+    /// Slow-solve threshold (see [`ServerConfig::slow_solve`]).
+    slow_solve: Option<Duration>,
     /// Solves that panicked and were answered with an `error` response
     /// instead of taking the daemon down.
     panics: AtomicU64,
@@ -163,7 +258,16 @@ impl Server {
             None => Engine::new(engine_config),
         };
         for warning in engine.load_warnings() {
-            eprintln!("warning: {warning}");
+            obs::warn!(LOG_TARGET, "{warning}");
+        }
+        if let Some(dir) = &config.trace_dir {
+            std::fs::create_dir_all(dir)?;
+            obs::trace::set_enabled(true);
+            obs::info!(
+                LOG_TARGET,
+                "flight recorder on, traces in {}",
+                dir.display()
+            );
         }
         let addr = listener.local_addr()?;
         Ok(Server {
@@ -179,9 +283,10 @@ impl Server {
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
-                solves: AtomicU64::new(0),
-                solve_total_us: AtomicU64::new(0),
-                solve_max_us: AtomicU64::new(0),
+                latency: Latency::new(),
+                trace_dir: config.trace_dir,
+                trace_seq: AtomicU64::new(0),
+                slow_solve: config.slow_solve,
                 panics: AtomicU64::new(0),
                 expired_at_admission: AtomicU64::new(0),
                 panic_on_name: config.panic_on_name,
@@ -237,8 +342,31 @@ impl Server {
             inner.queue_cv.notify_all();
             Ok(())
         })?;
+        // A final flight-recorder dump so spans recorded since the last
+        // explicit `trace` drain survive the shutdown.
+        if self.inner.trace_dir.is_some() {
+            let events = obs::trace::drain();
+            if !events.is_empty() {
+                if let Err(e) = write_trace_file(&self.inner, &events) {
+                    obs::warn!(LOG_TARGET, "failed to write shutdown trace: {e}");
+                }
+            }
+        }
         self.inner.engine.compact_persistent()
     }
+}
+
+/// Writes `events` as Chrome trace JSON into the daemon's trace
+/// directory, returning the path.
+fn write_trace_file(inner: &Inner, events: &[obs::Event]) -> io::Result<PathBuf> {
+    let dir = inner
+        .trace_dir
+        .as_ref()
+        .expect("write_trace_file requires a trace dir");
+    let seq = inner.trace_seq.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("trace-{seq:04}.json"));
+    std::fs::write(&path, obs::trace::export_chrome(events))?;
+    Ok(path)
 }
 
 fn worker_loop(inner: &Inner) {
@@ -261,6 +389,19 @@ fn worker_loop(inner: &Inner) {
                     .0;
             }
         };
+        // Queue wait ends here; solve time starts here. Reporting the
+        // two separately (`queue_us` vs `elapsed_us`) keeps a loaded
+        // daemon's solve latencies honest — before the split, a fast
+        // solve behind a deep queue was indistinguishable from a slow
+        // solve.
+        let queue_us = item.admitted.elapsed().as_micros() as u64;
+        record_us(&inner.latency.queue_wait, queue_us);
+        let mut span = obs::trace::enabled().then(|| {
+            obs::trace::Span::begin(
+                obs::trace::Category::Request,
+                &format!("request {}", item.request.name),
+            )
+        });
         let t0 = Instant::now();
         // Panic isolation: a solve that unwinds costs this request an
         // `error` response, never the daemon. `AssertUnwindSafe` is
@@ -279,15 +420,30 @@ fn worker_loop(inner: &Inner) {
                 .engine
                 .map_with_deadline(&item.request.dfg, &item.request.cgra, item.deadline)
         }));
-        let elapsed_us = t0.elapsed().as_micros() as u64;
+        let elapsed = t0.elapsed();
+        let elapsed_us = elapsed.as_micros() as u64;
         let response = match solved {
             Ok(served) => {
-                if !served.cached {
-                    inner.solves.fetch_add(1, Ordering::Relaxed);
-                    inner
-                        .solve_total_us
-                        .fetch_add(elapsed_us, Ordering::Relaxed);
-                    inner.solve_max_us.fetch_max(elapsed_us, Ordering::Relaxed);
+                let timed_out = matches!(
+                    served.outcome.outcome.result,
+                    Err(satmapit_core::MapFailure::Timeout { .. })
+                );
+                let (class, hist) = if served.persistent {
+                    ("persistent_hit", &inner.latency.persistent_hit)
+                } else if served.cached {
+                    ("memory_hit", &inner.latency.memory_hit)
+                } else if timed_out {
+                    ("timeout", &inner.latency.timeout)
+                } else {
+                    ("solved", &inner.latency.solved)
+                };
+                record_us(hist, elapsed_us);
+                if let Some(span) = &mut span {
+                    span.arg("queue_us", queue_us as i64);
+                    span.arg_str("class", class);
+                }
+                if inner.slow_solve.is_some_and(|limit| elapsed >= limit) && !served.cached {
+                    slow_solve_report(&item.request.name, elapsed, queue_us, &served.outcome);
                 }
                 wire::map_response(
                     item.request.id,
@@ -297,13 +453,20 @@ fn worker_loop(inner: &Inner) {
                     served.cached,
                     served.persistent,
                     elapsed_us,
+                    queue_us,
                 )
             }
             Err(panic) => {
                 inner.panics.fetch_add(1, Ordering::Relaxed);
+                record_us(&inner.latency.error, elapsed_us);
+                if let Some(span) = &mut span {
+                    span.arg("queue_us", queue_us as i64);
+                    span.arg_str("class", "error");
+                }
                 let what = panic_message(panic.as_ref());
-                eprintln!(
-                    "warning: solve for `{}` panicked ({what}); answered with an error",
+                obs::warn!(
+                    LOG_TARGET,
+                    "solve for `{}` panicked ({what}); answered with an error",
                     item.request.name
                 );
                 wire::error_response(
@@ -312,9 +475,40 @@ fn worker_loop(inner: &Inner) {
                 )
             }
         };
+        drop(span);
         // A dead receiver means the client hung up; nothing to do.
         let _ = item.reply.send(response);
     }
+}
+
+/// Dumps a slow request's per-II ladder trace through the logger: one
+/// warn line summarising the request, then the attempts that made it
+/// slow, newest-first context a human can act on without a trace file.
+fn slow_solve_report(
+    name: &str,
+    elapsed: Duration,
+    queue_us: u64,
+    outcome: &satmapit_engine::EngineOutcome,
+) {
+    let attempts = &outcome.outcome.attempts;
+    let ladder: Vec<String> = attempts
+        .iter()
+        .map(|a| {
+            format!(
+                "ii={} {} {}us",
+                a.ii,
+                wire::attempt_outcome_name(&a.outcome),
+                a.elapsed.as_micros()
+            )
+        })
+        .collect();
+    obs::warn!(
+        LOG_TARGET,
+        "slow solve `{name}`: {}us solving (+{queue_us}us queued), {} rungs [{}]",
+        elapsed.as_micros(),
+        attempts.len(),
+        ladder.join(", ")
+    );
 }
 
 /// Best-effort text of a caught panic payload (panics carry `&str` or
@@ -331,10 +525,29 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 
 fn stats_response(inner: &Inner) -> Json {
     let queue_depth = lock_queue(inner).len();
-    let solves = inner.solves.load(Ordering::Relaxed);
-    let total_us = inner.solve_total_us.load(Ordering::Relaxed);
+    // The legacy `solves` block covers everything a worker actually
+    // solved (definitive answers and timeouts; panics excluded, as
+    // before the histograms) — derived by merging the two classes so
+    // its totals stay exact.
+    let solves = {
+        let mut merged = inner
+            .latency
+            .solved
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        merged.merge(
+            &inner
+                .latency
+                .timeout
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        merged
+    };
     Json::obj(vec![
         ("ok", Json::Bool(true)),
+        ("version", Json::Str(version_string())),
         (
             "cache",
             wire::cache_stats_to_json(&inner.engine.cache_stats()),
@@ -361,16 +574,31 @@ fn stats_response(inner: &Inner) -> Json {
         (
             "solves",
             Json::obj(vec![
-                ("count", Json::Int(solves as i64)),
-                ("total_us", Json::Int(total_us as i64)),
+                ("count", Json::Int(solves.count() as i64)),
+                ("total_us", Json::Int(solves.sum() as i64)),
+                ("mean_us", Json::Int(solves.mean() as i64)),
+                ("max_us", Json::Int(solves.max().unwrap_or(0) as i64)),
+            ]),
+        ),
+        (
+            "latency",
+            Json::obj(vec![
+                ("memory_hit", histogram_json(&inner.latency.memory_hit)),
                 (
-                    "mean_us",
-                    Json::Int(total_us.checked_div(solves).unwrap_or(0) as i64),
+                    "persistent_hit",
+                    histogram_json(&inner.latency.persistent_hit),
                 ),
-                (
-                    "max_us",
-                    Json::Int(inner.solve_max_us.load(Ordering::Relaxed) as i64),
-                ),
+                ("solved", histogram_json(&inner.latency.solved)),
+                ("timeout", histogram_json(&inner.latency.timeout)),
+                ("error", histogram_json(&inner.latency.error)),
+                ("queue_wait", histogram_json(&inner.latency.queue_wait)),
+            ]),
+        ),
+        (
+            "trace",
+            Json::obj(vec![
+                ("enabled", Json::Bool(obs::trace::enabled())),
+                ("dropped", Json::Int(obs::trace::dropped() as i64)),
             ]),
         ),
         (
@@ -380,11 +608,40 @@ fn stats_response(inner: &Inner) -> Json {
     ])
 }
 
+/// Drains the flight recorder. With a trace directory the events land
+/// in a fresh Chrome trace file (the response carries its path); either
+/// way the response reports how many events were collected and how many
+/// the bounded rings dropped since startup.
+fn trace_response(inner: &Inner) -> Json {
+    if !obs::trace::enabled() {
+        return wire::error_response(
+            None,
+            "tracing is disabled; start the daemon with --trace-dir",
+        );
+    }
+    let events = obs::trace::drain();
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("events", Json::Int(events.len() as i64)),
+        ("dropped", Json::Int(obs::trace::dropped() as i64)),
+    ];
+    if inner.trace_dir.is_some() {
+        match write_trace_file(inner, &events) {
+            Ok(path) => pairs.push(("path", Json::Str(path.display().to_string()))),
+            Err(e) => {
+                return wire::error_response(None, &format!("failed to write trace file: {e}"))
+            }
+        }
+    }
+    Json::obj(pairs)
+}
+
 fn health_response(inner: &Inner) -> Json {
     let queue_depth = lock_queue(inner).len();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("status", Json::Str("healthy".to_string())),
+        ("version", Json::Str(version_string())),
         ("queue_depth", Json::Int(queue_depth as i64)),
         (
             "persistent_cache",
@@ -418,7 +675,7 @@ fn expired_response(inner: &Inner, request: &MapRequest) -> Json {
         stats: satmapit_engine::RaceStats::default(),
         proven_unmappable: false,
     };
-    wire::map_response(request.id, &request.name, key, &outcome, false, false, 0)
+    wire::map_response(request.id, &request.name, key, &outcome, false, false, 0, 0)
 }
 
 fn write_line(stream: &mut TcpStream, value: &Json) -> io::Result<()> {
@@ -478,6 +735,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
             Err(e) => wire::error_response(None, &e.to_string()),
             Ok(Request::Stats) => stats_response(inner),
             Ok(Request::Health) => health_response(inner),
+            Ok(Request::Trace) => trace_response(inner),
             Ok(Request::Shutdown) => {
                 inner.stop.store(true, Ordering::SeqCst);
                 inner.queue_cv.notify_all();
@@ -514,6 +772,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                             served.cached,
                             served.persistent,
                             0,
+                            0,
                         ),
                         None => expired_response(inner, &request),
                     };
@@ -530,6 +789,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                         queue.push_back(WorkItem {
                             request: *request,
                             deadline,
+                            admitted: Instant::now(),
                             reply: tx,
                         });
                         true

@@ -354,6 +354,10 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Health,
+    /// Drain the flight recorder: collect every recorded span, write a
+    /// Chrome trace file when the daemon has a trace directory, answer
+    /// with the event count.
+    Trace,
     /// Graceful shutdown: drain, compact caches, exit.
     Shutdown,
 }
@@ -388,6 +392,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         }
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(WireError::new(format!("unknown op `{other}`"))),
     }
@@ -397,7 +402,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
 // Responses
 // ---------------------------------------------------------------------------
 
-fn attempt_outcome_name(outcome: &AttemptOutcome) -> String {
+pub(crate) fn attempt_outcome_name(outcome: &AttemptOutcome) -> String {
     match outcome {
         AttemptOutcome::Mapped => "mapped".to_string(),
         AttemptOutcome::Unsat => "unsat".to_string(),
@@ -504,7 +509,11 @@ pub fn outcome_signature(outcome: &EngineOutcome) -> Json {
     }
 }
 
-/// Builds the full `map` response line content.
+/// Builds the full `map` response line content. `elapsed_us` is solve
+/// time only; `queue_us` is the time the request waited for a worker
+/// (0 for answers that never queued: cache hits at admission, expired
+/// deadlines).
+#[allow(clippy::too_many_arguments)]
 pub fn map_response(
     id: Option<i64>,
     name: &str,
@@ -513,6 +522,7 @@ pub fn map_response(
     cached: bool,
     persistent: bool,
     elapsed_us: u64,
+    queue_us: u64,
 ) -> Json {
     let mut pairs = Vec::new();
     if let Some(id) = id {
@@ -524,6 +534,7 @@ pub fn map_response(
     pairs.push(("cached", Json::Bool(cached)));
     pairs.push(("persistent", Json::Bool(persistent)));
     pairs.push(("elapsed_us", Json::Int(elapsed_us as i64)));
+    pairs.push(("queue_us", Json::Int(queue_us as i64)));
     pairs.push(("result", outcome_signature(outcome)));
     Json::obj(pairs)
 }
@@ -620,6 +631,7 @@ mod tests {
             parse_request(r#"{"op":"health"}"#).unwrap(),
             Request::Health
         );
+        assert_eq!(parse_request(r#"{"op":"trace"}"#).unwrap(), Request::Trace);
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown

@@ -100,7 +100,7 @@ fn start_server(cache_dir: Option<PathBuf>) -> (String, std::thread::JoinHandle<
         queue_capacity: 32,
         engine: EngineConfig::default(),
         cache_dir,
-        panic_on_name: None,
+        ..ServerConfig::default()
     })
 }
 
@@ -365,6 +365,7 @@ fn daemon_survives_a_panicking_worker() {
         engine: EngineConfig::default(),
         cache_dir: None,
         panic_on_name: Some("boom".to_string()),
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(&addr).expect("client connect");
 
@@ -455,6 +456,135 @@ fn zero_timeout_is_answered_at_admission_without_a_worker() {
     assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
     let result = reply.get("result").expect("result");
     assert_eq!(result.get("status").and_then(Json::as_str), Some("mapped"));
+
+    shutdown(&addr, handle);
+}
+
+/// The per-outcome latency histograms classify exactly the request mix
+/// the daemon served: cold solves land in `solved`, repeats in
+/// `memory_hit`, a worker-path deadline expiry in `timeout` — and every
+/// queued request records a queue wait.
+#[test]
+fn latency_histograms_classify_the_request_mix() {
+    let (addr, handle) = start_server(None);
+    let mut client = Client::connect(&addr).expect("client connect");
+
+    // Two cold solves…
+    let cold = [
+        Job::new("lat-chain4", chain(4), Cgra::square(2)),
+        Job::new("lat-fan5", fanout(), Cgra::new(1, 2)),
+    ];
+    for (i, job) in cold.iter().enumerate() {
+        let reply = client.map(&request_for(job, i as i64)).expect("map");
+        assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(false));
+    }
+    // …the same two again (memory hits)…
+    for (i, job) in cold.iter().enumerate() {
+        let reply = client.map(&request_for(job, 10 + i as i64)).expect("map");
+        assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+        assert!(reply.get("queue_us").and_then(Json::as_u64).is_some());
+    }
+    // …and one worker-path timeout: a 1 ms budget is admitted (not yet
+    // expired) but cannot survive a cold chain-16 solve.
+    let mut slow = request_for(&Job::new("lat-slow", chain(16), Cgra::square(2)), 20);
+    slow.timeout_ms = Some(1);
+    let reply = client.map(&slow).expect("map");
+    let result = reply.get("result").expect("result");
+    assert_eq!(result.get("kind").and_then(Json::as_str), Some("timeout"));
+
+    let stats = client.stats().expect("stats");
+    let latency = stats.get("latency").expect("latency block");
+    let count = |class: &str| {
+        latency
+            .get(class)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("latency.{class}.count in {stats}"))
+    };
+    assert_eq!(count("solved"), 2, "{stats}");
+    assert_eq!(count("memory_hit"), 2, "{stats}");
+    assert_eq!(count("timeout"), 1, "{stats}");
+    assert_eq!(count("persistent_hit"), 0, "{stats}");
+    assert_eq!(count("error"), 0, "{stats}");
+    assert_eq!(count("queue_wait"), 5, "every admitted request waits");
+    // Percentile sanity on a populated class: ordered and bounded by
+    // the recorded extremes.
+    let solved = latency.get("solved").expect("solved block");
+    let field = |key: &str| solved.get(key).and_then(Json::as_u64).expect("field");
+    assert!(field("p50_us") <= field("p90_us"));
+    assert!(field("p90_us") <= field("p99_us"));
+    assert!(field("min_us") <= field("p50_us") && field("p99_us") <= field("max_us").max(1));
+    // The legacy solves block still matches: 2 solved + 1 timeout.
+    assert_eq!(
+        stats
+            .get("solves")
+            .and_then(|s| s.get("count"))
+            .and_then(Json::as_u64),
+        Some(3),
+        "{stats}"
+    );
+    // Version is reported on both stats and health.
+    assert!(
+        stats.get("version").and_then(Json::as_str).is_some(),
+        "{stats}"
+    );
+    let health = client.health().expect("health");
+    assert!(
+        health.get("version").and_then(Json::as_str).is_some(),
+        "{health}"
+    );
+
+    shutdown(&addr, handle);
+}
+
+/// A daemon started with a trace directory records request and rung
+/// spans and drains them into a Perfetto-loadable Chrome trace file on
+/// a `trace` request.
+#[test]
+fn trace_endpoint_writes_a_chrome_trace_file() {
+    let trace_dir = TempDir::new("trace");
+    let (addr, handle) = start_server_with(ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        engine: EngineConfig::default(),
+        trace_dir: Some(trace_dir.0.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("client connect");
+
+    let job = Job::new("traced-chain5", chain(5), Cgra::square(2));
+    let reply = client.map(&request_for(&job, 1)).expect("map");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    let drained = client.trace().expect("trace");
+    assert_eq!(
+        drained.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{drained}"
+    );
+    assert!(
+        drained.get("events").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "{drained}"
+    );
+    let path = drained
+        .get("path")
+        .and_then(Json::as_str)
+        .expect("trace file path")
+        .to_string();
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let doc = satmapit_service::json::parse(&text).expect("trace file is strict JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let cats = |cat: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some(cat))
+            .count()
+    };
+    assert!(cats("rung") >= 1, "per-II rung spans in the trace");
+    assert!(cats("request") >= 1, "per-request span in the trace");
 
     shutdown(&addr, handle);
 }

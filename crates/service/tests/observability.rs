@@ -1,0 +1,102 @@
+//! Observability integration: exported Chrome traces parse with the
+//! service's strict JSON parser, and the flight recorder is a pure
+//! observer — turning it on changes no fingerprint and no answer.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::fingerprint::fingerprint;
+use satmapit_engine::{map_raced, EngineConfig};
+use satmapit_obs as obs;
+use satmapit_service::json::{parse, Json};
+use satmapit_service::wire::outcome_signature;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Tracing is process-global; every test that toggles it takes this
+/// gate so the parallel test runner cannot interleave drains.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sample_dfg() -> Dfg {
+    let mut dfg = Dfg::new("obs-sample");
+    let a = dfg.add_const(2);
+    let b = dfg.add_node(Op::Add);
+    dfg.add_edge(a, b, 0);
+    dfg.add_back_edge(b, b, 1, 1, 0);
+    dfg
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_service_json_parser() {
+    let _gate = serial();
+    obs::trace::set_enabled(true);
+    obs::trace::drain();
+    {
+        let track = obs::trace::allocate_tracks(1);
+        obs::trace::name_track(track, "sibling \"zero\"");
+        let _guard = obs::trace::push_track(track);
+        let mut span = obs::trace::Span::begin(obs::trace::Category::Rung, "rung ii=3");
+        span.arg("conflicts", 41);
+        span.arg_str("outcome", "unsat\nwith newline");
+    }
+    let events = obs::trace::drain();
+    obs::trace::set_enabled(false);
+    let text = obs::trace::export_chrome(&events);
+
+    let doc = parse(&text).expect("exported trace must be strict JSON");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let rung = trace_events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("rung ii=3"))
+        .expect("the recorded span survives the round trip");
+    assert_eq!(rung.get("ph").and_then(Json::as_str), Some("X"));
+    assert_eq!(rung.get("cat").and_then(Json::as_str), Some("rung"));
+    let args = rung.get("args").expect("args object");
+    assert_eq!(args.get("conflicts").and_then(Json::as_i64), Some(41));
+    assert_eq!(
+        args.get("outcome").and_then(Json::as_str),
+        Some("unsat\nwith newline")
+    );
+    // The track label (with its embedded quotes) survives as
+    // thread_name metadata.
+    assert!(trace_events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("thread_name")
+            && e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                == Some("sibling \"zero\"")
+    }));
+}
+
+#[test]
+fn tracing_is_fingerprint_neutral_and_changes_no_answer() {
+    let _gate = serial();
+    let dfg = sample_dfg();
+    let cgra = Cgra::square(2);
+    let config = EngineConfig::default();
+
+    obs::trace::set_enabled(false);
+    let key_off = fingerprint(&dfg, &cgra, &config);
+    let answer_off = outcome_signature(&map_raced(&dfg, &cgra, &config));
+
+    obs::trace::set_enabled(true);
+    let key_on = fingerprint(&dfg, &cgra, &config);
+    let answer_on = outcome_signature(&map_raced(&dfg, &cgra, &config));
+    let events = obs::trace::drain();
+    obs::trace::set_enabled(false);
+
+    assert_eq!(key_off, key_on, "tracing must never enter a cache key");
+    assert_eq!(answer_off, answer_on, "tracing must never change an answer");
+    // And the traced run actually recorded its ladder: at least one
+    // rung span with the solve's counters.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == obs::Category::Rung && e.name.starts_with("rung ii=")),
+        "a traced solve records rung spans"
+    );
+}

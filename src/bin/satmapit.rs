@@ -19,6 +19,7 @@ use sat_mapit::core::{codegen, Mapper, MapperConfig};
 use sat_mapit::dfg::dot::to_dot;
 use sat_mapit::engine::{Engine, EngineConfig, Job, ShareConfig};
 use sat_mapit::kernels;
+use sat_mapit::obs;
 use sat_mapit::schedule::{mii, rec_mii, res_mii};
 use sat_mapit::service::wire::{self, MapRequest};
 use sat_mapit::service::{Client, Json, Server, ServerConfig};
@@ -434,14 +435,19 @@ fn cmd_batch(args: &[String]) {
         FlagSpec {
             name: "--stats",
             takes_value: false,
-            help: "Print full cache statistics (hits/misses, proven-bound ladder starts) after the run",
+            help: "Print full cache statistics (hits/misses, proven-bound ladder starts) and per-outcome latency percentiles after the run",
+        },
+        FlagSpec {
+            name: "--trace",
+            takes_value: true,
+            help: "Record a flight-recorder trace of the run and write it as Chrome trace JSON (open in Perfetto)",
         },
         SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--share] [--repeat R] [--stats] [--no-incremental]",
+        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--share] [--repeat R] [--stats] [--trace FILE] [--no-incremental]",
         "Map the benchmark suite across mesh sizes through the parallel\nII-race engine, with content-hash result caching.",
         &spec,
     );
@@ -495,6 +501,11 @@ fn cmd_batch(args: &[String]) {
         }
     }
 
+    let trace_path = parsed.value("--trace").map(std::path::PathBuf::from);
+    if trace_path.is_some() {
+        obs::trace::set_enabled(true);
+    }
+
     let engine = Engine::new(config);
     println!(
         "batch: {} jobs ({} kernels x {} sizes), {} worker threads, race width {}, portfolio {}",
@@ -507,6 +518,11 @@ fn cmd_batch(args: &[String]) {
     );
 
     let mut any_failed = false;
+    // Per-outcome latency histograms over every item of every round:
+    // the same classes the daemon's `stats` response reports.
+    let mut lat_hit = obs::Histogram::new();
+    let mut lat_solved = obs::Histogram::new();
+    let mut lat_timeout = obs::Histogram::new();
     for round in 0..repeat {
         if repeat > 1 {
             println!("--- round {} ---", round + 1);
@@ -520,6 +536,17 @@ fn cmd_batch(args: &[String]) {
         );
         let mut failures = 0usize;
         for item in &items {
+            let elapsed_us = item.elapsed.as_micros() as u64;
+            if item.cached {
+                lat_hit.record(elapsed_us);
+            } else if matches!(
+                item.outcome.outcome.result,
+                Err(sat_mapit::core::MapFailure::Timeout { .. })
+            ) {
+                lat_timeout.record(elapsed_us);
+            } else {
+                lat_solved.record(elapsed_us);
+            }
             let ii = match item.outcome.ii() {
                 Some(ii) => ii.to_string(),
                 None => {
@@ -585,6 +612,42 @@ fn cmd_batch(args: &[String]) {
                 stats.shared_dropped
             );
         }
+        println!("\nlatency by outcome (us)");
+        println!(
+            "  {:<12} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "class", "count", "p50", "p90", "p99", "max"
+        );
+        for (class, hist) in [
+            ("cache_hit", &lat_hit),
+            ("solved", &lat_solved),
+            ("timeout", &lat_timeout),
+        ] {
+            let snap = hist.snapshot();
+            println!(
+                "  {:<12} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                class, snap.count, snap.p50, snap.p90, snap.p99, snap.max
+            );
+        }
+    }
+    if let Some(path) = &trace_path {
+        let events = obs::trace::drain();
+        let rungs = events
+            .iter()
+            .filter(|e| e.cat == obs::Category::Rung)
+            .count();
+        match std::fs::write(path, obs::trace::export_chrome(&events)) {
+            Ok(()) => println!(
+                "trace: {} events ({} rung spans, {} dropped) -> {}",
+                events.len(),
+                rungs,
+                obs::trace::dropped(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                exit(1);
+            }
+        }
     }
     if any_failed {
         exit(1);
@@ -628,12 +691,22 @@ fn cmd_serve(args: &[String]) {
             takes_value: true,
             help: "Solver-portfolio variants per II (default 1)",
         },
+        FlagSpec {
+            name: "--trace-dir",
+            takes_value: true,
+            help: "Enable the flight recorder; `trace` requests drain spans into Chrome trace files in this directory",
+        },
+        FlagSpec {
+            name: "--slow-ms",
+            takes_value: true,
+            help: "Log the per-II ladder of any solve slower than this many milliseconds (default: off)",
+        },
         SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--share] [--no-incremental]",
+        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--share] [--trace-dir DIR] [--slow-ms N] [--no-incremental]",
         "Run the mapping daemon: line-delimited JSON requests over TCP, a\nbounded admission queue over the parallel engine, and result/bound\ncaches persisted to --cache-dir across restarts.\n\nProtocol reference: docs/service.md. Stop it with\n`echo '{\"op\":\"shutdown\"}' | nc HOST PORT` or a `shutdown` request\nfrom any client; shutdown compacts the on-disk caches.",
         &spec,
     );
@@ -662,6 +735,10 @@ fn cmd_serve(args: &[String]) {
             share: share_flag(&parsed),
         },
         cache_dir: parsed.value("--cache-dir").map(std::path::PathBuf::from),
+        trace_dir: parsed.value("--trace-dir").map(std::path::PathBuf::from),
+        slow_solve: parsed
+            .value("--slow-ms")
+            .map(|_| Duration::from_millis(parsed.parse_num("--slow-ms", 0u64))),
         panic_on_name: None,
     };
 

@@ -23,6 +23,7 @@
 //! | [`baselines`] | `satmapit-baselines` | RAMP-like and PathSeeker-like mappers |
 //! | [`kernels`] | `satmapit-kernels` | the 11 MiBench/Rodinia benchmark DFGs |
 //! | [`service`] | `satmapit-service` | mapping daemon: JSON-over-TCP protocol, persistent caches |
+//! | [`obs`] | `satmapit-obs` | flight-recorder tracing, latency histograms, structured logging |
 //!
 //! ## Parallel mapping
 //!
@@ -73,6 +74,7 @@ pub use satmapit_dfg as dfg;
 pub use satmapit_engine as engine;
 pub use satmapit_graphs as graphs;
 pub use satmapit_kernels as kernels;
+pub use satmapit_obs as obs;
 pub use satmapit_regalloc as regalloc;
 pub use satmapit_sat as sat;
 pub use satmapit_schedule as schedule;
