@@ -10,10 +10,18 @@
 //! Timings are machine-local; the paper's shape (who wins, where the
 //! crossovers fall) is the reproduction target, not absolute seconds.
 
+#![forbid(unsafe_code)]
+
 use satmapit_bench::{report, run_grid, GridConfig};
+use satmapit_obs as obs;
 use std::time::Duration;
 
 fn main() {
+    // Progress lines go through obs at info level; keep them visible by
+    // default unless the user asked for a specific filter.
+    if std::env::var("SATMAPIT_LOG").is_err() {
+        obs::log::set_filter("info");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
     let mut config = GridConfig::default();
@@ -103,6 +111,7 @@ fn main() {
             dump(&cells, out_dir.as_deref());
         }
         other => {
+            // lint: allow(log-discipline) -- usage errors are stderr's contract
             eprintln!("unknown command `{other}`; use figure6|table|summary|all");
             std::process::exit(2);
         }
@@ -114,5 +123,5 @@ fn dump(cells: &[satmapit_bench::Cell], out_dir: Option<&str>) {
     std::fs::create_dir_all(dir).expect("create out dir");
     let path = format!("{dir}/cells.csv");
     std::fs::write(&path, report::to_csv(cells)).expect("write csv");
-    eprintln!("[repro] wrote {path}");
+    obs::info!("satmapit::bench::repro", "wrote {path}");
 }

@@ -12,10 +12,13 @@
 //! not mean: scheduling noise only ever adds time). Run on an idle
 //! machine in `--release`.
 
+#![forbid(unsafe_code)]
+
 use satmapit_cgra::Cgra;
 use satmapit_core::{Mapper, MapperConfig};
 use satmapit_engine::{map_raced, EngineConfig, ShareConfig};
 use satmapit_kernels::Kernel;
+use satmapit_obs as obs;
 use satmapit_obs::Histogram;
 use satmapit_sat::SolveLimits;
 use std::fmt::Write as _;
@@ -178,6 +181,11 @@ fn time_portfolio_once(set: &[Kernel], cgra: &Cgra, share: ShareConfig) -> (f64,
 }
 
 fn main() {
+    // Progress tables go through obs at info level; keep them visible by
+    // default unless the user asked for a specific filter.
+    if std::env::var("SATMAPIT_LOG").is_err() {
+        obs::log::set_filter("info");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut reps: u32 = 3;
     let mut out = String::from("BENCH_solver.json");
@@ -196,6 +204,7 @@ fn main() {
                 out = args.get(i).expect("--out takes a path").clone();
             }
             other => {
+                // lint: allow(log-discipline) -- usage errors are stderr's contract
                 eprintln!("usage: solver_bench [--reps N] [--out PATH] (got {other:?})");
                 std::process::exit(2);
             }
@@ -223,7 +232,12 @@ fn main() {
         let variant_set = variants();
         let (minima, latencies) = time_variants(set, &cgra, &variant_set, reps);
         for (vi, (variant, &ms)) in variant_set.iter().zip(&minima).enumerate() {
-            eprintln!("{grid_label:24} {:24} {:>9.1} ms", variant.label, ms);
+            obs::info!(
+                "satmapit::bench::solver",
+                "{grid_label:24} {:24} {:>9.1} ms",
+                variant.label,
+                ms
+            );
             let sep = if vi == 0 { "" } else { ", " };
             let _ = write!(json, "{sep}\"{}\": {}", variant.label, json_num(ms));
         }
@@ -245,9 +259,12 @@ fn main() {
         let _ = writeln!(json, "    \"{grid_label}\": {{");
         for (vi, (label, hist)) in per_variant.iter().enumerate() {
             let snap = hist.snapshot();
-            eprintln!(
+            obs::info!(
+                "satmapit::bench::solver",
                 "{grid_label:24} {label:24} p50={:>8} us  p99={:>8} us  (n={})",
-                snap.p50, snap.p99, snap.count
+                snap.p50,
+                snap.p99,
+                snap.count
             );
             let sep = if vi + 1 == per_variant.len() { "" } else { "," };
             let _ = writeln!(
@@ -288,13 +305,18 @@ fn main() {
                 }
             }
         }
-        eprintln!(
+        obs::info!(
+            "satmapit::bench::solver",
             "portfolio_share_2x2      share_off                {:>9.1} ms",
             best[0]
         );
-        eprintln!(
+        obs::info!(
+            "satmapit::bench::solver",
             "portfolio_share_2x2      share_on                 {:>9.1} ms  (exported={} imported={} dropped={})",
-            best[1], last_traffic.exported, last_traffic.imported, last_traffic.dropped
+            best[1],
+            last_traffic.exported,
+            last_traffic.imported,
+            last_traffic.dropped
         );
         let _ = writeln!(
             json,
@@ -324,7 +346,8 @@ fn main() {
     for (ki, &(kernel, size)) in arena_cells.iter().enumerate() {
         let (ii, stats) = arena_after_ladder(kernel, &Cgra::square(size));
         let fraction = stats.arena_wasted as f64 / stats.arena_words.max(1) as f64;
-        eprintln!(
+        obs::info!(
+            "satmapit::bench::solver",
             "arena {:14} {size}x{size} ii={ii:<3} words={:<9} wasted={:<8} ({:.1} %) gc_runs={} lits_reclaimed={}",
             kernel.name(),
             stats.arena_words,
@@ -356,5 +379,5 @@ fn main() {
 
     std::fs::write(&out, &json).expect("write BENCH_solver.json");
     println!("{json}");
-    eprintln!("wrote {out}");
+    obs::info!("satmapit::bench::solver", "wrote {out}");
 }

@@ -20,6 +20,7 @@ use satmapit_baselines::{BaselineConfig, BaselineFailure, PathSeekerMapper, Ramp
 use satmapit_cgra::Cgra;
 use satmapit_core::{MapFailure, Mapper, MapperConfig};
 use satmapit_kernels::Kernel;
+use satmapit_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -194,7 +195,11 @@ pub fn run_grid(config: &GridConfig) -> Vec<Cell> {
                 MapperKind::Ramp,
                 MapperKind::PathSeeker,
             ] {
-                eprintln!("[grid] {name} {size}x{size} {}...", mapper.name());
+                obs::info!(
+                    "satmapit::bench",
+                    "[grid] {name} {size}x{size} {}...",
+                    mapper.name()
+                );
                 cells.push(run_cell(&kernel, &cgra, mapper, config));
             }
         }

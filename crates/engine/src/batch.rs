@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::fingerprint::{fingerprint, problem_fingerprint, Fingerprint};
@@ -188,6 +188,16 @@ struct Persistence {
     warnings: Vec<String>,
 }
 
+/// Locks an engine-internal mutex, recovering from poison. Every
+/// structure behind these mutexes is mutated by single inserts/clears
+/// that leave it coherent even if the owning thread panics mid-solve,
+/// so a panicking worker must degrade to one failed request — never
+/// wedge the shared engine for every later caller (the lock-discipline
+/// invariant; see docs/lint.md).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Default for Engine {
     fn default() -> Engine {
         Engine::new(EngineConfig::default())
@@ -288,14 +298,14 @@ impl Engine {
     /// Cache occupancy and hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            entries: self.cache.lock().expect("cache poisoned").len(),
+            // ordering: every atomic load below reads an independent,
+            // monotone telemetry counter; the snapshot is advisory and
+            // needs no cross-counter consistency.
+            entries: lock(&self.cache).len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            bound_entries: self.bounds.lock().expect("bounds poisoned").len(),
-            persistent_entries: self
-                .persist
-                .as_ref()
-                .map_or(0, |p| p.loaded.lock().expect("loaded poisoned").len()),
+            bound_entries: lock(&self.bounds).len(),
+            persistent_entries: self.persist.as_ref().map_or(0, |p| lock(&p.loaded).len()),
             persistent_hits: self.persistent_hits.load(Ordering::Relaxed),
             bound_starts: self.bound_starts.load(Ordering::Relaxed),
             gc_runs: self.gc_runs.load(Ordering::Relaxed),
@@ -310,13 +320,15 @@ impl Engine {
     /// Drops every cached result and every proven II bound (in memory
     /// only; on-disk stores keep their records until the next compaction).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache poisoned").clear();
-        self.bounds.lock().expect("bounds poisoned").clear();
+        lock(&self.cache).clear();
+        lock(&self.bounds).clear();
         if let Some(persist) = &self.persist {
             // Keys re-solved after a clear are fresh work, not replays of
             // the on-disk store; they must not report as persistent hits.
-            persist.loaded.lock().expect("loaded poisoned").clear();
+            lock(&persist.loaded).clear();
             // The stores no longer match the (now empty) live set.
+            // ordering: dirty is a single advisory flag read at drop;
+            // nothing synchronizes through it.
             persist.dirty.store(true, Ordering::Relaxed);
         }
     }
@@ -335,12 +347,6 @@ impl Engine {
         let Some(persist) = &self.persist else {
             return Ok(());
         };
-        // Poisoned locks still hold coherent data (every mutation here is a
-        // single insert); recovering them matters because compaction also
-        // runs from `drop`, where a second panic would abort.
-        fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-        }
         {
             let cache = lock(&self.cache);
             let mut payloads: Vec<(Fingerprint, Vec<u8>)> = cache
@@ -377,6 +383,7 @@ impl Engine {
             )?;
             *appender = Appender::open(&persist.dir.join(persist::BOUNDS_FILE), StoreKind::Bounds)?;
         }
+        // ordering: same advisory dirty flag as in clear_cache.
         persist.dirty.store(false, Ordering::Relaxed);
         Ok(())
     }
@@ -386,11 +393,7 @@ impl Engine {
     /// at every II).
     pub fn proven_bound(&self, dfg: &Dfg, cgra: &Cgra) -> Option<u32> {
         let key = problem_fingerprint(dfg, cgra, &self.config.mapper);
-        self.bounds
-            .lock()
-            .expect("bounds poisoned")
-            .get(&key)
-            .copied()
+        lock(&self.bounds).get(&key).copied()
     }
 
     /// Maps one request, serving it from the cache when possible. Returns
@@ -409,22 +412,19 @@ impl Engine {
     pub fn lookup_cached(&self, dfg: &Dfg, cgra: &Cgra) -> Option<Served> {
         let key = fingerprint(dfg, cgra, &self.config);
         let mut span = obs::trace::Span::begin(obs::trace::Category::Persist, "cache_probe");
-        let hit = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .get(&key)
-            .map(Arc::clone);
+        let hit = lock(&self.cache).get(&key).map(Arc::clone);
         let Some(hit) = hit else {
             span.arg("hit", 0);
             return None;
         };
+        // ordering: monotone telemetry counter; Relaxed suffices.
         self.hits.fetch_add(1, Ordering::Relaxed);
         let persistent = self
             .persist
             .as_ref()
-            .is_some_and(|p| p.loaded.lock().expect("loaded poisoned").contains(&key));
+            .is_some_and(|p| lock(&p.loaded).contains(&key));
         if persistent {
+            // ordering: monotone telemetry counter; Relaxed suffices.
             self.persistent_hits.fetch_add(1, Ordering::Relaxed);
         }
         span.arg("hit", 1);
@@ -458,13 +458,15 @@ impl Engine {
         deadline: Option<Instant>,
     ) -> Served {
         loop {
-            if let Some(hit) = self.cache.lock().expect("cache poisoned").get(&key) {
+            if let Some(hit) = lock(&self.cache).get(&key) {
+                // ordering: monotone telemetry counter; Relaxed suffices.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let persistent = self
                     .persist
                     .as_ref()
-                    .is_some_and(|p| p.loaded.lock().expect("loaded poisoned").contains(&key));
+                    .is_some_and(|p| lock(&p.loaded).contains(&key));
                 if persistent {
+                    // ordering: monotone telemetry counter.
                     self.persistent_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 if obs::trace::enabled() {
@@ -493,7 +495,7 @@ impl Engine {
             // and re-read the cache (its result lands there unless it was
             // transient, in which case we take over).
             {
-                let mut inflight = self.inflight.lock().expect("inflight poisoned");
+                let mut inflight = lock(&self.inflight);
                 if inflight.contains(&key) {
                     // A follower whose own deadline has passed must not
                     // keep waiting on a leader with a laxer budget: fall
@@ -507,7 +509,7 @@ impl Engine {
                     let _wait = self
                         .inflight_cv
                         .wait_timeout(inflight, Duration::from_millis(50))
-                        .expect("inflight poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
                 inflight.insert(key);
@@ -521,11 +523,7 @@ impl Engine {
             }
             impl Drop for InflightGuard<'_> {
                 fn drop(&mut self) {
-                    self.engine
-                        .inflight
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .remove(&self.key);
+                    lock(&self.engine.inflight).remove(&self.key);
                     self.engine.inflight_cv.notify_all();
                 }
             }
@@ -557,27 +555,28 @@ impl Engine {
         // were already answered Unsat (possibly by a differently-configured
         // or timed-out run), so the race starts above them.
         let problem_key = problem_fingerprint(dfg, cgra, &config.mapper);
-        let known_bound = self
-            .bounds
-            .lock()
-            .expect("bounds poisoned")
-            .get(&problem_key)
-            .copied();
+        let known_bound = lock(&self.bounds).get(&problem_key).copied();
         if known_bound.is_some() {
+            // ordering: monotone telemetry counter; Relaxed suffices.
             self.bound_starts.fetch_add(1, Ordering::Relaxed);
         }
         let outcome = Arc::new(map_raced_with_bound(dfg, cgra, &config, known_bound));
+        // ordering: monotone telemetry counter; Relaxed suffices.
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.record_solver_telemetry(&outcome);
         self.record_bound(problem_key, known_bound, &outcome);
         // Wall-clock-dependent failures are not memoized: a timed-out job
         // resubmitted later (idler machine, luckier race) deserves a fresh
-        // solve. Everything else — successes and deterministic failures —
-        // is cached; the first insert wins so concurrent solvers of the
-        // same key still leave later lookups byte-identical.
+        // solve. Internal failures (a panicking worker, caught and
+        // isolated by the race) are likewise transient — memoizing one
+        // would pin a crash report into the cache forever. Everything
+        // else — successes and deterministic failures — is cached; the
+        // first insert wins so concurrent solvers of the same key still
+        // leave later lookups byte-identical.
         let transient = matches!(
             outcome.outcome.result,
             Err(satmapit_core::MapFailure::Timeout { .. })
+                | Err(satmapit_core::MapFailure::Internal(_))
         );
         if transient {
             return Served {
@@ -588,7 +587,7 @@ impl Engine {
             };
         }
         let shared = {
-            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut cache = lock(&self.cache);
             Arc::clone(cache.entry(key).or_insert_with(|| Arc::clone(&outcome)))
         };
         // Only the winning insert reaches the store — a lane that lost the
@@ -599,12 +598,9 @@ impl Engine {
                     obs::trace::Span::begin(obs::trace::Category::Persist, "persist_result");
                 let record = persist::encode_result_record(key, &shared);
                 span.arg("bytes", record.len() as i64);
-                let result = persist
-                    .results
-                    .lock()
-                    .expect("results appender poisoned")
-                    .append(&record);
+                let result = lock(&persist.results).append(&record);
                 match result {
+                    // ordering: advisory dirty flag, read at drop.
                     Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
                     Err(e) => {
                         span.arg_str("error", "append_failed");
@@ -638,26 +634,33 @@ impl Engine {
                 wasted_peak = wasted_peak.max(stats.arena_wasted);
             }
         }
+        // ordering: all telemetry folds below are independent monotone
+        // counters (fetch_max for the peak); nothing synchronizes
+        // through them, so Relaxed is exactly right.
         if gc_runs > 0 {
-            self.gc_runs.fetch_add(gc_runs, Ordering::Relaxed);
+            self.gc_runs.fetch_add(gc_runs, Ordering::Relaxed); // ordering: see above
         }
         if lits > 0 {
-            self.lits_reclaimed.fetch_add(lits, Ordering::Relaxed);
+            self.lits_reclaimed.fetch_add(lits, Ordering::Relaxed); // ordering: see above
         }
-        self.arena_wasted.fetch_max(wasted_peak, Ordering::Relaxed);
+        self.arena_wasted.fetch_max(wasted_peak, Ordering::Relaxed); // ordering: see above
+
         // Share traffic comes from the race-level sums, not the attempt
         // trace: cancelled siblings (whose attempts never reach the
         // trace) are where most exports happen.
         let race = &outcome.stats;
         if race.shared_exported > 0 {
+            // ordering: monotone telemetry counter.
             self.shared_exported
                 .fetch_add(race.shared_exported, Ordering::Relaxed);
         }
         if race.shared_imported > 0 {
+            // ordering: monotone telemetry counter.
             self.shared_imported
                 .fetch_add(race.shared_imported, Ordering::Relaxed);
         }
         if race.shared_dropped > 0 {
+            // ordering: monotone telemetry counter.
             self.shared_dropped
                 .fetch_add(race.shared_dropped, Ordering::Relaxed);
         }
@@ -701,7 +704,7 @@ impl Engine {
             return; // nothing new proven
         }
         let improved = {
-            let mut bounds = self.bounds.lock().expect("bounds poisoned");
+            let mut bounds = lock(&self.bounds);
             let entry = bounds.entry(problem_key).or_insert(0);
             if proven > *entry {
                 *entry = proven;
@@ -716,12 +719,9 @@ impl Engine {
                     obs::trace::Span::begin(obs::trace::Category::Persist, "persist_bound");
                 span.arg("proven_ii", i64::from(proven));
                 let record = persist::encode_bound_record(problem_key, proven);
-                let result = persist
-                    .bounds
-                    .lock()
-                    .expect("bounds appender poisoned")
-                    .append(&record);
+                let result = lock(&persist.bounds).append(&record);
                 match result {
+                    // ordering: advisory dirty flag, read at drop.
                     Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
                     Err(e) => {
                         span.arg_str("error", "append_failed");
@@ -769,6 +769,9 @@ impl Engine {
         std::thread::scope(|scope| {
             for _ in 0..lanes {
                 scope.spawn(|| loop {
+                    // ordering: a work-stealing ticket counter; each slot
+                    // is claimed exactly once and the result handoff
+                    // happens through the per-slot mutex, not this atomic.
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     if slot >= unique.len() {
                         return;
@@ -778,17 +781,14 @@ impl Engine {
                     let t0 = Instant::now();
                     let served =
                         self.map_keyed(keys[index], &job.dfg, &job.cgra, inner_workers, None);
-                    *solved[slot].lock().expect("result slot poisoned") =
-                        Some((served.outcome, served.cached, t0.elapsed()));
+                    *lock(&solved[slot]) = Some((served.outcome, served.cached, t0.elapsed()));
                 });
             }
         });
 
         let mut by_key: HashMap<Fingerprint, Solved> = HashMap::with_capacity(unique.len());
         for (slot, &index) in unique.iter().enumerate() {
-            let result = solved[slot]
-                .lock()
-                .expect("result slot poisoned")
+            let result = lock(&solved[slot])
                 .clone()
                 .expect("every unique slot was visited");
             by_key.insert(keys[index], result);
@@ -801,11 +801,13 @@ impl Engine {
                 let (outcome, cached, elapsed) = by_key[&key].clone();
                 // A duplicate of an earlier job in the same batch is a hit
                 // by construction and took no solve time of its own —
-                // except for transient (timed-out) results, which the
-                // cache refuses to hold and a resubmission would re-solve.
+                // except for transient (timed-out or internally failed)
+                // results, which the cache refuses to hold and a
+                // resubmission would re-solve.
                 let transient = matches!(
                     outcome.outcome.result,
                     Err(satmapit_core::MapFailure::Timeout { .. })
+                        | Err(satmapit_core::MapFailure::Internal(_))
                 );
                 BatchItem {
                     name: job.name.clone(),
@@ -830,6 +832,8 @@ impl Drop for Engine {
         let dirty = self
             .persist
             .as_ref()
+            // ordering: advisory dirty flag; by drop time no other
+            // thread holds the engine, so there is nothing to order.
             .is_some_and(|p| p.dirty.load(Ordering::Relaxed));
         if dirty {
             if let Err(e) = self.compact_persistent() {

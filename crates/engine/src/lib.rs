@@ -119,6 +119,12 @@ pub struct EngineConfig {
     /// Learnt-clause sharing between portfolio siblings (off by
     /// default).
     pub share: ShareConfig,
+    /// Test-only fault injection: race workers panic while attempting a
+    /// DFG with exactly this name, exercising the engine's
+    /// panic-isolation path. `None` (always, outside tests) is
+    /// free of overhead.
+    #[doc(hidden)]
+    pub panic_on_name: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +135,7 @@ impl Default for EngineConfig {
             portfolio: 1,
             workers: 0,
             share: ShareConfig::off(),
+            panic_on_name: None,
         }
     }
 }

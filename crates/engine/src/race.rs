@@ -52,8 +52,9 @@ use satmapit_obs as obs;
 use satmapit_sat::encode::AmoEncoding;
 use satmapit_sat::{ShareHandle, SharePool, SolveLimits};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::{EngineConfig, ShareConfig};
@@ -243,6 +244,9 @@ impl RaceState {
         for (&open_ii, open) in &self.open {
             if open_ii >= ii {
                 for stop in &open.stops {
+                    // ordering: one-way cancel latch polled at solver
+                    // restart boundaries; no data rides on it, a stale
+                    // read just delays the cooperative abort one poll.
                     stop.store(true, Ordering::Relaxed);
                 }
             }
@@ -252,6 +256,7 @@ impl RaceState {
     fn cancel_ii(&mut self, ii: u32) {
         if let Some(open) = self.open.get(&ii) {
             for stop in &open.stops {
+                // ordering: same one-way cancel latch as above.
                 stop.store(true, Ordering::Relaxed);
             }
         }
@@ -341,15 +346,39 @@ struct Shared {
     cv: Condvar,
 }
 
+impl Shared {
+    /// Locks the race state, recovering from poison: the state is a set
+    /// of counters and per-II records that stay coherent under every
+    /// partial update, and a panicking sibling must degrade to a
+    /// per-request error — never wedge the race for the surviving
+    /// workers.
+    fn lock_state(&self) -> MutexGuard<'_, RaceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Renders a `catch_unwind` payload for the [`MapFailure::Internal`]
+/// message (panics carry `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker(
     shared: &Shared,
     variants: &[PreparedMapper<'_>],
     limits_proto: &SolveLimits,
     trace_base: Option<u64>,
+    inject_panic: bool,
 ) {
     loop {
         let task = {
-            let mut state = shared.state.lock().expect("race state poisoned");
+            let mut state = shared.lock_state();
             loop {
                 if state.finished() {
                     drop(state);
@@ -364,7 +393,7 @@ fn worker(
                 state = shared
                     .cv
                     .wait_timeout(state, Duration::from_millis(25))
-                    .expect("race state poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .0;
             }
         };
@@ -384,12 +413,32 @@ fn worker(
         );
         span.arg("ii", i64::from(task.ii));
         span.arg("variant", task.variant as i64);
-        let result = variants[task.variant].attempt_ii(task.ii, &limits);
+        // A panicking attempt (a solver bug, or the injected test fault)
+        // must cost exactly one task, not the whole engine: catch the
+        // unwind here — before it can poison the shared state or tear
+        // down the scoped-thread pool — and record it as an `Internal`
+        // failure for this request.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected race-worker fault (panic_on_name)");
+            }
+            variants[task.variant].attempt_ii(task.ii, &limits)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(MapFailure::Internal(format!(
+                "race worker panicked at ii={} variant={}: {}",
+                task.ii,
+                task.variant,
+                panic_message(payload.as_ref())
+            )))
+        });
         if span.active() {
+            // ordering: advisory cancel latch; a stale read only mislabels
+            // the trace span, it never affects the result.
             span.arg("cancelled", i64::from(task.stop.load(Ordering::Relaxed)));
         }
         drop(span);
-        let mut state = shared.state.lock().expect("race state poisoned");
+        let mut state = shared.lock_state();
         state.record(&task, result);
         drop(state);
         shared.cv.notify_all();
@@ -506,13 +555,20 @@ pub fn map_raced_with_bound(
         base
     });
 
+    // Test-only fault injection: make this loop's attempts panic inside
+    // the workers, exercising the catch-unwind path end to end.
+    let inject_panic = config.panic_on_name.as_deref() == Some(dfg.name());
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker(&shared, &variants, &limits_proto, trace_base));
+            scope.spawn(|| worker(&shared, &variants, &limits_proto, trace_base, inject_panic));
         }
     });
 
-    let mut state = shared.state.into_inner().expect("race state poisoned");
+    let mut state = shared
+        .state
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let elapsed = t0.elapsed();
     let stats = RaceStats {
         workers,

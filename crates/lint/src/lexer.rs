@@ -1,0 +1,543 @@
+//! A token-level Rust lexer — the foundation every lint walks.
+//!
+//! Regex-over-source linting breaks on exactly the inputs that matter:
+//! a `".lock().unwrap()"` inside a string literal, a `//` inside a raw
+//! string, a nested `/* /* */ */` block comment, a lifetime `'a` that a
+//! naive scanner reads as an unterminated char literal. This lexer
+//! resolves all of those the way `rustc`'s own lexer does, so the lints
+//! above it can match on *tokens* and never on raw text:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as tokens so waiver/justification comments
+//!   stay visible to the lints;
+//! * string-ish literals: `"…"` with escapes, `b"…"`, `c"…"`, and raw
+//!   forms `r"…"` / `r#"…"#` / `br##"…"##` with any hash depth;
+//! * char literals (`'x'`, `'\n'`, `'\u{1F600}'`, `b'\0'`) vs
+//!   lifetimes (`'a`, `'static`) — disambiguated by lookahead, the one
+//!   place Rust's lexical grammar needs it;
+//! * identifiers (including raw `r#match`), numbers (with underscores,
+//!   type suffixes, exponents — and without eating the `..` of `0..n`),
+//!   and single-character punctuation.
+//!
+//! Tokens carry byte spans and 1-based line numbers; concatenating the
+//! spans plus the whitespace between them reconstructs the input
+//! exactly (property-tested), which is what makes the lexer trustworthy
+//! as a *reporting* substrate: a finding's line number is the real one.
+
+/// What a token is, at the granularity the lints need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (not a char literal).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Any string-ish literal: `"…"`, `b"…"`, `c"…"`, `r#"…"#`, …
+    Str,
+    /// A numeric literal (integer or float, suffixes included).
+    Number,
+    /// One punctuation character (`.`, `:`, `{`, …). Multi-character
+    /// operators arrive as consecutive tokens; the lints don't need
+    /// them joined.
+    Punct,
+    /// A `//` comment, text up to (not including) the newline.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One lexed token: kind, byte span into the source, 1-based line of its
+/// first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Is this token a comment (line or block)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    /// Advances one byte, counting newlines. Multi-byte UTF-8 sequences
+    /// are advanced byte-wise; none of their continuation bytes can be
+    /// mistaken for ASCII, so the state machine stays correct.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Whitespace is skipped (it is recoverable as
+/// the gaps between spans); everything else becomes exactly one token.
+/// Unterminated literals and comments extend to end-of-input rather
+/// than panicking — a linter must survive any byte soup it is handed.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cursor = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cursor.peek() {
+        let start = cursor.pos;
+        let line = cursor.line;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cursor.bump();
+                continue;
+            }
+            b'/' if cursor.peek_at(1) == Some(b'/') => {
+                cursor.eat_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if cursor.peek_at(1) == Some(b'*') => {
+                lex_block_comment(&mut cursor);
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lex_string(&mut cursor);
+                TokenKind::Str
+            }
+            b'\'' => lex_quote(&mut cursor),
+            b'r' | b'b' | b'c' if starts_prefixed_literal(&cursor) => {
+                lex_prefixed_literal(&mut cursor)
+            }
+            _ if is_ident_start(b) => {
+                cursor.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cursor);
+                TokenKind::Number
+            }
+            _ => {
+                cursor.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cursor.pos,
+            line,
+        });
+    }
+    tokens
+}
+
+/// At `/*`: consumes the whole comment, honouring nesting.
+fn lex_block_comment(cursor: &mut Cursor<'_>) {
+    cursor.bump(); // '/'
+    cursor.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cursor.peek(), cursor.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cursor.bump();
+                cursor.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cursor.bump();
+                cursor.bump();
+            }
+            (Some(_), _) => cursor.bump(),
+            (None, _) => break, // unterminated: extends to EOF
+        }
+    }
+}
+
+/// At `"`: consumes a (non-raw) string literal, escapes respected.
+fn lex_string(cursor: &mut Cursor<'_>) {
+    cursor.bump(); // opening quote
+    while let Some(b) = cursor.peek() {
+        match b {
+            b'\\' => {
+                cursor.bump();
+                if cursor.peek().is_some() {
+                    cursor.bump(); // the escaped byte, whatever it is
+                }
+            }
+            b'"' => {
+                cursor.bump();
+                return;
+            }
+            _ => cursor.bump(),
+        }
+    }
+}
+
+/// Does the cursor sit on a string/char literal prefix (`r"`, `r#"`,
+/// `b"`, `b'`, `br#"`, `c"`, …) rather than a plain identifier starting
+/// with that letter? Also recognises raw identifiers `r#ident` (which
+/// are *not* literals but need the `r#` consumed as part of the ident).
+fn starts_prefixed_literal(cursor: &Cursor<'_>) -> bool {
+    let b0 = cursor.peek();
+    let b1 = cursor.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r' | b'c'), Some(b'"')) | (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'r'), Some(b'#')) => true, // raw string OR raw identifier
+        (Some(b'b'), Some(b'r')) if matches!(cursor.peek_at(2), Some(b'"' | b'#')) => true,
+        _ => false,
+    }
+}
+
+/// At a literal prefix (per [`starts_prefixed_literal`]): consumes the
+/// whole literal and returns its kind. `r#ident` is disambiguated from
+/// `r#"…"#` here and lexed as an identifier.
+fn lex_prefixed_literal(cursor: &mut Cursor<'_>) -> TokenKind {
+    let first = cursor.peek();
+    if first == Some(b'b') && cursor.peek_at(1) == Some(b'\'') {
+        cursor.bump(); // 'b'
+        lex_char_literal(cursor);
+        return TokenKind::Char;
+    }
+    if first == Some(b'b') && cursor.peek_at(1) == Some(b'"') {
+        cursor.bump();
+        lex_string(cursor);
+        return TokenKind::Str;
+    }
+    if matches!(first, Some(b'r' | b'c')) && cursor.peek_at(1) == Some(b'"') {
+        cursor.bump();
+        if first == Some(b'r') {
+            lex_raw_string(cursor);
+        } else {
+            lex_string(cursor);
+        }
+        return TokenKind::Str;
+    }
+    // `r#…`: raw string if a quote follows the hashes, raw ident if an
+    // identifier character does.
+    if first == Some(b'r') && cursor.peek_at(1) == Some(b'#') {
+        let mut hashes = 0;
+        while cursor.peek_at(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cursor.peek_at(1 + hashes) == Some(b'"') {
+            cursor.bump(); // 'r'
+            lex_raw_string(cursor);
+            return TokenKind::Str;
+        }
+        cursor.bump(); // 'r'
+        cursor.bump(); // '#'
+        cursor.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    // `br…`
+    cursor.bump(); // 'b'
+    cursor.bump(); // 'r'
+    lex_raw_string(cursor);
+    TokenKind::Str
+}
+
+/// At the `#`s or `"` of a raw string body (the `r`/`br` prefix already
+/// consumed): counts the hashes, then scans for `"` followed by that
+/// many hashes. No escapes inside.
+fn lex_raw_string(cursor: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cursor.peek() == Some(b'#') {
+        hashes += 1;
+        cursor.bump();
+    }
+    if cursor.peek() != Some(b'"') {
+        return; // malformed; leave the rest to ordinary lexing
+    }
+    cursor.bump(); // opening quote
+    while let Some(b) = cursor.peek() {
+        cursor.bump();
+        if b == b'"' {
+            let mut matched = 0usize;
+            while matched < hashes && cursor.peek() == Some(b'#') {
+                cursor.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// At `'`: the classic fork. `'a'` is a char literal; `'a` (no closing
+/// quote after one identifier) is a lifetime. Escaped contents (`'\n'`,
+/// `'\''`) are always char literals.
+fn lex_quote(cursor: &mut Cursor<'_>) -> TokenKind {
+    // Lookahead without consuming: quote, then…
+    match cursor.peek_at(1) {
+        // `'\…'`: escape ⇒ char literal.
+        Some(b'\\') => {
+            lex_char_literal(cursor);
+            TokenKind::Char
+        }
+        Some(b) if is_ident_start(b) => {
+            // Scan the identifier run after the quote.
+            let mut offset = 2;
+            while cursor.peek_at(offset).is_some_and(is_ident_continue) {
+                offset += 1;
+            }
+            if cursor.peek_at(offset) == Some(b'\'') {
+                // `'x'`, `'é'` (multi-byte ident-continue run) — char.
+                lex_char_literal(cursor);
+                TokenKind::Char
+            } else {
+                // `'a`, `'static` — lifetime; consume quote + ident.
+                cursor.bump();
+                cursor.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        // `'.'`, `' '`, `'"'` … — single non-ident char ⇒ char literal.
+        Some(_) => {
+            lex_char_literal(cursor);
+            TokenKind::Char
+        }
+        None => {
+            cursor.bump();
+            TokenKind::Punct // stray trailing quote
+        }
+    }
+}
+
+/// At the opening `'` of a char literal: consumes through the closing
+/// quote (escapes respected; unterminated extends to end of line).
+fn lex_char_literal(cursor: &mut Cursor<'_>) {
+    cursor.bump(); // opening quote
+    while let Some(b) = cursor.peek() {
+        match b {
+            b'\\' => {
+                cursor.bump();
+                if cursor.peek().is_some() {
+                    cursor.bump();
+                }
+            }
+            b'\'' => {
+                cursor.bump();
+                return;
+            }
+            b'\n' => return, // unterminated; don't swallow the file
+            _ => cursor.bump(),
+        }
+    }
+}
+
+/// At a digit: consumes a numeric literal — digits, underscores, type
+/// suffixes, hex/oct/bin bodies, and a fractional part or exponent when
+/// present. Deliberately does *not* consume the `..` of `0..n`.
+fn lex_number(cursor: &mut Cursor<'_>) {
+    cursor.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // Fractional part: only if `.` is followed by a digit (so `0..n`
+    // and `1.method()` keep their dots).
+    if cursor.peek() == Some(b'.') && cursor.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        cursor.bump();
+        cursor.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // Exponent sign: `1e-3` leaves `eat_while` at the `-`.
+    if matches!(cursor.peek(), Some(b'+' | b'-'))
+        && cursor
+            .src
+            .as_bytes()
+            .get(cursor.pos.wrapping_sub(1))
+            .is_some_and(|b| matches!(b, b'e' | b'E'))
+        && cursor.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        cursor.bump();
+        cursor.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Number, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"call(".lock().unwrap()");"#;
+        let toks = kinds(src);
+        assert_eq!(toks[2], (TokenKind::Str, "\".lock().unwrap()\""));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "lock"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"x(r"a\", r#"b " b"#, br##"c "# c"##)"####;
+        let strs: Vec<&str> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            strs,
+            vec![r#"r"a\""#, r##"r#"b " b"#"##, r###"br##"c "# c"##"###]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(kinds("r#match"), vec![(TokenKind::Ident, "r#match")]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* x /* y */ z */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(
+            kinds("&'a str, 'x', '\\n', b'q', 'static"),
+            vec![
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Ident, "str"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Char, "'x'"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Char, "b'q'"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Lifetime, "'static"),
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_escape_char_is_not_a_lifetime() {
+        assert_eq!(kinds("'\\''"), vec![(TokenKind::Char, "'\\''")]);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_stay_strings() {
+        let src = r#"let s = "// not a comment /* nor this";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .all(|(k, _)| !matches!(k, TokenKind::LineComment | TokenKind::BlockComment)));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_newline_aware() {
+        let src = "a\nb\n\n  c /* multi\nline */ d";
+        let toks = lex(src);
+        let by_text: Vec<(&str, u32)> = toks.iter().map(|t| (t.text(src), t.line)).collect();
+        assert_eq!(by_text[0], ("a", 1));
+        assert_eq!(by_text[1], ("b", 2));
+        assert_eq!(by_text[2], ("c", 4));
+        assert_eq!(by_text[4], ("d", 5)); // after the multi-line comment
+    }
+
+    #[test]
+    fn ranges_keep_their_dots() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "10"),
+            ]
+        );
+        assert_eq!(kinds("1.5e-3_f64"), vec![(TokenKind::Number, "1.5e-3_f64")]);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b'", "r#"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+
+    /// Concatenating spans + gaps reconstructs the source exactly.
+    #[test]
+    fn spans_tile_the_input() {
+        let src = "fn f<'a>(x: &'a str) -> u32 { x.len() as u32 /* ok */ }";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert!(src[pos..t.start].bytes().all(|b| b.is_ascii_whitespace()));
+            pos = t.end;
+        }
+        assert!(src[pos..].bytes().all(|b| b.is_ascii_whitespace()));
+    }
+}

@@ -1,0 +1,114 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p satmapit-lint --                    # report findings (exit 0)
+//! cargo run -p satmapit-lint -- --deny-all         # findings are fatal (CI)
+//! cargo run -p satmapit-lint -- --update-manifest  # re-pin the format manifest
+//! cargo run -p satmapit-lint -- --list             # list lints
+//! ```
+
+#![forbid(unsafe_code)]
+
+use satmapit_lint::source::Workspace;
+use satmapit_lint::{manifest, run, LINTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: satmapit-lint [--root <dir>] [--deny-all | --update-manifest | --list]\n\
+     \n\
+     --root <dir>       workspace root (default: this crate's ../..)\n\
+     --deny-all         exit non-zero when any finding survives waivers\n\
+     --update-manifest  rewrite crates/lint/format_manifest.txt from the tree\n\
+     --list             print every lint name and description"
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut deny_all = false;
+    let mut update_manifest = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    // lint: allow(log-discipline) -- usage errors are stderr's contract
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-all" => deny_all = true,
+            "--update-manifest" => update_manifest = true,
+            "--list" => {
+                for (name, description) in LINTS {
+                    println!("{name:26} {description}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                // lint: allow(log-discipline) -- usage errors are stderr's contract
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            // lint: allow(log-discipline) -- fatal I/O errors are stderr's contract
+            eprintln!("failed to load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_manifest {
+        return match manifest::compute(&ws) {
+            Ok(Some(m)) => {
+                let path = root.join(manifest::MANIFEST_PATH);
+                if let Err(e) = std::fs::write(&path, m.render()) {
+                    // lint: allow(log-discipline) -- fatal I/O errors are stderr's contract
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "pinned {} file(s) to FORMAT_VERSION {} in {}",
+                    m.files.len(),
+                    m.version,
+                    manifest::MANIFEST_PATH
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(None) => {
+                // lint: allow(log-discipline) -- fatal errors are stderr's contract
+                eprintln!("no pinned files found under {}", root.display());
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                // lint: allow(log-discipline) -- fatal errors are stderr's contract
+                eprintln!("cannot compute manifest: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let findings = run(&ws);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "{} file(s) linted, {} finding(s)",
+        ws.files.len(),
+        findings.len()
+    );
+    if deny_all && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,415 @@
+//! The workspace model: which `.rs` files exist, what role each plays,
+//! where its `#[cfg(test)]` regions are, and which findings its waiver
+//! comments suppress.
+
+use crate::lexer::{self, Token};
+use std::path::{Path, PathBuf};
+
+/// The role a source file plays — lints scope themselves by it (library
+/// code is held to stricter discipline than a test or an example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` — the strictest scope.
+    Lib,
+    /// A binary target (`src/bin/…`) — stdout/stderr are user surface.
+    Bin,
+    /// An example under `examples/`.
+    Example,
+    /// An integration test under `tests/`.
+    Test,
+    /// A benchmark under `benches/`.
+    Bench,
+    /// A crate-root `build.rs`.
+    BuildScript,
+}
+
+/// An in-source waiver: `// lint: allow(<name>) -- <reason>`. It
+/// suppresses findings of `<name>` on its own line and the next one, so
+/// it can trail the flagged line or sit directly above it.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// The waived lint's name.
+    pub lint: String,
+    /// The justification text after `--`.
+    pub reason: String,
+}
+
+/// A malformed waiver comment — reported as a finding in its own right,
+/// because a waiver that silently fails to parse would un-suppress (or
+/// worse, appear to suppress) a real violation.
+#[derive(Debug, Clone)]
+pub struct BadWaiver {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What's wrong with it.
+    pub problem: String,
+}
+
+/// One lexed, classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// The file's role.
+    pub kind: FileKind,
+    /// The crate directory name (`engine`, `sat`, …; `root` for the
+    /// top-level package).
+    pub crate_name: String,
+    /// The raw source.
+    pub text: String,
+    /// The token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Parsed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Waiver comments that failed to parse.
+    pub bad_waivers: Vec<BadWaiver>,
+    /// Inclusive line ranges of `#[cfg(test)] mod … { … }` bodies.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Builds a file from in-memory source (the unit-test entry point;
+    /// [`Workspace::load`] uses it for real files).
+    pub fn from_source(rel_path: &str, text: String) -> SourceFile {
+        let tokens = lexer::lex(&text);
+        let (waivers, bad_waivers) = parse_waivers(&text, &tokens);
+        let test_regions = find_test_regions(&text, &tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            kind: classify(rel_path),
+            crate_name: crate_of(rel_path),
+            text,
+            tokens,
+            waivers,
+            bad_waivers,
+            test_regions,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn tok(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` module body?
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Does a waiver for `lint` cover a finding on `line`?
+    pub fn waived(&self, lint: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.lint == lint && (w.line == line || w.line + 1 == line))
+    }
+}
+
+/// Classifies a workspace-relative path into a [`FileKind`].
+fn classify(rel_path: &str) -> FileKind {
+    let p = rel_path;
+    if p.contains("/tests/") || p.starts_with("tests/") {
+        FileKind::Test
+    } else if p.contains("/benches/") || p.starts_with("benches/") {
+        FileKind::Bench
+    } else if p.contains("/examples/") || p.starts_with("examples/") {
+        FileKind::Example
+    } else if p.contains("/src/bin/") || p.starts_with("src/bin/") || p.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else if p.ends_with("/build.rs") && !p.contains("/src/") {
+        FileKind::BuildScript
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// The crate a path belongs to (`crates/<name>/…` ⇒ `<name>`; anything
+/// else is the root package).
+fn crate_of(rel_path: &str) -> String {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("root")
+        .to_string()
+}
+
+/// Scans comment tokens for `lint: allow(<name>) -- <reason>`.
+fn parse_waivers(src: &str, tokens: &[Token]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for token in tokens.iter().filter(|t| t.is_comment()) {
+        let text = token.text(src);
+        // A waiver comment *starts* with the directive (after the
+        // comment opener); prose that merely quotes the syntax — e.g.
+        // this crate's own docs — is not one.
+        let content = text
+            .trim_start_matches('/')
+            .trim_start_matches(['!', '*'])
+            .trim_start();
+        if !content.starts_with("lint: allow") {
+            continue;
+        }
+        let rest = &content["lint: allow".len()..];
+        let parsed = (|| {
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let name = rest[..close].trim();
+            if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+                return None;
+            }
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix("--")?.trim();
+            // Block comments: the reason must not be just the closer.
+            let reason = reason.strip_suffix("*/").unwrap_or(reason).trim();
+            if reason.is_empty() {
+                return None;
+            }
+            Some((name.to_string(), reason.to_string()))
+        })();
+        match parsed {
+            Some((lint, reason)) => waivers.push(Waiver {
+                line: token.line,
+                lint,
+                reason,
+            }),
+            None => bad.push(BadWaiver {
+                line: token.line,
+                problem: "malformed waiver; the form is `// lint: allow(<name>) -- <reason>` \
+                          with a non-empty reason"
+                    .to_string(),
+            }),
+        }
+    }
+    (waivers, bad)
+}
+
+/// Finds `#[cfg(test)] mod name { … }` bodies by token scanning: the
+/// attribute, any further attributes, `mod`, an identifier, then the
+/// brace-matched block. Returns inclusive line ranges.
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let text = |i: usize| code[i].1.text(src);
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        // `# [ cfg ( test ) ]`
+        let is_cfg_test = text(i) == "#"
+            && text(i + 1) == "["
+            && text(i + 2) == "cfg"
+            && text(i + 3) == "("
+            && text(i + 4) == "test"
+            && text(i + 5) == ")"
+            && text(i + 6) == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while j + 1 < code.len() && text(j) == "#" && text(j + 1) == "[" {
+            let mut depth = 0i32;
+            j += 1; // at '['
+            while j < code.len() {
+                match text(j) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // `mod <name> {`
+        if j + 2 < code.len() && text(j) == "mod" && text(j + 2) == "{" {
+            let open = j + 2;
+            let mut depth = 0i32;
+            let mut k = open;
+            while k < code.len() {
+                match text(k) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end_line = if k < code.len() {
+                code[k].1.line
+            } else {
+                u32::MAX // unbalanced braces: treat the rest as test
+            };
+            // The region starts at the `#[cfg(test)]` attribute itself,
+            // so the attribute tokens don't leak into format hashing.
+            regions.push((code[i].1.line, end_line));
+            i = k.min(code.len() - 1) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// The whole workspace: every lintable `.rs` file, lexed and classified.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The absolute root the relative paths hang off.
+    pub root: PathBuf,
+    /// Every collected file, in sorted path order (deterministic
+    /// reports).
+    pub files: Vec<SourceFile>,
+    /// The committed format manifest, when present on disk.
+    pub manifest_text: Option<String>,
+    /// The committed fingerprint exemption table, when present on disk.
+    pub exemptions_text: Option<String>,
+}
+
+/// Directories never descended into: build output, vendored stand-ins
+/// (not this project's invariants), VCS metadata.
+const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", ".github", "node_modules"];
+
+impl Workspace {
+    /// Loads every `.rs` file under `root`, skipping [`SKIP_DIRS`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; an unreadable tree is a hard error
+    /// (silently linting half a workspace would defeat the point).
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        collect(root, root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for rel in paths {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::from_source(&rel, text));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            manifest_text: std::fs::read_to_string(root.join(crate::manifest::MANIFEST_PATH)).ok(),
+            exemptions_text: std::fs::read_to_string(root.join(crate::lints::EXEMPTIONS_PATH)).ok(),
+        })
+    }
+
+    /// A workspace assembled from in-memory sources (for lint tests).
+    pub fn from_sources(sources: Vec<(&str, String)>) -> Workspace {
+        let mut files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(path, text)| SourceFile::from_source(path, text))
+            .collect();
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Workspace {
+            root: PathBuf::new(),
+            files,
+            manifest_text: None,
+            exemptions_text: None,
+        }
+    }
+
+    /// The file at exactly `rel_path`, if collected.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked paths live under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/engine/src/batch.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/repro.rs"), FileKind::Bin);
+        assert_eq!(classify("src/bin/satmapit.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/sat/tests/gc.rs"), FileKind::Test);
+        assert_eq!(classify("tests/pipeline.rs"), FileKind::Test);
+        assert_eq!(classify("examples/mesh_sweep.rs"), FileKind::Example);
+        assert_eq!(classify("crates/bench/benches/micro.rs"), FileKind::Bench);
+        assert_eq!(classify("crates/service/build.rs"), FileKind::BuildScript);
+        assert_eq!(crate_of("crates/engine/src/batch.rs"), "engine");
+        assert_eq!(crate_of("src/bin/satmapit.rs"), "root");
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let file = SourceFile::from_source(
+            "crates/x/src/lib.rs",
+            "// lint: allow(lock-discipline) -- single-field mutation, coherent\n\
+             fn a() {}\n\
+             fn b() {} // lint: allow(log-discipline) -- stderr is the contract\n\
+             // lint: allow(lock-discipline)\n\
+             // lint: allow() -- nameless\n"
+                .to_string(),
+        );
+        assert_eq!(file.waivers.len(), 2);
+        assert!(file.waived("lock-discipline", 1));
+        assert!(file.waived("lock-discipline", 2), "covers the next line");
+        assert!(!file.waived("lock-discipline", 3));
+        assert!(file.waived("log-discipline", 3));
+        assert_eq!(file.bad_waivers.len(), 2, "missing reason / missing name");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   #[allow(dead_code)]\n\
+                   mod tests {\n\
+                   fn inner() {}\n\
+                   }\n\
+                   fn also_live() {}\n";
+        let file = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        assert_eq!(file.test_regions, vec![(2, 6)]);
+        assert!(!file.in_test_region(1));
+        assert!(file.in_test_region(5));
+        assert!(!file.in_test_region(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(feature = \"x\")]\nmod gated { fn f() {} }\n";
+        let file = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        assert!(file.test_regions.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property coverage for the lint lexer: random token soups — including
+//! deliberately unterminated literals and comments — must lex without
+//! panicking, and the resulting spans must tile the input exactly
+//! (every byte outside a token span is whitespace, line numbers agree
+//! with a newline count). A second property pins the reason the lexer
+//! exists at all: comment markers and API-shaped text inside string
+//! literals must never surface as comment or identifier tokens.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use satmapit_lint::lexer::{lex, TokenKind};
+
+/// Building blocks for random sources. The nasty half of the table —
+/// unterminated strings, open block comments, stray quotes — may swallow
+/// every fragment after it; the tiling and no-panic properties must hold
+/// regardless.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "x1",
+    "_private",
+    "r#match",
+    "42",
+    "0..n",
+    "1.5e-3_f64",
+    "0xFF_u8",
+    "\"plain\"",
+    "\"esc \\\" aped\"",
+    "b\"bytes\"",
+    "c\"cstr\"",
+    "r\"raw\"",
+    "r#\"one \" deep\"#",
+    "br##\"two \"# deep\"##",
+    "'x'",
+    "'\\n'",
+    "'\\''",
+    "b'q'",
+    "'a",
+    "'static",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* twice */ ok */",
+    "::",
+    "->",
+    "{",
+    "}",
+    ";",
+    ".",
+    "&",
+    "#",
+    "\u{e9}tat", // multi-byte ident bytes
+    // The pathological tail: each of these is malformed on purpose.
+    "\"never closed",
+    "/* never closed",
+    "r##\"open",
+    "'",
+    "b'",
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "\t", "\n\n  "];
+
+fn build_source(picks: &[(usize, usize)]) -> String {
+    let mut src = String::new();
+    for &(frag, sep) in picks {
+        src.push_str(FRAGMENTS[frag % FRAGMENTS.len()]);
+        src.push_str(SEPARATORS[sep % SEPARATORS.len()]);
+    }
+    src
+}
+
+proptest! {
+    #[test]
+    fn token_soup_spans_tile_the_input(
+        picks in vec((0usize..FRAGMENTS.len(), 0usize..SEPARATORS.len()), 0..30)
+    ) {
+        let src = build_source(&picks);
+        let tokens = lex(&src);
+
+        // Spans are in order, within bounds, and non-empty; everything
+        // between them (and before/after) is whitespace.
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= pos, "overlapping spans at {}", t.start);
+            prop_assert!(t.end > t.start, "empty span at {}", t.start);
+            prop_assert!(t.end <= src.len());
+            prop_assert!(
+                src[pos..t.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "non-whitespace gap before token at {}: {:?}",
+                t.start,
+                &src[pos..t.start]
+            );
+            // Line numbers are exactly 1 + newlines before the span.
+            let newlines = src[..t.start].bytes().filter(|&b| b == b'\n').count();
+            prop_assert_eq!(t.line as usize, newlines + 1);
+            pos = t.end;
+        }
+        prop_assert!(src[pos..].bytes().all(|b| b.is_ascii_whitespace()));
+
+        // Lexing is deterministic.
+        prop_assert_eq!(lex(&src), tokens);
+    }
+
+    #[test]
+    fn string_contents_are_never_mis_lexed(
+        picks in vec(0usize..PAYLOADS.len(), 1..8)
+    ) {
+        // Embed comment markers, lock-API text and quotes inside one
+        // ordinary string literal: the lexer must produce exactly one
+        // Str token for it and never a comment or `lock` identifier.
+        let payload: String = picks
+            .iter()
+            .map(|&i| PAYLOADS[i % PAYLOADS.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let src = format!("let s = \"{payload}\";");
+        let tokens = lex(&src);
+
+        let strs: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1, "exactly one string literal in {:?}", src);
+        prop_assert_eq!(strs[0].text(&src), &format!("\"{payload}\""));
+        prop_assert!(
+            tokens.iter().all(|t| !t.is_comment()),
+            "comment token leaked out of a string in {:?}",
+            src
+        );
+        prop_assert!(
+            tokens
+                .iter()
+                .all(|t| t.kind != TokenKind::Ident || t.text(&src) != "lock"),
+            "string contents surfaced as an identifier in {:?}",
+            src
+        );
+    }
+}
+
+/// Payload fragments for the string-literal property. All are safe to
+/// splice between plain double quotes (any `"` or `\` is escaped).
+const PAYLOADS: &[&str] = &[
+    "// not a comment",
+    "/* nor this */",
+    "*/ stray closer",
+    ".lock().unwrap()",
+    ".lock().expect(\\\"poisoned\\\")",
+    "eprintln!(\\\"hi\\\")",
+    "unsafe",
+    "SeqCst",
+    "lint: allow(everything)",
+    "\\\\ backslash",
+    "'a lifetime-ish",
+    "text with 'quotes'",
+];

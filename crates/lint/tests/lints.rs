@@ -1,0 +1,364 @@
+//! Per-lint fixture coverage: each lint must fire on a seeded violation,
+//! stay quiet on the compliant spelling, and honour (or, for
+//! waiver-syntax, refuse to honour) in-source waivers.
+
+use satmapit_lint::manifest;
+use satmapit_lint::source::Workspace;
+use satmapit_lint::{run, Finding, LINTS};
+
+/// A one-library-file workspace, with the crate root's unsafe gate in
+/// place so only the lint under test fires.
+fn lib_ws(src: &str) -> Workspace {
+    Workspace::from_sources(vec![(
+        "crates/x/src/lib.rs",
+        format!("#![forbid(unsafe_code)]\n{src}"),
+    )])
+}
+
+fn lints_fired(findings: &[Finding]) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = findings.iter().map(|f| f.lint).collect();
+    names.dedup();
+    names
+}
+
+fn assert_only(findings: &[Finding], lint: &str, line: u32) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one {lint} finding, got {findings:#?}"
+    );
+    assert_eq!(findings[0].lint, lint);
+    assert_eq!(findings[0].line, line, "wrong line in {:?}", findings[0]);
+}
+
+// ---------------------------------------------------------- lock-discipline
+
+#[test]
+fn lock_discipline_fires_on_unwrap_and_expect() {
+    let ws = lib_ws("fn f(m: &std::sync::Mutex<u32>) {\n    let g = m.lock().unwrap();\n}\n");
+    assert_only(&run(&ws), "lock-discipline", 3);
+
+    let ws = lib_ws("fn f(m: &M) {\n    let g = m.lock().expect(\"poisoned\");\n}\n");
+    // `.lock().expect("poisoned")` matches both patterns' shapes but must
+    // be reported exactly once.
+    assert_only(&run(&ws), "lock-discipline", 3);
+}
+
+#[test]
+fn lock_discipline_fires_on_poison_naming_expects() {
+    // `.wait_timeout(..).expect("… poisoned")` propagates poison without
+    // even a `.lock()` in sight.
+    let ws = lib_ws(
+        "fn f(cv: &C, g: G) {\n    let (g, _) = cv.wait_timeout(g, d).expect(\"cache lock poisoned\");\n}\n",
+    );
+    assert_only(&run(&ws), "lock-discipline", 3);
+}
+
+#[test]
+fn lock_discipline_accepts_poison_recovery() {
+    let ws = lib_ws(
+        "use std::sync::PoisonError;\n\
+         fn f(m: &std::sync::Mutex<u32>) {\n    \
+             let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+         }\n",
+    );
+    assert_eq!(run(&ws), vec![]);
+}
+
+#[test]
+fn lock_discipline_skips_tests_and_honours_waivers() {
+    let ws = lib_ws("#[cfg(test)]\nmod tests {\n    fn f(m: &M) { m.lock().unwrap(); }\n}\n");
+    assert_eq!(run(&ws), vec![]);
+
+    let ws = lib_ws(
+        "fn f(m: &M) {\n    \
+             // lint: allow(lock-discipline) -- single-threaded init path\n    \
+             let g = m.lock().unwrap();\n\
+         }\n",
+    );
+    assert_eq!(run(&ws), vec![]);
+}
+
+// ------------------------------------------------------------ log-discipline
+
+#[test]
+fn log_discipline_polices_lib_and_bin_differently() {
+    let ws = lib_ws("fn f() { eprintln!(\"diag\"); }\n");
+    assert_only(&run(&ws), "log-discipline", 2);
+
+    let ws = lib_ws("fn f() { println!(\"diag\"); }\n");
+    assert_only(&run(&ws), "log-discipline", 2);
+
+    // Bins own stdout (result channel) but not stderr.
+    let gate = "#![forbid(unsafe_code)]\n";
+    let ws = Workspace::from_sources(vec![(
+        "src/bin/tool.rs",
+        format!("{gate}fn main() {{ println!(\"result\"); }}\n"),
+    )]);
+    assert_eq!(run(&ws), vec![]);
+
+    let ws = Workspace::from_sources(vec![(
+        "src/bin/tool.rs",
+        format!("{gate}fn main() {{ eprintln!(\"diag\"); }}\n"),
+    )]);
+    assert_only(&run(&ws), "log-discipline", 2);
+}
+
+#[test]
+fn log_discipline_exempts_obs_tests_and_strings() {
+    let ws = Workspace::from_sources(vec![(
+        "crates/obs/src/log.rs",
+        "fn backend() { eprintln!(\"the logger itself\"); }\n".to_string(),
+    )]);
+    assert_eq!(run(&ws), vec![]);
+
+    let ws = Workspace::from_sources(vec![(
+        "tests/e2e.rs",
+        "fn f() { eprintln!(\"test diag\"); }\n".to_string(),
+    )]);
+    assert_eq!(run(&ws), vec![]);
+
+    // The token `eprintln!` inside a string literal is not a call.
+    let ws = lib_ws("fn f() -> &'static str { \"eprintln!(no)\" }\n");
+    assert_eq!(run(&ws), vec![]);
+}
+
+// -------------------------------------------------- fingerprint-completeness
+
+fn fingerprint_ws(fingerprint_body: &str, exemptions: Option<&str>) -> Workspace {
+    let mut ws = Workspace::from_sources(vec![
+        (
+            "crates/engine/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub struct EngineConfig {\n    pub workers: usize,\n    pub seed: u64,\n}\n"
+                .to_string(),
+        ),
+        (
+            "crates/engine/src/fingerprint.rs",
+            format!("pub fn fingerprint(c: &EngineConfig) -> u64 {{\n    {fingerprint_body}\n}}\n"),
+        ),
+    ]);
+    ws.exemptions_text = exemptions.map(str::to_string);
+    ws
+}
+
+#[test]
+fn fingerprint_completeness_flags_untracked_fields() {
+    // `workers` is hashed, `seed` is neither hashed nor exempted.
+    let findings = run(&fingerprint_ws("hash(c.workers)", None));
+    assert_only(&findings, "fingerprint-completeness", 4);
+    assert!(findings[0].message.contains("EngineConfig.seed"));
+}
+
+#[test]
+fn fingerprint_completeness_accepts_hash_or_exemption() {
+    let ws = fingerprint_ws("hash(c.workers) ^ hash(c.seed)", None);
+    assert_eq!(run(&ws), vec![]);
+
+    let ws = fingerprint_ws(
+        "hash(c.workers)",
+        Some("EngineConfig.seed -- seeds only permute the search, agreement-tested\n"),
+    );
+    assert_eq!(run(&ws), vec![]);
+}
+
+#[test]
+fn fingerprint_completeness_rejects_malformed_exemptions() {
+    let ws = fingerprint_ws(
+        "hash(c.workers) ^ hash(c.seed)",
+        Some("EngineConfig.seed reasonless entry\n"),
+    );
+    let findings = run(&ws);
+    assert_only(&findings, "fingerprint-completeness", 1);
+    assert!(findings[0].message.contains("malformed exemption"));
+}
+
+// ------------------------------------------------------------ format-version
+
+fn persist_ws(version: u32, body: &str, manifest_text: Option<String>) -> Workspace {
+    let mut ws = Workspace::from_sources(vec![(
+        "crates/engine/src/persist.rs",
+        format!("#![forbid(unsafe_code)]\npub const FORMAT_VERSION: u32 = {version};\n{body}\n"),
+    )]);
+    ws.manifest_text = manifest_text;
+    ws
+}
+
+#[test]
+fn format_version_requires_a_manifest() {
+    let findings = run(&persist_ws(3, "fn encode() {}", None));
+    assert_only(&findings, "format-version", 1);
+    assert!(findings[0].message.contains("manifest missing"));
+}
+
+#[test]
+fn format_version_accepts_a_matching_manifest() {
+    let ws = persist_ws(3, "fn encode() {}", None);
+    let manifest = manifest::compute(&ws).unwrap().unwrap().render();
+    let ws = persist_ws(3, "fn encode() {}", Some(manifest));
+    assert_eq!(run(&ws), vec![]);
+}
+
+#[test]
+fn format_version_catches_encoder_edits_without_a_bump() {
+    let ws = persist_ws(3, "fn encode() {}", None);
+    let manifest_text = manifest::compute(&ws).unwrap().unwrap().render();
+
+    // A functional edit with the same version: flagged.
+    let edited = persist_ws(3, "fn encode() { let x = 1; }", Some(manifest_text.clone()));
+    let findings = run(&edited);
+    assert_only(&findings, "format-version", 1);
+    assert!(findings[0]
+        .message
+        .contains("without a FORMAT_VERSION bump"));
+
+    // Comment-only churn: not a functional edit, no finding.
+    let commented = persist_ws(
+        3,
+        "// richer docs\nfn encode() {}",
+        Some(manifest_text.clone()),
+    );
+    assert_eq!(run(&commented), vec![]);
+
+    // A bump without regenerating the manifest: flagged the other way.
+    let bumped = persist_ws(4, "fn encode() { let x = 1; }", Some(manifest_text));
+    let findings = run(&bumped);
+    assert_only(&findings, "format-version", 1);
+    assert!(findings[0].message.contains("FORMAT_VERSION is now 4"));
+
+    // Bump plus regeneration: clean.
+    let bumped = persist_ws(4, "fn encode() { let x = 1; }", None);
+    let regenerated = manifest::compute(&bumped).unwrap().unwrap().render();
+    let bumped = persist_ws(4, "fn encode() { let x = 1; }", Some(regenerated));
+    assert_eq!(run(&bumped), vec![]);
+}
+
+// -------------------------------------------------------------- unsafe-gate
+
+#[test]
+fn unsafe_gate_requires_forbid_on_crate_roots() {
+    let ws = Workspace::from_sources(vec![("crates/x/src/lib.rs", "pub fn f() {}\n".to_string())]);
+    assert_only(&run(&ws), "unsafe-gate", 1);
+
+    let ws = lib_ws("pub fn f() {}\n");
+    assert_eq!(run(&ws), vec![]);
+
+    // Non-root modules carry the crate root's gate already.
+    let ws = Workspace::from_sources(vec![(
+        "crates/x/src/helper.rs",
+        "pub fn f() {}\n".to_string(),
+    )]);
+    assert_eq!(run(&ws), vec![]);
+}
+
+// ---------------------------------------------------------- atomic-ordering
+
+#[test]
+fn atomic_ordering_requires_a_written_reason() {
+    let ws = lib_ws("fn f(c: &A) -> u64 {\n    c.load(Ordering::Relaxed)\n}\n");
+    assert_only(&run(&ws), "atomic-ordering", 3);
+
+    // Trailing justification on the use line.
+    let ws = lib_ws(
+        "fn f(c: &A) -> u64 {\n    \
+             c.load(Ordering::Relaxed) // ordering: monotone counter, advisory read\n\
+         }\n",
+    );
+    assert_eq!(run(&ws), vec![]);
+
+    // A justification above the statement also counts.
+    let ws = lib_ws(
+        "fn f(c: &A) -> u64 {\n    \
+             // ordering: monotone counter, advisory read\n    \
+             c.load(Ordering::Relaxed)\n\
+         }\n",
+    );
+    assert_eq!(run(&ws), vec![]);
+}
+
+#[test]
+fn atomic_ordering_justification_does_not_leak_across_statements() {
+    // The comment vouches for the first statement only; a second
+    // statement later cannot ride on it.
+    let ws = lib_ws(
+        "fn f(c: &A) {\n    \
+             // ordering: covers only the next statement\n    \
+             let a = c.load(Ordering::Relaxed);\n    \
+             let b = other();\n    \
+             let c2 = c.load(Ordering::Relaxed);\n\
+         }\n",
+    );
+    assert_only(&run(&ws), "atomic-ordering", 6);
+}
+
+#[test]
+fn atomic_ordering_ignores_cmp_ordering() {
+    let ws =
+        lib_ws("fn f(a: u32, b: u32) -> cmp::Ordering {\n    cmp::Ordering::Less.reverse()\n}\n");
+    assert_eq!(run(&ws), vec![]);
+}
+
+// ------------------------------------------------------------ waiver-syntax
+
+#[test]
+fn malformed_waivers_are_findings_and_cannot_vouch_for_themselves() {
+    // Missing reason.
+    let ws = lib_ws("// lint: allow(lock-discipline)\nfn f() {}\n");
+    let findings = run(&ws);
+    assert_only(&findings, "waiver-syntax", 2);
+
+    // A well-formed waiver for `waiver-syntax` cannot suppress a broken
+    // waiver next to it.
+    let ws = lib_ws(
+        "// lint: allow(waiver-syntax) -- trying to hide the next line\n\
+         // lint: allow(lock-discipline)\n\
+         fn f() {}\n",
+    );
+    assert_only(&run(&ws), "waiver-syntax", 3);
+}
+
+#[test]
+fn waivers_only_suppress_their_named_lint_nearby() {
+    // Wrong lint name: the violation still fires.
+    let ws = lib_ws(
+        "fn f(m: &M) {\n    \
+             // lint: allow(log-discipline) -- wrong name\n    \
+             let g = m.lock().unwrap();\n\
+         }\n",
+    );
+    assert_only(&run(&ws), "lock-discipline", 4);
+
+    // Too far away (two lines above): the violation still fires.
+    let ws = lib_ws(
+        "fn f(m: &M) {\n    \
+             // lint: allow(lock-discipline) -- too far away\n\n    \
+             let g = m.lock().unwrap();\n\
+         }\n",
+    );
+    assert_only(&run(&ws), "lock-discipline", 5);
+}
+
+// ------------------------------------------------------------------- meta
+
+#[test]
+fn every_shipped_lint_has_a_firing_fixture_in_this_file() {
+    // The registry and this test file must not drift apart: collect the
+    // lints the fixtures above exercise and compare against LINTS.
+    let fired = [
+        run(&lib_ws("fn f(m: &M) { m.lock().unwrap(); }\n")),
+        run(&lib_ws("fn f() { eprintln!(\"x\"); }\n")),
+        run(&fingerprint_ws("0", None)),
+        run(&persist_ws(3, "fn encode() {}", None)),
+        run(&Workspace::from_sources(vec![(
+            "crates/x/src/main.rs",
+            "fn main() {}\n".to_string(),
+        )])),
+        run(&lib_ws("fn f(c: &A) { c.load(Ordering::SeqCst); }\n")),
+        run(&lib_ws("// lint: allow(nope)\n")),
+    ];
+    let mut covered: Vec<&'static str> = fired.iter().flat_map(|f| lints_fired(f)).collect();
+    covered.sort_unstable();
+    covered.dedup();
+    let mut shipped: Vec<&str> = LINTS.iter().map(|(name, _)| *name).collect();
+    shipped.sort_unstable();
+    assert_eq!(covered, shipped, "a shipped lint has no firing fixture");
+}

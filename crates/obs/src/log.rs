@@ -129,6 +129,9 @@ fn with_filter<R>(f: impl FnOnce(&Filter) -> R) -> R {
         let filter = std::env::var("SATMAPIT_LOG")
             .map(|spec| Filter::parse(&spec))
             .unwrap_or_else(|_| Filter::parse(""));
+        // ordering: advisory fast-path ceiling; the authoritative
+        // filter lives behind the mutex, a stale read only costs one
+        // redundant filter check.
         MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
         filter
     });
@@ -139,12 +142,15 @@ fn with_filter<R>(f: impl FnOnce(&Filter) -> R) -> R {
 /// overriding the environment. For CLI verbosity flags and tests.
 pub fn set_filter(spec: &str) {
     let filter = Filter::parse(spec);
+    // ordering: advisory fast-path ceiling (see with_filter).
     MAX_LEVEL.store(filter.max_level(), Ordering::Relaxed);
     *FILTER.lock().unwrap_or_else(PoisonError::into_inner) = Some(filter);
 }
 
 /// Would a record at `level` for `target` be emitted?
 pub fn enabled(level: Level, target: &str) -> bool {
+    // ordering: advisory fast-path ceiling; a racing set_filter at
+    // worst emits or drops one in-flight record, never corrupts state.
     let max = MAX_LEVEL.load(Ordering::Relaxed);
     if max != u8::MAX && level as u8 > max {
         return false;

@@ -65,6 +65,8 @@ pub fn now_us() -> u64 {
 /// Is tracing on? One relaxed atomic load — this is the whole cost of a
 /// disabled [`Span::begin`].
 pub fn enabled() -> bool {
+    // ordering: on/off latch checked per span; events themselves ride
+    // on mutex-guarded rings, so no data is published through this.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -74,11 +76,13 @@ pub fn set_enabled(on: bool) {
     if on {
         let _ = epoch();
     }
+    // ordering: same advisory latch as in `enabled`.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Spans lost to ring overflow since process start.
 pub fn dropped() -> u64 {
+    // ordering: monotone telemetry counter.
     DROPPED.load(Ordering::Relaxed)
 }
 
@@ -154,6 +158,7 @@ impl Ring {
     fn push(&mut self, event: Event) {
         if self.events.len() >= RING_CAPACITY {
             self.events.pop_front();
+            // ordering: monotone telemetry counter.
             DROPPED.fetch_add(1, Ordering::Relaxed);
         }
         self.events.push_back(event);
@@ -182,6 +187,7 @@ pub fn current_track() -> u64 {
         if id != 0 {
             id
         } else {
+            // ordering: unique-id ticket; only atomicity matters.
             let id = NEXT_TRACK.fetch_add(1, Ordering::Relaxed);
             track.set(id);
             id
@@ -193,6 +199,7 @@ pub fn current_track() -> u64 {
 /// engine maps portfolio sibling `k` to `base + k` so each sibling gets
 /// a stable timeline row.
 pub fn allocate_tracks(n: u64) -> u64 {
+    // ordering: unique-id ticket; only atomicity matters.
     NEXT_TRACK.fetch_add(n.max(1), Ordering::Relaxed)
 }
 

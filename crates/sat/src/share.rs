@@ -229,9 +229,13 @@ impl ShareHandle {
     /// Drains every not-yet-seen clause of `class` published by other
     /// sources into `out`, advancing this sibling's cursor.
     pub(crate) fn import(&self, class: u64, out: &mut Vec<(u32, Arc<[Lit]>)>) {
+        // ordering: the cursor is only ever touched by this sibling's
+        // own solver thread (one handle per sibling); the atomic exists
+        // for the Sync bound, not for cross-thread hand-off — clauses
+        // travel through the pool's internal lock.
         let cursor = self.inner.cursor.load(Ordering::Relaxed);
         let next = self.inner.pool.fetch(class, self.inner.source, cursor, out);
-        self.inner.cursor.store(next, Ordering::Relaxed);
+        self.inner.cursor.store(next, Ordering::Relaxed); // ordering: see above
     }
 }
 

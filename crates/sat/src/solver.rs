@@ -187,6 +187,9 @@ impl SolveLimits {
     pub fn stop_requested(&self) -> bool {
         self.stop
             .as_ref()
+            // ordering: cooperative cancel latch polled at restart
+            // boundaries; a stale read only delays the abort one poll,
+            // no data is published through the flag.
             .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 

@@ -322,6 +322,13 @@ impl Server {
             loop {
                 let (stream, _) = match listener.accept() {
                     Ok(accepted) => accepted,
+                    // ordering: shutdown handshake — `shutdown` stores the
+                    // flag (SeqCst) *before* making the wake-up connection,
+                    // and this accept loop must observe that store once
+                    // accept() returns, or it strands forever re-accepting.
+                    // The syscall pair is not a formal synchronization edge
+                    // in the memory model, so this cold one-shot latch
+                    // deliberately keeps SeqCst rather than relying on it.
                     Err(e) if inner.stop.load(Ordering::SeqCst) => {
                         let _ = e;
                         break;
@@ -329,6 +336,8 @@ impl Server {
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(e) => return Err(e),
                 };
+                // ordering: same shutdown handshake as above — this load
+                // pairs with the SeqCst store in the `shutdown` request.
                 if inner.stop.load(Ordering::SeqCst) {
                     break; // the wake-up connection after `shutdown`
                 }
@@ -363,6 +372,7 @@ fn write_trace_file(inner: &Inner, events: &[obs::Event]) -> io::Result<PathBuf>
         .trace_dir
         .as_ref()
         .expect("write_trace_file requires a trace dir");
+    // ordering: unique-id ticket for trace filenames.
     let seq = inner.trace_seq.fetch_add(1, Ordering::Relaxed);
     let path = dir.join(format!("trace-{seq:04}.json"));
     std::fs::write(&path, obs::trace::export_chrome(events))?;
@@ -377,7 +387,11 @@ fn worker_loop(inner: &Inner) {
                 if let Some(item) = queue.pop_front() {
                     break item;
                 }
-                if inner.stop.load(Ordering::SeqCst) {
+                // ordering: polled inside a 50ms wait_timeout loop; a
+                // stale read delays drain-and-exit by one poll, and the
+                // queue itself is handed off through the mutex. Relaxed
+                // is sufficient (downgraded from SeqCst in the audit).
+                if inner.stop.load(Ordering::Relaxed) {
                     return; // stop + empty queue: drained
                 }
                 // The timeout guards against a missed notification racing
@@ -457,6 +471,7 @@ fn worker_loop(inner: &Inner) {
                 )
             }
             Err(panic) => {
+                // ordering: monotone telemetry counter.
                 inner.panics.fetch_add(1, Ordering::Relaxed);
                 record_us(&inner.latency.error, elapsed_us);
                 if let Some(span) = &mut span {
@@ -557,6 +572,9 @@ fn stats_response(inner: &Inner) -> Json {
         ("workers", Json::Int(inner.workers as i64)),
         (
             "requests",
+            // ordering: this and the loads below read independent
+            // monotone telemetry counters; the stats snapshot is
+            // advisory and needs no cross-counter consistency.
             Json::Int(inner.requests.load(Ordering::Relaxed) as i64),
         ),
         (
@@ -693,7 +711,10 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut line = Vec::new();
     loop {
-        if inner.stop.load(Ordering::SeqCst) {
+        // ordering: polled every ≤100ms via the read timeout; a stale
+        // read keeps the connection one extra poll, nothing more.
+        // Relaxed is sufficient (downgraded from SeqCst in the audit).
+        if inner.stop.load(Ordering::Relaxed) {
             return Ok(());
         }
         // Raw bytes, not `read_line`: a read timeout may strike in the
@@ -730,6 +751,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
             line.clear();
             continue;
         }
+        // ordering: monotone telemetry counter.
         inner.requests.fetch_add(1, Ordering::Relaxed);
         let response = match wire::parse_request(&trimmed) {
             Err(e) => wire::error_response(None, &e.to_string()),
@@ -737,6 +759,11 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
             Ok(Request::Health) => health_response(inner),
             Ok(Request::Trace) => trace_response(inner),
             Ok(Request::Shutdown) => {
+                // ordering: shutdown handshake — this store must be
+                // visible to the accept loop by the time the wake-up
+                // connection (made by `shutdown()`) is accepted; see the
+                // paired SeqCst loads in `run`. Pollers elsewhere read
+                // the flag Relaxed, which this store also serves.
                 inner.stop.store(true, Ordering::SeqCst);
                 inner.queue_cv.notify_all();
                 let ack = Json::obj(vec![
@@ -762,6 +789,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                 // before the clock, and "answer only if you have it
                 // already" is exactly what a zero budget requests).
                 if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // ordering: monotone telemetry counter.
                     inner.expired_at_admission.fetch_add(1, Ordering::Relaxed);
                     let response = match inner.engine.lookup_cached(&request.dfg, &request.cgra) {
                         Some(served) => wire::map_response(
@@ -803,6 +831,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
                         Err(_) => wire::error_response(id, "server shutting down"),
                     }
                 } else {
+                    // ordering: monotone telemetry counter.
                     inner.rejected.fetch_add(1, Ordering::Relaxed);
                     wire::error_response(
                         id,

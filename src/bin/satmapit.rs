@@ -13,6 +13,8 @@
 //! Run `satmapit <subcommand> --help` for per-subcommand flags. Unknown
 //! flags are an error, not silently ignored.
 
+#![forbid(unsafe_code)]
+
 use sat_mapit::cgra::Cgra;
 use sat_mapit::core::routing::map_with_routing;
 use sat_mapit::core::{codegen, Mapper, MapperConfig};
@@ -55,10 +57,12 @@ fn main() {
         Some("submit") => cmd_submit(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => println!("{TOP_HELP}"),
         Some(other) => {
+            // lint: allow(log-discipline) -- usage errors are stderr's contract
             eprintln!("unknown subcommand `{other}`\n\n{TOP_HELP}");
             exit(2);
         }
         None => {
+            // lint: allow(log-discipline) -- usage errors are stderr's contract
             eprintln!("{TOP_HELP}");
             exit(2);
         }
@@ -91,6 +95,7 @@ impl Parsed {
         match self.value(name) {
             None => default,
             Some(raw) => raw.parse().unwrap_or_else(|_| {
+                // lint: allow(log-discipline) -- usage errors are stderr's contract
                 eprintln!("invalid value `{raw}` for {name}");
                 exit(2);
             }),
@@ -115,6 +120,7 @@ fn parse_args(args: &[String], spec: &[FlagSpec], help: &str) -> Parsed {
         if let Some(flag) = spec.iter().find(|f| f.name == arg) {
             if flag.takes_value {
                 let Some(value) = args.get(i + 1) else {
+                    // lint: allow(log-discipline) -- usage errors are stderr's contract
                     eprintln!("flag {} expects a value", flag.name);
                     exit(2);
                 };
@@ -129,6 +135,7 @@ fn parse_args(args: &[String], spec: &[FlagSpec], help: &str) -> Parsed {
         // A lone `-` is the conventional stdin positional, not a flag.
         if arg.starts_with('-') && arg != "-" {
             let known: Vec<&str> = spec.iter().map(|f| f.name).collect();
+            // lint: allow(log-discipline) -- usage errors are stderr's contract
             eprintln!(
                 "unknown flag `{arg}`; recognized flags: {}",
                 if known.is_empty() {
@@ -166,6 +173,7 @@ fn render_help(usage: &str, about: &str, spec: &[FlagSpec]) -> String {
 /// strict unknown-flag handling: surplus arguments are an error, not noise).
 fn reject_extra_positionals(parsed: &Parsed, expected: usize) {
     if let Some(extra) = parsed.positional.get(expected) {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
         eprintln!("unexpected argument `{extra}`");
         exit(2);
     }
@@ -221,6 +229,7 @@ fn share_flag(parsed: &Parsed) -> ShareConfig {
 
 fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
     let Some(name) = name else {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
         eprintln!("expected a kernel name; try `satmapit kernels`");
         exit(2);
     };
@@ -228,6 +237,7 @@ fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
         return kernels::paper_example();
     }
     kernels::by_name(name).unwrap_or_else(|| {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
         eprintln!(
             "unknown kernel `{name}`; available: {:?} + paper-example",
             kernels::NAMES
@@ -298,6 +308,7 @@ fn cmd_map(args: &[String]) {
     let kernel = kernel_or_exit(parsed.positional.first());
     let size: u16 = parsed.parse_num("--size", 3);
     if size == 0 {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
         eprintln!("--size must be at least 1");
         exit(2);
     }
@@ -345,12 +356,14 @@ fn cmd_map(args: &[String]) {
                     sim.cycles
                 ),
                 Err(e) => {
+                    // lint: allow(log-discipline) -- failure outcomes are stderr's contract
                     eprintln!("VERIFICATION FAILED: {e}");
                     exit(1);
                 }
             }
         }
         Err(e) => {
+            // lint: allow(log-discipline) -- failure outcomes are stderr's contract
             eprintln!("mapping failed: {e} (after {:?})", outcome.elapsed);
             exit(1);
         }
@@ -460,10 +473,12 @@ fn cmd_batch(args: &[String]) {
         .split(',')
         .map(|s| {
             let size: u16 = s.trim().parse().unwrap_or_else(|_| {
+                // lint: allow(log-discipline) -- usage errors are stderr's contract
                 eprintln!("invalid mesh size `{s}` in --sizes");
                 exit(2);
             });
             if size == 0 {
+                // lint: allow(log-discipline) -- usage errors are stderr's contract
                 eprintln!("mesh sizes must be at least 1 (got `{s}`)");
                 exit(2);
             }
@@ -487,6 +502,7 @@ fn cmd_batch(args: &[String]) {
         portfolio: parsed.parse_num("--portfolio", 1usize).max(1),
         workers: parsed.parse_num("--workers", 0usize),
         share: share_flag(&parsed),
+        ..EngineConfig::default()
     };
 
     let mut jobs = Vec::new();
@@ -577,7 +593,7 @@ fn cmd_batch(args: &[String]) {
             stats.entries, stats.hits, stats.misses
         );
         if failures > 0 {
-            eprintln!("{failures} job(s) failed to map");
+            obs::warn!("satmapit::cli", "{failures} job(s) failed to map");
             any_failed = true;
         }
     }
@@ -644,7 +660,11 @@ fn cmd_batch(args: &[String]) {
                 path.display()
             ),
             Err(e) => {
-                eprintln!("failed to write trace {}: {e}", path.display());
+                obs::error!(
+                    "satmapit::cli",
+                    "failed to write trace {}: {e}",
+                    path.display()
+                );
                 exit(1);
             }
         }
@@ -733,6 +753,7 @@ fn cmd_serve(args: &[String]) {
             // (each concurrent solve gets an equal share).
             workers: 0,
             share: share_flag(&parsed),
+            ..EngineConfig::default()
         },
         cache_dir: parsed.value("--cache-dir").map(std::path::PathBuf::from),
         trace_dir: parsed.value("--trace-dir").map(std::path::PathBuf::from),
@@ -743,7 +764,7 @@ fn cmd_serve(args: &[String]) {
     };
 
     let server = Server::bind(&addr, config).unwrap_or_else(|e| {
-        eprintln!("failed to start daemon on {addr}: {e}");
+        obs::error!("satmapit::cli", "failed to start daemon on {addr}: {e}");
         exit(1);
     });
     let stats = server.engine().cache_stats();
@@ -758,7 +779,7 @@ fn cmd_serve(args: &[String]) {
         }
     );
     if let Err(e) = server.run() {
-        eprintln!("daemon failed: {e}");
+        obs::error!("satmapit::cli", "daemon failed: {e}");
         exit(1);
     }
     println!("daemon stopped; caches compacted");
@@ -774,6 +795,7 @@ fn submit_dfg(parsed: &Parsed) -> sat_mapit::dfg::Dfg {
         (source, file) => {
             let text = match (source, file) {
                 (_, Some(path)) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    // lint: allow(log-discipline) -- failure outcomes are stderr's contract
                     eprintln!("cannot read {path}: {e}");
                     exit(2);
                 }),
@@ -782,6 +804,7 @@ fn submit_dfg(parsed: &Parsed) -> sat_mapit::dfg::Dfg {
                     std::io::stdin()
                         .read_to_string(&mut buf)
                         .unwrap_or_else(|e| {
+                            // lint: allow(log-discipline) -- failure outcomes are stderr's contract
                             eprintln!("cannot read stdin: {e}");
                             exit(2);
                         });
@@ -790,10 +813,12 @@ fn submit_dfg(parsed: &Parsed) -> sat_mapit::dfg::Dfg {
                 _ => unreachable!("first match arm covers bare kernel names"),
             };
             let value = sat_mapit::service::json::parse(text.trim()).unwrap_or_else(|e| {
+                // lint: allow(log-discipline) -- failure outcomes are stderr's contract
                 eprintln!("DFG is not valid JSON: {e}");
                 exit(2);
             });
             wire::dfg_from_json(&value).unwrap_or_else(|e| {
+                // lint: allow(log-discipline) -- failure outcomes are stderr's contract
                 eprintln!("DFG JSON is malformed: {e}");
                 exit(2);
             })
@@ -845,6 +870,7 @@ fn cmd_submit(args: &[String]) {
     let addr = parsed.value("--addr").unwrap_or("127.0.0.1:7421");
     let size: u16 = parsed.parse_num("--size", 3);
     if size == 0 {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
         eprintln!("--size must be at least 1");
         exit(2);
     }
@@ -860,10 +886,12 @@ fn cmd_submit(args: &[String]) {
     };
 
     let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        // lint: allow(log-discipline) -- failure outcomes are stderr's contract
         eprintln!("cannot reach daemon at {addr}: {e}");
         exit(1);
     });
     let reply = client.map(&request).unwrap_or_else(|e| {
+        // lint: allow(log-discipline) -- failure outcomes are stderr's contract
         eprintln!("submit failed: {e}");
         exit(1);
     });
@@ -876,7 +904,7 @@ fn cmd_submit(args: &[String]) {
     if parsed.value("--stats").is_some() {
         match client.stats() {
             Ok(stats) => println!("stats: {stats}"),
-            Err(e) => eprintln!("stats unavailable: {e}"),
+            Err(e) => obs::warn!("satmapit::cli", "stats unavailable: {e}"),
         }
     }
     if reply.get("ok").and_then(Json::as_bool) != Some(true) {
@@ -898,6 +926,7 @@ fn print_submit_summary(name: &str, reply: &Json) {
             .get("error")
             .and_then(Json::as_str)
             .unwrap_or("malformed response");
+        // lint: allow(log-discipline) -- failure outcomes are stderr's contract
         eprintln!("daemon rejected `{name}`: {error}");
         return;
     }
@@ -911,6 +940,7 @@ fn print_submit_summary(name: &str, reply: &Json) {
     };
     let elapsed_us = reply.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
     let Some(result) = reply.get("result") else {
+        // lint: allow(log-discipline) -- failure outcomes are stderr's contract
         eprintln!("malformed response: no result");
         return;
     };
@@ -933,6 +963,7 @@ fn print_submit_summary(name: &str, reply: &Json) {
                 elapsed_us as f64 / 1000.0
             );
         }
+        // lint: allow(log-discipline) -- failure outcomes are stderr's contract
         _ => eprintln!("malformed response: unknown result status"),
     }
 }
