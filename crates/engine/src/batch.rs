@@ -94,6 +94,18 @@ pub struct CacheStats {
     pub shared_imported: u64,
     /// Share-pool ring evictions, summed likewise.
     pub shared_dropped: u64,
+    /// Result-cache entries evicted by the size bound
+    /// ([`crate::CacheLifecycle::max_entries`]), least-recently-used
+    /// first. 0 with the default unbounded lifecycle.
+    pub evicted_size: u64,
+    /// Result-cache entries evicted by the age bound
+    /// ([`crate::CacheLifecycle::max_age`]).
+    pub evicted_age: u64,
+    /// Store-compaction generations completed so far: incremental
+    /// compactions triggered by
+    /// [`crate::CacheLifecycle::compact_every`] plus explicit
+    /// [`Engine::compact_persistent`] calls. 0 without persistence.
+    pub compactions: u64,
 }
 
 /// Where a served result came from.
@@ -109,6 +121,18 @@ pub struct Served {
     /// `true` when the answering entry was loaded from the on-disk store
     /// (implies `cached`).
     pub persistent: bool,
+}
+
+/// One memoized result plus the metadata cache eviction needs.
+#[derive(Debug)]
+struct CacheEntry {
+    outcome: Arc<EngineOutcome>,
+    /// When the entry entered this process's cache (by load or solve);
+    /// the age bound measures from here.
+    inserted: Instant,
+    /// Engine-wide access tick at last use; the size bound evicts the
+    /// smallest first (least recently used).
+    last_used: u64,
 }
 
 /// A mapping service: solves through the II-race and memoizes every result
@@ -136,7 +160,7 @@ pub struct Served {
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    cache: Mutex<HashMap<Fingerprint, Arc<EngineOutcome>>>,
+    cache: Mutex<HashMap<Fingerprint, CacheEntry>>,
     /// Proven II lower bounds per *problem* (see
     /// [`problem_fingerprint`]): `b` means every II below `b` was answered
     /// `Unsat` for that problem; `u32::MAX` means proven unmappable at
@@ -159,6 +183,15 @@ pub struct Engine {
     shared_exported: AtomicU64,
     shared_imported: AtomicU64,
     shared_dropped: AtomicU64,
+    /// Monotone access clock for LRU eviction: every cache touch takes
+    /// a ticket and stamps the entry.
+    tick: AtomicU64,
+    /// Entries evicted by the size bound (see
+    /// [`CacheStats::evicted_size`]).
+    evicted_size: AtomicU64,
+    /// Entries evicted by the age bound (see
+    /// [`CacheStats::evicted_age`]).
+    evicted_age: AtomicU64,
     /// Thundering-herd guard: fingerprints currently being solved. A
     /// lookup that finds its key here waits for the leader to finish and
     /// then re-reads the cache, instead of solving the identical problem
@@ -184,6 +217,16 @@ struct Persistence {
     /// the drop-time compaction skip rewriting files that are already
     /// exactly the live set.
     dirty: std::sync::atomic::AtomicBool,
+    /// Successful appends since the last compaction; when it reaches
+    /// [`crate::CacheLifecycle::compact_every`] the appending thread
+    /// compacts in place, starting a new generation.
+    appends: AtomicU64,
+    /// Completed compaction generations (see
+    /// [`CacheStats::compactions`]).
+    generation: AtomicU64,
+    /// Single-flight latch so concurrent append thresholds trigger one
+    /// compaction, not a pile-up behind the store locks.
+    compacting: std::sync::atomic::AtomicBool,
     /// Load-time diagnostics: skipped records, ignored files.
     warnings: Vec<String>,
 }
@@ -222,6 +265,9 @@ impl Engine {
             shared_exported: AtomicU64::new(0),
             shared_imported: AtomicU64::new(0),
             shared_dropped: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            evicted_size: AtomicU64::new(0),
+            evicted_age: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             persist: None,
@@ -257,11 +303,31 @@ impl Engine {
             dir: dir.to_path_buf(),
             loaded: Mutex::new(loaded),
             dirty: std::sync::atomic::AtomicBool::new(false),
+            appends: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            compacting: std::sync::atomic::AtomicBool::new(false),
             warnings,
         };
+        // Loaded entries all share one birth instant and tick 0: the age
+        // bound measures residency in *this* process, and an untouched
+        // loaded entry is the first LRU victim.
+        let now = Instant::now();
+        let cache: HashMap<Fingerprint, CacheEntry> = results
+            .into_iter()
+            .map(|(key, outcome)| {
+                (
+                    key,
+                    CacheEntry {
+                        outcome,
+                        inserted: now,
+                        last_used: 0,
+                    },
+                )
+            })
+            .collect();
         Ok(Engine {
             config,
-            cache: Mutex::new(results),
+            cache: Mutex::new(cache),
             bounds: Mutex::new(bounds),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -273,6 +339,9 @@ impl Engine {
             shared_exported: AtomicU64::new(0),
             shared_imported: AtomicU64::new(0),
             shared_dropped: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            evicted_size: AtomicU64::new(0),
+            evicted_age: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
             persist: Some(persistence),
@@ -314,6 +383,12 @@ impl Engine {
             shared_exported: self.shared_exported.load(Ordering::Relaxed),
             shared_imported: self.shared_imported.load(Ordering::Relaxed),
             shared_dropped: self.shared_dropped.load(Ordering::Relaxed),
+            evicted_size: self.evicted_size.load(Ordering::Relaxed),
+            evicted_age: self.evicted_age.load(Ordering::Relaxed),
+            compactions: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.generation.load(Ordering::Relaxed)),
         }
     }
 
@@ -351,7 +426,7 @@ impl Engine {
             let cache = lock(&self.cache);
             let mut payloads: Vec<(Fingerprint, Vec<u8>)> = cache
                 .iter()
-                .map(|(&key, outcome)| (key, persist::encode_result_record(key, outcome)))
+                .map(|(&key, entry)| (key, persist::encode_result_record(key, &entry.outcome)))
                 .collect();
             // Deterministic file contents: key order, not hash-map order.
             payloads.sort_by_key(|(key, _)| *key);
@@ -385,6 +460,10 @@ impl Engine {
         }
         // ordering: same advisory dirty flag as in clear_cache.
         persist.dirty.store(false, Ordering::Relaxed);
+        // ordering: both are advisory counters — appends restarts the
+        // incremental-compaction countdown, generation feeds telemetry.
+        persist.appends.store(0, Ordering::Relaxed);
+        persist.generation.fetch_add(1, Ordering::Relaxed); // ordering: see above
         Ok(())
     }
 
@@ -412,7 +491,16 @@ impl Engine {
     pub fn lookup_cached(&self, dfg: &Dfg, cgra: &Cgra) -> Option<Served> {
         let key = fingerprint(dfg, cgra, &self.config);
         let mut span = obs::trace::Span::begin(obs::trace::Category::Persist, "cache_probe");
-        let hit = lock(&self.cache).get(&key).map(Arc::clone);
+        let hit = {
+            // ordering: the LRU tick only needs uniqueness-ish
+            // monotonicity for victim selection; ties are harmless.
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let mut cache = lock(&self.cache);
+            cache.get_mut(&key).map(|entry| {
+                entry.last_used = tick;
+                Arc::clone(&entry.outcome)
+            })
+        };
         let Some(hit) = hit else {
             span.arg("hit", 0);
             return None;
@@ -437,6 +525,17 @@ impl Engine {
         })
     }
 
+    /// Whether `(dfg, cgra)` is currently memoized, *without* counting a
+    /// hit or touching the LRU clock. For admission controllers deciding
+    /// whether a tight-deadline request is worth queuing: a positive
+    /// probe here means the worker will answer from the cache in
+    /// microseconds, so shedding it would be wrong — while the eventual
+    /// serve still books its hit exactly once.
+    pub fn peek_cached(&self, dfg: &Dfg, cgra: &Cgra) -> bool {
+        let key = fingerprint(dfg, cgra, &self.config);
+        lock(&self.cache).contains_key(&key)
+    }
+
     /// [`Engine::map`] with an optional wall-clock deadline for *this
     /// lookup only*. The cache key is unchanged — the deadline is an
     /// execution constraint, not part of the problem — so a request that
@@ -458,7 +557,16 @@ impl Engine {
         deadline: Option<Instant>,
     ) -> Served {
         loop {
-            if let Some(hit) = lock(&self.cache).get(&key) {
+            let hit = {
+                // ordering: LRU tick, as in lookup_cached.
+                let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+                let mut cache = lock(&self.cache);
+                cache.get_mut(&key).map(|entry| {
+                    entry.last_used = tick;
+                    Arc::clone(&entry.outcome)
+                })
+            };
+            if let Some(hit) = hit {
                 // ordering: monotone telemetry counter; Relaxed suffices.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let persistent = self
@@ -485,7 +593,7 @@ impl Engine {
                     );
                 }
                 return Served {
-                    outcome: Arc::clone(hit),
+                    outcome: hit,
                     key,
                     cached: true,
                     persistent,
@@ -587,8 +695,21 @@ impl Engine {
             };
         }
         let shared = {
+            // ordering: LRU tick, as in lookup_cached. Taken before the
+            // lock so the freshly inserted entry carries the newest
+            // stamp and can never be the eviction victim it just made
+            // room for.
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
             let mut cache = lock(&self.cache);
-            Arc::clone(cache.entry(key).or_insert_with(|| Arc::clone(&outcome)))
+            let entry = cache.entry(key).or_insert_with(|| CacheEntry {
+                outcome: Arc::clone(&outcome),
+                inserted: Instant::now(),
+                last_used: 0,
+            });
+            entry.last_used = tick;
+            let shared = Arc::clone(&entry.outcome);
+            self.evict_locked(&mut cache);
+            shared
         };
         // Only the winning insert reaches the store — a lane that lost the
         // race to an identical key must not write a duplicate record.
@@ -600,8 +721,12 @@ impl Engine {
                 span.arg("bytes", record.len() as i64);
                 let result = lock(&persist.results).append(&record);
                 match result {
-                    // ordering: advisory dirty flag, read at drop.
-                    Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
+                    Ok(()) => {
+                        // ordering: advisory dirty flag, read at drop.
+                        persist.dirty.store(true, Ordering::Relaxed);
+                        drop(span);
+                        self.note_append();
+                    }
                     Err(e) => {
                         span.arg_str("error", "append_failed");
                         obs::warn!(
@@ -721,8 +846,12 @@ impl Engine {
                 let record = persist::encode_bound_record(problem_key, proven);
                 let result = lock(&persist.bounds).append(&record);
                 match result {
-                    // ordering: advisory dirty flag, read at drop.
-                    Ok(()) => persist.dirty.store(true, Ordering::Relaxed),
+                    Ok(()) => {
+                        // ordering: advisory dirty flag, read at drop.
+                        persist.dirty.store(true, Ordering::Relaxed);
+                        drop(span);
+                        self.note_append();
+                    }
                     Err(e) => {
                         span.arg_str("error", "append_failed");
                         obs::warn!(
@@ -732,6 +861,97 @@ impl Engine {
                     }
                 }
             }
+        }
+    }
+
+    /// Applies the configured [`crate::CacheLifecycle`] bounds with the
+    /// cache lock held: first sweeps entries past `max_age`, then evicts
+    /// least-recently-used entries until `max_entries` is honoured. The
+    /// caller just inserted the newest entry, which carries the highest
+    /// tick and therefore never evicts itself.
+    fn evict_locked(&self, cache: &mut HashMap<Fingerprint, CacheEntry>) {
+        let lifecycle = &self.config.lifecycle;
+        if let Some(max_age) = lifecycle.max_age {
+            let now = Instant::now();
+            let expired: Vec<Fingerprint> = cache
+                .iter()
+                .filter(|(_, entry)| now.duration_since(entry.inserted) > max_age)
+                .map(|(&key, _)| key)
+                .collect();
+            for key in expired {
+                cache.remove(&key);
+                self.drop_loaded(key);
+                // ordering: monotone telemetry counter.
+                self.evicted_age.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if lifecycle.max_entries == 0 {
+            return;
+        }
+        while cache.len() > lifecycle.max_entries {
+            let victim = cache
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(&key, _)| key);
+            let Some(victim) = victim else { break };
+            cache.remove(&victim);
+            self.drop_loaded(victim);
+            // ordering: monotone telemetry counter.
+            self.evicted_size.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Forgets that `key` was seeded from disk, so a later re-solve of an
+    /// evicted entry is fresh work, not a persistent hit — and marks the
+    /// store dirty, because it still holds the evicted record until the
+    /// next compaction.
+    fn drop_loaded(&self, key: Fingerprint) {
+        if let Some(persist) = &self.persist {
+            lock(&persist.loaded).remove(&key);
+            // ordering: advisory dirty flag, read at drop.
+            persist.dirty.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Books one successful store append and, every
+    /// [`crate::CacheLifecycle::compact_every`] appends, compacts the
+    /// stores in place — incremental compaction instead of letting
+    /// superseded records pile up until shutdown. Single-flight: when
+    /// several threads cross the threshold together, one compacts and
+    /// the rest skip. Callers must not hold any engine lock.
+    fn note_append(&self) {
+        let every = self.config.lifecycle.compact_every;
+        let Some(persist) = &self.persist else { return };
+        if every == 0 {
+            return;
+        }
+        // ordering: the append counter is advisory — an off-by-a-few
+        // threshold crossing only shifts when compaction runs.
+        if persist.appends.fetch_add(1, Ordering::Relaxed) + 1 < every {
+            return;
+        }
+        // ordering: acquire/release on the single-flight latch pairs the
+        // winner's compaction with the store(false) that reopens it.
+        if persist
+            .compacting
+            .compare_exchange(
+                false,
+                true,
+                Ordering::Acquire,
+                Ordering::Relaxed, // ordering: failed CAS just skips; no data guarded
+            )
+            .is_err()
+        {
+            return;
+        }
+        let result = self.compact_persistent();
+        // ordering: release the latch; see the CAS above.
+        persist.compacting.store(false, Ordering::Release);
+        if let Err(e) = result {
+            obs::warn!(
+                "satmapit::engine::persist",
+                "incremental cache compaction failed: {e}"
+            );
         }
     }
 

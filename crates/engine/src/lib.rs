@@ -100,6 +100,38 @@ impl Default for ShareConfig {
     }
 }
 
+/// Lifecycle bounds for the engine's result cache and its on-disk
+/// store. None of these knobs joins any fingerprint: they change *when*
+/// an answer has to be recomputed, never what the answer is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLifecycle {
+    /// Upper bound on in-memory result-cache entries; exceeding it
+    /// evicts least-recently-used entries (counted in
+    /// [`CacheStats::evicted_size`]). `0` means unbounded — the
+    /// default, preserving the grow-forever behaviour batch runs want.
+    pub max_entries: usize,
+    /// Upper bound on an entry's age (measured from when it entered
+    /// this process's cache, by load or by solve); older entries are
+    /// evicted on the next insert (counted in
+    /// [`CacheStats::evicted_age`]). `None` means unbounded.
+    pub max_age: Option<std::time::Duration>,
+    /// How many successful store appends accumulate before the engine
+    /// compacts the persistent stores in place, starting a new
+    /// generation (counted in [`CacheStats::compactions`]). `0` defers
+    /// every compaction to shutdown, the pre-lifecycle behaviour.
+    pub compact_every: u64,
+}
+
+impl Default for CacheLifecycle {
+    fn default() -> CacheLifecycle {
+        CacheLifecycle {
+            max_entries: 0,
+            max_age: None,
+            compact_every: 256,
+        }
+    }
+}
+
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -119,6 +151,10 @@ pub struct EngineConfig {
     /// Learnt-clause sharing between portfolio siblings (off by
     /// default).
     pub share: ShareConfig,
+    /// Result-cache eviction bounds and incremental store compaction
+    /// cadence (unbounded cache, compaction every 256 appends by
+    /// default). Never part of a fingerprint.
+    pub lifecycle: CacheLifecycle,
     /// Test-only fault injection: race workers panic while attempting a
     /// DFG with exactly this name, exercising the engine's
     /// panic-isolation path. `None` (always, outside tests) is
@@ -135,6 +171,7 @@ impl Default for EngineConfig {
             portfolio: 1,
             workers: 0,
             share: ShareConfig::off(),
+            lifecycle: CacheLifecycle::default(),
             panic_on_name: None,
         }
     }

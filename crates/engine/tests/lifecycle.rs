@@ -1,0 +1,193 @@
+//! The cache lifecycle end to end: the size bound holds under a
+//! sustained cold-miss workload (LRU victims, counters booked), the age
+//! bound expires stale entries, and incremental compaction keeps the
+//! on-disk store one-record-per-entry without waiting for shutdown.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::{CacheLifecycle, Engine, EngineConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A unique, self-cleaning cache directory per test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "satmapit-lifecycle-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("create temp cache dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chain(n: usize) -> Dfg {
+    let mut dfg = Dfg::new(format!("chain{n}"));
+    let mut prev = dfg.add_const(1);
+    for _ in 1..n {
+        let next = dfg.add_node(Op::Neg);
+        dfg.add_edge(prev, next, 0);
+        prev = next;
+    }
+    dfg
+}
+
+fn bounded(max_entries: usize) -> EngineConfig {
+    EngineConfig {
+        lifecycle: CacheLifecycle {
+            max_entries,
+            ..CacheLifecycle::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn the_size_bound_holds_under_a_sustained_cold_miss_workload() {
+    let cgra = Cgra::square(2);
+    let engine = Engine::new(bounded(4));
+    for n in 2..14 {
+        let (_, cached) = engine.map(&chain(n), &cgra);
+        assert!(!cached, "chain{n} is a distinct problem");
+        let stats = engine.cache_stats();
+        assert!(
+            stats.entries <= 4,
+            "cache exceeded its bound after chain{n}: {} entries",
+            stats.entries
+        );
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 4, "cache sits exactly at its bound");
+    assert_eq!(stats.misses, 12);
+    assert_eq!(
+        stats.evicted_size, 8,
+        "12 inserts into a 4-slot cache evict 8"
+    );
+    assert_eq!(stats.evicted_age, 0, "no age bound configured");
+}
+
+#[test]
+fn eviction_is_least_recently_used_and_a_touch_refreshes() {
+    let cgra = Cgra::square(2);
+    let engine = Engine::new(bounded(2));
+    let old = chain(2);
+    let newer = chain(3);
+    engine.map(&old, &cgra);
+    engine.map(&newer, &cgra);
+    // Touch `old` so `newer` becomes the LRU victim of the next insert.
+    let (_, cached) = engine.map(&old, &cgra);
+    assert!(cached);
+    engine.map(&chain(4), &cgra);
+    let (_, cached) = engine.map(&old, &cgra);
+    assert!(cached, "the recently touched entry survived eviction");
+    let (_, cached) = engine.map(&newer, &cgra);
+    assert!(!cached, "the least recently used entry was the victim");
+}
+
+#[test]
+fn the_age_bound_expires_stale_entries() {
+    let cgra = Cgra::square(2);
+    let config = EngineConfig {
+        lifecycle: CacheLifecycle {
+            max_age: Some(Duration::from_millis(30)),
+            ..CacheLifecycle::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(config);
+    engine.map(&chain(2), &cgra);
+    std::thread::sleep(Duration::from_millis(40));
+    // The sweep runs on insert: this solve evicts the stale entry.
+    engine.map(&chain(3), &cgra);
+    let stats = engine.cache_stats();
+    assert!(
+        stats.evicted_age >= 1,
+        "the over-age entry was swept: {stats:?}"
+    );
+    let (_, cached) = engine.map(&chain(2), &cgra);
+    assert!(!cached, "an expired entry re-solves");
+}
+
+#[test]
+fn incremental_compaction_runs_between_appends_not_just_at_shutdown() {
+    let dir = TempDir::new("incremental");
+    let cgra = Cgra::square(2);
+    let config = EngineConfig {
+        lifecycle: CacheLifecycle {
+            compact_every: 2,
+            ..CacheLifecycle::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine = Engine::with_cache_dir(config, dir.path()).unwrap();
+    for n in 2..6 {
+        engine.map(&chain(n), &cgra);
+    }
+    let stats = engine.cache_stats();
+    assert!(
+        stats.compactions >= 2,
+        "4 appends at compact_every=2 start at least 2 generations: {stats:?}"
+    );
+    // The compacted store replays cleanly while the engine is still
+    // running — no shutdown needed.
+    let replay = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+    assert!(
+        replay.load_warnings().is_empty(),
+        "{:?}",
+        replay.load_warnings()
+    );
+    assert!(replay.cache_stats().persistent_entries >= 2);
+}
+
+#[test]
+fn an_evicted_persistent_entry_stops_counting_as_loaded() {
+    let dir = TempDir::new("evict-loaded");
+    let cgra = Cgra::square(2);
+    {
+        let engine = Engine::with_cache_dir(EngineConfig::default(), dir.path()).unwrap();
+        engine.map(&chain(2), &cgra);
+        engine.map(&chain(3), &cgra);
+    }
+    let engine = Engine::with_cache_dir(
+        EngineConfig {
+            lifecycle: CacheLifecycle {
+                max_entries: 1,
+                ..CacheLifecycle::default()
+            },
+            ..EngineConfig::default()
+        },
+        dir.path(),
+    )
+    .unwrap();
+    assert_eq!(engine.cache_stats().persistent_entries, 2);
+    // A fresh solve overflows the 1-slot cache and evicts both loaded
+    // entries (they share tick 0; two evictions restore the bound).
+    engine.map(&chain(4), &cgra);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.evicted_size, 2);
+    assert_eq!(
+        stats.persistent_entries, 0,
+        "evicted keys no longer report as loaded-from-disk"
+    );
+    // Re-solving an evicted key is fresh work, not a persistent hit.
+    let served = engine.map_with_deadline(&chain(2), &cgra, None);
+    assert!(!served.cached);
+    assert!(!served.persistent);
+}

@@ -284,7 +284,7 @@ pub struct Workspace {
 const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", ".github", "node_modules"];
 
 impl Workspace {
-    /// Loads every `.rs` file under `root`, skipping [`SKIP_DIRS`].
+    /// Loads every `.rs` file under `root`, skipping `SKIP_DIRS`.
     ///
     /// # Errors
     ///

@@ -67,6 +67,20 @@ fn seeded_violations_in_real_files_still_fire() {
             "fn _seeded() {}\n",
             "format-version",
         ),
+        // The transport crate is inside the lint perimeter: a bare
+        // ordering in the event-loop plumbing fires like anywhere else.
+        (
+            "crates/net/src/poller.rs",
+            "fn _seeded(c: &std::sync::atomic::AtomicU64) -> u64 {\n    \
+                 c.load(std::sync::atomic::Ordering::Acquire)\n\
+             }\n",
+            "atomic-ordering",
+        ),
+        (
+            "crates/net/src/ring.rs",
+            "fn _seeded() { eprintln!(\"diag\"); }\n",
+            "log-discipline",
+        ),
     ];
     for &(rel_path, seed, lint) in seeds {
         let mut ws = Workspace::load(root).expect("workspace must be readable");
@@ -100,5 +114,27 @@ fn seeded_violations_in_real_files_still_fire() {
             .iter()
             .any(|f| f.lint == "unsafe-gate" && f.file == rel_path),
         "removing the engine's unsafe gate did not fire unsafe-gate"
+    );
+
+    // The net crate cannot forbid unsafe (its sys module needs two FFI
+    // calls), so it carries an explicit waiver instead; dropping that
+    // waiver line must likewise fire.
+    let mut ws = Workspace::load(root).expect("workspace must be readable");
+    let rel_path = "crates/net/src/lib.rs";
+    let text: String = ws
+        .file(rel_path)
+        .expect("net crate root exists")
+        .text
+        .lines()
+        .filter(|line| !line.contains("lint: allow(unsafe-gate)"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    ws.files.retain(|f| f.rel_path != rel_path);
+    ws.files.push(SourceFile::from_source(rel_path, text));
+    assert!(
+        run(&ws)
+            .iter()
+            .any(|f| f.lint == "unsafe-gate" && f.file == rel_path),
+        "removing the net crate's unsafe-gate waiver did not fire unsafe-gate"
     );
 }

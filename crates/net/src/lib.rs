@@ -1,0 +1,38 @@
+// lint: allow(unsafe-gate) -- epoll/eventfd need two FFI calls; unsafe is confined to src/sys.rs and denied everywhere else
+#![deny(unsafe_code)]
+//! `satmapit-net`: a dependency-free non-blocking transport substrate.
+//!
+//! The service daemon used to run thread-per-connection over blocking
+//! `std::net` with a 100 ms read-timeout poll per client. That shape
+//! caps concurrency at the thread budget and forces a
+//! `TcpStream::connect(self)` hack to unblock the accept loop at
+//! shutdown. This crate provides the pieces for a single-threaded
+//! readiness event loop instead:
+//!
+//! - [`Poller`]: a thin wrapper over Linux `epoll` (level-triggered),
+//!   mapping readiness to caller-chosen [`Token`]s.
+//! - [`Waker`]: an `eventfd`-backed cross-thread wakeup. Worker threads
+//!   call [`Waker::wake`] and the loop's `epoll_wait` returns — no
+//!   self-connect, no timeout polling.
+//! - [`Ring`]: a growable byte ring buffer used per connection for both
+//!   inbound and outbound data.
+//! - [`LineConn`]: a non-blocking `TcpStream` plus read/write rings and
+//!   newline framing with a configurable line-length cap.
+//!
+//! Everything here is `std`-only. The two syscalls Rust's standard
+//! library does not expose (`epoll*`, `eventfd`) live behind a minimal
+//! FFI shim in the private `sys` module; the rest of the crate —
+//! and every caller — is `#![deny(unsafe_code)]` safe Rust operating
+//! on `OwnedFd`s.
+
+mod sys;
+
+pub mod conn;
+pub mod poller;
+pub mod ring;
+pub mod waker;
+
+pub use conn::{LineConn, LineError};
+pub use poller::{Event, Interest, Poller, Token};
+pub use ring::Ring;
+pub use waker::Waker;

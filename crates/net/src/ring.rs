@@ -1,0 +1,292 @@
+//! A growable byte ring buffer.
+//!
+//! One ring sits on each side of every connection: the read ring
+//! accumulates bytes off the socket until a full frame is present, the
+//! write ring holds response bytes until the socket accepts them.
+//! Storage wraps around a power-of-two capacity and doubles when full,
+//! so sustained pipelining never reallocates per request and a burst
+//! larger than the current capacity still succeeds.
+
+use std::io::{self, Read, Write};
+
+/// Initial capacity of a fresh ring; small because most connections
+/// exchange short JSON lines.
+const INITIAL_CAPACITY: usize = 4096;
+
+/// A FIFO byte buffer with wrap-around storage.
+pub struct Ring {
+    buf: Box<[u8]>,
+    /// Index of the first unread byte.
+    head: usize,
+    /// Number of unread bytes.
+    len: usize,
+}
+
+impl Default for Ring {
+    fn default() -> Ring {
+        Ring::new()
+    }
+}
+
+impl Ring {
+    /// An empty ring with the default capacity.
+    #[must_use]
+    pub fn new() -> Ring {
+        Ring {
+            buf: vec![0; INITIAL_CAPACITY].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of buffered (unread) bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bytes are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The two contiguous readable regions, in FIFO order. The second
+    /// is empty unless the data currently wraps.
+    #[must_use]
+    pub fn as_slices(&self) -> (&[u8], &[u8]) {
+        let cap = self.buf.len();
+        let first_len = self.len.min(cap - self.head);
+        let first = &self.buf[self.head..self.head + first_len];
+        let second = &self.buf[..self.len - first_len];
+        (first, second)
+    }
+
+    /// Ensures space for `extra` more bytes, doubling capacity as
+    /// needed and linearizing the contents on reallocation.
+    fn reserve(&mut self, extra: usize) {
+        let needed = self.len + extra;
+        if needed <= self.buf.len() {
+            return;
+        }
+        let mut cap = self.buf.len().max(1);
+        while cap < needed {
+            cap *= 2;
+        }
+        let mut next = vec![0; cap].into_boxed_slice();
+        let (a, b) = self.as_slices();
+        next[..a.len()].copy_from_slice(a);
+        next[a.len()..a.len() + b.len()].copy_from_slice(b);
+        self.buf = next;
+        self.head = 0;
+    }
+
+    /// Appends `data`, growing if necessary.
+    pub fn push_slice(&mut self, data: &[u8]) {
+        self.reserve(data.len());
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) % cap;
+        let first_len = data.len().min(cap - tail);
+        self.buf[tail..tail + first_len].copy_from_slice(&data[..first_len]);
+        self.buf[..data.len() - first_len].copy_from_slice(&data[first_len..]);
+        self.len += data.len();
+    }
+
+    /// Pops up to `out.len()` bytes into `out`; returns how many.
+    pub fn pop_into(&mut self, out: &mut [u8]) -> usize {
+        let take = out.len().min(self.len);
+        let (a, b) = self.as_slices();
+        let from_a = take.min(a.len());
+        out[..from_a].copy_from_slice(&a[..from_a]);
+        out[from_a..take].copy_from_slice(&b[..take - from_a]);
+        self.consume(take);
+        take
+    }
+
+    /// Discards the first `n` buffered bytes.
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.head = (self.head + n) % self.buf.len();
+        self.len -= n;
+        if self.len == 0 {
+            self.head = 0;
+        }
+    }
+
+    /// Index (relative to the FIFO front) of the first occurrence of
+    /// `byte`, if buffered.
+    #[must_use]
+    pub fn find(&self, byte: u8) -> Option<usize> {
+        let (a, b) = self.as_slices();
+        if let Some(i) = a.iter().position(|&x| x == byte) {
+            return Some(i);
+        }
+        b.iter().position(|&x| x == byte).map(|i| a.len() + i)
+    }
+
+    /// Pops bytes up to and including the first `delim`, returning the
+    /// frame without the delimiter. `None` when no delimiter is
+    /// buffered yet.
+    pub fn take_until(&mut self, delim: u8) -> Option<Vec<u8>> {
+        let at = self.find(delim)?;
+        let mut frame = vec![0; at];
+        let took = self.pop_into(&mut frame);
+        debug_assert_eq!(took, at);
+        self.consume(1);
+        Some(frame)
+    }
+
+    /// Reads from `src` (typically a non-blocking socket) until it
+    /// would block, reaches EOF, or `limit` buffered bytes is hit.
+    /// Returns `(bytes_read, saw_eof)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors other than `WouldBlock`/`Interrupted`.
+    pub fn fill_from(&mut self, src: &mut impl Read, limit: usize) -> io::Result<(usize, bool)> {
+        let mut total = 0;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if self.len >= limit {
+                return Ok((total, false));
+            }
+            let want = chunk.len().min(limit - self.len);
+            match src.read(&mut chunk[..want]) {
+                Ok(0) => return Ok((total, true)),
+                Ok(n) => {
+                    self.push_slice(&chunk[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok((total, false)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes buffered bytes to `dst` (typically a non-blocking
+    /// socket) until it would block or the ring empties. Returns the
+    /// number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors other than `WouldBlock`/`Interrupted`.
+    pub fn drain_to(&mut self, dst: &mut impl Write) -> io::Result<usize> {
+        let mut total = 0;
+        while !self.is_empty() {
+            let (a, _) = self.as_slices();
+            match dst.write(a) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.consume(n);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_survives_wraparound_and_growth() {
+        let mut ring = Ring::new();
+        // Force many wraps with interleaved push/pop at awkward sizes.
+        let mut expected = Vec::new();
+        let mut popped = Vec::new();
+        let mut next: u8 = 0;
+        for round in 0..200 {
+            let push = 37 + (round % 61);
+            let chunk: Vec<u8> = (0..push)
+                .map(|_| {
+                    next = next.wrapping_add(1);
+                    next
+                })
+                .collect();
+            expected.extend_from_slice(&chunk);
+            ring.push_slice(&chunk);
+            let mut out = vec![0; 23 + (round % 29)];
+            let n = ring.pop_into(&mut out);
+            popped.extend_from_slice(&out[..n]);
+        }
+        let mut rest = vec![0; ring.len()];
+        let n = ring.pop_into(&mut rest);
+        popped.extend_from_slice(&rest[..n]);
+        assert_eq!(popped, expected);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_wrapped_contents() {
+        let mut ring = Ring::new();
+        ring.push_slice(&vec![1u8; INITIAL_CAPACITY - 10]);
+        let mut scratch = vec![0; INITIAL_CAPACITY - 100];
+        ring.pop_into(&mut scratch);
+        // Head is now deep into the buffer; this push wraps, the next
+        // one grows.
+        ring.push_slice(&[2u8; 50]);
+        ring.push_slice(&vec![3u8; INITIAL_CAPACITY]);
+        let mut out = vec![0; ring.len()];
+        ring.pop_into(&mut out);
+        assert_eq!(&out[..90], &[1u8; 90][..]);
+        assert_eq!(&out[90..140], &[2u8; 50][..]);
+        assert_eq!(&out[140..], &[3u8; INITIAL_CAPACITY][..]);
+    }
+
+    #[test]
+    fn take_until_frames_lines() {
+        let mut ring = Ring::new();
+        ring.push_slice(b"alpha\nbeta");
+        assert_eq!(ring.take_until(b'\n').unwrap(), b"alpha");
+        assert_eq!(ring.take_until(b'\n'), None);
+        ring.push_slice(b"\n\n");
+        assert_eq!(ring.take_until(b'\n').unwrap(), b"beta");
+        assert_eq!(ring.take_until(b'\n').unwrap(), b"");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn find_spans_the_wrap_point() {
+        let mut ring = Ring::new();
+        ring.push_slice(&vec![b'x'; INITIAL_CAPACITY - 4]);
+        let mut scratch = vec![0; INITIAL_CAPACITY - 12];
+        ring.pop_into(&mut scratch);
+        // 8 bytes buffered near the end; the newline lands after the
+        // wrap.
+        ring.push_slice(b"abc\ndef");
+        assert_eq!(ring.find(b'\n'), Some(8 + 3));
+        let line = ring.take_until(b'\n').unwrap();
+        assert_eq!(&line[8..], b"abc");
+    }
+
+    #[test]
+    fn fill_from_respects_the_limit() {
+        let mut ring = Ring::new();
+        let data = vec![7u8; 1000];
+        let mut src = io::Cursor::new(data);
+        let (n, eof) = ring.fill_from(&mut src, 64).unwrap();
+        assert_eq!(n, 64);
+        assert!(!eof);
+        assert_eq!(ring.len(), 64);
+        let (n, eof) = ring.fill_from(&mut src, usize::MAX).unwrap();
+        assert_eq!(n, 936);
+        assert!(eof);
+    }
+
+    #[test]
+    fn drain_to_writes_everything_to_a_willing_sink() {
+        let mut ring = Ring::new();
+        ring.push_slice(b"hello world");
+        let mut sink = Vec::new();
+        let n = ring.drain_to(&mut sink).unwrap();
+        assert_eq!(n, 11);
+        assert_eq!(sink, b"hello world");
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! The one unsafe corner of the crate: FFI declarations for the two
+//! kernel interfaces `std` does not expose — `epoll` and `eventfd` —
+//! plus thin safe wrappers that immediately convert raw descriptors
+//! into [`OwnedFd`] so lifetimes and close-on-drop are handled by the
+//! standard library from there on.
+//!
+//! The symbols are provided by the C library every Rust binary on
+//! Linux already links; no external crate is involved.
+#![allow(unsafe_code)]
+
+use std::ffi::{c_int, c_uint};
+use std::io;
+use std::os::fd::{AsRawFd, BorrowedFd, FromRawFd, OwnedFd};
+
+/// Mirrors the kernel's `struct epoll_event`. On x86-64 the kernel ABI
+/// packs the struct (no padding between `events` and `data`), which is
+/// what `#[repr(C, packed)]` reproduces.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0x8_0000;
+const EFD_CLOEXEC: c_int = 0x8_0000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+/// Converts a raw return value into `io::Result`, capturing `errno`
+/// on failure.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)` returning an owned descriptor.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = cvt(
+        // SAFETY: epoll_create1 takes no pointers; a non-negative
+        // return is a freshly created descriptor we alone own.
+        unsafe { epoll_create1(EPOLL_CLOEXEC) },
+    )?;
+    // SAFETY: `fd` was just returned by the kernel and is not owned by
+    // any other handle.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)` returning an owned
+/// descriptor. Reads and writes on it go through `std::fs::File`
+/// (see `waker.rs`) — only creation needs FFI.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    let fd = cvt(
+        // SAFETY: eventfd takes no pointers; a non-negative return is
+        // a freshly created descriptor we alone own.
+        unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) },
+    )?;
+    // SAFETY: `fd` was just returned by the kernel and is not owned by
+    // any other handle.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// `epoll_ctl` with ADD/MOD/DEL. `event` is ignored by the kernel for
+/// DEL (passing a valid pointer keeps pre-2.6.9 kernels happy and
+/// costs nothing).
+pub fn epoll_ctl_op(
+    epfd: BorrowedFd<'_>,
+    op: c_int,
+    fd: BorrowedFd<'_>,
+    events: u32,
+    data: u64,
+) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(
+        // SAFETY: both descriptors are live for the duration of the
+        // call (borrowed), and `ev` is a valid, initialized struct
+        // that outlives the call.
+        unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd.as_raw_fd(), &mut ev) },
+    )?;
+    Ok(())
+}
+
+/// `epoll_wait` filling `buf`; returns the number of ready events.
+/// A negative `timeout_ms` blocks indefinitely.
+pub fn epoll_wait_into(
+    epfd: BorrowedFd<'_>,
+    buf: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    let max = c_int::try_from(buf.len()).unwrap_or(c_int::MAX);
+    loop {
+        let ret =
+            // SAFETY: `buf` is a valid writable region of `max`
+            // `EpollEvent`s and the descriptor is live (borrowed).
+            unsafe { epoll_wait(epfd.as_raw_fd(), buf.as_mut_ptr(), max, timeout_ms) };
+        match cvt(ret) {
+            Ok(n) => return Ok(n as usize),
+            // A signal delivery interrupts the wait; retrying is the
+            // only sensible policy for an event loop.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

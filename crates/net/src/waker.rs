@@ -1,0 +1,120 @@
+//! Cross-thread wakeup for the event loop, backed by an `eventfd`.
+//!
+//! The loop registers the waker's descriptor with its [`Poller`]; any
+//! thread may call [`Waker::wake`] and the loop's `epoll_wait`
+//! returns. This replaces the old daemon's shutdown hack of opening a
+//! TCP connection to itself just to unblock `accept`.
+//!
+//! [`Poller`]: crate::poller::Poller
+
+use crate::sys;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsFd, BorrowedFd};
+use std::sync::Arc;
+
+/// A cloneable wakeup handle. All clones share one eventfd; waking an
+/// already-woken waker is harmless (the counter saturates, the loop
+/// drains it once).
+#[derive(Clone)]
+pub struct Waker {
+    // eventfd reads/writes are plain 8-byte file I/O, so after the
+    // FFI creation call the descriptor lives inside a `File` and all
+    // I/O is safe std code. `&File` is Read + Write, so no lock is
+    // needed for concurrent wakes.
+    file: Arc<File>,
+}
+
+impl Waker {
+    /// Creates a new eventfd-backed waker (non-blocking,
+    /// close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd` creation failure.
+    pub fn new() -> io::Result<Waker> {
+        let fd = sys::eventfd_create()?;
+        Ok(Waker {
+            file: Arc::new(File::from(fd)),
+        })
+    }
+
+    /// The descriptor to register with a poller (readable when woken).
+    pub fn as_fd(&self) -> BorrowedFd<'_> {
+        self.file.as_fd()
+    }
+
+    /// Signals the event loop. Callable from any thread, any number of
+    /// times; wakes coalesce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure. `WouldBlock` (counter saturated
+    /// at `u64::MAX - 1`) is treated as success — the loop is already
+    /// as woken as it can get.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&*self.file).write_all(&1u64.to_ne_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Clears the pending wake count so the descriptor stops reading
+    /// as ready. The loop calls this once per wakeup event.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // A failed read means the counter was already zero
+        // (WouldBlock) — nothing to clear.
+        let _ = (&*self.file).read(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::{Interest, Poller, Token};
+    use std::time::Duration;
+
+    #[test]
+    fn wake_makes_the_poller_return() {
+        let waker = Waker::new().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(waker.as_fd(), Token(0), Interest::READ).unwrap();
+
+        // Quiet waker: zero-timeout wait sees nothing.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // A wake from another thread is observed.
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || remote.wake().unwrap());
+        poller
+            .wait(&mut events, Some(Duration::from_millis(2000)))
+            .unwrap();
+        t.join().unwrap();
+        assert!(events.iter().any(|e| e.token == Token(0) && e.readable));
+
+        // Draining clears readiness; double-drain is harmless.
+        waker.drain();
+        waker.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Coalesced wakes drain in one call.
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        waker.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

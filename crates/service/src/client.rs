@@ -5,7 +5,8 @@ use crate::json::{self, Json};
 use crate::wire::MapRequest;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A client-side failure: transport or protocol.
 #[derive(Debug)]
@@ -22,6 +23,22 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
+    }
+}
+
+impl ClientError {
+    /// True when the failure was a socket timeout (connect, read or
+    /// write deadline from [`Client::connect_timeout`] expiring), so
+    /// callers can report the budget instead of a raw OS error.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            )
+        )
     }
 }
 
@@ -49,6 +66,30 @@ impl Client {
     /// Standard connection failures.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// [`Client::connect`] with a budget applied to the connect itself
+    /// and, as read/write timeouts, to every later round-trip. A stalled
+    /// or unreachable daemon then fails with a timeout error instead of
+    /// hanging the caller forever.
+    ///
+    /// # Errors
+    ///
+    /// Standard connection failures, an unresolvable address, or the
+    /// connect not completing within `timeout`.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("address `{addr}` did not resolve")))?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

@@ -1,54 +1,80 @@
-//! The mapping daemon: a TCP listener, a bounded admission queue, and a
-//! worker pool driving the batch [`Engine`].
+//! The mapping daemon: an epoll event loop, an earliest-deadline-first
+//! admission queue, and a worker pool driving the batch [`Engine`].
 //!
-//! Concurrency model, deliberately simple and fully `std`:
+//! Concurrency model, deliberately simple and fully `std` (the
+//! transport substrate lives in `satmapit-net`):
 //!
-//! * one thread per client connection reads request lines and writes
-//!   response lines (requests on a single connection are answered in
-//!   order; concurrency comes from multiple connections);
-//! * `map` requests are **admitted** into a bounded queue — a full queue
-//!   answers `queue full` immediately (backpressure) instead of
-//!   buffering unboundedly;
-//! * a fixed pool of worker threads pops the queue and solves through
-//!   the shared [`Engine`], so cache hits and in-flight deduplication
-//!   work across all clients;
-//! * per-request `timeout_ms` becomes a wall-clock deadline at admission
-//!   and is mapped onto the solver's `SolveLimits` through
-//!   [`Engine::map_with_deadline`]; a deadline that is *already expired*
-//!   at admission (`timeout_ms: 0`) is answered immediately instead of
-//!   wasting a queue slot and a worker wakeup — with the cached result
-//!   when one exists (matching the engine, which checks the cache before
-//!   the clock), and a timeout response otherwise;
-//! * `shutdown` drains the queue, compacts the persistent caches and
-//!   stops the accept loop.
+//! * **one event-loop thread** owns every connection: it accepts
+//!   non-blocking sockets, frames request lines out of per-connection
+//!   read rings, answers control requests (`stats`, `health`, `trace`,
+//!   `shutdown`) inline, and copies finished responses into write
+//!   rings. Requests on a single connection are answered in order —
+//!   pipelined `map` requests resolve out of order internally but
+//!   their responses are sequenced per connection; concurrency comes
+//!   from multiple connections;
+//! * `map` requests are **admitted** into a bounded
+//!   earliest-deadline-first queue — a full queue answers `queue full`
+//!   immediately (backpressure) instead of buffering unboundedly, and
+//!   a deadlined request whose remaining budget is provably below the
+//!   observed p50 solve latency is **shed** at admission (once
+//!   `SHED_MIN_SAMPLES` solves have been observed) rather than queued
+//!   to time out;
+//! * a fixed pool of worker threads pops the queue in deadline order
+//!   and solves through the shared [`Engine`], so cache hits and
+//!   in-flight deduplication work across all clients; finished
+//!   responses return to the loop through a completion list plus an
+//!   eventfd wake — the old daemon's `TcpStream::connect(self)`
+//!   shutdown hack is gone;
+//! * per-request `timeout_ms` becomes a wall-clock deadline at
+//!   admission and is mapped onto the solver's `SolveLimits` through
+//!   [`Engine::map_with_deadline`]; a deadline that is *already
+//!   expired* at admission (`timeout_ms: 0`) is answered immediately
+//!   instead of wasting a queue slot and a worker wakeup — with the
+//!   cached result when one exists (matching the engine, which checks
+//!   the cache before the clock), and a timeout response otherwise;
+//! * a request line longer than [`ServerConfig::max_line_bytes`] is
+//!   answered with an `error` and the connection is closed — a client
+//!   streaming bytes without `\n` can no longer grow server memory
+//!   without bound;
+//! * `shutdown` stops admissions, drains the queue and in-flight
+//!   solves, flushes pending responses, compacts the persistent caches
+//!   and returns.
 //!
 //! ## Panic isolation
 //!
 //! A panicking solve must cost one request, not the daemon: each worker
 //! wraps the per-item solve in `catch_unwind` and turns a panic into a
 //! per-request `error` response, and every queue-lock acquisition
-//! recovers from poisoning (the queue is a `VecDeque` of fully-owned
-//! items — any interrupted mutation is a single push/pop, so the data is
-//! coherent). Before this, one panicking worker poisoned `inner.queue`
-//! and every later `.expect("queue poisoned")` — connection handlers and
-//! workers alike — aborted, amplifying one bad request into a dead
-//! daemon.
+//! recovers from poisoning (the queue holds fully-owned items — any
+//! interrupted mutation is a single push/pop, so the data is
+//! coherent).
 
 use crate::json::Json;
 use crate::wire::{self, MapRequest, Request};
 use satmapit_engine::{Engine, EngineConfig};
+use satmapit_net::{Event, Interest, LineConn, LineError, Poller, Token, Waker};
 use satmapit_obs as obs;
 use satmapit_obs::Histogram;
-use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Log target for daemon lifecycle and per-request warnings.
 const LOG_TARGET: &str = "satmapit::service";
+
+/// Solved-class samples required before the admission controller
+/// trusts its latency estimate enough to shed. Below this, every
+/// deadlined request is queued and allowed to try.
+const SHED_MIN_SAMPLES: u64 = 8;
+
+/// How long after the queue and in-flight work drain the loop keeps
+/// trying to flush response bytes to clients that are not reading,
+/// before shutdown proceeds without them.
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_secs(5);
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -79,6 +105,10 @@ pub struct ServerConfig {
     /// the structured logger at warn level, so one slow request can be
     /// diagnosed from the daemon's stderr alone. `None` disables.
     pub slow_solve: Option<Duration>,
+    /// Upper bound on a single request line in bytes. A connection
+    /// that exceeds it (e.g. a newline-free byte firehose) is answered
+    /// with an `error` response and closed.
+    pub max_line_bytes: usize,
     /// Fault injection for the panic-isolation regression tests: a worker
     /// panics instead of solving when a `map` request's name equals this
     /// value. Production configs leave it `None`; it exists because no
@@ -97,18 +127,62 @@ impl Default for ServerConfig {
             cache_dir: None,
             trace_dir: None,
             slow_solve: None,
+            max_line_bytes: 4 * 1024 * 1024,
             panic_on_name: None,
         }
     }
 }
 
+/// An admitted `map` request waiting for (or holding) a worker.
 struct WorkItem {
     request: MapRequest,
     deadline: Option<Instant>,
     /// When the request entered the queue — its wait until a worker
     /// pops it is reported as `queue_us`, separately from solve time.
     admitted: Instant,
-    reply: mpsc::Sender<Json>,
+    /// FIFO sequence, the tiebreak among equal (or absent) deadlines.
+    seq: u64,
+    /// Which connection the response routes back to.
+    token: u64,
+    /// Position in that connection's response order.
+    slot: u64,
+}
+
+// Heap order: `BinaryHeap` pops the *greatest* item, so "greatest"
+// means "most urgent" — earliest deadline first, deadlined work ahead
+// of undeadlined work, FIFO among ties. Equality mirrors the same key
+// so the Ord/Eq contract holds.
+impl Ord for WorkItem {
+    fn cmp(&self, other: &WorkItem) -> std::cmp::Ordering {
+        match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (None, None) => std::cmp::Ordering::Equal,
+        }
+        .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for WorkItem {
+    fn partial_cmp(&self, other: &WorkItem) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for WorkItem {
+    fn eq(&self, other: &WorkItem) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for WorkItem {}
+
+/// A finished solve travelling from a worker back to the event loop.
+struct Completion {
+    token: u64,
+    slot: u64,
+    response: Json,
 }
 
 /// Per-outcome solve-latency histograms (microseconds). One mutex per
@@ -185,11 +259,17 @@ struct Inner {
     workers: usize,
     queue_capacity: usize,
     stop: AtomicBool,
-    queue: Mutex<VecDeque<WorkItem>>,
+    queue: Mutex<BinaryHeap<WorkItem>>,
     queue_cv: Condvar,
+    /// Finished solves waiting for the event loop to sequence them into
+    /// their connections; paired with an eventfd wake.
+    completions: Mutex<Vec<Completion>>,
     started: Instant,
     requests: AtomicU64,
     rejected: AtomicU64,
+    /// Deadlined requests refused at admission because the observed
+    /// solve latency made their budget provably insufficient.
+    shed: AtomicU64,
     /// Per-outcome solve latencies; the legacy `solves` stats block is
     /// derived from the `solved` + `timeout` classes.
     latency: Latency,
@@ -206,6 +286,8 @@ struct Inner {
     /// Requests answered with an immediate timeout at admission because
     /// their deadline had already expired (`timeout_ms: 0`).
     expired_at_admission: AtomicU64,
+    /// Request-line cap (see [`ServerConfig::max_line_bytes`]).
+    max_line_bytes: usize,
     /// Test-only fault injection (see [`ServerConfig::panic_on_name`]).
     panic_on_name: Option<String>,
 }
@@ -213,9 +295,9 @@ struct Inner {
 /// Locks the admission queue, recovering from poisoning: the queue holds
 /// fully-owned items and every mutation is a single push/pop, so a
 /// panicking holder cannot leave it incoherent — and refusing to recover
-/// turned one panic into a daemon-wide abort (each later
-/// `.expect("queue poisoned")` re-panicked).
-fn lock_queue<'a>(inner: &'a Inner) -> MutexGuard<'a, VecDeque<WorkItem>> {
+/// turned one panic into a daemon-wide abort in an earlier life of this
+/// daemon.
+fn lock_queue<'a>(inner: &'a Inner) -> MutexGuard<'a, BinaryHeap<WorkItem>> {
     inner.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -278,17 +360,20 @@ impl Server {
                 workers,
                 queue_capacity: config.queue_capacity.max(1),
                 stop: AtomicBool::new(false),
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new(BinaryHeap::new()),
                 queue_cv: Condvar::new(),
+                completions: Mutex::new(Vec::new()),
                 started: Instant::now(),
                 requests: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
                 latency: Latency::new(),
                 trace_dir: config.trace_dir,
                 trace_seq: AtomicU64::new(0),
                 slow_solve: config.slow_solve,
                 panics: AtomicU64::new(0),
                 expired_at_admission: AtomicU64::new(0),
+                max_line_bytes: config.max_line_bytes.max(1),
                 panic_on_name: config.panic_on_name,
             },
         })
@@ -310,46 +395,26 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop I/O failures and the final compaction
+    /// Propagates event-loop I/O failures and the final compaction
     /// error, if any.
     pub fn run(self) -> io::Result<()> {
         let inner = &self.inner;
-        let listener = &self.listener;
+        let waker = Waker::new()?;
         std::thread::scope(|scope| -> io::Result<()> {
             for _ in 0..inner.workers {
-                scope.spawn(|| worker_loop(inner));
+                let worker_waker = waker.clone();
+                scope.spawn(move || worker_loop(inner, &worker_waker));
             }
-            loop {
-                let (stream, _) = match listener.accept() {
-                    Ok(accepted) => accepted,
-                    // ordering: shutdown handshake — `shutdown` stores the
-                    // flag (SeqCst) *before* making the wake-up connection,
-                    // and this accept loop must observe that store once
-                    // accept() returns, or it strands forever re-accepting.
-                    // The syscall pair is not a formal synchronization edge
-                    // in the memory model, so this cold one-shot latch
-                    // deliberately keeps SeqCst rather than relying on it.
-                    Err(e) if inner.stop.load(Ordering::SeqCst) => {
-                        let _ = e;
-                        break;
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(e),
-                };
-                // ordering: same shutdown handshake as above — this load
-                // pairs with the SeqCst store in the `shutdown` request.
-                if inner.stop.load(Ordering::SeqCst) {
-                    break; // the wake-up connection after `shutdown`
-                }
-                scope.spawn(move || {
-                    if let Err(e) = handle_connection(inner, stream) {
-                        // Client went away mid-conversation: routine.
-                        let _ = e;
-                    }
-                });
-            }
+            let result = event_loop(inner, &self.listener, &waker);
+            // Whatever ended the loop — a shutdown request or an epoll
+            // failure — the workers must still be released, or the
+            // scope join blocks forever.
+            // ordering: one-shot stop latch; workers poll it Relaxed
+            // inside a 50ms wait_timeout loop, so SeqCst here is about
+            // making the edge obvious, not about performance.
+            inner.stop.store(true, Ordering::SeqCst);
             inner.queue_cv.notify_all();
-            Ok(())
+            result
         })?;
         // A final flight-recorder dump so spans recorded since the last
         // explicit `trace` drain survive the shutdown.
@@ -362,6 +427,460 @@ impl Server {
             }
         }
         self.inner.engine.compact_persistent()
+    }
+}
+
+/// Token of the listening socket in the poller.
+const LISTENER: Token = Token(0);
+/// Token of the eventfd waker in the poller.
+const WAKER: Token = Token(1);
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 2;
+
+/// One client connection owned by the event loop.
+struct Conn {
+    lc: LineConn,
+    /// `(slot, response)` in request order; a `None` response is an
+    /// in-flight solve. Responses are written out strictly from the
+    /// front, so pipelined requests answer in the order they arrived
+    /// no matter which worker finishes first.
+    slots: VecDeque<(u64, Option<Json>)>,
+    next_slot: u64,
+    /// No more requests are read; the connection closes once its
+    /// pending responses have flushed.
+    closing: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(lc: LineConn) -> Conn {
+        Conn {
+            lc,
+            slots: VecDeque::new(),
+            next_slot: 0,
+            closing: false,
+            interest: Interest::READ,
+        }
+    }
+
+    /// Reserves the next response position; `response` is `None` for
+    /// requests that resolve later (admitted solves).
+    fn push_slot(&mut self, response: Option<Json>) -> u64 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.slots.push_back((slot, response));
+        slot
+    }
+
+    /// Fills a previously reserved slot.
+    fn resolve(&mut self, slot: u64, response: Json) {
+        if let Some(entry) = self.slots.iter_mut().find(|(s, _)| *s == slot) {
+            entry.1 = Some(response);
+        }
+    }
+
+    /// Moves every leading ready response into the write ring.
+    fn stage_ready(&mut self) {
+        while matches!(self.slots.front(), Some((_, Some(_)))) {
+            let (_, response) = self.slots.pop_front().expect("front checked");
+            let mut line = response.expect("ready checked").to_string();
+            line.push('\n');
+            self.lc.queue(line.as_bytes());
+        }
+    }
+
+    /// True when nothing is owed to this client anymore.
+    fn drained(&self) -> bool {
+        self.slots.is_empty() && !self.lc.wants_write()
+    }
+}
+
+/// What the event loop decided to do with a connection after an event.
+enum ConnFate {
+    Keep,
+    Drop,
+}
+
+/// The event loop: accepts, reads, admits, sequences and writes until
+/// a `shutdown` request has been served and all owed work is done.
+fn event_loop(inner: &Inner, listener: &TcpListener, waker: &Waker) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut poller = Poller::new()?;
+    poller.add(listener, LISTENER, Interest::READ)?;
+    poller.add(waker.as_fd(), WAKER, Interest::READ)?;
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut in_flight: usize = 0;
+    let mut next_seq: u64 = 0;
+    let mut events: Vec<Event> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        events.clear();
+        // The timeout is a watchdog, not a schedule: every state change
+        // arrives through the poller (sockets) or the waker
+        // (completions), so a quiet daemon sleeps here.
+        poller.wait(&mut events, Some(Duration::from_millis(100)))?;
+
+        for event in &events {
+            match event.token {
+                LISTENER => accept_ready(inner, listener, &poller, &mut conns, &mut next_token)?,
+                WAKER => waker.drain(),
+                Token(token) => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let fate = if event.readable || event.hangup {
+                        conn_readable(inner, conn, token, &mut in_flight, &mut next_seq)
+                    } else {
+                        ConnFate::Keep
+                    };
+                    if matches!(fate, ConnFate::Drop) {
+                        let conn = conns.remove(&token).expect("present above");
+                        let _ = poller.delete(conn.lc.stream());
+                    }
+                }
+            }
+        }
+
+        // Route finished solves into their connections.
+        let done = std::mem::take(
+            &mut *inner
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for completion in done {
+            in_flight -= 1;
+            if let Some(conn) = conns.get_mut(&completion.token) {
+                conn.resolve(completion.slot, completion.response);
+            }
+            // A vanished connection means the client hung up while its
+            // solve ran; the answer is dropped, exactly as the old
+            // daemon dropped sends to a dead reply channel.
+        }
+
+        // Stage + flush + interest upkeep, dropping finished conns.
+        let stopping = stop_requested(inner);
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in &mut conns {
+            if stopping {
+                conn.closing = true;
+            }
+            conn.stage_ready();
+            if conn.lc.wants_write() && conn.flush_or_fail().is_err() {
+                dead.push(token);
+                continue;
+            }
+            if (conn.closing || conn.lc.saw_eof()) && conn.drained() {
+                dead.push(token);
+                continue;
+            }
+            let wanted = if conn.lc.wants_write() {
+                Interest::BOTH
+            } else {
+                Interest::READ
+            };
+            if wanted != conn.interest {
+                conn.interest = wanted;
+                if poller
+                    .modify(conn.lc.stream(), Token(token), wanted)
+                    .is_err()
+                {
+                    dead.push(token);
+                }
+            }
+        }
+        for token in dead {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = poller.delete(conn.lc.stream());
+            }
+        }
+
+        if stopping {
+            let queue_empty = lock_queue(inner).is_empty();
+            if queue_empty && in_flight == 0 {
+                let owed: usize = conns.values().map(|c| c.lc.pending_out()).sum();
+                if owed == 0 {
+                    return Ok(());
+                }
+                // Give unread responses a bounded chance to flush to
+                // slow readers, then leave without them.
+                let deadline =
+                    *drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_GRACE);
+                if Instant::now() >= deadline {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Reads the one-shot stop latch.
+fn stop_requested(inner: &Inner) -> bool {
+    // ordering: the latch is set on this same thread (shutdown request)
+    // or not at all; Relaxed self-visibility is guaranteed.
+    inner.stop.load(Ordering::Relaxed)
+}
+
+/// Accepts every pending connection (level-triggered, so the backlog
+/// drains in one pass).
+fn accept_ready(
+    inner: &Inner,
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop_requested(inner) {
+                    // Late knockers during drain are turned away.
+                    continue;
+                }
+                let Ok(lc) = LineConn::new(stream, inner.max_line_bytes) else {
+                    continue;
+                };
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .add(lc.stream(), Token(token), Interest::READ)
+                    .is_ok()
+                {
+                    conns.insert(token, Conn::new(lc));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles a readable (or hung-up) connection: drains the socket,
+/// frames lines, dispatches each request.
+fn conn_readable(
+    inner: &Inner,
+    conn: &mut Conn,
+    token: u64,
+    in_flight: &mut usize,
+    next_seq: &mut u64,
+) -> ConnFate {
+    let mut lines: Vec<Vec<u8>> = Vec::new();
+    let read = conn.lc.read_lines(&mut lines);
+    if conn.closing {
+        // Drained purely to consume readiness; a draining connection
+        // takes no further requests.
+        return ConnFate::Keep;
+    }
+    for line in &lines {
+        dispatch_line(inner, conn, token, line, in_flight, next_seq);
+        if conn.closing {
+            break;
+        }
+    }
+    match read {
+        Ok(_eof) => ConnFate::Keep,
+        Err(LineError::TooLong { limit }) => {
+            // The DoS cap: answer once, stop reading, close after the
+            // flush.
+            conn.push_slot(Some(wire::error_response(
+                None,
+                &format!("request line exceeds {limit} bytes"),
+            )));
+            conn.closing = true;
+            ConnFate::Keep
+        }
+        Err(LineError::Io(_)) => ConnFate::Drop,
+    }
+}
+
+/// Parses and answers one request line. Control requests resolve
+/// immediately; admitted `map` requests reserve a response slot that a
+/// worker completion fills later.
+fn dispatch_line(
+    inner: &Inner,
+    conn: &mut Conn,
+    token: u64,
+    line: &[u8],
+    in_flight: &mut usize,
+    next_seq: &mut u64,
+) {
+    let Ok(text) = std::str::from_utf8(line) else {
+        conn.push_slot(Some(wire::error_response(None, "invalid UTF-8")));
+        return;
+    };
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    // ordering: monotone telemetry counter.
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    match wire::parse_request(trimmed) {
+        Err(e) => {
+            conn.push_slot(Some(wire::error_response(None, &e.to_string())));
+        }
+        Ok(Request::Stats) => {
+            let response = stats_response(inner);
+            conn.push_slot(Some(response));
+        }
+        Ok(Request::Health) => {
+            let response = health_response(inner);
+            conn.push_slot(Some(response));
+        }
+        Ok(Request::Trace) => {
+            let response = trace_response(inner);
+            conn.push_slot(Some(response));
+        }
+        Ok(Request::Shutdown) => {
+            // ordering: one-shot stop latch. The event loop (this
+            // thread) acts on it synchronously; workers poll it
+            // Relaxed under a 50ms wait_timeout, so visibility latency
+            // is bounded by the poll. SeqCst keeps the shutdown edge
+            // unambiguous — it is cold by definition.
+            inner.stop.store(true, Ordering::SeqCst);
+            inner.queue_cv.notify_all();
+            let ack = Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("status", Json::Str("shutting_down".to_string())),
+            ]);
+            conn.push_slot(Some(ack));
+            conn.closing = true;
+        }
+        Ok(Request::Map(request)) => {
+            match admit_map(inner, *request, token, conn.next_slot, next_seq) {
+                Admission::Immediate(response) => {
+                    conn.push_slot(Some(response));
+                }
+                Admission::Queued => {
+                    conn.push_slot(None);
+                    *in_flight += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of admitting a `map` request.
+enum Admission {
+    /// Answered on the spot (expired deadline, shed, or queue full).
+    Immediate(Json),
+    /// In the queue; a worker completion will fill the slot.
+    Queued,
+}
+
+/// Admission control for `map`: expired deadlines answer immediately,
+/// provably-hopeless deadlines are shed, a full queue rejects, and
+/// everything else enters the EDF queue.
+fn admit_map(
+    inner: &Inner,
+    request: MapRequest,
+    token: u64,
+    slot: u64,
+    next_seq: &mut u64,
+) -> Admission {
+    let deadline = request
+        .timeout_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let id = request.id;
+    // A deadline already expired at admission (`timeout_ms: 0`, or a
+    // degenerate clock) can only ever produce a timeout *for a cold
+    // problem* — answering it here saves the queue slot, the worker
+    // wakeup, and the client's wait behind real work. A cached answer
+    // is still served (the engine's own deadline handling checks the
+    // cache before the clock, and "answer only if you have it already"
+    // is exactly what a zero budget requests).
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        // ordering: monotone telemetry counter.
+        inner.expired_at_admission.fetch_add(1, Ordering::Relaxed);
+        let response = match inner.engine.lookup_cached(&request.dfg, &request.cgra) {
+            Some(served) => wire::map_response(
+                id,
+                &request.name,
+                served.key,
+                &served.outcome,
+                served.cached,
+                served.persistent,
+                0,
+                0,
+            ),
+            None => expired_response(inner, &request),
+        };
+        return Admission::Immediate(response);
+    }
+    // EDF shedding: once the solved-latency histogram has enough
+    // samples to be trusted, a cold request whose remaining budget is
+    // below the observed median solve time is refused now instead of
+    // queued to fail later — the queue slot goes to a request that can
+    // still make its deadline. Cached answers are never shed (they
+    // cost microseconds regardless of budget).
+    if let (Some(d), Some(estimate_us)) = (deadline, shed_estimate_us(inner)) {
+        let remaining_us = d
+            .saturating_duration_since(Instant::now())
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        if remaining_us < estimate_us && !inner.engine.peek_cached(&request.dfg, &request.cgra) {
+            // ordering: monotone telemetry counter.
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            return Admission::Immediate(wire::error_response(
+                id,
+                &format!(
+                    "shed: remaining budget {remaining_us}us is below the estimated solve time \
+                     {estimate_us}us; retry with a larger timeout_ms"
+                ),
+            ));
+        }
+    }
+    let mut queue = lock_queue(inner);
+    if queue.len() >= inner.queue_capacity {
+        drop(queue);
+        // ordering: monotone telemetry counter.
+        inner.rejected.fetch_add(1, Ordering::Relaxed);
+        return Admission::Immediate(wire::error_response(
+            id,
+            &format!("queue full ({} pending); retry later", inner.queue_capacity),
+        ));
+    }
+    let seq = *next_seq;
+    *next_seq += 1;
+    queue.push(WorkItem {
+        request,
+        deadline,
+        admitted: Instant::now(),
+        seq,
+        token,
+        slot,
+    });
+    drop(queue);
+    inner.queue_cv.notify_one();
+    Admission::Queued
+}
+
+/// The admission controller's solve-time estimate: the median of the
+/// `solved` class once it has [`SHED_MIN_SAMPLES`] samples, else
+/// `None` (no shedding).
+fn shed_estimate_us(inner: &Inner) -> Option<u64> {
+    let solved = inner
+        .latency
+        .solved
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if solved.count() < SHED_MIN_SAMPLES {
+        return None;
+    }
+    Some(solved.percentile(0.5))
+}
+
+impl Conn {
+    /// Flushes the write ring, normalizing errors to a drop decision.
+    fn flush_or_fail(&mut self) -> Result<(), ()> {
+        match self.lc.flush() {
+            Ok(()) => Ok(()),
+            Err(_) => Err(()),
+        }
     }
 }
 
@@ -379,12 +898,12 @@ fn write_trace_file(inner: &Inner, events: &[obs::Event]) -> io::Result<PathBuf>
     Ok(path)
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, waker: &Waker) {
     loop {
         let item = {
             let mut queue = lock_queue(inner);
             loop {
-                if let Some(item) = queue.pop_front() {
+                if let Some(item) = queue.pop() {
                     break item;
                 }
                 // ordering: polled inside a 50ms wait_timeout loop; a
@@ -491,8 +1010,17 @@ fn worker_loop(inner: &Inner) {
             }
         };
         drop(span);
-        // A dead receiver means the client hung up; nothing to do.
-        let _ = item.reply.send(response);
+        inner
+            .completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion {
+                token: item.token,
+                slot: item.slot,
+                response,
+            });
+        // A failed wake leaves the loop to its 100ms watchdog tick.
+        let _ = waker.wake();
     }
 }
 
@@ -581,6 +1109,7 @@ fn stats_response(inner: &Inner) -> Json {
             "rejected",
             Json::Int(inner.rejected.load(Ordering::Relaxed) as i64),
         ),
+        ("shed", Json::Int(inner.shed.load(Ordering::Relaxed) as i64)),
         (
             "panics",
             Json::Int(inner.panics.load(Ordering::Relaxed) as i64),
@@ -694,153 +1223,4 @@ fn expired_response(inner: &Inner, request: &MapRequest) -> Json {
         proven_unmappable: false,
     };
     wire::map_response(request.id, &request.name, key, &outcome, false, false, 0, 0)
-}
-
-fn write_line(stream: &mut TcpStream, value: &Json) -> io::Result<()> {
-    let mut line = value.to_string();
-    line.push('\n');
-    stream.write_all(line.as_bytes())?;
-    stream.flush()
-}
-
-fn handle_connection(inner: &Inner, stream: TcpStream) -> io::Result<()> {
-    // The read timeout lets the thread observe the stop flag even while a
-    // client holds the connection open silently.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = Vec::new();
-    loop {
-        // ordering: polled every ≤100ms via the read timeout; a stale
-        // read keeps the connection one extra poll, nothing more.
-        // Relaxed is sufficient (downgraded from SeqCst in the audit).
-        if inner.stop.load(Ordering::Relaxed) {
-            return Ok(());
-        }
-        // Raw bytes, not `read_line`: a read timeout may strike in the
-        // middle of a multi-byte UTF-8 sequence, and per-call validation
-        // would reject the split prefix. Validation happens once the
-        // whole line is in hand.
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) => return Ok(()), // EOF: client closed
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // `read_until` keeps already-read bytes in `line`; loop
-                // and keep accumulating until the newline arrives.
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-        if line.last() != Some(&b'\n') {
-            // EOF in the middle of a line; treat like a close.
-            return Ok(());
-        }
-        let Ok(text) = std::str::from_utf8(&line) else {
-            write_line(&mut writer, &wire::error_response(None, "invalid UTF-8"))?;
-            line.clear();
-            continue;
-        };
-        // Owned: the request may outlive `line`, which is reused.
-        let trimmed = text.trim().to_string();
-        if trimmed.is_empty() {
-            line.clear();
-            continue;
-        }
-        // ordering: monotone telemetry counter.
-        inner.requests.fetch_add(1, Ordering::Relaxed);
-        let response = match wire::parse_request(&trimmed) {
-            Err(e) => wire::error_response(None, &e.to_string()),
-            Ok(Request::Stats) => stats_response(inner),
-            Ok(Request::Health) => health_response(inner),
-            Ok(Request::Trace) => trace_response(inner),
-            Ok(Request::Shutdown) => {
-                // ordering: shutdown handshake — this store must be
-                // visible to the accept loop by the time the wake-up
-                // connection (made by `shutdown()`) is accepted; see the
-                // paired SeqCst loads in `run`. Pollers elsewhere read
-                // the flag Relaxed, which this store also serves.
-                inner.stop.store(true, Ordering::SeqCst);
-                inner.queue_cv.notify_all();
-                let ack = Json::obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("status", Json::Str("shutting_down".to_string())),
-                ]);
-                write_line(&mut writer, &ack)?;
-                // Unblock the accept loop so `run` can wind down.
-                let _ = TcpStream::connect(inner.addr);
-                return Ok(());
-            }
-            Ok(Request::Map(request)) => {
-                let deadline = request
-                    .timeout_ms
-                    .map(|ms| Instant::now() + Duration::from_millis(ms));
-                let id = request.id;
-                // A deadline already expired at admission (`timeout_ms:
-                // 0`, or a degenerate clock) can only ever produce a
-                // timeout *for a cold problem* — answering it here saves
-                // the queue slot, the worker wakeup, and the client's
-                // wait behind real work. A cached answer is still served
-                // (the engine's own deadline handling checks the cache
-                // before the clock, and "answer only if you have it
-                // already" is exactly what a zero budget requests).
-                if deadline.is_some_and(|d| Instant::now() >= d) {
-                    // ordering: monotone telemetry counter.
-                    inner.expired_at_admission.fetch_add(1, Ordering::Relaxed);
-                    let response = match inner.engine.lookup_cached(&request.dfg, &request.cgra) {
-                        Some(served) => wire::map_response(
-                            id,
-                            &request.name,
-                            served.key,
-                            &served.outcome,
-                            served.cached,
-                            served.persistent,
-                            0,
-                            0,
-                        ),
-                        None => expired_response(inner, &request),
-                    };
-                    write_line(&mut writer, &response)?;
-                    line.clear();
-                    continue;
-                }
-                let (tx, rx) = mpsc::channel();
-                let admitted = {
-                    let mut queue = lock_queue(inner);
-                    if queue.len() >= inner.queue_capacity {
-                        false
-                    } else {
-                        queue.push_back(WorkItem {
-                            request: *request,
-                            deadline,
-                            admitted: Instant::now(),
-                            reply: tx,
-                        });
-                        true
-                    }
-                };
-                if admitted {
-                    inner.queue_cv.notify_all();
-                    match rx.recv() {
-                        Ok(response) => response,
-                        // Workers only drop a pending sender on shutdown.
-                        Err(_) => wire::error_response(id, "server shutting down"),
-                    }
-                } else {
-                    // ordering: monotone telemetry counter.
-                    inner.rejected.fetch_add(1, Ordering::Relaxed);
-                    wire::error_response(
-                        id,
-                        &format!("queue full ({} pending); retry later", inner.queue_capacity),
-                    )
-                }
-            }
-        };
-        write_line(&mut writer, &response)?;
-        line.clear();
-    }
 }

@@ -1,0 +1,258 @@
+//! Transport-level behaviour of the event-loop daemon: the request-line
+//! cap refuses newline-free firehoses, slow-loris clients trickle into
+//! complete requests, idle connections don't wedge shutdown, and
+//! pipelined requests on one connection answer in order.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::EngineConfig;
+use satmapit_service::wire::MapRequest;
+use satmapit_service::{json, Client, Json, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn chain(n: usize) -> Dfg {
+    let mut dfg = Dfg::new(format!("chain{n}"));
+    let mut prev = dfg.add_const(1);
+    for _ in 1..n {
+        let next = dfg.add_node(Op::Neg);
+        dfg.add_edge(prev, next, 0);
+        prev = next;
+    }
+    dfg
+}
+
+fn request_line(n: usize, id: i64) -> String {
+    let request = MapRequest {
+        id: Some(id),
+        name: format!("chain{n}"),
+        dfg: chain(n),
+        cgra: Cgra::square(2),
+        timeout_ms: None,
+    };
+    let mut line = request.to_json().to_string();
+    line.push('\n');
+    line
+}
+
+fn start_server(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let ack = client.shutdown().expect("shutdown ack");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn a_newline_free_firehose_is_refused_at_the_line_cap() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 1,
+        max_line_bytes: 4096,
+        engine: EngineConfig::default(),
+        ..ServerConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    // 512 KiB without a single newline — two orders of magnitude past
+    // the cap. The server must answer an error and drop the connection
+    // long before the stream ends, so the write side may fail with a
+    // reset; both are acceptable outcomes for the writer.
+    let blob = vec![b'x'; 64 * 1024];
+    for _ in 0..8 {
+        if stream.write_all(&blob).is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reply = String::new();
+    // The error line may already sit in the socket buffer even if the
+    // tail of the firehose was refused.
+    let read = BufReader::new(&stream).read_line(&mut reply);
+    if let Ok(n) = read {
+        if n > 0 {
+            let parsed = json::parse(reply.trim()).expect("error line is JSON");
+            assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+            let message = parsed.get("error").and_then(Json::as_str).unwrap_or("");
+            assert!(
+                message.contains("exceeds 4096 bytes"),
+                "unexpected error: {message}"
+            );
+        }
+    }
+
+    // The daemon is unharmed: a well-behaved client still gets answers.
+    let mut client = Client::connect(&addr).expect("connect after firehose");
+    let reply = client
+        .roundtrip(&json::parse(request_line(3, 7).trim()).unwrap())
+        .expect("post-firehose request");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn a_slow_loris_client_still_completes_its_request() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 1,
+        engine: EngineConfig::default(),
+        ..ServerConfig::default()
+    });
+
+    // A reference answer over a normal client first.
+    let request = json::parse(request_line(4, 1).trim()).unwrap();
+    let mut reference_client = Client::connect(&addr).expect("connect reference");
+    let reference = reference_client.roundtrip(&request).expect("reference");
+
+    // The same request, trickled a few bytes at a time with pauses —
+    // a slow-loris shape that must neither starve other clients nor be
+    // dropped mid-line.
+    let line = request_line(4, 1);
+    let mut stream = TcpStream::connect(&addr).expect("connect loris");
+    for piece in line.as_bytes().chunks(7) {
+        stream.write_all(piece).expect("trickle");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reply = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut reply)
+        .expect("loris reply");
+    let reply = json::parse(reply.trim()).expect("loris reply is JSON");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    // Identical id, fingerprint and result document — only provenance
+    // and timing fields may differ between solve and cached replay.
+    for field in ["id", "fingerprint", "result"] {
+        assert_eq!(
+            reply.get(field).map(Json::to_string),
+            reference.get(field).map(Json::to_string),
+            "loris `{field}` matches the reference answer"
+        );
+    }
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn idle_connections_do_not_wedge_shutdown() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 1,
+        engine: EngineConfig::default(),
+        ..ServerConfig::default()
+    });
+
+    // Dozens of connections that never send a byte.
+    let idle: Vec<TcpStream> = (0..48)
+        .map(|_| TcpStream::connect(&addr).expect("idle connect"))
+        .collect();
+
+    // A working client still gets an answer while they sit there.
+    let mut client = Client::connect(&addr).expect("connect worker");
+    let reply = client
+        .roundtrip(&json::parse(request_line(3, 1).trim()).unwrap())
+        .expect("request among idlers");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Shutdown must drain and exit even though the idlers never spoke;
+    // each of them sees EOF, not a hang.
+    shutdown(&addr, handle);
+    for mut stream in idle {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let n = stream.read(&mut buf).expect("idler read");
+        assert_eq!(n, 0, "idle connection sees EOF at shutdown");
+    }
+}
+
+#[test]
+fn a_timeout_budget_fails_fast_against_a_mute_server() {
+    // A listener that accepts and then never says anything.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind mute");
+    let addr = listener.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+    let mut client =
+        Client::connect_timeout(&addr, Duration::from_millis(200)).expect("connect mute");
+    let started = std::time::Instant::now();
+    let err = client
+        .roundtrip(&json::parse(request_line(3, 1).trim()).unwrap())
+        .expect_err("a mute server cannot answer");
+    assert!(err.is_timeout(), "not a timeout: {err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the read deadline fired, not a hang"
+    );
+    drop(hold.join());
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_answer_in_request_order() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 2,
+        engine: EngineConfig::default(),
+        ..ServerConfig::default()
+    });
+
+    // Five requests written back-to-back before reading anything. Their
+    // solves may finish out of order across the two workers, but the
+    // responses must come back in request order.
+    let lines: Vec<String> = (0..5).map(|i| request_line(2 + i, i as i64)).collect();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(lines.concat().as_bytes())
+        .expect("pipelined write");
+    stream.flush().expect("flush");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut replies = Vec::new();
+    for _ in 0..5 {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("pipelined reply");
+        replies.push(json::parse(reply.trim()).expect("reply is JSON"));
+    }
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(
+            reply.get("id").and_then(Json::as_i64),
+            Some(i as i64),
+            "response {i} carries its request's id: {reply}"
+        );
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    // A repeat of the same pipeline answers byte-identically (from the
+    // cache) — framing does not depend on solve timing.
+    let mut stream = TcpStream::connect(&addr).expect("reconnect");
+    stream
+        .write_all(lines.concat().as_bytes())
+        .expect("repeat write");
+    stream.flush().expect("flush");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    for reply in &replies {
+        let mut repeat = String::new();
+        reader.read_line(&mut repeat).expect("repeat reply");
+        let repeat = json::parse(repeat.trim()).expect("repeat is JSON");
+        assert_eq!(
+            repeat.get("result").map(Json::to_string),
+            reply.get("result").map(Json::to_string),
+            "cached replay returns the identical result document"
+        );
+    }
+    shutdown(&addr, handle);
+}
