@@ -106,6 +106,19 @@ pub struct CacheStats {
     /// [`crate::CacheLifecycle::compact_every`] plus explicit
     /// [`Engine::compact_persistent`] calls. 0 without persistence.
     pub compactions: u64,
+    /// Failed store appends/fsyncs since startup (0 without
+    /// persistence). Solving is unaffected — the failed record simply
+    /// is not durable.
+    pub append_errors: u64,
+    /// fsyncs issued by the append cadence
+    /// ([`crate::DurabilityPolicy::fsync_every`]).
+    pub fsyncs: u64,
+    /// `true` once consecutive append failures crossed
+    /// [`crate::DurabilityPolicy::max_append_failures`] and the engine
+    /// entered degraded memory-only mode: it keeps answering (and
+    /// solving) from memory but no longer touches the disk. Cleared
+    /// only by restart.
+    pub degraded: bool,
 }
 
 /// Where a served result came from.
@@ -227,6 +240,19 @@ struct Persistence {
     /// Single-flight latch so concurrent append thresholds trigger one
     /// compaction, not a pile-up behind the store locks.
     compacting: std::sync::atomic::AtomicBool,
+    /// Failed store appends/fsyncs since startup (monotone; see
+    /// [`CacheStats::append_errors`]).
+    append_errors: AtomicU64,
+    /// Consecutive append failures — reset by any success; crossing
+    /// [`crate::DurabilityPolicy::max_append_failures`] trips
+    /// `degraded`.
+    failure_streak: AtomicU64,
+    /// One-way latch: once set, the engine stops touching the disk
+    /// entirely (no appends, no compaction) and serves from memory only
+    /// until restart.
+    degraded: std::sync::atomic::AtomicBool,
+    /// fsyncs issued by the append cadence (see [`CacheStats::fsyncs`]).
+    fsyncs: AtomicU64,
     /// Load-time diagnostics: skipped records, ignored files.
     warnings: Vec<String>,
 }
@@ -287,7 +313,11 @@ impl Engine {
     /// appends); corruption is downgraded to warnings.
     pub fn with_cache_dir(config: EngineConfig, dir: &Path) -> io::Result<Engine> {
         std::fs::create_dir_all(dir)?;
-        let (results, mut warnings) = persist::load_results(dir)?;
+        // Sweep temp files stranded by a compaction that crashed before
+        // its rename — they hold a superseded snapshot at best.
+        let mut warnings = persist::clean_stale_tmp(dir)?;
+        let (results, load_warnings) = persist::load_results(dir)?;
+        warnings.extend(load_warnings);
         let (bounds, bound_warnings) = persist::load_bounds(dir)?;
         warnings.extend(bound_warnings);
         let loaded: HashSet<Fingerprint> = results.keys().copied().collect();
@@ -306,6 +336,10 @@ impl Engine {
             appends: AtomicU64::new(0),
             generation: AtomicU64::new(0),
             compacting: std::sync::atomic::AtomicBool::new(false),
+            append_errors: AtomicU64::new(0),
+            failure_streak: AtomicU64::new(0),
+            degraded: std::sync::atomic::AtomicBool::new(false),
+            fsyncs: AtomicU64::new(0),
             warnings,
         };
         // Loaded entries all share one birth instant and tick 0: the age
@@ -389,7 +423,29 @@ impl Engine {
                 .persist
                 .as_ref()
                 .map_or(0, |p| p.generation.load(Ordering::Relaxed)),
+            append_errors: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.append_errors.load(Ordering::Relaxed)),
+            fsyncs: self
+                .persist
+                .as_ref()
+                .map_or(0, |p| p.fsyncs.load(Ordering::Relaxed)),
+            degraded: self.degraded(),
         }
+    }
+
+    /// `true` once the engine tripped into degraded memory-only mode:
+    /// consecutive store-append failures crossed
+    /// [`crate::DurabilityPolicy::max_append_failures`], so disk writes
+    /// are disabled and every answer comes from (and stays in) memory.
+    /// Always `false` without persistence; cleared only by restart.
+    pub fn degraded(&self) -> bool {
+        // ordering: one-way advisory latch; a racing reader seeing the
+        // old value only costs one more append attempt.
+        self.persist
+            .as_ref()
+            .is_some_and(|p| p.degraded.load(Ordering::Relaxed))
     }
 
     /// Drops every cached result and every proven II bound (in memory
@@ -422,6 +478,15 @@ impl Engine {
         let Some(persist) = &self.persist else {
             return Ok(());
         };
+        // A degraded engine has sworn off the disk: compacting would be
+        // a fresh round of writes against the same failing device, and
+        // worse, a *successful* rewrite would replace a store holding
+        // records the memory-only mode never persisted.
+        // ordering: one-way advisory latch (see `Engine::degraded`).
+        if persist.degraded.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let sync = self.config.durability.sync_compaction;
         {
             let cache = lock(&self.cache);
             let mut payloads: Vec<(Fingerprint, Vec<u8>)> = cache
@@ -436,6 +501,7 @@ impl Engine {
                 &persist.dir.join(persist::RESULTS_FILE),
                 StoreKind::Results,
                 &payloads,
+                sync,
             )?;
             // The rewrite replaced the inode the appender held open;
             // reopen so later appends land in the compacted file.
@@ -455,6 +521,7 @@ impl Engine {
                 &persist.dir.join(persist::BOUNDS_FILE),
                 StoreKind::Bounds,
                 &payloads,
+                sync,
             )?;
             *appender = Appender::open(&persist.dir.join(persist::BOUNDS_FILE), StoreKind::Bounds)?;
         }
@@ -719,21 +786,11 @@ impl Engine {
                     obs::trace::Span::begin(obs::trace::Category::Persist, "persist_result");
                 let record = persist::encode_result_record(key, &shared);
                 span.arg("bytes", record.len() as i64);
-                let result = lock(&persist.results).append(&record);
-                match result {
-                    Ok(()) => {
-                        // ordering: advisory dirty flag, read at drop.
-                        persist.dirty.store(true, Ordering::Relaxed);
-                        drop(span);
-                        self.note_append();
-                    }
-                    Err(e) => {
-                        span.arg_str("error", "append_failed");
-                        obs::warn!(
-                            "satmapit::engine::persist",
-                            "failed to persist result record: {e}"
-                        );
-                    }
+                let acknowledged = self.persist_append(persist, &persist.results, &record);
+                span.arg("persisted", i64::from(acknowledged));
+                drop(span);
+                if acknowledged {
+                    self.note_append();
                 }
             }
         }
@@ -844,21 +901,11 @@ impl Engine {
                     obs::trace::Span::begin(obs::trace::Category::Persist, "persist_bound");
                 span.arg("proven_ii", i64::from(proven));
                 let record = persist::encode_bound_record(problem_key, proven);
-                let result = lock(&persist.bounds).append(&record);
-                match result {
-                    Ok(()) => {
-                        // ordering: advisory dirty flag, read at drop.
-                        persist.dirty.store(true, Ordering::Relaxed);
-                        drop(span);
-                        self.note_append();
-                    }
-                    Err(e) => {
-                        span.arg_str("error", "append_failed");
-                        obs::warn!(
-                            "satmapit::engine::persist",
-                            "failed to persist bound record: {e}"
-                        );
-                    }
+                let acknowledged = self.persist_append(persist, &persist.bounds, &record);
+                span.arg("persisted", i64::from(acknowledged));
+                drop(span);
+                if acknowledged {
+                    self.note_append();
                 }
             }
         }
@@ -910,6 +957,70 @@ impl Engine {
             lock(&persist.loaded).remove(&key);
             // ordering: advisory dirty flag, read at drop.
             persist.dirty.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one record to a persistent store under the configured
+    /// [`crate::DurabilityPolicy`]: write through the appender's failure
+    /// latch, fsync on the cadence, count failures, and trip the
+    /// degraded latch after `max_append_failures` consecutive failures.
+    /// Returns `true` when the record was acknowledged (written, and
+    /// synced if the cadence said so) — `false` on failure or when the
+    /// engine is already degraded, in which case the caller serves from
+    /// memory and moves on.
+    fn persist_append(
+        &self,
+        persist: &Persistence,
+        store: &Mutex<Appender>,
+        record: &[u8],
+    ) -> bool {
+        // ordering: one-way advisory latch (see `Engine::degraded`).
+        if persist.degraded.load(Ordering::Relaxed) {
+            return false;
+        }
+        let fsync_every = self.config.durability.fsync_every;
+        let result = {
+            let mut appender = lock(store);
+            appender.append(record).and_then(|()| {
+                if fsync_every > 0 && appender.unsynced() >= fsync_every {
+                    appender.sync()?;
+                    // ordering: monotone telemetry counter.
+                    persist.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            })
+        };
+        match result {
+            Ok(()) => {
+                // ordering: the streak is advisory failure bookkeeping;
+                // an interleaved reset/bump only shifts when the latch
+                // trips by one append.
+                persist.failure_streak.store(0, Ordering::Relaxed);
+                // ordering: advisory dirty flag, read at drop.
+                persist.dirty.store(true, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                // ordering: monotone telemetry counter.
+                persist.append_errors.fetch_add(1, Ordering::Relaxed);
+                // ordering: advisory failure bookkeeping (see above).
+                let streak = persist.failure_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                obs::warn!(
+                    "satmapit::engine::persist",
+                    "store append failed ({streak} consecutive): {e}"
+                );
+                let max = self.config.durability.max_append_failures;
+                // ordering: one-way advisory latch; swap so exactly one
+                // thread logs the transition.
+                if max > 0 && streak >= max && !persist.degraded.swap(true, Ordering::Relaxed) {
+                    obs::error!(
+                        "satmapit::engine::persist",
+                        "entering degraded memory-only mode after {streak} consecutive \
+                         append failures; disk writes disabled until restart"
+                    );
+                }
+                false
+            }
         }
     }
 

@@ -132,6 +132,42 @@ impl Default for CacheLifecycle {
     }
 }
 
+/// Crash-safety policy for the persistent stores. None of these knobs
+/// joins any fingerprint: they change *when bytes become durable* and
+/// how write failures are handled, never which mapping any solve
+/// returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// `fsync` a store after every N successful appends. `1` (the
+    /// default) makes each append durable before the solve returns —
+    /// the property the crash-torture suite asserts: an acknowledged
+    /// record survives any later kill. `0` never fsyncs from the append
+    /// path (a crash can lose whatever the page cache held).
+    pub fsync_every: u64,
+    /// Make compaction durable, not merely atomic: `sync_all` the temp
+    /// file before renaming it over the store, and fsync the parent
+    /// directory after the rename (see [`persist::rewrite`]). Default
+    /// `true`.
+    pub sync_compaction: bool,
+    /// After this many *consecutive* failed appends (or fsyncs) the
+    /// engine stops touching the disk and serves from memory only —
+    /// degraded mode, surfaced as [`CacheStats::degraded`] and the
+    /// daemon's `"status":"degraded"` health. A restart with a healthy
+    /// disk recovers. `0` disables the latch (every append keeps
+    /// retrying the disk). Default `3`.
+    pub max_append_failures: u64,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> DurabilityPolicy {
+        DurabilityPolicy {
+            fsync_every: 1,
+            sync_compaction: true,
+            max_append_failures: 3,
+        }
+    }
+}
+
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -155,6 +191,11 @@ pub struct EngineConfig {
     /// cadence (unbounded cache, compaction every 256 appends by
     /// default). Never part of a fingerprint.
     pub lifecycle: CacheLifecycle,
+    /// Crash-safety policy for the persistent stores: fsync cadence,
+    /// synced compaction, and the degraded-mode failure latch. Never
+    /// part of a fingerprint — durability changes when bytes hit disk,
+    /// not what any solve returns.
+    pub durability: DurabilityPolicy,
     /// Test-only fault injection: race workers panic while attempting a
     /// DFG with exactly this name, exercising the engine's
     /// panic-isolation path. `None` (always, outside tests) is
@@ -172,6 +213,7 @@ impl Default for EngineConfig {
             workers: 0,
             share: ShareConfig::off(),
             lifecycle: CacheLifecycle::default(),
+            durability: DurabilityPolicy::default(),
             panic_on_name: None,
         }
     }

@@ -53,16 +53,23 @@ pub const BOUNDS_FILE: &str = "bounds.smc";
 
 /// Magic bytes opening every store file.
 pub const MAGIC: [u8; 8] = *b"SMCACHE\0";
-/// Current format version. Files with any other version are ignored
-/// wholesale (with a warning) rather than misread.
+/// Current format version. Files whose version is neither this nor a
+/// member of [`COMPATIBLE_VERSIONS`] are ignored wholesale (with a
+/// warning) rather than misread.
 ///
 /// v2 extended the persisted [`satmapit_sat::SolverStats`] with the
 /// clause-arena GC counters (`gc_runs`, `lits_reclaimed`, `arena_wasted`,
 /// `arena_words`); v3 added the portfolio clause-sharing counters
 /// (`shared_exported`/`shared_imported`/`shared_dropped`, in both
 /// [`satmapit_sat::SolverStats`] and [`RaceStats`]). Older stores are
-/// simply re-solved.
-pub const FORMAT_VERSION: u32 = 3;
+/// simply re-solved. v4 is the durability overhaul (appender rollback
+/// latch, fsync policy, synced compaction, checksum-verified loader
+/// resync); the record codec is byte-identical to v3, so v3 stores stay
+/// readable.
+pub const FORMAT_VERSION: u32 = 4;
+/// Prior format versions whose record codec is identical to the current
+/// one; loaders accept them and appenders extend them in place.
+pub const COMPATIBLE_VERSIONS: &[u32] = &[3];
 const HEADER_LEN: usize = 16;
 /// Upper bound on a single record's payload; anything larger is treated
 /// as framing corruption (a flipped bit in a length field must not make
@@ -83,6 +90,30 @@ impl StoreKind {
         match self {
             StoreKind::Results => 1,
             StoreKind::Bounds => 2,
+        }
+    }
+
+    /// Fault-plane site name for appends to this store.
+    fn append_site(self) -> &'static str {
+        match self {
+            StoreKind::Results => "append.results",
+            StoreKind::Bounds => "append.bounds",
+        }
+    }
+
+    /// Fault-plane site name for the appender's fsync.
+    fn sync_site(self) -> &'static str {
+        match self {
+            StoreKind::Results => "sync.results",
+            StoreKind::Bounds => "sync.bounds",
+        }
+    }
+
+    /// Fault-plane site name for the failed-append rollback truncate.
+    fn truncate_site(self) -> &'static str {
+        match self {
+            StoreKind::Results => "truncate.results",
+            StoreKind::Bounds => "truncate.bounds",
         }
     }
 }
@@ -786,7 +817,7 @@ fn check_header(bytes: &[u8], kind: StoreKind) -> Result<(), PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && !COMPATIBLE_VERSIONS.contains(&version) {
         return Err(PersistError::BadVersion(version));
     }
     if bytes[12] != kind.code() {
@@ -798,9 +829,14 @@ fn check_header(bytes: &[u8], kind: StoreKind) -> Result<(), PersistError> {
 /// Reads every intact record payload of a store file.
 ///
 /// Returns the payloads plus human-readable warnings for everything that
-/// had to be skipped. A missing file is simply empty. Framing damage
-/// (implausible length, truncated tail) ends the scan; a checksum
-/// mismatch skips only that record — the length prefix still frames it.
+/// had to be skipped. A missing file is simply empty. The scan trusts
+/// nothing but checksums: when a frame fails to validate — a torn
+/// append, a corrupted length prefix, a flipped payload bit — the
+/// loader searches forward for the next offset holding a
+/// checksum-verified frame and resumes there, so damage is always
+/// bounded to the damaged bytes and records appended *after* a tear are
+/// still recovered. Only a tail with no verified frame anywhere in it
+/// is dropped.
 pub fn read_records(path: &Path, kind: StoreKind) -> io::Result<(Vec<Vec<u8>>, Vec<String>)> {
     let mut bytes = Vec::new();
     match File::open(path) {
@@ -831,67 +867,128 @@ pub fn read_records(path: &Path, kind: StoreKind) -> io::Result<(Vec<Vec<u8>>, V
         let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
         let body = pos + 12;
         if len > MAX_RECORD_LEN || bytes.len() - body < len as usize {
-            warnings.push(format!(
-                "{}: record {index} at offset {pos} claims {len} bytes but only {} remain; \
-                 dropping tail",
-                path.display(),
-                bytes.len() - body
-            ));
-            break;
+            // Implausible framing: a torn append's length prefix promises
+            // bytes that never landed. Records appended after the tear
+            // (by a process that failed to roll the tear back) are still
+            // intact — find the next frame whose checksum proves it real.
+            match scan_for_record(&bytes, pos + 1) {
+                Some(next) => {
+                    warnings.push(format!(
+                        "{}: record {index} at offset {pos} claims {len} bytes (torn \
+                         append?); resynced at the next verified record, offset {next}",
+                        path.display()
+                    ));
+                    pos = next;
+                    index += 1;
+                    continue;
+                }
+                None => {
+                    warnings.push(format!(
+                        "{}: record {index} at offset {pos} claims {len} bytes but only {} \
+                         remain and no later record verifies; dropping tail",
+                        path.display(),
+                        bytes.len() - body
+                    ));
+                    break;
+                }
+            }
         }
         let payload = &bytes[body..body + len as usize];
         if checksum(payload) != sum {
             // The checksum only covers the payload the *length prefix*
             // framed — if the corruption hit the length itself, advancing
             // by it would desynchronize the scan and silently mis-skip
-            // every following valid record. Only keep scanning when the
-            // bytes at the implied next offset actually look like a
-            // record header (or the clean end of the file); otherwise the
-            // frame boundary is untrustworthy and the tail is dropped.
+            // every following valid record. Advance by the prefix only
+            // when the frame it implies next *verifies* (or the file ends
+            // cleanly there); otherwise fall back to scanning for a
+            // verified frame anywhere in the tail.
             let next = body + len as usize;
-            if !resyncs_at(&bytes, next) {
+            if next == bytes.len() || verified_at(&bytes, next) {
                 warnings.push(format!(
-                    "{}: record {index} at offset {pos} fails its checksum and the next \
-                     header does not parse; dropping tail",
+                    "{}: record {index} at offset {pos} fails its checksum; skipped",
                     path.display()
                 ));
-                break;
+                pos = next;
+                index += 1;
+                continue;
             }
-            warnings.push(format!(
-                "{}: record {index} at offset {pos} fails its checksum; skipped",
-                path.display()
-            ));
-        } else {
-            records.push(payload.to_vec());
+            match scan_for_record(&bytes, pos + 1) {
+                Some(next) => {
+                    warnings.push(format!(
+                        "{}: record {index} at offset {pos} fails its checksum and its \
+                         length prefix is untrustworthy; resynced at the next verified \
+                         record, offset {next}",
+                        path.display()
+                    ));
+                    pos = next;
+                    index += 1;
+                    continue;
+                }
+                None => {
+                    warnings.push(format!(
+                        "{}: record {index} at offset {pos} fails its checksum and no \
+                         later record verifies; dropping tail",
+                        path.display()
+                    ));
+                    break;
+                }
+            }
         }
+        records.push(payload.to_vec());
         pos = body + len as usize;
         index += 1;
     }
     Ok((records, warnings))
 }
 
-/// `true` when `pos` is a plausible record boundary of `bytes`: the clean
-/// end of the file, or a 12-byte frame header whose length field fits the
-/// remaining bytes and the global cap. Used to decide whether a
-/// checksum-failed record's length prefix can still be trusted for
-/// advancing the scan.
-fn resyncs_at(bytes: &[u8], pos: usize) -> bool {
-    if pos == bytes.len() {
-        return true; // the corrupt record was the last one
-    }
+/// `true` when a full record frame at `pos` parses *and* its payload
+/// checksum validates — strong evidence (2⁻⁶⁴ false-positive odds) of a
+/// real record boundary. This is what lets the loader resynchronize
+/// after torn or corrupt bytes without ever trusting damaged framing.
+fn verified_at(bytes: &[u8], pos: usize) -> bool {
     if pos > bytes.len() || bytes.len() - pos < 12 {
         return false;
     }
     let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-    len <= MAX_RECORD_LEN && bytes.len() - (pos + 12) >= len as usize
+    let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+    let body = pos + 12;
+    if len > MAX_RECORD_LEN || bytes.len() - body < len as usize {
+        return false;
+    }
+    checksum(&bytes[body..body + len as usize]) == sum
+}
+
+/// The first offset ≥ `from` holding a checksum-verified record frame.
+/// Candidate offsets whose length field is implausible are rejected
+/// before any checksum work, so the scan is cheap on random garbage.
+fn scan_for_record(bytes: &[u8], from: usize) -> Option<usize> {
+    (from..bytes.len()).find(|&pos| verified_at(bytes, pos))
 }
 
 /// Appends framed records to a store file, creating it (with a header)
 /// when absent or empty.
+///
+/// The appender carries a **failure latch**: it tracks the end offset of
+/// the last fully written record, and any failed append (`ENOSPC`, a
+/// partial `write_all`, an injected fault) rolls the file back to that
+/// offset so torn bytes can never sit between records and desync the
+/// loader. If the rollback itself fails the appender **seals** — every
+/// later append is refused — because continuing to append after
+/// unremovable torn bytes would strand each new record behind garbage.
 #[derive(Debug)]
 pub struct Appender {
     file: File,
     path: PathBuf,
+    kind: StoreKind,
+    /// End offset of the last fully written record (or the header);
+    /// the rollback target for a failed append.
+    committed: u64,
+    /// Successful appends since the last [`Appender::sync`] — the
+    /// fsync-cadence state [`crate::DurabilityPolicy::fsync_every`]
+    /// compares against.
+    unsynced: u64,
+    /// Set when a failed append could not be rolled back; permanent.
+    sealed: bool,
 }
 
 impl Appender {
@@ -922,9 +1019,14 @@ impl Appender {
             drop(fresh);
             OpenOptions::new().append(true).open(path)?
         };
+        let committed = file.metadata()?.len();
         Ok(Appender {
             file,
             path: path.to_path_buf(),
+            kind,
+            committed,
+            unsynced: 0,
+            sealed: false,
         })
     }
 
@@ -933,35 +1035,133 @@ impl Appender {
         &self.path
     }
 
-    /// Appends one framed, checksummed record and flushes it.
+    /// Successful appends since the last [`Appender::sync`].
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+
+    /// `true` once a failed append could not be rolled back and the
+    /// appender refused all further writes (see the type docs).
+    pub fn sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Appends one framed, checksummed record and flushes it. On any
+    /// write failure the file is truncated back to the pre-write offset
+    /// (the failure latch); if that truncation fails too, the appender
+    /// seals itself permanently.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.sealed {
+            return Err(io::Error::other(
+                "appender sealed: an earlier failed append could not be rolled back",
+            ));
+        }
         let mut frame = Vec::with_capacity(12 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&checksum(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         // One write_all per record keeps concurrent appends (behind the
         // engine's mutex) and crashes from interleaving frames.
-        self.file.write_all(&frame)?;
-        self.file.flush()
+        let written = satmapit_faults::write_all(self.kind.append_site(), &mut self.file, &frame)
+            .and_then(|()| self.file.flush());
+        match written {
+            Ok(()) => {
+                self.committed += frame.len() as u64;
+                self.unsynced += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // A partial write_all left torn bytes after `committed`;
+                // without this rollback every later record would sit
+                // behind garbage the loader has to fight past.
+                let rollback = satmapit_faults::check(self.kind.truncate_site())
+                    .and_then(|()| self.file.set_len(self.committed));
+                if rollback.is_err() {
+                    self.sealed = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Makes every appended record durable (`fsync`) and resets the
+    /// [`Appender::unsynced`] cadence counter.
+    pub fn sync(&mut self) -> io::Result<()> {
+        satmapit_faults::check(self.kind.sync_site())?;
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
     }
 }
 
 /// Atomically rewrites a store file from in-memory payloads: write to a
 /// sibling temp file, then rename over the original. Deduplicates nothing
 /// itself — callers pass the already-deduplicated live set.
-pub fn rewrite(path: &Path, kind: StoreKind, payloads: &[Vec<u8>]) -> io::Result<()> {
+///
+/// With `sync` set the rewrite is crash-durable, not merely atomic: the
+/// temp file is `sync_all`ed *before* the rename (so the rename can
+/// never publish a name whose bytes are still in the page cache) and
+/// the parent directory is fsynced *after* it (so a crash cannot
+/// resurrect the pre-compaction file). A temp file stranded by a crash
+/// between create and rename is swept by [`clean_stale_tmp`] on the
+/// next load.
+pub fn rewrite(path: &Path, kind: StoreKind, payloads: &[Vec<u8>], sync: bool) -> io::Result<()> {
     let tmp = path.with_extension("smc.tmp");
     {
         let mut file = File::create(&tmp)?;
-        file.write_all(&header_bytes(kind))?;
+        satmapit_faults::write_all("compact.write", &mut file, &header_bytes(kind))?;
         for payload in payloads {
-            file.write_all(&(payload.len() as u32).to_le_bytes())?;
-            file.write_all(&checksum(payload).to_le_bytes())?;
-            file.write_all(payload)?;
+            let mut frame = Vec::with_capacity(12 + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&checksum(payload).to_le_bytes());
+            frame.extend_from_slice(payload);
+            satmapit_faults::write_all("compact.write", &mut file, &frame)?;
         }
         file.flush()?;
+        if sync {
+            satmapit_faults::check("compact.sync")?;
+            file.sync_all()?;
+        }
     }
-    std::fs::rename(&tmp, path)
+    satmapit_faults::check("compact.rename")?;
+    std::fs::rename(&tmp, path)?;
+    if sync {
+        satmapit_faults::check("compact.dirsync")?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                File::open(parent)?.sync_all()?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Removes stray `*.smc.tmp` files left behind by a compaction that
+/// crashed between writing its temp file and renaming it into place.
+/// Returns one warning line per file swept (or per sweep failure); the
+/// engine surfaces them through `load_warnings`.
+pub fn clean_stale_tmp(dir: &Path) -> io::Result<Vec<String>> {
+    let mut warnings = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.ends_with(".smc.tmp") {
+            continue;
+        }
+        let path = entry.path();
+        match std::fs::remove_file(&path) {
+            Ok(()) => warnings.push(format!(
+                "{}: removed stale temp file from an interrupted compaction",
+                path.display()
+            )),
+            Err(e) => warnings.push(format!(
+                "{}: could not remove stale temp file: {e}",
+                path.display()
+            )),
+        }
+    }
+    Ok(warnings)
 }
 
 /// A loaded result cache: fingerprint-keyed shared outcomes.

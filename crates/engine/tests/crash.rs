@@ -1,0 +1,235 @@
+//! Crash-recovery torture: kill a real engine process at injected
+//! points mid-append and mid-compaction, restart, and prove the
+//! persistence contract — every record the engine acknowledged (both
+//! the append and its fsync returned) survives the crash, the loader
+//! never desyncs on whatever the crash left behind, and re-solved
+//! answers agree with the pre-crash ones.
+//!
+//! The child is this same test binary re-invoked on the `#[ignore]`d
+//! `crash_child` test with a fault plan in `SATMAPIT_FAULTS`; the
+//! `abort` / `abort-write` actions kill it from inside the injected
+//! I/O path, which is as close to a power cut as a test can get
+//! without a lab bench.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::{CacheLifecycle, DurabilityPolicy, Engine, EngineConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DIR_VAR: &str = "SATMAPIT_CRASH_DIR";
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "satmapit-crash-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The fixed workload both sides replay: distinct, fast solves, with a
+/// couple of ladder-climbing shapes so bound records get appended too.
+fn jobs() -> Vec<(String, Dfg, Cgra)> {
+    let mut jobs = Vec::new();
+    // A producer fanned out to 5 consumers on a 1x2 row: climbs UNSAT
+    // rungs, appending proven-bound records along the way.
+    let mut fan = Dfg::new("fan5");
+    let src = fan.add_const(1);
+    for _ in 0..5 {
+        let n = fan.add_node(Op::Neg);
+        fan.add_edge(src, n, 0);
+    }
+    jobs.push(("fan5".to_string(), fan, Cgra::new(1, 2)));
+    for n in 2..=7 {
+        let mut dfg = Dfg::new(format!("chain{n}"));
+        let mut prev = dfg.add_const(1);
+        for _ in 1..n {
+            let next = dfg.add_node(Op::Neg);
+            dfg.add_edge(prev, next, 0);
+            prev = next;
+        }
+        jobs.push((format!("chain{n}"), dfg, Cgra::square(2)));
+    }
+    jobs
+}
+
+fn torture_config() -> EngineConfig {
+    EngineConfig {
+        lifecycle: CacheLifecycle {
+            // Compact aggressively so crashes land mid-compaction too.
+            compact_every: 3,
+            ..CacheLifecycle::default()
+        },
+        durability: DurabilityPolicy {
+            fsync_every: 1, // every acknowledged append is fsynced
+            ..DurabilityPolicy::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The sacrificial process: replays the workload against the cache dir
+/// from `SATMAPIT_CRASH_DIR` with the fault plan from `SATMAPIT_FAULTS`
+/// armed, printing `RES <name> <ii>` for every completed solve and
+/// `ACK <name> <ii>` for every solve whose records all reached the
+/// fsynced store. An `abort` in the plan kills it mid-I/O.
+#[test]
+#[ignore = "helper: run by the torture parent in a subprocess"]
+fn crash_child() {
+    let Ok(dir) = std::env::var(DIR_VAR) else {
+        return; // invoked outside the torture harness: nothing to do
+    };
+    satmapit_faults::init_from_env().expect("valid fault plan");
+    let engine = Engine::with_cache_dir(torture_config(), dir.as_ref()).expect("open cache dir");
+    for (name, dfg, cgra) in jobs() {
+        let errors_before = engine.cache_stats().append_errors;
+        let (outcome, cached) = engine.map(&dfg, &cgra);
+        let ii = outcome.ii().expect("torture jobs all map");
+        println!("RES {name} {ii}");
+        let durable = engine.cache_stats().append_errors == errors_before;
+        if !cached && durable {
+            println!("ACK {name} {ii}");
+        }
+    }
+}
+
+/// One torture round: run the child under `plan`, then reopen the store
+/// in this process and hold it to the contract.
+fn torture(tag: &str, plan: &str) {
+    let dir = TempDir::new(tag);
+    let exe = std::env::current_exe().expect("own path");
+    let output = Command::new(&exe)
+        .args(["crash_child", "--exact", "--ignored", "--nocapture"])
+        .env("SATMAPIT_FAULTS", plan)
+        .env(DIR_VAR, dir.path())
+        .output()
+        .expect("spawn crash child");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let mut acked = Vec::new();
+    let mut resolved = Vec::new();
+    for line in stdout.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("ACK") => acked.push((
+                parts.next().expect("name").to_string(),
+                parts.next().expect("ii").parse::<u32>().expect("ii"),
+            )),
+            Some("RES") => resolved.push((
+                parts.next().expect("name").to_string(),
+                parts.next().expect("ii").parse::<u32>().expect("ii"),
+            )),
+            _ => {}
+        }
+    }
+
+    // Recovery: reopen the store this process (no fault plan here).
+    let engine = Engine::with_cache_dir(torture_config(), dir.path())
+        .unwrap_or_else(|e| panic!("[{tag}] {plan}: store must reopen after the crash: {e}"));
+    for warning in engine.load_warnings() {
+        // A crash may legitimately tear the tail; the loader must say
+        // so, never silently misread.
+        assert!(
+            warning.contains("dropping tail")
+                || warning.contains("resynced")
+                || warning.contains("skipped")
+                || warning.contains("stale temp file"),
+            "[{tag}] {plan}: unexpected load warning: {warning}"
+        );
+    }
+    // Whatever the crash stranded, the sweep on reopen removed it.
+    for entry in fs::read_dir(dir.path()).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert!(
+            !name.to_string_lossy().ends_with(".smc.tmp"),
+            "[{tag}] {plan}: stale temp file survived the reopen sweep"
+        );
+    }
+
+    // Every fsync-acknowledged result answers from disk, II intact.
+    for (name, ii) in &acked {
+        let (_, dfg, cgra) = jobs()
+            .into_iter()
+            .find(|(n, _, _)| n == name)
+            .expect("ACKed job is in the workload");
+        let served = engine.map_with_deadline(&dfg, &cgra, None);
+        assert!(
+            served.cached && served.persistent,
+            "[{tag}] {plan}: acknowledged record for `{name}` lost in the crash"
+        );
+        assert_eq!(
+            served.outcome.ii(),
+            Some(*ii),
+            "[{tag}] {plan}: `{name}` replayed with a different II"
+        );
+    }
+    // And every job the child solved at all re-solves to the same II —
+    // crash debris must never steer the search.
+    for (name, ii) in &resolved {
+        let (_, dfg, cgra) = jobs()
+            .into_iter()
+            .find(|(n, _, _)| n == name)
+            .expect("job is in the workload");
+        let (outcome, _) = engine.map(&dfg, &cgra);
+        assert_eq!(
+            outcome.ii(),
+            Some(*ii),
+            "[{tag}] {plan}: `{name}` re-solved to a different II after the crash"
+        );
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The torture matrix: seeded crash points across every append and
+/// compaction site. Each seed varies the hit index (which append dies)
+/// and, for torn writes, how many bytes land before the power goes out.
+#[test]
+fn seeded_crash_torture() {
+    let mut rng: u64 = 0x7041_7041;
+    for seed in 0..3u64 {
+        let hit = 1 + xorshift(&mut rng) % 6;
+        let torn = 1 + xorshift(&mut rng) % 24;
+        torture(
+            &format!("torn-append-{seed}"),
+            &format!("abort-write={torn}@append.results:{hit}"),
+        );
+    }
+    let hit = 1 + xorshift(&mut rng) % 3;
+    torture("bound-abort", &format!("abort@append.bounds:{hit}"));
+    let hit = 1 + xorshift(&mut rng) % 8;
+    torture(
+        "compact-torn",
+        &format!("abort-write=9@compact.write:{hit}"),
+    );
+    torture("compact-sync", "abort@compact.sync:1");
+    torture("compact-rename", "abort@compact.rename:1");
+    torture("compact-dirsync", "abort@compact.dirsync:1");
+    let hit = 1 + xorshift(&mut rng) % 4;
+    torture("sync-abort", &format!("abort@sync.results:{hit}"));
+}

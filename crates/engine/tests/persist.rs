@@ -224,8 +224,9 @@ fn corrupt_record_does_not_take_down_its_neighbours() {
 /// the checksum like any corruption, but the old loader still advanced
 /// the scan by the corrupt length — silently desynchronizing the frame
 /// boundaries and mis-skipping every following valid record. The loader
-/// now verifies that the implied next header parses sanely before
-/// trusting the length; otherwise it drops the tail with a warning.
+/// now refuses to trust an unverified length: it scans forward for the
+/// next frame whose checksum verifies and resynchronizes there, so the
+/// flip costs exactly the flipped record and nothing after it.
 #[test]
 fn bit_flip_in_length_field_cannot_desync_the_scan() {
     use satmapit_engine::persist::{self, StoreKind};
@@ -236,7 +237,7 @@ fn bit_flip_in_length_field_cannot_desync_the_scan() {
         persist::encode_bound_record(Fingerprint(0xAAAA_0000_1111_2222_3333_4444_5555_6666), 3);
     let p2 =
         persist::encode_bound_record(Fingerprint(0xBBBB_9999_8888_7777_6666_5555_4444_3333), 7);
-    persist::rewrite(&path, StoreKind::Bounds, &[p1, p2]).unwrap();
+    persist::rewrite(&path, StoreKind::Bounds, &[p1.clone(), p2.clone()], true).unwrap();
 
     // Record 1's length prefix lives right after the 16-byte file header;
     // flip one bit (20 → 28), which points the implied next-record
@@ -246,15 +247,15 @@ fn bit_flip_in_length_field_cannot_desync_the_scan() {
     fs::write(&path, &bytes).unwrap();
 
     let (records, warnings) = persist::read_records(&path, StoreKind::Bounds).unwrap();
-    assert!(
-        records.is_empty(),
-        "an untrustworthy frame boundary must never yield records, got {}",
-        records.len()
+    assert_eq!(
+        records,
+        vec![p2],
+        "the scan must resynchronize on record 2's verified frame"
     );
     assert_eq!(warnings.len(), 1, "{warnings:?}");
     assert!(
-        warnings[0].contains("dropping tail"),
-        "the loader must refuse to scan past the broken frame: {warnings:?}"
+        warnings[0].contains("resynced"),
+        "the loader must report the recovery scan: {warnings:?}"
     );
 
     // Contrast: the same flip in the *payload* leaves the framing intact,
@@ -263,7 +264,7 @@ fn bit_flip_in_length_field_cannot_desync_the_scan() {
     let (intact, _) = {
         let p1 = persist::encode_bound_record(Fingerprint(1), 3);
         let p2 = persist::encode_bound_record(Fingerprint(2), 7);
-        persist::rewrite(&path, StoreKind::Bounds, &[p1, p2]).unwrap();
+        persist::rewrite(&path, StoreKind::Bounds, &[p1, p2], true).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         bytes[16 + 12 + 2] ^= 0x08; // payload byte of record 1
         fs::write(&path, &bytes).unwrap();

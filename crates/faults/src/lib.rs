@@ -1,0 +1,529 @@
+//! # satmapit-faults
+//!
+//! A deterministic fault-injection plane for crash-safety and
+//! degradation testing. Production code threads its fallible I/O through
+//! **named sites** ([`check`], [`check_write`], [`write_all`]); tests
+//! (and the chaos CI job) install a **fault plan** — a deterministic
+//! script of which site hits fail, how — and the exact same binary
+//! exhibits torn writes, `ENOSPC`, `EINTR` storms, or dies at a chosen
+//! instruction.
+//!
+//! ## The off contract
+//!
+//! With no plan installed, every site costs exactly **one relaxed atomic
+//! load** and the plane is invisible: no locks, no allocation, no hit
+//! counting, and no influence on any result fingerprint — the same
+//! contract as `satmapit-obs` tracing. This is pinned by tests here and
+//! in the engine.
+//!
+//! ## Plan syntax
+//!
+//! A plan is `rule (';' rule)*`, each rule `action['=' arg] '@' site
+//! [':' hit]`. Hits are 1-based per site; `hit` defaults to 1.
+//!
+//! | action            | effect at the armed hit                           |
+//! |-------------------|---------------------------------------------------|
+//! | `error-once`      | one injected I/O error, then the site heals       |
+//! | `error`           | every hit from `hit` on fails (persistent outage) |
+//! | `enospc-once`     | one `ENOSPC` (`No space left on device`)          |
+//! | `enospc`          | persistent `ENOSPC`                               |
+//! | `eintr=K`         | `K` consecutive `EINTR`s starting at `hit`        |
+//! | `partial-write=K` | write sites: `K` bytes land, then an error (once) |
+//! | `abort`           | `std::process::abort()` before the operation      |
+//! | `abort-write=K`   | write sites: `K` bytes land, then abort (torn)    |
+//!
+//! Example: `partial-write=17@append.results:3;abort@compact.rename`
+//! tears the third result append after 17 bytes, and kills the process
+//! the first time a compaction is about to rename its temp file.
+//!
+//! The `satmapit` binary installs the plan named by the
+//! [`ENV_VAR`](static@ENV_VAR) environment variable at startup, so
+//! torture harnesses can inject into spawned daemons. See
+//! `docs/robustness.md` for the site inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Environment variable the `satmapit` binary reads a fault plan from
+/// (see [`init_from_env`]).
+pub static ENV_VAR: &str = "SATMAPIT_FAULTS";
+
+/// Fast-path gate: `true` iff a plan is installed. Sites load this and
+/// return immediately when clear — the entire cost of the plane when
+/// off.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Total faults injected since the last [`install`]/[`clear`].
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// The installed plan. Only consulted after [`ACTIVE`] reads `true`.
+static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+
+/// Locks the plan, recovering from poison: the plan is only mutated by
+/// whole-value replacement and per-rule counter bumps, both coherent at
+/// every instruction, so a panicking injection site must not disable
+/// the plane for the rest of the process.
+fn lock_plan() -> MutexGuard<'static, Option<Plan>> {
+    PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a write site should do, as decided by [`check_write`].
+#[derive(Debug)]
+pub enum WriteFault {
+    /// No fault: perform the write normally.
+    Proceed,
+    /// Fail without writing anything.
+    Error(io::Error),
+    /// Write only the first `prefix` bytes (a torn write), then either
+    /// abort the process or return the error.
+    Partial {
+        /// How many bytes of the buffer actually land.
+        prefix: usize,
+        /// `true` ⇒ `std::process::abort()` after the partial write
+        /// (the `abort-write` action); `false` ⇒ return `error`.
+        abort_after: bool,
+        /// The error a non-aborting torn write surfaces.
+        error: io::Error,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Error,
+    Enospc,
+    Eintr { storm: u64 },
+    Partial { bytes: usize },
+    Abort,
+    AbortWrite { bytes: usize },
+}
+
+#[derive(Debug)]
+struct Rule {
+    site: String,
+    /// 1-based hit index the rule arms at.
+    from_hit: u64,
+    /// How many injections this rule has left; `None` = unbounded.
+    budget: Option<u64>,
+    action: Action,
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    rules: Vec<Rule>,
+    /// Per-site hit counters (counted only while a plan is installed,
+    /// so plan hit indices are deterministic from installation).
+    hits: HashMap<String, u64>,
+}
+
+/// A fault plan failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn parse_rule(text: &str) -> Result<Rule, PlanError> {
+    let (action_part, site_part) = text
+        .split_once('@')
+        .ok_or_else(|| PlanError(format!("rule `{text}` has no `@site`")))?;
+    let (name, arg) = match action_part.split_once('=') {
+        Some((name, arg)) => (name, Some(arg)),
+        None => (action_part, None),
+    };
+    let arg_num = |what: &str| -> Result<u64, PlanError> {
+        arg.ok_or_else(|| PlanError(format!("action `{name}` needs `={what}`")))?
+            .parse::<u64>()
+            .map_err(|_| {
+                PlanError(format!(
+                    "action `{name}`: `={}` is not a number",
+                    arg.unwrap()
+                ))
+            })
+    };
+    let (action, budget) = match name {
+        "error-once" => (Action::Error, Some(1)),
+        "error" => (Action::Error, None),
+        "enospc-once" => (Action::Enospc, Some(1)),
+        "enospc" => (Action::Enospc, None),
+        "eintr" => {
+            let storm = arg_num("count")?;
+            (Action::Eintr { storm }, Some(storm))
+        }
+        "partial-write" => (
+            Action::Partial {
+                bytes: arg_num("bytes")? as usize,
+            },
+            Some(1),
+        ),
+        "abort" => (Action::Abort, Some(1)),
+        "abort-write" => (
+            Action::AbortWrite {
+                bytes: arg_num("bytes")? as usize,
+            },
+            Some(1),
+        ),
+        other => return Err(PlanError(format!("unknown action `{other}`"))),
+    };
+    if arg.is_some() && !matches!(name, "eintr" | "partial-write" | "abort-write") {
+        return Err(PlanError(format!("action `{name}` takes no `=` argument")));
+    }
+    let (site, from_hit) = match site_part.rsplit_once(':') {
+        Some((site, hit)) => {
+            let hit = hit
+                .parse::<u64>()
+                .map_err(|_| PlanError(format!("hit index `{hit}` is not a number")))?;
+            if hit == 0 {
+                return Err(PlanError("hit indices are 1-based".into()));
+            }
+            (site, hit)
+        }
+        None => (site_part, 1),
+    };
+    if site.is_empty() {
+        return Err(PlanError(format!("rule `{text}` has an empty site")));
+    }
+    Ok(Rule {
+        site: site.to_string(),
+        from_hit,
+        budget,
+        action,
+    })
+}
+
+/// Installs a fault plan, replacing any previous one and resetting all
+/// hit and injection counters.
+///
+/// # Errors
+///
+/// Returns the parse failure; the previous plan (if any) stays active.
+pub fn install(spec: &str) -> Result<(), PlanError> {
+    let rules = spec
+        .split(';')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(parse_rule)
+        .collect::<Result<Vec<Rule>, PlanError>>()?;
+    if rules.is_empty() {
+        return Err(PlanError("empty plan".into()));
+    }
+    *lock_plan() = Some(Plan {
+        rules,
+        hits: HashMap::new(),
+    });
+    // ordering: Relaxed on both — installation happens-before the
+    // workload through whatever mechanism starts the workload (spawn,
+    // function call); the gate itself is advisory and a site racing the
+    // install may harmlessly see either state.
+    INJECTED.store(0, Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Relaxed); // ordering: see above
+    Ok(())
+}
+
+/// Removes the installed plan; every site returns to the one-load fast
+/// path and the injection counter resets (no plan, nothing injected).
+pub fn clear() {
+    // ordering: advisory gate, as in `install`.
+    ACTIVE.store(false, Ordering::Relaxed);
+    *lock_plan() = None;
+    // ordering: monotone telemetry counter.
+    INJECTED.store(0, Ordering::Relaxed);
+}
+
+/// `true` while a plan is installed. One relaxed atomic load.
+pub fn active() -> bool {
+    // ordering: advisory fast-path gate; the plan mutex serializes all
+    // actual plan access.
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Total faults injected since the current plan was installed.
+pub fn injected() -> u64 {
+    // ordering: monotone telemetry counter.
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Hits recorded for `site` under the current plan (0 when off —
+/// inactive sites never count, which is how tests pin the fast path).
+pub fn hits(site: &str) -> u64 {
+    lock_plan()
+        .as_ref()
+        .and_then(|plan| plan.hits.get(site).copied())
+        .unwrap_or(0)
+}
+
+/// Installs the plan named by the [`ENV_VAR`](static@ENV_VAR)
+/// environment variable, if set and non-empty. Returns whether a plan
+/// was installed.
+///
+/// # Errors
+///
+/// Propagates the parse failure; callers (the `satmapit` binary) should
+/// treat a malformed plan as fatal — a chaos run with a silently
+/// dropped plan would report false greens.
+pub fn init_from_env() -> Result<bool, PlanError> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.is_empty() => install(&spec).map(|()| true),
+        _ => Ok(false),
+    }
+}
+
+/// The decision for one site hit, with the armed rule already consumed.
+fn decide(site: &str, is_write: bool) -> Option<Action> {
+    let mut guard = lock_plan();
+    let plan = guard.as_mut()?;
+    let hit = {
+        let counter = plan.hits.entry(site.to_string()).or_insert(0);
+        *counter += 1;
+        *counter
+    };
+    let rule = plan.rules.iter_mut().find(|rule| {
+        rule.site == site && hit >= rule.from_hit && rule.budget.is_none_or(|b| b > 0)
+    })?;
+    if !is_write
+        && matches!(
+            rule.action,
+            Action::Partial { .. } | Action::AbortWrite { .. }
+        )
+    {
+        // Write-shaped actions degrade to plain errors at non-write
+        // sites rather than silently not firing.
+        if let Some(budget) = &mut rule.budget {
+            *budget -= 1;
+        }
+        // ordering: monotone telemetry counter.
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+        return Some(Action::Error);
+    }
+    if let Some(budget) = &mut rule.budget {
+        *budget -= 1;
+    }
+    // ordering: monotone telemetry counter.
+    INJECTED.fetch_add(1, Ordering::Relaxed);
+    Some(rule.action)
+}
+
+fn injected_error(action: Action) -> io::Error {
+    match action {
+        Action::Enospc => {
+            // Raw ENOSPC (28 on Linux) so callers exercising error-kind
+            // dispatch see exactly what a full disk produces.
+            io::Error::from_raw_os_error(28)
+        }
+        Action::Eintr { .. } => io::Error::from(io::ErrorKind::Interrupted),
+        _ => io::Error::other("injected fault"),
+    }
+}
+
+/// Checks a non-write site. When off: one relaxed atomic load, `Ok`.
+/// When a plan is armed for this hit, returns the injected error — or
+/// never returns (the `abort` action).
+///
+/// # Errors
+///
+/// The injected fault, when the plan arms one for this hit.
+pub fn check(site: &str) -> io::Result<()> {
+    // ordering: advisory fast-path gate (see `active`).
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match decide(site, false) {
+        None => Ok(()),
+        Some(Action::Abort) => std::process::abort(),
+        Some(action) => Err(injected_error(action)),
+    }
+}
+
+/// Checks a write site about to write `len` bytes. When off: one
+/// relaxed atomic load, [`WriteFault::Proceed`]. The `abort` action
+/// aborts here; `abort-write`/`partial-write` come back as
+/// [`WriteFault::Partial`] for the caller (usually [`write_all`]) to
+/// perform.
+pub fn check_write(site: &str, len: usize) -> WriteFault {
+    // ordering: advisory fast-path gate (see `active`).
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return WriteFault::Proceed;
+    }
+    match decide(site, true) {
+        None => WriteFault::Proceed,
+        Some(Action::Abort) => std::process::abort(),
+        Some(Action::Partial { bytes }) => WriteFault::Partial {
+            prefix: bytes.min(len),
+            abort_after: false,
+            error: io::Error::other("injected torn write"),
+        },
+        Some(Action::AbortWrite { bytes }) => WriteFault::Partial {
+            prefix: bytes.min(len),
+            abort_after: true,
+            error: io::Error::other("unreachable: abort-write aborts"),
+        },
+        Some(action) => WriteFault::Error(injected_error(action)),
+    }
+}
+
+/// Writes `buf` through the fault plane: injected `EINTR`s are retried
+/// (each retry is a new site hit, so an `eintr=K` storm costs `K`
+/// loops), torn writes land their prefix before failing, and
+/// `abort-write` kills the process with the torn prefix on disk —
+/// exactly the state a power loss mid-`write` leaves behind.
+///
+/// # Errors
+///
+/// Injected faults, or real errors from the underlying writer.
+pub fn write_all<W: io::Write>(site: &str, writer: &mut W, buf: &[u8]) -> io::Result<()> {
+    loop {
+        match check_write(site, buf.len()) {
+            WriteFault::Proceed => return writer.write_all(buf),
+            WriteFault::Error(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            WriteFault::Error(e) => return Err(e),
+            WriteFault::Partial {
+                prefix,
+                abort_after,
+                error,
+            } => {
+                writer.write_all(&buf[..prefix])?;
+                if abort_after {
+                    let _ = writer.flush();
+                    std::process::abort();
+                }
+                return Err(error);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// The plan is process-global; tests that install one serialize.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn off_by_default_and_counts_nothing() {
+        let _guard = serial();
+        clear();
+        assert!(!active());
+        for _ in 0..3 {
+            assert!(check("persist.append").is_ok());
+        }
+        assert!(matches!(
+            check_write("persist.append", 10),
+            WriteFault::Proceed
+        ));
+        // The fast path never reached the hit counters: installing a plan
+        // now arms hit 1 as the *next* call, proving the off path is the
+        // single atomic load and nothing more.
+        install("error-once@persist.append:1").unwrap();
+        assert_eq!(hits("persist.append"), 0);
+        assert!(check("persist.append").is_err());
+        assert_eq!(hits("persist.append"), 1);
+        clear();
+    }
+
+    #[test]
+    fn error_once_heals_error_persists() {
+        let _guard = serial();
+        install("error-once@a:2").unwrap();
+        assert!(check("a").is_ok(), "hit 1 is below the arm point");
+        assert!(check("a").is_err(), "hit 2 fires");
+        assert!(check("a").is_ok(), "hit 3 healed");
+        assert_eq!(injected(), 1);
+
+        install("error@a:2").unwrap();
+        assert!(check("a").is_ok());
+        for _ in 0..4 {
+            assert!(check("a").is_err(), "persistent outage");
+        }
+        clear();
+    }
+
+    #[test]
+    fn enospc_has_the_real_errno() {
+        let _guard = serial();
+        install("enospc@disk").unwrap();
+        let e = check("disk").unwrap_err();
+        assert_eq!(e.raw_os_error(), Some(28), "ENOSPC: {e}");
+        clear();
+    }
+
+    #[test]
+    fn eintr_storm_is_retried_by_write_all() {
+        let _guard = serial();
+        install("eintr=3@w").unwrap();
+        let mut sink = Vec::new();
+        write_all("w", &mut sink, b"payload").unwrap();
+        assert_eq!(sink, b"payload", "the write lands after the storm");
+        assert_eq!(
+            hits("w"),
+            4,
+            "three interrupted hits plus the one that proceeds"
+        );
+        assert_eq!(injected(), 3);
+        clear();
+    }
+
+    #[test]
+    fn partial_write_lands_its_prefix_then_fails() {
+        let _guard = serial();
+        install("partial-write=4@w:2").unwrap();
+        let mut sink = Vec::new();
+        write_all("w", &mut sink, b"first").unwrap();
+        let err = write_all("w", &mut sink, b"second").unwrap_err();
+        assert_eq!(sink, b"firstseco", "4 torn bytes landed: {err}");
+        write_all("w", &mut sink, b"third").unwrap();
+        clear();
+    }
+
+    #[test]
+    fn sites_are_independent_and_unknown_sites_pass() {
+        let _guard = serial();
+        install("error@a").unwrap();
+        assert!(check("b").is_ok());
+        assert!(check("a").is_err());
+        assert_eq!(hits("b"), 1, "active plans count every site hit");
+        clear();
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        let _guard = serial();
+        clear();
+        for bad in [
+            "",
+            "error",
+            "nonsense@site",
+            "error=3@site",
+            "eintr@site",
+            "partial-write@site",
+            "error@site:0",
+            "error@site:x",
+            "error@",
+        ] {
+            assert!(install(bad).is_err(), "plan `{bad}` must not parse");
+        }
+        assert!(!active(), "failed installs leave the plane off");
+    }
+
+    #[test]
+    fn write_shaped_actions_degrade_to_errors_at_plain_sites() {
+        let _guard = serial();
+        install("partial-write=4@s").unwrap();
+        assert!(check("s").is_err());
+        clear();
+    }
+}

@@ -114,6 +114,7 @@ impl LineConn {
                 return Ok(true);
             }
             let limit = self.read.len() + READ_QUANTUM;
+            satmapit_faults::check("net.read")?;
             let (n, eof) = self.read.fill_from(&mut self.stream, limit)?;
             if eof {
                 self.eof = true;
@@ -150,6 +151,7 @@ impl LineConn {
     ///
     /// Propagates socket write failure (e.g. peer reset).
     pub fn flush(&mut self) -> io::Result<()> {
+        satmapit_faults::check("net.write")?;
         self.write.drain_to(&mut self.stream)?;
         if self.write.is_empty() {
             self.stream.flush()?;

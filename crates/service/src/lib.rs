@@ -62,7 +62,7 @@ pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use json::{Json, JsonError};
 pub use server::{Server, ServerConfig};
 pub use wire::{MapRequest, Request, WireError};

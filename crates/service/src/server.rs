@@ -1185,9 +1185,17 @@ fn trace_response(inner: &Inner) -> Json {
 
 fn health_response(inner: &Inner) -> Json {
     let queue_depth = lock_queue(inner).len();
+    // Degraded is not unhealthy: the daemon still answers every request
+    // from memory, so `ok` stays true — but operators monitoring
+    // `status` learn that nothing is reaching the disk anymore.
+    let status = if inner.engine.degraded() {
+        "degraded"
+    } else {
+        "healthy"
+    };
     Json::obj(vec![
         ("ok", Json::Bool(true)),
-        ("status", Json::Str("healthy".to_string())),
+        ("status", Json::Str(status.to_string())),
         ("version", Json::Str(version_string())),
         ("queue_depth", Json::Int(queue_depth as i64)),
         (

@@ -573,6 +573,9 @@ pub fn cache_stats_to_json(stats: &satmapit_engine::CacheStats) -> Json {
         ("evicted_size", Json::Int(stats.evicted_size as i64)),
         ("evicted_age", Json::Int(stats.evicted_age as i64)),
         ("compactions", Json::Int(stats.compactions as i64)),
+        ("append_errors", Json::Int(stats.append_errors as i64)),
+        ("fsyncs", Json::Int(stats.fsyncs as i64)),
+        ("degraded", Json::Bool(stats.degraded)),
     ])
 }
 

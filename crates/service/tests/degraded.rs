@@ -1,0 +1,257 @@
+//! Graceful degradation end to end: a daemon whose disk starts eating
+//! every append keeps serving answers from memory, flips its health to
+//! `degraded` and surfaces the failure counters, and a restart with a
+//! healthy disk recovers cleanly. Also pins the client retry loop:
+//! idempotent submits reconnect-and-replay through injected connection
+//! failures.
+//!
+//! Fault plans are process-global, so the tests here serialize on
+//! `SERIAL` and run the fault window as briefly as possible.
+
+use satmapit_cgra::Cgra;
+use satmapit_dfg::{Dfg, Op};
+use satmapit_engine::{DurabilityPolicy, EngineConfig};
+use satmapit_faults as faults;
+use satmapit_service::wire::MapRequest;
+use satmapit_service::{Client, Json, RetryPolicy, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "satmapit-degraded-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp cache dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chain(n: usize) -> Dfg {
+    let mut dfg = Dfg::new(format!("chain{n}"));
+    let mut prev = dfg.add_const(1);
+    for _ in 1..n {
+        let next = dfg.add_node(Op::Neg);
+        dfg.add_edge(prev, next, 0);
+        prev = next;
+    }
+    dfg
+}
+
+fn request(n: usize, id: i64) -> MapRequest {
+    MapRequest {
+        id: Some(id),
+        name: format!("chain{n}@2x2"),
+        dfg: chain(n),
+        cgra: Cgra::square(2),
+        timeout_ms: None,
+    }
+}
+
+fn server_config(max_append_failures: u64) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        engine: EngineConfig {
+            durability: DurabilityPolicy {
+                max_append_failures,
+                ..DurabilityPolicy::default()
+            },
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let ack = client.shutdown().expect("shutdown ack");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("server thread");
+}
+
+fn status_of(health: &Json) -> &str {
+    health
+        .get("status")
+        .and_then(Json::as_str)
+        .expect("health has a status")
+}
+
+/// Satellite 3: with every store append failing, the daemon keeps
+/// answering (memory-only), `health` flips to `degraded`, `stats`
+/// carries the error counters, and a restart with the plan cleared
+/// comes back healthy.
+#[test]
+fn daemon_survives_a_dying_disk_and_recovers_on_restart() {
+    let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let dir = TempDir::new("dying-disk");
+
+    faults::install("error@append.results;error@append.bounds").expect("valid plan");
+    let mut config = server_config(2);
+    config.cache_dir = Some(dir.0.clone());
+    let (addr, handle) = start(config);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    assert_eq!(
+        status_of(&client.health().expect("health")),
+        "healthy",
+        "no append has failed yet"
+    );
+
+    // Two solves = four failed appends (result + bound each): well past
+    // the threshold of 2. Every answer still arrives.
+    for (id, n) in [(1i64, 2usize), (2, 3)] {
+        let reply = client.map(&request(n, id)).expect("map reply");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            reply
+                .get("result")
+                .and_then(|r| r.get("status"))
+                .and_then(Json::as_str),
+            Some("mapped"),
+            "a degraded daemon still solves: {reply}"
+        );
+    }
+    faults::clear(); // the latch must hold without the plan
+
+    let health = client.health().expect("health");
+    assert_eq!(status_of(&health), "degraded");
+    assert_eq!(
+        health.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "degraded is an operating mode, not an outage"
+    );
+
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(cache.get("degraded").and_then(Json::as_bool), Some(true));
+    assert!(
+        cache.get("append_errors").and_then(Json::as_u64) >= Some(2),
+        "append_errors surfaced: {cache}"
+    );
+
+    // Memory-only serving: a repeat of a failed-to-persist job is a
+    // cache hit, no solver work.
+    let reply = client.map(&request(2, 3)).expect("repeat reply");
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("persistent").and_then(Json::as_bool),
+        Some(false),
+        "nothing reached the disk"
+    );
+    shutdown(&addr, handle);
+
+    // Restart over the same directory, disk healthy again: the latch is
+    // gone, nothing of the degraded run leaked into the store, and new
+    // work persists normally.
+    let mut config = server_config(2);
+    config.cache_dir = Some(dir.0.clone());
+    let (addr, handle) = start(config);
+    let mut client = Client::connect(&addr).expect("reconnect");
+    assert_eq!(status_of(&client.health().expect("health")), "healthy");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(cache.get("degraded").and_then(Json::as_bool), Some(false));
+    assert_eq!(cache.get("append_errors").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        cache.get("persistent_entries").and_then(Json::as_u64),
+        Some(0),
+        "the degraded run must not have half-persisted anything"
+    );
+    let reply = client.map(&request(2, 4)).expect("map after recovery");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    shutdown(&addr, handle);
+
+    // And the post-recovery append really landed.
+    let mut config = server_config(2);
+    config.cache_dir = Some(dir.0.clone());
+    let (addr, handle) = start(config);
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(
+        cache.get("persistent_entries").and_then(Json::as_u64),
+        Some(1)
+    );
+    shutdown(&addr, handle);
+}
+
+/// The retry client reconnects through injected connection failures on
+/// idempotent ops and returns the same answer a clean run would.
+#[test]
+fn retry_client_replays_submits_through_connection_failures() {
+    let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    faults::clear();
+    let (addr, handle) = start(server_config(3));
+
+    // Reference answer over a plain connection.
+    let mut plain = Client::connect(&addr).expect("connect");
+    let reference = plain.map(&request(4, 1)).expect("reference reply");
+
+    // The next server-side read fails (once): the first roundtrip dies
+    // with a dropped connection, the replay succeeds.
+    faults::install("error-once@net.read").expect("valid plan");
+    let mut retrying = Client::with_retry(
+        &addr,
+        RetryPolicy {
+            attempts: 4,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            socket_timeout: Some(Duration::from_secs(5)),
+            seed: 7,
+        },
+    );
+    let replayed = retrying.map(&request(4, 2)).expect("retried reply");
+    faults::clear();
+    assert_eq!(
+        replayed.get("result"),
+        reference.get("result"),
+        "the replayed submit returns the same mapping"
+    );
+    assert_eq!(
+        replayed.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "the retry hit the cache the reference solve populated"
+    );
+    assert_eq!(faults::injected(), 0, "plan cleared");
+
+    // With retries exhausted the failure surfaces as an error.
+    faults::install("error@net.read").expect("valid plan");
+    let mut exhausted = Client::with_retry(
+        &addr,
+        RetryPolicy {
+            attempts: 2,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            socket_timeout: Some(Duration::from_secs(5)),
+            seed: 9,
+        },
+    );
+    let err = exhausted.health();
+    faults::clear();
+    assert!(err.is_err(), "unreachable reads must surface after retries");
+
+    shutdown(&addr, handle);
+}

@@ -20,10 +20,11 @@ use sat_mapit::cgra::Cgra;
 use sat_mapit::core::routing::map_with_routing;
 use sat_mapit::core::{codegen, Mapper, MapperConfig};
 use sat_mapit::dfg::dot::to_dot;
-use sat_mapit::engine::{CacheLifecycle, Engine, EngineConfig, Job, ShareConfig};
+use sat_mapit::engine::{CacheLifecycle, DurabilityPolicy, Engine, EngineConfig, Job, ShareConfig};
 use sat_mapit::kernels;
 use sat_mapit::obs;
 use sat_mapit::schedule::{mii, rec_mii, res_mii};
+use sat_mapit::service::client::RetryPolicy;
 use sat_mapit::service::wire::{self, MapRequest};
 use sat_mapit::service::{Client, Json, Server, ServerConfig};
 use sat_mapit::sim::verify_mapping;
@@ -48,6 +49,15 @@ SUBCOMMANDS:
 Run `satmapit <SUBCOMMAND> --help` for that subcommand's flags.";
 
 fn main() {
+    // The fault-injection plane (chaos testing; see docs/robustness.md)
+    // arms itself from SATMAPIT_FAULTS. A malformed plan is fatal: the
+    // operator asked for specific faults, so running without them would
+    // silently test nothing.
+    if let Err(e) = sat_mapit::faults::init_from_env() {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
+        eprintln!("invalid {}: {e}", sat_mapit::faults::ENV_VAR);
+        exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("kernels") => cmd_kernels(&args[1..]),
@@ -744,12 +754,22 @@ fn cmd_serve(args: &[String]) {
             takes_value: true,
             help: "Compact the persistent stores after this many appends instead of only at shutdown (default 256; 0 = shutdown only)",
         },
+        FlagSpec {
+            name: "--fsync-every",
+            takes_value: true,
+            help: "fsync the persistent stores after this many appends (default 1 = every append; 0 = never, rely on the OS)",
+        },
+        FlagSpec {
+            name: "--max-append-failures",
+            takes_value: true,
+            help: "Consecutive append failures before the engine goes degraded memory-only until restart (default 3; 0 = never degrade)",
+        },
         SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--share] [--trace-dir DIR] [--slow-ms N] [--max-line-bytes N] [--cache-entries N] [--cache-age S] [--compact-every N] [--no-incremental]",
+        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--share] [--trace-dir DIR] [--slow-ms N] [--max-line-bytes N] [--cache-entries N] [--cache-age S] [--compact-every N] [--fsync-every N] [--max-append-failures N] [--no-incremental]",
         "Run the mapping daemon: line-delimited JSON requests over TCP, a\nbounded admission queue over the parallel engine, and result/bound\ncaches persisted to --cache-dir across restarts.\n\nProtocol reference: docs/service.md. Stop it with\n`echo '{\"op\":\"shutdown\"}' | nc HOST PORT` or a `shutdown` request\nfrom any client; shutdown compacts the on-disk caches.",
         &spec,
     );
@@ -782,6 +802,11 @@ fn cmd_serve(args: &[String]) {
                     .value("--cache-age")
                     .map(|_| Duration::from_secs(parsed.parse_num("--cache-age", 0u64))),
                 compact_every: parsed.parse_num("--compact-every", 256u64),
+            },
+            durability: DurabilityPolicy {
+                fsync_every: parsed.parse_num("--fsync-every", 1u64),
+                max_append_failures: parsed.parse_num("--max-append-failures", 3u64),
+                ..DurabilityPolicy::default()
             },
             ..EngineConfig::default()
         },
@@ -887,6 +912,16 @@ fn cmd_submit(args: &[String]) {
             help: "Socket budget in milliseconds for connect/read/write; a stalled daemon fails fast instead of hanging (default: none)",
         },
         FlagSpec {
+            name: "--retries",
+            takes_value: true,
+            help: "Total attempts on connection failure, reconnecting between tries (default 1 = no retry; submits are idempotent)",
+        },
+        FlagSpec {
+            name: "--backoff-ms",
+            takes_value: true,
+            help: "Backoff before the first retry in milliseconds, doubling (with jitter) each further retry (default 50)",
+        },
+        FlagSpec {
             name: "--json",
             takes_value: false,
             help: "Print the raw JSON response instead of the human summary",
@@ -898,7 +933,7 @@ fn cmd_submit(args: &[String]) {
         },
     ];
     let help = render_help(
-        "satmapit submit [<kernel> | --file dfg.json | -] [--addr HOST:PORT] [--size N] [--timeout S] [--timeout-ms MS] [--json] [--stats]",
+        "satmapit submit [<kernel> | --file dfg.json | -] [--addr HOST:PORT] [--size N] [--timeout S] [--timeout-ms MS] [--retries N] [--backoff-ms MS] [--json] [--stats]",
         "Submit one mapping job to a running daemon. The DFG comes from a\nbenchmark kernel name, a JSON file (--file), or stdin (`-`), in the\nwire format documented in docs/service.md.",
         &spec,
     );
@@ -928,16 +963,7 @@ fn cmd_submit(args: &[String]) {
         .map(|_| parsed.parse_num("--timeout-ms", 0u64))
         .filter(|&ms| ms > 0)
         .map(Duration::from_millis);
-    let connect = match socket_budget {
-        Some(budget) => Client::connect_timeout(addr, budget),
-        None => Client::connect(addr),
-    };
-    let mut client = connect.unwrap_or_else(|e| {
-        // lint: allow(log-discipline) -- failure outcomes are stderr's contract
-        eprintln!("cannot reach daemon at {addr}: {e}");
-        exit(1);
-    });
-    let reply = client.map(&request).unwrap_or_else(|e| {
+    let report_failure = |e: &sat_mapit::service::ClientError| {
         match socket_budget {
             // lint: allow(log-discipline) -- failure outcomes are stderr's contract
             Some(budget) if e.is_timeout() => eprintln!(
@@ -947,19 +973,53 @@ fn cmd_submit(args: &[String]) {
             // lint: allow(log-discipline) -- failure outcomes are stderr's contract
             _ => eprintln!("submit failed: {e}"),
         }
-        exit(1);
-    });
+    };
+    let retries: u32 = parsed.parse_num("--retries", 1);
+    let (reply, stats) = if retries > 1 {
+        // Submits are idempotent (deterministic solves, cached), so a
+        // reconnect-and-replay loop is safe; see docs/robustness.md.
+        let mut client = Client::with_retry(
+            addr,
+            RetryPolicy {
+                attempts: retries,
+                backoff: Duration::from_millis(parsed.parse_num("--backoff-ms", 50u64)),
+                socket_timeout: socket_budget,
+                ..RetryPolicy::default()
+            },
+        );
+        let reply = client.map(&request).unwrap_or_else(|e| {
+            report_failure(&e);
+            exit(1);
+        });
+        let stats = parsed.value("--stats").is_some().then(|| client.stats());
+        (reply, stats)
+    } else {
+        let connect = match socket_budget {
+            Some(budget) => Client::connect_timeout(addr, budget),
+            None => Client::connect(addr),
+        };
+        let mut client = connect.unwrap_or_else(|e| {
+            // lint: allow(log-discipline) -- failure outcomes are stderr's contract
+            eprintln!("cannot reach daemon at {addr}: {e}");
+            exit(1);
+        });
+        let reply = client.map(&request).unwrap_or_else(|e| {
+            report_failure(&e);
+            exit(1);
+        });
+        let stats = parsed.value("--stats").is_some().then(|| client.stats());
+        (reply, stats)
+    };
 
     if parsed.value("--json").is_some() {
         println!("{reply}");
     } else {
         print_submit_summary(&request.name, &reply);
     }
-    if parsed.value("--stats").is_some() {
-        match client.stats() {
-            Ok(stats) => println!("stats: {stats}"),
-            Err(e) => obs::warn!("satmapit::cli", "stats unavailable: {e}"),
-        }
+    match stats {
+        Some(Ok(stats)) => println!("stats: {stats}"),
+        Some(Err(e)) => obs::warn!("satmapit::cli", "stats unavailable: {e}"),
+        None => {}
     }
     if reply.get("ok").and_then(Json::as_bool) != Some(true) {
         exit(1);

@@ -24,6 +24,7 @@
 //! | [`kernels`] | `satmapit-kernels` | the 11 MiBench/Rodinia benchmark DFGs |
 //! | [`service`] | `satmapit-service` | mapping daemon: JSON-over-TCP protocol, persistent caches |
 //! | [`obs`] | `satmapit-obs` | flight-recorder tracing, latency histograms, structured logging |
+//! | [`faults`] | `satmapit-faults` | deterministic fault injection for I/O paths (see `docs/robustness.md`) |
 //!
 //! ## Parallel mapping
 //!
@@ -72,6 +73,7 @@ pub use satmapit_cgra as cgra;
 pub use satmapit_core as core;
 pub use satmapit_dfg as dfg;
 pub use satmapit_engine as engine;
+pub use satmapit_faults as faults;
 pub use satmapit_graphs as graphs;
 pub use satmapit_kernels as kernels;
 pub use satmapit_obs as obs;
