@@ -1,8 +1,9 @@
 //! The SAT-core ablation bench: incremental vs scratch II ladders, arena
-//! GC on/off, rung-aware phase transfer on/off, and the arena-waste
-//! measurement after a full multi-rung ladder — emitted as machine-
-//! readable JSON (`BENCH_solver.json`) so CI and the bench trajectory can
-//! track the solver hot path across PRs.
+//! GC on/off, rung-aware phase transfer on/off, a SAT-vs-morph backend
+//! head-to-head on every grid (`ladder_latency_us.<grid>.<backend>`),
+//! and the arena-waste measurement after a full multi-rung ladder —
+//! emitted as machine-readable JSON (`BENCH_solver.json`) so CI and the
+//! bench trajectory can track the solver hot path across PRs.
 //!
 //! ```sh
 //! cargo run --release -p satmapit-bench --bin solver_bench -- [--reps N] [--out PATH]
@@ -16,8 +17,9 @@
 
 use satmapit_cgra::Cgra;
 use satmapit_core::{Mapper, MapperConfig};
-use satmapit_engine::{map_raced, EngineConfig, ShareConfig};
+use satmapit_engine::{map_raced, BackendKind, EngineConfig, ShareConfig};
 use satmapit_kernels::Kernel;
+use satmapit_morph::MorphMapper;
 use satmapit_obs as obs;
 use satmapit_obs::Histogram;
 use satmapit_sat::SolveLimits;
@@ -82,6 +84,52 @@ fn time_variants(
         }
     }
     (best, latencies)
+}
+
+/// The mapping backends compared head-to-head on every ladder grid.
+/// The race is excluded here — its wall-clock mixes both backends and
+/// is covered by the portfolio section below.
+const BACKENDS: [(&str, BackendKind); 2] =
+    [("sat", BackendKind::Sat), ("morph", BackendKind::Morph)];
+
+/// Wall-clock of mapping every kernel in `set` on `cgra` through one
+/// backend, once — same shape as [`time_suite_once`] so the per-backend
+/// `ladder_latency_us` entries are directly comparable to the variant
+/// ablation's.
+fn time_backend_once(
+    set: &[Kernel],
+    cgra: &Cgra,
+    backend: BackendKind,
+    config: &MapperConfig,
+    latency: &mut Histogram,
+) -> f64 {
+    let t0 = Instant::now();
+    for kernel in set {
+        let k0 = Instant::now();
+        let ii = match backend {
+            BackendKind::Sat => Mapper::new(&kernel.dfg, cgra)
+                .with_config(config.clone())
+                .run()
+                .ii(),
+            BackendKind::Morph => MorphMapper::new(&kernel.dfg, cgra)
+                .with_config(config.clone())
+                .run()
+                .ii(),
+            BackendKind::Race => map_raced(
+                &kernel.dfg,
+                cgra,
+                &EngineConfig {
+                    mapper: config.clone(),
+                    backend,
+                    ..EngineConfig::default()
+                },
+            )
+            .ii(),
+        };
+        latency.record(k0.elapsed().as_micros() as u64);
+        assert!(ii.is_some(), "{} must map under {backend}", kernel.name());
+    }
+    t0.elapsed().as_secs_f64() * 1e3
 }
 
 struct Variant {
@@ -243,10 +291,46 @@ fn main() {
         }
         let sep = if gi + 1 == grids.len() { "" } else { "," };
         let _ = writeln!(json, "}}{sep}");
-        grid_latencies.push((
-            grid_label,
-            variant_set.iter().map(|v| v.label).zip(latencies).collect(),
-        ));
+        let mut per_grid: Vec<(&'static str, Histogram)> =
+            variant_set.iter().map(|v| v.label).zip(latencies).collect();
+
+        // Head-to-head backend pass on the same grid: the default-config
+        // SAT ladder vs the monomorphism backend, interleaved per
+        // repetition like the variants. Each backend must map every
+        // kernel in the set (asserted inside `time_backend_once`), so a
+        // morph regression that stops solving suite kernels fails the
+        // bench outright. The full-suite grid is excluded: `hotspot`
+        // sits in morph's small-mesh blind spot (its feasible rung at
+        // 2x2/3x3 has a huge candidate space with sparse solutions and
+        // does not finish in bench budget; it maps fine at 4x4, pinned
+        // by the cross-backend agreement suite).
+        if *grid_label == "ladder_2x2_suite" {
+            grid_latencies.push((grid_label, per_grid));
+            continue;
+        }
+        let backend_config = MapperConfig::default();
+        let mut backend_best = [f64::INFINITY; BACKENDS.len()];
+        let mut backend_lat = vec![Histogram::new(); BACKENDS.len()];
+        for _ in 0..reps {
+            for (bi, &(_, kind)) in BACKENDS.iter().enumerate() {
+                backend_best[bi] = backend_best[bi].min(time_backend_once(
+                    set,
+                    &cgra,
+                    kind,
+                    &backend_config,
+                    &mut backend_lat[bi],
+                ));
+            }
+        }
+        for (&(label, _), (&ms, hist)) in BACKENDS.iter().zip(backend_best.iter().zip(backend_lat))
+        {
+            obs::info!(
+                "satmapit::bench::solver",
+                "{grid_label:24} backend:{label:16} {ms:>9.1} ms"
+            );
+            per_grid.push((label, hist));
+        }
+        grid_latencies.push((grid_label, per_grid));
     }
     json.push_str("  },\n");
 

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codegen;
 mod decode;
 pub mod encoder;
@@ -65,11 +66,12 @@ pub mod routing;
 mod validate;
 mod varmap;
 
+pub use backend::Backend;
 pub use decode::{decode_model, DecodeError};
 pub use ladder::IiLadder;
 pub use mapper::{
-    map, AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper,
-    MapperConfig, PreparedMapper, SlackPolicy,
+    map, trace_rung_attempt, AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MapOutcome,
+    MappedLoop, Mapper, MapperConfig, PreparedMapper, SlackPolicy,
 };
 pub use mapping::{Mapping, Placement, TransferKind};
 pub use regs::{allocate_registers, live_values};

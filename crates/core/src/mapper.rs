@@ -477,14 +477,12 @@ pub(crate) fn failure_label(failure: &MapFailure) -> &'static str {
 /// the solver-effort deltas (conflicts / propagations / restarts / GC /
 /// sharing) — and, when those deltas are nonzero, companion `gc` and
 /// `share` instants so the categories are filterable on the timeline.
-/// Shared by the one-shot [`PreparedMapper::attempt_ii`] and the
-/// incremental [`crate::ladder::IiLadder::attempt_ii`]. One atomic load
-/// when tracing is off.
-pub(crate) fn trace_rung_attempt(
-    ii: u32,
-    start_us: u64,
-    result: &Result<AttemptReport, MapFailure>,
-) {
+/// Shared by the one-shot [`PreparedMapper::attempt_ii`], the
+/// incremental [`crate::ladder::IiLadder::attempt_ii`], and out-of-crate
+/// [`crate::backend::Backend`] implementations (so every backend's rungs
+/// render identically on the timeline). One atomic load when tracing is
+/// off.
+pub fn trace_rung_attempt(ii: u32, start_us: u64, result: &Result<AttemptReport, MapFailure>) {
     use satmapit_obs::trace::{self, ArgValue, Category};
     if !trace::enabled() {
         return;

@@ -94,6 +94,17 @@ pub struct CacheStats {
     pub shared_imported: u64,
     /// Share-pool ring evictions, summed likewise.
     pub shared_dropped: u64,
+    /// Races won by a SAT lane (the winning mapping came from the SAT
+    /// backend), summed across every solve this engine ran (see
+    /// [`crate::RaceStats::sat_wins`]).
+    pub sat_wins: u64,
+    /// Races won by the morph lane, summed likewise.
+    pub morph_wins: u64,
+    /// Cross-backend bound exchanges: II closures where one backend's
+    /// `Unsat` proof spared the other backend the rung (see
+    /// [`crate::RaceStats::bound_exchanges`]). 0 outside
+    /// [`crate::BackendKind::Race`].
+    pub bound_exchanges: u64,
     /// Result-cache entries evicted by the size bound
     /// ([`crate::CacheLifecycle::max_entries`]), least-recently-used
     /// first. 0 with the default unbounded lifecycle.
@@ -196,6 +207,11 @@ pub struct Engine {
     shared_exported: AtomicU64,
     shared_imported: AtomicU64,
     shared_dropped: AtomicU64,
+    /// Cross-backend race outcomes, summed over every race (see
+    /// [`CacheStats::sat_wins`] & friends).
+    sat_wins: AtomicU64,
+    morph_wins: AtomicU64,
+    bound_exchanges: AtomicU64,
     /// Monotone access clock for LRU eviction: every cache touch takes
     /// a ticket and stamps the entry.
     tick: AtomicU64,
@@ -291,6 +307,9 @@ impl Engine {
             shared_exported: AtomicU64::new(0),
             shared_imported: AtomicU64::new(0),
             shared_dropped: AtomicU64::new(0),
+            sat_wins: AtomicU64::new(0),
+            morph_wins: AtomicU64::new(0),
+            bound_exchanges: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             evicted_size: AtomicU64::new(0),
             evicted_age: AtomicU64::new(0),
@@ -373,6 +392,9 @@ impl Engine {
             shared_exported: AtomicU64::new(0),
             shared_imported: AtomicU64::new(0),
             shared_dropped: AtomicU64::new(0),
+            sat_wins: AtomicU64::new(0),
+            morph_wins: AtomicU64::new(0),
+            bound_exchanges: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             evicted_size: AtomicU64::new(0),
             evicted_age: AtomicU64::new(0),
@@ -417,6 +439,9 @@ impl Engine {
             shared_exported: self.shared_exported.load(Ordering::Relaxed),
             shared_imported: self.shared_imported.load(Ordering::Relaxed),
             shared_dropped: self.shared_dropped.load(Ordering::Relaxed),
+            sat_wins: self.sat_wins.load(Ordering::Relaxed),
+            morph_wins: self.morph_wins.load(Ordering::Relaxed),
+            bound_exchanges: self.bound_exchanges.load(Ordering::Relaxed),
             evicted_size: self.evicted_size.load(Ordering::Relaxed),
             evicted_age: self.evicted_age.load(Ordering::Relaxed),
             compactions: self
@@ -845,6 +870,20 @@ impl Engine {
             // ordering: monotone telemetry counter.
             self.shared_dropped
                 .fetch_add(race.shared_dropped, Ordering::Relaxed);
+        }
+        if race.sat_wins > 0 {
+            // ordering: monotone telemetry counter.
+            self.sat_wins.fetch_add(race.sat_wins, Ordering::Relaxed);
+        }
+        if race.morph_wins > 0 {
+            // ordering: monotone telemetry counter.
+            self.morph_wins
+                .fetch_add(race.morph_wins, Ordering::Relaxed);
+        }
+        if race.bound_exchanges > 0 {
+            // ordering: monotone telemetry counter.
+            self.bound_exchanges
+                .fetch_add(race.bound_exchanges, Ordering::Relaxed);
         }
     }
 

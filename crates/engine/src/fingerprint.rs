@@ -153,6 +153,16 @@ pub fn hash_config(h: &mut Hasher, config: &EngineConfig) {
         h.write_u64(config.share.share_len_max as u64);
         h.write_u64(config.share.share_ring_cap as u64);
     }
+    // The backend choice can change which (equally valid) model is found
+    // for a feasible II, so non-default kinds move the result key — but
+    // the default (Sat) hashes nothing, keeping every pre-backend
+    // persistent cache byte-identically warm. (The *problem* fingerprint
+    // below stays backend-blind: both backends search the same KMS
+    // candidate space, so UNSAT proofs transfer between them.)
+    if config.backend != crate::BackendKind::Sat {
+        h.write_str("backend");
+        h.write_str(config.backend.as_str());
+    }
 }
 
 /// The cache key for one mapping request under `config`.
@@ -360,6 +370,45 @@ mod tests {
         assert_eq!(
             problem_fingerprint(&dfg, &cgra, &default_config.mapper),
             problem_fingerprint(&dfg, &cgra, &on.mapper)
+        );
+    }
+
+    #[test]
+    fn default_backend_keys_are_bit_identical_to_pre_backend_keys() {
+        // The backend field only joins the hash when it is not Sat: a
+        // default config must hash exactly like builds that predate the
+        // field (warm caches), while morph/race move the result key but
+        // never the problem key (UNSAT proofs are backend-independent).
+        let dfg = sample_dfg("x");
+        let cgra = Cgra::square(3);
+        let default_config = EngineConfig::default();
+        let explicit_sat = EngineConfig {
+            backend: crate::BackendKind::Sat,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            fingerprint(&dfg, &cgra, &default_config),
+            fingerprint(&dfg, &cgra, &explicit_sat)
+        );
+        let morph = EngineConfig {
+            backend: crate::BackendKind::Morph,
+            ..EngineConfig::default()
+        };
+        let race = EngineConfig {
+            backend: crate::BackendKind::Race,
+            ..EngineConfig::default()
+        };
+        assert_ne!(
+            fingerprint(&dfg, &cgra, &default_config),
+            fingerprint(&dfg, &cgra, &morph)
+        );
+        assert_ne!(
+            fingerprint(&dfg, &cgra, &morph),
+            fingerprint(&dfg, &cgra, &race)
+        );
+        assert_eq!(
+            problem_fingerprint(&dfg, &cgra, &morph.mapper),
+            problem_fingerprint(&dfg, &cgra, &default_config.mapper)
         );
     }
 

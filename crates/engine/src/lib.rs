@@ -49,6 +49,55 @@ pub use race::{map_raced, map_raced_with_bound, portfolio_variant, EngineOutcome
 
 use satmapit_core::MapperConfig;
 
+/// Which exact backend(s) the engine runs (see
+/// [`satmapit_core::Backend`] for the per-II attempt contract and
+/// `docs/backends.md` for the cross-backend design).
+///
+/// Every kind is exact and agrees on the best II: `Sat` and `Morph` are
+/// single-backend races over the same KMS candidate space, and `Race`
+/// runs both concurrently on the same II window with bound exchange —
+/// an UNSAT proof from either backend closes the II for both. The
+/// default (`Sat`) hashes into no fingerprint, so existing caches stay
+/// warm; the other kinds join the result key (a morph-found mapping for
+/// a feasible II can legitimately differ from the SAT model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The SAT ladder (paper backend), optionally a solver portfolio.
+    #[default]
+    Sat,
+    /// The monomorphism search (`satmapit-morph`) alone.
+    Morph,
+    /// Both backends cross-raced on the same II window.
+    Race,
+}
+
+impl BackendKind {
+    /// The `--backend` flag spelling of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Sat => "sat",
+            BackendKind::Morph => "morph",
+            BackendKind::Race => "race",
+        }
+    }
+
+    /// Parses a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "sat" => Some(BackendKind::Sat),
+            "morph" => Some(BackendKind::Morph),
+            "race" => Some(BackendKind::Race),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Learnt-clause sharing between the portfolio siblings racing one II
 /// (see [`satmapit_sat::share`] for the pool mechanics and soundness
 /// rules). Off by default: with sharing off (or `portfolio = 1`) the
@@ -175,6 +224,9 @@ pub struct EngineConfig {
     /// runs it verbatim — the agreement anchor with the sequential
     /// mapper).
     pub mapper: MapperConfig,
+    /// Which exact backend(s) to race (SAT ladder by default; see
+    /// [`BackendKind`]).
+    pub backend: BackendKind,
     /// How many candidate IIs are raced concurrently (the sliding window
     /// above the lowest unresolved II). `1` disables speculation across
     /// IIs.
@@ -208,6 +260,7 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             mapper: MapperConfig::default(),
+            backend: BackendKind::default(),
             race_width: 4,
             portfolio: 1,
             workers: 0,

@@ -65,11 +65,14 @@ pub const MAGIC: [u8; 8] = *b"SMCACHE\0";
 /// simply re-solved. v4 is the durability overhaul (appender rollback
 /// latch, fsync policy, synced compaction, checksum-verified loader
 /// resync); the record codec is byte-identical to v3, so v3 stores stay
-/// readable.
-pub const FORMAT_VERSION: u32 = 4;
+/// readable. v5 added the cross-backend race counters to [`RaceStats`]
+/// (`sat_wins`/`morph_wins`/`bound_exchanges`); the codec changed, so
+/// older stores are re-solved.
+pub const FORMAT_VERSION: u32 = 5;
 /// Prior format versions whose record codec is identical to the current
-/// one; loaders accept them and appenders extend them in place.
-pub const COMPATIBLE_VERSIONS: &[u32] = &[3];
+/// one; loaders accept them and appenders extend them in place. Empty
+/// since v5 changed the [`RaceStats`] codec.
+pub const COMPATIBLE_VERSIONS: &[u32] = &[];
 const HEADER_LEN: usize = 16;
 /// Upper bound on a single record's payload; anything larger is treated
 /// as framing corruption (a flipped bit in a length field must not make
@@ -716,6 +719,9 @@ pub fn write_outcome(w: &mut ByteWriter, outcome: &EngineOutcome) {
     w.u64(outcome.stats.shared_exported);
     w.u64(outcome.stats.shared_imported);
     w.u64(outcome.stats.shared_dropped);
+    w.u64(outcome.stats.sat_wins);
+    w.u64(outcome.stats.morph_wins);
+    w.u64(outcome.stats.bound_exchanges);
     w.bool(outcome.proven_unmappable);
 }
 
@@ -745,6 +751,9 @@ pub fn read_outcome(r: &mut ByteReader<'_>) -> Result<EngineOutcome, PersistErro
         shared_exported: r.u64()?,
         shared_imported: r.u64()?,
         shared_dropped: r.u64()?,
+        sat_wins: r.u64()?,
+        morph_wins: r.u64()?,
+        bound_exchanges: r.u64()?,
     };
     let proven_unmappable = r.bool()?;
     Ok(EngineOutcome {

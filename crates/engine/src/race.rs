@@ -41,13 +41,30 @@
 //! **Determinism therefore requires `portfolio = 1` or sharing off**;
 //! share-off races are bit-identical to builds without the feature and
 //! keep their result-cache fingerprints.
+//!
+//! ## Cross-backend racing and bound exchange
+//!
+//! With [`crate::BackendKind::Race`] the lanes racing each II are not
+//! all SAT: a [`satmapit_morph`] monomorphism lane joins the window,
+//! attempting the same IIs through the [`Backend`] trait. Both backends
+//! enumerate the identical KMS candidate space, so an `Unsat` **proof**
+//! from either lane soundly closes the II for both — that closure is a
+//! *bound exchange* (counted in [`RaceStats::bound_exchanges`]): the II
+//! one backend proved infeasible is a rung the other backend never has
+//! to grind, and it feeds the engine's shared proven-bound cache that
+//! either backend starts above on the next solve. Closure discipline is
+//! unchanged: lane 0 stays the canonical agreement anchor (its
+//! definitive giveups close), non-canonical lanes close only with
+//! proofs, so the best II still matches the sequential mapper. See
+//! `docs/backends.md` for the soundness argument.
 
 use satmapit_cgra::Cgra;
 use satmapit_core::{
-    AttemptOutcome, AttemptReport, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper,
-    MapperConfig, PreparedMapper,
+    AttemptOutcome, AttemptReport, Backend, IiAttempt, MapFailure, MapOutcome, MappedLoop, Mapper,
+    MapperConfig,
 };
 use satmapit_dfg::Dfg;
+use satmapit_morph::MorphMapper;
 use satmapit_obs as obs;
 use satmapit_sat::encode::AmoEncoding;
 use satmapit_sat::{ShareHandle, SharePool, SolveLimits};
@@ -57,7 +74,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::{EngineConfig, ShareConfig};
+use crate::{BackendKind, EngineConfig, ShareConfig};
 
 /// Effort and outcome counters of one race.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -85,6 +102,17 @@ pub struct RaceStats {
     /// sibling read them); a persistently high value means
     /// `share_ring_cap` is too small for the conflict rate.
     pub shared_dropped: u64,
+    /// 1 when a SAT lane produced the winning mapping of this race, else
+    /// 0. Summed by the batch engine into a fleet-level counter.
+    pub sat_wins: u64,
+    /// 1 when the morph lane produced the winning mapping, else 0.
+    pub morph_wins: u64,
+    /// II closures whose `Unsat` proof crossed backends: in a
+    /// [`crate::BackendKind::Race`], one backend proved the II
+    /// infeasible and the other backend was thereby spared ever
+    /// establishing it (see the module docs). Always 0 in
+    /// single-backend races.
+    pub bound_exchanges: u64,
 }
 
 /// A [`MapOutcome`] plus race-level telemetry.
@@ -142,17 +170,31 @@ pub fn portfolio_variant(base: &MapperConfig, k: usize) -> MapperConfig {
     config
 }
 
+/// One competitor in the race: a prepared backend plus its lane-level
+/// policy. Lane 0 is always the canonical agreement anchor (the
+/// caller's configuration verbatim on the primary backend).
+struct Lane<'a> {
+    backend: Box<dyn Backend + 'a>,
+    /// Whether this lane exchanges learnt clauses with its per-II
+    /// siblings (SAT portfolio lanes only; the morph lane has no clause
+    /// database).
+    shares: bool,
+    /// The lane's Perfetto timeline-row label (kernel-name prefixed).
+    label: String,
+}
+
 struct Task {
     ii: u32,
-    variant: usize,
+    lane: usize,
     stop: Arc<AtomicBool>,
     /// This sibling's connection to the II's share pool (sharing on and
-    /// `portfolio > 1` only).
+    /// ≥ 2 sharing lanes only).
     share: Option<ShareHandle>,
 }
 
 struct Best {
     ii: u32,
+    lane: usize,
     attempt: IiAttempt,
     mapped: MappedLoop,
 }
@@ -171,9 +213,16 @@ struct RaceState {
     start: u32,
     max_ii: u32,
     race_width: u32,
-    portfolio: usize,
+    /// Per-lane clause-sharing participation, indexed by lane; its
+    /// length is the lane count each open II dispatches.
+    lane_shares: Vec<bool>,
+    /// Per-lane backend name ([`Backend::name`]), for win attribution.
+    lane_backends: Vec<&'static str>,
+    /// `true` when the lanes span more than one backend — the
+    /// precondition for counting bound exchanges.
+    cross_backend: bool,
     /// `Some` when learnt-clause sharing is active for this race
-    /// (enabled in the config *and* more than one sibling per II).
+    /// (enabled in the config *and* more than one sharing lane per II).
     share: Option<ShareConfig>,
     open: HashMap<u32, OpenIi>,
     closed: BTreeMap<u32, IiAttempt>,
@@ -184,6 +233,7 @@ struct RaceState {
     shared_exported: u64,
     shared_imported: u64,
     shared_dropped: u64,
+    bound_exchanges: u64,
 }
 
 impl RaceState {
@@ -197,11 +247,12 @@ impl RaceState {
         }
     }
 
-    /// Dispatches the next (II, variant) attempt inside the sliding race
+    /// Dispatches the next (II, lane) attempt inside the sliding race
     /// window, if one is available.
     fn take_task(&mut self) -> Option<Task> {
         let mut ii = self.start;
         let mut considered = 0u32;
+        let num_lanes = self.lane_shares.len();
         while ii <= self.max_ii && considered < self.race_width {
             if self.best.as_ref().is_some_and(|b| ii >= b.ii) {
                 break; // IIs at or above the current winner are moot
@@ -210,18 +261,18 @@ impl RaceState {
                 considered += 1;
                 let share = self.share;
                 let open = self.open.entry(ii).or_default();
-                if open.dispatched < self.portfolio {
-                    let variant = open.dispatched;
+                if open.dispatched < num_lanes {
+                    let lane = open.dispatched;
                     open.dispatched += 1;
                     let stop = Arc::new(AtomicBool::new(false));
                     open.stops.push(Arc::clone(&stop));
-                    let share = share.map(|cfg| {
+                    let share = share.filter(|_| self.lane_shares[lane]).map(|cfg| {
                         let pool = open
                             .pool
                             .get_or_insert_with(|| Arc::new(SharePool::new(cfg.share_ring_cap)));
                         ShareHandle::new(
                             Arc::clone(pool),
-                            variant as u32,
+                            lane as u32,
                             cfg.share_lbd_max,
                             cfg.share_len_max,
                         )
@@ -229,7 +280,7 @@ impl RaceState {
                     self.tasks_started += 1;
                     return Some(Task {
                         ii,
-                        variant,
+                        lane,
                         stop,
                         share,
                     });
@@ -312,6 +363,7 @@ impl RaceState {
                     if self.best.as_ref().is_none_or(|b| task.ii < b.ii) {
                         self.best = Some(Best {
                             ii: task.ii,
+                            lane: task.lane,
                             attempt: report.attempt,
                             mapped: report.mapped.expect("Mapped outcome carries a mapping"),
                         });
@@ -322,13 +374,20 @@ impl RaceState {
                 }
                 _ => {
                     // Definitive no-mapping. Closure is sound when it comes
-                    // from the canonical variant (it mirrors the sequential
-                    // mapper exactly) or is an UNSAT proof (variant-
-                    // independent). Giveups from non-canonical variants are
-                    // dropped — closing on them could diverge from the
+                    // from the canonical lane (it mirrors the sequential
+                    // mapper exactly) or is an UNSAT proof (lane-
+                    // independent — both backends exhaust the same KMS
+                    // candidate space). Giveups from non-canonical lanes
+                    // are dropped — closing on them could diverge from the
                     // sequential answer.
                     let is_proof = matches!(report.attempt.outcome, AttemptOutcome::Unsat);
-                    if (task.variant == 0 || is_proof) && !self.closed.contains_key(&task.ii) {
+                    if (task.lane == 0 || is_proof) && !self.closed.contains_key(&task.ii) {
+                        // A proof closing an II in a cross-backend race
+                        // spares the *other* backend that rung entirely —
+                        // the bound exchange the module docs describe.
+                        if is_proof && self.cross_backend {
+                            self.bound_exchanges += 1;
+                        }
                         self.closed.insert(task.ii, report.attempt);
                         self.cancel_ii(task.ii);
                     }
@@ -371,7 +430,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn worker(
     shared: &Shared,
-    variants: &[PreparedMapper<'_>],
+    lanes: &[Lane<'_>],
     limits_proto: &SolveLimits,
     trace_base: Option<u64>,
     inject_panic: bool,
@@ -402,17 +461,19 @@ fn worker(
             limits = limits.with_share(share.clone());
         }
         // Spans from this task (the `race` task span here, the `rung`
-        // span inside `attempt_ii`) all land on the sibling's own track,
-        // so concurrent portfolio siblings render as parallel timeline
-        // rows. `trace_base` is None whenever tracing was off at race
-        // start — the hot path stays guard-free.
-        let _track = trace_base.map(|base| obs::trace::push_track(base + task.variant as u64));
+        // span inside `attempt_ii`) all land on the lane's own track, so
+        // concurrent lanes render as parallel timeline rows — one per
+        // portfolio sibling and one per backend. `trace_base` is None
+        // whenever tracing was off at race start — the hot path stays
+        // guard-free.
+        let lane = &lanes[task.lane];
+        let _track = trace_base.map(|base| obs::trace::push_track(base + task.lane as u64));
         let mut span = obs::trace::Span::begin(
             obs::trace::Category::Race,
-            &format!("task ii={} v={}", task.ii, task.variant),
+            &format!("task ii={} lane={}", task.ii, task.lane),
         );
         span.arg("ii", i64::from(task.ii));
-        span.arg("variant", task.variant as i64);
+        span.arg("lane", task.lane as i64);
         // A panicking attempt (a solver bug, or the injected test fault)
         // must cost exactly one task, not the whole engine: catch the
         // unwind here — before it can poison the shared state or tear
@@ -422,13 +483,13 @@ fn worker(
             if inject_panic {
                 panic!("injected race-worker fault (panic_on_name)");
             }
-            variants[task.variant].attempt_ii(task.ii, &limits)
+            lane.backend.attempt_ii(task.ii, &limits)
         }))
         .unwrap_or_else(|payload| {
             Err(MapFailure::Internal(format!(
-                "race worker panicked at ii={} variant={}: {}",
+                "race worker panicked at ii={} lane={}: {}",
                 task.ii,
-                task.variant,
+                task.lane,
                 panic_message(payload.as_ref())
             )))
         });
@@ -475,18 +536,43 @@ pub fn map_raced_with_bound(
         proven_unmappable: unmappable,
     };
 
+    let backend = config.backend;
     let mapper = Mapper::new(dfg, cgra).with_config(config.mapper.clone());
-    let base = match mapper.prepare() {
-        Ok(p) => p,
-        Err(e) => return failure(e, t0.elapsed(), false),
+    let morph_mapper = MorphMapper::new(dfg, cgra).with_config(config.mapper.clone());
+    let sat_base = if backend == BackendKind::Morph {
+        None
+    } else {
+        match mapper.prepare() {
+            Ok(p) => Some(p),
+            Err(e) => return failure(e, t0.elapsed(), false),
+        }
+    };
+    let morph_base = if backend == BackendKind::Sat {
+        None
+    } else {
+        match morph_mapper.prepare() {
+            Ok(p) => Some(p),
+            Err(e) => return failure(e, t0.elapsed(), false),
+        }
     };
     let max_ii = config.mapper.max_ii;
-    if known_lower_bound == Some(u32::MAX) || base.proven_unmappable() {
-        // Either a cached proof or preparation's pre-solved PE-level
-        // prefix says no II can map: fail fast, no rungs dispatched.
+    // Either a cached proof or a backend's pre-solved II-invariant
+    // relaxation says no II can map: fail fast, no rungs dispatched. Both
+    // backends' probes are sound proofs over the same candidate space, so
+    // either verdict condemns the whole race.
+    let pre_proven = sat_base.as_ref().is_some_and(|b| b.proven_unmappable())
+        || morph_base.as_ref().is_some_and(|b| b.proven_unmappable());
+    if known_lower_bound == Some(u32::MAX) || pre_proven {
         return failure(MapFailure::IiCapReached { cap: max_ii }, t0.elapsed(), true);
     }
-    let start = base.start_ii().max(known_lower_bound.unwrap_or(0));
+    let prepared_start = sat_base
+        .as_ref()
+        .map(|b| b.start_ii())
+        .into_iter()
+        .chain(morph_base.as_ref().map(|b| b.start_ii()))
+        .max()
+        .unwrap_or(1);
+    let start = prepared_start.max(known_lower_bound.unwrap_or(0));
     if start > max_ii {
         return failure(
             MapFailure::IiCapReached { cap: max_ii },
@@ -495,13 +581,37 @@ pub fn map_raced_with_bound(
         );
     }
 
+    // Lane 0 is the canonical agreement anchor: the caller's configuration
+    // verbatim on the primary backend (SAT for `Sat`/`Race`, morph for
+    // `Morph`). The portfolio only multiplies SAT lanes — the morph search
+    // is deterministic, so racing perturbed copies of it would burn
+    // workers re-deriving the same answer.
     let portfolio = config.portfolio.max(1);
-    let variants: Vec<PreparedMapper<'_>> = (0..portfolio)
-        .map(|k| {
-            base.clone()
-                .with_config(portfolio_variant(&config.mapper, k))
-        })
-        .collect();
+    let mut lanes: Vec<Lane<'_>> = Vec::new();
+    if let Some(base) = &sat_base {
+        for k in 0..portfolio {
+            let label = if k == 0 {
+                format!("{} sat 0 (canonical)", dfg.name())
+            } else {
+                format!("{} sat {k}", dfg.name())
+            };
+            lanes.push(Lane {
+                backend: Box::new(
+                    base.clone()
+                        .with_config(portfolio_variant(&config.mapper, k)),
+                ),
+                shares: true,
+                label,
+            });
+        }
+    }
+    if let Some(base) = morph_base {
+        lanes.push(Lane {
+            backend: Box::new(base),
+            shares: false,
+            label: format!("{} morph", dfg.name()),
+        });
+    }
 
     let race_width = config.race_width.max(1) as u32;
     let deadline = config.mapper.timeout.map(|d| t0 + d);
@@ -513,19 +623,27 @@ pub fn map_raced_with_bound(
         limits_proto = limits_proto.with_max_conflicts(c);
     }
 
-    let max_useful = (race_width as usize).saturating_mul(portfolio);
+    let max_useful = (race_width as usize).saturating_mul(lanes.len());
     let workers = config.effective_workers().min(max_useful).max(1);
 
-    // Sharing needs at least two siblings per II to have a partner;
-    // with one variant the race stays on the handle-free hot path.
-    let share = (config.share.enabled && portfolio > 1).then_some(config.share);
+    // Sharing needs at least two *sharing* lanes per II to have a partner
+    // (the morph lane has no clause database); with one SAT variant the
+    // race stays on the handle-free hot path.
+    let sharing_lanes = lanes.iter().filter(|l| l.shares).count();
+    let share = (config.share.enabled && sharing_lanes > 1).then_some(config.share);
+
+    let lane_shares: Vec<bool> = lanes.iter().map(|l| l.shares).collect();
+    let lane_backends: Vec<&'static str> = lanes.iter().map(|l| l.backend.name()).collect();
+    let cross_backend = lane_backends.iter().any(|&n| n != lane_backends[0]);
 
     let shared = Shared {
         state: Mutex::new(RaceState {
             start,
             max_ii,
             race_width,
-            portfolio,
+            lane_shares,
+            lane_backends,
+            cross_backend,
             share,
             open: HashMap::new(),
             closed: BTreeMap::new(),
@@ -536,21 +654,17 @@ pub fn map_raced_with_bound(
             shared_exported: 0,
             shared_imported: 0,
             shared_dropped: 0,
+            bound_exchanges: 0,
         }),
         cv: Condvar::new(),
     };
 
-    // One trace track per portfolio sibling, reserved up front so every
-    // worker thread maps task variant `k` to the same timeline row.
+    // One trace track per lane, reserved up front so every worker thread
+    // maps task lane `k` to the same backend-named timeline row.
     let trace_base = obs::trace::enabled().then(|| {
-        let base = obs::trace::allocate_tracks(portfolio as u64);
-        for k in 0..portfolio {
-            let label = if k == 0 {
-                format!("{} sibling 0 (canonical)", dfg.name())
-            } else {
-                format!("{} sibling {k}", dfg.name())
-            };
-            obs::trace::name_track(base + k as u64, &label);
+        let base = obs::trace::allocate_tracks(lanes.len() as u64);
+        for (k, lane) in lanes.iter().enumerate() {
+            obs::trace::name_track(base + k as u64, &lane.label);
         }
         base
     });
@@ -561,7 +675,7 @@ pub fn map_raced_with_bound(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker(&shared, &variants, &limits_proto, trace_base, inject_panic));
+            scope.spawn(|| worker(&shared, &lanes, &limits_proto, trace_base, inject_panic));
         }
     });
 
@@ -570,15 +684,6 @@ pub fn map_raced_with_bound(
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
     let elapsed = t0.elapsed();
-    let stats = RaceStats {
-        workers,
-        tasks_started: state.tasks_started,
-        tasks_cancelled: state.tasks_cancelled,
-        race_start: start,
-        shared_exported: state.shared_exported,
-        shared_imported: state.shared_imported,
-        shared_dropped: state.shared_dropped,
-    };
 
     // A complete winner (every lower II closed) beats a Timeout recorded
     // by a losing worker: the mapping was found before the deadline and is
@@ -593,6 +698,30 @@ pub fn map_raced_with_bound(
     if timeout_only && best_is_complete {
         state.fatal = None;
     }
+
+    // Winner attribution: exactly one lane's mapping is returned per
+    // successful race, so its backend scores a single win; failed races
+    // score nothing. Computed after the timeout rescue so a rescued
+    // winner still counts.
+    let (sat_wins, morph_wins) = match &state.best {
+        Some(best) if state.fatal.is_none() => match state.lane_backends[best.lane] {
+            "morph" => (0, 1),
+            _ => (1, 0),
+        },
+        _ => (0, 0),
+    };
+    let stats = RaceStats {
+        workers,
+        tasks_started: state.tasks_started,
+        tasks_cancelled: state.tasks_cancelled,
+        race_start: start,
+        shared_exported: state.shared_exported,
+        shared_imported: state.shared_imported,
+        shared_dropped: state.shared_dropped,
+        sat_wins,
+        morph_wins,
+        bound_exchanges: state.bound_exchanges,
+    };
 
     let (result, attempts) = if let Some(fatal) = state.fatal {
         let attempts = state.closed.into_values().collect();

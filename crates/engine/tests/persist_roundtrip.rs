@@ -212,6 +212,9 @@ impl Gen {
                 shared_exported: self.next() % 100_000,
                 shared_imported: self.next() % 100_000,
                 shared_dropped: self.next() % 1000,
+                sat_wins: self.next() % 2,
+                morph_wins: self.next() % 2,
+                bound_exchanges: self.next() % 10,
             },
             proven_unmappable: self.next().is_multiple_of(8),
         }

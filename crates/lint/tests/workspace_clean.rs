@@ -81,6 +81,21 @@ fn seeded_violations_in_real_files_still_fire() {
             "fn _seeded() { eprintln!(\"diag\"); }\n",
             "log-discipline",
         ),
+        // The morph backend crate sits inside the lint perimeter like
+        // every other runtime crate: its search core polls cooperative
+        // stop flags, so the ordering discipline must fire there too.
+        (
+            "crates/morph/src/search.rs",
+            "fn _seeded(c: &std::sync::atomic::AtomicU64) -> u64 {\n    \
+                 c.load(std::sync::atomic::Ordering::Relaxed)\n\
+             }\n",
+            "atomic-ordering",
+        ),
+        (
+            "crates/morph/src/lib.rs",
+            "fn _seeded() { eprintln!(\"diag\"); }\n",
+            "log-discipline",
+        ),
     ];
     for &(rel_path, seed, lint) in seeds {
         let mut ws = Workspace::load(root).expect("workspace must be readable");

@@ -1,0 +1,347 @@
+//! # satmapit-morph
+//!
+//! The monomorphism mapper: an exact, space/time-decoupled CGRA
+//! modulo-scheduling backend in the style of Tirelli & Otoni,
+//! *"Monomorphism-based CGRA Mapping via Space and Time Decoupling"* —
+//! the second [`Backend`] of the workspace, raced against the SAT ladder
+//! by `satmapit-engine`.
+//!
+//! ## Approach
+//!
+//! Where the SAT backend encodes placement *and* schedule into one CNF,
+//! this backend decouples them:
+//!
+//! 1. **Time first.** For a candidate II, fold the ASAP/ALAP mobility
+//!    windows into the kernel mobility schedule
+//!    ([`satmapit_schedule::Kms`]) — exactly the folding the SAT encoder
+//!    uses, so both backends search the *same* candidate space and their
+//!    verdicts are interchangeable.
+//! 2. **Space second.** Build the time-expanded routing graph of the
+//!    CGRA (one vertex per `(PE, kernel cycle)` slot, one arc per
+//!    single-cycle value hop — see [`search`]) and look for a **subgraph
+//!    monomorphism**: an injective-per-slot embedding of the DFG into
+//!    the slot graph that respects op support, slot exclusivity,
+//!    dependency timing windows and the output-register lifetime rule —
+//!    precisely the rules `satmapit_core::validate_mapping` re-checks.
+//!
+//! The search is exact backtracking with forward checking: prune
+//! candidate slots of unassigned nodes on every assignment, pick the
+//! most-constrained node next, and undo through a trail. Exhausting the
+//! space **proves** the II infeasible (the report's `Unsat` is a real
+//! proof the engine may exchange with the SAT backend as a bound);
+//! register-allocation failures are retried up to
+//! [`MapperConfig::ra_cuts`] embeddings, after which the II is declared
+//! `RegAllocFailed` — definitive, but not a proof, mirroring the SAT
+//! backend's cut budget.
+//!
+//! ## Cancellation
+//!
+//! Attempts honor [`SolveLimits`] with the same cadence as the SAT
+//! core: the stop flag and deadline are polled every
+//! [`satmapit_sat::LIMIT_POLL_INTERVAL`] search steps (assignments and
+//! dead-ends both count), so a race can cancel a morph attempt as
+//! promptly as a SAT one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod search;
+
+use satmapit_cgra::Cgra;
+use satmapit_core::encoder::EncodeError;
+use satmapit_core::{AttemptReport, Backend, MapFailure, MapOutcome, Mapper, MapperConfig};
+use satmapit_dfg::Dfg;
+use satmapit_sat::SolveLimits;
+use satmapit_schedule::{mii, MobilitySchedule};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The monomorphism mapper: same problem types and configuration as
+/// [`satmapit_core::Mapper`], different search engine.
+///
+/// Only the schedule-shaped configuration applies here — `max_ii`,
+/// `start_ii`, `timeout`, `slack`, `regalloc_budget`, `ra_cuts`. The
+/// SAT-specific knobs (`amo`, `solver`, `incremental`, `rung_transfer`,
+/// `register_pressure`, `max_conflicts_per_ii` as a *conflict* budget —
+/// here it bounds search dead-ends) are ignored or reinterpreted as
+/// documented on [`PreparedMorph::attempt_ii`].
+#[derive(Debug, Clone)]
+pub struct MorphMapper<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    config: MapperConfig,
+}
+
+impl<'a> MorphMapper<'a> {
+    /// A mapper with the default configuration.
+    pub fn new(dfg: &'a Dfg, cgra: &'a Cgra) -> MorphMapper<'a> {
+        MorphMapper {
+            dfg,
+            cgra,
+            config: MapperConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: MapperConfig) -> MorphMapper<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Sets a wall-clock budget for [`MorphMapper::run`].
+    pub fn with_timeout(mut self, timeout: Duration) -> MorphMapper<'a> {
+        self.config.timeout = Some(timeout);
+        self
+    }
+
+    /// Validates the problem and precomputes the mobility schedule and
+    /// MII, yielding a shareable attempt session.
+    ///
+    /// # Errors
+    ///
+    /// The same terminal conditions as [`Mapper::prepare`]: an invalid
+    /// DFG, or a memory operation with zero memory-capable PEs.
+    pub fn prepare(&self) -> Result<PreparedMorph<'a>, MapFailure> {
+        // Delegate the shared problem checks (DFG validation, the
+        // memory-policy MII hole) to the SAT mapper's prepare — the two
+        // backends must agree on what is structurally solvable.
+        Mapper::new(self.dfg, self.cgra)
+            .with_config(self.config.clone())
+            .prepare()?;
+        let ms = MobilitySchedule::compute(self.dfg).expect("prepare validated the DFG");
+        let mii_v = mii(self.dfg, self.cgra).expect("prepare computed an MII");
+        // Structural rejections the SAT path reports at encode time are
+        // II-independent; surface them at prepare so every later attempt
+        // is spared the check.
+        for n in self.dfg.node_ids() {
+            let op = self.dfg.node(n).op;
+            if !self.cgra.pes().any(|p| self.cgra.supports_op(p, op)) {
+                return Err(MapFailure::Structural(EncodeError::NoPeForOp { node: n }));
+            }
+        }
+        for (eid, e) in self.dfg.edges() {
+            if e.src == e.dst && e.distance != 1 {
+                return Err(MapFailure::Structural(EncodeError::SelfEdgeDistance {
+                    edge: eid,
+                }));
+            }
+        }
+        Ok(PreparedMorph {
+            dfg: self.dfg,
+            cgra: self.cgra,
+            config: self.config.clone(),
+            ms,
+            mii: mii_v,
+            relaxation_infeasible: OnceLock::new(),
+        })
+    }
+
+    /// Runs the iterative II search (paper Fig. 3's outer loop) with the
+    /// monomorphism engine on every rung.
+    pub fn run(&self) -> MapOutcome {
+        if !satmapit_obs::trace::enabled() {
+            return self.run_inner();
+        }
+        let mut span = satmapit_obs::trace::Span::begin(
+            satmapit_obs::trace::Category::Ladder,
+            &format!("ladder {} (morph)", self.dfg.name()),
+        );
+        let outcome = self.run_inner();
+        match &outcome.result {
+            Ok(mapped) => {
+                span.arg_str("status", "mapped");
+                span.arg("ii", i64::from(mapped.mapping.ii));
+            }
+            Err(failure) => span.arg_str("status", &format!("{failure:?}")),
+        }
+        outcome
+    }
+
+    fn run_inner(&self) -> MapOutcome {
+        let t0 = Instant::now();
+        let deadline = self.config.timeout.map(|d| t0 + d);
+        let mut attempts = Vec::new();
+        let prepared = match self.prepare() {
+            Ok(p) => p,
+            Err(e) => {
+                return MapOutcome {
+                    result: Err(e),
+                    attempts,
+                    elapsed: t0.elapsed(),
+                };
+            }
+        };
+        let mut ii = prepared.start_ii();
+        while ii <= self.config.max_ii {
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    return MapOutcome {
+                        result: Err(MapFailure::Timeout { at_ii: ii }),
+                        attempts,
+                        elapsed: t0.elapsed(),
+                    };
+                }
+            }
+            let mut limits = SolveLimits::none();
+            if let Some(dl) = deadline {
+                limits = limits.with_deadline(dl);
+            }
+            if let Some(c) = self.config.max_conflicts_per_ii {
+                limits = limits.with_max_conflicts(c);
+            }
+            match prepared.attempt_ii(ii, &limits) {
+                Err(e) => {
+                    return MapOutcome {
+                        result: Err(e),
+                        attempts,
+                        elapsed: t0.elapsed(),
+                    };
+                }
+                Ok(report) => {
+                    let mapped = report.mapped;
+                    let unmappable = report.proven_unmappable;
+                    attempts.push(report.attempt);
+                    if let Some(m) = mapped {
+                        return MapOutcome {
+                            result: Ok(m),
+                            attempts,
+                            elapsed: t0.elapsed(),
+                        };
+                    }
+                    if unmappable {
+                        return MapOutcome {
+                            result: Err(MapFailure::IiCapReached {
+                                cap: self.config.max_ii,
+                            }),
+                            attempts,
+                            elapsed: t0.elapsed(),
+                        };
+                    }
+                }
+            }
+            ii += 1;
+        }
+        MapOutcome {
+            result: Err(MapFailure::IiCapReached {
+                cap: self.config.max_ii,
+            }),
+            attempts,
+            elapsed: t0.elapsed(),
+        }
+    }
+}
+
+/// Node-expansion budget for the PE-level relaxation probe behind
+/// [`PreparedMorph::proven_unmappable`]. The relaxation is tiny (one
+/// variable per DFG node, one value per PE), but its worst case is still
+/// exponential; past this many expansions the probe gives up and answers
+/// "not proven" — always sound, never wrong.
+const RELAXATION_BUDGET: u64 = 200_000;
+
+/// A prepared monomorphism session: problem validated, mobility windows
+/// and MII precomputed. Shareable across threads; every
+/// [`PreparedMorph::attempt_ii`] owns its search state.
+#[derive(Debug)]
+pub struct PreparedMorph<'a> {
+    dfg: &'a Dfg,
+    cgra: &'a Cgra,
+    config: MapperConfig,
+    ms: MobilitySchedule,
+    mii: u32,
+    relaxation_infeasible: OnceLock<bool>,
+}
+
+impl<'a> PreparedMorph<'a> {
+    /// The MII lower bound (`max(ResMII, RecMII)`).
+    pub fn mii(&self) -> u32 {
+        self.mii
+    }
+
+    /// The first II the search considers (configured start or MII).
+    pub fn start_ii(&self) -> u32 {
+        self.config.start_ii.unwrap_or(self.mii).max(1)
+    }
+
+    /// The configuration this session attempts IIs under.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration. The precomputed schedule is reused.
+    pub fn with_config(mut self, config: MapperConfig) -> PreparedMorph<'a> {
+        self.config = config;
+        self
+    }
+
+    /// `true` when the loop is proven unmappable at *every* II.
+    ///
+    /// The probe is the monomorphism twin of the SAT ladder's
+    /// II-invariant PE-level prefix: drop all timing and ask only
+    /// whether *some* assignment of nodes to PEs satisfies op support
+    /// and per-edge adjacency. Those constraints are implied by every
+    /// valid mapping at every II, so an infeasible relaxation condemns
+    /// the whole ladder. Computed once per session (bounded by a fixed
+    /// step budget — on blow-up the answer is `false`, which merely
+    /// declines the shortcut).
+    pub fn proven_unmappable(&self) -> bool {
+        *self.relaxation_infeasible.get_or_init(|| {
+            search::pe_relaxation_infeasible(self.dfg, self.cgra, RELAXATION_BUDGET)
+        })
+    }
+
+    /// Attempts one candidate II: fold the mobility schedule, search for
+    /// a monomorphism embedding, allocate registers.
+    ///
+    /// The contract is [`satmapit_core::PreparedMapper::attempt_ii`]'s, term for term:
+    /// `Err` only for an out-of-range II, a structural failure, an
+    /// internal inconsistency, or the deadline in `limits` expiring;
+    /// cooperative cancellation comes back as an `Ok` report with
+    /// `SolverBudget(Cancelled)`. `limits.max_conflicts` bounds search
+    /// dead-ends (the closest analogue of CDCL conflicts);
+    /// `limits.share` has no meaning here and is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Terminal conditions only, as above.
+    pub fn attempt_ii(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
+        if !satmapit_obs::trace::enabled() {
+            return self.attempt_ii_inner(ii, limits);
+        }
+        let start_us = satmapit_obs::trace::now_us();
+        let result = self.attempt_ii_inner(ii, limits);
+        satmapit_core::trace_rung_attempt(ii, start_us, &result);
+        result
+    }
+
+    fn attempt_ii_inner(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
+        if ii == 0 || ii > self.config.max_ii {
+            return Err(MapFailure::InvalidIi {
+                ii,
+                max_ii: self.config.max_ii,
+            });
+        }
+        search::attempt(self, ii, limits)
+    }
+}
+
+impl Backend for PreparedMorph<'_> {
+    fn name(&self) -> &'static str {
+        "morph"
+    }
+
+    fn mii(&self) -> u32 {
+        PreparedMorph::mii(self)
+    }
+
+    fn start_ii(&self) -> u32 {
+        PreparedMorph::start_ii(self)
+    }
+
+    fn proven_unmappable(&self) -> bool {
+        PreparedMorph::proven_unmappable(self)
+    }
+
+    fn attempt_ii(&self, ii: u32, limits: &SolveLimits) -> Result<AttemptReport, MapFailure> {
+        PreparedMorph::attempt_ii(self, ii, limits)
+    }
+}

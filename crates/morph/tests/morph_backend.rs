@@ -1,0 +1,168 @@
+//! The monomorphism backend against the SAT mapper: same verdicts, same
+//! best IIs, honored limits.
+
+use satmapit_cgra::{Cgra, MemoryPolicy};
+use satmapit_core::{AttemptOutcome, Backend, Mapper, MapperConfig};
+use satmapit_dfg::{Dfg, Op};
+use satmapit_morph::MorphMapper;
+use satmapit_sat::{SolveLimits, StopReason};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn config() -> MapperConfig {
+    MapperConfig {
+        timeout: Some(std::time::Duration::from_secs(120)),
+        ..MapperConfig::default()
+    }
+}
+
+#[test]
+fn agrees_with_sat_on_small_kernels() {
+    for kernel in ["srand", "bitcount", "sha"] {
+        let dfg = satmapit_kernels::by_name(kernel).expect("suite kernel").dfg;
+        let cgra = Cgra::square(4);
+        let sat = Mapper::new(&dfg, &cgra).with_config(config()).run();
+        let morph = MorphMapper::new(&dfg, &cgra).with_config(config()).run();
+        eprintln!(
+            "{kernel}: sat {:?} morph {:?} (sat ii {:?}, morph ii {:?})",
+            sat.elapsed,
+            morph.elapsed,
+            sat.ii(),
+            morph.ii()
+        );
+        let sat_ii = sat.ii().expect("sat maps the suite at 4x4");
+        let morph_ii = morph.ii().expect("morph maps the suite at 4x4");
+        assert_eq!(sat_ii, morph_ii, "{kernel}: best II disagrees");
+    }
+}
+
+#[test]
+fn proves_the_same_unsat_rungs_as_sat() {
+    // 1 const fanning out to 5 negations on a 1x2 mesh: MII is 3 but the
+    // ladder must climb UNSAT rungs first. Both backends must reject the
+    // same rungs and settle on the same II.
+    let mut dfg = Dfg::new("fanout");
+    let c = dfg.add_const(7);
+    for _ in 0..5 {
+        let n = dfg.add_node(Op::Neg);
+        dfg.add_edge(c, n, 0);
+    }
+    let cgra = Cgra::new(1, 2);
+    let sat = Mapper::new(&dfg, &cgra).prepare().unwrap();
+    let morph = MorphMapper::new(&dfg, &cgra).prepare().unwrap();
+    assert_eq!(Backend::mii(&sat), Backend::mii(&morph));
+    let mut ii = Backend::start_ii(&morph);
+    loop {
+        let s = sat.attempt_ii(ii, &SolveLimits::none()).unwrap();
+        let m = morph.attempt_ii(ii, &SolveLimits::none()).unwrap();
+        match (&s.attempt.outcome, &m.attempt.outcome) {
+            (AttemptOutcome::Unsat, AttemptOutcome::Unsat) => ii += 1,
+            (AttemptOutcome::Mapped, AttemptOutcome::Mapped) => break,
+            (a, b) => panic!("ii={ii}: sat={a:?} morph={b:?}"),
+        }
+        assert!(ii < 20, "runaway ladder");
+    }
+}
+
+#[test]
+fn morph_mapping_passes_the_independent_validator() {
+    let dfg = satmapit_kernels::by_name("gsm").expect("suite kernel").dfg;
+    let cgra = Cgra::square(3);
+    let morph = MorphMapper::new(&dfg, &cgra).with_config(config()).run();
+    let mapped = morph.result.expect("gsm maps at 3x3");
+    satmapit_core::validate_mapping(&dfg, &cgra, &mapped.mapping).expect("independent validation");
+    assert!(mapped.mapping.ii >= mapped.mii);
+}
+
+#[test]
+fn detects_unmappable_split_memory_loop() {
+    // A load in column 0 feeding a store in column 3 of a 1x4
+    // SplitLoadStore mesh: the PEs are never adjacent, at any II. The
+    // PE-level relaxation must prove it without a search.
+    let mut dfg = Dfg::new("split");
+    let addr = dfg.add_const(0);
+    let ld = dfg.add_node(Op::Load);
+    dfg.add_edge(addr, ld, 0);
+    let st = dfg.add_node(Op::Store);
+    dfg.add_edge(addr, st, 0);
+    dfg.add_edge(ld, st, 1);
+    let cgra = Cgra::new(1, 4).with_memory_policy(MemoryPolicy::SplitLoadStore);
+    let morph = MorphMapper::new(&dfg, &cgra).prepare().unwrap();
+    assert!(Backend::proven_unmappable(&morph));
+    let report = morph.attempt_ii(2, &SolveLimits::none()).unwrap();
+    assert_eq!(report.attempt.outcome, AttemptOutcome::Unsat);
+    assert!(report.proven_unmappable);
+}
+
+#[test]
+fn preset_stop_flag_cancels_before_any_search() {
+    let dfg = satmapit_kernels::by_name("sha").expect("suite kernel").dfg;
+    let cgra = Cgra::square(4);
+    let morph = MorphMapper::new(&dfg, &cgra).prepare().unwrap();
+    let stop = Arc::new(AtomicBool::new(true));
+    let limits = SolveLimits::none().with_stop_flag(stop);
+    let report = morph
+        .attempt_ii(Backend::start_ii(&morph), &limits)
+        .unwrap();
+    assert_eq!(
+        report.attempt.outcome,
+        AttemptOutcome::SolverBudget(StopReason::Cancelled)
+    );
+    assert!(!report.is_definitive());
+    assert_eq!(report.attempt.solver_stats, None, "no search ran");
+}
+
+#[test]
+fn mid_search_cancellation_honors_the_poll_cadence() {
+    // Raise the flag from a sibling thread while the search grinds an
+    // UNSAT rung; the attempt must come back Cancelled (not run to
+    // exhaustion) and the step counters prove the poll cadence was hit.
+    let mut dfg = Dfg::new("fanout");
+    let c = dfg.add_const(7);
+    for _ in 0..8 {
+        let n = dfg.add_node(Op::Neg);
+        dfg.add_edge(c, n, 0);
+    }
+    let cgra = Cgra::new(1, 2);
+    let morph = MorphMapper::new(&dfg, &cgra).prepare().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let limits = SolveLimits::none().with_stop_flag(stop.clone());
+    let handle = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stop.store(true, Ordering::Relaxed); // ordering: cooperative flag, Relaxed per SolveLimits contract
+        })
+    };
+    // II=2 is deep in the UNSAT region for this shape; without the flag
+    // the exhaustive proof takes far longer than the flag raise.
+    let report = morph.attempt_ii(2, &limits).unwrap();
+    handle.join().unwrap();
+    if let AttemptOutcome::SolverBudget(StopReason::Cancelled) = report.attempt.outcome {
+        assert!(!report.is_definitive());
+    } else {
+        // The search may legitimately finish before the flag rises on a
+        // fast machine; the only acceptable alternative is the real
+        // verdict.
+        assert_eq!(report.attempt.outcome, AttemptOutcome::Unsat);
+    }
+}
+
+#[test]
+fn conflict_budget_stops_the_search() {
+    let dfg = satmapit_kernels::by_name("sha").expect("suite kernel").dfg;
+    let cgra = Cgra::square(2);
+    let morph = MorphMapper::new(&dfg, &cgra).prepare().unwrap();
+    let limits = SolveLimits::none().with_max_conflicts(16);
+    // On a 2x2 the first rungs are UNSAT and far beyond 16 dead-ends;
+    // the budget must surface as an indefinite ConflictLimit report.
+    let report = morph
+        .attempt_ii(Backend::start_ii(&morph), &limits)
+        .unwrap();
+    assert_eq!(
+        report.attempt.outcome,
+        AttemptOutcome::SolverBudget(StopReason::ConflictLimit)
+    );
+    let stats = report.attempt.solver_stats.expect("search ran");
+    assert_eq!(stats.conflicts, 16);
+}

@@ -570,6 +570,9 @@ pub fn cache_stats_to_json(stats: &satmapit_engine::CacheStats) -> Json {
         ("shared_exported", Json::Int(stats.shared_exported as i64)),
         ("shared_imported", Json::Int(stats.shared_imported as i64)),
         ("shared_dropped", Json::Int(stats.shared_dropped as i64)),
+        ("sat_wins", Json::Int(stats.sat_wins as i64)),
+        ("morph_wins", Json::Int(stats.morph_wins as i64)),
+        ("bound_exchanges", Json::Int(stats.bound_exchanges as i64)),
         ("evicted_size", Json::Int(stats.evicted_size as i64)),
         ("evicted_age", Json::Int(stats.evicted_age as i64)),
         ("compactions", Json::Int(stats.compactions as i64)),

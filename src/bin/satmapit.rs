@@ -20,8 +20,12 @@ use sat_mapit::cgra::Cgra;
 use sat_mapit::core::routing::map_with_routing;
 use sat_mapit::core::{codegen, Mapper, MapperConfig};
 use sat_mapit::dfg::dot::to_dot;
-use sat_mapit::engine::{CacheLifecycle, DurabilityPolicy, Engine, EngineConfig, Job, ShareConfig};
+use sat_mapit::engine::{
+    map_raced, BackendKind, CacheLifecycle, DurabilityPolicy, Engine, EngineConfig, Job,
+    ShareConfig,
+};
 use sat_mapit::kernels;
+use sat_mapit::morph::MorphMapper;
 use sat_mapit::obs;
 use sat_mapit::schedule::{mii, rec_mii, res_mii};
 use sat_mapit::service::client::RetryPolicy;
@@ -240,6 +244,50 @@ fn share_flag(parsed: &Parsed) -> ShareConfig {
     }
 }
 
+/// The `--backend` flag, shared by every mapping subcommand: which exact
+/// engine attempts the II ladder (see docs/backends.md).
+const BACKEND_FLAG: FlagSpec = FlagSpec {
+    name: "--backend",
+    takes_value: true,
+    help: "Mapping backend: `sat` (CDCL ladder, default), `morph` (monomorphism search), or `race` (both, exchanging proven bounds)",
+};
+
+fn backend_flag(parsed: &Parsed) -> BackendKind {
+    let raw = parsed.value("--backend").unwrap_or("sat");
+    BackendKind::parse(raw).unwrap_or_else(|| {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
+        eprintln!("invalid value `{raw}` for --backend; expected sat, morph or race");
+        exit(2);
+    })
+}
+
+/// Runs one mapping job through the chosen backend: the sequential SAT
+/// ladder, the sequential morph ladder, or a cross-backend race (whose
+/// best II is guaranteed to match the sequential SAT search).
+fn run_backend(
+    dfg: &sat_mapit::dfg::Dfg,
+    cgra: &Cgra,
+    config: MapperConfig,
+    backend: BackendKind,
+) -> sat_mapit::core::MapOutcome {
+    match backend {
+        BackendKind::Sat => Mapper::new(dfg, cgra).with_config(config).run(),
+        BackendKind::Morph => MorphMapper::new(dfg, cgra).with_config(config).run(),
+        BackendKind::Race => {
+            map_raced(
+                dfg,
+                cgra,
+                &EngineConfig {
+                    mapper: config,
+                    backend,
+                    ..EngineConfig::default()
+                },
+            )
+            .outcome
+        }
+    }
+}
+
 fn kernel_or_exit(name: Option<&String>) -> kernels::Kernel {
     let Some(name) = name else {
         // lint: allow(log-discipline) -- usage errors are stderr's contract
@@ -308,11 +356,12 @@ fn cmd_map(args: &[String]) {
             takes_value: true,
             help: "Allow up to this many routing (copy) nodes (default 0)",
         },
+        BACKEND_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit map <kernel> [--size N] [--timeout S] [--routing R] [--no-incremental]",
+        "satmapit map <kernel> [--size N] [--timeout S] [--routing R] [--backend sat|morph|race] [--no-incremental]",
         "Map one kernel onto an NxN mesh, print the kernel program and verify\nthe mapping by executing it against reference semantics.",
         &spec,
     );
@@ -327,6 +376,12 @@ fn cmd_map(args: &[String]) {
     }
     let timeout = Duration::from_secs(parsed.parse_num("--timeout", 60u64));
     let routes: u32 = parsed.parse_num("--routing", 0);
+    let backend = backend_flag(&parsed);
+    if routes > 0 && backend != BackendKind::Sat {
+        // lint: allow(log-discipline) -- usage errors are stderr's contract
+        eprintln!("--routing currently requires the SAT backend");
+        exit(2);
+    }
     let cgra = Cgra::square(size);
     let config = MapperConfig {
         timeout: Some(timeout),
@@ -348,7 +403,7 @@ fn cmd_map(args: &[String]) {
         let routed = map_with_routing(&kernel.dfg, &cgra, &config, routes);
         (routed.dfg, routed.outcome, routed.routes)
     } else {
-        let outcome = Mapper::new(&kernel.dfg, &cgra).with_config(config).run();
+        let outcome = run_backend(&kernel.dfg, &cgra, config, backend);
         (kernel.dfg.clone(), outcome, 0)
     };
 
@@ -390,11 +445,12 @@ fn cmd_sweep(args: &[String]) {
             takes_value: true,
             help: "Wall-clock budget in seconds per mesh size (default 60)",
         },
+        BACKEND_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit sweep <kernel> [--timeout S] [--no-incremental]",
+        "satmapit sweep <kernel> [--timeout S] [--backend sat|morph|race] [--no-incremental]",
         "Map one kernel on every mesh size 2x2..5x5 — one column of the\npaper's Figure 6.",
         &spec,
     );
@@ -407,12 +463,11 @@ fn cmd_sweep(args: &[String]) {
         incremental: incremental_flag(&parsed),
         ..MapperConfig::default()
     };
+    let backend = backend_flag(&parsed);
     println!(" size | MII | II  | time");
     for n in 2..=5u16 {
         let cgra = Cgra::square(n);
-        let outcome = Mapper::new(&kernel.dfg, &cgra)
-            .with_config(config.clone())
-            .run();
+        let outcome = run_backend(&kernel.dfg, &cgra, config.clone(), backend);
         let lower = mii(&kernel.dfg, &cgra).map_or_else(|| "∞".to_string(), |v| v.to_string());
         match outcome.ii() {
             Some(ii) => println!(" {n}x{n}  | {lower:>3} | {ii:>3} | {:?}", outcome.elapsed),
@@ -468,12 +523,13 @@ fn cmd_batch(args: &[String]) {
             takes_value: true,
             help: "Record a flight-recorder trace of the run and write it as Chrome trace JSON (open in Perfetto)",
         },
+        BACKEND_FLAG,
         SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--share] [--repeat R] [--stats] [--trace FILE] [--no-incremental]",
+        "satmapit batch [--sizes 3,4,5] [--kernels a,b] [--timeout S] [--workers N] [--race W] [--portfolio P] [--backend sat|morph|race] [--share] [--repeat R] [--stats] [--trace FILE] [--no-incremental]",
         "Map the benchmark suite across mesh sizes through the parallel\nII-race engine, with content-hash result caching.",
         &spec,
     );
@@ -514,6 +570,7 @@ fn cmd_batch(args: &[String]) {
         race_width: parsed.parse_num("--race", 4usize).max(1),
         portfolio: parsed.parse_num("--portfolio", 1usize).max(1),
         workers: parsed.parse_num("--workers", 0usize),
+        backend: backend_flag(&parsed),
         share: share_flag(&parsed),
         ..EngineConfig::default()
     };
@@ -641,6 +698,13 @@ fn cmd_batch(args: &[String]) {
                 stats.shared_dropped
             );
         }
+        println!("\nbackend races");
+        println!("  sat wins              {}", stats.sat_wins);
+        println!("  morph wins            {}", stats.morph_wins);
+        println!(
+            "  bound exchanges       {} (II closures one backend proved for the other)",
+            stats.bound_exchanges
+        );
         println!("\nlatency by outcome (us)");
         println!(
             "  {:<12} {:>7} {:>10} {:>10} {:>10} {:>10}",
@@ -764,12 +828,13 @@ fn cmd_serve(args: &[String]) {
             takes_value: true,
             help: "Consecutive append failures before the engine goes degraded memory-only until restart (default 3; 0 = never degrade)",
         },
+        BACKEND_FLAG,
         SHARE_FLAG,
         INCREMENTAL_FLAG,
         NO_INCREMENTAL_FLAG,
     ];
     let help = render_help(
-        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--share] [--trace-dir DIR] [--slow-ms N] [--max-line-bytes N] [--cache-entries N] [--cache-age S] [--compact-every N] [--fsync-every N] [--max-append-failures N] [--no-incremental]",
+        "satmapit serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] [--timeout S] [--race W] [--portfolio P] [--backend sat|morph|race] [--share] [--trace-dir DIR] [--slow-ms N] [--max-line-bytes N] [--cache-entries N] [--cache-age S] [--compact-every N] [--fsync-every N] [--max-append-failures N] [--no-incremental]",
         "Run the mapping daemon: line-delimited JSON requests over TCP, a\nbounded admission queue over the parallel engine, and result/bound\ncaches persisted to --cache-dir across restarts.\n\nProtocol reference: docs/service.md. Stop it with\n`echo '{\"op\":\"shutdown\"}' | nc HOST PORT` or a `shutdown` request\nfrom any client; shutdown compacts the on-disk caches.",
         &spec,
     );
@@ -795,6 +860,7 @@ fn cmd_serve(args: &[String]) {
             // 0: the server divides the hardware threads across its pool
             // (each concurrent solve gets an equal share).
             workers: 0,
+            backend: backend_flag(&parsed),
             share: share_flag(&parsed),
             lifecycle: CacheLifecycle {
                 max_entries: parsed.parse_num("--cache-entries", 0usize),

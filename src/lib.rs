@@ -18,6 +18,7 @@
 //! | [`schedule`] | `satmapit-schedule` | ASAP/ALAP, mobility schedule, KMS, MII |
 //! | [`regalloc`] | `satmapit-regalloc` | per-PE cyclic-interval register allocation |
 //! | [`core`] | `satmapit-core` | the SAT-MapIt mapper itself |
+//! | [`morph`] | `satmapit-morph` | exact monomorphism mapping backend (space/time decoupled) |
 //! | [`engine`] | `satmapit-engine` | parallel II-race + portfolio engine, batch frontend, result cache |
 //! | [`sim`] | `satmapit-sim` | physical simulator + equivalence checking |
 //! | [`baselines`] | `satmapit-baselines` | RAMP-like and PathSeeker-like mappers |
@@ -76,6 +77,7 @@ pub use satmapit_engine as engine;
 pub use satmapit_faults as faults;
 pub use satmapit_graphs as graphs;
 pub use satmapit_kernels as kernels;
+pub use satmapit_morph as morph;
 pub use satmapit_obs as obs;
 pub use satmapit_regalloc as regalloc;
 pub use satmapit_sat as sat;
